@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner List Micro Nimbus_experiments Printf Sys Term

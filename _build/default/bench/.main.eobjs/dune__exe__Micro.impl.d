@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Nimbus_cc Nimbus_core Nimbus_dsp Nimbus_sim Printf Staged Test Time Toolkit

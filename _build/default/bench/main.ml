@@ -1,0 +1,77 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (quick profile by default; --full for paper-scale runs), plus
+   Bechamel micro-benchmarks of the core primitives (--micro).
+
+   Usage:
+     bench/main.exe                 run all experiments, quick profile
+     bench/main.exe --full          paper durations and repetitions
+     bench/main.exe --only fig8     one experiment
+     bench/main.exe --micro         only the Bechamel primitives
+     bench/main.exe --list          list experiment ids *)
+
+module Registry = Nimbus_experiments.Registry
+module Table = Nimbus_experiments.Table
+module Common = Nimbus_experiments.Common
+
+let run_experiment profile (e : Registry.experiment) =
+  Printf.printf "\n### [%s] %s\n%!" e.Registry.id e.Registry.title;
+  let started = Sys.time () in
+  let tables = e.Registry.run profile in
+  List.iter Table.print tables;
+  Printf.printf "  (%.1f s cpu)\n%!" (Sys.time () -. started)
+
+let main full only micro list_ids =
+  if list_ids then begin
+    List.iter print_endline Registry.ids;
+    0
+  end
+  else begin
+    let profile = if full then Common.full else Common.quick in
+    if micro then begin
+      Micro.run ();
+      0
+    end
+    else begin
+      let todo =
+        match only with
+        | Some id -> (
+          match Registry.find id with
+          | Some e -> [ e ]
+          | None ->
+            Printf.eprintf "unknown experiment %S; try --list\n" id;
+            exit 2)
+        | None -> Registry.all
+      in
+      Printf.printf "nimbus reproduction bench: %d experiment(s), %s profile\n%!"
+        (List.length todo)
+        (if full then "full" else "quick");
+      List.iter (run_experiment profile) todo;
+      if only = None && not full then Micro.run ();
+      0
+    end
+  end
+
+open Cmdliner
+
+let full =
+  Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale durations and seeds.")
+
+let only =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment.")
+
+let micro =
+  Arg.(value & flag & info [ "micro" ] ~doc:"Only Bechamel micro-benchmarks.")
+
+let list_ids =
+  Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
+
+let cmd =
+  let doc = "regenerate the paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "nimbus-bench" ~doc)
+    Term.(const main $ full $ only $ micro $ list_ids)
+
+let () = exit (Cmd.eval' cmd)

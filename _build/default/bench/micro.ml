@@ -1,0 +1,102 @@
+(* Bechamel micro-benchmarks of the primitives every experiment leans on:
+   FFT kernels, the Goertzel single-bin filter, the elasticity metric, the
+   ẑ estimator, event-queue churn, and one simulated packet-second of a
+   Cubic flow. *)
+
+open Bechamel
+open Toolkit
+
+let pi = 4.0 *. atan 1.0
+
+let signal n =
+  Array.init n (fun i ->
+      sin (2. *. pi *. 5. *. float_of_int i /. 100.)
+      +. (0.3 *. sin (2. *. pi *. 17.3 *. float_of_int i /. 100.)))
+
+let fft_radix2_512 =
+  let xs = signal 512 in
+  Test.make ~name:"fft.radix2.512"
+    (Staged.stage (fun () ->
+         let b = Nimbus_dsp.Cbuf.of_real xs in
+         Nimbus_dsp.Fft.radix2 b))
+
+let fft_bluestein_500 =
+  let xs = signal 500 in
+  Test.make ~name:"fft.bluestein.500"
+    (Staged.stage (fun () ->
+         ignore (Nimbus_dsp.Fft.bluestein (Nimbus_dsp.Cbuf.of_real xs))))
+
+let goertzel_500 =
+  let xs = signal 500 in
+  Test.make ~name:"goertzel.500"
+    (Staged.stage (fun () ->
+         ignore (Nimbus_dsp.Goertzel.magnitude xs ~sample_rate:100. ~freq:5.)))
+
+let elasticity_eta =
+  let det = Nimbus_core.Elasticity.create () in
+  let xs = signal 500 in
+  Array.iter (fun x -> Nimbus_core.Elasticity.add_sample det x) xs;
+  Test.make ~name:"elasticity.eta.500"
+    (Staged.stage (fun () ->
+         Nimbus_core.Elasticity.add_sample det 0.1;
+         ignore (Nimbus_core.Elasticity.eta det ~freq:5.)))
+
+let z_estimate =
+  Test.make ~name:"z_estimator.estimate"
+    (Staged.stage (fun () ->
+         ignore
+           (Nimbus_core.Z_estimator.estimate ~mu:96e6 ~send_rate:24e6
+              ~recv_rate:20e6)))
+
+let event_queue =
+  Test.make ~name:"engine.schedule+run.1000"
+    (Staged.stage (fun () ->
+         let e = Nimbus_sim.Engine.create () in
+         for i = 0 to 999 do
+           Nimbus_sim.Engine.schedule_in e (float_of_int (i mod 97) /. 100.)
+             (fun () -> ())
+         done;
+         Nimbus_sim.Engine.run_until e 1.))
+
+let sim_packet_second =
+  Test.make ~name:"sim.cubic-flow.1s@48Mbps"
+    (Staged.stage (fun () ->
+         let e = Nimbus_sim.Engine.create () in
+         let qdisc = Nimbus_sim.Qdisc.droptail ~capacity_bytes:600_000 in
+         let bn = Nimbus_sim.Bottleneck.create e ~rate_bps:48e6 ~qdisc () in
+         let _f =
+           Nimbus_cc.Flow.create e bn ~cc:(Nimbus_cc.Cubic.make ())
+             ~prop_rtt:0.05 ()
+         in
+         Nimbus_sim.Engine.run_until e 1.0))
+
+let benchmarks =
+  Test.make_grouped ~name:"nimbus"
+    [ fft_radix2_512; fft_bluestein_500; goertzel_500; elasticity_eta;
+      z_estimate; event_queue; sim_packet_second ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances benchmarks in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  print_endline "== Bechamel micro-benchmarks (monotonic clock) ==";
+  Hashtbl.iter
+    (fun _measure per_test ->
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some (t :: _) -> rows := (name, t) :: !rows
+          | _ -> ())
+        per_test;
+      List.iter
+        (fun (name, t) -> Printf.printf "%-36s %14.1f ns/run\n" name t)
+        (List.sort compare !rows))
+    merged

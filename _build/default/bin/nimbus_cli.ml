@@ -1,0 +1,139 @@
+(* nimbus_cli: run reproduction experiments and ad-hoc simulations from the
+   command line.
+
+   Subcommands:
+     run        run one experiment (or all) and print its tables
+     csv        run one experiment and dump its tables as CSV
+     simulate   one Nimbus flow vs configurable cross traffic, with a
+                per-second timeline of throughput / queue delay / mode *)
+
+module Registry = Nimbus_experiments.Registry
+module Table = Nimbus_experiments.Table
+module Common = Nimbus_experiments.Common
+module Engine = Nimbus_sim.Engine
+module Rng = Nimbus_sim.Rng
+module Flow = Nimbus_cc.Flow
+module Nimbus = Nimbus_core.Nimbus
+module Source = Nimbus_traffic.Source
+
+let profile full = if full then Common.full else Common.quick
+
+let run_cmd id full =
+  let todo =
+    match id with
+    | None -> Registry.all
+    | Some id -> (
+      match Registry.find id with
+      | Some e -> [ e ]
+      | None ->
+        Printf.eprintf "unknown experiment %S (try `nimbus_cli list`)\n" id;
+        exit 2)
+  in
+  List.iter
+    (fun (e : Registry.experiment) ->
+      Printf.printf "\n### [%s] %s\n%!" e.Registry.id e.Registry.title;
+      List.iter Table.print (e.Registry.run (profile full)))
+    todo;
+  0
+
+let csv_cmd id full =
+  match Registry.find id with
+  | None ->
+    Printf.eprintf "unknown experiment %S\n" id;
+    2
+  | Some e ->
+    List.iter
+      (fun t -> print_string (Table.to_csv t))
+      (e.Registry.run (profile full));
+    0
+
+let list_cmd () =
+  List.iter
+    (fun (e : Registry.experiment) ->
+      Printf.printf "%-10s %s\n" e.Registry.id e.Registry.title)
+    Registry.all;
+  0
+
+let simulate_cmd mbps rtt_ms duration cross_kind cross_mbps seed =
+  let l = Common.link ~mbps ~rtt_ms () in
+  let engine, bn, rng = Common.setup ~seed l in
+  (match cross_kind with
+   | "none" -> ()
+   | "cubic" ->
+     ignore
+       (Flow.create engine bn ~cc:(Nimbus_cc.Cubic.make ())
+          ~prop_rtt:l.Common.prop_rtt ())
+   | "poisson" ->
+     ignore
+       (Source.poisson engine bn ~rng:(Rng.split rng)
+          ~rate_bps:(cross_mbps *. 1e6) ())
+   | "cbr" ->
+     ignore (Source.cbr engine bn ~rate_bps:(cross_mbps *. 1e6) ())
+   | other ->
+     Printf.eprintf "unknown cross traffic %S (none|cubic|poisson|cbr)\n" other;
+     exit 2);
+  let running = (Common.nimbus ()).Common.start_flow engine bn l () in
+  let nim = Option.get running.Common.nimbus in
+  let last = ref 0 in
+  Printf.printf "%6s %10s %10s %8s %12s %8s\n" "t(s)" "tput(Mbps)"
+    "qdelay(ms)" "eta" "mode" "z(Mbps)";
+  Engine.every engine ~dt:1.0 (fun () ->
+      let b = Flow.received_bytes running.Common.flow in
+      Printf.printf "%6.0f %10.1f %10.1f %8.2f %12s %8.1f\n%!"
+        (Engine.now engine)
+        (float_of_int ((b - !last) * 8) /. 1e6)
+        (Nimbus_sim.Bottleneck.queue_delay bn *. 1e3)
+        (Nimbus.last_eta nim)
+        (Nimbus.mode_to_string (Nimbus.mode nim))
+        (Nimbus.last_z nim /. 1e6);
+      last := b);
+  Engine.run_until engine duration;
+  0
+
+open Cmdliner
+
+let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale profile.")
+
+let run_t =
+  let id =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run experiment(s) and print tables.")
+    Term.(const run_cmd $ id $ full)
+
+let csv_t =
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  Cmd.v (Cmd.info "csv" ~doc:"Run one experiment, dump CSV.")
+    Term.(const csv_cmd $ id $ full)
+
+let list_t =
+  Cmd.v (Cmd.info "list" ~doc:"List experiments.") Term.(const list_cmd $ const ())
+
+let simulate_t =
+  let mbps =
+    Arg.(value & opt float 48. & info [ "rate" ] ~docv:"MBPS" ~doc:"Link rate.")
+  in
+  let rtt =
+    Arg.(value & opt float 50. & info [ "rtt" ] ~docv:"MS" ~doc:"Propagation RTT.")
+  in
+  let dur =
+    Arg.(value & opt float 60. & info [ "duration" ] ~docv:"S" ~doc:"Duration.")
+  in
+  let kind =
+    Arg.(value & opt string "cubic"
+         & info [ "cross" ] ~docv:"KIND" ~doc:"none|cubic|poisson|cbr.")
+  in
+  let cmbps =
+    Arg.(value & opt float 24. & info [ "cross-rate" ] ~docv:"MBPS"
+         ~doc:"Cross rate for poisson/cbr.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Seed.") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Timeline of one Nimbus flow vs cross traffic.")
+    Term.(const simulate_cmd $ mbps $ rtt $ dur $ kind $ cmbps $ seed)
+
+let () =
+  let doc = "Nimbus elasticity-detection reproduction CLI" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "nimbus_cli" ~doc) [ run_t; csv_t; list_t; simulate_t ]))

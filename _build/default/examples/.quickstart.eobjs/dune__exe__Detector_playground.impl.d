@@ -1,0 +1,1 @@
+examples/detector_playground.ml: Nimbus_core Nimbus_sim Printf

@@ -1,0 +1,1 @@
+examples/multi_flow_sharing.ml: List Nimbus_cc Nimbus_core Nimbus_sim Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Nimbus_cc Nimbus_core Nimbus_sim Nimbus_traffic Printf

@@ -1,0 +1,1 @@
+examples/video_streaming.ml: Nimbus_cc Nimbus_core Nimbus_sim Nimbus_traffic Printf

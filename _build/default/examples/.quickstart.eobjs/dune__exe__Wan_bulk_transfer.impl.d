@@ -1,0 +1,1 @@
+examples/wan_bulk_transfer.ml: Array Nimbus_cc Nimbus_core Nimbus_sim Nimbus_traffic Printf

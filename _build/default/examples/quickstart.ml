@@ -1,0 +1,55 @@
+(* Quickstart: the smallest end-to-end use of the library.
+
+   Build a 48 Mbit/s bottleneck, attach one Nimbus flow, throw first elastic
+   then inelastic cross traffic at it, and watch the elasticity detector
+   drive the mode.  Run with:  dune exec examples/quickstart.exe *)
+
+module Engine = Nimbus_sim.Engine
+module Bottleneck = Nimbus_sim.Bottleneck
+module Qdisc = Nimbus_sim.Qdisc
+module Rng = Nimbus_sim.Rng
+module Flow = Nimbus_cc.Flow
+module Nimbus = Nimbus_core.Nimbus
+module Z = Nimbus_core.Z_estimator
+module Source = Nimbus_traffic.Source
+
+let () =
+  let engine = Engine.create () in
+  let mu = 48e6 in
+  (* 100 ms of buffering, the paper's default *)
+  let qdisc = Qdisc.droptail ~capacity_bytes:(int_of_float (mu *. 0.1 /. 8.)) in
+  let bottleneck = Bottleneck.create engine ~rate_bps:mu ~qdisc () in
+
+  (* the Nimbus flow: Cubic when cross traffic is elastic, BasicDelay
+     otherwise, switching on the FFT elasticity metric *)
+  let nimbus = Nimbus.create ~mu:(Z.Mu.known mu) () in
+  let flow =
+    Flow.create engine bottleneck
+      ~cc:(Nimbus.cc nimbus ~now:(fun () -> Engine.now engine))
+      ~prop_rtt:0.05 ()
+  in
+
+  (* cross traffic: a Cubic flow from t=20..60, then 24 Mbit/s Poisson *)
+  Engine.schedule_at engine 20. (fun () ->
+      let cross =
+        Flow.create engine bottleneck ~cc:(Nimbus_cc.Cubic.make ())
+          ~prop_rtt:0.05 ()
+      in
+      Engine.schedule_at engine 60. (fun () -> Flow.stop cross));
+  ignore
+    (Source.poisson engine bottleneck ~rng:(Rng.create 7) ~rate_bps:24e6
+       ~start:60. ());
+
+  (* report once per second *)
+  let last = ref 0 in
+  Engine.every engine ~dt:1.0 (fun () ->
+      let bytes = Flow.received_bytes flow in
+      Printf.printf "t=%3.0fs  tput=%5.1f Mbps  queue=%5.1f ms  mode=%-11s eta=%.2f\n"
+        (Engine.now engine)
+        (float_of_int ((bytes - !last) * 8) /. 1e6)
+        (Bottleneck.queue_delay bottleneck *. 1e3)
+        (Nimbus.mode_to_string (Nimbus.mode nimbus))
+        (Nimbus.last_eta nimbus);
+      last := bytes);
+  Engine.run_until engine 100.;
+  print_endline "done: expect delay mode (low queue) except during 20-60s."

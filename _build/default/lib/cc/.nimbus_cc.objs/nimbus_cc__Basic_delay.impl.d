@@ -1,0 +1,1 @@
+lib/cc/basic_delay.ml: Cc_types Float

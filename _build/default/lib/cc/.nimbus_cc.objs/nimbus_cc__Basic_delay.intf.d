@@ -1,0 +1,1 @@
+lib/cc/basic_delay.mli: Cc_types

@@ -1,0 +1,1 @@
+lib/cc/bbr.ml: Array Cc_types Float Queue

@@ -1,0 +1,1 @@
+lib/cc/copa.ml: Cc_types Float Queue

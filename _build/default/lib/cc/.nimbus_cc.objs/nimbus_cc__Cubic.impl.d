@@ -1,0 +1,1 @@
+lib/cc/cubic.ml: Cc_types Float Option

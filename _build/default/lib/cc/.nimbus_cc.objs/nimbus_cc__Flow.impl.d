@@ -1,0 +1,1 @@
+lib/cc/flow.ml: Array Cc_types Float Hashtbl List Nimbus_dsp Nimbus_sim Queue

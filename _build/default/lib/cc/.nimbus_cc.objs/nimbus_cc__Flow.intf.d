@@ -1,0 +1,1 @@
+lib/cc/flow.mli: Cc_types Nimbus_sim

@@ -1,0 +1,1 @@
+lib/cc/reno.mli: Cc_types

@@ -1,0 +1,1 @@
+lib/cc/simple_cc.ml: Cc_types

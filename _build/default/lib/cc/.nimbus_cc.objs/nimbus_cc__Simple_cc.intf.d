@@ -1,0 +1,1 @@
+lib/cc/simple_cc.mli: Cc_types

@@ -1,0 +1,1 @@
+lib/cc/vivace.ml: Cc_types Float List

@@ -1,0 +1,48 @@
+type t = {
+  mutable mu : float;
+  alpha : float;
+  beta : float;
+  delay_target : float;
+  mutable rate : float; (* bps *)
+  mutable srtt : float;
+}
+
+let create ~mu ?(alpha = 0.8) ?(beta = 0.5) ?(delay_target = 0.0125)
+    ?initial_rate_bps () =
+  if mu <= 0. then invalid_arg "Basic_delay.create: mu <= 0";
+  let initial = match initial_rate_bps with Some r -> r | None -> mu /. 10. in
+  { mu; alpha; beta; delay_target; rate = initial; srtt = 0.1 }
+
+let rate_bps t = t.rate
+
+let set_mu t mu = if mu > 0. then t.mu <- mu
+
+let set_rate t r = t.rate <- Float.max 50_000. (Float.min (1.2 *. t.mu) r)
+
+let update t (tk : Cc_types.tick) =
+  if not (Float.is_nan tk.srtt) then t.srtt <- tk.srtt;
+  if not (Float.is_nan tk.send_rate || Float.is_nan tk.recv_rate) then begin
+    let s = tk.send_rate and r = Float.max tk.recv_rate 1e3 in
+    let z = Float.max 0. ((t.mu *. s /. r) -. s) in
+    let x = tk.rtt and x_min = tk.min_rtt in
+    if not (Float.is_nan x || Float.is_nan x_min) then begin
+      let spare = t.mu -. s -. z in
+      let rate =
+        s
+        +. (t.alpha *. spare)
+        +. (t.beta *. t.mu /. x *. (x_min +. t.delay_target -. x))
+      in
+      set_rate t rate
+    end
+  end
+
+let cc t =
+  { Cc_types.name = "basicdelay";
+    on_ack = (fun _ -> ());
+    on_loss = (fun _ -> ());
+    on_tick = Some (update t);
+    cwnd_bytes = (fun () -> Float.max (4. *. 1500.) (2. *. t.rate *. t.srtt /. 8.));
+    pacing_rate_bps = (fun () -> Some t.rate) }
+
+let make ~mu ?alpha ?beta ?delay_target ?initial_rate_bps () =
+  cc (create ~mu ?alpha ?beta ?delay_target ?initial_rate_bps ())

@@ -1,0 +1,52 @@
+(** BasicDelay, the paper's delay-controlling rule (Eq. 4):
+
+    [rate ← S + α·(µ − S − z) + (β·µ/x)·(x_min + d_t − x)]
+
+    where [S] is the measured send rate, [z = µ·S/R − S] the cross-traffic
+    estimate, [x] the current RTT, [x_min] the propagation RTT, and [d_t] a
+    target queueing delay that keeps the bottleneck queue from emptying (the
+    ẑ estimator needs a busy link). Rate-paced, window-capped at 2·rate·RTT.
+
+    Usable standalone (the "Nimbus delay" scheme of Appendix A) and as
+    Nimbus's default delay-mode algorithm. *)
+
+type t
+
+(** @param mu bottleneck link rate, bits/s
+    @param alpha spare-capacity step (default 0.8)
+    @param beta delay-correction gain (default 0.5)
+    @param delay_target d_t, seconds (default 0.0125)
+    @param initial_rate_bps default µ/10 *)
+val create :
+  mu:float ->
+  ?alpha:float ->
+  ?beta:float ->
+  ?delay_target:float ->
+  ?initial_rate_bps:float ->
+  unit ->
+  t
+
+val cc : t -> Cc_types.t
+
+(** [rate_bps t] is the current controlled rate. *)
+val rate_bps : t -> float
+
+(** [set_rate t r] forces the rate (mode-switch initialisation). *)
+val set_rate : t -> float -> unit
+
+(** [set_mu t mu] updates the link-rate estimate the rule uses — needed when
+    µ is learned online rather than configured. *)
+val set_mu : t -> float -> unit
+
+(** [update t tick] applies Eq. 4 given a flow tick; exposed so Nimbus can
+    drive it directly while owning the pacing. *)
+val update : t -> Cc_types.tick -> unit
+
+val make :
+  mu:float ->
+  ?alpha:float ->
+  ?beta:float ->
+  ?delay_target:float ->
+  ?initial_rate_bps:float ->
+  unit ->
+  Cc_types.t

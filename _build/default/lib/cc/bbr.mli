@@ -1,0 +1,20 @@
+(** BBR v1 (Cardwell et al.), simplified: windowed-max bottleneck-bandwidth
+    and windowed-min RTT estimation, Startup/Drain/ProbeBW gain cycling,
+    periodic ProbeRTT, pacing at [gain·btl_bw] with in-flight capped at
+    [2·btl_bw·rt_prop].
+
+    Matches the behaviours the paper relies on: deep buffers make BBR
+    CWND-limited (hence ACK-clocked and classified elastic); shallow buffers
+    leave it rate-paced and slower-than-RTT reactive (classified inelastic,
+    Appendix C). *)
+
+type t
+
+val create : ?mss:int -> unit -> t
+
+val cc : t -> Cc_types.t
+
+(** [btl_bw t] is the current bottleneck-bandwidth estimate in bits/s. *)
+val btl_bw : t -> float
+
+val make : ?mss:int -> unit -> Cc_types.t

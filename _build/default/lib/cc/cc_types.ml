@@ -1,0 +1,47 @@
+type ack = {
+  now : float;
+  seq : int;
+  bytes : int;
+  rtt : float;
+  min_rtt : float;
+  srtt : float;
+  inflight_bytes : int;
+  delivered_bytes : int;
+}
+
+type loss = {
+  now : float;
+  seq : int;
+  bytes : int;
+  inflight_bytes : int;
+  kind : [ `Dupack | `Timeout ];
+}
+
+type tick = {
+  now : float;
+  send_rate : float;
+  recv_rate : float;
+  rtt : float;
+  srtt : float;
+  min_rtt : float;
+  inflight_bytes : int;
+  delivered_bytes : int;
+  lost_packets : int;
+}
+
+type t = {
+  name : string;
+  on_ack : ack -> unit;
+  on_loss : loss -> unit;
+  on_tick : (tick -> unit) option;
+  cwnd_bytes : unit -> float;
+  pacing_rate_bps : unit -> float option;
+}
+
+let unconstrained ~name =
+  { name;
+    on_ack = (fun _ -> ());
+    on_loss = (fun _ -> ());
+    on_tick = None;
+    cwnd_bytes = (fun () -> infinity);
+    pacing_rate_bps = (fun () -> None) }

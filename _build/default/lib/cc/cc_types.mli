@@ -1,0 +1,59 @@
+(** The interface between the flow engine and congestion-control algorithms.
+
+    An algorithm is a record of closures over its private state. The engine
+    feeds it per-ACK and per-loss events plus a 10 ms tick carrying rate
+    estimates (mirroring the CCP reporting loop the paper's implementation
+    uses), and reads back a congestion window and an optional pacing rate. *)
+
+(** Event delivered for every acknowledged packet. *)
+type ack = {
+  now : float;
+  seq : int;            (* sequence number of the acked packet *)
+  bytes : int;          (* payload bytes acknowledged *)
+  rtt : float;          (* sample from this packet *)
+  min_rtt : float;      (* minimum observed so far *)
+  srtt : float;         (* smoothed RTT *)
+  inflight_bytes : int; (* after this ack *)
+  delivered_bytes : int; (* cumulative *)
+}
+
+(** Loss signal. [`Dupack] approximates fast retransmit; [`Timeout] is an RTO
+    where the whole window was declared lost. *)
+type loss = {
+  now : float;
+  seq : int;
+  bytes : int;
+  inflight_bytes : int;
+  kind : [ `Dupack | `Timeout ];
+}
+
+(** Periodic report. [send_rate]/[recv_rate] are S(t)/R(t) of Eq. 2: both
+    measured over the same trailing window of acknowledged packets, in bits
+    per second; [nan] until enough packets have been acknowledged. *)
+type tick = {
+  now : float;
+  send_rate : float;
+  recv_rate : float;
+  rtt : float;     (* latest sample; nan before first ack *)
+  srtt : float;
+  min_rtt : float;
+  inflight_bytes : int;
+  delivered_bytes : int;
+  lost_packets : int; (* cumulative *)
+}
+
+type t = {
+  name : string;
+  on_ack : ack -> unit;
+  on_loss : loss -> unit;
+  on_tick : (tick -> unit) option;
+  cwnd_bytes : unit -> float;
+      (** current window limit, in bytes; [infinity] for purely rate-paced
+          algorithms *)
+  pacing_rate_bps : unit -> float option;
+      (** [Some r] paces transmissions at [r] bits/s; [None] relies on pure
+          ACK clocking against the window *)
+}
+
+(** A controller that never restricts sending; used by raw traffic sources. *)
+val unconstrained : name:string -> t

@@ -1,0 +1,61 @@
+type state = {
+  mss : float;
+  mutable lwnd : float; (* loss window, bytes *)
+  mutable dwnd : float; (* delay window, bytes *)
+  mutable ssthresh : float;
+  mutable next_update : float;
+  mutable recovery_until : float;
+  mutable srtt : float;
+}
+
+(* Standard Compound parameters *)
+let alpha = 0.125
+
+let k_exp = 0.75
+
+let zeta = 0.5
+
+let gamma = 30. (* segments of backlog before the delay window backs off *)
+
+let make ?(mss = 1500) () =
+  let mssf = float_of_int mss in
+  let s =
+    { mss = mssf; lwnd = 10. *. mssf; dwnd = 0.; ssthresh = infinity;
+      next_update = 0.; recovery_until = neg_infinity; srtt = 0.1 }
+  in
+  let window () = s.lwnd +. s.dwnd in
+  let on_ack (a : Cc_types.ack) =
+    s.srtt <- a.srtt;
+    let win = window () in
+    if s.lwnd < s.ssthresh then s.lwnd <- s.lwnd +. float_of_int a.bytes
+    else s.lwnd <- s.lwnd +. (s.mss *. float_of_int a.bytes /. win);
+    if a.now >= s.next_update then begin
+      s.next_update <- a.now +. a.srtt;
+      let rtt = Float.max a.srtt 1e-4 in
+      let base = Float.max a.min_rtt 1e-4 in
+      let diff_segments = win *. (1. -. (base /. rtt)) /. s.mss in
+      if diff_segments < gamma then begin
+        let win_segments = win /. s.mss in
+        let grow = Float.max 0. ((alpha *. (win_segments ** k_exp)) -. 1.) in
+        s.dwnd <- s.dwnd +. (grow *. s.mss)
+      end
+      else s.dwnd <- Float.max 0. (s.dwnd -. (zeta *. diff_segments *. s.mss))
+    end
+  in
+  let on_loss (l : Cc_types.loss) =
+    match l.kind with
+    | `Timeout ->
+      s.ssthresh <- Float.max (window () /. 2.) (2. *. s.mss);
+      s.lwnd <- 2. *. s.mss;
+      s.dwnd <- 0.
+    | `Dupack ->
+      if l.now > s.recovery_until then begin
+        s.recovery_until <- l.now +. s.srtt;
+        s.ssthresh <- Float.max (window () /. 2.) (2. *. s.mss);
+        s.lwnd <- Float.max (2. *. s.mss) (s.lwnd /. 2.);
+        s.dwnd <- s.dwnd /. 2.
+      end
+  in
+  { Cc_types.name = "compound"; on_ack; on_loss; on_tick = None;
+    cwnd_bytes = (fun () -> window ());
+    pacing_rate_bps = (fun () -> None) }

@@ -1,0 +1,6 @@
+(** Compound TCP (Tan et al.): the congestion window is the sum of a
+    loss-based window (Reno behaviour) and a delay-based window that grows
+    polynomially while queueing delay is low and shrinks as delay builds.
+    Used as a baseline in the paper's Fig. 8 walkthrough. *)
+
+val make : ?mss:int -> unit -> Cc_types.t

@@ -1,0 +1,29 @@
+(** TCP Cubic (Ha, Rhee, Xu): cubic window growth around the last loss point,
+    with the TCP-friendly region and fast convergence. The canonical elastic,
+    ACK-clocked cross traffic in the paper, and Nimbus's default
+    TCP-competitive mode. *)
+
+type t
+
+(** [create ()] is a fresh instance; [cc t] adapts it to the engine
+    interface. Exposing [t] lets Nimbus reach inside to reset the window when
+    switching to competitive mode with the rate from 5 s ago (§4.1).
+    @param mss segment size, bytes (default 1500)
+    @param initial_cwnd initial window in segments (default 10)
+    @param c cubic coefficient (default 0.4)
+    @param beta multiplicative decrease factor (default 0.7) *)
+val create :
+  ?mss:int -> ?initial_cwnd:int -> ?c:float -> ?beta:float -> unit -> t
+
+val cc : t -> Cc_types.t
+
+(** [cwnd_bytes t]. *)
+val cwnd_bytes : t -> float
+
+(** [reset_cwnd t bytes] forces the window and restarts the cubic epoch —
+    used by Nimbus's mode switch. *)
+val reset_cwnd : t -> float -> unit
+
+(** [make ()] is [cc (create ())] for plain flows. *)
+val make :
+  ?mss:int -> ?initial_cwnd:int -> ?c:float -> ?beta:float -> unit -> Cc_types.t

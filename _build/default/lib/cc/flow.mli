@@ -1,0 +1,99 @@
+(** The flow engine: one sender/receiver pair attached to the bottleneck.
+
+    Responsibilities:
+    - transmit data packets, either ACK-clocked against the controller's
+      window or paced at its rate (window still caps in-flight data);
+    - model the receiver leg as pure delay and feed acknowledgements back;
+    - detect losses via a reordering window (dup-ACK analogue) and a
+      retransmission timeout, and retransmit reliably;
+    - measure S(t) and R(t) over the same trailing window of acknowledged
+      packets (Eq. 2 of the paper) and report them to the controller on a
+      10 ms tick, mirroring the CCP loop.
+
+    The engine is congestion-control agnostic: all algorithms, including
+    Nimbus itself, plug in through {!Cc_types.t}. *)
+
+type source =
+  | Backlogged            (** always has data *)
+  | Finite of int         (** bytes to transfer; completes when received *)
+  | App_limited           (** sends only what {!supply} has provided *)
+
+type t
+
+(** [create engine bottleneck ~cc ~prop_rtt ()] wires a flow up.
+
+    @param prop_rtt two-way propagation delay excluding queueing, seconds
+    @param fwd_frac fraction of [prop_rtt] after the bottleneck on the
+           forward leg (default 0.5)
+    @param pkt_size data packet size in bytes (default 1500)
+    @param source defaults to [Backlogged]
+    @param start absolute start time (default: now)
+    @param on_complete invoked once when a [Finite] source finishes
+    @param tick_interval controller tick period (default 10 ms) *)
+val create :
+  Nimbus_sim.Engine.t ->
+  Nimbus_sim.Bottleneck.t ->
+  cc:Cc_types.t ->
+  prop_rtt:float ->
+  ?fwd_frac:float ->
+  ?pkt_size:int ->
+  ?source:source ->
+  ?start:float ->
+  ?on_complete:(t -> unit) ->
+  ?tick_interval:float ->
+  unit ->
+  t
+
+(** [id t] is the flow identifier used at the bottleneck. *)
+val id : t -> int
+
+(** [fresh_id ()] allocates a flow identifier from the same namespace —
+    raw traffic sources that bypass the flow engine (Poisson/CBR injectors)
+    use this so their packets never collide with a flow's. *)
+val fresh_id : unit -> int
+
+(** [supply t bytes] makes [bytes] more data available to an [App_limited]
+    source. No-op for other sources. *)
+val supply : t -> int -> unit
+
+(** [stop t] halts transmission permanently (flow departure). *)
+val stop : t -> unit
+
+(** [stopped t]. *)
+val stopped : t -> bool
+
+(** Telemetry *)
+
+(** [received_bytes t] is the count delivered to the receiver application. *)
+val received_bytes : t -> int
+
+(** [acked_bytes t] is the count acknowledged back at the sender. *)
+val acked_bytes : t -> int
+
+(** [lost_packets t] is the cumulative loss count (dup-ACK and timeout). *)
+val lost_packets : t -> int
+
+(** [inflight_bytes t]. *)
+val inflight_bytes : t -> int
+
+(** [srtt t], [min_rtt t], [last_rtt t] — [nan] before the first ACK. *)
+val srtt : t -> float
+
+val min_rtt : t -> float
+
+val last_rtt : t -> float
+
+(** [send_rate t] / [recv_rate t] are the current S(t)/R(t) estimates in
+    bits per second; [nan] until enough packets are acknowledged. *)
+val send_rate : t -> float
+
+val recv_rate : t -> float
+
+(** [completion_time t] is when a [Finite] transfer finished. *)
+val completion_time : t -> float option
+
+(** [start_time t]. *)
+val start_time : t -> float
+
+(** [cc_name t]. *)
+val cc_name : t -> string

@@ -1,0 +1,46 @@
+type t = {
+  mss : float;
+  mutable cwnd : float;     (* bytes *)
+  mutable ssthresh : float; (* bytes *)
+  mutable recovery_until : float;
+  mutable srtt : float;
+}
+
+let create ?(mss = 1500) ?(initial_cwnd = 10) () =
+  let mssf = float_of_int mss in
+  { mss = mssf; cwnd = mssf *. float_of_int initial_cwnd;
+    ssthresh = infinity; recovery_until = neg_infinity; srtt = 0.1 }
+
+let cwnd_bytes t = t.cwnd
+
+let reset_cwnd t bytes =
+  t.cwnd <- Float.max (2. *. t.mss) bytes;
+  t.ssthresh <- t.cwnd
+
+let on_ack t (a : Cc_types.ack) =
+  t.srtt <- a.srtt;
+  if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. float_of_int a.bytes
+  else t.cwnd <- t.cwnd +. (t.mss *. float_of_int a.bytes /. t.cwnd)
+
+let on_loss t (l : Cc_types.loss) =
+  match l.kind with
+  | `Timeout ->
+    t.ssthresh <- Float.max (t.cwnd /. 2.) (2. *. t.mss);
+    t.cwnd <- 2. *. t.mss;
+    t.recovery_until <- l.now +. t.srtt
+  | `Dupack ->
+    if l.now > t.recovery_until then begin
+      t.ssthresh <- Float.max (t.cwnd /. 2.) (2. *. t.mss);
+      t.cwnd <- t.ssthresh;
+      t.recovery_until <- l.now +. t.srtt
+    end
+
+let cc t =
+  { Cc_types.name = "reno";
+    on_ack = on_ack t;
+    on_loss = on_loss t;
+    on_tick = None;
+    cwnd_bytes = (fun () -> t.cwnd);
+    pacing_rate_bps = (fun () -> None) }
+
+let make ?mss ?initial_cwnd () = cc (create ?mss ?initial_cwnd ())

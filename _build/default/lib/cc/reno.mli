@@ -1,0 +1,21 @@
+(** TCP NewReno: slow start, AIMD congestion avoidance, fast-recovery-style
+    single cut per round trip. The paper's second TCP-competitive option. *)
+
+type t
+
+(** [create ()] is a fresh instance; [cc t] adapts it to the engine
+    interface. [t] is exposed so Nimbus can reset the window on a mode
+    switch.
+    @param mss segment size, bytes (default 1500)
+    @param initial_cwnd initial window in segments (default 10) *)
+val create : ?mss:int -> ?initial_cwnd:int -> unit -> t
+
+val cc : t -> Cc_types.t
+
+val cwnd_bytes : t -> float
+
+(** [reset_cwnd t bytes] forces the window and leaves slow start. *)
+val reset_cwnd : t -> float -> unit
+
+(** [make ()] is [cc (create ())]. *)
+val make : ?mss:int -> ?initial_cwnd:int -> unit -> Cc_types.t

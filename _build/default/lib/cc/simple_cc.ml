@@ -1,0 +1,18 @@
+let const_rate ~rate_bps =
+  if rate_bps <= 0. then invalid_arg "Simple_cc.const_rate: rate <= 0";
+  { Cc_types.name = "cbr";
+    on_ack = (fun _ -> ());
+    on_loss = (fun _ -> ());
+    on_tick = None;
+    cwnd_bytes = (fun () -> infinity);
+    pacing_rate_bps = (fun () -> Some rate_bps) }
+
+let fixed_window ?(mss = 1500) ~segments () =
+  if segments <= 0 then invalid_arg "Simple_cc.fixed_window: segments <= 0";
+  let cwnd = float_of_int (mss * segments) in
+  { Cc_types.name = "fixed-window";
+    on_ack = (fun _ -> ());
+    on_loss = (fun _ -> ());
+    on_tick = None;
+    cwnd_bytes = (fun () -> cwnd);
+    pacing_rate_bps = (fun () -> None) }

@@ -1,0 +1,9 @@
+(** Degenerate controllers used as cross traffic and in tests. *)
+
+(** [const_rate ~rate_bps] paces at a fixed rate forever — a reliable
+    constant-bit-rate stream ("Const. stream" in Table 1). *)
+val const_rate : rate_bps:float -> Cc_types.t
+
+(** [fixed_window ~segments] keeps a constant window — elastic and
+    ACK-clocked without any adaptation ("Fixed window" in Table 1). *)
+val fixed_window : ?mss:int -> segments:int -> unit -> Cc_types.t

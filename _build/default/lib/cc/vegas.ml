@@ -1,0 +1,60 @@
+type t = {
+  mss : float;
+  alpha : float; (* segments *)
+  beta : float;  (* segments *)
+  mutable cwnd : float; (* bytes *)
+  mutable next_update : float;
+  mutable in_slow_start : bool;
+  mutable ss_grow_toggle : bool;
+  mutable last_cut : float;
+}
+
+let create ?(mss = 1500) ?(initial_cwnd = 4) ?(alpha = 2.) ?(beta = 4.) () =
+  { mss = float_of_int mss; alpha; beta;
+    cwnd = float_of_int (mss * initial_cwnd); next_update = 0.;
+    in_slow_start = true; ss_grow_toggle = false; last_cut = neg_infinity }
+
+let cwnd_bytes t = t.cwnd
+
+let reset_cwnd t bytes =
+  t.cwnd <- Float.max (2. *. t.mss) bytes;
+  t.in_slow_start <- false
+
+let on_ack t (a : Cc_types.ack) =
+  (* slow start doubles every other RTT *)
+  if t.in_slow_start && t.ss_grow_toggle then
+    t.cwnd <- t.cwnd +. float_of_int a.bytes;
+  if a.now >= t.next_update then begin
+    t.next_update <- a.now +. a.srtt;
+    let rtt = Float.max a.srtt 1e-4 in
+    let base = Float.max a.min_rtt 1e-4 in
+    let diff_segments = t.cwnd *. (1. -. (base /. rtt)) /. t.mss in
+    if t.in_slow_start then begin
+      t.ss_grow_toggle <- not t.ss_grow_toggle;
+      if diff_segments > 1. then t.in_slow_start <- false
+    end
+    else if diff_segments < t.alpha then t.cwnd <- t.cwnd +. t.mss
+    else if diff_segments > t.beta then
+      t.cwnd <- Float.max (2. *. t.mss) (t.cwnd -. t.mss)
+  end
+
+let on_loss t (l : Cc_types.loss) =
+  t.in_slow_start <- false;
+  match l.kind with
+  | `Timeout -> t.cwnd <- 2. *. t.mss
+  | `Dupack ->
+    if l.now > t.last_cut +. 0.1 then begin
+      t.cwnd <- Float.max (2. *. t.mss) (t.cwnd /. 2.);
+      t.last_cut <- l.now
+    end
+
+let cc t =
+  { Cc_types.name = "vegas";
+    on_ack = on_ack t;
+    on_loss = on_loss t;
+    on_tick = None;
+    cwnd_bytes = (fun () -> t.cwnd);
+    pacing_rate_bps = (fun () -> None) }
+
+let make ?mss ?initial_cwnd ?alpha ?beta () =
+  cc (create ?mss ?initial_cwnd ?alpha ?beta ())

@@ -1,0 +1,19 @@
+(** TCP Vegas (Brakmo et al.): keeps the estimated backlog between [alpha]
+    and [beta] segments by comparing expected and actual throughput once per
+    round trip. A delay-controlling baseline in the paper's evaluation and a
+    supported Nimbus delay-mode algorithm. *)
+
+type t
+
+val create :
+  ?mss:int -> ?initial_cwnd:int -> ?alpha:float -> ?beta:float -> unit -> t
+
+val cc : t -> Cc_types.t
+
+val cwnd_bytes : t -> float
+
+(** [reset_cwnd t bytes] forces the window (mode switching). *)
+val reset_cwnd : t -> float -> unit
+
+val make :
+  ?mss:int -> ?initial_cwnd:int -> ?alpha:float -> ?beta:float -> unit -> Cc_types.t

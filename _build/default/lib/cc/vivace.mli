@@ -1,0 +1,24 @@
+(** PCC-Vivace (Dong et al., NSDI '18), simplified: rate-based online
+    learning. The sender alternates paired monitor intervals at rates
+    [r·(1+ε)] and [r·(1−ε)], scores each with the Vivace utility
+    [u = x^0.9 − b·x·max(0, dRTT/dt) − c·x·loss_rate] (x in Mbit/s), and
+    moves the rate along the utility gradient with a confidence amplifier.
+
+    Because updates happen on monitor-interval boundaries rather than per
+    ACK, Vivace does not react within an RTT — the property behind the
+    paper's Table 1 (classified inelastic at f_p = 5 Hz) and Appendix F
+    (classified elastic once the pulse slows to 2 Hz). *)
+
+type t
+
+(** @param initial_rate_bps starting rate (default 1 Mbit/s)
+    @param epsilon probe amplitude (default 0.05) *)
+val create : ?mss:int -> ?initial_rate_bps:float -> ?epsilon:float -> unit -> t
+
+val cc : t -> Cc_types.t
+
+(** [rate_bps t] is the current base rate. *)
+val rate_bps : t -> float
+
+val make :
+  ?mss:int -> ?initial_rate_bps:float -> ?epsilon:float -> unit -> Cc_types.t

@@ -1,0 +1,1 @@
+lib/core/elasticity.ml: Float Nimbus_dsp

@@ -1,0 +1,1 @@
+lib/core/elasticity.mli: Nimbus_dsp

@@ -1,0 +1,1 @@
+lib/core/nimbus.ml: Elasticity Float Nimbus_cc Nimbus_dsp Nimbus_sim Pulse Z_estimator

@@ -1,0 +1,1 @@
+lib/core/nimbus.mli: Elasticity Nimbus_cc Nimbus_dsp Pulse Z_estimator

@@ -1,0 +1,1 @@
+lib/core/z_estimator.mli:

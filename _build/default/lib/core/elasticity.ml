@@ -1,0 +1,94 @@
+module Ring = Nimbus_dsp.Ring
+module Spectrum = Nimbus_dsp.Spectrum
+
+type verdict =
+  | Elastic
+  | Inelastic
+
+type t = {
+  ring : Ring.t;
+  sample_rate : float;
+  eta_thresh : float;
+  band_guard_hz : float;
+  taper : Nimbus_dsp.Window.kind;
+  detrend : Spectrum.detrend;
+  mutable last_sample : float;
+  (* the spectrum is recomputed lazily, at most once per new sample *)
+  mutable cached_spectrum : Spectrum.t option;
+  mutable dirty : bool;
+}
+
+let create ?(sample_interval = 0.01) ?(window = 5.0) ?(eta_thresh = 2.0)
+    ?(band_guard_hz = 0.5) ?(taper = Nimbus_dsp.Window.Hann)
+    ?(detrend = `Linear) () =
+  if sample_interval <= 0. then invalid_arg "Elasticity.create: sample_interval";
+  if window <= sample_interval then invalid_arg "Elasticity.create: window";
+  if eta_thresh < 1. then invalid_arg "Elasticity.create: eta_thresh < 1";
+  if band_guard_hz < 0. then invalid_arg "Elasticity.create: negative guard";
+  let n = int_of_float (Float.round (window /. sample_interval)) in
+  { ring = Ring.create n; sample_rate = 1. /. sample_interval; eta_thresh;
+    band_guard_hz; taper; detrend; last_sample = 0.; cached_spectrum = None;
+    dirty = true }
+
+let add_sample t z =
+  let z = if Float.is_nan z then t.last_sample else z in
+  t.last_sample <- z;
+  Ring.push t.ring z;
+  t.dirty <- true
+
+let ready t = Ring.is_full t.ring
+
+let spectrum t =
+  if not (ready t) then None
+  else begin
+    if t.dirty then begin
+      let xs = Ring.to_array t.ring in
+      t.cached_spectrum <-
+        Some
+          (Spectrum.analyze ~window:t.taper ~detrend:t.detrend xs
+             ~sample_rate:t.sample_rate);
+      t.dirty <- false
+    end;
+    t.cached_spectrum
+  end
+
+let eta t ~freq =
+  match spectrum t with
+  | None -> nan
+  | Some s ->
+    let peak = Spectrum.amplitude_at s freq in
+    let neighbour =
+      Spectrum.band_max s ~lo:(freq +. t.band_guard_hz)
+        ~hi:((2. *. freq) -. t.band_guard_hz)
+    in
+    if neighbour <= 0. then if peak > 0. then infinity else nan
+    else peak /. neighbour
+
+let classify t ~freq =
+  if not (ready t) then None
+  else begin
+    let e = eta t ~freq in
+    if Float.is_nan e then None
+    else Some (if e >= t.eta_thresh then Elastic else Inelastic)
+  end
+
+let peak_amplitude t ~freq =
+  match spectrum t with
+  | None -> nan
+  | Some s -> Spectrum.amplitude_at s freq
+
+(* |FFT(f)| of a windowed sinusoid of amplitude a is a·N·cg/2 where cg is
+   the taper's coherent gain; invert that to read the amplitude back. *)
+let oscillation_amplitude t ~freq =
+  match spectrum t with
+  | None -> nan
+  | Some s ->
+    let n = Ring.capacity t.ring in
+    let cg = Nimbus_dsp.Window.coherent_gain t.taper n in
+    2. *. Spectrum.amplitude_at s freq /. (float_of_int n *. cg)
+
+let eta_thresh t = t.eta_thresh
+
+let sample_rate t = t.sample_rate
+
+let samples t = Ring.to_array t.ring

@@ -1,0 +1,507 @@
+module Cc_types = Nimbus_cc.Cc_types
+module Cubic = Nimbus_cc.Cubic
+module Reno = Nimbus_cc.Reno
+module Vegas = Nimbus_cc.Vegas
+module Copa = Nimbus_cc.Copa
+module Basic_delay = Nimbus_cc.Basic_delay
+module Ring = Nimbus_dsp.Ring
+module Spectrum = Nimbus_dsp.Spectrum
+module Ewma = Nimbus_dsp.Ewma
+module Rng = Nimbus_sim.Rng
+
+type mode =
+  | Delay
+  | Competitive
+
+type role =
+  | Pulser
+  | Watcher
+
+type competitive_alg =
+  [ `Cubic
+  | `Reno
+  ]
+
+type delay_alg =
+  [ `Basic_delay
+  | `Vegas
+  | `Copa_default
+  ]
+
+type detection = {
+  d_time : float;
+  d_eta : float;
+  d_mode : mode;
+  d_role : role;
+}
+
+type sample = {
+  s_time : float;
+  s_send_rate : float;
+  s_recv_rate : float;
+  s_z : float;
+  s_base_rate : float;
+}
+
+type comp_inner =
+  | C_cubic of Cubic.t
+  | C_reno of Reno.t
+
+type delay_inner =
+  | D_basic of Basic_delay.t
+  | D_vegas of Vegas.t
+  | D_copa of Copa.t
+
+type t = {
+  mu : Z_estimator.Mu.t;
+  comp : comp_inner;
+  delay : delay_inner;
+  pulse_frac : float;
+  pulse_shape : Pulse.shape;
+  fp_competitive : float;
+  fp_delay : float;
+  use_mode_frequencies : bool;
+  sample_interval : float;
+  fft_window : float;
+  detect_interval : float;
+  eta_thresh : float;
+  multi_flow : bool;
+  kappa : float;
+  rng : Rng.t;
+  on_detection : (detection -> unit) option;
+  on_sample : (sample -> unit) option;
+  z_detector : Elasticity.t;   (* ẑ window: the pulser's elasticity source *)
+  r_detector : Elasticity.t;   (* own receive rate: watcher / conflict source *)
+  rate_history : Ring.t;       (* base rates, one per tick, ~fft_window deep *)
+  smoothed_rate : Ewma.t;      (* watcher low-pass on the transmitted rate *)
+  mutable mode : mode;
+  mutable role : role;
+  mutable last_eta : float;
+  mutable last_z : float;
+  mutable srtt : float;
+  mutable min_rtt : float;
+  mutable next_detect : float;
+  mutable mu_cache : float;
+  switch_streak : int;
+  mutable inelastic_streak : int;
+  mutable elastic_streak : int;
+  z_gate_delay : float;
+  min_z_frac : float;
+  rate_reset : bool;
+}
+
+let mode_to_string = function
+  | Delay -> "delay"
+  | Competitive -> "competitive"
+
+let role_to_string = function
+  | Pulser -> "pulser"
+  | Watcher -> "watcher"
+
+let create ~mu ?(competitive = `Cubic) ?(delay = `Basic_delay)
+    ?(pulse_frac = 0.25) ?(pulse_shape = Pulse.Asymmetric)
+    ?(fp_competitive = 5.) ?(fp_delay = 6.) ?use_mode_frequencies
+    ?(fft_window = 5.) ?(sample_interval = 0.01) ?(detect_interval = 0.1)
+    ?(eta_thresh = 2.) ?(multi_flow = false) ?(kappa = 1.)
+    ?(delay_target = 0.0125) ?(switch_streak = 30) ?(z_gate_delay = 0.003)
+    ?(min_z_frac = 0.05) ?(rate_reset = true) ?taper ?detrend
+    ?(seed = 0xD15EA5E) ?on_detection ?on_sample () =
+  let use_mode_frequencies =
+    match use_mode_frequencies with Some b -> b | None -> multi_flow
+  in
+  let mu_now = Z_estimator.Mu.current mu ~now:0. in
+  let mu_guess = if Float.is_nan mu_now then 10e6 else mu_now in
+  let comp =
+    match competitive with
+    | `Cubic -> C_cubic (Cubic.create ())
+    | `Reno -> C_reno (Reno.create ())
+  in
+  let delay =
+    match delay with
+    | `Basic_delay -> D_basic (Basic_delay.create ~mu:mu_guess ~delay_target ())
+    | `Vegas -> D_vegas (Vegas.create ())
+    | `Copa_default -> D_copa (Copa.create ~switching:false ())
+  in
+  let mk_detector () =
+    Elasticity.create ~sample_interval ~window:fft_window ~eta_thresh ?taper
+      ?detrend ()
+  in
+  let hist_len =
+    max 2 (int_of_float (Float.round (fft_window /. sample_interval)))
+  in
+  { mu; comp; delay; pulse_frac; pulse_shape; fp_competitive; fp_delay;
+    use_mode_frequencies; sample_interval; fft_window; detect_interval;
+    eta_thresh; multi_flow; kappa; rng = Rng.create seed; on_detection;
+    on_sample; z_detector = mk_detector (); r_detector = mk_detector ();
+    rate_history = Ring.create hist_len;
+    (* the cutoff must sit well below the pulsing band: the watcher's inner
+       controller reacts to the pulser's rate fluctuations within ticks, and
+       any residual energy at f_p in the watcher's transmission reads as
+       elastic cross traffic at the pulser *)
+    smoothed_rate =
+      Ewma.create_cutoff
+        ~freq:(Float.min fp_competitive fp_delay /. 20.)
+        ~dt:sample_interval;
+    mode = Delay;
+    role = (if multi_flow then Watcher else Pulser);
+    last_eta = nan; last_z = nan; srtt = nan; min_rtt = nan;
+    next_detect = fft_window; mu_cache = mu_now; switch_streak;
+    inelastic_streak = 0; elastic_streak = 0; z_gate_delay; min_z_frac;
+    rate_reset }
+
+let mode t = t.mode
+
+let role t = t.role
+
+let last_eta t = t.last_eta
+
+let last_z t = t.last_z
+
+let detector t = t.z_detector
+
+(* --- inner-controller plumbing ------------------------------------------ *)
+
+let comp_cwnd t =
+  match t.comp with
+  | C_cubic c -> Cubic.cwnd_bytes c
+  | C_reno r -> Reno.cwnd_bytes r
+
+let comp_reset t bytes =
+  match t.comp with
+  | C_cubic c -> Cubic.reset_cwnd c bytes
+  | C_reno r -> Reno.reset_cwnd r bytes
+
+let comp_cc t =
+  match t.comp with
+  | C_cubic c -> Cubic.cc c
+  | C_reno r -> Reno.cc r
+
+let comp_on_ack t a = (comp_cc t).Cc_types.on_ack a
+
+let comp_on_loss t l = (comp_cc t).Cc_types.on_loss l
+
+let delay_cc t =
+  match t.delay with
+  | D_basic b -> Basic_delay.cc b
+  | D_vegas v -> Vegas.cc v
+  | D_copa c -> Copa.cc c
+
+let delay_on_ack t a =
+  match t.delay with
+  | D_basic _ -> ()
+  | D_vegas _ | D_copa _ -> (delay_cc t).Cc_types.on_ack a
+
+let delay_on_loss t l =
+  match t.delay with
+  | D_basic _ -> ()
+  | D_vegas _ | D_copa _ -> (delay_cc t).Cc_types.on_loss l
+
+let srtt_or t default = if Float.is_nan t.srtt then default else t.srtt
+
+(* rate in bits per second of a window-based controller *)
+let rate_of_cwnd t cwnd = cwnd *. 8. /. Float.max (srtt_or t 0.1) 1e-3
+
+let delay_rate t =
+  match t.delay with
+  | D_basic b -> Basic_delay.rate_bps b
+  | D_vegas v -> rate_of_cwnd t (Vegas.cwnd_bytes v)
+  | D_copa c -> rate_of_cwnd t (Copa.cwnd_bytes c)
+
+let base_rate_bps t =
+  match t.mode with
+  | Competitive -> rate_of_cwnd t (comp_cwnd t)
+  | Delay -> delay_rate t
+
+(* --- mode switching ------------------------------------------------------ *)
+
+let switch_to t target ~now:_ =
+  if t.mode <> target then begin
+    (match target with
+     | Competitive ->
+       (* restore the pre-squeeze rate (§4.1).  The paper words this as "the
+          rate 5 seconds ago", but when detection takes slightly longer than
+          the squeeze the sample exactly one window back is already crushed;
+          the maximum over the window is the value the reset is after. *)
+       let restore =
+         if (not t.rate_reset) || Ring.count t.rate_history = 0 then
+           base_rate_bps t
+         else Ring.fold t.rate_history ~init:0. ~f:Float.max
+       in
+       let restore =
+         if Float.is_nan t.mu_cache then restore else Float.min restore t.mu_cache
+       in
+       let cwnd = restore *. srtt_or t 0.1 /. 8. in
+       comp_reset t cwnd
+     | Delay ->
+       let current = rate_of_cwnd t (comp_cwnd t) in
+       (match t.delay with
+        | D_basic b -> Basic_delay.set_rate b current
+        | D_vegas v -> Vegas.reset_cwnd v (comp_cwnd t)
+        | D_copa c -> Copa.reset_cwnd c (comp_cwnd t)));
+    t.mode <- target
+  end
+
+(* --- pulsing -------------------------------------------------------------- *)
+
+let pulse_freq t =
+  match t.role with
+  | Watcher -> nan
+  | Pulser ->
+    if t.use_mode_frequencies then
+      (match t.mode with
+       | Competitive -> t.fp_competitive
+       | Delay -> t.fp_delay)
+    else t.fp_competitive
+
+let pulse_value t ~now =
+  match t.role with
+  | Watcher -> 0.
+  | Pulser ->
+    if Float.is_nan t.mu_cache then 0.
+    else
+      Pulse.value ~shape:t.pulse_shape
+        ~amplitude:(t.pulse_frac *. t.mu_cache)
+        ~freq:(pulse_freq t) now
+
+let pulse_amplitude t =
+  if Float.is_nan t.mu_cache then 0. else t.pulse_frac *. t.mu_cache
+
+(* --- detection ------------------------------------------------------------ *)
+
+let emit_detection t ~now ~eta =
+  match t.on_detection with
+  | Some f -> f { d_time = now; d_eta = eta; d_mode = t.mode; d_role = t.role }
+  | None -> ()
+
+let pulser_detect t ~now =
+  let fp = pulse_freq t in
+  if Elasticity.ready t.z_detector then begin
+    let eta = Elasticity.eta t.z_detector ~freq:fp in
+    (* with (almost) no cross traffic there is nothing whose elasticity the
+       ratio could measure -- Eq. 3 on a near-zero signal is noise over
+       noise, so require a minimum mean cross-traffic level for an elastic
+       verdict.  Likewise, a genuine ACK-clocked reaction to our pulses has
+       an amplitude that is a sizeable fraction of the pulse amplitude;
+       requiring it suppresses residues such as a smoothed Nimbus watcher's
+       low-pass leakage. *)
+    let zbar = Nimbus_dsp.Stats.mean (Elasticity.samples t.z_detector) in
+    let z_floor =
+      if Float.is_nan t.mu_cache then 0. else t.min_z_frac *. t.mu_cache
+    in
+    let eta = if zbar < z_floor then Float.min eta 1.0 else eta in
+    t.last_eta <- eta;
+    if not (Float.is_nan eta) then begin
+      (* asymmetric hysteresis: adopt competitive mode on the first elastic
+         verdict (losing throughput to elastic cross traffic is the costly
+         error), but require a sustained run of inelastic verdicts before
+         dropping back to delay mode, since a single noisy FFT window
+         mid-competition would otherwise starve the flow for seconds *)
+      if eta >= t.eta_thresh then begin
+        t.inelastic_streak <- 0;
+        t.elastic_streak <- t.elastic_streak + 1;
+        (* a couple of consecutive verdicts (~0.3 s) filter one-window
+           transients without materially delaying a genuine switch *)
+        if t.elastic_streak >= 3 || t.mode = Competitive then
+          switch_to t Competitive ~now
+      end
+      else begin
+        t.inelastic_streak <- t.inelastic_streak + 1;
+        t.elastic_streak <- 0;
+        if t.mode = Delay || t.inelastic_streak >= t.switch_streak then
+          switch_to t Delay ~now
+      end
+    end;
+    (* multiple-pulser conflict: if the cross traffic carries clearly more
+       energy at fp than our own receive rate does -- and that energy is of
+       genuine pulse magnitude -- someone else is pulsing too *)
+    if t.multi_flow && Elasticity.ready t.r_detector then begin
+      let z_amp = Elasticity.peak_amplitude t.z_detector ~freq:fp in
+      let r_amp = Elasticity.peak_amplitude t.r_detector ~freq:fp in
+      let z_osc = Elasticity.oscillation_amplitude t.z_detector ~freq:fp in
+      let big_enough =
+        (not (Float.is_nan t.mu_cache)) && z_osc >= 0.05 *. t.mu_cache
+      in
+      if big_enough && z_amp > 1.5 *. r_amp && Rng.bool t.rng ~p:0.5 then
+        t.role <- Watcher
+    end;
+    emit_detection t ~now ~eta
+  end
+
+(* Reference band for the watcher's pulser search: above both pulse
+   frequencies, below the second harmonic of the lower one. *)
+let watcher_reference t spectrum =
+  let hi_f = Float.max t.fp_competitive t.fp_delay in
+  let lo_f = Float.min t.fp_competitive t.fp_delay in
+  Spectrum.band_max spectrum ~lo:(hi_f +. 0.8) ~hi:((2. *. lo_f) -. 0.2)
+
+(* A pulser is audible when one of the two mode frequencies dominates its
+   neighbourhood (the eta-style ratio) AND carries real energy: the pulses
+   have amplitude pulse_frac·µ, so the induced receive-rate oscillation at a
+   watcher is a sizeable fraction of µ — a floor of 2% µ rejects noise that
+   happens to win the ratio test. *)
+let audible_pulser t =
+  if not (Elasticity.ready t.r_detector) then None
+  else begin
+    match Elasticity.spectrum t.r_detector with
+    | None -> None
+    | Some s ->
+      let amp_c = Spectrum.amplitude_at s t.fp_competitive in
+      let amp_d = Spectrum.amplitude_at s t.fp_delay in
+      let reference = watcher_reference t s in
+      let eta_c = if reference > 0. then amp_c /. reference else 0. in
+      let eta_d = if reference > 0. then amp_d /. reference else 0. in
+      let osc_c =
+        Elasticity.oscillation_amplitude t.r_detector ~freq:t.fp_competitive
+      in
+      let osc_d =
+        Elasticity.oscillation_amplitude t.r_detector ~freq:t.fp_delay
+      in
+      let floor_amp =
+        if Float.is_nan t.mu_cache then infinity else 0.02 *. t.mu_cache
+      in
+      let c_ok = eta_c >= t.eta_thresh && osc_c >= floor_amp in
+      let d_ok = eta_d >= t.eta_thresh && osc_d >= floor_amp in
+      if c_ok && (eta_c >= eta_d || not d_ok) then Some Competitive
+      else if d_ok then Some Delay
+      else None
+  end
+
+let watcher_detect t ~now =
+  if Elasticity.ready t.r_detector then begin
+    t.last_eta <- nan;
+    (match audible_pulser t with
+     | Some target -> switch_to t target ~now
+     | None -> ());
+    emit_detection t ~now ~eta:nan
+  end
+
+(* Eq. 5: per-decision probability of becoming the pulser, proportional to
+   this flow's share of the link. *)
+let election t ~recv_rate =
+  if
+    t.multi_flow && t.role = Watcher
+    && Elasticity.ready t.r_detector
+    && not (Float.is_nan t.mu_cache || Float.is_nan recv_rate)
+  then begin
+    if audible_pulser t = None then begin
+      (* Eq. 5, with the share term floored: if every flow is squeezed by
+         undetected elastic traffic, all receive rates collapse and the
+         pure rate-proportional rule can never bootstrap a pulser *)
+      let share = Float.max (recv_rate /. t.mu_cache) 0.05 in
+      let p = t.kappa *. t.sample_interval /. t.fft_window *. share in
+      if Rng.bool t.rng ~p:(Float.max 0. (Float.min 1. p)) then
+        t.role <- Pulser
+    end
+  end
+
+(* --- tick ----------------------------------------------------------------- *)
+
+let on_tick t (tk : Cc_types.tick) =
+  let now = tk.now in
+  if not (Float.is_nan tk.srtt) then t.srtt <- tk.srtt;
+  if not (Float.is_nan tk.min_rtt) then t.min_rtt <- tk.min_rtt;
+  Z_estimator.Mu.observe t.mu ~now ~recv_rate:tk.recv_rate;
+  t.mu_cache <- Z_estimator.Mu.current t.mu ~now;
+  (match t.delay with
+   | D_basic b when not (Float.is_nan t.mu_cache) ->
+     Basic_delay.set_mu b t.mu_cache
+   | _ -> ());
+  (* ẑ and receive-rate windows.  Eq. 1 requires a busy bottleneck: with no
+     standing queue the ratio degenerates to µ − S, which tracks our own
+     pulses and would read as elastic cross traffic.  No standing queue also
+     means nothing elastic is backlogged, so ẑ = 0 is the truthful sample. *)
+  let z =
+    if Float.is_nan t.mu_cache then nan
+    else if
+      (not (Float.is_nan tk.srtt))
+      && (not (Float.is_nan tk.min_rtt))
+      && tk.srtt -. tk.min_rtt < t.z_gate_delay
+    then 0.
+    else
+      Z_estimator.estimate ~mu:t.mu_cache ~send_rate:tk.send_rate
+        ~recv_rate:tk.recv_rate
+  in
+  t.last_z <- z;
+  Elasticity.add_sample t.z_detector z;
+  Elasticity.add_sample t.r_detector
+    (if Float.is_nan tk.recv_rate then 0. else tk.recv_rate);
+  (* delay-mode controller runs on ticks *)
+  (match (t.mode, t.delay) with
+   | Delay, D_basic b -> Basic_delay.update b tk
+   | _ -> ());
+  let base = base_rate_bps t in
+  Ring.push t.rate_history base;
+  ignore (Ewma.update t.smoothed_rate base);
+  (match t.on_sample with
+   | Some f ->
+     f
+       { s_time = now; s_send_rate = tk.send_rate; s_recv_rate = tk.recv_rate;
+         s_z = z; s_base_rate = base }
+   | None -> ());
+  election t ~recv_rate:tk.recv_rate;
+  if now >= t.next_detect then begin
+    t.next_detect <- now +. t.detect_interval;
+    match t.role with
+    | Pulser -> pulser_detect t ~now
+    | Watcher -> watcher_detect t ~now
+  end
+
+(* --- the engine-facing controller ----------------------------------------- *)
+
+let on_ack t a =
+  match t.mode with
+  | Competitive -> comp_on_ack t a
+  | Delay -> delay_on_ack t a
+
+let on_loss t l =
+  match t.mode with
+  | Competitive -> comp_on_loss t l
+  | Delay -> delay_on_loss t l
+
+(* Bytes sent in excess of the base rate during one positive pulse lobe:
+   the half-sine of amplitude A over T/4 integrates to A·(T/4)·(2/π) bits. *)
+let pulse_burst_bytes t =
+  let fp = pulse_freq t in
+  if Float.is_nan fp then 0.
+  else begin
+    let period = 1. /. fp in
+    pulse_amplitude t *. (period /. 4.) *. (2. /. (4. *. atan 1.)) /. 8.
+  end
+
+(* The window must leave room for the positive pulse lobe on top of the base
+   rate, or the pulses never reach the wire.  In competitive mode the cap is
+   the inner TCP window itself (so Nimbus stays ACK-clock disciplined and
+   takes its fair share of drops) plus exactly one pulse burst; in delay mode
+   it is a generous anti-runaway bound on the controlled rate. *)
+let cwnd_bytes t =
+  let srtt = srtt_or t 0.1 in
+  match t.mode with
+  | Competitive ->
+    (match t.role with
+     | Pulser -> comp_cwnd t +. pulse_burst_bytes t
+     | Watcher ->
+       (* a window-limited watcher would be ACK-clocked -- i.e. genuinely
+          elastic cross traffic to the pulser; keep it rate-paced at the
+          smoothed rate with a loose anti-runaway cap instead *)
+       1.5 *. comp_cwnd t)
+  | Delay ->
+    let headroom =
+      match t.role with Pulser -> pulse_amplitude t | Watcher -> 0.
+    in
+    Float.max (8. *. 1500.)
+      (2. *. (base_rate_bps t +. headroom) *. srtt /. 8.)
+
+let pacing_rate_bps t ~now =
+  match t.role with
+  | Watcher -> Float.max 100_000. (Ewma.value t.smoothed_rate)
+  | Pulser ->
+    let base = base_rate_bps t in
+    Float.max 100_000. (base +. pulse_value t ~now)
+
+let cc t ~now =
+  { Cc_types.name = "nimbus";
+    on_ack = (fun a -> on_ack t a);
+    on_loss = (fun l -> on_loss t l);
+    on_tick = Some (fun tk -> on_tick t tk);
+    cwnd_bytes = (fun () -> cwnd_bytes t);
+    pacing_rate_bps = (fun () -> Some (pacing_rate_bps t ~now:(now ()))) }

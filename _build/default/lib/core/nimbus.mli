@@ -1,0 +1,156 @@
+(** Nimbus: mode-switching congestion control driven by elasticity detection
+    (§4, §6 of the paper).
+
+    A Nimbus flow runs a TCP-competitive algorithm (Cubic or Reno) when the
+    elasticity detector reports elastic cross traffic, and a delay-controlling
+    algorithm (BasicDelay, Vegas, or Copa's default mode) otherwise. The
+    sender modulates its pacing rate with asymmetric sinusoidal pulses and
+    reads the cross-traffic response off the FFT of ẑ(t).
+
+    With [multi_flow] enabled, flows coordinate without communicating: one
+    *pulser* encodes the current mode in its pulse frequency
+    ([fp_competitive] vs [fp_delay]); *watchers* read that frequency out of
+    the FFT of their own receive rate, smooth their transmission rate below
+    the pulsing band so the pulser sees them as inelastic, and run a
+    randomized election when no pulser is audible (Eq. 5). *)
+
+type mode =
+  | Delay
+  | Competitive
+
+type role =
+  | Pulser
+  | Watcher
+
+type competitive_alg =
+  [ `Cubic
+  | `Reno
+  ]
+
+type delay_alg =
+  [ `Basic_delay
+  | `Vegas
+  | `Copa_default
+  ]
+
+(** Detection outcome passed to the [on_detection] hook every detection
+    interval once the FFT window is full. *)
+type detection = {
+  d_time : float;
+  d_eta : float;       (* Eq. 3 at the active pulse frequency; nan for
+                          watchers (they track the pulser instead) *)
+  d_mode : mode;       (* mode after this detection *)
+  d_role : role;
+}
+
+(** Per-tick raw signals passed to the [on_sample] hook (10 ms period). *)
+type sample = {
+  s_time : float;
+  s_send_rate : float; (* S(t), bps *)
+  s_recv_rate : float; (* R(t), bps *)
+  s_z : float;         (* ẑ(t), bps; nan before rates are measurable *)
+  s_base_rate : float; (* inner controller rate, before pulses, bps *)
+}
+
+type t
+
+(** [create ~mu ()] builds a Nimbus instance; pass [cc t] to
+    {!Nimbus_cc.Flow.create} with the same [tick_interval] as
+    [sample_interval].
+
+    @param mu link-rate source (supply {!Z_estimator.Mu.known} in emulation,
+           {!Z_estimator.Mu.estimator} on unknown paths)
+    @param competitive TCP-competitive algorithm (default [`Cubic])
+    @param delay delay-control algorithm (default [`Basic_delay])
+    @param pulse_frac pulse amplitude as a fraction of µ (default 0.25)
+    @param pulse_shape default {!Pulse.Asymmetric}
+    @param fp_competitive pulse frequency in competitive mode, Hz (default 5)
+    @param fp_delay pulse frequency in delay mode, Hz (default 6); only used
+           when [use_mode_frequencies] is on
+    @param use_mode_frequencies encode the mode in the pulse frequency
+           (default: on iff [multi_flow])
+    @param fft_window seconds of ẑ per FFT (default 5)
+    @param sample_interval tick period, seconds (default 0.01)
+    @param detect_interval how often to re-run detection (default 0.1)
+    @param eta_thresh detection threshold (default 2)
+    @param multi_flow enable the pulser/watcher protocol (default false:
+           this flow always pulses)
+    @param kappa election aggressiveness, expected pulsers per FFT window
+           (default 1)
+    @param delay_target BasicDelay's queueing-delay target, seconds
+    @param z_gate_delay standing-queue threshold, seconds: when
+           [rtt − min_rtt] is below it the bottleneck has no backlog, Eq. 1
+           is invalid (and nothing elastic can be present), so the ẑ sample
+           is forced to 0 (default 3 ms)
+    @param min_z_frac minimum mean ẑ (as a fraction of µ) over the FFT
+           window for an elastic verdict — with no meaningful cross traffic
+           Eq. 3 is a ratio of noise bins, so η is forced ≤ 1 below this
+           floor (default 0.05)
+    @param switch_streak consecutive inelastic detections required before
+           leaving competitive mode (default 30, i.e. three seconds at the
+           default detection interval); switching into competitive mode is
+           immediate. Set 1 to reproduce the paper's memoryless rule.
+    @param rate_reset restore the pre-squeeze rate when entering competitive
+           mode (default true; false ablates §4.1's reset)
+    @param taper / detrend forwarded to {!Elasticity.create}
+    @param seed randomness for the election
+    @param on_detection observation hook
+    @param on_sample observation hook *)
+val create :
+  mu:Z_estimator.Mu.t ->
+  ?competitive:competitive_alg ->
+  ?delay:delay_alg ->
+  ?pulse_frac:float ->
+  ?pulse_shape:Pulse.shape ->
+  ?fp_competitive:float ->
+  ?fp_delay:float ->
+  ?use_mode_frequencies:bool ->
+  ?fft_window:float ->
+  ?sample_interval:float ->
+  ?detect_interval:float ->
+  ?eta_thresh:float ->
+  ?multi_flow:bool ->
+  ?kappa:float ->
+  ?delay_target:float ->
+  ?switch_streak:int ->
+  ?z_gate_delay:float ->
+  ?min_z_frac:float ->
+  ?rate_reset:bool ->
+  ?taper:Nimbus_dsp.Window.kind ->
+  ?detrend:Nimbus_dsp.Spectrum.detrend ->
+  ?seed:int ->
+  ?on_detection:(detection -> unit) ->
+  ?on_sample:(sample -> unit) ->
+  unit ->
+  t
+
+(** [cc t ~now] is the engine-facing controller. [now] must read the
+    simulation clock — the pulse waveform is evaluated at packet-send time,
+    not just on ticks. *)
+val cc : t -> now:(unit -> float) -> Nimbus_cc.Cc_types.t
+
+(** Current state, for experiment scoring and plots. *)
+
+val mode : t -> mode
+
+val role : t -> role
+
+(** [last_eta t] — [nan] until the first full-window detection. *)
+val last_eta : t -> float
+
+(** [last_z t] — most recent ẑ sample, bps. *)
+val last_z : t -> float
+
+(** [base_rate_bps t] — inner controller rate before pulse modulation. *)
+val base_rate_bps : t -> float
+
+(** [detector t] — the underlying ẑ elasticity detector (spectra etc.). *)
+val detector : t -> Elasticity.t
+
+(** [pulse_freq t] — the frequency this flow currently pulses at, Hz;
+    [nan] for watchers. *)
+val pulse_freq : t -> float
+
+val mode_to_string : mode -> string
+
+val role_to_string : role -> string

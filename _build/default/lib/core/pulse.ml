@@ -1,0 +1,39 @@
+type shape =
+  | Asymmetric
+  | Symmetric
+
+let pi = 4.0 *. atan 1.0
+
+let value ~shape ~amplitude ~freq t =
+  if freq <= 0. then invalid_arg "Pulse.value: freq <= 0";
+  if amplitude < 0. then invalid_arg "Pulse.value: negative amplitude";
+  let period = 1. /. freq in
+  let phase = Float.rem t period in
+  let phase = if phase < 0. then phase +. period else phase in
+  match shape with
+  | Symmetric -> amplitude *. sin (2. *. pi *. phase /. period)
+  | Asymmetric ->
+    let quarter = period /. 4. in
+    if phase < quarter then
+      (* positive half-sine over the first quarter *)
+      amplitude *. sin (pi *. phase /. quarter)
+    else begin
+      (* negative half-sine, one third of the amplitude, over the rest *)
+      let rest = period -. quarter in
+      -.(amplitude /. 3.) *. sin (pi *. (phase -. quarter) /. rest)
+    end
+
+let min_send_rate ~shape ~amplitude =
+  match shape with
+  | Symmetric -> amplitude
+  | Asymmetric -> amplitude /. 3.
+
+let mean ~shape ~amplitude ~freq ~samples =
+  if samples <= 0 then invalid_arg "Pulse.mean: samples <= 0";
+  let period = 1. /. freq in
+  let dt = period /. float_of_int samples in
+  let acc = ref 0. in
+  for i = 0 to samples - 1 do
+    acc := !acc +. value ~shape ~amplitude ~freq ((float_of_int i +. 0.5) *. dt)
+  done;
+  !acc /. float_of_int samples

@@ -1,0 +1,53 @@
+let estimate ~mu ~send_rate ~recv_rate =
+  if mu <= 0. then invalid_arg "Z_estimator.estimate: mu <= 0";
+  if
+    Float.is_nan send_rate || Float.is_nan recv_rate || send_rate <= 0.
+    || recv_rate <= 0.
+  then nan
+  else begin
+    let z = (mu *. send_rate /. recv_rate) -. send_rate in
+    Float.max 0. (Float.min mu z)
+  end
+
+module Mu = struct
+  type kind =
+    | Known of float
+    | Estimated of {
+        window : float;
+        samples : (float * float) Queue.t; (* (time, rate) *)
+        mutable best : float;
+      }
+
+  type t = kind ref
+
+  let known rate = ref (Known rate)
+
+  let estimator ?(window = 10.) () =
+    ref (Estimated { window; samples = Queue.create (); best = nan })
+
+  let prune samples horizon =
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt samples with
+      | Some (at, _) when at < horizon -> ignore (Queue.pop samples)
+      | _ -> continue := false
+    done
+
+  let observe t ~now ~recv_rate =
+    match !t with
+    | Known _ -> ()
+    | Estimated e ->
+      if not (Float.is_nan recv_rate || recv_rate <= 0.) then begin
+        Queue.push (now, recv_rate) e.samples;
+        prune e.samples (now -. e.window);
+        e.best <-
+          Queue.fold (fun acc (_, r) -> Float.max acc r) neg_infinity e.samples
+      end
+
+  let current t ~now =
+    match !t with
+    | Known r -> r
+    | Estimated e ->
+      prune e.samples (now -. e.window);
+      if Float.is_finite e.best then e.best else nan
+end

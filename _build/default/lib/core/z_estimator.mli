@@ -1,0 +1,33 @@
+(** Cross-traffic rate estimation (Eq. 1):
+
+    [ẑ(t) = µ·S(t)/R(t) − S(t)]
+
+    Valid while the bottleneck queue is non-empty and the router serves all
+    traffic FIFO: the receive share [R/µ] then equals the arrival share
+    [S/(S+z)]. *)
+
+(** [estimate ~mu ~send_rate ~recv_rate] is ẑ in the same unit as the inputs,
+    clamped to [[0, mu]]. Returns [nan] if either rate is [nan] or
+    non-positive. @raise Invalid_argument if [mu <= 0.]. *)
+val estimate : mu:float -> send_rate:float -> recv_rate:float -> float
+
+(** Bottleneck-rate tracker in the style the paper's implementation uses:
+    the maximum receive rate observed over a sliding window (BBR-like),
+    robust to idle periods via a slow decay. *)
+module Mu : sig
+  type t
+
+  (** [known rate] always reports [rate] — emulation experiments supply the
+      true link rate (§8.2). *)
+  val known : float -> t
+
+  (** [estimator ()] learns µ from receive-rate samples.
+      @param window seconds of history for the max filter (default 10) *)
+  val estimator : ?window:float -> unit -> t
+
+  (** [observe t ~now ~recv_rate] feeds a sample (no-op for [known]). *)
+  val observe : t -> now:float -> recv_rate:float -> unit
+
+  (** [current t ~now] is the µ estimate; [nan] if nothing observed yet. *)
+  val current : t -> now:float -> float
+end

@@ -1,0 +1,1 @@
+lib/dsp/cbuf.ml: Array Float

@@ -1,0 +1,1 @@
+lib/dsp/fft.ml: Array Cbuf

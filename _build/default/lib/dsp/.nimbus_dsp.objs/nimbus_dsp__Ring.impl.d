@@ -1,0 +1,1 @@
+lib/dsp/ring.ml: Array

@@ -1,0 +1,1 @@
+lib/dsp/stats.ml: Array Float

@@ -1,0 +1,1 @@
+lib/dsp/stats.mli:

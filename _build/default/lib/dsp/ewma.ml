@@ -1,0 +1,35 @@
+type t = {
+  alpha : float;
+  mutable avg : float;
+  mutable initialized : bool;
+}
+
+let create ~alpha =
+  if alpha <= 0. || alpha > 1. then invalid_arg "Ewma.create: alpha not in (0,1]";
+  { alpha; avg = 0.; initialized = false }
+
+let create_time_constant ~tau ~dt =
+  if tau <= 0. || dt <= 0. then
+    invalid_arg "Ewma.create_time_constant: non-positive tau or dt";
+  create ~alpha:(1.0 -. exp (-.dt /. tau))
+
+let create_cutoff ~freq ~dt =
+  if freq <= 0. then invalid_arg "Ewma.create_cutoff: non-positive freq";
+  let tau = 1.0 /. (2.0 *. 4.0 *. atan 1.0 *. freq) in
+  create_time_constant ~tau ~dt
+
+let update t x =
+  if t.initialized then t.avg <- t.avg +. (t.alpha *. (x -. t.avg))
+  else begin
+    t.avg <- x;
+    t.initialized <- true
+  end;
+  t.avg
+
+let value t = t.avg
+
+let initialized t = t.initialized
+
+let reset t =
+  t.avg <- 0.;
+  t.initialized <- false

@@ -1,0 +1,33 @@
+(** Exponentially weighted moving averages.
+
+    Watcher flows smooth their transmission rate with an EWMA whose cut-off
+    sits below the pulsing frequencies, so the pulser never mistakes a watcher
+    for elastic cross traffic (§6 of the paper). *)
+
+type t
+
+(** [create ~alpha] with [0 < alpha <= 1]; larger [alpha] weights new samples
+    more. @raise Invalid_argument outside that range. *)
+val create : alpha:float -> t
+
+(** [create_time_constant ~tau ~dt] derives alpha for samples arriving every
+    [dt] seconds so the filter has time constant [tau] seconds
+    (alpha = 1 − exp(−dt/τ)). *)
+val create_time_constant : tau:float -> dt:float -> t
+
+(** [create_cutoff ~freq ~dt] derives alpha so the −3 dB point of the filter
+    sits at [freq] Hz for samples arriving every [dt] seconds. *)
+val create_cutoff : freq:float -> dt:float -> t
+
+(** [update t x] folds in sample [x] and returns the new average. The first
+    sample initialises the average. *)
+val update : t -> float -> float
+
+(** [value t] is the current average ([0.] before any sample). *)
+val value : t -> float
+
+(** [initialized t] holds after the first {!update}. *)
+val initialized : t -> bool
+
+(** [reset t] forgets all state. *)
+val reset : t -> unit

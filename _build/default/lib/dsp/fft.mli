@@ -1,0 +1,38 @@
+(** Fast Fourier transforms.
+
+    Three kernels are provided:
+    - an iterative, in-place radix-2 Cooley–Tukey transform for power-of-two
+      lengths;
+    - a Bluestein (chirp-z) transform for arbitrary lengths, built on the
+      radix-2 kernel — the elasticity detector uses 500-point windows so the
+      5 Hz pulse frequency lands exactly on a bin;
+    - a naive O(n²) DFT used as a test oracle.
+
+    Forward transforms use the usual engineering convention
+    [X(k) = Σ x(n)·exp(−2πi·kn/N)]; the inverse divides by [N]. *)
+
+(** [is_power_of_two n] holds iff [n] is a positive power of two. *)
+val is_power_of_two : int -> bool
+
+(** [next_power_of_two n] is the least power of two [>= max n 1]. *)
+val next_power_of_two : int -> int
+
+(** [radix2 ?inverse b] transforms [b] in place.
+    @raise Invalid_argument if the length of [b] is not a power of two. *)
+val radix2 : ?inverse:bool -> Cbuf.t -> unit
+
+(** [bluestein ?inverse b] returns the transform of [b] (any length [>= 1]).
+    The input buffer is not modified. *)
+val bluestein : ?inverse:bool -> Cbuf.t -> Cbuf.t
+
+(** [transform ?inverse b] picks radix-2 when the length is a power of two
+    (operating on a copy) and Bluestein otherwise. *)
+val transform : ?inverse:bool -> Cbuf.t -> Cbuf.t
+
+(** [dft ?inverse b] is the quadratic-time reference transform. *)
+val dft : ?inverse:bool -> Cbuf.t -> Cbuf.t
+
+(** [real_amplitudes xs] is the single-sided amplitude spectrum of the real
+    signal [xs]: bin 0 holds [|mean|·n/n], and each bin [k] of the result is
+    [|X(k)|] for [k] in [0 .. n/2]. Length of the result is [n/2 + 1]. *)
+val real_amplitudes : float array -> float array

@@ -1,0 +1,50 @@
+let pi = 4.0 *. atan 1.0
+
+let power xs ~sample_rate ~freq =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Goertzel.power: empty signal";
+  if sample_rate <= 0. then invalid_arg "Goertzel.power: sample_rate <= 0";
+  let k = freq /. sample_rate *. float_of_int n in
+  let omega = 2.0 *. pi *. k /. float_of_int n in
+  let coeff = 2.0 *. cos omega in
+  let s_prev = ref 0.0 and s_prev2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    let s = xs.(i) +. (coeff *. !s_prev) -. !s_prev2 in
+    s_prev2 := !s_prev;
+    s_prev := s
+  done;
+  (!s_prev *. !s_prev) +. (!s_prev2 *. !s_prev2)
+  -. (coeff *. !s_prev *. !s_prev2)
+
+let magnitude xs ~sample_rate ~freq = sqrt (power xs ~sample_rate ~freq)
+
+module Sliding = struct
+  type t = {
+    buf : float array;
+    mutable head : int; (* next write slot *)
+    mutable count : int;
+    sample_rate : float;
+    freq : float;
+  }
+
+  let create ~window ~sample_rate ~freq =
+    if window <= 0 then invalid_arg "Goertzel.Sliding.create: window <= 0";
+    { buf = Array.make window 0.; head = 0; count = 0; sample_rate; freq }
+
+  let push t x =
+    t.buf.(t.head) <- x;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    if t.count < Array.length t.buf then t.count <- t.count + 1
+
+  let filled t = t.count = Array.length t.buf
+
+  (* Materialise in chronological order so the phase reference is stable. *)
+  let magnitude t =
+    let n = Array.length t.buf in
+    let ordered = Array.make n 0. in
+    let start = (t.head - t.count + n) mod n in
+    for i = 0 to t.count - 1 do
+      ordered.(i) <- t.buf.((start + i) mod n)
+    done;
+    magnitude ordered ~sample_rate:t.sample_rate ~freq:t.freq
+end

@@ -1,0 +1,38 @@
+(** Goertzel's algorithm: the DFT magnitude of one frequency bin in O(n) time
+    with O(1) state.
+
+    Watcher flows use this to test whether the pulser is oscillating at the
+    competitive-mode frequency or the delay-mode frequency without paying for
+    a full FFT. *)
+
+(** [power xs ~sample_rate ~freq] is [|X(f)|²] of the real signal [xs]
+    evaluated at the (possibly non-integer) bin corresponding to [freq].
+    @raise Invalid_argument if [sample_rate <= 0.] or [xs] is empty. *)
+val power : float array -> sample_rate:float -> freq:float -> float
+
+(** [magnitude xs ~sample_rate ~freq] is [sqrt (power xs ~sample_rate ~freq)],
+    directly comparable with the moduli returned by {!Fft.real_amplitudes}
+    when [freq] is an exact bin. *)
+val magnitude : float array -> sample_rate:float -> freq:float -> float
+
+(** Incremental evaluator over a fixed-size window: push samples one at a
+    time, query the magnitude of the configured frequency at any point.
+    Recomputes lazily from an internal ring, so pushes are O(1) and queries
+    are O(window). *)
+module Sliding : sig
+  type t
+
+  (** [create ~window ~sample_rate ~freq] watches [freq] (Hz) over the last
+      [window] samples taken at [sample_rate] (Hz). *)
+  val create : window:int -> sample_rate:float -> freq:float -> t
+
+  (** [push t x] appends sample [x], evicting the oldest when full. *)
+  val push : t -> float -> unit
+
+  (** [filled t] holds once [window] samples have been pushed. *)
+  val filled : t -> bool
+
+  (** [magnitude t] is the current single-bin DFT modulus over the window
+      contents (zero-padded if not yet filled). *)
+  val magnitude : t -> float
+end

@@ -1,0 +1,47 @@
+type t = {
+  buf : float array;
+  mutable head : int; (* next write position *)
+  mutable count : int;
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Ring.create: capacity <= 0";
+  { buf = Array.make n 0.; head = 0; count = 0 }
+
+let capacity t = Array.length t.buf
+
+let count t = t.count
+
+let is_full t = t.count = Array.length t.buf
+
+let push t x =
+  t.buf.(t.head) <- x;
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  if t.count < Array.length t.buf then t.count <- t.count + 1
+
+let to_array t =
+  let n = Array.length t.buf in
+  let start = (t.head - t.count + n) mod n in
+  Array.init t.count (fun i -> t.buf.((start + i) mod n))
+
+let last t =
+  if t.count = 0 then invalid_arg "Ring.last: empty";
+  t.buf.((t.head - 1 + Array.length t.buf) mod Array.length t.buf)
+
+let nth_from_end t k =
+  if k < 0 || k >= t.count then invalid_arg "Ring.nth_from_end: out of range";
+  let n = Array.length t.buf in
+  t.buf.(((t.head - 1 - k) mod n + n) mod n)
+
+let clear t =
+  t.head <- 0;
+  t.count <- 0
+
+let fold t ~init ~f =
+  let n = Array.length t.buf in
+  let start = (t.head - t.count + n) mod n in
+  let acc = ref init in
+  for i = 0 to t.count - 1 do
+    acc := f !acc t.buf.((start + i) mod n)
+  done;
+  !acc

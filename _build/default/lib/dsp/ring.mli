@@ -1,0 +1,38 @@
+(** Fixed-capacity ring buffer of floats.
+
+    Holds the sliding time series the detector transforms: the cross-traffic
+    estimate ẑ sampled every 10 ms over the trailing FFT window. *)
+
+type t
+
+(** [create n] holds the most recent [n] samples.
+    @raise Invalid_argument if [n <= 0]. *)
+val create : int -> t
+
+(** [capacity t]. *)
+val capacity : t -> int
+
+(** [count t] is the number of samples currently stored ([<= capacity]). *)
+val count : t -> int
+
+(** [is_full t] holds when [count t = capacity t]. *)
+val is_full : t -> bool
+
+(** [push t x] appends [x], evicting the oldest sample when full. *)
+val push : t -> float -> unit
+
+(** [to_array t] is the stored samples in chronological order. *)
+val to_array : t -> float array
+
+(** [last t] is the most recent sample. @raise Invalid_argument when empty. *)
+val last : t -> float
+
+(** [nth_from_end t k] is the sample pushed [k] steps ago ([k = 0] is the most
+    recent). @raise Invalid_argument when out of range. *)
+val nth_from_end : t -> int -> float
+
+(** [clear t] discards all samples. *)
+val clear : t -> unit
+
+(** [fold t ~init ~f] folds over stored samples in chronological order. *)
+val fold : t -> init:'a -> f:('a -> float -> 'a) -> 'a

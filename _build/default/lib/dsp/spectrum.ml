@@ -1,0 +1,83 @@
+type t = {
+  amplitudes : float array;
+  sample_rate : float;
+  n : int;
+}
+
+type detrend =
+  [ `None
+  | `Mean
+  | `Linear
+  ]
+
+let remove_mean xs =
+  let n = Array.length xs in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  Array.map (fun x -> x -. mean) xs
+
+let remove_line xs =
+  let n = Array.length xs in
+  if n < 2 then remove_mean xs
+  else begin
+    (* least-squares line over index i = 0 .. n-1 *)
+    let nf = float_of_int n in
+    let sx = nf *. (nf -. 1.) /. 2. in
+    let sxx = nf *. (nf -. 1.) *. ((2. *. nf) -. 1.) /. 6. in
+    let sy = ref 0. and sxy = ref 0. in
+    Array.iteri
+      (fun i y ->
+        sy := !sy +. y;
+        sxy := !sxy +. (float_of_int i *. y))
+      xs;
+    let denom = (nf *. sxx) -. (sx *. sx) in
+    let slope = ((nf *. !sxy) -. (sx *. !sy)) /. denom in
+    let intercept = (!sy -. (slope *. sx)) /. nf in
+    Array.mapi (fun i y -> y -. intercept -. (slope *. float_of_int i)) xs
+  end
+
+let analyze ?(window = Window.Rectangular) ?(detrend = `Mean) xs ~sample_rate =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Spectrum.analyze: empty signal";
+  if sample_rate <= 0. then invalid_arg "Spectrum.analyze: sample_rate <= 0";
+  let xs =
+    match detrend with
+    | `None -> Array.copy xs
+    | `Mean -> remove_mean xs
+    | `Linear -> remove_line xs
+  in
+  let xs = Window.apply window xs in
+  { amplitudes = Fft.real_amplitudes xs; sample_rate; n }
+
+let bin_width s = s.sample_rate /. float_of_int s.n
+
+let bin_of_freq s f =
+  let k = int_of_float (Float.round (f /. bin_width s)) in
+  let top = Array.length s.amplitudes - 1 in
+  if k < 0 then 0 else if k > top then top else k
+
+let freq_of_bin s k = float_of_int k *. bin_width s
+
+let amplitude_at s f = s.amplitudes.(bin_of_freq s f)
+
+let band_max s ~lo ~hi =
+  let w = bin_width s in
+  let top = Array.length s.amplitudes - 1 in
+  let best = ref 0.0 in
+  for k = 0 to top do
+    let f = float_of_int k *. w in
+    if f > lo && f < hi && s.amplitudes.(k) > !best then best := s.amplitudes.(k)
+  done;
+  !best
+
+let dominant s ~above =
+  let w = bin_width s in
+  let top = Array.length s.amplitudes - 1 in
+  let best_k = ref (-1) and best = ref neg_infinity in
+  for k = 0 to top do
+    let f = float_of_int k *. w in
+    if f > above && s.amplitudes.(k) > !best then begin
+      best := s.amplitudes.(k);
+      best_k := k
+    end
+  done;
+  if !best_k < 0 then (0., 0.) else (freq_of_bin s !best_k, !best)

@@ -1,0 +1,48 @@
+(** Single-sided amplitude spectra of real, uniformly sampled signals, with
+    frequency-indexed access.
+
+    The elasticity metric (Eq. 3 of the paper) is a ratio of values read off
+    such a spectrum: the amplitude at the pulse frequency over the largest
+    amplitude strictly inside the band (f_p, 2·f_p). *)
+
+type t = {
+  amplitudes : float array; (* |X(k)| for k in 0 .. n/2 *)
+  sample_rate : float;      (* Hz *)
+  n : int;                  (* original signal length *)
+}
+
+type detrend =
+  [ `None
+  | `Mean    (** subtract the mean (kills DC leakage) *)
+  | `Linear  (** subtract the least-squares line — also removes ramps, the
+                 dominant contamination when the signal is a cross-traffic
+                 rate mid-transition *)
+  ]
+
+(** [analyze ?window ?detrend xs ~sample_rate] computes the spectrum of [xs].
+    [detrend] defaults to [`Mean]; [window] defaults to rectangular.
+    @raise Invalid_argument on an empty signal or non-positive rate. *)
+val analyze :
+  ?window:Window.kind -> ?detrend:detrend -> float array -> sample_rate:float -> t
+
+(** [bin_width s] is the frequency spacing between adjacent bins, in Hz. *)
+val bin_width : t -> float
+
+(** [bin_of_freq s f] is the index of the bin nearest to [f] Hz, clamped to
+    the valid range. *)
+val bin_of_freq : t -> float -> int
+
+(** [freq_of_bin s k] is the centre frequency of bin [k]. *)
+val freq_of_bin : t -> int -> float
+
+(** [amplitude_at s f] is the amplitude of the bin nearest [f]. *)
+val amplitude_at : t -> float -> float
+
+(** [band_max s ~lo ~hi] is the largest amplitude over bins whose centre
+    frequency lies strictly inside the open interval [(lo, hi)]; [0.] if the
+    interval contains no bin. *)
+val band_max : t -> lo:float -> hi:float -> float
+
+(** [dominant s ~above] is [(freq, amplitude)] of the largest bin with centre
+    frequency strictly greater than [above] (use [~above:0.] to skip DC). *)
+val dominant : t -> above:float -> float * float

@@ -1,0 +1,78 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty input";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.
+
+let minimum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.minimum: empty input";
+  Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.maximum: empty input";
+  Array.fold_left max xs.(0) xs
+
+let cdf_points xs ~points =
+  if Array.length xs = 0 || points <= 0 then [||]
+  else
+    Array.init points (fun i ->
+        let p = float_of_int (i + 1) /. float_of_int points in
+        (percentile xs (p *. 100.), p))
+
+let correlation xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.correlation: length mismatch";
+  if n < 2 then invalid_arg "Stats.correlation: need at least 2 samples";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+
+let cross_correlation xs ys ~max_lag =
+  let n = min (Array.length xs) (Array.length ys) in
+  if n < 2 then invalid_arg "Stats.cross_correlation: need at least 2 samples";
+  let lag k =
+    let len = n - k in
+    if len < 2 then 0.0
+    else begin
+      let a = Array.sub xs 0 len in
+      let b = Array.sub ys k len in
+      correlation a b
+    end
+  in
+  Array.init (max_lag + 1) lag
+
+let relative_error ~actual ~expected =
+  if expected = 0.0 then if actual = 0.0 then 0.0 else infinity
+  else Float.abs (actual -. expected) /. Float.abs expected

@@ -1,0 +1,42 @@
+(** Descriptive statistics used throughout the evaluation harness. *)
+
+(** [mean xs] — [nan] on empty input. *)
+val mean : float array -> float
+
+(** [variance xs] is the population variance; [nan] on empty input. *)
+val variance : float array -> float
+
+(** [stddev xs] is [sqrt (variance xs)]. *)
+val stddev : float array -> float
+
+(** [percentile xs p] for [p] in [0..100], linear interpolation between order
+    statistics. Does not modify [xs]. @raise Invalid_argument on empty input
+    or [p] outside [0, 100]. *)
+val percentile : float array -> float -> float
+
+(** [median xs] = [percentile xs 50.]. *)
+val median : float array -> float
+
+(** [minimum xs], [maximum xs]. @raise Invalid_argument on empty input. *)
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+(** [cdf_points xs ~points] samples the empirical CDF at [points] evenly
+    spaced quantiles, returning [(value, cumulative_probability)] pairs in
+    ascending order — the series behind the paper's CDF figures. *)
+val cdf_points : float array -> points:int -> (float * float) array
+
+(** [correlation xs ys] is the Pearson correlation coefficient.
+    @raise Invalid_argument on mismatched lengths or fewer than 2 samples. *)
+val correlation : float array -> float array -> float
+
+(** [cross_correlation xs ys ~max_lag] is the array of normalized
+    cross-correlations of [xs] against [ys] delayed by lag k, for k in
+    [0 .. max_lag]: element k correlates [xs.(i)] with [ys.(i+k)]. This is
+    the paper's rejected time-domain detector, kept for the ablation bench. *)
+val cross_correlation : float array -> float array -> max_lag:int -> float array
+
+(** [relative_error ~actual ~expected] is [|actual − expected| / |expected|];
+    [infinity] when [expected = 0.] and [actual <> 0.], else [0.]. *)
+val relative_error : actual:float -> expected:float -> float

@@ -1,0 +1,37 @@
+type kind =
+  | Rectangular
+  | Hann
+  | Hamming
+  | Blackman
+
+let pi = 4.0 *. atan 1.0
+
+let coefficients kind n =
+  if n <= 0 then [||]
+  else if n = 1 then [| 1.0 |]
+  else begin
+    let denom = float_of_int (n - 1) in
+    let at i =
+      let x = float_of_int i /. denom in
+      match kind with
+      | Rectangular -> 1.0
+      | Hann -> 0.5 *. (1.0 -. cos (2.0 *. pi *. x))
+      | Hamming -> 0.54 -. (0.46 *. cos (2.0 *. pi *. x))
+      | Blackman ->
+        0.42
+        -. (0.5 *. cos (2.0 *. pi *. x))
+        +. (0.08 *. cos (4.0 *. pi *. x))
+    in
+    Array.init n at
+  end
+
+let apply kind xs =
+  let w = coefficients kind (Array.length xs) in
+  Array.mapi (fun i x -> x *. w.(i)) xs
+
+let coherent_gain kind n =
+  if n <= 0 then 0.0
+  else begin
+    let w = coefficients kind n in
+    Array.fold_left ( +. ) 0.0 w /. float_of_int n
+  end

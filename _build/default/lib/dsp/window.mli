@@ -1,0 +1,21 @@
+(** Tapering windows for spectral analysis.
+
+    The paper's detector runs on raw (rectangular) windows; the others are
+    provided for the ablation benches that study spectral-leakage effects on
+    the elasticity metric. *)
+
+type kind =
+  | Rectangular
+  | Hann
+  | Hamming
+  | Blackman
+
+(** [coefficients kind n] is the length-[n] window. *)
+val coefficients : kind -> int -> float array
+
+(** [apply kind xs] is a windowed copy of [xs]. *)
+val apply : kind -> float array -> float array
+
+(** [coherent_gain kind n] is the mean of the window coefficients — divide
+    amplitudes by it to compare peak heights across window kinds. *)
+val coherent_gain : kind -> int -> float

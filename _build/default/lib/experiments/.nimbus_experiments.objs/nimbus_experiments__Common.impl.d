@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Float List Nimbus_cc Nimbus_core Nimbus_dsp Nimbus_metrics Nimbus_sim

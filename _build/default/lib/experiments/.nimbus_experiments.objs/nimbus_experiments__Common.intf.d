@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Nimbus_cc Nimbus_core Nimbus_metrics Nimbus_sim

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Common Float List Nimbus_cc Nimbus_core Nimbus_dsp Nimbus_metrics Nimbus_sim Nimbus_traffic Printf Table

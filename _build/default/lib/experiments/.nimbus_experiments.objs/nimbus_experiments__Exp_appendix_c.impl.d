@@ -1,0 +1,1 @@
+lib/experiments/exp_appendix_c.ml: Common List Nimbus_cc Nimbus_sim Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_appendix_d.ml: Common List Nimbus_cc Nimbus_sim Nimbus_traffic Printf Table

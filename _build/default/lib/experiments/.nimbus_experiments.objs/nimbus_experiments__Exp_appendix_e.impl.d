@@ -1,0 +1,1 @@
+lib/experiments/exp_appendix_e.ml: Common Float List Nimbus_cc Nimbus_metrics Nimbus_sim Nimbus_traffic Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Common List Nimbus_sim Nimbus_traffic Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig11.ml: Common List Nimbus_sim Nimbus_traffic Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig12.ml: Array Common Nimbus_cc Nimbus_core Nimbus_dsp Nimbus_metrics Nimbus_sim Nimbus_traffic Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig13.ml: Common List Nimbus_sim Nimbus_traffic Table

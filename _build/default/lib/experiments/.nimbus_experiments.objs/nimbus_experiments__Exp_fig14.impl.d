@@ -1,0 +1,1 @@
+lib/experiments/exp_fig14.ml: Common List Nimbus_cc Nimbus_metrics Nimbus_sim Nimbus_traffic Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig15.ml: Common List Nimbus_cc Nimbus_metrics Nimbus_sim Nimbus_traffic Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig16.ml: Array Common List Nimbus_cc Nimbus_core Nimbus_dsp Nimbus_metrics Nimbus_sim Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig17.ml: Common Float List Nimbus_metrics Nimbus_sim Nimbus_traffic Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3.ml: Common Nimbus_sim Nimbus_traffic Table

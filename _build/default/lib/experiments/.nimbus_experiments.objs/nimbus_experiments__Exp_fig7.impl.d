@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Common List Nimbus_core Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_internet_paths.ml: Array Common List Nimbus_dsp Nimbus_sim Nimbus_traffic Printf Table

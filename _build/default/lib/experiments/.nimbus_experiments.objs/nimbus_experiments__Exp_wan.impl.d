@@ -1,0 +1,1 @@
+lib/experiments/exp_wan.ml: Array Common Float List Nimbus_dsp Nimbus_metrics Nimbus_sim Nimbus_traffic Table

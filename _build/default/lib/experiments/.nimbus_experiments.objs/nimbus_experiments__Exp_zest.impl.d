@@ -1,0 +1,1 @@
+lib/experiments/exp_zest.ml: Array Common Float List Nimbus_cc Nimbus_core Nimbus_dsp Nimbus_sim Nimbus_traffic Table

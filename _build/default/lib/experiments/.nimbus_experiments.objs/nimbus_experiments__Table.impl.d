@@ -1,0 +1,1 @@
+lib/experiments/table.ml: Buffer Float List Option Printf String

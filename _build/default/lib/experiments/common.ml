@@ -1,0 +1,159 @@
+module Engine = Nimbus_sim.Engine
+module Bottleneck = Nimbus_sim.Bottleneck
+module Qdisc = Nimbus_sim.Qdisc
+module Rng = Nimbus_sim.Rng
+module Flow = Nimbus_cc.Flow
+module Nimbus = Nimbus_core.Nimbus
+module Z = Nimbus_core.Z_estimator
+module Series = Nimbus_metrics.Series
+module Monitor = Nimbus_metrics.Monitor
+module Stats = Nimbus_dsp.Stats
+
+type profile = {
+  time_scale : float;
+  seeds : int;
+}
+
+let quick = { time_scale = 0.4; seeds = 1 }
+
+let full = { time_scale = 1.0; seeds = 3 }
+
+let scaled p seconds = Float.max 20. (p.time_scale *. seconds)
+
+type link = {
+  mu : float;
+  prop_rtt : float;
+  buffer_bdp : float;
+  aqm : [ `Droptail | `Pie of float ];
+}
+
+let link ~mbps ~rtt_ms ?(buffer_bdp = 2.0) ?(aqm = `Droptail) () =
+  { mu = mbps *. 1e6; prop_rtt = rtt_ms /. 1e3; buffer_bdp; aqm }
+
+let setup ~seed l =
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let capacity_bytes =
+    max (4 * 1500)
+      (int_of_float (l.mu *. l.prop_rtt *. l.buffer_bdp /. 8.))
+  in
+  let qdisc =
+    match l.aqm with
+    | `Droptail -> Qdisc.droptail ~capacity_bytes
+    | `Pie target ->
+      Qdisc.pie ~capacity_bytes ~target_delay:target ~link_rate_bps:l.mu
+        ~rng:(Rng.split rng)
+  in
+  let bottleneck = Bottleneck.create engine ~rate_bps:l.mu ~qdisc () in
+  (engine, bottleneck, rng)
+
+type running = {
+  flow : Flow.t;
+  in_competitive : (unit -> bool) option;
+  nimbus : Nimbus_core.Nimbus.t option;
+}
+
+type scheme = {
+  scheme_name : string;
+  start_flow :
+    Engine.t -> Bottleneck.t -> link -> ?start:float -> unit -> running;
+}
+
+let plain name make_cc =
+  { scheme_name = name;
+    start_flow =
+      (fun engine bottleneck l ?start () ->
+        let flow =
+          Flow.create engine bottleneck ~cc:(make_cc l) ~prop_rtt:l.prop_rtt
+            ?start ()
+        in
+        { flow; in_competitive = None; nimbus = None }) }
+
+let nimbus ?name ?(delay = `Basic_delay) ?(competitive = `Cubic)
+    ?(pulse_frac = 0.25) ?(fp = 5.) ?(multi_flow = false) ?(seed = 1)
+    ?(estimate_mu = false) () =
+  let scheme_name = match name with Some n -> n | None -> "nimbus" in
+  { scheme_name;
+    start_flow =
+      (fun engine bottleneck l ?start () ->
+        let mu =
+          if estimate_mu then Z.Mu.estimator () else Z.Mu.known l.mu
+        in
+        let nim =
+          Nimbus.create ~mu ~delay ~competitive ~pulse_frac
+            ~fp_competitive:fp ~fp_delay:(fp +. 1.) ~multi_flow ~seed ()
+        in
+        let flow =
+          Flow.create engine bottleneck
+            ~cc:(Nimbus.cc nim ~now:(fun () -> Engine.now engine))
+            ~prop_rtt:l.prop_rtt ?start ()
+        in
+        { flow;
+          in_competitive =
+            Some (fun () -> Nimbus.mode nim = Nimbus.Competitive);
+          nimbus = Some nim }) }
+
+let nimbus_delay_only =
+  { scheme_name = "nimbus-delay";
+    start_flow =
+      (fun engine bottleneck l ?start () ->
+        let cc = Nimbus_cc.Basic_delay.make ~mu:l.mu () in
+        let flow =
+          Flow.create engine bottleneck ~cc ~prop_rtt:l.prop_rtt ?start ()
+        in
+        { flow; in_competitive = None; nimbus = None }) }
+
+let cubic = plain "cubic" (fun _ -> Nimbus_cc.Cubic.make ())
+
+let reno = plain "reno" (fun _ -> Nimbus_cc.Reno.make ())
+
+let vegas = plain "vegas" (fun _ -> Nimbus_cc.Vegas.make ())
+
+let copa =
+  { scheme_name = "copa";
+    start_flow =
+      (fun engine bottleneck l ?start () ->
+        let c = Nimbus_cc.Copa.create ~switching:true () in
+        let flow =
+          Flow.create engine bottleneck ~cc:(Nimbus_cc.Copa.cc c)
+            ~prop_rtt:l.prop_rtt ?start ()
+        in
+        { flow;
+          in_competitive =
+            Some (fun () -> Nimbus_cc.Copa.in_competitive_mode c);
+          nimbus = None }) }
+
+let bbr = plain "bbr" (fun _ -> Nimbus_cc.Bbr.make ())
+
+let vivace = plain "vivace" (fun _ -> Nimbus_cc.Vivace.make ())
+
+let compound = plain "compound" (fun _ -> Nimbus_cc.Compound.make ())
+
+let all_baselines = [ cubic; bbr; vegas; copa; vivace ]
+
+type run_stats = {
+  tput_series : Series.t;
+  qdelay_series : Series.t;
+  rtt_series : Series.t;
+}
+
+let instrument engine bottleneck running ~until =
+  { tput_series =
+      Monitor.flow_throughput engine running.flow ~interval:1.0 ~until ();
+    qdelay_series =
+      Monitor.queue_delay engine bottleneck ~interval:0.1 ~until ();
+    rtt_series =
+      Monitor.flow_rtt engine running.flow ~interval:0.1 ~until () }
+
+let window_values s ~lo ~hi =
+  let xs = Series.values_between s ~lo ~hi in
+  Array.of_list
+    (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list xs))
+
+let mean s ~lo ~hi =
+  let xs = window_values s ~lo ~hi in
+  if Array.length xs = 0 then nan else Stats.mean xs
+
+let pct s ~lo ~hi p =
+  let xs = window_values s ~lo ~hi in
+  if Array.length xs = 0 then nan else Stats.percentile xs p

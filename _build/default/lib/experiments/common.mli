@@ -1,0 +1,106 @@
+(** Shared experiment plumbing: link setup, scheme registry, run profiles. *)
+
+module Engine = Nimbus_sim.Engine
+module Bottleneck = Nimbus_sim.Bottleneck
+module Rng = Nimbus_sim.Rng
+module Flow = Nimbus_cc.Flow
+
+(** Quick profiles shrink durations/repetitions while preserving shapes;
+    full profiles use the paper's parameters. *)
+type profile = {
+  time_scale : float; (* multiply experiment durations *)
+  seeds : int;        (* repetitions for averaged results *)
+}
+
+val quick : profile
+
+val full : profile
+
+(** [scaled profile seconds] is the effective duration. *)
+val scaled : profile -> float -> float
+
+(** Emulated bottleneck description (Mahimahi-equivalent). *)
+type link = {
+  mu : float;           (* bits/s *)
+  prop_rtt : float;     (* seconds *)
+  buffer_bdp : float;   (* buffer as a multiple of mu·prop_rtt *)
+  aqm : [ `Droptail | `Pie of float ]; (* PIE target delay *)
+}
+
+(** [link ~mbps ~rtt_ms ~buffer_bdp ()] — convenience constructor. *)
+val link :
+  mbps:float -> rtt_ms:float -> ?buffer_bdp:float ->
+  ?aqm:[ `Droptail | `Pie of float ] -> unit -> link
+
+(** [setup ~seed l] builds the engine + bottleneck. *)
+val setup : seed:int -> link -> Engine.t * Bottleneck.t * Rng.t
+
+(** A scheme is a named congestion-control configuration a primary flow can
+    run, paired with optional introspection for mode-switching schemes. *)
+type running = {
+  flow : Flow.t;
+  in_competitive : (unit -> bool) option;
+      (** for Nimbus/Copa: current mode, for accuracy scoring *)
+  nimbus : Nimbus_core.Nimbus.t option;
+}
+
+type scheme = {
+  scheme_name : string;
+  start_flow :
+    Engine.t -> Bottleneck.t -> link -> ?start:float -> unit -> running;
+}
+
+val nimbus :
+  ?name:string ->
+  ?delay:Nimbus_core.Nimbus.delay_alg ->
+  ?competitive:Nimbus_core.Nimbus.competitive_alg ->
+  ?pulse_frac:float ->
+  ?fp:float ->
+  ?multi_flow:bool ->
+  ?seed:int ->
+  ?estimate_mu:bool ->
+  unit ->
+  scheme
+
+(** BasicDelay without mode switching — "Nimbus delay" in Appendix A. *)
+val nimbus_delay_only : scheme
+
+val cubic : scheme
+
+val reno : scheme
+
+val vegas : scheme
+
+val copa : scheme
+
+val bbr : scheme
+
+val vivace : scheme
+
+val compound : scheme
+
+(** [all_baselines] — the fixed algorithms compared throughout §5/§8. *)
+val all_baselines : scheme list
+
+(** Measurement helpers *)
+
+(** [mean_throughput flow ~from_t ~to_t] — receiver goodput over a window,
+    given cumulative byte samples recorded by the caller... use
+    {!measure_run} instead for the common pattern. *)
+
+type run_stats = {
+  tput_series : Nimbus_metrics.Series.t; (* 1 s bins, bps *)
+  qdelay_series : Nimbus_metrics.Series.t; (* 100 ms samples, seconds *)
+  rtt_series : Nimbus_metrics.Series.t; (* 100 ms samples, seconds *)
+}
+
+(** [instrument engine bottleneck running ~until] attaches the standard
+    monitors. *)
+val instrument :
+  Engine.t -> Bottleneck.t -> running -> until:float -> run_stats
+
+(** [mean s ~lo ~hi] / [pct s ~lo ~hi p] over a series window, ignoring
+    NaNs. *)
+val mean : Nimbus_metrics.Series.t -> lo:float -> hi:float -> float
+
+val pct : Nimbus_metrics.Series.t -> lo:float -> hi:float -> float -> float

@@ -1,0 +1,39 @@
+(* Fig. 7: the asymmetric sinusoidal pulse itself — +µ/4 half-sine for a
+   quarter period, −µ/12 half-sine for the rest, zero mean, and a third of
+   the minimum send rate a symmetric pulse would need. *)
+
+module Pulse = Nimbus_core.Pulse
+
+let id = "fig7"
+
+let title = "Fig 7: asymmetric sinusoidal pulse waveform"
+
+let run (_ : Common.profile) =
+  let mu = 96e6 in
+  let amplitude = mu /. 4. in
+  let freq = 5. in
+  let sample t =
+    Pulse.value ~shape:Pulse.Asymmetric ~amplitude ~freq t /. 1e6
+  in
+  let period = 1. /. freq in
+  let points = List.init 9 (fun i -> float_of_int i /. 8. *. period) in
+  let waveform_row =
+    "waveform (Mbps)"
+    :: List.map (fun t -> Table.fmt_float ~digits:1 (sample t)) points
+  in
+  let header =
+    "t/T" :: List.map (fun t -> Table.fmt_float ~digits:3 (t /. period)) points
+  in
+  let mean =
+    Pulse.mean ~shape:Pulse.Asymmetric ~amplitude ~freq ~samples:10_000
+  in
+  let min_asym = Pulse.min_send_rate ~shape:Pulse.Asymmetric ~amplitude in
+  let min_sym = Pulse.min_send_rate ~shape:Pulse.Symmetric ~amplitude in
+  [ Table.make ~title ~header
+      ~notes:
+        [ Printf.sprintf "mean over period = %.3g Mbps (target 0)" (mean /. 1e6);
+          Printf.sprintf
+            "min sender rate: asymmetric %.1f Mbps (mu/12) vs symmetric %.1f \
+             Mbps (mu/4)"
+            (min_asym /. 1e6) (min_sym /. 1e6) ]
+      [ waveform_row ] ]

@@ -1,0 +1,183 @@
+(* Fig. 18/19 (+ Appendix A, Fig. 20): Internet paths.  Substitution: 25
+   synthetic path profiles sampled over realistic ranges of rate, RTT,
+   buffering, random loss, policing, and background WAN traffic (the paper's
+   claim is about the *distribution* of outcomes across path diversity; see
+   DESIGN.md).
+
+   Fig. 18/19: per-path and aggregate throughput/delay for Nimbus, Cubic,
+   BBR, Vegas — Nimbus should match Cubic-or-better throughput nearly
+   everywhere, at BBR-level-or-better delay, and beat Cubic outright on
+   lossy/policed paths.
+
+   Fig. 20: on one buffered path, repeated runs of Cubic vs the pure
+   delay-control scheme — the delay-mode cluster sits at far lower delay at
+   similar throughput, the paper's motivation appendix. *)
+
+module Engine = Nimbus_sim.Engine
+module Rng = Nimbus_sim.Rng
+module Bottleneck = Nimbus_sim.Bottleneck
+module Qdisc = Nimbus_sim.Qdisc
+module Wan = Nimbus_traffic.Wan
+module Stats = Nimbus_dsp.Stats
+
+let id = "paths"
+
+let title = "Fig 18/19/20: synthetic Internet path profiles"
+
+type path = {
+  p_id : int;
+  mbps : float;
+  rtt_ms : float;
+  buffer_bdp : float;
+  loss : float;        (* random loss probability *)
+  policed : bool;
+  wan_load : float;    (* background traffic as a fraction of the link *)
+}
+
+let sample_paths ~count ~seed =
+  let rng = Rng.create seed in
+  List.init count (fun i ->
+      let lossy = Rng.uniform rng < 0.2 in
+      let policed = (not lossy) && Rng.uniform rng < 0.12 in
+      { p_id = i;
+        mbps = Rng.range rng ~lo:20. ~hi:100.;
+        rtt_ms = Rng.range rng ~lo:20. ~hi:120.;
+        buffer_bdp = Rng.range rng ~lo:0.5 ~hi:3.;
+        loss = (if lossy then Rng.range rng ~lo:0.001 ~hi:0.01 else 0.);
+        policed;
+        wan_load = Rng.range rng ~lo:0.1 ~hi:0.5 })
+
+let setup_path path ~seed =
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let mu = path.mbps *. 1e6 in
+  let prop_rtt = path.rtt_ms /. 1e3 in
+  let capacity_bytes =
+    max (4 * 1500) (int_of_float (mu *. prop_rtt *. path.buffer_bdp /. 8.))
+  in
+  let qdisc = Qdisc.droptail ~capacity_bytes in
+  let random_loss =
+    if path.loss > 0. then Some (path.loss, Rng.split rng) else None
+  in
+  let policer = if path.policed then Some (mu *. 0.85, 50 * 1500) else None in
+  let bn = Bottleneck.create engine ~rate_bps:mu ~qdisc ?random_loss ?policer () in
+  (engine, bn, rng, mu, prop_rtt)
+
+let run_path (p : Common.profile) path ~seed (sch : Common.scheme) =
+  let engine, bn, rng, mu, prop_rtt = setup_path path ~seed in
+  let horizon = Common.scaled p 60. in
+  if path.wan_load > 0. then
+    ignore
+      (Wan.create engine bn ~rng:(Rng.split rng) ~prop_rtt
+         ~load_bps:(path.wan_load *. mu) ());
+  let l =
+    { Common.mu; prop_rtt; buffer_bdp = path.buffer_bdp; aqm = `Droptail }
+  in
+  let running = sch.Common.start_flow engine bn l () in
+  let stats = Common.instrument engine bn running ~until:horizon in
+  Engine.run_until engine horizon;
+  ( Common.mean stats.Common.tput_series ~lo:8. ~hi:horizon,
+    Common.mean stats.Common.rtt_series ~lo:8. ~hi:horizon )
+
+let run (p : Common.profile) =
+  let paths = sample_paths ~count:25 ~seed:1819 in
+  let schemes =
+    [ Common.nimbus ~estimate_mu:true (); Common.cubic; Common.bbr;
+      Common.vegas ]
+  in
+  let results =
+    List.map
+      (fun path ->
+        (path, List.map (fun sch -> run_path p path ~seed:(500 + path.p_id) sch) schemes))
+      paths
+  in
+  let per_path =
+    List.map
+      (fun (path, outs) ->
+        let kind =
+          if path.loss > 0. then "lossy"
+          else if path.policed then "policed"
+          else "buffered"
+        in
+        Printf.sprintf "%d" path.p_id
+        :: Printf.sprintf "%.0fM/%.0fms/%s" path.mbps path.rtt_ms kind
+        :: List.concat_map
+             (fun (tput, rtt) -> [ Table.fmt_mbps tput; Table.fmt_ms rtt ])
+             outs)
+      results
+  in
+  let header =
+    "path" :: "profile"
+    :: List.concat_map
+         (fun sch ->
+           [ sch.Common.scheme_name ^ " tput"; sch.Common.scheme_name ^ " rtt" ])
+         schemes
+  in
+  let fig18 =
+    Table.make ~title:"Fig 18: per-path throughput (Mbps) and mean RTT (ms)"
+      ~header
+      ~notes:
+        [ "shape: nimbus >= ~cubic tput on buffered paths, beats cubic on \
+           lossy ones; rtt below cubic/bbr on most paths" ]
+      per_path
+  in
+  (* aggregate: ratios vs cubic/bbr over paths *)
+  let nth_outs i = List.map (fun (_, outs) -> List.nth outs i) results in
+  let nimbus_res = nth_outs 0 and cubic_res = nth_outs 1 and bbr_res = nth_outs 2 in
+  let ratio a b = List.map2 (fun (ta, _) (tb, _) -> ta /. tb) a b in
+  let delay_diff a b =
+    List.map2 (fun (_, da) (_, db) -> (da -. db) *. 1e3) a b
+  in
+  let arr = Array.of_list in
+  let lower_delay_frac a b =
+    let diffs = delay_diff a b in
+    float_of_int (List.length (List.filter (fun d -> d < -5.) diffs))
+    /. float_of_int (List.length diffs)
+  in
+  let fig19 =
+    Table.make ~title:"Fig 19: aggregate over the 25 paths"
+      ~header:[ "metric"; "value" ]
+      ~notes:
+        [ "paper: nimbus ~cubic tput, ~10% below bbr, 40-50 ms lower delay \
+           than bbr; lower delay than cubic on ~60% of paths" ]
+      [ [ "median nimbus/cubic tput ratio";
+          Table.fmt_float (Stats.median (arr (ratio nimbus_res cubic_res))) ];
+        [ "median nimbus/bbr tput ratio";
+          Table.fmt_float (Stats.median (arr (ratio nimbus_res bbr_res))) ];
+        [ "median nimbus-bbr delay (ms)";
+          Table.fmt_float (Stats.median (arr (delay_diff nimbus_res bbr_res))) ];
+        [ "median nimbus-cubic delay (ms)";
+          Table.fmt_float (Stats.median (arr (delay_diff nimbus_res cubic_res))) ];
+        [ "paths where nimbus delay < cubic - 5ms";
+          Table.fmt_pct (lower_delay_frac nimbus_res cubic_res) ] ]
+  in
+  (* Appendix A: repeated Cubic vs pure delay-mode runs on one buffered path *)
+  let base_path =
+    { p_id = 99; mbps = 48.; rtt_ms = 50.; buffer_bdp = 2.; loss = 0.;
+      policed = false; wan_load = 0.35 }
+  in
+  let runs = max 4 (p.Common.seeds * 4) in
+  let collect sch =
+    List.init runs (fun k -> run_path p base_path ~seed:(900 + k) sch)
+  in
+  let cubic_runs = collect Common.cubic in
+  let delay_runs = collect Common.nimbus_delay_only in
+  let summarize rs =
+    let t = arr (List.map fst rs) and d = arr (List.map snd rs) in
+    (Stats.mean t, Stats.mean d)
+  in
+  let ct, cd = summarize cubic_runs in
+  let dt, dd = summarize delay_runs in
+  let fig20 =
+    Table.make
+      ~title:"Fig 20 (App A): Cubic vs pure delay-control, repeated runs"
+      ~header:[ "scheme"; "runs"; "mean tput(Mbps)"; "mean rtt(ms)" ]
+      ~notes:
+        [ "shape: delay-control cluster at similar tput but much lower \
+           delay -- inelastic cross traffic is common, so the opportunity \
+           is real" ]
+      [ [ "cubic"; string_of_int runs; Table.fmt_mbps ct; Table.fmt_ms cd ];
+        [ "nimbus-delay"; string_of_int runs; Table.fmt_mbps dt;
+          Table.fmt_ms dd ] ]
+  in
+  [ fig18; fig19; fig20 ]

@@ -1,0 +1,93 @@
+(* Table 1: classification of each cross-traffic class by the elasticity
+   detector.  One Nimbus flow shares the link with a single representative
+   of each class; the detector's majority verdict should match the table:
+   ACK-clocked protocols read elastic, rate-based and application-limited
+   traffic reads inelastic, and BBR flips with buffer depth. *)
+
+module Engine = Nimbus_sim.Engine
+module Rng = Nimbus_sim.Rng
+module Flow = Nimbus_cc.Flow
+module Source = Nimbus_traffic.Source
+module Accuracy = Nimbus_metrics.Accuracy
+
+let id = "table1"
+
+let title = "Table 1: per-protocol classification"
+
+type case = {
+  label : string;
+  expected : string;
+  buffer_bdp : float;
+  install : Engine.t -> Nimbus_sim.Bottleneck.t -> Common.link -> Rng.t -> unit;
+}
+
+let flow cc engine bn (l : Common.link) _rng =
+  ignore (Flow.create engine bn ~cc ~prop_rtt:l.Common.prop_rtt ())
+
+let cases =
+  [ { label = "Cubic"; expected = "Elastic"; buffer_bdp = 2.;
+      install = (fun e b l r -> flow (Nimbus_cc.Cubic.make ()) e b l r) };
+    { label = "Reno"; expected = "Elastic"; buffer_bdp = 2.;
+      install = (fun e b l r -> flow (Nimbus_cc.Reno.make ()) e b l r) };
+    { label = "Copa"; expected = "Elastic"; buffer_bdp = 2.;
+      install = (fun e b l r -> flow (Nimbus_cc.Copa.make ()) e b l r) };
+    { label = "Vegas"; expected = "Elastic"; buffer_bdp = 2.;
+      install = (fun e b l r -> flow (Nimbus_cc.Vegas.make ()) e b l r) };
+    { label = "BBR (deep buffer)"; expected = "Elastic"; buffer_bdp = 2.;
+      install = (fun e b l r -> flow (Nimbus_cc.Bbr.make ()) e b l r) };
+    { label = "BBR (shallow buffer)"; expected = "Inelastic"; buffer_bdp = 0.5;
+      install = (fun e b l r -> flow (Nimbus_cc.Bbr.make ()) e b l r) };
+    { label = "PCC-Vivace"; expected = "Inelastic"; buffer_bdp = 2.;
+      install = (fun e b l r -> flow (Nimbus_cc.Vivace.make ()) e b l r) };
+    { label = "Fixed window"; expected = "Elastic"; buffer_bdp = 2.;
+      install =
+        (fun e b l r ->
+          flow (Nimbus_cc.Simple_cc.fixed_window ~segments:200 ()) e b l r) };
+    { label = "App-limited"; expected = "Inelastic"; buffer_bdp = 2.;
+      install =
+        (fun engine bn l _ ->
+          (* a windowed transport trickle-fed by its application *)
+          let f =
+            Flow.create engine bn ~cc:(Nimbus_cc.Cubic.make ())
+              ~prop_rtt:l.Common.prop_rtt ~source:Flow.App_limited ()
+          in
+          Engine.every engine ~dt:0.01 (fun () -> Flow.supply f 30_000)) };
+    { label = "Const. stream"; expected = "Inelastic"; buffer_bdp = 2.;
+      install =
+        (fun engine bn _ _ -> ignore (Source.cbr engine bn ~rate_bps:48e6 ())) } ]
+
+let classify (p : Common.profile) case ~seed =
+  let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:case.buffer_bdp () in
+  let horizon = Common.scaled p 120. in
+  let engine, bn, rng = Common.setup ~seed l in
+  case.install engine bn l rng;
+  let running = (Common.nimbus ()).Common.start_flow engine bn l () in
+  let elastic_samples = ref 0 and samples = ref 0 in
+  (match running.Common.in_competitive with
+   | Some mode ->
+     Engine.every engine ~dt:0.1 ~start:10. ~until:horizon (fun () ->
+         incr samples;
+         if mode () then incr elastic_samples)
+   | None -> ());
+  Engine.run_until engine horizon;
+  if !samples = 0 then ("?", nan)
+  else begin
+    let frac = float_of_int !elastic_samples /. float_of_int !samples in
+    ((if frac >= 0.5 then "Elastic" else "Inelastic"), frac)
+  end
+
+let run (p : Common.profile) =
+  let rows =
+    List.map
+      (fun case ->
+        let verdict, frac = classify p case ~seed:100 in
+        [ case.label; case.expected; verdict; Table.fmt_pct frac;
+          (if verdict = case.expected then "ok" else "MISMATCH") ])
+      cases
+  in
+  [ Table.make ~title
+      ~header:[ "cross traffic"; "paper"; "measured"; "elastic time"; "" ]
+      ~notes:
+        [ "BBR's verdict flips with buffer depth because only deep buffers \
+           make it CWND-limited (ACK-clocked)" ]
+      rows ]

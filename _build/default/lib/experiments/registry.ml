@@ -1,0 +1,35 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : Common.profile -> Table.t list;
+}
+
+let exp id title run = { id; title; run }
+
+let all =
+  [ exp Exp_fig1.id Exp_fig1.title Exp_fig1.run;
+    exp Exp_fig3.id Exp_fig3.title Exp_fig3.run;
+    exp Exp_fig45.id Exp_fig45.title Exp_fig45.run;
+    exp Exp_fig6.id Exp_fig6.title Exp_fig6.run;
+    exp Exp_fig7.id Exp_fig7.title Exp_fig7.run;
+    exp Exp_fig8.id Exp_fig8.title Exp_fig8.run;
+    exp Exp_wan.id Exp_wan.title Exp_wan.run;
+    exp Exp_fig11.id Exp_fig11.title Exp_fig11.run;
+    exp Exp_fig12.id Exp_fig12.title Exp_fig12.run;
+    exp Exp_fig13.id Exp_fig13.title Exp_fig13.run;
+    exp Exp_fig14.id Exp_fig14.title Exp_fig14.run;
+    exp Exp_fig15.id Exp_fig15.title Exp_fig15.run;
+    exp Exp_fig16.id Exp_fig16.title Exp_fig16.run;
+    exp Exp_fig17.id Exp_fig17.title Exp_fig17.run;
+    exp Exp_internet_paths.id Exp_internet_paths.title Exp_internet_paths.run;
+    exp Exp_appendix_c.id Exp_appendix_c.title Exp_appendix_c.run;
+    exp Exp_appendix_d.id Exp_appendix_d.title Exp_appendix_d.run;
+    exp Exp_appendix_e.id Exp_appendix_e.title Exp_appendix_e.run;
+    exp Exp_appendix_f.id Exp_appendix_f.title Exp_appendix_f.run;
+    exp Exp_table1.id Exp_table1.title Exp_table1.run;
+    exp Exp_zest.id Exp_zest.title Exp_zest.run;
+    exp Exp_ablation.id Exp_ablation.title Exp_ablation.run ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids = List.map (fun e -> e.id) all

@@ -1,0 +1,17 @@
+(** The experiment registry: every table and figure of the paper, mapped to
+    a runnable reproduction. *)
+
+type experiment = {
+  id : string;
+  title : string;
+  run : Common.profile -> Table.t list;
+}
+
+(** [all] in presentation order. *)
+val all : experiment list
+
+(** [find id]. *)
+val find : string -> experiment option
+
+(** [ids]. *)
+val ids : string list

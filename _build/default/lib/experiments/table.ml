@@ -1,0 +1,63 @@
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~header ?(notes = []) rows = { title; header; rows; notes }
+
+let fmt_mbps bps =
+  if Float.is_nan bps then "-" else Printf.sprintf "%.1f" (bps /. 1e6)
+
+let fmt_ms s = if Float.is_nan s then "-" else Printf.sprintf "%.1f" (s *. 1e3)
+
+let fmt_float ?(digits = 2) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" digits x
+
+let fmt_pct x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.0f%%" (100. *. x)
+
+let render t =
+  let all = t.header :: t.rows in
+  let cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let cell = Option.value ~default:"" (List.nth_opt row c) in
+           cell ^ String.make (max 0 (w - String.length cell)) ' ')
+         widths)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (render_row t.header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let to_csv t =
+  let escape cell =
+    if String.contains cell ',' || String.contains cell '"' then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+    else cell
+  in
+  let line row = String.concat "," (List.map escape row) in
+  String.concat "\n" (line t.header :: List.map line t.rows) ^ "\n"

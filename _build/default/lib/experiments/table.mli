@@ -1,0 +1,31 @@
+(** Result tables: the textual analogue of the paper's figures. Every
+    experiment returns one or more of these; the bench harness prints them. *)
+
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list; (* shape targets, paper-vs-measured commentary *)
+}
+
+val make : title:string -> header:string list -> ?notes:string list ->
+  string list list -> t
+
+(** Cell formatting helpers. *)
+
+val fmt_mbps : float -> string
+
+val fmt_ms : float -> string
+
+val fmt_float : ?digits:int -> float -> string
+
+val fmt_pct : float -> string
+
+(** [render t] pretty-prints with aligned columns. *)
+val render : t -> string
+
+(** [print t] renders to stdout. *)
+val print : t -> unit
+
+(** [to_csv t] — machine-readable dump for the CLI. *)
+val to_csv : t -> string

@@ -1,0 +1,1 @@
+lib/metrics/fct.ml: Array List Nimbus_dsp Printf

@@ -1,0 +1,1 @@
+lib/metrics/monitor.ml: Nimbus_cc Nimbus_sim Series

@@ -1,0 +1,1 @@
+lib/metrics/monitor.mli: Nimbus_cc Nimbus_sim Series

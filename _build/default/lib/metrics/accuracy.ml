@@ -1,0 +1,29 @@
+type t = {
+  mutable tp : int;
+  mutable tn : int;
+  mutable fp : int;
+  mutable fn : int;
+}
+
+let create () = { tp = 0; tn = 0; fp = 0; fn = 0 }
+
+let record t ~predicted_elastic ~truth_elastic =
+  match (predicted_elastic, truth_elastic) with
+  | true, true -> t.tp <- t.tp + 1
+  | false, false -> t.tn <- t.tn + 1
+  | true, false -> t.fp <- t.fp + 1
+  | false, true -> t.fn <- t.fn + 1
+
+let samples t = t.tp + t.tn + t.fp + t.fn
+
+let accuracy t =
+  let n = samples t in
+  if n = 0 then nan else float_of_int (t.tp + t.tn) /. float_of_int n
+
+let true_positive_rate t =
+  let n = t.tp + t.fn in
+  if n = 0 then nan else float_of_int t.tp /. float_of_int n
+
+let true_negative_rate t =
+  let n = t.tn + t.fp in
+  if n = 0 then nan else float_of_int t.tn /. float_of_int n

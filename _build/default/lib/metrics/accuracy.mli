@@ -1,0 +1,22 @@
+(** Classification-accuracy accounting: the fraction of decision samples
+    where the detector's mode matches the ground truth (§8.2's headline
+    metric). *)
+
+type t
+
+val create : unit -> t
+
+(** [record t ~predicted_elastic ~truth_elastic] adds one sample. *)
+val record : t -> predicted_elastic:bool -> truth_elastic:bool -> unit
+
+(** [accuracy t] — [nan] before any sample. *)
+val accuracy : t -> float
+
+(** [samples t]. *)
+val samples : t -> int
+
+(** Per-class rates, for diagnosing asymmetric failures. [nan] when the
+    class never occurred. *)
+val true_positive_rate : t -> float
+
+val true_negative_rate : t -> float

@@ -1,0 +1,10 @@
+(** Fairness indices over per-flow throughputs. *)
+
+(** [jain xs] is Jain's fairness index [(Σx)² / (n·Σx²)] — 1 for perfectly
+    equal shares, → 1/n as one flow dominates. [nan] on empty input or all
+    zeros. *)
+val jain : float array -> float
+
+(** [normalized_share ~achieved ~fair] is [achieved / fair]; [nan] when
+    [fair <= 0.]. *)
+val normalized_share : achieved:float -> fair:float -> float

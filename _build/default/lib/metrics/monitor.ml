@@ -1,0 +1,30 @@
+module Engine = Nimbus_sim.Engine
+module Bottleneck = Nimbus_sim.Bottleneck
+module Flow = Nimbus_cc.Flow
+
+let probe engine ~interval ?start ?until f =
+  let series = Series.create () in
+  Engine.every engine ~dt:interval ?start ?until (fun () ->
+      Series.add series ~time:(Engine.now engine) ~value:(f ()));
+  series
+
+let throughput engine ~interval ?start ?until counter =
+  let series = Series.create () in
+  let prev = ref (counter ()) in
+  Engine.every engine ~dt:interval ?start ?until (fun () ->
+      let cur = counter () in
+      let bps = float_of_int ((cur - !prev) * 8) /. interval in
+      prev := cur;
+      Series.add series ~time:(Engine.now engine) ~value:bps);
+  series
+
+let flow_throughput engine flow ~interval ?start ?until () =
+  throughput engine ~interval ?start ?until (fun () ->
+      Flow.received_bytes flow)
+
+let queue_delay engine bottleneck ~interval ?start ?until () =
+  probe engine ~interval ?start ?until (fun () ->
+      Bottleneck.queue_delay bottleneck)
+
+let flow_rtt engine flow ~interval ?start ?until () =
+  probe engine ~interval ?start ?until (fun () -> Flow.last_rtt flow)

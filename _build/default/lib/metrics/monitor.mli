@@ -1,0 +1,53 @@
+(** Periodic probes that turn live simulation state into {!Series.t}. *)
+
+(** [probe engine ~interval ?start ?until f] samples [f ()] every [interval]
+    seconds into a fresh series. *)
+val probe :
+  Nimbus_sim.Engine.t ->
+  interval:float ->
+  ?start:float ->
+  ?until:float ->
+  (unit -> float) ->
+  Series.t
+
+(** [throughput engine ~interval ?start ?until counter] converts a cumulative
+    byte counter into a bits-per-second series (delta per interval). *)
+val throughput :
+  Nimbus_sim.Engine.t ->
+  interval:float ->
+  ?start:float ->
+  ?until:float ->
+  (unit -> int) ->
+  Series.t
+
+(** [flow_throughput engine flow ~interval] — receiver goodput of one flow. *)
+val flow_throughput :
+  Nimbus_sim.Engine.t ->
+  Nimbus_cc.Flow.t ->
+  interval:float ->
+  ?start:float ->
+  ?until:float ->
+  unit ->
+  Series.t
+
+(** [queue_delay engine bottleneck ~interval] — instantaneous bottleneck
+    queueing delay in seconds. *)
+val queue_delay :
+  Nimbus_sim.Engine.t ->
+  Nimbus_sim.Bottleneck.t ->
+  interval:float ->
+  ?start:float ->
+  ?until:float ->
+  unit ->
+  Series.t
+
+(** [flow_rtt engine flow ~interval] — the flow's latest RTT sample
+    ([nan] before traffic). *)
+val flow_rtt :
+  Nimbus_sim.Engine.t ->
+  Nimbus_cc.Flow.t ->
+  interval:float ->
+  ?start:float ->
+  ?until:float ->
+  unit ->
+  Series.t

@@ -1,0 +1,47 @@
+type t = {
+  mutable times : float array;
+  mutable values : float array;
+  mutable len : int;
+}
+
+let create () = { times = Array.make 64 0.; values = Array.make 64 0.; len = 0 }
+
+let grow t =
+  if t.len = Array.length t.times then begin
+    let cap = 2 * Array.length t.times in
+    let times = Array.make cap 0. and values = Array.make cap 0. in
+    Array.blit t.times 0 times 0 t.len;
+    Array.blit t.values 0 values 0 t.len;
+    t.times <- times;
+    t.values <- values
+  end
+
+let add t ~time ~value =
+  grow t;
+  t.times.(t.len) <- time;
+  t.values.(t.len) <- value;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let times t = Array.sub t.times 0 t.len
+
+let values t = Array.sub t.values 0 t.len
+
+let values_between t ~lo ~hi =
+  let out = ref [] in
+  for i = t.len - 1 downto 0 do
+    if t.times.(i) >= lo && t.times.(i) < hi then out := t.values.(i) :: !out
+  done;
+  Array.of_list !out
+
+let mean_between t ~lo ~hi =
+  let xs = values_between t ~lo ~hi in
+  if Array.length xs = 0 then nan else Nimbus_dsp.Stats.mean xs
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.times.(i) t.values.(i)
+  done
+
+let last_value t = if t.len = 0 then nan else t.values.(t.len - 1)

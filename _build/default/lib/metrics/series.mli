@@ -1,0 +1,27 @@
+(** Append-only (time, value) series collected during a simulation run. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t ~time ~value]. *)
+val add : t -> time:float -> value:float -> unit
+
+val length : t -> int
+
+(** [times t], [values t] — chronological copies. *)
+val times : t -> float array
+
+val values : t -> float array
+
+(** [values_between t ~lo ~hi] — values with [lo <= time < hi]. *)
+val values_between : t -> lo:float -> hi:float -> float array
+
+(** [mean_between t ~lo ~hi] — [nan] when the window is empty. *)
+val mean_between : t -> lo:float -> hi:float -> float
+
+(** [iter t f] applies [f time value] in insertion order. *)
+val iter : t -> (float -> float -> unit) -> unit
+
+(** [last_value t] — [nan] when empty. *)
+val last_value : t -> float

@@ -1,0 +1,1 @@
+lib/sim/bottleneck.ml: Engine Float Hashtbl Option Packet Qdisc Queue Rng

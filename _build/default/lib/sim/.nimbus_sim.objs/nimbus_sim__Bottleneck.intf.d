@@ -1,0 +1,1 @@
+lib/sim/bottleneck.mli: Engine Packet Qdisc Rng

@@ -1,0 +1,115 @@
+type policer = {
+  p_rate : float; (* bps *)
+  p_burst : int;  (* bytes *)
+  mutable tokens : float; (* bytes *)
+  mutable last_refill : float;
+}
+
+type t = {
+  engine : Engine.t;
+  rate_bps : float;
+  qdisc : Qdisc.t;
+  random_loss : (float * Rng.t) option;
+  policer : policer option;
+  fifo : Packet.t Queue.t;
+  sinks : (int, Packet.t -> unit) Hashtbl.t;
+  mutable qlen : int;
+  mutable busy : bool;
+  mutable drops : int;
+  drops_by_flow : (int, int) Hashtbl.t;
+  delivered_by_flow : (int, int) Hashtbl.t;
+  mutable busy_seconds : float;
+}
+
+let create engine ~rate_bps ~qdisc ?random_loss ?policer () =
+  if rate_bps <= 0. then invalid_arg "Bottleneck.create: rate <= 0";
+  let policer =
+    Option.map
+      (fun (rate, burst) ->
+        { p_rate = rate; p_burst = burst; tokens = float_of_int burst;
+          last_refill = Engine.now engine })
+      policer
+  in
+  { engine; rate_bps; qdisc; random_loss; policer; fifo = Queue.create ();
+    sinks = Hashtbl.create 16; qlen = 0; busy = false; drops = 0;
+    drops_by_flow = Hashtbl.create 16; delivered_by_flow = Hashtbl.create 16;
+    busy_seconds = 0. }
+
+let set_sink t ~flow f = Hashtbl.replace t.sinks flow f
+
+let bump tbl key n =
+  let cur = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key (cur + n)
+
+let record_drop t (pkt : Packet.t) =
+  t.drops <- t.drops + 1;
+  bump t.drops_by_flow pkt.flow 1
+
+let deliver t (pkt : Packet.t) =
+  bump t.delivered_by_flow pkt.flow pkt.size;
+  match Hashtbl.find_opt t.sinks pkt.flow with
+  | Some f -> f pkt
+  | None -> ()
+
+let rec start_next t =
+  match Queue.take_opt t.fifo with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    let tx = float_of_int (pkt.size * 8) /. t.rate_bps in
+    t.busy_seconds <- t.busy_seconds +. tx;
+    Engine.schedule_in t.engine tx (fun () ->
+        pkt.Packet.dequeued_at <- Engine.now t.engine;
+        t.qlen <- t.qlen - pkt.size;
+        deliver t pkt;
+        start_next t)
+
+let policer_admits t (pkt : Packet.t) =
+  match t.policer with
+  | None -> true
+  | Some p ->
+    let now = Engine.now t.engine in
+    let refill = (now -. p.last_refill) *. p.p_rate /. 8. in
+    p.tokens <- Float.min (float_of_int p.p_burst) (p.tokens +. refill);
+    p.last_refill <- now;
+    if p.tokens >= float_of_int pkt.size then begin
+      p.tokens <- p.tokens -. float_of_int pkt.size;
+      true
+    end
+    else false
+
+let random_loss_admits t =
+  match t.random_loss with
+  | None -> true
+  | Some (p, rng) -> not (Rng.bool rng ~p)
+
+let enqueue t pkt =
+  let now = Engine.now t.engine in
+  if not (policer_admits t pkt) then record_drop t pkt
+  else if not (random_loss_admits t) then record_drop t pkt
+  else if Qdisc.admit t.qdisc ~now ~qlen_bytes:t.qlen ~pkt_size:pkt.Packet.size
+  then begin
+    pkt.Packet.enqueued_at <- now;
+    t.qlen <- t.qlen + pkt.Packet.size;
+    Queue.push pkt t.fifo;
+    if not t.busy then start_next t
+  end
+  else record_drop t pkt
+
+let rate_bps t = t.rate_bps
+
+let qlen_bytes t = t.qlen
+
+let queue_delay t = float_of_int (t.qlen * 8) /. t.rate_bps
+
+let drops t = t.drops
+
+let drops_for t ~flow =
+  Option.value ~default:0 (Hashtbl.find_opt t.drops_by_flow flow)
+
+let delivered_bytes t ~flow =
+  Option.value ~default:0 (Hashtbl.find_opt t.delivered_by_flow flow)
+
+let busy_seconds t = t.busy_seconds
+
+let capacity_bytes t = Qdisc.capacity_bytes t.qdisc

@@ -1,0 +1,55 @@
+(** The shared bottleneck link: a FIFO buffer drained at a fixed rate.
+
+    Matches the paper's network model (Fig. 2): all senders' packets converge
+    on one queue of rate µ; per-flow propagation happens outside this module.
+    Optionally applies uniform random loss (lossy Internet paths) and a
+    token-bucket policer (policed paths), both used by the §8.4 path-profile
+    experiments. *)
+
+type t
+
+(** [create engine ~rate_bps ~qdisc ()] builds an idle bottleneck.
+    [random_loss] drops each admitted packet with the given probability;
+    [policer] drops packets exceeding a token bucket of [rate_bps] and
+    [burst_bytes] instead of queueing them. *)
+val create :
+  Engine.t ->
+  rate_bps:float ->
+  qdisc:Qdisc.t ->
+  ?random_loss:float * Rng.t ->
+  ?policer:float * int ->
+  unit ->
+  t
+
+(** [set_sink t ~flow f] registers the delivery callback for [flow]'s packets
+    (invoked when a packet finishes serialisation at the link head). *)
+val set_sink : t -> flow:int -> (Packet.t -> unit) -> unit
+
+(** [enqueue t pkt] submits [pkt]; it is either queued or dropped. *)
+val enqueue : t -> Packet.t -> unit
+
+(** Observability *)
+
+val rate_bps : t -> float
+
+(** [qlen_bytes t] includes the packet currently being serialised. *)
+val qlen_bytes : t -> int
+
+(** [queue_delay t] is the drain-time estimate [qlen·8/rate], in seconds. *)
+val queue_delay : t -> float
+
+(** [drops t] is the cumulative count of dropped packets. *)
+val drops : t -> int
+
+(** [drops_for t ~flow] is the cumulative drops of one flow. *)
+val drops_for : t -> flow:int -> int
+
+(** [delivered_bytes t ~flow] is the cumulative bytes serialised for [flow]. *)
+val delivered_bytes : t -> flow:int -> int
+
+(** [busy_seconds t] is the cumulative time the link spent transmitting —
+    divide by elapsed time for utilisation. *)
+val busy_seconds : t -> float
+
+(** [capacity_bytes t] is the buffer size. *)
+val capacity_bytes : t -> int

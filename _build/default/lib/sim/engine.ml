@@ -1,0 +1,46 @@
+type t = {
+  mutable clock : float;
+  events : (unit -> unit) Heap.t;
+}
+
+let create () = { clock = 0.; events = Heap.create () }
+
+let now t = t.clock
+
+let schedule_at t time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %.9f is before now (%.9f)" time t.clock);
+  Heap.push t.events ~key:time f
+
+let schedule_in t delay f =
+  if delay < 0. then invalid_arg "Engine.schedule_in: negative delay";
+  Heap.push t.events ~key:(t.clock +. delay) f
+
+let every t ~dt ?start ?until f =
+  if dt <= 0. then invalid_arg "Engine.every: dt <= 0";
+  let first = match start with Some s -> s | None -> t.clock +. dt in
+  let rec tick () =
+    f ();
+    let next = t.clock +. dt in
+    match until with
+    | Some stop when next > stop -> ()
+    | _ -> schedule_at t next tick
+  in
+  schedule_at t first tick
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_key t.events with
+    | Some key when key <= horizon ->
+      (match Heap.pop t.events with
+       | Some (time, f) ->
+         t.clock <- time;
+         f ()
+       | None -> continue := false)
+    | _ -> continue := false
+  done;
+  if t.clock < horizon then t.clock <- horizon
+
+let pending t = Heap.size t.events

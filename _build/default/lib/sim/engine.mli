@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine.
+
+    A single mutable clock plus an event queue of thunks. All network
+    elements, congestion controllers, and traffic sources advance by
+    scheduling callbacks on the shared engine. *)
+
+type t
+
+(** [create ()] is a fresh engine with the clock at [0.]. *)
+val create : unit -> t
+
+(** [now t] is the current simulated time in seconds. *)
+val now : t -> float
+
+(** [schedule_at t time f] runs [f] when the clock reaches [time]. Scheduling
+    in the past raises [Invalid_argument]. *)
+val schedule_at : t -> float -> (unit -> unit) -> unit
+
+(** [schedule_in t delay f] runs [f] after [delay] seconds ([delay >= 0.]). *)
+val schedule_in : t -> float -> (unit -> unit) -> unit
+
+(** [every t ~dt ?start ?until f] runs [f] at [start] (default: [now + dt])
+    and every [dt] seconds thereafter, stopping after [until] when given. *)
+val every : t -> dt:float -> ?start:float -> ?until:float -> (unit -> unit) -> unit
+
+(** [run_until t horizon] processes events in timestamp order until the queue
+    empties or the next event lies beyond [horizon]; the clock ends at
+    [horizon] (or at the last event if the queue drained early and no event
+    reached the horizon). *)
+val run_until : t -> float -> unit
+
+(** [pending t] is the number of queued events (of use to tests). *)
+val pending : t -> int

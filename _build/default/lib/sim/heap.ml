@@ -1,0 +1,79 @@
+type 'a entry = {
+  key : float;
+  seq : int;
+  value : 'a;
+}
+
+type 'a t = {
+  mutable data : 'a entry array; (* slot 0 unused when empty *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let size h = h.size
+
+let is_empty h = h.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = max 16 (cap * 2) in
+    let data = Array.make ncap entry in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let push h ~key value =
+  let entry = { key; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  grow h entry;
+  (* sift up *)
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  h.data.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less entry h.data.(parent) then begin
+      h.data.(!i) <- h.data.(parent);
+      h.data.(parent) <- entry;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      let last = h.data.(h.size) in
+      h.data.(0) <- last;
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_key h = if h.size = 0 then None else Some h.data.(0).key
+
+let clear h = h.size <- 0

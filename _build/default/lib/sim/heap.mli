@@ -1,0 +1,28 @@
+(** Binary min-heap keyed by float, with FIFO order among equal keys.
+
+    Backs the event queue: keys are simulated timestamps, and FIFO
+    tie-breaking keeps same-instant events in the order they were scheduled,
+    which makes simulations deterministic. *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+(** [size h]. *)
+val size : 'a t -> int
+
+(** [is_empty h]. *)
+val is_empty : 'a t -> bool
+
+(** [push h ~key v] inserts [v] with priority [key]. *)
+val push : 'a t -> key:float -> 'a -> unit
+
+(** [pop h] removes and returns the minimum-key entry, or [None] when empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek_key h] is the minimum key without removing it. *)
+val peek_key : 'a t -> float option
+
+(** [clear h] removes all entries. *)
+val clear : 'a t -> unit

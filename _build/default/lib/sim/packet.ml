@@ -1,0 +1,20 @@
+type t = {
+  flow : int;
+  seq : int;
+  size : int;
+  mutable sent_at : float;
+  mutable enqueued_at : float;
+  mutable dequeued_at : float;
+  retransmission : bool;
+}
+
+let default_data_size = 1500
+
+let ack_size = 40
+
+let make ~flow ~seq ~size ~now ?(retransmission = false) () =
+  { flow; seq; size; sent_at = now; enqueued_at = nan; dequeued_at = nan;
+    retransmission }
+
+let queueing_delay p =
+  if Float.is_nan p.dequeued_at then nan else p.dequeued_at -. p.enqueued_at

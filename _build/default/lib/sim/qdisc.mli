@@ -1,0 +1,32 @@
+(** Queue disciplines for the bottleneck buffer.
+
+    Drop-tail is the paper's default; PIE is used by the §8.2 AQM robustness
+    experiments. The discipline decides admission; the bottleneck owns the
+    actual FIFO. *)
+
+type t
+
+(** [droptail ~capacity_bytes] drops arrivals that would overflow the buffer. *)
+val droptail : capacity_bytes:int -> t
+
+(** [pie ~capacity_bytes ~target_delay ~link_rate_bps ~rng] implements the PIE
+    AQM (RFC 8033, simplified): a drop probability is updated every 15 ms from
+    the estimated queueing delay [qlen·8/rate] against [target_delay], and
+    arrivals are dropped randomly with that probability (plus tail drop at
+    [capacity_bytes]). *)
+val pie :
+  capacity_bytes:int ->
+  target_delay:float ->
+  link_rate_bps:float ->
+  rng:Rng.t ->
+  t
+
+(** [capacity_bytes t]. *)
+val capacity_bytes : t -> int
+
+(** [admit t ~now ~qlen_bytes ~pkt_size] decides whether an arriving packet
+    is admitted given the current backlog. Advances internal AQM state. *)
+val admit : t -> now:float -> qlen_bytes:int -> pkt_size:int -> bool
+
+(** [name t] is ["droptail"] or ["pie"]. *)
+val name : t -> string

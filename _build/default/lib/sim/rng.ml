@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* keep 62 bits so the conversion to OCaml's 63-bit int stays positive *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits t) 2) in
+  r mod bound
+
+(* 53 random mantissa bits -> [0, 1) *)
+let uniform t =
+  let r = Int64.shift_right_logical (bits t) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let float t x = uniform t *. x
+
+let range t ~lo ~hi = lo +. (uniform t *. (hi -. lo))
+
+let bool t ~p = uniform t < p
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean <= 0";
+  let u = 1.0 -. uniform t in
+  -.mean *. log u
+
+let normal t =
+  let u1 = 1.0 -. uniform t in
+  let u2 = uniform t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. 4.0 *. atan 1.0 *. u2)
+
+let lognormal t ~mu ~sigma = exp (mu +. (sigma *. normal t))
+
+let pareto t ~shape ~scale =
+  if shape <= 0. || scale <= 0. then invalid_arg "Rng.pareto: non-positive parameter";
+  let u = 1.0 -. uniform t in
+  scale /. (u ** (1.0 /. shape))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

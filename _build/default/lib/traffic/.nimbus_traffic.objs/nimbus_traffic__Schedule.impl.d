@@ -1,0 +1,1 @@
+lib/traffic/schedule.ml: Float List Nimbus_cc Nimbus_sim Source

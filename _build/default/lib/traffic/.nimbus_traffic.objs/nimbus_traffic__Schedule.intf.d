@@ -1,0 +1,1 @@
+lib/traffic/schedule.mli: Nimbus_cc Nimbus_sim

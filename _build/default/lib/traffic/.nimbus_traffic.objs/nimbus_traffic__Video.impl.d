@@ -1,0 +1,1 @@
+lib/traffic/video.ml: Array Float Nimbus_cc Nimbus_dsp Nimbus_sim

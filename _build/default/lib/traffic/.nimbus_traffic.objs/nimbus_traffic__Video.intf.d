@@ -1,0 +1,1 @@
+lib/traffic/video.mli: Nimbus_sim

@@ -1,0 +1,1 @@
+lib/traffic/wan.ml: Array Float List Nimbus_cc Nimbus_sim

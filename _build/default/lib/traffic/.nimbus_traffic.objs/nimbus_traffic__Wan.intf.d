@@ -1,0 +1,1 @@
+lib/traffic/wan.mli: Nimbus_sim

@@ -1,0 +1,74 @@
+module Engine = Nimbus_sim.Engine
+module Flow = Nimbus_cc.Flow
+module Cubic = Nimbus_cc.Cubic
+
+type phase = {
+  p_start : float;
+  p_end : float;
+  inelastic_bps : float;
+  elastic_flows : int;
+}
+
+let phase ~start ~stop ~inelastic_bps ~elastic_flows =
+  if stop <= start then invalid_arg "Schedule.phase: stop <= start";
+  if elastic_flows < 0 then invalid_arg "Schedule.phase: negative flow count";
+  { p_start = start; p_end = stop; inelastic_bps; elastic_flows }
+
+type t = {
+  phases : phase list;
+  source : Source.t;
+  mutable created : Flow.t list;
+}
+
+let phase_at t now =
+  List.find_opt (fun p -> now >= p.p_start && now < p.p_end) t.phases
+
+let install engine bottleneck ~rng ~phases ?(inelastic = `Poisson)
+    ?(prop_rtt = 0.05) ?elastic_cc () =
+  if phases = [] then invalid_arg "Schedule.install: no phases";
+  let make_cc =
+    match elastic_cc with Some f -> f | None -> fun () -> Cubic.make ()
+  in
+  let source =
+    match inelastic with
+    | `Poisson -> Source.poisson engine bottleneck ~rng ~rate_bps:0. ()
+    | `Cbr -> Source.cbr engine bottleneck ~rate_bps:0. ()
+  in
+  let t = { phases; source; created = [] } in
+  List.iter
+    (fun p ->
+      Engine.schedule_at engine p.p_start (fun () ->
+          Source.set_rate source p.inelastic_bps;
+          let flows =
+            List.init p.elastic_flows (fun _ ->
+                Flow.create engine bottleneck ~cc:(make_cc ()) ~prop_rtt ())
+          in
+          t.created <- t.created @ flows;
+          Engine.schedule_at engine p.p_end (fun () ->
+              List.iter Flow.stop flows)))
+    phases;
+  (* silence the source after the last phase *)
+  let last_end =
+    List.fold_left (fun acc p -> Float.max acc p.p_end) neg_infinity phases
+  in
+  Engine.schedule_at engine last_end (fun () -> Source.set_rate source 0.);
+  t
+
+let elastic_present t ~now =
+  match phase_at t now with
+  | Some p -> p.elastic_flows > 0
+  | None -> false
+
+let inelastic_rate t ~now =
+  match phase_at t now with
+  | Some p -> p.inelastic_bps
+  | None -> 0.
+
+let fair_share t ~now ~mu ~primary_flows =
+  match phase_at t now with
+  | None -> mu /. float_of_int (max 1 primary_flows)
+  | Some p ->
+    let remaining = Float.max 0. (mu -. p.inelastic_bps) in
+    remaining /. float_of_int (max 1 (p.elastic_flows + primary_flows))
+
+let elastic_cross_flows t = t.created

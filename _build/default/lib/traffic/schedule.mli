@@ -1,0 +1,52 @@
+(** Scripted cross-traffic scenarios — the phase headers of Fig. 1 and
+    Fig. 8 ("16M/1T → 32M/2T → …"): each phase offers a given inelastic rate
+    plus a number of long-running elastic (Cubic) flows. *)
+
+type phase = {
+  p_start : float;
+  p_end : float;
+  inelastic_bps : float; (* offered rate of the open-loop source *)
+  elastic_flows : int;   (* backlogged Cubic cross-flows during the phase *)
+}
+
+(** [phase ~start ~stop ~inelastic_bps ~elastic_flows] builds one entry. *)
+val phase :
+  start:float -> stop:float -> inelastic_bps:float -> elastic_flows:int -> phase
+
+type t
+
+(** [install engine bottleneck ~rng ~phases ()] arms the scenario: an
+    open-loop source whose rate follows the script, and per-phase Cubic
+    flows started/stopped at the boundaries.
+    @param inelastic [`Poisson] (default) or [`Cbr]
+    @param prop_rtt RTT of the elastic cross-flows (default 0.05)
+    @param elastic_cc controller factory for the elastic flows (default
+           Cubic) *)
+val install :
+  Nimbus_sim.Engine.t ->
+  Nimbus_sim.Bottleneck.t ->
+  rng:Nimbus_sim.Rng.t ->
+  phases:phase list ->
+  ?inelastic:[ `Poisson | `Cbr ] ->
+  ?prop_rtt:float ->
+  ?elastic_cc:(unit -> Nimbus_cc.Cc_types.t) ->
+  unit ->
+  t
+
+(** Ground truth for scoring the detector. *)
+
+(** [elastic_present t ~now] — does the script place elastic flows on the
+    link at [now]? *)
+val elastic_present : t -> now:float -> bool
+
+(** [inelastic_rate t ~now] — scripted open-loop rate at [now], bps. *)
+val inelastic_rate : t -> now:float -> float
+
+(** [fair_share t ~now ~mu ~primary_flows] — the throughput each of the
+    [primary_flows] measured flows should get: the link capacity left after
+    the inelastic traffic, split evenly with the elastic cross-flows. *)
+val fair_share : t -> now:float -> mu:float -> primary_flows:int -> float
+
+(** [elastic_cross_flows t] — every elastic flow the scenario created (for
+    per-flow accounting). *)
+val elastic_cross_flows : t -> Nimbus_cc.Flow.t list

@@ -1,0 +1,68 @@
+module Engine = Nimbus_sim.Engine
+module Bottleneck = Nimbus_sim.Bottleneck
+module Packet = Nimbus_sim.Packet
+module Rng = Nimbus_sim.Rng
+module Flow = Nimbus_cc.Flow
+
+type kind =
+  | Poisson of Rng.t
+  | Cbr
+
+type t = {
+  engine : Engine.t;
+  bottleneck : Bottleneck.t;
+  kind : kind;
+  flow_id : int;
+  pkt_size : int;
+  stop : float option;
+  mutable rate : float;
+  mutable seq : int;
+  mutable active : bool;
+}
+
+let flow_id t = t.flow_id
+
+let rate_bps t = t.rate
+
+let set_rate t rate = t.rate <- Float.max 0. rate
+
+let halt t = t.active <- false
+
+let interval t =
+  let bits = float_of_int (t.pkt_size * 8) in
+  match t.kind with
+  | Cbr -> bits /. t.rate
+  | Poisson rng -> Rng.exponential rng ~mean:(bits /. t.rate)
+
+let rec step t =
+  let now = Engine.now t.engine in
+  let expired = match t.stop with Some s -> now >= s | None -> false in
+  if t.active && not expired then begin
+    if t.rate > 0. then begin
+      let pkt =
+        Packet.make ~flow:t.flow_id ~seq:t.seq ~size:t.pkt_size ~now ()
+      in
+      t.seq <- t.seq + 1;
+      Bottleneck.enqueue t.bottleneck pkt;
+      Engine.schedule_in t.engine (interval t) (fun () -> step t)
+    end
+    else
+      (* paused: poll for a rate change *)
+      Engine.schedule_in t.engine 0.01 (fun () -> step t)
+  end
+
+let make engine bottleneck kind ~rate_bps ~pkt_size ~start ~stop =
+  if rate_bps < 0. then invalid_arg "Source: negative rate";
+  let t =
+    { engine; bottleneck; kind; flow_id = Flow.fresh_id (); pkt_size; stop;
+      rate = rate_bps; seq = 0; active = true }
+  in
+  let start = match start with Some s -> s | None -> Engine.now engine in
+  Engine.schedule_at engine start (fun () -> step t);
+  t
+
+let poisson engine bottleneck ~rng ~rate_bps ?(pkt_size = 1500) ?start ?stop () =
+  make engine bottleneck (Poisson rng) ~rate_bps ~pkt_size ~start ~stop
+
+let cbr engine bottleneck ~rate_bps ?(pkt_size = 1500) ?start ?stop () =
+  make engine bottleneck Cbr ~rate_bps ~pkt_size ~start ~stop

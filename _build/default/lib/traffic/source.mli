@@ -1,0 +1,46 @@
+(** Raw, open-loop packet injectors — the inelastic cross traffic of the
+    paper's experiments. They push packets straight into the bottleneck with
+    no acknowledgements and no congestion response. *)
+
+type t
+
+(** [poisson engine bottleneck ~rng ~rate_bps ()] injects packets with
+    exponential inter-arrival times averaging [rate_bps].
+    @param pkt_size bytes (default 1500)
+    @param start absolute start time (default now)
+    @param stop absolute stop time (default never) *)
+val poisson :
+  Nimbus_sim.Engine.t ->
+  Nimbus_sim.Bottleneck.t ->
+  rng:Nimbus_sim.Rng.t ->
+  rate_bps:float ->
+  ?pkt_size:int ->
+  ?start:float ->
+  ?stop:float ->
+  unit ->
+  t
+
+(** [cbr engine bottleneck ~rate_bps ()] injects packets with deterministic
+    spacing — a constant-bit-rate stream. *)
+val cbr :
+  Nimbus_sim.Engine.t ->
+  Nimbus_sim.Bottleneck.t ->
+  rate_bps:float ->
+  ?pkt_size:int ->
+  ?start:float ->
+  ?stop:float ->
+  unit ->
+  t
+
+(** [flow_id t] — for per-flow accounting at the bottleneck. *)
+val flow_id : t -> int
+
+(** [set_rate t rate_bps] changes the injection rate (0 pauses); scripted
+    scenarios use this to vary the inelastic load. *)
+val set_rate : t -> float -> unit
+
+(** [rate_bps t]. *)
+val rate_bps : t -> float
+
+(** [halt t] stops the source permanently. *)
+val halt : t -> unit

@@ -1,0 +1,51 @@
+(** DASH-style adaptive video client, used as cross traffic (§8.1, Fig. 11).
+
+    The client downloads fixed-duration chunks over a Cubic transport,
+    choosing a bitrate from its ladder with a standard hybrid rule
+    (throughput estimate scaled by a safety factor, overridden near buffer
+    limits). Whether such a stream behaves as elastic or inelastic cross
+    traffic depends on where the ladder tops out relative to the fair share:
+    a 4K ladder is network-limited (elastic), a 1080p ladder leaves the
+    client idle between chunks (application-limited, inelastic). *)
+
+type t
+
+(** Bitrate ladders in bits/s. *)
+val ladder_4k : float array
+
+val ladder_1080p : float array
+
+(** [create engine bottleneck ~ladder ()] starts a client.
+    @param chunk_seconds media seconds per chunk (default 4)
+    @param prop_rtt transport propagation RTT (default 0.05 s)
+    @param buffer_low start panicking below this many buffered seconds
+           (default 8)
+    @param buffer_high stop requesting above this (default 20)
+    @param start absolute start time *)
+val create :
+  Nimbus_sim.Engine.t ->
+  Nimbus_sim.Bottleneck.t ->
+  ladder:float array ->
+  ?chunk_seconds:float ->
+  ?prop_rtt:float ->
+  ?buffer_low:float ->
+  ?buffer_high:float ->
+  ?start:float ->
+  unit ->
+  t
+
+(** [buffer_seconds t] — current playback buffer. *)
+val buffer_seconds : t -> float
+
+(** [current_bitrate_bps t] — ladder rung of the chunk in flight (or last
+    completed). *)
+val current_bitrate_bps : t -> float
+
+(** [chunks_fetched t]. *)
+val chunks_fetched : t -> int
+
+(** [rebuffer_seconds t] — cumulative stall time. *)
+val rebuffer_seconds : t -> float
+
+(** [flow_id t] — bottleneck accounting id of the transport flow. *)
+val flow_id : t -> int

@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Basic_delay Bbr Cc_types Compound Copa Cubic Float Flow Nimbus_cc Nimbus_metrics Nimbus_sim Nimbus_traffic Option Reno Simple_cc Vegas Vivace

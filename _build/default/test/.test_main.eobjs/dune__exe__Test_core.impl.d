@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Elasticity Float Fmt List Nimbus Nimbus_cc Nimbus_core Nimbus_dsp Nimbus_sim Nimbus_traffic Pulse QCheck QCheck_alcotest Z_estimator

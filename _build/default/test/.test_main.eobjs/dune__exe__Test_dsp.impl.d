@@ -1,0 +1,1 @@
+test/test_dsp.ml: Alcotest Array Cbuf Ewma Fft Float Gen Goertzel List Nimbus_dsp Nimbus_sim QCheck QCheck_alcotest Ring Spectrum Stats Window

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Nimbus_cc Nimbus_experiments Nimbus_sim String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_cc Test_core Test_dsp Test_experiments Test_metrics Test_sim Test_traffic

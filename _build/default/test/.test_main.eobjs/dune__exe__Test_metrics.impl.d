@@ -1,0 +1,1 @@
+test/test_metrics.ml: Accuracy Alcotest Array Fairness Fct Float Gen List Monitor Nimbus_metrics Nimbus_sim QCheck QCheck_alcotest Series

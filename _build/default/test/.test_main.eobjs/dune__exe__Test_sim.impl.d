@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bottleneck Engine Float Heap List Nimbus_sim Packet QCheck QCheck_alcotest Qdisc Rng

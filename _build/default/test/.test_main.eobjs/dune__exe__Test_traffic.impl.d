@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Float List Nimbus_sim Nimbus_traffic Schedule Source Video Wan

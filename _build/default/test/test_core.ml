@@ -1,0 +1,381 @@
+(* Tests for the paper's core contribution: pulses, the ẑ estimator, the
+   elasticity detector, and the Nimbus controller (short closed-loop sims). *)
+
+module Engine = Nimbus_sim.Engine
+module Bottleneck = Nimbus_sim.Bottleneck
+module Qdisc = Nimbus_sim.Qdisc
+module Rng = Nimbus_sim.Rng
+module Flow = Nimbus_cc.Flow
+open Nimbus_core
+
+let pi = 4.0 *. atan 1.0
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* --- pulse ---------------------------------------------------------------- *)
+
+let test_pulse_zero_mean () =
+  List.iter
+    (fun shape ->
+      let m = Pulse.mean ~shape ~amplitude:12e6 ~freq:5. ~samples:100_000 in
+      if Float.abs m > 12e6 *. 1e-3 then
+        Alcotest.failf "pulse mean %.3g not ~0" m)
+    [ Pulse.Asymmetric; Pulse.Symmetric ]
+
+let test_pulse_asymmetric_profile () =
+  let amplitude = 24e6 and freq = 5. in
+  let v t = Pulse.value ~shape:Pulse.Asymmetric ~amplitude ~freq t in
+  (* peak of the positive lobe at T/8 *)
+  check_close ~eps:1. "positive peak" amplitude (v 0.025);
+  (* trough of the negative lobe at T/4 + 3T/8 = 0.125 *)
+  check_close ~eps:1. "negative trough" (-.amplitude /. 3.) (v 0.125);
+  check_close ~eps:1e-3 "zero at boundary" 0. (v 0.05);
+  (* periodicity *)
+  check_close ~eps:1. "periodic" (v 0.01) (v 0.21);
+  (* negative time wraps cleanly *)
+  check_close ~eps:1. "negative time" (v 0.19) (v (-0.01))
+
+let test_pulse_min_send_rate () =
+  check_close "asym mu/12" 8e6
+    (Pulse.min_send_rate ~shape:Pulse.Asymmetric ~amplitude:24e6);
+  check_close "sym mu/4" 24e6
+    (Pulse.min_send_rate ~shape:Pulse.Symmetric ~amplitude:24e6)
+
+let test_pulse_validation () =
+  Alcotest.(check bool) "freq <= 0" true
+    (try ignore (Pulse.value ~shape:Pulse.Symmetric ~amplitude:1. ~freq:0. 0.); false
+     with Invalid_argument _ -> true)
+
+(* --- z estimator ---------------------------------------------------------- *)
+
+let test_z_estimator_exact () =
+  (* S = 24M, cross = 48M on a 96M busy link: R = mu*S/(S+z) = 32M *)
+  check_close "recovers z" 48e6
+    (Z_estimator.estimate ~mu:96e6 ~send_rate:24e6 ~recv_rate:32e6);
+  (* no cross traffic: R = S -> z = mu - S... clamped by queue-busy caveat *)
+  check_close "alone gives mu - S" 72e6
+    (Z_estimator.estimate ~mu:96e6 ~send_rate:24e6 ~recv_rate:24e6)
+
+let test_z_estimator_clamps () =
+  (* R > S (draining faster than sending) would give negative z *)
+  check_close "clamps at 0" 0.
+    (Z_estimator.estimate ~mu:96e6 ~send_rate:24e6 ~recv_rate:96e6);
+  check_close "clamps at mu" 96e6
+    (Z_estimator.estimate ~mu:96e6 ~send_rate:50e6 ~recv_rate:1e6)
+
+let test_z_estimator_nan () =
+  Alcotest.(check bool) "nan send" true
+    (Float.is_nan (Z_estimator.estimate ~mu:96e6 ~send_rate:nan ~recv_rate:1e6));
+  Alcotest.(check bool) "zero recv" true
+    (Float.is_nan (Z_estimator.estimate ~mu:96e6 ~send_rate:1e6 ~recv_rate:0.))
+
+let test_mu_known () =
+  let mu = Z_estimator.Mu.known 48e6 in
+  check_close "known" 48e6 (Z_estimator.Mu.current mu ~now:0.);
+  Z_estimator.Mu.observe mu ~now:1. ~recv_rate:99e6;
+  check_close "known ignores observations" 48e6
+    (Z_estimator.Mu.current mu ~now:1.)
+
+let test_mu_estimator_tracks_max () =
+  let mu = Z_estimator.Mu.estimator ~window:5. () in
+  Alcotest.(check bool) "starts nan" true
+    (Float.is_nan (Z_estimator.Mu.current mu ~now:0.));
+  Z_estimator.Mu.observe mu ~now:1. ~recv_rate:10e6;
+  Z_estimator.Mu.observe mu ~now:2. ~recv_rate:40e6;
+  Z_estimator.Mu.observe mu ~now:3. ~recv_rate:20e6;
+  check_close "max" 40e6 (Z_estimator.Mu.current mu ~now:3.);
+  (* the 40M sample ages out of the window *)
+  Z_estimator.Mu.observe mu ~now:8. ~recv_rate:20e6;
+  check_close "window expiry" 20e6 (Z_estimator.Mu.current mu ~now:8.)
+
+(* --- elasticity detector -------------------------------------------------- *)
+
+let feed det f =
+  for i = 0 to 499 do
+    Elasticity.add_sample det (f (float_of_int i *. 0.01))
+  done
+
+let test_detector_needs_full_window () =
+  let det = Elasticity.create () in
+  Alcotest.(check bool) "not ready" false (Elasticity.ready det);
+  Alcotest.(check bool) "eta nan" true (Float.is_nan (Elasticity.eta det ~freq:5.));
+  Alcotest.(check (option reject)) "no verdict" None
+    (Elasticity.classify det ~freq:5.);
+  feed det (fun _ -> 1.);
+  Alcotest.(check bool) "ready" true (Elasticity.ready det)
+
+let test_detector_elastic_signal () =
+  let det = Elasticity.create () in
+  feed det (fun t -> 24e6 +. (4e6 *. sin (2. *. pi *. 5. *. t)));
+  Alcotest.(check bool) "high eta" true (Elasticity.eta det ~freq:5. > 10.);
+  Alcotest.(check (option (of_pp Fmt.nop))) "elastic"
+    (Some Elasticity.Elastic)
+    (Elasticity.classify det ~freq:5.)
+
+let test_detector_inelastic_noise () =
+  let rng = Rng.create 11 in
+  let det = Elasticity.create () in
+  feed det (fun _ -> 24e6 +. (4e6 *. (Rng.uniform rng -. 0.5)));
+  Alcotest.(check (option (of_pp Fmt.nop))) "inelastic"
+    (Some Elasticity.Inelastic)
+    (Elasticity.classify det ~freq:5.)
+
+let test_detector_off_frequency () =
+  let det = Elasticity.create () in
+  (* strong oscillation inside the comparison band, none at f_p *)
+  feed det (fun t -> 24e6 +. (4e6 *. sin (2. *. pi *. 7.4 *. t)));
+  Alcotest.(check bool) "eta < 1" true (Elasticity.eta det ~freq:5. < 1.)
+
+let test_detector_handles_nan_samples () =
+  let det = Elasticity.create () in
+  for i = 0 to 499 do
+    let t = float_of_int i *. 0.01 in
+    Elasticity.add_sample det
+      (if i mod 7 = 0 then nan else 24e6 +. (4e6 *. sin (2. *. pi *. 5. *. t)))
+  done;
+  Alcotest.(check bool) "still elastic despite gaps" true
+    (Elasticity.eta det ~freq:5. > 2.)
+
+let test_detector_sliding () =
+  (* after a full window of noise, an elastic signal must flip the verdict
+     within roughly one window *)
+  let rng = Rng.create 12 in
+  let det = Elasticity.create () in
+  feed det (fun _ -> 24e6 +. (2e6 *. (Rng.uniform rng -. 0.5)));
+  Alcotest.(check (option (of_pp Fmt.nop))) "starts inelastic"
+    (Some Elasticity.Inelastic)
+    (Elasticity.classify det ~freq:5.);
+  feed det (fun t -> 24e6 +. (6e6 *. sin (2. *. pi *. 5. *. t)));
+  Alcotest.(check (option (of_pp Fmt.nop))) "flips to elastic"
+    (Some Elasticity.Elastic)
+    (Elasticity.classify det ~freq:5.)
+
+let test_detector_spectrum_access () =
+  let det = Elasticity.create () in
+  feed det (fun t -> 10e6 *. sin (2. *. pi *. 5. *. t));
+  match Elasticity.spectrum det with
+  | None -> Alcotest.fail "spectrum missing"
+  | Some s ->
+    let f, _ = Nimbus_dsp.Spectrum.dominant s ~above:1. in
+    check_close "dominant at 5Hz" 5. f
+
+let test_detector_oscillation_amplitude () =
+  (* a sinusoid of amplitude 3e6 must be read back through the taper's
+     coherent-gain inversion *)
+  let det = Elasticity.create () in
+  feed det (fun t -> 24e6 +. (3e6 *. sin (2. *. pi *. 5. *. t)));
+  let a = Elasticity.oscillation_amplitude det ~freq:5. in
+  if Float.abs (a -. 3e6) > 0.15e6 then
+    Alcotest.failf "amplitude %.3g != 3e6" a
+
+let test_detector_validation () =
+  Alcotest.(check bool) "bad threshold" true
+    (try ignore (Elasticity.create ~eta_thresh:0.5 ()); false
+     with Invalid_argument _ -> true)
+
+(* --- nimbus closed loop --------------------------------------------------- *)
+
+let make_link ?(rate_bps = 48e6) () =
+  let e = Engine.create () in
+  let bn =
+    Bottleneck.create e ~rate_bps
+      ~qdisc:
+        (Qdisc.droptail
+           ~capacity_bytes:(int_of_float (rate_bps *. 0.1 /. 8.)))
+      ()
+  in
+  (e, bn)
+
+let start_nimbus ?(multi_flow = false) ?(seed = 1) e bn ~mu =
+  let nim = Nimbus.create ~mu:(Z_estimator.Mu.known mu) ~multi_flow ~seed () in
+  let flow =
+    Flow.create e bn
+      ~cc:(Nimbus.cc nim ~now:(fun () -> Engine.now e))
+      ~prop_rtt:0.05 ()
+  in
+  (nim, flow)
+
+let test_nimbus_solo_delay_mode () =
+  let e, bn = make_link () in
+  let nim, flow = start_nimbus e bn ~mu:48e6 in
+  Engine.run_until e 30.;
+  Alcotest.(check string) "delay mode" "delay"
+    (Nimbus.mode_to_string (Nimbus.mode nim));
+  Alcotest.(check bool) "fills link" true
+    (float_of_int (Flow.received_bytes flow * 8) /. 30. > 0.9 *. 48e6);
+  Alcotest.(check bool) "short queue" true (Bottleneck.queue_delay bn < 0.03)
+
+let test_nimbus_detects_cubic () =
+  let e, bn = make_link () in
+  let nim, flow = start_nimbus e bn ~mu:48e6 in
+  ignore (Flow.create e bn ~cc:(Nimbus_cc.Cubic.make ()) ~prop_rtt:0.05 ());
+  let competitive = ref 0 and samples = ref 0 in
+  Engine.every e ~dt:0.1 ~start:10. ~until:60. (fun () ->
+      incr samples;
+      if Nimbus.mode nim = Nimbus.Competitive then incr competitive);
+  Engine.run_until e 60.;
+  let frac = float_of_int !competitive /. float_of_int !samples in
+  Alcotest.(check bool) "mostly competitive" true (frac > 0.8);
+  Alcotest.(check bool) "gets a useful share" true
+    (float_of_int (Flow.received_bytes flow * 8) /. 60. > 0.25 *. 48e6)
+
+let test_nimbus_stays_delay_on_poisson () =
+  let e, bn = make_link () in
+  let nim, flow = start_nimbus e bn ~mu:48e6 in
+  ignore
+    (Nimbus_traffic.Source.poisson e bn ~rng:(Rng.create 5) ~rate_bps:24e6 ());
+  let delay = ref 0 and samples = ref 0 in
+  Engine.every e ~dt:0.1 ~start:10. ~until:60. (fun () ->
+      incr samples;
+      if Nimbus.mode nim = Nimbus.Delay then incr delay);
+  Engine.run_until e 60.;
+  Alcotest.(check bool) "mostly delay mode" true
+    (float_of_int !delay /. float_of_int !samples > 0.9);
+  let tput = float_of_int (Flow.received_bytes flow * 8) /. 60. in
+  Alcotest.(check bool) "takes the residual fair share" true (tput > 0.85 *. 24e6)
+
+let test_nimbus_mode_transition () =
+  (* cubic joins at t=20: nimbus must be competitive within ~10 s *)
+  let e, bn = make_link () in
+  let nim, _ = start_nimbus e bn ~mu:48e6 in
+  Engine.schedule_at e 20. (fun () ->
+      ignore (Flow.create e bn ~cc:(Nimbus_cc.Cubic.make ()) ~prop_rtt:0.05 ()));
+  Engine.run_until e 19.;
+  Alcotest.(check string) "delay before" "delay"
+    (Nimbus.mode_to_string (Nimbus.mode nim));
+  Engine.run_until e 32.;
+  Alcotest.(check string) "competitive after" "competitive"
+    (Nimbus.mode_to_string (Nimbus.mode nim))
+
+let test_nimbus_single_flow_is_pulser () =
+  let e, bn = make_link () in
+  let nim, _ = start_nimbus e bn ~mu:48e6 in
+  Engine.run_until e 1.;
+  Alcotest.(check string) "pulser" "pulser"
+    (Nimbus.role_to_string (Nimbus.role nim));
+  Alcotest.(check bool) "pulses at 5Hz" true (Nimbus.pulse_freq nim = 5.)
+
+let test_nimbus_multiflow_election () =
+  (* two multi-flow Nimbus flows: exactly one should end up pulsing, and
+     both should sit in delay mode with a short queue *)
+  let e, bn = make_link ~rate_bps:96e6 () in
+  let nim1, f1 = start_nimbus ~multi_flow:true ~seed:21 e bn ~mu:96e6 in
+  let nim2, f2 = start_nimbus ~multi_flow:true ~seed:77 e bn ~mu:96e6 in
+  Engine.run_until e 60.;
+  let pulsers =
+    List.length
+      (List.filter
+         (fun n -> Nimbus.role n = Nimbus.Pulser)
+         [ nim1; nim2 ])
+  in
+  Alcotest.(check int) "exactly one pulser" 1 pulsers;
+  let t1 = float_of_int (Flow.received_bytes f1 * 8) /. 60. in
+  let t2 = float_of_int (Flow.received_bytes f2 * 8) /. 60. in
+  Alcotest.(check bool) "both flows get real throughput" true
+    (Float.min t1 t2 > 0.2 *. 96e6);
+  Alcotest.(check bool) "high combined utilization" true
+    (t1 +. t2 > 0.8 *. 96e6)
+
+let test_nimbus_base_rate_positive () =
+  let e, bn = make_link () in
+  let nim, _ = start_nimbus e bn ~mu:48e6 in
+  Engine.run_until e 10.;
+  Alcotest.(check bool) "positive base rate" true
+    (Nimbus.base_rate_bps nim > 0.)
+
+(* --- property tests -------------------------------------------------------- *)
+
+let prop_pulse_bounded =
+  QCheck.Test.make ~count:200 ~name:"pulse: |value| <= amplitude, any phase"
+    QCheck.(triple (float_range 1e3 1e8) (float_range 0.5 20.) (float_range (-10.) 10.))
+    (fun (amplitude, freq, t) ->
+      let v = Pulse.value ~shape:Pulse.Asymmetric ~amplitude ~freq t in
+      Float.abs v <= amplitude +. 1e-6)
+
+let prop_pulse_zero_mean =
+  QCheck.Test.make ~count:50 ~name:"pulse: zero mean for any amplitude/freq"
+    QCheck.(pair (float_range 1e3 1e8) (float_range 0.5 20.))
+    (fun (amplitude, freq) ->
+      let m = Pulse.mean ~shape:Pulse.Asymmetric ~amplitude ~freq ~samples:4000 in
+      Float.abs m < amplitude *. 2e-3)
+
+let prop_z_estimate_clamped =
+  QCheck.Test.make ~count:200 ~name:"z: estimate always within [0, mu]"
+    QCheck.(triple (float_range 1e6 1e9) (float_range 1e3 1e9) (float_range 1e3 1e9))
+    (fun (mu, s, r) ->
+      let z = Z_estimator.estimate ~mu ~send_rate:s ~recv_rate:r in
+      z >= 0. && z <= mu)
+
+let prop_z_estimate_inverts =
+  (* construct R from (mu, S, z) via the busy-link identity and recover z *)
+  QCheck.Test.make ~count:200 ~name:"z: inverts the FIFO share identity"
+    QCheck.(pair (float_range 1e6 9e7) (float_range 1e5 9e7))
+    (fun (s, z) ->
+      let mu = 1e8 in
+      QCheck.assume (s +. z > mu);
+      let r = mu *. s /. (s +. z) in
+      let zhat = Z_estimator.estimate ~mu ~send_rate:s ~recv_rate:r in
+      Float.abs (zhat -. z) < 1e-3 *. z +. 1.)
+
+let prop_detector_sinusoid_always_elastic =
+  QCheck.Test.make ~count:30
+    ~name:"elasticity: clean on-bin sinusoid is always elastic"
+    QCheck.(pair (float_range 1e6 2e7) (float_range 0. 6.28))
+    (fun (amp, phase) ->
+      let det = Elasticity.create () in
+      for i = 0 to 499 do
+        let t = float_of_int i *. 0.01 in
+        Elasticity.add_sample det
+          (3e7 +. (amp *. sin ((2. *. pi *. 5. *. t) +. phase)))
+      done;
+      Elasticity.classify det ~freq:5. = Some Elasticity.Elastic)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [ ( "core.pulse",
+      [ Alcotest.test_case "zero mean" `Quick test_pulse_zero_mean;
+        Alcotest.test_case "asymmetric profile" `Quick
+          test_pulse_asymmetric_profile;
+        Alcotest.test_case "min send rate" `Quick test_pulse_min_send_rate;
+        Alcotest.test_case "validation" `Quick test_pulse_validation;
+        qtest prop_pulse_bounded;
+        qtest prop_pulse_zero_mean ] );
+    ( "core.z_estimator",
+      [ Alcotest.test_case "exact" `Quick test_z_estimator_exact;
+        Alcotest.test_case "clamps" `Quick test_z_estimator_clamps;
+        Alcotest.test_case "nan handling" `Quick test_z_estimator_nan;
+        Alcotest.test_case "mu known" `Quick test_mu_known;
+        Alcotest.test_case "mu estimator" `Quick test_mu_estimator_tracks_max;
+        qtest prop_z_estimate_clamped;
+        qtest prop_z_estimate_inverts ] );
+    ( "core.elasticity",
+      [ Alcotest.test_case "needs full window" `Quick
+          test_detector_needs_full_window;
+        Alcotest.test_case "elastic signal" `Quick test_detector_elastic_signal;
+        Alcotest.test_case "inelastic noise" `Quick
+          test_detector_inelastic_noise;
+        Alcotest.test_case "off-frequency" `Quick test_detector_off_frequency;
+        Alcotest.test_case "nan samples" `Quick
+          test_detector_handles_nan_samples;
+        Alcotest.test_case "sliding verdict" `Quick test_detector_sliding;
+        Alcotest.test_case "spectrum access" `Quick
+          test_detector_spectrum_access;
+        Alcotest.test_case "oscillation amplitude" `Quick
+          test_detector_oscillation_amplitude;
+        Alcotest.test_case "validation" `Quick test_detector_validation;
+        qtest prop_detector_sinusoid_always_elastic ] );
+    ( "core.nimbus",
+      [ Alcotest.test_case "solo delay mode" `Quick test_nimbus_solo_delay_mode;
+        Alcotest.test_case "detects cubic" `Quick test_nimbus_detects_cubic;
+        Alcotest.test_case "stays delay on poisson" `Quick
+          test_nimbus_stays_delay_on_poisson;
+        Alcotest.test_case "mode transition" `Quick test_nimbus_mode_transition;
+        Alcotest.test_case "single flow pulses" `Quick
+          test_nimbus_single_flow_is_pulser;
+        Alcotest.test_case "multiflow election" `Quick
+          test_nimbus_multiflow_election;
+        Alcotest.test_case "base rate positive" `Quick
+          test_nimbus_base_rate_positive ] ) ]

@@ -1,0 +1,448 @@
+(* Unit and property tests for the DSP substrate. *)
+
+open Nimbus_dsp
+
+let pi = 4.0 *. atan 1.0
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let check_rel ?(tol = 1e-6) msg expected actual =
+  let denom = Float.max 1e-12 (Float.abs expected) in
+  if Float.abs (expected -. actual) /. denom > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let sinusoid ~n ~sample_rate ~freq ~amp ~phase =
+  Array.init n (fun i ->
+      amp *. sin ((2. *. pi *. freq *. float_of_int i /. sample_rate) +. phase))
+
+let max_diff a b =
+  let d = ref 0. in
+  for i = 0 to Cbuf.length a - 1 do
+    let ar, ai = Cbuf.get a i and br, bi = Cbuf.get b i in
+    d := Float.max !d (Float.max (Float.abs (ar -. br)) (Float.abs (ai -. bi)))
+  done;
+  !d
+
+(* --- cbuf ---------------------------------------------------------------- *)
+
+let test_cbuf_basics () =
+  let b = Cbuf.create 4 in
+  Alcotest.(check int) "length" 4 (Cbuf.length b);
+  Cbuf.set b 2 3. (-4.);
+  check_close "magnitude" 5. (Cbuf.magnitude b 2);
+  Cbuf.mul b 2 0. 1.;
+  let re, im = Cbuf.get b 2 in
+  check_close "mul rotates re" 4. re;
+  check_close "mul rotates im" 3. im;
+  Cbuf.scale b 2.;
+  check_close "scale" 8. (fst (Cbuf.get b 2))
+
+let test_cbuf_of_real () =
+  let b = Cbuf.of_real [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "length" 3 (Cbuf.length b);
+  check_close "re" 2. (fst (Cbuf.get b 1));
+  check_close "im" 0. (snd (Cbuf.get b 1))
+
+let test_cbuf_blit () =
+  let a = Cbuf.of_real [| 1.; 2.; 3.; 4. |] in
+  let b = Cbuf.create 4 in
+  Cbuf.blit ~src:a ~src_pos:1 ~dst:b ~dst_pos:0 ~len:2;
+  check_close "blit" 2. (fst (Cbuf.get b 0));
+  check_close "blit" 3. (fst (Cbuf.get b 1))
+
+(* --- fft ----------------------------------------------------------------- *)
+
+let test_power_of_two () =
+  Alcotest.(check bool) "1" true (Fft.is_power_of_two 1);
+  Alcotest.(check bool) "512" true (Fft.is_power_of_two 512);
+  Alcotest.(check bool) "500" false (Fft.is_power_of_two 500);
+  Alcotest.(check bool) "0" false (Fft.is_power_of_two 0);
+  Alcotest.(check int) "next 500" 512 (Fft.next_power_of_two 500);
+  Alcotest.(check int) "next 512" 512 (Fft.next_power_of_two 512);
+  Alcotest.(check int) "next 1" 1 (Fft.next_power_of_two 1)
+
+let test_fft_impulse () =
+  (* delta function -> flat spectrum of magnitude 1 *)
+  let b = Cbuf.create 16 in
+  Cbuf.set b 0 1. 0.;
+  Fft.radix2 b;
+  for k = 0 to 15 do
+    check_close "impulse bin" 1. (Cbuf.magnitude b k)
+  done
+
+let test_fft_dc () =
+  let b = Cbuf.of_real (Array.make 8 3.) in
+  Fft.radix2 b;
+  check_close "dc bin" 24. (Cbuf.magnitude b 0);
+  for k = 1 to 7 do
+    check_close ~eps:1e-9 "non-dc bin" 0. (Cbuf.magnitude b k)
+  done
+
+let test_fft_sinusoid_bin () =
+  (* exact-bin sinusoid of amplitude a -> |X(k)| = n*a/2 *)
+  let n = 64 in
+  let xs = sinusoid ~n ~sample_rate:64. ~freq:8. ~amp:2. ~phase:0.3 in
+  let b = Cbuf.of_real xs in
+  Fft.radix2 b;
+  check_rel ~tol:1e-9 "peak bin" (float_of_int n *. 2. /. 2.) (Cbuf.magnitude b 8);
+  check_close ~eps:1e-8 "other bin" 0. (Cbuf.magnitude b 9)
+
+let test_radix2_matches_dft () =
+  let rng = Nimbus_sim.Rng.create 99 in
+  let b = Cbuf.create 64 in
+  for i = 0 to 63 do
+    Cbuf.set b i (Nimbus_sim.Rng.uniform rng) (Nimbus_sim.Rng.uniform rng)
+  done;
+  let oracle = Fft.dft b in
+  let fast = Cbuf.copy b in
+  Fft.radix2 fast;
+  if max_diff oracle fast > 1e-8 then Alcotest.fail "radix2 deviates from DFT"
+
+let test_bluestein_matches_dft () =
+  List.iter
+    (fun n ->
+      let rng = Nimbus_sim.Rng.create (1000 + n) in
+      let b = Cbuf.create n in
+      for i = 0 to n - 1 do
+        Cbuf.set b i (Nimbus_sim.Rng.uniform rng) (Nimbus_sim.Rng.uniform rng)
+      done;
+      let oracle = Fft.dft b in
+      let fast = Fft.bluestein b in
+      if max_diff oracle fast > 1e-7 then
+        Alcotest.failf "bluestein deviates from DFT at n=%d" n)
+    [ 1; 2; 3; 5; 7; 12; 100; 500 ]
+
+let test_inverse_roundtrip () =
+  List.iter
+    (fun n ->
+      let rng = Nimbus_sim.Rng.create (2000 + n) in
+      let b = Cbuf.create n in
+      for i = 0 to n - 1 do
+        Cbuf.set b i
+          (Nimbus_sim.Rng.range rng ~lo:(-5.) ~hi:5.)
+          (Nimbus_sim.Rng.range rng ~lo:(-5.) ~hi:5.)
+      done;
+      let fwd = Fft.transform b in
+      let back = Fft.transform ~inverse:true fwd in
+      if max_diff b back > 1e-8 then Alcotest.failf "roundtrip fails at n=%d" n)
+    [ 8; 17; 500; 512 ]
+
+let test_parseval () =
+  let n = 128 in
+  let rng = Nimbus_sim.Rng.create 7 in
+  let xs = Array.init n (fun _ -> Nimbus_sim.Rng.range rng ~lo:(-1.) ~hi:1.) in
+  let time_energy = Array.fold_left (fun a x -> a +. (x *. x)) 0. xs in
+  let spec = Fft.transform (Cbuf.of_real xs) in
+  let freq_energy = ref 0. in
+  for k = 0 to n - 1 do
+    let m = Cbuf.magnitude spec k in
+    freq_energy := !freq_energy +. (m *. m)
+  done;
+  check_rel ~tol:1e-9 "parseval" time_energy (!freq_energy /. float_of_int n)
+
+let test_real_amplitudes_length () =
+  Alcotest.(check int) "n/2+1 odd" 251 (Array.length (Fft.real_amplitudes (Array.make 500 0.)));
+  Alcotest.(check int) "n/2+1 even" 257 (Array.length (Fft.real_amplitudes (Array.make 512 0.)));
+  Alcotest.(check int) "empty" 0 (Array.length (Fft.real_amplitudes [||]))
+
+let prop_fft_linearity =
+  QCheck.Test.make ~count:50 ~name:"fft: transform is linear"
+    QCheck.(pair (list_of_size (Gen.return 32) (float_bound_exclusive 10.)) (list_of_size (Gen.return 32) (float_bound_exclusive 10.)))
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      let sum = Array.map2 ( +. ) a b in
+      let fa = Fft.transform (Cbuf.of_real a) in
+      let fb = Fft.transform (Cbuf.of_real b) in
+      let fsum = Fft.transform (Cbuf.of_real sum) in
+      let ok = ref true in
+      for k = 0 to 31 do
+        let er = fa.Cbuf.re.(k) +. fb.Cbuf.re.(k) -. fsum.Cbuf.re.(k) in
+        let ei = fa.Cbuf.im.(k) +. fb.Cbuf.im.(k) -. fsum.Cbuf.im.(k) in
+        if Float.abs er > 1e-6 || Float.abs ei > 1e-6 then ok := false
+      done;
+      !ok)
+
+let prop_bluestein_equals_radix2 =
+  QCheck.Test.make ~count:30 ~name:"fft: bluestein = radix2 on powers of two"
+    QCheck.(list_of_size (Gen.return 64) (float_bound_exclusive 100.))
+    (fun xs ->
+      let xs = Array.of_list xs in
+      let a = Cbuf.of_real xs in
+      let via_bluestein = Fft.bluestein a in
+      let via_radix2 = Cbuf.copy a in
+      Fft.radix2 via_radix2;
+      max_diff via_bluestein via_radix2 < 1e-6)
+
+(* --- goertzel ------------------------------------------------------------ *)
+
+let test_goertzel_matches_fft () =
+  let n = 500 in
+  let xs = sinusoid ~n ~sample_rate:100. ~freq:5. ~amp:1.5 ~phase:0.7 in
+  let g = Goertzel.magnitude xs ~sample_rate:100. ~freq:5. in
+  let amps = Fft.real_amplitudes xs in
+  (* bin 25 = 5 Hz at 100 Hz / 500 samples *)
+  check_rel ~tol:1e-6 "goertzel vs fft" amps.(25) g
+
+let test_goertzel_rejects_other_freq () =
+  let xs = sinusoid ~n:500 ~sample_rate:100. ~freq:5. ~amp:1. ~phase:0. in
+  let off = Goertzel.magnitude xs ~sample_rate:100. ~freq:17. in
+  let on = Goertzel.magnitude xs ~sample_rate:100. ~freq:5. in
+  if off > on /. 100. then Alcotest.fail "goertzel leaks across bins"
+
+let test_goertzel_sliding () =
+  let s = Goertzel.Sliding.create ~window:100 ~sample_rate:100. ~freq:5. in
+  Alcotest.(check bool) "not filled" false (Goertzel.Sliding.filled s);
+  for i = 0 to 199 do
+    Goertzel.Sliding.push s (sin (2. *. pi *. 5. *. float_of_int i /. 100.))
+  done;
+  Alcotest.(check bool) "filled" true (Goertzel.Sliding.filled s);
+  let m = Goertzel.Sliding.magnitude s in
+  check_rel ~tol:1e-6 "sliding magnitude" 50. m
+
+(* --- window -------------------------------------------------------------- *)
+
+let test_window_endpoints () =
+  let h = Window.coefficients Window.Hann 101 in
+  check_close "hann starts at 0" 0. h.(0);
+  check_close "hann ends at 0" 0. h.(100);
+  check_close "hann peak" 1. h.(50);
+  let r = Window.coefficients Window.Rectangular 5 in
+  Array.iter (fun x -> check_close "rect" 1. x) r
+
+let test_window_symmetry () =
+  List.iter
+    (fun kind ->
+      let w = Window.coefficients kind 64 in
+      for i = 0 to 31 do
+        check_close ~eps:1e-12 "symmetric" w.(i) w.(63 - i)
+      done)
+    [ Window.Hann; Window.Hamming; Window.Blackman ]
+
+let test_window_coherent_gain () =
+  check_rel ~tol:0.02 "hann gain ~0.5" 0.5 (Window.coherent_gain Window.Hann 512);
+  check_close "rect gain" 1. (Window.coherent_gain Window.Rectangular 512)
+
+(* --- spectrum ------------------------------------------------------------ *)
+
+let test_spectrum_bin_mapping () =
+  let xs = Array.make 500 0. in
+  let s = Spectrum.analyze xs ~sample_rate:100. in
+  check_close "bin width" 0.2 (Spectrum.bin_width s);
+  Alcotest.(check int) "bin of 5Hz" 25 (Spectrum.bin_of_freq s 5.);
+  Alcotest.(check int) "clamp high" 250 (Spectrum.bin_of_freq s 1000.);
+  Alcotest.(check int) "clamp low" 0 (Spectrum.bin_of_freq s (-3.));
+  check_close "freq of bin" 5. (Spectrum.freq_of_bin s 25)
+
+let test_spectrum_peak_and_band () =
+  let xs = sinusoid ~n:500 ~sample_rate:100. ~freq:7. ~amp:1. ~phase:0. in
+  let s = Spectrum.analyze xs ~sample_rate:100. in
+  let f, a = Spectrum.dominant s ~above:0.5 in
+  check_close "dominant freq" 7. f;
+  check_rel ~tol:1e-6 "dominant amp" 250. a;
+  check_rel ~tol:1e-6 "band max includes 7"
+    250. (Spectrum.band_max s ~lo:6. ~hi:8.);
+  check_close ~eps:1e-6 "band max excludes 7" 0.
+    (Spectrum.band_max s ~lo:8. ~hi:10.)
+
+let test_spectrum_detrend_linear () =
+  (* a pure ramp should vanish almost entirely under linear detrending *)
+  let xs = Array.init 500 (fun i -> 5e6 +. (1e4 *. float_of_int i)) in
+  let mean_only = Spectrum.analyze ~detrend:`Mean xs ~sample_rate:100. in
+  let linear = Spectrum.analyze ~detrend:`Linear xs ~sample_rate:100. in
+  let low_mean = Spectrum.band_max mean_only ~lo:0.1 ~hi:10. in
+  let low_linear = Spectrum.band_max linear ~lo:0.1 ~hi:10. in
+  if low_linear > low_mean /. 100. then
+    Alcotest.failf "linear detrend left %g vs %g" low_linear low_mean
+
+let test_spectrum_rejects_bad_input () =
+  Alcotest.check_raises "empty" (Invalid_argument "Spectrum.analyze: empty signal")
+    (fun () -> ignore (Spectrum.analyze [||] ~sample_rate:100.));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Spectrum.analyze: sample_rate <= 0") (fun () ->
+      ignore (Spectrum.analyze [| 1. |] ~sample_rate:0.))
+
+(* --- ewma ---------------------------------------------------------------- *)
+
+let test_ewma_first_sample () =
+  let e = Ewma.create ~alpha:0.3 in
+  Alcotest.(check bool) "uninit" false (Ewma.initialized e);
+  check_close "first" 10. (Ewma.update e 10.);
+  Alcotest.(check bool) "init" true (Ewma.initialized e)
+
+let test_ewma_convergence () =
+  let e = Ewma.create ~alpha:0.5 in
+  for _ = 1 to 60 do
+    ignore (Ewma.update e 42.)
+  done;
+  check_rel ~tol:1e-9 "converges" 42. (Ewma.value e)
+
+let test_ewma_reset () =
+  let e = Ewma.create ~alpha:0.5 in
+  ignore (Ewma.update e 10.);
+  Ewma.reset e;
+  Alcotest.(check bool) "reset" false (Ewma.initialized e);
+  check_close "zero" 0. (Ewma.value e)
+
+let test_ewma_time_constant () =
+  (* after tau seconds the response to a step reaches 1 - 1/e *)
+  let dt = 0.01 and tau = 0.5 in
+  let e = Ewma.create_time_constant ~tau ~dt in
+  ignore (Ewma.update e 0.);
+  let steps = int_of_float (tau /. dt) in
+  for _ = 1 to steps do
+    ignore (Ewma.update e 1.)
+  done;
+  check_rel ~tol:0.05 "step response at tau" (1. -. exp (-1.)) (Ewma.value e)
+
+let test_ewma_invalid () =
+  Alcotest.check_raises "alpha 0" (Invalid_argument "Ewma.create: alpha not in (0,1]")
+    (fun () -> ignore (Ewma.create ~alpha:0.))
+
+(* --- stats --------------------------------------------------------------- *)
+
+let test_percentiles () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_close "p0" 1. (Stats.percentile xs 0.);
+  check_close "p50" 3. (Stats.percentile xs 50.);
+  check_close "p100" 5. (Stats.percentile xs 100.);
+  check_close "p25 interp" 2. (Stats.percentile xs 25.);
+  check_close "median" 3. (Stats.median xs)
+
+let test_mean_variance () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_close "mean" 5. (Stats.mean xs);
+  check_close "variance" 4. (Stats.variance xs);
+  check_close "stddev" 2. (Stats.stddev xs)
+
+let test_correlation () =
+  let a = [| 1.; 2.; 3.; 4. |] in
+  let b = [| 2.; 4.; 6.; 8. |] in
+  let c = [| 8.; 6.; 4.; 2. |] in
+  check_close "corr +1" 1. (Stats.correlation a b);
+  check_close "corr -1" (-1.) (Stats.correlation a c)
+
+let test_cross_correlation_lag () =
+  (* y is x delayed by 3 samples: peak correlation at lag 3 *)
+  let n = 200 in
+  let rng = Nimbus_sim.Rng.create 4 in
+  let x = Array.init n (fun _ -> Nimbus_sim.Rng.uniform rng) in
+  let y = Array.init n (fun i -> if i < 3 then 0. else x.(i - 3)) in
+  let corr = Stats.cross_correlation x y ~max_lag:6 in
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > corr.(!best) then best := i) corr;
+  Alcotest.(check int) "lag found" 3 !best
+
+let test_cdf_points () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let pts = Stats.cdf_points xs ~points:4 in
+  Alcotest.(check int) "count" 4 (Array.length pts);
+  let v, p = pts.(3) in
+  check_close "last value" 4. v;
+  check_close "last prob" 1. p
+
+let test_relative_error () =
+  check_close "exact" 0. (Stats.relative_error ~actual:5. ~expected:5.);
+  check_close "50%" 0.5 (Stats.relative_error ~actual:5. ~expected:10.);
+  Alcotest.(check bool) "zero expected" true
+    (Stats.relative_error ~actual:1. ~expected:0. = infinity)
+
+let prop_percentile_within_range =
+  QCheck.Test.make ~count:100 ~name:"stats: percentile stays within min/max"
+    QCheck.(pair (list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.)) (float_bound_inclusive 100.))
+    (fun (xs, p) ->
+      let xs = Array.of_list xs in
+      let v = Stats.percentile xs p in
+      v >= Stats.minimum xs -. 1e-9 && v <= Stats.maximum xs +. 1e-9)
+
+(* --- ring ---------------------------------------------------------------- *)
+
+let test_ring_fifo () =
+  let r = Ring.create 3 in
+  Ring.push r 1.;
+  Ring.push r 2.;
+  Alcotest.(check bool) "not full" false (Ring.is_full r);
+  Ring.push r 3.;
+  Ring.push r 4.;
+  Alcotest.(check bool) "full" true (Ring.is_full r);
+  Alcotest.(check (array (float 0.))) "evicts oldest" [| 2.; 3.; 4. |]
+    (Ring.to_array r);
+  check_close "last" 4. (Ring.last r);
+  check_close "nth 0" 4. (Ring.nth_from_end r 0);
+  check_close "nth 2" 2. (Ring.nth_from_end r 2)
+
+let test_ring_clear_fold () =
+  let r = Ring.create 4 in
+  List.iter (Ring.push r) [ 1.; 2.; 3. ];
+  check_close "fold sum" 6. (Ring.fold r ~init:0. ~f:( +. ));
+  Ring.clear r;
+  Alcotest.(check int) "cleared" 0 (Ring.count r)
+
+let prop_ring_keeps_last_n =
+  QCheck.Test.make ~count:100 ~name:"ring: to_array = last n pushes"
+    QCheck.(pair (int_range 1 20) (list_of_size Gen.(int_range 0 100) (float_bound_exclusive 100.)))
+    (fun (cap, xs) ->
+      let r = Ring.create cap in
+      List.iter (Ring.push r) xs;
+      let expected =
+        let n = List.length xs in
+        let keep = min cap n in
+        Array.of_list (List.filteri (fun i _ -> i >= n - keep) xs)
+      in
+      Ring.to_array r = expected)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [ ( "dsp.cbuf",
+      [ Alcotest.test_case "basics" `Quick test_cbuf_basics;
+        Alcotest.test_case "of_real" `Quick test_cbuf_of_real;
+        Alcotest.test_case "blit" `Quick test_cbuf_blit ] );
+    ( "dsp.fft",
+      [ Alcotest.test_case "power-of-two helpers" `Quick test_power_of_two;
+        Alcotest.test_case "impulse" `Quick test_fft_impulse;
+        Alcotest.test_case "dc" `Quick test_fft_dc;
+        Alcotest.test_case "sinusoid bin" `Quick test_fft_sinusoid_bin;
+        Alcotest.test_case "radix2 = DFT" `Quick test_radix2_matches_dft;
+        Alcotest.test_case "bluestein = DFT" `Quick test_bluestein_matches_dft;
+        Alcotest.test_case "inverse roundtrip" `Quick test_inverse_roundtrip;
+        Alcotest.test_case "parseval" `Quick test_parseval;
+        Alcotest.test_case "real_amplitudes length" `Quick
+          test_real_amplitudes_length;
+        qtest prop_fft_linearity;
+        qtest prop_bluestein_equals_radix2 ] );
+    ( "dsp.goertzel",
+      [ Alcotest.test_case "matches fft bin" `Quick test_goertzel_matches_fft;
+        Alcotest.test_case "rejects other freq" `Quick
+          test_goertzel_rejects_other_freq;
+        Alcotest.test_case "sliding window" `Quick test_goertzel_sliding ] );
+    ( "dsp.window",
+      [ Alcotest.test_case "endpoints" `Quick test_window_endpoints;
+        Alcotest.test_case "symmetry" `Quick test_window_symmetry;
+        Alcotest.test_case "coherent gain" `Quick test_window_coherent_gain ] );
+    ( "dsp.spectrum",
+      [ Alcotest.test_case "bin mapping" `Quick test_spectrum_bin_mapping;
+        Alcotest.test_case "peak and band" `Quick test_spectrum_peak_and_band;
+        Alcotest.test_case "linear detrend" `Quick test_spectrum_detrend_linear;
+        Alcotest.test_case "input validation" `Quick
+          test_spectrum_rejects_bad_input ] );
+    ( "dsp.ewma",
+      [ Alcotest.test_case "first sample" `Quick test_ewma_first_sample;
+        Alcotest.test_case "convergence" `Quick test_ewma_convergence;
+        Alcotest.test_case "reset" `Quick test_ewma_reset;
+        Alcotest.test_case "time constant" `Quick test_ewma_time_constant;
+        Alcotest.test_case "invalid alpha" `Quick test_ewma_invalid ] );
+    ( "dsp.stats",
+      [ Alcotest.test_case "percentiles" `Quick test_percentiles;
+        Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+        Alcotest.test_case "correlation" `Quick test_correlation;
+        Alcotest.test_case "cross-correlation lag" `Quick
+          test_cross_correlation_lag;
+        Alcotest.test_case "cdf points" `Quick test_cdf_points;
+        Alcotest.test_case "relative error" `Quick test_relative_error;
+        qtest prop_percentile_within_range ] );
+    ( "dsp.ring",
+      [ Alcotest.test_case "fifo" `Quick test_ring_fifo;
+        Alcotest.test_case "clear/fold" `Quick test_ring_clear_fold;
+        qtest prop_ring_keeps_last_n ] ) ]

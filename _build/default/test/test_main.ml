@@ -1,0 +1,4 @@
+let () =
+  Alcotest.run "nimbus"
+    (Test_dsp.suite @ Test_sim.suite @ Test_cc.suite @ Test_core.suite
+    @ Test_traffic.suite @ Test_metrics.suite @ Test_experiments.suite)

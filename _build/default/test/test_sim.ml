@@ -1,0 +1,332 @@
+(* Unit and property tests for the discrete-event simulation substrate. *)
+
+open Nimbus_sim
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* --- heap ---------------------------------------------------------------- *)
+
+let test_heap_sorted_pops () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h ~key:k k) [ 5.; 1.; 4.; 2.; 3. ];
+  let rec drain acc =
+    match Heap.pop h with
+    | None -> List.rev acc
+    | Some (k, _) -> drain (k :: acc)
+  in
+  Alcotest.(check (list (float 0.))) "sorted" [ 1.; 2.; 3.; 4.; 5. ] (drain [])
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~key:1. v) [ "a"; "b"; "c" ];
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "fifo among equal keys" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_heap_peek_clear () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h ~key:2. ();
+  Heap.push h ~key:1. ();
+  Alcotest.(check (option (float 0.))) "peek" (Some 1.) (Heap.peek_key h);
+  Alcotest.(check int) "size" 2 (Heap.size h);
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~count:100 ~name:"heap: pops are sorted"
+    QCheck.(list (float_bound_exclusive 1000.))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h ~key:k ()) keys;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some (k, ()) -> k >= prev && drain k
+      in
+      drain neg_infinity)
+
+(* --- engine -------------------------------------------------------------- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_in e 0.3 (fun () -> log := 3 :: !log);
+  Engine.schedule_in e 0.1 (fun () -> log := 1 :: !log);
+  Engine.schedule_in e 0.2 (fun () -> log := 2 :: !log);
+  Engine.run_until e 1.;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  check_close "clock at horizon" 1. (Engine.now e)
+
+let test_engine_horizon () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule_in e 5. (fun () -> fired := true);
+  Engine.run_until e 1.;
+  Alcotest.(check bool) "beyond horizon not fired" false !fired;
+  Alcotest.(check int) "still pending" 1 (Engine.pending e);
+  Engine.run_until e 10.;
+  Alcotest.(check bool) "fires later" true !fired
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.every e ~dt:0.5 ~until:2.9 (fun () -> incr count);
+  Engine.run_until e 10.;
+  (* first at 0.5, then 1.0 .. 2.5: stops once the next tick exceeds until *)
+  Alcotest.(check int) "periodic fires" 5 !count
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.schedule_in e 1. (fun () -> ());
+  Engine.run_until e 1.;
+  Alcotest.(check bool) "past raises" true
+    (try
+       Engine.schedule_at e 0.5 (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let hits = ref [] in
+  Engine.schedule_in e 1. (fun () ->
+      hits := Engine.now e :: !hits;
+      Engine.schedule_in e 1. (fun () -> hits := Engine.now e :: !hits));
+  Engine.run_until e 5.;
+  Alcotest.(check (list (float 1e-9))) "nested" [ 1.; 2. ] (List.rev !hits)
+
+(* --- rng ----------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    if Rng.bits a <> Rng.bits b then Alcotest.fail "same seed diverges"
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let c = Rng.split a in
+  let x = Rng.bits a and y = Rng.bits c in
+  Alcotest.(check bool) "different streams" true (x <> y)
+
+let test_rng_uniform_range () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let u = Rng.uniform r in
+    if u < 0. || u >= 1. then Alcotest.fail "uniform out of range"
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 6 in
+  let n = 20000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential r ~mean:2.5
+  done;
+  let mean = !acc /. float_of_int n in
+  if Float.abs (mean -. 2.5) > 0.1 then
+    Alcotest.failf "exponential mean %.3f != 2.5" mean
+
+let test_rng_bool_probability () =
+  let r = Rng.create 7 in
+  let n = 20000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool r ~p:0.3 then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  if Float.abs (frac -. 0.3) > 0.02 then Alcotest.failf "p=0.3 got %.3f" frac
+
+let test_rng_pareto_minimum () =
+  let r = Rng.create 8 in
+  for _ = 1 to 1000 do
+    if Rng.pareto r ~shape:1.3 ~scale:100. < 100. then
+      Alcotest.fail "pareto below scale"
+  done
+
+let prop_rng_int_bound =
+  QCheck.Test.make ~count:100 ~name:"rng: int respects bound"
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+(* --- packet -------------------------------------------------------------- *)
+
+let test_packet_fields () =
+  let p = Packet.make ~flow:3 ~seq:7 ~size:1500 ~now:2.5 () in
+  Alcotest.(check int) "flow" 3 p.Packet.flow;
+  Alcotest.(check int) "seq" 7 p.Packet.seq;
+  check_close "sent_at" 2.5 p.Packet.sent_at;
+  Alcotest.(check bool) "queueing delay nan before dequeue" true
+    (Float.is_nan (Packet.queueing_delay p))
+
+(* --- qdisc --------------------------------------------------------------- *)
+
+let test_droptail_capacity () =
+  let q = Qdisc.droptail ~capacity_bytes:3000 in
+  Alcotest.(check bool) "admit within" true
+    (Qdisc.admit q ~now:0. ~qlen_bytes:1500 ~pkt_size:1500);
+  Alcotest.(check bool) "reject overflow" false
+    (Qdisc.admit q ~now:0. ~qlen_bytes:1501 ~pkt_size:1500);
+  Alcotest.(check string) "name" "droptail" (Qdisc.name q)
+
+let test_pie_drops_under_load () =
+  let rng = Rng.create 3 in
+  let q =
+    Qdisc.pie ~capacity_bytes:1_000_000 ~target_delay:0.015
+      ~link_rate_bps:48e6 ~rng
+  in
+  Alcotest.(check string) "name" "pie" (Qdisc.name q);
+  (* sustained deep queue (~10x target) must start dropping *)
+  let drops = ref 0 in
+  for i = 1 to 4000 do
+    let now = float_of_int i *. 0.001 in
+    if not (Qdisc.admit q ~now ~qlen_bytes:900_000 ~pkt_size:1500) then
+      incr drops
+  done;
+  Alcotest.(check bool) "pie drops under sustained load" true (!drops > 50)
+
+let test_pie_spares_short_queue () =
+  let rng = Rng.create 4 in
+  let q =
+    Qdisc.pie ~capacity_bytes:1_000_000 ~target_delay:0.015
+      ~link_rate_bps:48e6 ~rng
+  in
+  let drops = ref 0 in
+  for i = 1 to 2000 do
+    let now = float_of_int i *. 0.001 in
+    if not (Qdisc.admit q ~now ~qlen_bytes:3000 ~pkt_size:1500) then incr drops
+  done;
+  Alcotest.(check int) "no drops below target/2" 0 !drops
+
+(* --- bottleneck ---------------------------------------------------------- *)
+
+let drain_packets engine bn ~flow ~count ~size =
+  let delivered = ref [] in
+  Bottleneck.set_sink bn ~flow (fun p -> delivered := p :: !delivered);
+  for seq = 0 to count - 1 do
+    Bottleneck.enqueue bn
+      (Packet.make ~flow ~seq ~size ~now:(Engine.now engine) ())
+  done;
+  delivered
+
+let test_bottleneck_serialization_rate () =
+  let e = Engine.create () in
+  let bn =
+    Bottleneck.create e ~rate_bps:12e6
+      ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000) ()
+  in
+  let delivered = drain_packets e bn ~flow:0 ~count:10 ~size:1500 in
+  Engine.run_until e 1.;
+  Alcotest.(check int) "all delivered" 10 (List.length !delivered);
+  (* 10 pkts * 1500 B * 8 / 12 Mbps = 10 ms *)
+  let last = List.hd !delivered in
+  check_close ~eps:1e-9 "last dequeue time" 0.01 last.Packet.dequeued_at;
+  check_close ~eps:1e-9 "busy time" 0.01 (Bottleneck.busy_seconds bn)
+
+let test_bottleneck_fifo_order () =
+  let e = Engine.create () in
+  let bn =
+    Bottleneck.create e ~rate_bps:10e6
+      ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000) ()
+  in
+  let delivered = drain_packets e bn ~flow:0 ~count:20 ~size:1000 in
+  Engine.run_until e 1.;
+  let seqs = List.rev_map (fun p -> p.Packet.seq) !delivered in
+  Alcotest.(check (list int)) "fifo" (List.init 20 (fun i -> i)) seqs
+
+let test_bottleneck_drops_at_capacity () =
+  let e = Engine.create () in
+  let bn =
+    Bottleneck.create e ~rate_bps:1e6
+      ~qdisc:(Qdisc.droptail ~capacity_bytes:4500) ()
+  in
+  let _ = drain_packets e bn ~flow:0 ~count:10 ~size:1500 in
+  (* capacity 3 pkts: 3 admitted instantly, 7 dropped *)
+  Alcotest.(check int) "drops" 7 (Bottleneck.drops bn);
+  Alcotest.(check int) "drops for flow" 7 (Bottleneck.drops_for bn ~flow:0);
+  check_close "queue delay" (4500. *. 8. /. 1e6) (Bottleneck.queue_delay bn)
+
+let test_bottleneck_random_loss () =
+  let e = Engine.create () in
+  let bn =
+    Bottleneck.create e ~rate_bps:100e6
+      ~qdisc:(Qdisc.droptail ~capacity_bytes:10_000_000)
+      ~random_loss:(0.5, Rng.create 9) ()
+  in
+  for seq = 0 to 999 do
+    Bottleneck.enqueue bn (Packet.make ~flow:0 ~seq ~size:1500 ~now:0. ())
+  done;
+  let d = Bottleneck.drops bn in
+  Alcotest.(check bool) "about half dropped" true (d > 400 && d < 600)
+
+let test_bottleneck_policer () =
+  let e = Engine.create () in
+  let bn =
+    Bottleneck.create e ~rate_bps:100e6
+      ~qdisc:(Qdisc.droptail ~capacity_bytes:10_000_000)
+      ~policer:(8e6, 3000) ()
+  in
+  (* burst of 10 packets at t=0: bucket holds 2, rest dropped *)
+  for seq = 0 to 9 do
+    Bottleneck.enqueue bn (Packet.make ~flow:0 ~seq ~size:1500 ~now:0. ())
+  done;
+  Alcotest.(check int) "policed" 8 (Bottleneck.drops bn)
+
+let test_bottleneck_delivered_accounting () =
+  let e = Engine.create () in
+  let bn =
+    Bottleneck.create e ~rate_bps:10e6
+      ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000) ()
+  in
+  let _ = drain_packets e bn ~flow:5 ~count:4 ~size:1000 in
+  Engine.run_until e 1.;
+  Alcotest.(check int) "delivered bytes" 4000
+    (Bottleneck.delivered_bytes bn ~flow:5);
+  Alcotest.(check int) "other flow" 0 (Bottleneck.delivered_bytes bn ~flow:6)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [ ( "sim.heap",
+      [ Alcotest.test_case "sorted pops" `Quick test_heap_sorted_pops;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "peek/clear" `Quick test_heap_peek_clear;
+        qtest prop_heap_sorts ] );
+    ( "sim.engine",
+      [ Alcotest.test_case "ordering" `Quick test_engine_ordering;
+        Alcotest.test_case "horizon" `Quick test_engine_horizon;
+        Alcotest.test_case "every" `Quick test_engine_every;
+        Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule ] );
+    ( "sim.rng",
+      [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "bool probability" `Quick test_rng_bool_probability;
+        Alcotest.test_case "pareto minimum" `Quick test_rng_pareto_minimum;
+        qtest prop_rng_int_bound ] );
+    ("sim.packet", [ Alcotest.test_case "fields" `Quick test_packet_fields ]);
+    ( "sim.qdisc",
+      [ Alcotest.test_case "droptail capacity" `Quick test_droptail_capacity;
+        Alcotest.test_case "pie drops under load" `Quick test_pie_drops_under_load;
+        Alcotest.test_case "pie spares short queue" `Quick
+          test_pie_spares_short_queue ] );
+    ( "sim.bottleneck",
+      [ Alcotest.test_case "serialization rate" `Quick
+          test_bottleneck_serialization_rate;
+        Alcotest.test_case "fifo order" `Quick test_bottleneck_fifo_order;
+        Alcotest.test_case "drops at capacity" `Quick
+          test_bottleneck_drops_at_capacity;
+        Alcotest.test_case "random loss" `Quick test_bottleneck_random_loss;
+        Alcotest.test_case "policer" `Quick test_bottleneck_policer;
+        Alcotest.test_case "delivered accounting" `Quick
+          test_bottleneck_delivered_accounting ] ) ]

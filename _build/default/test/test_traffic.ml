@@ -1,0 +1,266 @@
+(* Tests for the traffic generators: open-loop sources, the synthetic WAN
+   workload, the DASH video client, and scripted scenarios. *)
+
+module Engine = Nimbus_sim.Engine
+module Bottleneck = Nimbus_sim.Bottleneck
+module Qdisc = Nimbus_sim.Qdisc
+module Rng = Nimbus_sim.Rng
+open Nimbus_traffic
+
+let make_link ?(rate_bps = 96e6) () =
+  let e = Engine.create () in
+  let bn =
+    Bottleneck.create e ~rate_bps
+      ~qdisc:
+        (Qdisc.droptail ~capacity_bytes:(int_of_float (rate_bps *. 0.1 /. 8.)))
+      ()
+  in
+  (e, bn)
+
+let delivered bn source =
+  Bottleneck.delivered_bytes bn ~flow:(Source.flow_id source)
+
+(* --- open-loop sources ---------------------------------------------------- *)
+
+let test_cbr_rate () =
+  let e, bn = make_link () in
+  let s = Source.cbr e bn ~rate_bps:12e6 () in
+  Engine.run_until e 10.;
+  let rate = float_of_int (delivered bn s * 8) /. 10. in
+  if Float.abs (rate -. 12e6) > 0.2e6 then
+    Alcotest.failf "cbr rate %.2fM != 12M" (rate /. 1e6)
+
+let test_poisson_mean_rate () =
+  let e, bn = make_link () in
+  let s = Source.poisson e bn ~rng:(Rng.create 2) ~rate_bps:24e6 () in
+  Engine.run_until e 30.;
+  let rate = float_of_int (delivered bn s * 8) /. 30. in
+  if Float.abs (rate -. 24e6) > 1.5e6 then
+    Alcotest.failf "poisson rate %.2fM != ~24M" (rate /. 1e6)
+
+let test_source_start_stop () =
+  let e, bn = make_link () in
+  let s = Source.cbr e bn ~rate_bps:12e6 ~start:5. ~stop:10. () in
+  Engine.run_until e 4.;
+  Alcotest.(check int) "silent before start" 0 (delivered bn s);
+  Engine.run_until e 20.;
+  let total = float_of_int (delivered bn s * 8) in
+  (* ~5 s of traffic *)
+  Alcotest.(check bool) "stops at stop time" true
+    (total > 0.8 *. 5. *. 12e6 && total < 1.2 *. 5. *. 12e6)
+
+let test_source_set_rate () =
+  let e, bn = make_link () in
+  let s = Source.cbr e bn ~rate_bps:12e6 () in
+  Engine.schedule_at e 5. (fun () -> Source.set_rate s 0.);
+  Engine.run_until e 5.;
+  let at_5 = delivered bn s in
+  Engine.run_until e 10.;
+  Alcotest.(check bool) "paused" true (delivered bn s - at_5 < 3 * 1500);
+  Engine.schedule_at e 10. (fun () -> Source.set_rate s 24e6);
+  Engine.run_until e 15.;
+  Alcotest.(check bool) "resumed at new rate" true
+    (delivered bn s - at_5 > 10_000_000)
+
+let test_source_halt () =
+  let e, bn = make_link () in
+  let s = Source.cbr e bn ~rate_bps:12e6 () in
+  Engine.schedule_at e 2. (fun () -> Source.halt s);
+  Engine.run_until e 10.;
+  let total = delivered bn s in
+  Alcotest.(check bool) "halted" true
+    (total < int_of_float (3. *. 12e6 /. 8.))
+
+(* --- wan ------------------------------------------------------------------ *)
+
+let test_wan_offered_load () =
+  let e, bn = make_link () in
+  let wan = Wan.create e bn ~rng:(Rng.create 3) ~load_bps:48e6 () in
+  Engine.run_until e 60.;
+  let _, total = Wan.bytes_split wan in
+  let rate = float_of_int (total * 8) /. 60. in
+  (* offered 48M on a 96M link: delivered should be in the right ballpark
+     (heavy-tailed sizes make this noisy) *)
+  Alcotest.(check bool) "load ballpark" true (rate > 24e6 && rate < 72e6);
+  Alcotest.(check bool) "many arrivals" true (Wan.arrivals wan > 500)
+
+let test_wan_elastic_split_consistent () =
+  let e, bn = make_link () in
+  let wan = Wan.create e bn ~rng:(Rng.create 4) ~load_bps:48e6 () in
+  Engine.run_until e 30.;
+  let elastic, total = Wan.bytes_split wan in
+  Alcotest.(check bool) "elastic <= total" true (elastic <= total);
+  Alcotest.(check bool) "both kinds present" true
+    (elastic > 0 && total - elastic > 0)
+
+let test_wan_fcts_recorded () =
+  let e, bn = make_link () in
+  let wan = Wan.create e bn ~rng:(Rng.create 5) ~load_bps:24e6 () in
+  Engine.run_until e 30.;
+  let fcts = Wan.fcts wan in
+  Alcotest.(check bool) "completions recorded" true (Array.length fcts > 100);
+  Array.iter
+    (fun (size, fct) ->
+      if size <= 0 || fct <= 0. then Alcotest.fail "nonsense FCT record")
+    fcts
+
+let test_wan_concurrency_cap () =
+  let e, bn = make_link ~rate_bps:5e6 () in
+  (* oversubscribed link: flows pile up until the cap kicks in *)
+  let wan =
+    Wan.create e bn ~rng:(Rng.create 6) ~load_bps:20e6 ~max_concurrent:32 ()
+  in
+  Engine.run_until e 60.;
+  Alcotest.(check bool) "never exceeds cap" true (Wan.active_count wan <= 32);
+  Alcotest.(check bool) "skips counted" true (Wan.skipped wan > 0)
+
+let test_wan_profiles_differ () =
+  let e, bn = make_link () in
+  let churny = Wan.create e bn ~rng:(Rng.create 10) ~load_bps:24e6 () in
+  let elephant =
+    Wan.create e bn ~rng:(Rng.create 10) ~profile:`Elephant ~load_bps:24e6 ()
+  in
+  (* the elephant mixture concentrates bytes in far larger flows *)
+  Alcotest.(check bool) "elephant mean > 2x churny mean" true
+    (Wan.mean_flow_size_bytes elephant > 2. *. Wan.mean_flow_size_bytes churny)
+
+let test_wan_persistent_elastic () =
+  let e, bn = make_link () in
+  let wan =
+    Wan.create e bn ~rng:(Rng.create 11) ~profile:`Elephant ~load_bps:48e6 ()
+  in
+  (* nothing is persistent at t=0 *)
+  Alcotest.(check bool) "initially false" false
+    (Wan.persistent_elastic_active wan ~now:0. ~min_age:2. ~min_size:1_000_000);
+  Engine.run_until e 60.;
+  (* over a minute of elephant-profile traffic, persistent flows must have
+     appeared at some point; we just check the query is consistent now *)
+  let now = Engine.now e in
+  let strict =
+    Wan.persistent_elastic_active wan ~now ~min_age:2. ~min_size:1_000_000
+  in
+  let loose = Wan.persistent_elastic_active wan ~now ~min_age:0. ~min_size:0 in
+  Alcotest.(check bool) "strict implies loose" true ((not strict) || loose)
+
+let test_wan_mean_size_positive () =
+  let e, bn = make_link () in
+  let wan = Wan.create e bn ~rng:(Rng.create 7) ~load_bps:24e6 () in
+  Alcotest.(check bool) "sane analytic mean" true
+    (Wan.mean_flow_size_bytes wan > 5_000.
+    && Wan.mean_flow_size_bytes wan < 100_000.)
+
+(* --- video ---------------------------------------------------------------- *)
+
+let test_video_1080p_app_limited () =
+  let e, bn = make_link ~rate_bps:48e6 () in
+  let v = Video.create e bn ~ladder:Video.ladder_1080p () in
+  Engine.run_until e 60.;
+  Alcotest.(check bool) "fetched chunks" true (Video.chunks_fetched v > 5);
+  Alcotest.(check bool) "no stalls on an idle link" true
+    (Video.rebuffer_seconds v < 1.);
+  (* on an otherwise idle 48M link, a 1080p stream must be app-limited:
+     delivered rate well under the link rate *)
+  let rate =
+    float_of_int (Bottleneck.delivered_bytes bn ~flow:(Video.flow_id v) * 8)
+    /. 60.
+  in
+  Alcotest.(check bool) "app-limited" true (rate < 15e6);
+  Alcotest.(check bool) "keeps playing" true (Video.buffer_seconds v > 2.)
+
+let test_video_4k_network_limited () =
+  let e, bn = make_link ~rate_bps:24e6 () in
+  (* top 4K rung (32 Mbps) exceeds this link: the client stays busy *)
+  let v = Video.create e bn ~ladder:Video.ladder_4k () in
+  Engine.run_until e 60.;
+  let rate =
+    float_of_int (Bottleneck.delivered_bytes bn ~flow:(Video.flow_id v) * 8)
+    /. 60.
+  in
+  Alcotest.(check bool) "uses most of the link" true (rate > 0.5 *. 24e6);
+  Alcotest.(check bool) "bitrate adapts below the link" true
+    (Video.current_bitrate_bps v <= 24e6)
+
+let test_video_validation () =
+  let e, bn = make_link () in
+  Alcotest.(check bool) "empty ladder" true
+    (try ignore (Video.create e bn ~ladder:[||] ()); false
+     with Invalid_argument _ -> true)
+
+(* --- schedule ------------------------------------------------------------- *)
+
+let test_schedule_phases () =
+  let e, bn = make_link () in
+  let sched =
+    Schedule.install e bn ~rng:(Rng.create 8)
+      ~phases:
+        [ Schedule.phase ~start:0. ~stop:10. ~inelastic_bps:24e6
+            ~elastic_flows:0;
+          Schedule.phase ~start:10. ~stop:20. ~inelastic_bps:0.
+            ~elastic_flows:2 ]
+      ()
+  in
+  Alcotest.(check bool) "phase 1 inelastic" false
+    (Schedule.elastic_present sched ~now:5.);
+  Alcotest.(check bool) "phase 2 elastic" true
+    (Schedule.elastic_present sched ~now:15.);
+  Alcotest.(check bool) "after end" false
+    (Schedule.elastic_present sched ~now:25.);
+  Alcotest.(check (float 0.001)) "phase 1 rate" 24e6
+    (Schedule.inelastic_rate sched ~now:5.);
+  Alcotest.(check (float 0.001)) "fair share phase 1" 72e6
+    (Schedule.fair_share sched ~now:5. ~mu:96e6 ~primary_flows:1);
+  Alcotest.(check (float 0.001)) "fair share phase 2" 32e6
+    (Schedule.fair_share sched ~now:15. ~mu:96e6 ~primary_flows:1);
+  Engine.run_until e 20.;
+  Alcotest.(check int) "created the elastic flows" 2
+    (List.length (Schedule.elastic_cross_flows sched))
+
+let test_schedule_drives_traffic () =
+  let e, bn = make_link () in
+  let _sched =
+    Schedule.install e bn ~rng:(Rng.create 9)
+      ~phases:
+        [ Schedule.phase ~start:0. ~stop:10. ~inelastic_bps:24e6
+            ~elastic_flows:1 ]
+      ()
+  in
+  Engine.run_until e 15.;
+  (* the elastic flow should have consumed the remaining ~72M *)
+  Alcotest.(check bool) "link was substantially used" true
+    (Bottleneck.busy_seconds bn > 5.)
+
+let test_schedule_validation () =
+  Alcotest.(check bool) "bad phase" true
+    (try
+       ignore
+         (Schedule.phase ~start:5. ~stop:5. ~inelastic_bps:0. ~elastic_flows:0);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [ ( "traffic.source",
+      [ Alcotest.test_case "cbr rate" `Quick test_cbr_rate;
+        Alcotest.test_case "poisson mean" `Quick test_poisson_mean_rate;
+        Alcotest.test_case "start/stop" `Quick test_source_start_stop;
+        Alcotest.test_case "set_rate" `Quick test_source_set_rate;
+        Alcotest.test_case "halt" `Quick test_source_halt ] );
+    ( "traffic.wan",
+      [ Alcotest.test_case "offered load" `Quick test_wan_offered_load;
+        Alcotest.test_case "elastic split" `Quick
+          test_wan_elastic_split_consistent;
+        Alcotest.test_case "fcts" `Quick test_wan_fcts_recorded;
+        Alcotest.test_case "concurrency cap" `Quick test_wan_concurrency_cap;
+        Alcotest.test_case "mean size" `Quick test_wan_mean_size_positive;
+        Alcotest.test_case "profiles differ" `Quick test_wan_profiles_differ;
+        Alcotest.test_case "persistent elastic" `Quick
+          test_wan_persistent_elastic ] );
+    ( "traffic.video",
+      [ Alcotest.test_case "1080p app-limited" `Quick
+          test_video_1080p_app_limited;
+        Alcotest.test_case "4k network-limited" `Quick
+          test_video_4k_network_limited;
+        Alcotest.test_case "validation" `Quick test_video_validation ] );
+    ( "traffic.schedule",
+      [ Alcotest.test_case "phases" `Quick test_schedule_phases;
+        Alcotest.test_case "drives traffic" `Quick test_schedule_drives_traffic;
+        Alcotest.test_case "validation" `Quick test_schedule_validation ] ) ]
