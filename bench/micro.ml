@@ -30,7 +30,8 @@ let goertzel_500 =
   let xs = signal 500 in
   Test.make ~name:"goertzel.500"
     (Staged.stage (fun () ->
-         ignore (Nimbus_dsp.Goertzel.magnitude xs ~sample_rate:100. ~freq:5.)))
+         ignore (Nimbus_dsp.Goertzel.magnitude xs ~sample_rate:(Units.Freq.hz 100.)
+              ~freq:5.)))
 
 let elasticity_eta =
   let det = Nimbus_core.Elasticity.create () in
@@ -39,36 +40,40 @@ let elasticity_eta =
   Test.make ~name:"elasticity.eta.500"
     (Staged.stage (fun () ->
          Nimbus_core.Elasticity.add_sample det 0.1;
-         ignore (Nimbus_core.Elasticity.eta det ~freq:5.)))
+         ignore (Nimbus_core.Elasticity.eta det ~freq:(Units.Freq.hz 5.))))
 
 let z_estimate =
   Test.make ~name:"z_estimator.estimate"
     (Staged.stage (fun () ->
          ignore
-           (Nimbus_core.Z_estimator.estimate ~mu:96e6 ~send_rate:24e6
-              ~recv_rate:20e6)))
+           (Nimbus_core.Z_estimator.estimate ~mu:(Units.Rate.bps 96e6)
+              ~send_rate:(Units.Rate.bps 24e6)
+              ~recv_rate:(Units.Rate.bps 20e6))))
 
 let event_queue =
   Test.make ~name:"engine.schedule+run.1000"
     (Staged.stage (fun () ->
          let e = Nimbus_sim.Engine.create () in
          for i = 0 to 999 do
-           Nimbus_sim.Engine.schedule_in e (float_of_int (i mod 97) /. 100.)
+           Nimbus_sim.Engine.schedule_in e
+             (Units.Time.secs (float_of_int (i mod 97) /. 100.))
              (fun () -> ())
          done;
-         Nimbus_sim.Engine.run_until e 1.))
+         Nimbus_sim.Engine.run_until e (Units.Time.secs 1.)))
 
 let sim_packet_second =
   Test.make ~name:"sim.cubic-flow.1s@48Mbps"
     (Staged.stage (fun () ->
          let e = Nimbus_sim.Engine.create () in
          let qdisc = Nimbus_sim.Qdisc.droptail ~capacity_bytes:600_000 in
-         let bn = Nimbus_sim.Bottleneck.create e ~rate_bps:48e6 ~qdisc () in
+         let bn =
+           Nimbus_sim.Bottleneck.create e ~rate:(Units.Rate.bps 48e6) ~qdisc ()
+         in
          let _f =
            Nimbus_cc.Flow.create e bn ~cc:(Nimbus_cc.Cubic.make ())
-             ~prop_rtt:0.05 ()
+             ~prop_rtt:(Units.Time.ms 50.) ()
          in
-         Nimbus_sim.Engine.run_until e 1.0))
+         Nimbus_sim.Engine.run_until e (Units.Time.secs 1.0)))
 
 let benchmarks =
   Test.make_grouped ~name:"nimbus"

@@ -15,6 +15,8 @@ module Rng = Nimbus_sim.Rng
 module Flow = Nimbus_cc.Flow
 module Nimbus = Nimbus_core.Nimbus
 module Source = Nimbus_traffic.Source
+module Time = Units.Time
+module Rate = Units.Rate
 
 let profile full = if full then Common.full else Common.quick
 
@@ -66,9 +68,8 @@ let simulate_cmd mbps rtt_ms duration cross_kind cross_mbps seed =
    | "poisson" ->
      ignore
        (Source.poisson engine bn ~rng:(Rng.split rng)
-          ~rate_bps:(cross_mbps *. 1e6) ())
-   | "cbr" ->
-     ignore (Source.cbr engine bn ~rate_bps:(cross_mbps *. 1e6) ())
+          ~rate:(Rate.mbps cross_mbps) ())
+   | "cbr" -> ignore (Source.cbr engine bn ~rate:(Rate.mbps cross_mbps) ())
    | other ->
      Printf.eprintf "unknown cross traffic %S (none|cubic|poisson|cbr)\n" other;
      exit 2);
@@ -77,17 +78,17 @@ let simulate_cmd mbps rtt_ms duration cross_kind cross_mbps seed =
   let last = ref 0 in
   Printf.printf "%6s %10s %10s %8s %12s %8s\n" "t(s)" "tput(Mbps)"
     "qdelay(ms)" "eta" "mode" "z(Mbps)";
-  Engine.every engine ~dt:1.0 (fun () ->
+  Engine.every engine ~dt:(Time.secs 1.0) (fun () ->
       let b = Flow.received_bytes running.Common.flow in
       Printf.printf "%6.0f %10.1f %10.1f %8.2f %12s %8.1f\n%!"
-        (Engine.now engine)
+        (Time.to_secs (Engine.now engine))
         (float_of_int ((b - !last) * 8) /. 1e6)
-        (Nimbus_sim.Bottleneck.queue_delay bn *. 1e3)
+        (Time.to_ms (Nimbus_sim.Bottleneck.queue_delay bn))
         (Nimbus.last_eta nim)
         (Nimbus.mode_to_string (Nimbus.mode nim))
-        (Nimbus.last_z nim /. 1e6);
+        (Rate.to_mbps (Nimbus.last_z nim));
       last := b);
-  Engine.run_until engine duration;
+  Engine.run_until engine (Time.secs duration);
   0
 
 open Cmdliner

@@ -5,6 +5,9 @@
 
 module Elasticity = Nimbus_core.Elasticity
 module Pulse = Nimbus_core.Pulse
+module Time = Units.Time
+module Freq = Units.Freq
+module Rate = Units.Rate
 
 let pi = 4.0 *. atan 1.0
 
@@ -12,13 +15,13 @@ let () =
   let fp = 5.0 in
   let dt = 0.01 in
   let describe label make_sample =
-    let det = Elasticity.create ~sample_interval:dt () in
+    let det = Elasticity.create ~sample_interval:(Time.secs dt) () in
     for i = 0 to 499 do
       Elasticity.add_sample det (make_sample (float_of_int i *. dt))
     done;
-    let eta = Elasticity.eta det ~freq:fp in
+    let eta = Elasticity.eta det ~freq:(Freq.hz fp) in
     let verdict =
-      match Elasticity.classify det ~freq:fp with
+      match Elasticity.classify det ~freq:(Freq.hz fp) with
       | Some Elasticity.Elastic -> "elastic"
       | Some Elasticity.Inelastic -> "inelastic"
       | None -> "undecided"
@@ -43,4 +46,6 @@ let () =
       +. (2e6 *. (Nimbus_sim.Rng.uniform rng2 -. 0.5)));
   (* and the pulse waveform itself *)
   Printf.printf "pulse mean over one period: %.3g bps (should be ~0)\n"
-    (Pulse.mean ~shape:Pulse.Asymmetric ~amplitude:12e6 ~freq:fp ~samples:1000)
+    (Rate.to_bps
+       (Pulse.mean ~shape:Pulse.Asymmetric ~amplitude:(Rate.mbps 12.)
+          ~freq:(Freq.hz fp) ~samples:1000))

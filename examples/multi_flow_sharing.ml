@@ -9,12 +9,17 @@ module Qdisc = Nimbus_sim.Qdisc
 module Flow = Nimbus_cc.Flow
 module Nimbus = Nimbus_core.Nimbus
 module Z = Nimbus_core.Z_estimator
+module Time = Units.Time
+module Rate = Units.Rate
 
 let () =
   let engine = Engine.create () in
-  let mu = 96e6 in
-  let qdisc = Qdisc.droptail ~capacity_bytes:(int_of_float (mu *. 0.1 /. 8.)) in
-  let bottleneck = Bottleneck.create engine ~rate_bps:mu ~qdisc () in
+  let mu = Rate.mbps 96. in
+  let qdisc =
+    Qdisc.droptail
+      ~capacity_bytes:(int_of_float (Rate.to_bps mu *. 0.1 /. 8.))
+  in
+  let bottleneck = Bottleneck.create engine ~rate:mu ~qdisc () in
   let flows =
     List.init 3 (fun i ->
         let nim =
@@ -24,15 +29,16 @@ let () =
         let flow =
           Flow.create engine bottleneck
             ~cc:(Nimbus.cc nim ~now:(fun () -> Engine.now engine))
-            ~prop_rtt:0.05
-            ~start:(float_of_int i *. 15.)
+            ~prop_rtt:(Time.ms 50.)
+            ~start:(Time.secs (float_of_int i *. 15.))
             ()
         in
         (i, nim, flow, ref 0))
   in
-  Engine.every engine ~dt:5.0 (fun () ->
-      Printf.printf "t=%3.0fs  queue=%5.1f ms |" (Engine.now engine)
-        (Bottleneck.queue_delay bottleneck *. 1e3);
+  Engine.every engine ~dt:(Time.secs 5.0) (fun () ->
+      Printf.printf "t=%3.0fs  queue=%5.1f ms |"
+        (Time.to_secs (Engine.now engine))
+        (Time.to_ms (Bottleneck.queue_delay bottleneck));
       List.iter
         (fun (i, nim, flow, last) ->
           let bytes = Flow.received_bytes flow in
@@ -43,7 +49,7 @@ let () =
           last := bytes)
         flows;
       print_newline ());
-  Engine.run_until engine 120.;
+  Engine.run_until engine (Time.secs 120.);
   print_endline
     "done: expect at most one pulser, roughly equal shares, and delay mode \
      for most of the run (transient competitive episodes during arrivals \

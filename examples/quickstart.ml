@@ -12,13 +12,18 @@ module Flow = Nimbus_cc.Flow
 module Nimbus = Nimbus_core.Nimbus
 module Z = Nimbus_core.Z_estimator
 module Source = Nimbus_traffic.Source
+module Time = Units.Time
+module Rate = Units.Rate
 
 let () =
   let engine = Engine.create () in
-  let mu = 48e6 in
+  let mu = Rate.mbps 48. in
   (* 100 ms of buffering, the paper's default *)
-  let qdisc = Qdisc.droptail ~capacity_bytes:(int_of_float (mu *. 0.1 /. 8.)) in
-  let bottleneck = Bottleneck.create engine ~rate_bps:mu ~qdisc () in
+  let qdisc =
+    Qdisc.droptail
+      ~capacity_bytes:(int_of_float (Rate.to_bps mu *. 0.1 /. 8.))
+  in
+  let bottleneck = Bottleneck.create engine ~rate:mu ~qdisc () in
 
   (* the Nimbus flow: Cubic when cross traffic is elastic, BasicDelay
      otherwise, switching on the FFT elasticity metric *)
@@ -26,30 +31,30 @@ let () =
   let flow =
     Flow.create engine bottleneck
       ~cc:(Nimbus.cc nimbus ~now:(fun () -> Engine.now engine))
-      ~prop_rtt:0.05 ()
+      ~prop_rtt:(Time.ms 50.) ()
   in
 
   (* cross traffic: a Cubic flow from t=20..60, then 24 Mbit/s Poisson *)
-  Engine.schedule_at engine 20. (fun () ->
+  Engine.schedule_at engine (Time.secs 20.) (fun () ->
       let cross =
         Flow.create engine bottleneck ~cc:(Nimbus_cc.Cubic.make ())
-          ~prop_rtt:0.05 ()
+          ~prop_rtt:(Time.ms 50.) ()
       in
-      Engine.schedule_at engine 60. (fun () -> Flow.stop cross));
+      Engine.schedule_at engine (Time.secs 60.) (fun () -> Flow.stop cross));
   ignore
-    (Source.poisson engine bottleneck ~rng:(Rng.create 7) ~rate_bps:24e6
-       ~start:60. ());
+    (Source.poisson engine bottleneck ~rng:(Rng.create 7) ~rate:(Rate.mbps 24.)
+       ~start:(Time.secs 60.) ());
 
   (* report once per second *)
   let last = ref 0 in
-  Engine.every engine ~dt:1.0 (fun () ->
+  Engine.every engine ~dt:(Time.secs 1.0) (fun () ->
       let bytes = Flow.received_bytes flow in
       Printf.printf "t=%3.0fs  tput=%5.1f Mbps  queue=%5.1f ms  mode=%-11s eta=%.2f\n"
-        (Engine.now engine)
+        (Time.to_secs (Engine.now engine))
         (float_of_int ((bytes - !last) * 8) /. 1e6)
-        (Bottleneck.queue_delay bottleneck *. 1e3)
+        (Time.to_ms (Bottleneck.queue_delay bottleneck))
         (Nimbus.mode_to_string (Nimbus.mode nimbus))
         (Nimbus.last_eta nimbus);
       last := bytes);
-  Engine.run_until engine 100.;
+  Engine.run_until engine (Time.secs 100.);
   print_endline "done: expect delay mode (low queue) except during 20-60s."

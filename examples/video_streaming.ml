@@ -10,34 +10,39 @@ module Flow = Nimbus_cc.Flow
 module Nimbus = Nimbus_core.Nimbus
 module Z = Nimbus_core.Z_estimator
 module Video = Nimbus_traffic.Video
+module Time = Units.Time
+module Rate = Units.Rate
 
 let () =
   let engine = Engine.create () in
-  let mu = 48e6 in
-  let qdisc = Qdisc.droptail ~capacity_bytes:(int_of_float (mu *. 0.1 /. 8.)) in
-  let bottleneck = Bottleneck.create engine ~rate_bps:mu ~qdisc () in
+  let mu = Rate.mbps 48. in
+  let qdisc =
+    Qdisc.droptail
+      ~capacity_bytes:(int_of_float (Rate.to_bps mu *. 0.1 /. 8.))
+  in
+  let bottleneck = Bottleneck.create engine ~rate:mu ~qdisc () in
   let video = Video.create engine bottleneck ~ladder:Video.ladder_1080p () in
   let nimbus = Nimbus.create ~mu:(Z.Mu.known mu) () in
   let flow =
     Flow.create engine bottleneck
       ~cc:(Nimbus.cc nimbus ~now:(fun () -> Engine.now engine))
-      ~prop_rtt:0.05 ()
+      ~prop_rtt:(Time.ms 50.) ()
   in
   let last = ref 0 in
-  Engine.every engine ~dt:5.0 (fun () ->
+  Engine.every engine ~dt:(Time.secs 5.0) (fun () ->
       let bytes = Flow.received_bytes flow in
       Printf.printf
         "t=%3.0fs  bulk=%5.1f Mbps  queue=%5.1f ms  mode=%-11s | video: %4.1f \
          Mbps rung, %4.1f s buffered, %d chunks, %.1f s stalled\n"
-        (Engine.now engine)
+        (Time.to_secs (Engine.now engine))
         (float_of_int ((bytes - !last) * 8) /. 5. /. 1e6)
-        (Bottleneck.queue_delay bottleneck *. 1e3)
+        (Time.to_ms (Bottleneck.queue_delay bottleneck))
         (Nimbus.mode_to_string (Nimbus.mode nimbus))
-        (Video.current_bitrate_bps video /. 1e6)
-        (Video.buffer_seconds video)
+        (Rate.to_mbps (Video.current_bitrate video))
+        (Time.to_secs (Video.buffer video))
         (Video.chunks_fetched video)
-        (Video.rebuffer_seconds video);
+        (Time.to_secs (Video.rebuffer video));
       last := bytes);
-  Engine.run_until engine 120.;
+  Engine.run_until engine (Time.secs 120.);
   print_endline
     "done: expect mostly delay mode, short queue, and a stable video buffer."

@@ -11,23 +11,29 @@ module Flow = Nimbus_cc.Flow
 module Nimbus = Nimbus_core.Nimbus
 module Z = Nimbus_core.Z_estimator
 module Wan = Nimbus_traffic.Wan
+module Time = Units.Time
+module Rate = Units.Rate
 
 let () =
   let engine = Engine.create () in
-  let mu = 96e6 in
-  let qdisc = Qdisc.droptail ~capacity_bytes:(int_of_float (mu *. 0.1 /. 8.)) in
-  let bottleneck = Bottleneck.create engine ~rate_bps:mu ~qdisc () in
+  let mu = Rate.mbps 96. in
+  let qdisc =
+    Qdisc.droptail
+      ~capacity_bytes:(int_of_float (Rate.to_bps mu *. 0.1 /. 8.))
+  in
+  let bottleneck = Bottleneck.create engine ~rate:mu ~qdisc () in
   let wan =
-    Wan.create engine bottleneck ~rng:(Rng.create 42) ~load_bps:(0.5 *. mu) ()
+    Wan.create engine bottleneck ~rng:(Rng.create 42) ~load:(Rate.scale 0.5 mu)
+      ()
   in
   let nimbus = Nimbus.create ~mu:(Z.Mu.known mu) () in
   let flow =
     Flow.create engine bottleneck
       ~cc:(Nimbus.cc nimbus ~now:(fun () -> Engine.now engine))
-      ~prop_rtt:0.05 ()
+      ~prop_rtt:(Time.ms 50.) ()
   in
   let last = ref 0 and prev_elastic = ref 0 and prev_total = ref 0 in
-  Engine.every engine ~dt:2.0 (fun () ->
+  Engine.every engine ~dt:(Time.secs 2.0) (fun () ->
       let bytes = Flow.received_bytes flow in
       let elastic, total = Wan.bytes_split wan in
       let de = elastic - !prev_elastic and dt = total - !prev_total in
@@ -39,13 +45,13 @@ let () =
       Printf.printf
         "t=%3.0fs  tput=%5.1f Mbps  rtt=%5.1f ms  mode=%-11s  true elastic \
          share=%3.0f%%  active cross flows=%d\n"
-        (Engine.now engine)
+        (Time.to_secs (Engine.now engine))
         (float_of_int ((bytes - !last) * 8) /. 2. /. 1e6)
-        (Flow.last_rtt flow *. 1e3)
+        (Time.to_ms (Flow.last_rtt flow))
         (Nimbus.mode_to_string (Nimbus.mode nimbus))
         (100. *. frac) (Wan.active_count wan);
       last := bytes);
-  Engine.run_until engine 120.;
+  Engine.run_until engine (Time.secs 120.);
   print_endline
     "done: competitive mode should appear when persistent elastic flows \
      dominate; short slow-start flows count as elastic bytes but are \

@@ -1,3 +1,7 @@
+module Time = Units.Time
+module Rate = Units.Rate
+module B = Units.Bytes
+
 type t = {
   mutable mu : float;
   alpha : float;
@@ -7,24 +11,31 @@ type t = {
   mutable srtt : float;
 }
 
-let create ~mu ?(alpha = 0.8) ?(beta = 0.5) ?(delay_target = 0.0125)
-    ?initial_rate_bps () =
-  if mu <= 0. then invalid_arg "Basic_delay.create: mu <= 0";
-  let initial = match initial_rate_bps with Some r -> r | None -> mu /. 10. in
-  { mu; alpha; beta; delay_target; rate = initial; srtt = 0.1 }
+let create ~mu ?(alpha = 0.8) ?(beta = 0.5)
+    ?(delay_target = Time.ms 12.5) ?initial_rate () =
+  let mu = Rate.to_bps (Rate.bps_exn (Rate.to_bps mu)) in
+  let initial =
+    match initial_rate with Some r -> Rate.to_bps r | None -> mu /. 10.
+  in
+  { mu; alpha; beta; delay_target = Time.to_secs delay_target; rate = initial;
+    srtt = 0.1 }
 
-let rate_bps t = t.rate
+let rate t = Rate.bps t.rate
 
-let set_mu t mu = if mu > 0. then t.mu <- mu
+let set_mu t mu =
+  let mu = Rate.to_bps mu in
+  if mu > 0. then t.mu <- mu
 
-let set_rate t r = t.rate <- Float.max 50_000. (Float.min (1.2 *. t.mu) r)
+let set_rate t r =
+  t.rate <- Float.max 50_000. (Float.min (1.2 *. t.mu) (Rate.to_bps r))
 
 let update t (tk : Cc_types.tick) =
-  if not (Float.is_nan tk.srtt) then t.srtt <- tk.srtt;
-  if not (Float.is_nan tk.send_rate || Float.is_nan tk.recv_rate) then begin
-    let s = tk.send_rate and r = Float.max tk.recv_rate 1e3 in
+  if Time.is_known tk.srtt then t.srtt <- Time.to_secs tk.srtt;
+  if Rate.is_known tk.send_rate && Rate.is_known tk.recv_rate then begin
+    let s = Rate.to_bps tk.send_rate
+    and r = Float.max (Rate.to_bps tk.recv_rate) 1e3 in
     let z = Float.max 0. ((t.mu *. s /. r) -. s) in
-    let x = tk.rtt and x_min = tk.min_rtt in
+    let x = Time.to_secs tk.rtt and x_min = Time.to_secs tk.min_rtt in
     if not (Float.is_nan x || Float.is_nan x_min) then begin
       let spare = t.mu -. s -. z in
       let rate =
@@ -32,7 +43,7 @@ let update t (tk : Cc_types.tick) =
         +. (t.alpha *. spare)
         +. (t.beta *. t.mu /. x *. (x_min +. t.delay_target -. x))
       in
-      set_rate t rate
+      set_rate t (Rate.bps rate)
     end
   end
 
@@ -41,8 +52,9 @@ let cc t =
     on_ack = (fun _ -> ());
     on_loss = (fun _ -> ());
     on_tick = Some (update t);
-    cwnd_bytes = (fun () -> Float.max (4. *. 1500.) (2. *. t.rate *. t.srtt /. 8.));
-    pacing_rate_bps = (fun () -> Some t.rate) }
+    cwnd =
+      (fun () -> B.bytes (Float.max (4. *. 1500.) (2. *. t.rate *. t.srtt /. 8.)));
+    pacing_rate = (fun () -> Some (Rate.bps t.rate)) }
 
-let make ~mu ?alpha ?beta ?delay_target ?initial_rate_bps () =
-  cc (create ~mu ?alpha ?beta ?delay_target ?initial_rate_bps ())
+let make ~mu ?alpha ?beta ?delay_target ?initial_rate () =
+  cc (create ~mu ?alpha ?beta ?delay_target ?initial_rate ())

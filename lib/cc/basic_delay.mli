@@ -12,41 +12,42 @@
 
 type t
 
-(** @param mu bottleneck link rate, bits/s
+(** @param mu bottleneck link rate
     @param alpha spare-capacity step (default 0.8)
     @param beta delay-correction gain (default 0.5)
-    @param delay_target d_t, seconds (default 0.0125)
-    @param initial_rate_bps default µ/10 *)
+    @param delay_target d_t (default 12.5 ms)
+    @param initial_rate default µ/10
+    @raise Invalid_argument if [mu] is not finite and positive *)
 val create :
-  mu:float ->
+  mu:Units.Rate.t ->
   ?alpha:float ->
   ?beta:float ->
-  ?delay_target:float ->
-  ?initial_rate_bps:float ->
+  ?delay_target:Units.Time.t ->
+  ?initial_rate:Units.Rate.t ->
   unit ->
   t
 
 val cc : t -> Cc_types.t
 
-(** [rate_bps t] is the current controlled rate. *)
-val rate_bps : t -> float
+(** [rate t] is the current controlled rate. *)
+val rate : t -> Units.Rate.t
 
 (** [set_rate t r] forces the rate (mode-switch initialisation). *)
-val set_rate : t -> float -> unit
+val set_rate : t -> Units.Rate.t -> unit
 
 (** [set_mu t mu] updates the link-rate estimate the rule uses — needed when
     µ is learned online rather than configured. *)
-val set_mu : t -> float -> unit
+val set_mu : t -> Units.Rate.t -> unit
 
 (** [update t tick] applies Eq. 4 given a flow tick; exposed so Nimbus can
     drive it directly while owning the pacing. *)
 val update : t -> Cc_types.tick -> unit
 
 val make :
-  mu:float ->
+  mu:Units.Rate.t ->
   ?alpha:float ->
   ?beta:float ->
-  ?delay_target:float ->
-  ?initial_rate_bps:float ->
+  ?delay_target:Units.Time.t ->
+  ?initial_rate:Units.Rate.t ->
   unit ->
   Cc_types.t

@@ -1,3 +1,7 @@
+module Time = Units.Time
+module Rate = Units.Rate
+module B = Units.Bytes
+
 type phase =
   | Startup
   | Drain
@@ -32,7 +36,7 @@ let create ?(mss = 1500) () =
     last_full_bw_check = 0.; cycle_start = 0.; last_probe_rtt = 0.;
     inflight = 0; srtt = 0.1; filters_updated_at = neg_infinity }
 
-let btl_bw t = t.btl_bw
+let btl_bw t = Rate.bps t.btl_bw
 
 let bdp_bytes t =
   if t.btl_bw <= 0. || not (Float.is_finite t.rt_prop) then 10. *. t.mss
@@ -106,19 +110,21 @@ let pacing_gain t =
   | Probe_rtt _ -> 1.
 
 let on_ack t (a : Cc_types.ack) =
-  t.srtt <- a.srtt;
+  let now = Time.to_secs a.now in
+  t.srtt <- Time.to_secs a.srtt;
   t.inflight <- a.inflight_bytes;
-  Queue.push (a.now, a.rtt) t.rtt_samples;
-  update_filters t a.now;
-  advance t a.now
+  Queue.push (now, Time.to_secs a.rtt) t.rtt_samples;
+  update_filters t now;
+  advance t now
 
 let on_tick t (tk : Cc_types.tick) =
-  t.srtt <- (if Float.is_nan tk.srtt then t.srtt else tk.srtt);
+  let now = Time.to_secs tk.now in
+  if Time.is_known tk.srtt then t.srtt <- Time.to_secs tk.srtt;
   t.inflight <- tk.inflight_bytes;
-  if not (Float.is_nan tk.recv_rate) then
-    Queue.push (tk.now, tk.recv_rate) t.bw_samples;
-  update_filters t tk.now;
-  advance t tk.now
+  if Rate.is_known tk.recv_rate then
+    Queue.push (now, Rate.to_bps tk.recv_rate) t.bw_samples;
+  update_filters t now;
+  advance t now
 
 let cwnd t =
   match t.phase with
@@ -128,14 +134,14 @@ let cwnd t =
 
 let pacing t =
   if t.btl_bw <= 0. then None
-  else Some (pacing_gain t *. t.btl_bw)
+  else Some (Rate.bps (pacing_gain t *. t.btl_bw))
 
 let cc t =
   { Cc_types.name = "bbr";
     on_ack = on_ack t;
     on_loss = (fun _ -> ()); (* BBR v1 ignores individual losses *)
     on_tick = Some (on_tick t);
-    cwnd_bytes = (fun () -> cwnd t);
-    pacing_rate_bps = (fun () -> pacing t) }
+    cwnd = (fun () -> B.bytes (cwnd t));
+    pacing_rate = (fun () -> pacing t) }
 
 let make ?mss () = cc (create ?mss ())

@@ -14,7 +14,7 @@ val create : ?mss:int -> unit -> t
 
 val cc : t -> Cc_types.t
 
-(** [btl_bw t] is the current bottleneck-bandwidth estimate in bits/s. *)
-val btl_bw : t -> float
+(** [btl_bw t] is the current bottleneck-bandwidth estimate. *)
+val btl_bw : t -> Units.Rate.t
 
 val make : ?mss:int -> unit -> Cc_types.t

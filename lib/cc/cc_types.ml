@@ -1,16 +1,16 @@
 type ack = {
-  now : float;
+  now : Units.Time.t;
   seq : int;
   bytes : int;
-  rtt : float;
-  min_rtt : float;
-  srtt : float;
+  rtt : Units.Time.t;
+  min_rtt : Units.Time.t;
+  srtt : Units.Time.t;
   inflight_bytes : int;
   delivered_bytes : int;
 }
 
 type loss = {
-  now : float;
+  now : Units.Time.t;
   seq : int;
   bytes : int;
   inflight_bytes : int;
@@ -18,12 +18,12 @@ type loss = {
 }
 
 type tick = {
-  now : float;
-  send_rate : float;
-  recv_rate : float;
-  rtt : float;
-  srtt : float;
-  min_rtt : float;
+  now : Units.Time.t;
+  send_rate : Units.Rate.t;
+  recv_rate : Units.Rate.t;
+  rtt : Units.Time.t;
+  srtt : Units.Time.t;
+  min_rtt : Units.Time.t;
   inflight_bytes : int;
   delivered_bytes : int;
   lost_packets : int;
@@ -34,8 +34,8 @@ type t = {
   on_ack : ack -> unit;
   on_loss : loss -> unit;
   on_tick : (tick -> unit) option;
-  cwnd_bytes : unit -> float;
-  pacing_rate_bps : unit -> float option;
+  cwnd : unit -> Units.Bytes.t;
+  pacing_rate : unit -> Units.Rate.t option;
 }
 
 let unconstrained ~name =
@@ -43,5 +43,5 @@ let unconstrained ~name =
     on_ack = (fun _ -> ());
     on_loss = (fun _ -> ());
     on_tick = None;
-    cwnd_bytes = (fun () -> infinity);
-    pacing_rate_bps = (fun () -> None) }
+    cwnd = (fun () -> Units.Bytes.bytes infinity);
+    pacing_rate = (fun () -> None) }

@@ -3,24 +3,29 @@
     An algorithm is a record of closures over its private state. The engine
     feeds it per-ACK and per-loss events plus a 10 ms tick carrying rate
     estimates (mirroring the CCP reporting loop the paper's implementation
-    uses), and reads back a congestion window and an optional pacing rate. *)
+    uses), and reads back a congestion window and an optional pacing rate.
+
+    Rates, RTTs, and timestamps cross this boundary as {!Units.Rate.t} /
+    {!Units.Time.t}, so an algorithm can never confuse S(t) with a duration
+    or feed a window where a rate is expected. "Not yet measured" is
+    [Time.unknown] / [Rate.unknown] (NaN), as in the rest of the system. *)
 
 (** Event delivered for every acknowledged packet. *)
 type ack = {
-  now : float;
-  seq : int;            (* sequence number of the acked packet *)
-  bytes : int;          (* payload bytes acknowledged *)
-  rtt : float;          (* sample from this packet *)
-  min_rtt : float;      (* minimum observed so far *)
-  srtt : float;         (* smoothed RTT *)
-  inflight_bytes : int; (* after this ack *)
-  delivered_bytes : int; (* cumulative *)
+  now : Units.Time.t;
+  seq : int;  (** sequence number of the acked packet *)
+  bytes : int;  (** payload bytes acknowledged *)
+  rtt : Units.Time.t;  (** sample from this packet *)
+  min_rtt : Units.Time.t;  (** minimum observed so far *)
+  srtt : Units.Time.t;  (** smoothed RTT *)
+  inflight_bytes : int;  (** after this ack *)
+  delivered_bytes : int;  (** cumulative *)
 }
 
 (** Loss signal. [`Dupack] approximates fast retransmit; [`Timeout] is an RTO
     where the whole window was declared lost. *)
 type loss = {
-  now : float;
+  now : Units.Time.t;
   seq : int;
   bytes : int;
   inflight_bytes : int;
@@ -28,18 +33,18 @@ type loss = {
 }
 
 (** Periodic report. [send_rate]/[recv_rate] are S(t)/R(t) of Eq. 2: both
-    measured over the same trailing window of acknowledged packets, in bits
-    per second; [nan] until enough packets have been acknowledged. *)
+    measured over the same trailing window of acknowledged packets;
+    [Rate.unknown] until enough packets have been acknowledged. *)
 type tick = {
-  now : float;
-  send_rate : float;
-  recv_rate : float;
-  rtt : float;     (* latest sample; nan before first ack *)
-  srtt : float;
-  min_rtt : float;
+  now : Units.Time.t;
+  send_rate : Units.Rate.t;
+  recv_rate : Units.Rate.t;
+  rtt : Units.Time.t;  (** latest sample; [Time.unknown] before first ack *)
+  srtt : Units.Time.t;
+  min_rtt : Units.Time.t;
   inflight_bytes : int;
   delivered_bytes : int;
-  lost_packets : int; (* cumulative *)
+  lost_packets : int;  (** cumulative *)
 }
 
 type t = {
@@ -47,12 +52,12 @@ type t = {
   on_ack : ack -> unit;
   on_loss : loss -> unit;
   on_tick : (tick -> unit) option;
-  cwnd_bytes : unit -> float;
-      (** current window limit, in bytes; [infinity] for purely rate-paced
+  cwnd : unit -> Units.Bytes.t;
+      (** current window limit; [Bytes.bytes infinity] for purely rate-paced
           algorithms *)
-  pacing_rate_bps : unit -> float option;
-      (** [Some r] paces transmissions at [r] bits/s; [None] relies on pure
-          ACK clocking against the window *)
+  pacing_rate : unit -> Units.Rate.t option;
+      (** [Some r] paces transmissions at [r]; [None] relies on pure ACK
+          clocking against the window *)
 }
 
 (** A controller that never restricts sending; used by raw traffic sources. *)

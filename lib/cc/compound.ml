@@ -1,3 +1,6 @@
+module Time = Units.Time
+module B = Units.Bytes
+
 type state = {
   mss : float;
   mutable lwnd : float; (* loss window, bytes *)
@@ -25,14 +28,15 @@ let make ?(mss = 1500) () =
   in
   let window () = s.lwnd +. s.dwnd in
   let on_ack (a : Cc_types.ack) =
-    s.srtt <- a.srtt;
+    let now = Time.to_secs a.now in
+    s.srtt <- Time.to_secs a.srtt;
     let win = window () in
     if s.lwnd < s.ssthresh then s.lwnd <- s.lwnd +. float_of_int a.bytes
     else s.lwnd <- s.lwnd +. (s.mss *. float_of_int a.bytes /. win);
-    if a.now >= s.next_update then begin
-      s.next_update <- a.now +. a.srtt;
-      let rtt = Float.max a.srtt 1e-4 in
-      let base = Float.max a.min_rtt 1e-4 in
+    if now >= s.next_update then begin
+      s.next_update <- now +. s.srtt;
+      let rtt = Float.max s.srtt 1e-4 in
+      let base = Float.max (Time.to_secs a.min_rtt) 1e-4 in
       let diff_segments = win *. (1. -. (base /. rtt)) /. s.mss in
       if diff_segments < gamma then begin
         let win_segments = win /. s.mss in
@@ -49,13 +53,14 @@ let make ?(mss = 1500) () =
       s.lwnd <- 2. *. s.mss;
       s.dwnd <- 0.
     | `Dupack ->
-      if l.now > s.recovery_until then begin
-        s.recovery_until <- l.now +. s.srtt;
+      let now = Time.to_secs l.now in
+      if now > s.recovery_until then begin
+        s.recovery_until <- now +. s.srtt;
         s.ssthresh <- Float.max (window () /. 2.) (2. *. s.mss);
         s.lwnd <- Float.max (2. *. s.mss) (s.lwnd /. 2.);
         s.dwnd <- s.dwnd /. 2.
       end
   in
   { Cc_types.name = "compound"; on_ack; on_loss; on_tick = None;
-    cwnd_bytes = (fun () -> window ());
-    pacing_rate_bps = (fun () -> None) }
+    cwnd = (fun () -> B.bytes (window ()));
+    pacing_rate = (fun () -> None) }

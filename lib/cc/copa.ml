@@ -1,3 +1,6 @@
+module Time = Units.Time
+module B = Units.Bytes
+
 (* RTT bookkeeping: Copa needs
    - rtt_min: minimum over a long (10 s) window — the propagation delay;
    - rtt_standing: minimum over the last srtt/2 — the current standing queue;
@@ -40,12 +43,12 @@ let create ?(mss = 1500) ?(switching = true) ?(delta = 0.5) () =
     last_delta_increase = 0.; stats_cached_at = neg_infinity;
     stats_cache = (infinity, 0., infinity) }
 
-let cwnd_bytes t = t.cwnd
+let cwnd_bytes t = B.bytes t.cwnd
 
 let in_competitive_mode t = t.competitive
 
 let reset_cwnd t bytes =
-  t.cwnd <- Float.max (2. *. t.mss) bytes;
+  t.cwnd <- Float.max (2. *. t.mss) (B.to_float bytes);
   t.in_slow_start <- false
 
 let prune t now =
@@ -90,9 +93,9 @@ let update_mode t now =
   end
 
 let on_ack t (a : Cc_types.ack) =
-  let now = a.now in
-  t.srtt <- a.srtt;
-  Queue.push { at = now; rtt = a.rtt } t.samples;
+  let now = Time.to_secs a.now in
+  t.srtt <- Time.to_secs a.srtt;
+  Queue.push { at = now; rtt = Time.to_secs a.rtt } t.samples;
   let rtt_min, rtt_max, standing = rtt_stats t now in
   let dq = standing -. rtt_min in
   let max_dq = rtt_max -. rtt_min in
@@ -104,7 +107,7 @@ let on_ack t (a : Cc_types.ack) =
     t.delta <- 1. /. inv;
     t.last_delta_increase <- now
   end;
-  let rtt = Float.max a.srtt 1e-4 in
+  let rtt = Float.max t.srtt 1e-4 in
   let current_rate = t.cwnd /. rtt in
   let target_rate =
     if dq <= 1e-6 then infinity else t.mss /. (t.delta *. dq)
@@ -133,12 +136,13 @@ let on_ack t (a : Cc_types.ack) =
   end
 
 let on_loss t (l : Cc_types.loss) =
+  let now = Time.to_secs l.now in
   t.in_slow_start <- false;
   match l.kind with
   | `Timeout -> t.cwnd <- 2. *. t.mss
   | `Dupack ->
-    if l.now > t.last_loss_reaction +. t.srtt then begin
-      t.last_loss_reaction <- l.now;
+    if now > t.last_loss_reaction +. t.srtt then begin
+      t.last_loss_reaction <- now;
       if t.competitive then begin
         (* competitive mode reacts through delta alone: halve 1/delta
            (double delta, bounded by the default); the window keeps
@@ -155,7 +159,7 @@ let cc t =
     on_ack = on_ack t;
     on_loss = on_loss t;
     on_tick = None;
-    cwnd_bytes = (fun () -> t.cwnd);
-    pacing_rate_bps = (fun () -> None) }
+    cwnd = (fun () -> B.bytes t.cwnd);
+    pacing_rate = (fun () -> None) }
 
 let make ?mss ?switching ?delta () = cc (create ?mss ?switching ?delta ())

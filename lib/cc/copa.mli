@@ -22,13 +22,13 @@ val create : ?mss:int -> ?switching:bool -> ?delta:float -> unit -> t
 
 val cc : t -> Cc_types.t
 
-val cwnd_bytes : t -> float
+val cwnd_bytes : t -> Units.Bytes.t
 
 (** [in_competitive_mode t] — classification ground signal for the accuracy
     experiments comparing Copa's detector with Nimbus's (§8.2). *)
 val in_competitive_mode : t -> bool
 
 (** [reset_cwnd t bytes] forces the window (mode switching support). *)
-val reset_cwnd : t -> float -> unit
+val reset_cwnd : t -> Units.Bytes.t -> unit
 
 val make : ?mss:int -> ?switching:bool -> ?delta:float -> unit -> Cc_types.t

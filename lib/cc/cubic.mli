@@ -18,11 +18,11 @@ val create :
 val cc : t -> Cc_types.t
 
 (** [cwnd_bytes t]. *)
-val cwnd_bytes : t -> float
+val cwnd_bytes : t -> Units.Bytes.t
 
 (** [reset_cwnd t bytes] forces the window and restarts the cubic epoch —
     used by Nimbus's mode switch. *)
-val reset_cwnd : t -> float -> unit
+val reset_cwnd : t -> Units.Bytes.t -> unit
 
 (** [make ()] is [cc (create ())] for plain flows. *)
 val make :

@@ -1,13 +1,17 @@
 module Engine = Nimbus_sim.Engine
 module Bottleneck = Nimbus_sim.Bottleneck
 module Packet = Nimbus_sim.Packet
-module Ring = Nimbus_dsp.Ring
+module Time = Units.Time
+module Rate = Units.Rate
+module B = Units.Bytes
 
 type source =
   | Backlogged
   | Finite of int
   | App_limited
 
+(* Sender bookkeeping stays raw float (seconds / bps / bytes) — the typed
+   boundary is the .mli and the Cc_types records built below. *)
 type sent_info = {
   si_sent_at : float;
   si_size : int;
@@ -18,7 +22,6 @@ type sent_info = {
 type acked_record = {
   ar_sent_at : float;
   ar_acked_at : float;
-  ar_bytes : int;
   ar_cum_bytes : int; (* running total including this record *)
 }
 
@@ -73,6 +76,8 @@ type t = {
   mutable completion_time : float option;
 }
 
+let now_secs t = Time.to_secs (Engine.now t.engine)
+
 let id t = t.flow_id
 
 let stopped t = not t.active
@@ -85,19 +90,19 @@ let lost_packets t = t.losses
 
 let inflight_bytes t = t.inflight_bytes
 
-let srtt t = t.srtt
+let srtt t = Time.secs t.srtt
 
-let min_rtt t = t.min_rtt
+let min_rtt t = Time.secs t.min_rtt
 
-let last_rtt t = t.last_rtt
+let last_rtt t = Time.secs t.last_rtt
 
-let send_rate t = t.send_rate
+let send_rate t = Rate.bps t.send_rate
 
-let recv_rate t = t.recv_rate
+let recv_rate t = Rate.bps t.recv_rate
 
-let completion_time t = t.completion_time
+let completion_time t = Option.map Time.secs t.completion_time
 
-let start_time t = t.start_time
+let start_time t = Time.secs t.start_time
 
 let cc_name t = t.cc.Cc_types.name
 
@@ -119,7 +124,8 @@ let new_data_available t =
 let data_available t = (not (Queue.is_empty t.retx_queue)) || new_data_available t
 
 let window_allows t =
-  float_of_int (t.inflight_bytes + t.pkt_size) <= t.cc.Cc_types.cwnd_bytes ()
+  float_of_int (t.inflight_bytes + t.pkt_size)
+  <= B.to_float (t.cc.Cc_types.cwnd ())
 
 (* --- rate estimation (Eq. 2) -------------------------------------------- *)
 
@@ -159,16 +165,17 @@ let receiver_got t (pkt : Packet.t) =
   t.recv_bytes <- t.recv_bytes + pkt.size;
   match t.source with
   | Finite size when t.completion_time = None && t.recv_bytes >= size ->
-    t.completion_time <- Some (Engine.now t.engine);
+    t.completion_time <- Some (now_secs t);
     (match t.on_complete with Some f -> f t | None -> ())
   | _ -> ()
 
 let rec handle_delivery t (pkt : Packet.t) =
   (* packet finished serialising at the bottleneck; receiver sees it after
      the forward leg, and the ACK lands after the reverse leg *)
-  Engine.schedule_in t.engine t.fwd_delay (fun () ->
+  Engine.schedule_in t.engine (Time.secs t.fwd_delay) (fun () ->
       receiver_got t pkt;
-      Engine.schedule_in t.engine t.rev_delay (fun () -> handle_ack t pkt))
+      Engine.schedule_in t.engine (Time.secs t.rev_delay) (fun () ->
+          handle_ack t pkt))
 
 and send_packet t ~seq ~retransmission =
   let now = Engine.now t.engine in
@@ -176,7 +183,8 @@ and send_packet t ~seq ~retransmission =
     Packet.make ~flow:t.flow_id ~seq ~size:t.pkt_size ~now ~retransmission ()
   in
   Hashtbl.replace t.outstanding seq
-    { si_sent_at = now; si_size = t.pkt_size; si_retx = retransmission };
+    { si_sent_at = Time.to_secs now; si_size = t.pkt_size;
+      si_retx = retransmission };
   Queue.push seq t.send_order;
   t.inflight_bytes <- t.inflight_bytes + t.pkt_size;
   Bottleneck.enqueue t.bottleneck pkt
@@ -192,7 +200,7 @@ and send_next t =
 
 and try_send t =
   if t.active then begin
-    match t.cc.Cc_types.pacing_rate_bps () with
+    match t.cc.Cc_types.pacing_rate () with
     | Some _ -> ensure_pacing t
     | None ->
       while window_allows t && data_available t do
@@ -203,7 +211,7 @@ and try_send t =
 and ensure_pacing t =
   if not t.pacing_scheduled then begin
     t.pacing_scheduled <- true;
-    t.last_pace_at <- Engine.now t.engine;
+    t.last_pace_at <- now_secs t;
     pace_one t
   end
 
@@ -215,13 +223,13 @@ and ensure_pacing t =
 and pace_one t =
   if not t.active then t.pacing_scheduled <- false
   else begin
-    match t.cc.Cc_types.pacing_rate_bps () with
+    match t.cc.Cc_types.pacing_rate () with
     | None ->
       t.pacing_scheduled <- false;
       try_send t
     | Some rate ->
-      let now = Engine.now t.engine in
-      let rate = Float.max rate 16_000. in
+      let now = now_secs t in
+      let rate = Float.max (Rate.to_bps rate) 16_000. in
       let dt = now -. t.last_pace_at in
       t.last_pace_at <- now;
       let burst_cap = float_of_int (2 * t.pkt_size) in
@@ -237,7 +245,7 @@ and pace_one t =
       let interval =
         Float.max 0.0002 (Float.min 0.002 (pkt *. 8. /. rate))
       in
-      Engine.schedule_in t.engine interval (fun () -> pace_one t)
+      Engine.schedule_in t.engine (Time.secs interval) (fun () -> pace_one t)
   end
 
 (* --- acknowledgements and loss detection -------------------------------- *)
@@ -268,7 +276,7 @@ and handle_ack t (pkt : Packet.t) =
   match Hashtbl.find_opt t.outstanding pkt.seq with
   | None -> () (* late ACK for a packet already declared lost *)
   | Some info ->
-    let now = Engine.now t.engine in
+    let now = now_secs t in
     Hashtbl.remove t.outstanding pkt.seq;
     t.inflight_bytes <- t.inflight_bytes - info.si_size;
     t.acked_bytes <- t.acked_bytes + info.si_size;
@@ -288,14 +296,15 @@ and handle_ack t (pkt : Packet.t) =
       in
       push_acked t
         { ar_sent_at = info.si_sent_at; ar_acked_at = now;
-          ar_bytes = info.si_size; ar_cum_bytes = prev_cum + info.si_size };
+          ar_cum_bytes = prev_cum + info.si_size };
       update_rates t
     end;
     if pkt.seq > t.highest_acked then t.highest_acked <- pkt.seq;
     declare_front_losses t;
     t.cc.Cc_types.on_ack
-      { Cc_types.now; seq = pkt.seq; bytes = info.si_size; rtt = t.last_rtt;
-        min_rtt = t.min_rtt; srtt = t.srtt; inflight_bytes = t.inflight_bytes;
+      { Cc_types.now = Time.secs now; seq = pkt.seq; bytes = info.si_size;
+        rtt = Time.secs t.last_rtt; min_rtt = Time.secs t.min_rtt;
+        srtt = Time.secs t.srtt; inflight_bytes = t.inflight_bytes;
         delivered_bytes = t.acked_bytes };
     try_send t
 
@@ -305,11 +314,11 @@ let rto t =
   if Float.is_nan t.srtt then 1.0 else Float.max 0.4 (3.0 *. t.srtt)
 
 let check_rto t =
-  let now = Engine.now t.engine in
+  let now = now_secs t in
   if t.inflight_bytes > 0 && now -. t.last_progress > rto t then begin
     (* whole window presumed lost *)
     let lost = Hashtbl.fold (fun seq _ acc -> seq :: acc) t.outstanding [] in
-    let lost = List.sort compare lost in
+    let lost = List.sort Int.compare lost in
     let bytes = t.inflight_bytes in
     List.iter
       (fun seq ->
@@ -321,7 +330,7 @@ let check_rto t =
     Queue.clear t.send_order;
     t.last_progress <- now;
     t.cc.Cc_types.on_loss
-      { Cc_types.now; seq = t.highest_acked + 1; bytes;
+      { Cc_types.now = Time.secs now; seq = t.highest_acked + 1; bytes;
         inflight_bytes = 0; kind = `Timeout };
     try_send t
   end
@@ -330,23 +339,32 @@ let rec tick_loop t =
   if t.active then begin
     check_rto t;
     (match t.cc.Cc_types.on_tick with
-     | Some f ->
-       f
-         { Cc_types.now = Engine.now t.engine; send_rate = t.send_rate;
-           recv_rate = t.recv_rate; rtt = t.last_rtt; srtt = t.srtt;
-           min_rtt = t.min_rtt; inflight_bytes = t.inflight_bytes;
-           delivered_bytes = t.acked_bytes; lost_packets = t.losses }
-     | None -> ());
+    | Some f ->
+      f
+        { Cc_types.now = Engine.now t.engine;
+          send_rate = Rate.bps t.send_rate;
+          recv_rate = Rate.bps t.recv_rate; rtt = Time.secs t.last_rtt;
+          srtt = Time.secs t.srtt; min_rtt = Time.secs t.min_rtt;
+          inflight_bytes = t.inflight_bytes;
+          delivered_bytes = t.acked_bytes; lost_packets = t.losses }
+    | None -> ());
     try_send t;
-    Engine.schedule_in t.engine t.tick_interval (fun () -> tick_loop t)
+    Engine.schedule_in t.engine (Time.secs t.tick_interval) (fun () ->
+        tick_loop t)
   end
 
 let create engine bottleneck ~cc ~prop_rtt ?(fwd_frac = 0.5)
     ?(pkt_size = Packet.default_data_size) ?(source = Backlogged)
-    ?start ?on_complete ?(tick_interval = 0.010) () =
+    ?start ?on_complete ?(tick_interval = Time.ms 10.) () =
+  let prop_rtt = Time.to_secs prop_rtt in
+  let tick_interval = Time.to_secs tick_interval in
   if prop_rtt < 0. then invalid_arg "Flow.create: negative prop_rtt";
   let flow_id = fresh_id () in
-  let start_time = match start with Some s -> s | None -> Engine.now engine in
+  let start_time =
+    match start with
+    | Some s -> Time.to_secs s
+    | None -> Time.to_secs (Engine.now engine)
+  in
   let t =
     { engine; bottleneck; cc; flow_id;
       fwd_delay = prop_rtt *. fwd_frac;
@@ -359,14 +377,15 @@ let create engine bottleneck ~cc ~prop_rtt ?(fwd_frac = 0.5)
       srtt = nan; min_rtt = nan; last_rtt = nan; last_progress = start_time;
       acked_ring =
         Array.make rate_ring_capacity
-          { ar_sent_at = 0.; ar_acked_at = 0.; ar_bytes = 0; ar_cum_bytes = 0 };
+          { ar_sent_at = 0.; ar_acked_at = 0.; ar_cum_bytes = 0 };
       acked_head = 0; acked_count = 0; send_rate = nan; recv_rate = nan;
       pacing_scheduled = false; pace_credit = 0.; last_pace_at = start_time;
       active = true;
       completion_time = None }
   in
   Bottleneck.set_sink bottleneck ~flow:flow_id (fun pkt -> handle_delivery t pkt);
-  Engine.schedule_at engine start_time (fun () ->
+  Engine.schedule_at engine (Time.secs start_time) (fun () ->
       try_send t;
-      Engine.schedule_in engine tick_interval (fun () -> tick_loop t));
+      Engine.schedule_in engine (Time.secs tick_interval) (fun () ->
+          tick_loop t));
   t

@@ -14,15 +14,15 @@
     Nimbus itself, plug in through {!Cc_types.t}. *)
 
 type source =
-  | Backlogged            (** always has data *)
-  | Finite of int         (** bytes to transfer; completes when received *)
-  | App_limited           (** sends only what {!supply} has provided *)
+  | Backlogged  (** always has data *)
+  | Finite of int  (** bytes to transfer; completes when received *)
+  | App_limited  (** sends only what {!supply} has provided *)
 
 type t
 
 (** [create engine bottleneck ~cc ~prop_rtt ()] wires a flow up.
 
-    @param prop_rtt two-way propagation delay excluding queueing, seconds
+    @param prop_rtt two-way propagation delay excluding queueing
     @param fwd_frac fraction of [prop_rtt] after the bottleneck on the
            forward leg (default 0.5)
     @param pkt_size data packet size in bytes (default 1500)
@@ -34,13 +34,13 @@ val create :
   Nimbus_sim.Engine.t ->
   Nimbus_sim.Bottleneck.t ->
   cc:Cc_types.t ->
-  prop_rtt:float ->
+  prop_rtt:Units.Time.t ->
   ?fwd_frac:float ->
   ?pkt_size:int ->
   ?source:source ->
-  ?start:float ->
+  ?start:Units.Time.t ->
   ?on_complete:(t -> unit) ->
-  ?tick_interval:float ->
+  ?tick_interval:Units.Time.t ->
   unit ->
   t
 
@@ -76,24 +76,25 @@ val lost_packets : t -> int
 (** [inflight_bytes t]. *)
 val inflight_bytes : t -> int
 
-(** [srtt t], [min_rtt t], [last_rtt t] — [nan] before the first ACK. *)
-val srtt : t -> float
+(** [srtt t], [min_rtt t], [last_rtt t] — [Time.unknown] before the first
+    ACK. *)
+val srtt : t -> Units.Time.t
 
-val min_rtt : t -> float
+val min_rtt : t -> Units.Time.t
 
-val last_rtt : t -> float
+val last_rtt : t -> Units.Time.t
 
-(** [send_rate t] / [recv_rate t] are the current S(t)/R(t) estimates in
-    bits per second; [nan] until enough packets are acknowledged. *)
-val send_rate : t -> float
+(** [send_rate t] / [recv_rate t] are the current S(t)/R(t) estimates;
+    [Rate.unknown] until enough packets are acknowledged. *)
+val send_rate : t -> Units.Rate.t
 
-val recv_rate : t -> float
+val recv_rate : t -> Units.Rate.t
 
 (** [completion_time t] is when a [Finite] transfer finished. *)
-val completion_time : t -> float option
+val completion_time : t -> Units.Time.t option
 
 (** [start_time t]. *)
-val start_time : t -> float
+val start_time : t -> Units.Time.t
 
 (** [cc_name t]. *)
 val cc_name : t -> string

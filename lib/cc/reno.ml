@@ -1,6 +1,9 @@
+module Time = Units.Time
+module B = Units.Bytes
+
 type t = {
   mss : float;
-  mutable cwnd : float;     (* bytes *)
+  mutable cwnd : float; (* bytes *)
   mutable ssthresh : float; (* bytes *)
   mutable recovery_until : float;
   mutable srtt : float;
@@ -11,28 +14,29 @@ let create ?(mss = 1500) ?(initial_cwnd = 10) () =
   { mss = mssf; cwnd = mssf *. float_of_int initial_cwnd;
     ssthresh = infinity; recovery_until = neg_infinity; srtt = 0.1 }
 
-let cwnd_bytes t = t.cwnd
+let cwnd_bytes t = B.bytes t.cwnd
 
 let reset_cwnd t bytes =
-  t.cwnd <- Float.max (2. *. t.mss) bytes;
+  t.cwnd <- Float.max (2. *. t.mss) (B.to_float bytes);
   t.ssthresh <- t.cwnd
 
 let on_ack t (a : Cc_types.ack) =
-  t.srtt <- a.srtt;
+  t.srtt <- Time.to_secs a.srtt;
   if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. float_of_int a.bytes
   else t.cwnd <- t.cwnd +. (t.mss *. float_of_int a.bytes /. t.cwnd)
 
 let on_loss t (l : Cc_types.loss) =
+  let now = Time.to_secs l.now in
   match l.kind with
   | `Timeout ->
     t.ssthresh <- Float.max (t.cwnd /. 2.) (2. *. t.mss);
     t.cwnd <- 2. *. t.mss;
-    t.recovery_until <- l.now +. t.srtt
+    t.recovery_until <- now +. t.srtt
   | `Dupack ->
-    if l.now > t.recovery_until then begin
+    if now > t.recovery_until then begin
       t.ssthresh <- Float.max (t.cwnd /. 2.) (2. *. t.mss);
       t.cwnd <- t.ssthresh;
-      t.recovery_until <- l.now +. t.srtt
+      t.recovery_until <- now +. t.srtt
     end
 
 let cc t =
@@ -40,7 +44,7 @@ let cc t =
     on_ack = on_ack t;
     on_loss = on_loss t;
     on_tick = None;
-    cwnd_bytes = (fun () -> t.cwnd);
-    pacing_rate_bps = (fun () -> None) }
+    cwnd = (fun () -> B.bytes t.cwnd);
+    pacing_rate = (fun () -> None) }
 
 let make ?mss ?initial_cwnd () = cc (create ?mss ?initial_cwnd ())

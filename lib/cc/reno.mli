@@ -12,10 +12,10 @@ val create : ?mss:int -> ?initial_cwnd:int -> unit -> t
 
 val cc : t -> Cc_types.t
 
-val cwnd_bytes : t -> float
+val cwnd_bytes : t -> Units.Bytes.t
 
 (** [reset_cwnd t bytes] forces the window and leaves slow start. *)
-val reset_cwnd : t -> float -> unit
+val reset_cwnd : t -> Units.Bytes.t -> unit
 
 (** [make ()] is [cc (create ())]. *)
 val make : ?mss:int -> ?initial_cwnd:int -> unit -> Cc_types.t

@@ -1,18 +1,21 @@
-let const_rate ~rate_bps =
-  if rate_bps <= 0. then invalid_arg "Simple_cc.const_rate: rate <= 0";
+module Rate = Units.Rate
+module B = Units.Bytes
+
+let const_rate ~rate =
+  let rate = Rate.bps_exn (Rate.to_bps rate) in
   { Cc_types.name = "cbr";
     on_ack = (fun _ -> ());
     on_loss = (fun _ -> ());
     on_tick = None;
-    cwnd_bytes = (fun () -> infinity);
-    pacing_rate_bps = (fun () -> Some rate_bps) }
+    cwnd = (fun () -> B.bytes infinity);
+    pacing_rate = (fun () -> Some rate) }
 
 let fixed_window ?(mss = 1500) ~segments () =
   if segments <= 0 then invalid_arg "Simple_cc.fixed_window: segments <= 0";
-  let cwnd = float_of_int (mss * segments) in
+  let cwnd = B.of_int (mss * segments) in
   { Cc_types.name = "fixed-window";
     on_ack = (fun _ -> ());
     on_loss = (fun _ -> ());
     on_tick = None;
-    cwnd_bytes = (fun () -> cwnd);
-    pacing_rate_bps = (fun () -> None) }
+    cwnd = (fun () -> cwnd);
+    pacing_rate = (fun () -> None) }

@@ -1,8 +1,9 @@
 (** Degenerate controllers used as cross traffic and in tests. *)
 
-(** [const_rate ~rate_bps] paces at a fixed rate forever — a reliable
-    constant-bit-rate stream ("Const. stream" in Table 1). *)
-val const_rate : rate_bps:float -> Cc_types.t
+(** [const_rate ~rate] paces at a fixed rate forever — a reliable
+    constant-bit-rate stream ("Const. stream" in Table 1).
+    @raise Invalid_argument if [rate] is not finite and positive. *)
+val const_rate : rate:Units.Rate.t -> Cc_types.t
 
 (** [fixed_window ~segments] keeps a constant window — elastic and
     ACK-clocked without any adaptation ("Fixed window" in Table 1). *)

@@ -1,7 +1,10 @@
+module Time = Units.Time
+module B = Units.Bytes
+
 type t = {
   mss : float;
   alpha : float; (* segments *)
-  beta : float;  (* segments *)
+  beta : float; (* segments *)
   mutable cwnd : float; (* bytes *)
   mutable next_update : float;
   mutable in_slow_start : bool;
@@ -14,20 +17,22 @@ let create ?(mss = 1500) ?(initial_cwnd = 4) ?(alpha = 2.) ?(beta = 4.) () =
     cwnd = float_of_int (mss * initial_cwnd); next_update = 0.;
     in_slow_start = true; ss_grow_toggle = false; last_cut = neg_infinity }
 
-let cwnd_bytes t = t.cwnd
+let cwnd_bytes t = B.bytes t.cwnd
 
 let reset_cwnd t bytes =
-  t.cwnd <- Float.max (2. *. t.mss) bytes;
+  t.cwnd <- Float.max (2. *. t.mss) (B.to_float bytes);
   t.in_slow_start <- false
 
 let on_ack t (a : Cc_types.ack) =
+  let now = Time.to_secs a.now in
+  let srtt = Time.to_secs a.srtt in
   (* slow start doubles every other RTT *)
   if t.in_slow_start && t.ss_grow_toggle then
     t.cwnd <- t.cwnd +. float_of_int a.bytes;
-  if a.now >= t.next_update then begin
-    t.next_update <- a.now +. a.srtt;
-    let rtt = Float.max a.srtt 1e-4 in
-    let base = Float.max a.min_rtt 1e-4 in
+  if now >= t.next_update then begin
+    t.next_update <- now +. srtt;
+    let rtt = Float.max srtt 1e-4 in
+    let base = Float.max (Time.to_secs a.min_rtt) 1e-4 in
     let diff_segments = t.cwnd *. (1. -. (base /. rtt)) /. t.mss in
     if t.in_slow_start then begin
       t.ss_grow_toggle <- not t.ss_grow_toggle;
@@ -39,13 +44,14 @@ let on_ack t (a : Cc_types.ack) =
   end
 
 let on_loss t (l : Cc_types.loss) =
+  let now = Time.to_secs l.now in
   t.in_slow_start <- false;
   match l.kind with
   | `Timeout -> t.cwnd <- 2. *. t.mss
   | `Dupack ->
-    if l.now > t.last_cut +. 0.1 then begin
+    if now > t.last_cut +. 0.1 then begin
       t.cwnd <- Float.max (2. *. t.mss) (t.cwnd /. 2.);
-      t.last_cut <- l.now
+      t.last_cut <- now
     end
 
 let cc t =
@@ -53,8 +59,8 @@ let cc t =
     on_ack = on_ack t;
     on_loss = on_loss t;
     on_tick = None;
-    cwnd_bytes = (fun () -> t.cwnd);
-    pacing_rate_bps = (fun () -> None) }
+    cwnd = (fun () -> B.bytes t.cwnd);
+    pacing_rate = (fun () -> None) }
 
 let make ?mss ?initial_cwnd ?alpha ?beta () =
   cc (create ?mss ?initial_cwnd ?alpha ?beta ())

@@ -10,10 +10,10 @@ val create :
 
 val cc : t -> Cc_types.t
 
-val cwnd_bytes : t -> float
+val cwnd_bytes : t -> Units.Bytes.t
 
 (** [reset_cwnd t bytes] forces the window (mode switching). *)
-val reset_cwnd : t -> float -> unit
+val reset_cwnd : t -> Units.Bytes.t -> unit
 
 val make :
   ?mss:int -> ?initial_cwnd:int -> ?alpha:float -> ?beta:float -> unit -> Cc_types.t

@@ -1,3 +1,7 @@
+module Time = Units.Time
+module Rate = Units.Rate
+module B = Units.Bytes
+
 type mi = {
   mi_start : float;
   mutable mi_end : float; (* nan while the interval is still open *)
@@ -41,13 +45,13 @@ let exponent = 0.9
 
 let theta0 = 1e5 (* bps step per unit utility gradient *)
 
-let create ?(mss = 1500) ?(initial_rate_bps = 1e6) ?(epsilon = 0.05) () =
-  { mss = float_of_int mss; epsilon; rate = initial_rate_bps;
+let create ?(mss = 1500) ?(initial_rate = Rate.mbps 1.) ?(epsilon = 0.05) () =
+  { mss = float_of_int mss; epsilon; rate = Rate.to_bps initial_rate;
     current = fresh_mi ~now:0. ~sign:1.; pending = []; utilities = [];
     srtt = 0.1; amplifier = 0; last_step = 0.; started = false;
     doubling = true; prev_pair_utility = neg_infinity }
 
-let rate_bps t = t.rate
+let rate t = Rate.bps t.rate
 
 (* Attribute an event to the monitor interval its packet was *sent* in:
    ACKs arrive one RTT after the probe rate that produced them applied. *)
@@ -97,7 +101,7 @@ let apply_pair t ~u_plus ~u_minus =
     (* online gradient ascent with confidence amplification and a dynamic
        boundary of 25% of the current rate *)
     let denom = 2. *. t.epsilon *. (t.rate /. 1e6) in
-    let gradient = if denom = 0. then 0. else (u_plus -. u_minus) /. denom in
+    let gradient = if Float.equal denom 0. then 0. else (u_plus -. u_minus) /. denom in
     let direction = if gradient >= 0. then 1. else -1. in
     if direction = t.last_step then t.amplifier <- min (t.amplifier + 1) 8
     else t.amplifier <- 0;
@@ -121,7 +125,7 @@ let score_mi t m =
 
 let on_tick t (tk : Cc_types.tick) =
   if t.started then begin
-    let now = tk.now in
+    let now = Time.to_secs tk.now in
     let mi_len = Float.max t.srtt 0.05 in
     (* rotate the current interval *)
     if now -. t.current.mi_start >= mi_len then begin
@@ -140,12 +144,13 @@ let on_tick t (tk : Cc_types.tick) =
     in
     drain ()
   end
-  else t.current <- fresh_mi ~now:tk.now ~sign:1.
+  else t.current <- fresh_mi ~now:(Time.to_secs tk.now) ~sign:1.
 
 let on_ack t (a : Cc_types.ack) =
-  t.srtt <- a.srtt;
+  let rtt = Time.to_secs a.rtt in
+  t.srtt <- Time.to_secs a.srtt;
   t.started <- true;
-  let sent_at = a.now -. a.rtt in
+  let sent_at = Time.to_secs a.now -. rtt in
   match find_mi t sent_at with
   | None -> ()
   | Some m ->
@@ -154,13 +159,13 @@ let on_ack t (a : Cc_types.ack) =
     let rel_t = sent_at -. m.mi_start in
     m.n_rtt <- m.n_rtt + 1;
     m.sum_t <- m.sum_t +. rel_t;
-    m.sum_r <- m.sum_r +. a.rtt;
+    m.sum_r <- m.sum_r +. rtt;
     m.sum_tt <- m.sum_tt +. (rel_t *. rel_t);
-    m.sum_tr <- m.sum_tr +. (rel_t *. a.rtt)
+    m.sum_tr <- m.sum_tr +. (rel_t *. rtt)
 
 let on_loss t (l : Cc_types.loss) =
   (* losses are detected roughly one RTT after the send *)
-  let sent_at = l.now -. t.srtt in
+  let sent_at = Time.to_secs l.now -. t.srtt in
   match find_mi t sent_at with
   | None -> ()
   | Some m -> m.lost <- m.lost + 1
@@ -170,10 +175,12 @@ let cc t =
     on_ack = on_ack t;
     on_loss = on_loss t;
     on_tick = Some (on_tick t);
-    cwnd_bytes =
-      (fun () -> Float.max (3. *. t.rate *. t.srtt /. 8.) (4. *. t.mss));
-    pacing_rate_bps =
-      (fun () -> Some (t.rate *. (1. +. (t.current.sign *. t.epsilon)))) }
+    cwnd =
+      (fun () ->
+        B.bytes (Float.max (3. *. t.rate *. t.srtt /. 8.) (4. *. t.mss)));
+    pacing_rate =
+      (fun () ->
+        Some (Rate.bps (t.rate *. (1. +. (t.current.sign *. t.epsilon))))) }
 
-let make ?mss ?initial_rate_bps ?epsilon () =
-  cc (create ?mss ?initial_rate_bps ?epsilon ())
+let make ?mss ?initial_rate ?epsilon () =
+  cc (create ?mss ?initial_rate ?epsilon ())

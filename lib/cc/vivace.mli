@@ -11,14 +11,15 @@
 
 type t
 
-(** @param initial_rate_bps starting rate (default 1 Mbit/s)
+(** @param initial_rate starting rate (default 1 Mbit/s)
     @param epsilon probe amplitude (default 0.05) *)
-val create : ?mss:int -> ?initial_rate_bps:float -> ?epsilon:float -> unit -> t
+val create :
+  ?mss:int -> ?initial_rate:Units.Rate.t -> ?epsilon:float -> unit -> t
 
 val cc : t -> Cc_types.t
 
-(** [rate_bps t] is the current base rate. *)
-val rate_bps : t -> float
+(** [rate t] is the current base rate. *)
+val rate : t -> Units.Rate.t
 
 val make :
-  ?mss:int -> ?initial_rate_bps:float -> ?epsilon:float -> unit -> Cc_types.t
+  ?mss:int -> ?initial_rate:Units.Rate.t -> ?epsilon:float -> unit -> Cc_types.t

@@ -1,10 +1,13 @@
 module Ring = Nimbus_dsp.Ring
 module Spectrum = Nimbus_dsp.Spectrum
+module Time = Units.Time
+module Freq = Units.Freq
 
 type verdict =
   | Elastic
   | Inelastic
 
+(* Internals stay raw float (Hz, seconds) — the typed boundary is the .mli. *)
 type t = {
   ring : Ring.t;
   sample_rate : float;
@@ -18,10 +21,14 @@ type t = {
   mutable dirty : bool;
 }
 
-let create ?(sample_interval = 0.01) ?(window = 5.0) ?(eta_thresh = 2.0)
-    ?(band_guard_hz = 0.5) ?(taper = Nimbus_dsp.Window.Hann)
-    ?(detrend = `Linear) () =
-  if sample_interval <= 0. then invalid_arg "Elasticity.create: sample_interval";
+let create ?(sample_interval = Time.ms 10.) ?(window = Time.secs 5.0)
+    ?(eta_thresh = 2.0) ?(band_guard = Freq.hz 0.5)
+    ?(taper = Nimbus_dsp.Window.Hann) ?(detrend = `Linear) () =
+  let sample_interval = Time.to_secs sample_interval in
+  let window = Time.to_secs window in
+  let band_guard_hz = Freq.to_hz band_guard in
+  if sample_interval <= 0. then
+    invalid_arg "Elasticity.create: sample_interval";
   if window <= sample_interval then invalid_arg "Elasticity.create: window";
   if eta_thresh < 1. then invalid_arg "Elasticity.create: eta_thresh < 1";
   if band_guard_hz < 0. then invalid_arg "Elasticity.create: negative guard";
@@ -46,13 +53,14 @@ let spectrum t =
       t.cached_spectrum <-
         Some
           (Spectrum.analyze ~window:t.taper ~detrend:t.detrend xs
-             ~sample_rate:t.sample_rate);
+             ~sample_rate:(Freq.hz t.sample_rate));
       t.dirty <- false
     end;
     t.cached_spectrum
   end
 
 let eta t ~freq =
+  let freq = Freq.to_hz freq in
   match spectrum t with
   | None -> nan
   | Some s ->
@@ -75,7 +83,7 @@ let classify t ~freq =
 let peak_amplitude t ~freq =
   match spectrum t with
   | None -> nan
-  | Some s -> Spectrum.amplitude_at s freq
+  | Some s -> Spectrum.amplitude_at s (Freq.to_hz freq)
 
 (* |FFT(f)| of a windowed sinusoid of amplitude a is a·N·cg/2 where cg is
    the taper's coherent gain; invert that to read the amplitude back. *)
@@ -85,10 +93,10 @@ let oscillation_amplitude t ~freq =
   | Some s ->
     let n = Ring.capacity t.ring in
     let cg = Nimbus_dsp.Window.coherent_gain t.taper n in
-    2. *. Spectrum.amplitude_at s freq /. (float_of_int n *. cg)
+    2. *. Spectrum.amplitude_at s (Freq.to_hz freq) /. (float_of_int n *. cg)
 
 let eta_thresh t = t.eta_thresh
 
-let sample_rate t = t.sample_rate
+let sample_rate t = Freq.hz t.sample_rate
 
 let samples t = Ring.to_array t.ring

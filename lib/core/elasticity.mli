@@ -14,12 +14,12 @@ type verdict =
 type t
 
 (** [create ()] builds a detector.
-    @param sample_interval seconds between ẑ samples (default 0.01)
-    @param window FFT duration in seconds (default 5.0); the window holds
+    @param sample_interval period between ẑ samples (default 10 ms)
+    @param window FFT duration (default 5 s); the window holds
            [window / sample_interval] samples (500 by default, transformed
            with the Bluestein FFT so a 5 Hz pulse lands exactly on a bin)
     @param eta_thresh decision threshold (default 2.0)
-    @param band_guard_hz guard margin excluded at both edges of the
+    @param band_guard guard margin excluded at both edges of the
            comparison band, i.e. the neighbour maximum is taken over
            (f_p + g, 2·f_p − g) instead of the paper's open (f_p, 2·f_p)
            (default 0.5 Hz). The pulse fundamental and its second harmonic
@@ -28,17 +28,25 @@ type t
            traffic — dominates the neighbour maximum and deflates η.
     @param taper analysis window (default Hann: the pulse response is
            non-stationary, and with the paper's raw rectangular FFT its
-           leakage floods the comparison band during transitions; the            rectangular option remains for the ablation bench)
+           leakage floods the comparison band during transitions; the
+           rectangular option remains for the ablation bench)
     @param detrend default [`Linear]: cross-traffic transitions put large
            ramps in the window whose broadband leakage otherwise swamps the
            comparison band *)
 val create :
-  ?sample_interval:float -> ?window:float -> ?eta_thresh:float ->
-  ?band_guard_hz:float -> ?taper:Nimbus_dsp.Window.kind ->
-  ?detrend:Nimbus_dsp.Spectrum.detrend -> unit -> t
+  ?sample_interval:Units.Time.t ->
+  ?window:Units.Time.t ->
+  ?eta_thresh:float ->
+  ?band_guard:Units.Freq.t ->
+  ?taper:Nimbus_dsp.Window.kind ->
+  ?detrend:Nimbus_dsp.Spectrum.detrend ->
+  unit ->
+  t
 
-(** [add_sample t z] appends one ẑ sample ([nan] samples are replaced by the
-    previous sample so transient estimator gaps do not poison the window). *)
+(** [add_sample t z] appends one sample of the unit-agnostic analysis signal
+    (ẑ in bits/s for the pulser's window, R(t) for a watcher's). [nan]
+    samples are replaced by the previous sample so transient estimator gaps
+    do not poison the window. *)
 val add_sample : t -> float -> unit
 
 (** [ready t] holds once a full window has accumulated. *)
@@ -46,10 +54,10 @@ val ready : t -> bool
 
 (** [eta t ~freq] evaluates Eq. 3 at pulse frequency [freq]; [nan] until
     {!ready}. *)
-val eta : t -> freq:float -> float
+val eta : t -> freq:Units.Freq.t -> float
 
 (** [classify t ~freq] applies the threshold rule; [None] until {!ready}. *)
-val classify : t -> freq:float -> verdict option
+val classify : t -> freq:Units.Freq.t -> verdict option
 
 (** [spectrum t] is the current amplitude spectrum of the window (mean
     removed), for diagnostics and the Fig. 5 reproduction; [None] until
@@ -59,19 +67,19 @@ val spectrum : t -> Nimbus_dsp.Spectrum.t option
 (** [peak_amplitude t ~freq] is the spectrum amplitude at [freq]; [nan]
     until {!ready}. Watchers use this on their receive-rate window to find
     the pulser's frequency. *)
-val peak_amplitude : t -> freq:float -> float
+val peak_amplitude : t -> freq:Units.Freq.t -> float
 
 (** [oscillation_amplitude t ~freq] estimates the time-domain amplitude of
     a sinusoidal component at [freq] in the window (inverting the taper's
     coherent gain) — watchers compare this against a fraction of µ to decide
     whether a pulser is genuinely audible; [nan] until {!ready}. *)
-val oscillation_amplitude : t -> freq:float -> float
+val oscillation_amplitude : t -> freq:Units.Freq.t -> float
 
 (** [eta_thresh t]. *)
 val eta_thresh : t -> float
 
-(** [sample_rate t] in Hz. *)
-val sample_rate : t -> float
+(** [sample_rate t]. *)
+val sample_rate : t -> Units.Freq.t
 
 (** [samples t] is the current window contents in chronological order. *)
 val samples : t -> float array

@@ -8,6 +8,10 @@ module Ring = Nimbus_dsp.Ring
 module Spectrum = Nimbus_dsp.Spectrum
 module Ewma = Nimbus_dsp.Ewma
 module Rng = Nimbus_sim.Rng
+module Time = Units.Time
+module Freq = Units.Freq
+module Rate = Units.Rate
+module B = Units.Bytes
 
 type mode =
   | Delay
@@ -29,18 +33,18 @@ type delay_alg =
   ]
 
 type detection = {
-  d_time : float;
+  d_time : Units.Time.t;
   d_eta : float;
   d_mode : mode;
   d_role : role;
 }
 
 type sample = {
-  s_time : float;
-  s_send_rate : float;
-  s_recv_rate : float;
-  s_z : float;
-  s_base_rate : float;
+  s_time : Units.Time.t;
+  s_send_rate : Units.Rate.t;
+  s_recv_rate : Units.Rate.t;
+  s_z : Units.Rate.t;
+  s_base_rate : Units.Rate.t;
 }
 
 type comp_inner =
@@ -52,6 +56,8 @@ type delay_inner =
   | D_vegas of Vegas.t
   | D_copa of Copa.t
 
+(* Internal state stays raw float (bits/s, Hz, seconds) — detection maths and
+   the per-tick hot path run unwrapped; the typed boundary is the .mli. *)
 type t = {
   mu : Z_estimator.Mu.t;
   comp : comp_inner;
@@ -79,7 +85,6 @@ type t = {
   mutable last_eta : float;
   mutable last_z : float;
   mutable srtt : float;
-  mutable min_rtt : float;
   mutable next_detect : float;
   mutable mu_cache : float;
   switch_streak : int;
@@ -100,16 +105,27 @@ let role_to_string = function
 
 let create ~mu ?(competitive = `Cubic) ?(delay = `Basic_delay)
     ?(pulse_frac = 0.25) ?(pulse_shape = Pulse.Asymmetric)
-    ?(fp_competitive = 5.) ?(fp_delay = 6.) ?use_mode_frequencies
-    ?(fft_window = 5.) ?(sample_interval = 0.01) ?(detect_interval = 0.1)
+    ?(fp_competitive = Freq.hz 5.) ?(fp_delay = Freq.hz 6.)
+    ?use_mode_frequencies ?(fft_window = Time.secs 5.)
+    ?(sample_interval = Time.ms 10.) ?(detect_interval = Time.ms 100.)
     ?(eta_thresh = 2.) ?(multi_flow = false) ?(kappa = 1.)
-    ?(delay_target = 0.0125) ?(switch_streak = 30) ?(z_gate_delay = 0.003)
-    ?(min_z_frac = 0.05) ?(rate_reset = true) ?taper ?detrend
-    ?(seed = 0xD15EA5E) ?on_detection ?on_sample () =
+    ?(delay_target = Time.ms 12.5) ?(switch_streak = 30)
+    ?(z_gate_delay = Time.ms 3.) ?(min_z_frac = 0.05) ?(rate_reset = true)
+    ?taper ?detrend ?(seed = 0xD15EA5E) ?on_detection ?on_sample () =
   let use_mode_frequencies =
     match use_mode_frequencies with Some b -> b | None -> multi_flow
   in
-  let mu_now = Z_estimator.Mu.current mu ~now:0. in
+  let mk_detector () =
+    Elasticity.create ~sample_interval ~window:fft_window ~eta_thresh ?taper
+      ?detrend ()
+  in
+  let fp_competitive = Freq.to_hz fp_competitive in
+  let fp_delay = Freq.to_hz fp_delay in
+  let fft_window = Time.to_secs fft_window in
+  let sample_interval = Time.to_secs sample_interval in
+  let detect_interval = Time.to_secs detect_interval in
+  let z_gate_delay = Time.to_secs z_gate_delay in
+  let mu_now = Rate.to_bps (Z_estimator.Mu.current mu ~now:Time.zero) in
   let mu_guess = if Float.is_nan mu_now then 10e6 else mu_now in
   let comp =
     match competitive with
@@ -118,13 +134,10 @@ let create ~mu ?(competitive = `Cubic) ?(delay = `Basic_delay)
   in
   let delay =
     match delay with
-    | `Basic_delay -> D_basic (Basic_delay.create ~mu:mu_guess ~delay_target ())
+    | `Basic_delay ->
+      D_basic (Basic_delay.create ~mu:(Rate.bps mu_guess) ~delay_target ())
     | `Vegas -> D_vegas (Vegas.create ())
     | `Copa_default -> D_copa (Copa.create ~switching:false ())
-  in
-  let mk_detector () =
-    Elasticity.create ~sample_interval ~window:fft_window ~eta_thresh ?taper
-      ?detrend ()
   in
   let hist_len =
     max 2 (int_of_float (Float.round (fft_window /. sample_interval)))
@@ -144,7 +157,7 @@ let create ~mu ?(competitive = `Cubic) ?(delay = `Basic_delay)
         ~dt:sample_interval;
     mode = Delay;
     role = (if multi_flow then Watcher else Pulser);
-    last_eta = nan; last_z = nan; srtt = nan; min_rtt = nan;
+    last_eta = nan; last_z = nan; srtt = nan;
     next_detect = fft_window; mu_cache = mu_now; switch_streak;
     inelastic_streak = 0; elastic_streak = 0; z_gate_delay; min_z_frac;
     rate_reset }
@@ -155,7 +168,7 @@ let role t = t.role
 
 let last_eta t = t.last_eta
 
-let last_z t = t.last_z
+let last_z t = Rate.bps t.last_z
 
 let detector t = t.z_detector
 
@@ -163,13 +176,13 @@ let detector t = t.z_detector
 
 let comp_cwnd t =
   match t.comp with
-  | C_cubic c -> Cubic.cwnd_bytes c
-  | C_reno r -> Reno.cwnd_bytes r
+  | C_cubic c -> B.to_float (Cubic.cwnd_bytes c)
+  | C_reno r -> B.to_float (Reno.cwnd_bytes r)
 
 let comp_reset t bytes =
   match t.comp with
-  | C_cubic c -> Cubic.reset_cwnd c bytes
-  | C_reno r -> Reno.reset_cwnd r bytes
+  | C_cubic c -> Cubic.reset_cwnd c (B.bytes bytes)
+  | C_reno r -> Reno.reset_cwnd r (B.bytes bytes)
 
 let comp_cc t =
   match t.comp with
@@ -203,14 +216,16 @@ let rate_of_cwnd t cwnd = cwnd *. 8. /. Float.max (srtt_or t 0.1) 1e-3
 
 let delay_rate t =
   match t.delay with
-  | D_basic b -> Basic_delay.rate_bps b
-  | D_vegas v -> rate_of_cwnd t (Vegas.cwnd_bytes v)
-  | D_copa c -> rate_of_cwnd t (Copa.cwnd_bytes c)
+  | D_basic b -> Rate.to_bps (Basic_delay.rate b)
+  | D_vegas v -> rate_of_cwnd t (B.to_float (Vegas.cwnd_bytes v))
+  | D_copa c -> rate_of_cwnd t (B.to_float (Copa.cwnd_bytes c))
 
 let base_rate_bps t =
   match t.mode with
   | Competitive -> rate_of_cwnd t (comp_cwnd t)
   | Delay -> delay_rate t
+
+let base_rate t = Rate.bps (base_rate_bps t)
 
 (* --- mode switching ------------------------------------------------------ *)
 
@@ -235,15 +250,15 @@ let switch_to t target ~now:_ =
      | Delay ->
        let current = rate_of_cwnd t (comp_cwnd t) in
        (match t.delay with
-        | D_basic b -> Basic_delay.set_rate b current
-        | D_vegas v -> Vegas.reset_cwnd v (comp_cwnd t)
-        | D_copa c -> Copa.reset_cwnd c (comp_cwnd t)));
+        | D_basic b -> Basic_delay.set_rate b (Rate.bps current)
+        | D_vegas v -> Vegas.reset_cwnd v (B.bytes (comp_cwnd t))
+        | D_copa c -> Copa.reset_cwnd c (B.bytes (comp_cwnd t))));
     t.mode <- target
   end
 
 (* --- pulsing -------------------------------------------------------------- *)
 
-let pulse_freq t =
+let pulse_freq_hz t =
   match t.role with
   | Watcher -> nan
   | Pulser ->
@@ -253,15 +268,19 @@ let pulse_freq t =
        | Delay -> t.fp_delay)
     else t.fp_competitive
 
+let pulse_freq t = Freq.hz (pulse_freq_hz t)
+
 let pulse_value t ~now =
   match t.role with
   | Watcher -> 0.
   | Pulser ->
     if Float.is_nan t.mu_cache then 0.
     else
-      Pulse.value ~shape:t.pulse_shape
-        ~amplitude:(t.pulse_frac *. t.mu_cache)
-        ~freq:(pulse_freq t) now
+      Rate.to_bps
+        (Pulse.value ~shape:t.pulse_shape
+           ~amplitude:(Rate.bps (t.pulse_frac *. t.mu_cache))
+           ~freq:(Freq.hz (pulse_freq_hz t))
+           (Time.secs now))
 
 let pulse_amplitude t =
   if Float.is_nan t.mu_cache then 0. else t.pulse_frac *. t.mu_cache
@@ -270,13 +289,14 @@ let pulse_amplitude t =
 
 let emit_detection t ~now ~eta =
   match t.on_detection with
-  | Some f -> f { d_time = now; d_eta = eta; d_mode = t.mode; d_role = t.role }
+  | Some f ->
+    f { d_time = Time.secs now; d_eta = eta; d_mode = t.mode; d_role = t.role }
   | None -> ()
 
 let pulser_detect t ~now =
-  let fp = pulse_freq t in
+  let fp = pulse_freq_hz t in
   if Elasticity.ready t.z_detector then begin
-    let eta = Elasticity.eta t.z_detector ~freq:fp in
+    let eta = Elasticity.eta t.z_detector ~freq:(Freq.hz fp) in
     (* with (almost) no cross traffic there is nothing whose elasticity the
        ratio could measure -- Eq. 3 on a near-zero signal is noise over
        noise, so require a minimum mean cross-traffic level for an elastic
@@ -315,9 +335,11 @@ let pulser_detect t ~now =
        energy at fp than our own receive rate does -- and that energy is of
        genuine pulse magnitude -- someone else is pulsing too *)
     if t.multi_flow && Elasticity.ready t.r_detector then begin
-      let z_amp = Elasticity.peak_amplitude t.z_detector ~freq:fp in
-      let r_amp = Elasticity.peak_amplitude t.r_detector ~freq:fp in
-      let z_osc = Elasticity.oscillation_amplitude t.z_detector ~freq:fp in
+      let z_amp = Elasticity.peak_amplitude t.z_detector ~freq:(Freq.hz fp) in
+      let r_amp = Elasticity.peak_amplitude t.r_detector ~freq:(Freq.hz fp) in
+      let z_osc =
+        Elasticity.oscillation_amplitude t.z_detector ~freq:(Freq.hz fp)
+      in
       let big_enough =
         (not (Float.is_nan t.mu_cache)) && z_osc >= 0.05 *. t.mu_cache
       in
@@ -351,10 +373,12 @@ let audible_pulser t =
       let eta_c = if reference > 0. then amp_c /. reference else 0. in
       let eta_d = if reference > 0. then amp_d /. reference else 0. in
       let osc_c =
-        Elasticity.oscillation_amplitude t.r_detector ~freq:t.fp_competitive
+        Elasticity.oscillation_amplitude t.r_detector
+          ~freq:(Freq.hz t.fp_competitive)
       in
       let osc_d =
-        Elasticity.oscillation_amplitude t.r_detector ~freq:t.fp_delay
+        Elasticity.oscillation_amplitude t.r_detector
+          ~freq:(Freq.hz t.fp_delay)
       in
       let floor_amp =
         if Float.is_nan t.mu_cache then infinity else 0.02 *. t.mu_cache
@@ -397,14 +421,16 @@ let election t ~recv_rate =
 (* --- tick ----------------------------------------------------------------- *)
 
 let on_tick t (tk : Cc_types.tick) =
-  let now = tk.now in
-  if not (Float.is_nan tk.srtt) then t.srtt <- tk.srtt;
-  if not (Float.is_nan tk.min_rtt) then t.min_rtt <- tk.min_rtt;
-  Z_estimator.Mu.observe t.mu ~now ~recv_rate:tk.recv_rate;
-  t.mu_cache <- Z_estimator.Mu.current t.mu ~now;
+  let now = Time.to_secs tk.now in
+  let srtt = Time.to_secs tk.srtt in
+  let min_rtt = Time.to_secs tk.min_rtt in
+  let recv_rate = Rate.to_bps tk.recv_rate in
+  if not (Float.is_nan srtt) then t.srtt <- srtt;
+  Z_estimator.Mu.observe t.mu ~now:tk.now ~recv_rate:tk.recv_rate;
+  t.mu_cache <- Rate.to_bps (Z_estimator.Mu.current t.mu ~now:tk.now);
   (match t.delay with
    | D_basic b when not (Float.is_nan t.mu_cache) ->
-     Basic_delay.set_mu b t.mu_cache
+     Basic_delay.set_mu b (Rate.bps t.mu_cache)
    | _ -> ());
   (* ẑ and receive-rate windows.  Eq. 1 requires a busy bottleneck: with no
      standing queue the ratio degenerates to µ − S, which tracks our own
@@ -413,18 +439,19 @@ let on_tick t (tk : Cc_types.tick) =
   let z =
     if Float.is_nan t.mu_cache then nan
     else if
-      (not (Float.is_nan tk.srtt))
-      && (not (Float.is_nan tk.min_rtt))
-      && tk.srtt -. tk.min_rtt < t.z_gate_delay
+      (not (Float.is_nan srtt))
+      && (not (Float.is_nan min_rtt))
+      && srtt -. min_rtt < t.z_gate_delay
     then 0.
     else
-      Z_estimator.estimate ~mu:t.mu_cache ~send_rate:tk.send_rate
-        ~recv_rate:tk.recv_rate
+      Rate.to_bps
+        (Z_estimator.estimate ~mu:(Rate.bps t.mu_cache)
+           ~send_rate:tk.send_rate ~recv_rate:tk.recv_rate)
   in
   t.last_z <- z;
   Elasticity.add_sample t.z_detector z;
   Elasticity.add_sample t.r_detector
-    (if Float.is_nan tk.recv_rate then 0. else tk.recv_rate);
+    (if Float.is_nan recv_rate then 0. else recv_rate);
   (* delay-mode controller runs on ticks *)
   (match (t.mode, t.delay) with
    | Delay, D_basic b -> Basic_delay.update b tk
@@ -435,10 +462,11 @@ let on_tick t (tk : Cc_types.tick) =
   (match t.on_sample with
    | Some f ->
      f
-       { s_time = now; s_send_rate = tk.send_rate; s_recv_rate = tk.recv_rate;
-         s_z = z; s_base_rate = base }
+       { s_time = tk.now; s_send_rate = tk.send_rate;
+         s_recv_rate = tk.recv_rate; s_z = Rate.bps z;
+         s_base_rate = Rate.bps base }
    | None -> ());
-  election t ~recv_rate:tk.recv_rate;
+  election t ~recv_rate;
   if now >= t.next_detect then begin
     t.next_detect <- now +. t.detect_interval;
     match t.role with
@@ -461,7 +489,7 @@ let on_loss t l =
 (* Bytes sent in excess of the base rate during one positive pulse lobe:
    the half-sine of amplitude A over T/4 integrates to A·(T/4)·(2/π) bits. *)
 let pulse_burst_bytes t =
-  let fp = pulse_freq t in
+  let fp = pulse_freq_hz t in
   if Float.is_nan fp then 0.
   else begin
     let period = 1. /. fp in
@@ -503,5 +531,7 @@ let cc t ~now =
     on_ack = (fun a -> on_ack t a);
     on_loss = (fun l -> on_loss t l);
     on_tick = Some (fun tk -> on_tick t tk);
-    cwnd_bytes = (fun () -> cwnd_bytes t);
-    pacing_rate_bps = (fun () -> Some (pacing_rate_bps t ~now:(now ()))) }
+    cwnd = (fun () -> B.bytes (cwnd_bytes t));
+    pacing_rate =
+      (fun () ->
+        Some (Rate.bps (pacing_rate_bps t ~now:(Time.to_secs (now ()))))) }

@@ -36,20 +36,21 @@ type delay_alg =
 (** Detection outcome passed to the [on_detection] hook every detection
     interval once the FFT window is full. *)
 type detection = {
-  d_time : float;
-  d_eta : float;       (* Eq. 3 at the active pulse frequency; nan for
-                          watchers (they track the pulser instead) *)
-  d_mode : mode;       (* mode after this detection *)
+  d_time : Units.Time.t;
+  d_eta : float;
+      (** Eq. 3 at the active pulse frequency; nan for watchers (they track
+          the pulser instead) *)
+  d_mode : mode;  (** mode after this detection *)
   d_role : role;
 }
 
 (** Per-tick raw signals passed to the [on_sample] hook (10 ms period). *)
 type sample = {
-  s_time : float;
-  s_send_rate : float; (* S(t), bps *)
-  s_recv_rate : float; (* R(t), bps *)
-  s_z : float;         (* ẑ(t), bps; nan before rates are measurable *)
-  s_base_rate : float; (* inner controller rate, before pulses, bps *)
+  s_time : Units.Time.t;
+  s_send_rate : Units.Rate.t;  (** S(t) *)
+  s_recv_rate : Units.Rate.t;  (** R(t) *)
+  s_z : Units.Rate.t;  (** ẑ(t); {!Units.Rate.unknown} before measurable *)
+  s_base_rate : Units.Rate.t;  (** inner controller rate, before pulses *)
 }
 
 type t
@@ -64,24 +65,24 @@ type t
     @param delay delay-control algorithm (default [`Basic_delay])
     @param pulse_frac pulse amplitude as a fraction of µ (default 0.25)
     @param pulse_shape default {!Pulse.Asymmetric}
-    @param fp_competitive pulse frequency in competitive mode, Hz (default 5)
-    @param fp_delay pulse frequency in delay mode, Hz (default 6); only used
+    @param fp_competitive pulse frequency in competitive mode (default 5 Hz)
+    @param fp_delay pulse frequency in delay mode (default 6 Hz); only used
            when [use_mode_frequencies] is on
     @param use_mode_frequencies encode the mode in the pulse frequency
            (default: on iff [multi_flow])
-    @param fft_window seconds of ẑ per FFT (default 5)
-    @param sample_interval tick period, seconds (default 0.01)
-    @param detect_interval how often to re-run detection (default 0.1)
+    @param fft_window duration of ẑ per FFT (default 5 s)
+    @param sample_interval tick period (default 10 ms)
+    @param detect_interval how often to re-run detection (default 100 ms)
     @param eta_thresh detection threshold (default 2)
     @param multi_flow enable the pulser/watcher protocol (default false:
            this flow always pulses)
     @param kappa election aggressiveness, expected pulsers per FFT window
            (default 1)
-    @param delay_target BasicDelay's queueing-delay target, seconds
-    @param z_gate_delay standing-queue threshold, seconds: when
-           [rtt − min_rtt] is below it the bottleneck has no backlog, Eq. 1
-           is invalid (and nothing elastic can be present), so the ẑ sample
-           is forced to 0 (default 3 ms)
+    @param delay_target BasicDelay's queueing-delay target
+    @param z_gate_delay standing-queue threshold: when [rtt − min_rtt] is
+           below it the bottleneck has no backlog, Eq. 1 is invalid (and
+           nothing elastic can be present), so the ẑ sample is forced to 0
+           (default 3 ms)
     @param min_z_frac minimum mean ẑ (as a fraction of µ) over the FFT
            window for an elastic verdict — with no meaningful cross traffic
            Eq. 3 is a ratio of noise bins, so η is forced ≤ 1 below this
@@ -102,18 +103,18 @@ val create :
   ?delay:delay_alg ->
   ?pulse_frac:float ->
   ?pulse_shape:Pulse.shape ->
-  ?fp_competitive:float ->
-  ?fp_delay:float ->
+  ?fp_competitive:Units.Freq.t ->
+  ?fp_delay:Units.Freq.t ->
   ?use_mode_frequencies:bool ->
-  ?fft_window:float ->
-  ?sample_interval:float ->
-  ?detect_interval:float ->
+  ?fft_window:Units.Time.t ->
+  ?sample_interval:Units.Time.t ->
+  ?detect_interval:Units.Time.t ->
   ?eta_thresh:float ->
   ?multi_flow:bool ->
   ?kappa:float ->
-  ?delay_target:float ->
+  ?delay_target:Units.Time.t ->
   ?switch_streak:int ->
-  ?z_gate_delay:float ->
+  ?z_gate_delay:Units.Time.t ->
   ?min_z_frac:float ->
   ?rate_reset:bool ->
   ?taper:Nimbus_dsp.Window.kind ->
@@ -127,7 +128,7 @@ val create :
 (** [cc t ~now] is the engine-facing controller. [now] must read the
     simulation clock — the pulse waveform is evaluated at packet-send time,
     not just on ticks. *)
-val cc : t -> now:(unit -> float) -> Nimbus_cc.Cc_types.t
+val cc : t -> now:(unit -> Units.Time.t) -> Nimbus_cc.Cc_types.t
 
 (** Current state, for experiment scoring and plots. *)
 
@@ -138,18 +139,18 @@ val role : t -> role
 (** [last_eta t] — [nan] until the first full-window detection. *)
 val last_eta : t -> float
 
-(** [last_z t] — most recent ẑ sample, bps. *)
-val last_z : t -> float
+(** [last_z t] — most recent ẑ sample; {!Units.Rate.unknown} before any. *)
+val last_z : t -> Units.Rate.t
 
-(** [base_rate_bps t] — inner controller rate before pulse modulation. *)
-val base_rate_bps : t -> float
+(** [base_rate t] — inner controller rate before pulse modulation. *)
+val base_rate : t -> Units.Rate.t
 
 (** [detector t] — the underlying ẑ elasticity detector (spectra etc.). *)
 val detector : t -> Elasticity.t
 
-(** [pulse_freq t] — the frequency this flow currently pulses at, Hz;
-    [nan] for watchers. *)
-val pulse_freq : t -> float
+(** [pulse_freq t] — the frequency this flow currently pulses at;
+    {!Units.Freq.unknown} for watchers. *)
+val pulse_freq : t -> Units.Freq.t
 
 val mode_to_string : mode -> string
 

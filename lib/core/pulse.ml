@@ -1,10 +1,17 @@
+module Time = Units.Time
+module Rate = Units.Rate
+module Freq = Units.Freq
+
 type shape =
   | Asymmetric
   | Symmetric
 
 let pi = 4.0 *. atan 1.0
 
-let value ~shape ~amplitude ~freq t =
+(* The waveform maths runs on raw floats (bits/s, Hz, seconds); the typed
+   boundary is the .mli. *)
+
+let value_raw ~shape ~amplitude ~freq t =
   if freq <= 0. then invalid_arg "Pulse.value: freq <= 0";
   if amplitude < 0. then invalid_arg "Pulse.value: negative amplitude";
   let period = 1. /. freq in
@@ -23,17 +30,26 @@ let value ~shape ~amplitude ~freq t =
       -.(amplitude /. 3.) *. sin (pi *. (phase -. quarter) /. rest)
     end
 
+let value ~shape ~amplitude ~freq t =
+  Rate.bps
+    (value_raw ~shape ~amplitude:(Rate.to_bps amplitude)
+       ~freq:(Freq.to_hz freq) (Time.to_secs t))
+
 let min_send_rate ~shape ~amplitude =
   match shape with
   | Symmetric -> amplitude
-  | Asymmetric -> amplitude /. 3.
+  | Asymmetric -> Rate.scale (1. /. 3.) amplitude
 
 let mean ~shape ~amplitude ~freq ~samples =
   if samples <= 0 then invalid_arg "Pulse.mean: samples <= 0";
+  let amplitude = Rate.to_bps amplitude in
+  let freq = Freq.to_hz freq in
   let period = 1. /. freq in
   let dt = period /. float_of_int samples in
   let acc = ref 0. in
   for i = 0 to samples - 1 do
-    acc := !acc +. value ~shape ~amplitude ~freq ((float_of_int i +. 0.5) *. dt)
+    acc :=
+      !acc
+      +. value_raw ~shape ~amplitude ~freq ((float_of_int i +. 0.5) *. dt)
   done;
-  !acc /. float_of_int samples
+  Rate.bps (!acc /. float_of_int samples)

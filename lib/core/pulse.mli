@@ -7,19 +7,29 @@
 
 type shape =
   | Asymmetric  (** the paper's pulse: +A for T/4, −A/3 for 3T/4 *)
-  | Symmetric   (** plain sinusoid of amplitude A — ablation only *)
+  | Symmetric  (** plain sinusoid of amplitude A — ablation only *)
 
-(** [value ~shape ~amplitude ~freq t] is the additive rate offset (same unit
-    as [amplitude]) at absolute time [t], for pulses of frequency [freq] Hz
-    phase-locked to [t = 0].
-    @raise Invalid_argument if [freq <= 0.] or [amplitude < 0.]. *)
-val value : shape:shape -> amplitude:float -> freq:float -> float -> float
+(** [value ~shape ~amplitude ~freq t] is the additive (signed) rate offset
+    at absolute time [t], for pulses of frequency [freq] phase-locked to
+    [t = 0].
+    @raise Invalid_argument if [freq <= 0] or [amplitude < 0]. *)
+val value :
+  shape:shape ->
+  amplitude:Units.Rate.t ->
+  freq:Units.Freq.t ->
+  Units.Time.t ->
+  Units.Rate.t
 
 (** [min_send_rate ~shape ~amplitude] is the lowest mean rate that keeps the
     modulated rate non-negative throughout the period: [A/3] for the
     asymmetric pulse, [A] for the symmetric one. *)
-val min_send_rate : shape:shape -> amplitude:float -> float
+val min_send_rate : shape:shape -> amplitude:Units.Rate.t -> Units.Rate.t
 
 (** [mean ~shape ~amplitude ~freq ~samples] numerically averages the pulse
     over one period — a test helper asserting zero mean. *)
-val mean : shape:shape -> amplitude:float -> freq:float -> samples:int -> float
+val mean :
+  shape:shape ->
+  amplitude:Units.Rate.t ->
+  freq:Units.Freq.t ->
+  samples:int ->
+  Units.Rate.t

@@ -1,12 +1,21 @@
+module Time = Units.Time
+module Rate = Units.Rate
+
+(* Internals stay raw float (bits/s, seconds) — the typed boundary is the
+   .mli; wrap/unwrap happens once per call. *)
+
 let estimate ~mu ~send_rate ~recv_rate =
+  let mu = Rate.to_bps mu in
+  let send_rate = Rate.to_bps send_rate in
+  let recv_rate = Rate.to_bps recv_rate in
   if mu <= 0. then invalid_arg "Z_estimator.estimate: mu <= 0";
   if
     Float.is_nan send_rate || Float.is_nan recv_rate || send_rate <= 0.
     || recv_rate <= 0.
-  then nan
+  then Rate.unknown
   else begin
     let z = (mu *. send_rate /. recv_rate) -. send_rate in
-    Float.max 0. (Float.min mu z)
+    Rate.bps (Float.max 0. (Float.min mu z))
   end
 
 module Mu = struct
@@ -20,10 +29,13 @@ module Mu = struct
 
   type t = kind ref
 
-  let known rate = ref (Known rate)
+  let known rate = ref (Known (Rate.to_bps rate))
 
-  let estimator ?(window = 10.) () =
-    ref (Estimated { window; samples = Queue.create (); best = nan })
+  let estimator ?(window = Time.secs 10.) () =
+    ref
+      (Estimated
+         { window = Time.to_secs window; samples = Queue.create ();
+           best = nan })
 
   let prune samples horizon =
     let continue = ref true in
@@ -37,7 +49,11 @@ module Mu = struct
     match !t with
     | Known _ -> ()
     | Estimated e ->
-      if not (Float.is_nan recv_rate || recv_rate <= 0.) then begin
+      let now = Time.to_secs now in
+      let recv_rate = Rate.to_bps recv_rate in
+      (* is_finite, not is_nan: a +inf sample would win the max fold below
+         and report an infinite µ for a whole window *)
+      if Float.is_finite recv_rate && recv_rate > 0. then begin
         Queue.push (now, recv_rate) e.samples;
         prune e.samples (now -. e.window);
         e.best <-
@@ -46,8 +62,8 @@ module Mu = struct
 
   let current t ~now =
     match !t with
-    | Known r -> r
+    | Known r -> Rate.bps r
     | Estimated e ->
-      prune e.samples (now -. e.window);
-      if Float.is_finite e.best then e.best else nan
+      prune e.samples (Time.to_secs now -. e.window);
+      if Float.is_finite e.best then Rate.bps e.best else Rate.unknown
 end

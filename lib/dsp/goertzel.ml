@@ -1,6 +1,7 @@
 let pi = 4.0 *. atan 1.0
 
 let power xs ~sample_rate ~freq =
+  let sample_rate = Units.Freq.to_hz sample_rate in
   let n = Array.length xs in
   if n = 0 then invalid_arg "Goertzel.power: empty signal";
   if sample_rate <= 0. then invalid_arg "Goertzel.power: sample_rate <= 0";
@@ -28,6 +29,7 @@ module Sliding = struct
   }
 
   let create ~window ~sample_rate ~freq =
+    let sample_rate = Units.Freq.to_hz sample_rate in
     if window <= 0 then invalid_arg "Goertzel.Sliding.create: window <= 0";
     { buf = Array.make window 0.; head = 0; count = 0; sample_rate; freq }
 
@@ -46,5 +48,5 @@ module Sliding = struct
     for i = 0 to t.count - 1 do
       ordered.(i) <- t.buf.((start + i) mod n)
     done;
-    magnitude ordered ~sample_rate:t.sample_rate ~freq:t.freq
+    magnitude ordered ~sample_rate:(Units.Freq.hz t.sample_rate) ~freq:t.freq
 end

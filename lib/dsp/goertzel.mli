@@ -8,12 +8,13 @@
 (** [power xs ~sample_rate ~freq] is [|X(f)|²] of the real signal [xs]
     evaluated at the (possibly non-integer) bin corresponding to [freq].
     @raise Invalid_argument if [sample_rate <= 0.] or [xs] is empty. *)
-val power : float array -> sample_rate:float -> freq:float -> float
+val power : float array -> sample_rate:Units.Freq.t -> freq:float -> float
 
 (** [magnitude xs ~sample_rate ~freq] is [sqrt (power xs ~sample_rate ~freq)],
     directly comparable with the moduli returned by {!Fft.real_amplitudes}
     when [freq] is an exact bin. *)
-val magnitude : float array -> sample_rate:float -> freq:float -> float
+val magnitude :
+  float array -> sample_rate:Units.Freq.t -> freq:float -> float
 
 (** Incremental evaluator over a fixed-size window: push samples one at a
     time, query the magnitude of the configured frequency at any point.
@@ -24,7 +25,7 @@ module Sliding : sig
 
   (** [create ~window ~sample_rate ~freq] watches [freq] (Hz) over the last
       [window] samples taken at [sample_rate] (Hz). *)
-  val create : window:int -> sample_rate:float -> freq:float -> t
+  val create : window:int -> sample_rate:Units.Freq.t -> freq:float -> t
 
   (** [push t x] appends sample [x], evicting the oldest when full. *)
   val push : t -> float -> unit

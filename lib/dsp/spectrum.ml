@@ -36,6 +36,7 @@ let remove_line xs =
   end
 
 let analyze ?(window = Window.Rectangular) ?(detrend = `Mean) xs ~sample_rate =
+  let sample_rate = Units.Freq.to_hz sample_rate in
   let n = Array.length xs in
   if n = 0 then invalid_arg "Spectrum.analyze: empty signal";
   if sample_rate <= 0. then invalid_arg "Spectrum.analyze: sample_rate <= 0";

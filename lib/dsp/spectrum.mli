@@ -23,7 +23,11 @@ type detrend =
     [detrend] defaults to [`Mean]; [window] defaults to rectangular.
     @raise Invalid_argument on an empty signal or non-positive rate. *)
 val analyze :
-  ?window:Window.kind -> ?detrend:detrend -> float array -> sample_rate:float -> t
+  ?window:Window.kind ->
+  ?detrend:detrend ->
+  float array ->
+  sample_rate:Units.Freq.t ->
+  t
 
 (** [bin_width s] is the frequency spacing between adjacent bins, in Hz. *)
 val bin_width : t -> float

@@ -57,7 +57,7 @@ let correlation xs ys =
     sxx := !sxx +. (dx *. dx);
     syy := !syy +. (dy *. dy)
   done;
-  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+  if Float.equal !sxx 0.0 || Float.equal !syy 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
 
 let cross_correlation xs ys ~max_lag =
   let n = min (Array.length xs) (Array.length ys) in
@@ -74,5 +74,6 @@ let cross_correlation xs ys ~max_lag =
   Array.init (max_lag + 1) lag
 
 let relative_error ~actual ~expected =
-  if expected = 0.0 then if actual = 0.0 then 0.0 else infinity
+  if Float.equal expected 0.0 then
+    if Float.equal actual 0.0 then 0.0 else infinity
   else Float.abs (actual -. expected) /. Float.abs expected

@@ -8,6 +8,9 @@ module Z = Nimbus_core.Z_estimator
 module Series = Nimbus_metrics.Series
 module Monitor = Nimbus_metrics.Monitor
 module Stats = Nimbus_dsp.Stats
+module Time = Units.Time
+module Freq = Units.Freq
+module Rate = Units.Rate
 
 type profile = {
   time_scale : float;
@@ -21,30 +24,31 @@ let full = { time_scale = 1.0; seeds = 3 }
 let scaled p seconds = Float.max 20. (p.time_scale *. seconds)
 
 type link = {
-  mu : float;
-  prop_rtt : float;
+  mu : Units.Rate.t;
+  prop_rtt : Units.Time.t;
   buffer_bdp : float;
-  aqm : [ `Droptail | `Pie of float ];
+  aqm : [ `Droptail | `Pie of Units.Time.t ];
 }
 
 let link ~mbps ~rtt_ms ?(buffer_bdp = 2.0) ?(aqm = `Droptail) () =
-  { mu = mbps *. 1e6; prop_rtt = rtt_ms /. 1e3; buffer_bdp; aqm }
+  { mu = Rate.mbps mbps; prop_rtt = Time.ms rtt_ms; buffer_bdp; aqm }
 
 let setup ~seed l =
   let engine = Engine.create () in
   let rng = Rng.create seed in
   let capacity_bytes =
     max (4 * 1500)
-      (int_of_float (l.mu *. l.prop_rtt *. l.buffer_bdp /. 8.))
+      (int_of_float
+         (Rate.to_bps l.mu *. Time.to_secs l.prop_rtt *. l.buffer_bdp /. 8.))
   in
   let qdisc =
     match l.aqm with
     | `Droptail -> Qdisc.droptail ~capacity_bytes
     | `Pie target ->
-      Qdisc.pie ~capacity_bytes ~target_delay:target ~link_rate_bps:l.mu
+      Qdisc.pie ~capacity_bytes ~target_delay:target ~link_rate:l.mu
         ~rng:(Rng.split rng)
   in
-  let bottleneck = Bottleneck.create engine ~rate_bps:l.mu ~qdisc () in
+  let bottleneck = Bottleneck.create engine ~rate:l.mu ~qdisc () in
   (engine, bottleneck, rng)
 
 type running = {
@@ -56,7 +60,7 @@ type running = {
 type scheme = {
   scheme_name : string;
   start_flow :
-    Engine.t -> Bottleneck.t -> link -> ?start:float -> unit -> running;
+    Engine.t -> Bottleneck.t -> link -> ?start:Units.Time.t -> unit -> running;
 }
 
 let plain name make_cc =
@@ -70,7 +74,7 @@ let plain name make_cc =
         { flow; in_competitive = None; nimbus = None }) }
 
 let nimbus ?name ?(delay = `Basic_delay) ?(competitive = `Cubic)
-    ?(pulse_frac = 0.25) ?(fp = 5.) ?(multi_flow = false) ?(seed = 1)
+    ?(pulse_frac = 0.25) ?(fp = Freq.hz 5.) ?(multi_flow = false) ?(seed = 1)
     ?(estimate_mu = false) () =
   let scheme_name = match name with Some n -> n | None -> "nimbus" in
   { scheme_name;
@@ -81,7 +85,9 @@ let nimbus ?name ?(delay = `Basic_delay) ?(competitive = `Cubic)
         in
         let nim =
           Nimbus.create ~mu ~delay ~competitive ~pulse_frac
-            ~fp_competitive:fp ~fp_delay:(fp +. 1.) ~multi_flow ~seed ()
+            ~fp_competitive:fp
+            ~fp_delay:(Freq.hz (Freq.to_hz fp +. 1.))
+            ~multi_flow ~seed ()
         in
         let flow =
           Flow.create engine bottleneck
@@ -139,14 +145,16 @@ type run_stats = {
 
 let instrument engine bottleneck running ~until =
   { tput_series =
-      Monitor.flow_throughput engine running.flow ~interval:1.0 ~until ();
+      Monitor.flow_throughput engine running.flow ~interval:(Time.secs 1.0)
+        ~until ();
     qdelay_series =
-      Monitor.queue_delay engine bottleneck ~interval:0.1 ~until ();
+      Monitor.queue_delay engine bottleneck ~interval:(Time.ms 100.) ~until ();
     rtt_series =
-      Monitor.flow_rtt engine running.flow ~interval:0.1 ~until () }
+      Monitor.flow_rtt engine running.flow ~interval:(Time.ms 100.) ~until ()
+  }
 
 let window_values s ~lo ~hi =
-  let xs = Series.values_between s ~lo ~hi in
+  let xs = Series.values_between s ~lo:(Time.secs lo) ~hi:(Time.secs hi) in
   Array.of_list
     (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list xs))
 

@@ -9,28 +9,32 @@ module Flow = Nimbus_cc.Flow
     full profiles use the paper's parameters. *)
 type profile = {
   time_scale : float; (* multiply experiment durations *)
-  seeds : int;        (* repetitions for averaged results *)
+  seeds : int; (* repetitions for averaged results *)
 }
 
 val quick : profile
 
 val full : profile
 
-(** [scaled profile seconds] is the effective duration. *)
+(** [scaled profile seconds] is the effective duration in seconds. *)
 val scaled : profile -> float -> float
 
 (** Emulated bottleneck description (Mahimahi-equivalent). *)
 type link = {
-  mu : float;           (* bits/s *)
-  prop_rtt : float;     (* seconds *)
-  buffer_bdp : float;   (* buffer as a multiple of mu·prop_rtt *)
-  aqm : [ `Droptail | `Pie of float ]; (* PIE target delay *)
+  mu : Units.Rate.t;
+  prop_rtt : Units.Time.t;
+  buffer_bdp : float; (* buffer as a multiple of mu·prop_rtt *)
+  aqm : [ `Droptail | `Pie of Units.Time.t ]; (* PIE target delay *)
 }
 
 (** [link ~mbps ~rtt_ms ~buffer_bdp ()] — convenience constructor. *)
 val link :
-  mbps:float -> rtt_ms:float -> ?buffer_bdp:float ->
-  ?aqm:[ `Droptail | `Pie of float ] -> unit -> link
+  mbps:float ->
+  rtt_ms:float ->
+  ?buffer_bdp:float ->
+  ?aqm:[ `Droptail | `Pie of Units.Time.t ] ->
+  unit ->
+  link
 
 (** [setup ~seed l] builds the engine + bottleneck. *)
 val setup : seed:int -> link -> Engine.t * Bottleneck.t * Rng.t
@@ -47,7 +51,7 @@ type running = {
 type scheme = {
   scheme_name : string;
   start_flow :
-    Engine.t -> Bottleneck.t -> link -> ?start:float -> unit -> running;
+    Engine.t -> Bottleneck.t -> link -> ?start:Units.Time.t -> unit -> running;
 }
 
 val nimbus :
@@ -55,7 +59,7 @@ val nimbus :
   ?delay:Nimbus_core.Nimbus.delay_alg ->
   ?competitive:Nimbus_core.Nimbus.competitive_alg ->
   ?pulse_frac:float ->
-  ?fp:float ->
+  ?fp:Units.Freq.t ->
   ?multi_flow:bool ->
   ?seed:int ->
   ?estimate_mu:bool ->
@@ -84,10 +88,6 @@ val all_baselines : scheme list
 
 (** Measurement helpers *)
 
-(** [mean_throughput flow ~from_t ~to_t] — receiver goodput over a window,
-    given cumulative byte samples recorded by the caller... use
-    {!measure_run} instead for the common pattern. *)
-
 type run_stats = {
   tput_series : Nimbus_metrics.Series.t; (* 1 s bins, bps *)
   qdelay_series : Nimbus_metrics.Series.t; (* 100 ms samples, seconds *)
@@ -97,10 +97,10 @@ type run_stats = {
 (** [instrument engine bottleneck running ~until] attaches the standard
     monitors. *)
 val instrument :
-  Engine.t -> Bottleneck.t -> running -> until:float -> run_stats
+  Engine.t -> Bottleneck.t -> running -> until:Units.Time.t -> run_stats
 
-(** [mean s ~lo ~hi] / [pct s ~lo ~hi p] over a series window, ignoring
-    NaNs. *)
+(** [mean s ~lo ~hi] / [pct s ~lo ~hi p] over a series window given in
+    seconds, ignoring NaNs. *)
 val mean : Nimbus_metrics.Series.t -> lo:float -> hi:float -> float
 
 val pct : Nimbus_metrics.Series.t -> lo:float -> hi:float -> float -> float

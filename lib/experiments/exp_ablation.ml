@@ -22,6 +22,8 @@ module Z = Nimbus_core.Z_estimator
 module Source = Nimbus_traffic.Source
 module Stats = Nimbus_dsp.Stats
 module Accuracy = Nimbus_metrics.Accuracy
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "ablation"
 
@@ -46,7 +48,8 @@ let observe (p : Common.profile) ?(share = 0.5) ?(pulse_shape = Nimbus_core.Puls
   let engine, bn, rng = Common.setup ~seed l in
   (match cross with
    | `Poisson rate ->
-     ignore (Source.poisson engine bn ~rng:(Rng.split rng) ~rate_bps:rate ())
+     ignore
+       (Source.poisson engine bn ~rng:(Rng.split rng) ~rate:(Rate.bps rate) ())
    | `Cubic n ->
      for _ = 1 to n do
        ignore
@@ -56,26 +59,28 @@ let observe (p : Common.profile) ?(share = 0.5) ?(pulse_shape = Nimbus_core.Puls
    | `Cubic_rtt ratio ->
      ignore
        (Flow.create engine bn ~cc:(Nimbus_cc.Cubic.make ())
-          ~prop_rtt:(l.Common.prop_rtt *. ratio) ())
+          ~prop_rtt:(Time.scale ratio l.Common.prop_rtt) ())
    | `Cubic_late at ->
-     Engine.schedule_at engine at (fun () ->
+     Engine.schedule_at engine (Time.secs at) (fun () ->
          ignore
            (Flow.create engine bn ~cc:(Nimbus_cc.Cubic.make ())
               ~prop_rtt:l.Common.prop_rtt ()))
    | `Mixed_for_share ->
      ignore
        (Source.poisson engine bn ~rng:(Rng.split rng)
-          ~rate_bps:((1. -. share) *. l.Common.mu) ()));
+          ~rate:(Rate.scale (1. -. share) l.Common.mu) ()));
   let etas = ref [] and amps = ref [] in
   let zs = ref [] and ss = ref [] in
   let nim =
-    Nimbus.create ~mu:(Z.Mu.known l.Common.mu) ~pulse_shape ~fft_window
-      ~switch_streak ~rate_reset ~taper ~seed:(seed + 1)
+    Nimbus.create ~mu:(Z.Mu.known l.Common.mu) ~pulse_shape
+      ~fft_window:(Time.secs fft_window) ~switch_streak ~rate_reset ~taper
+      ~seed:(seed + 1)
       ~on_detection:(fun d ->
         if not (Float.is_nan d.Nimbus.d_eta) then etas := d.Nimbus.d_eta :: !etas)
       ~on_sample:(fun s ->
-        zs := (if Float.is_nan s.Nimbus.s_z then 0. else s.Nimbus.s_z) :: !zs;
-        ss := s.Nimbus.s_send_rate :: !ss)
+        let z = Rate.to_bps s.Nimbus.s_z in
+        zs := (if Float.is_nan z then 0. else z) :: !zs;
+        ss := Rate.to_bps s.Nimbus.s_send_rate :: !ss)
       ()
   in
   let flow =
@@ -83,22 +88,24 @@ let observe (p : Common.profile) ?(share = 0.5) ?(pulse_shape = Nimbus_core.Puls
       ~cc:(Nimbus.cc nim ~now:(fun () -> Engine.now engine))
       ~prop_rtt:l.Common.prop_rtt ()
   in
-  Engine.every engine ~dt:0.1 ~start:10. ~until:horizon (fun () ->
+  Engine.every engine ~dt:(Time.ms 100.) ~start:(Time.secs 10.)
+    ~until:(Time.secs horizon) (fun () ->
       amps :=
         Nimbus_core.Elasticity.peak_amplitude (Nimbus.detector nim)
           ~freq:(Nimbus.pulse_freq nim)
         :: !amps);
   let accuracy = Accuracy.create () in
-  Engine.every engine ~dt:0.1 ~start:10. ~until:horizon (fun () ->
+  Engine.every engine ~dt:(Time.ms 100.) ~start:(Time.secs 10.)
+    ~until:(Time.secs horizon) (fun () ->
       Accuracy.record accuracy
         ~predicted_elastic:(Nimbus.mode nim = Nimbus.Competitive)
-        ~truth_elastic:(truth_elastic (Engine.now engine)));
+        ~truth_elastic:(truth_elastic (Time.to_secs (Engine.now engine))));
   (* throughput over the last third *)
   let tput_lo = horizon *. 2. /. 3. in
   let bytes_at_lo = ref 0 in
-  Engine.schedule_at engine tput_lo (fun () ->
+  Engine.schedule_at engine (Time.secs tput_lo) (fun () ->
       bytes_at_lo := Flow.received_bytes flow);
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   let tput_after =
     float_of_int ((Flow.received_bytes flow - !bytes_at_lo) * 8)
     /. (horizon -. tput_lo) /. 1e6

@@ -1,0 +1,7 @@
+(** Ablations of the detector/controller design choices *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

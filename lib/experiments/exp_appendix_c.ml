@@ -6,6 +6,7 @@
 
 module Engine = Nimbus_sim.Engine
 module Flow = Nimbus_cc.Flow
+module Time = Units.Time
 
 let id = "appc"
 
@@ -19,8 +20,8 @@ let case (p : Common.profile) ~buffer_bdp ~seed (sch : Common.scheme) =
     (Flow.create engine bn ~cc:(Nimbus_cc.Bbr.make ())
        ~prop_rtt:l.Common.prop_rtt ());
   let running = sch.Common.start_flow engine bn l () in
-  let stats = Common.instrument engine bn running ~until:horizon in
-  Engine.run_until engine horizon;
+  let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
+  Engine.run_until engine (Time.secs horizon);
   Common.mean stats.Common.tput_series ~lo:10. ~hi:horizon
 
 let run (p : Common.profile) =

@@ -1,0 +1,7 @@
+(** Fig 22 (App C): throughput vs one BBR flow across buffer sizes *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

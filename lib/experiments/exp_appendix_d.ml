@@ -13,6 +13,8 @@
 module Engine = Nimbus_sim.Engine
 module Flow = Nimbus_cc.Flow
 module Source = Nimbus_traffic.Source
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "appd"
 
@@ -22,10 +24,10 @@ let cbr_case (p : Common.profile) ~rate ~seed (sch : Common.scheme) =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 60. in
   let engine, bn, _rng = Common.setup ~seed l in
-  ignore (Source.cbr engine bn ~rate_bps:rate ());
+  ignore (Source.cbr engine bn ~rate:(Rate.bps rate) ());
   let running = sch.Common.start_flow engine bn l () in
-  let stats = Common.instrument engine bn running ~until:horizon in
-  Engine.run_until engine horizon;
+  let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
+  Engine.run_until engine (Time.secs horizon);
   ( Common.mean stats.Common.tput_series ~lo:10. ~hi:horizon,
     Common.mean stats.Common.qdelay_series ~lo:10. ~hi:horizon )
 
@@ -35,10 +37,10 @@ let reno_case (p : Common.profile) ~ratio ~seed (sch : Common.scheme) =
   let engine, bn, _rng = Common.setup ~seed l in
   ignore
     (Flow.create engine bn ~cc:(Nimbus_cc.Reno.make ())
-       ~prop_rtt:(l.Common.prop_rtt *. ratio) ());
+       ~prop_rtt:(Time.scale ratio l.Common.prop_rtt) ());
   let running = sch.Common.start_flow engine bn l () in
-  let stats = Common.instrument engine bn running ~until:horizon in
-  Engine.run_until engine horizon;
+  let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
+  Engine.run_until engine (Time.secs horizon);
   Common.mean stats.Common.tput_series ~lo:10. ~hi:horizon
 
 let run (p : Common.profile) =

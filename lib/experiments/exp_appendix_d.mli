@@ -1,0 +1,7 @@
+(** Fig 23/24 (App D): Copa failure modes vs Nimbus *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

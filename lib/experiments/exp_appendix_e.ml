@@ -12,6 +12,8 @@ module Rng = Nimbus_sim.Rng
 module Flow = Nimbus_cc.Flow
 module Source = Nimbus_traffic.Source
 module Accuracy = Nimbus_metrics.Accuracy
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "appe"
 
@@ -38,7 +40,7 @@ let case (p : Common.profile) ~link ~mix ~share ~pulse ~seed =
    | Inelastic ->
      ignore
        (Source.poisson engine bn ~rng:(Rng.split rng)
-          ~rate_bps:((1. -. share) *. mu) ())
+          ~rate:(Rate.scale (1. -. share) mu) ())
    | Elastic ->
      let n = max 1 (int_of_float (Float.round ((1. /. share) -. 1.))) in
      for _ = 1 to n do
@@ -49,7 +51,7 @@ let case (p : Common.profile) ~link ~mix ~share ~pulse ~seed =
    | Mixed ->
      ignore
        (Source.poisson engine bn ~rng:(Rng.split rng)
-          ~rate_bps:((1. -. share) *. mu /. 2.) ());
+          ~rate:(Rate.scale ((1. -. share) /. 2.) mu) ());
      ignore
        (Flow.create engine bn ~cc:(Nimbus_cc.Reno.make ())
           ~prop_rtt:link.Common.prop_rtt ()));
@@ -59,10 +61,11 @@ let case (p : Common.profile) ~link ~mix ~share ~pulse ~seed =
   let accuracy = Accuracy.create () in
   (match running.Common.in_competitive with
    | Some mode ->
-     Engine.every engine ~dt:0.1 ~start:10. ~until:horizon (fun () ->
+     Engine.every engine ~dt:(Time.ms 100.) ~start:(Time.secs 10.)
+       ~until:(Time.secs horizon) (fun () ->
          Accuracy.record accuracy ~predicted_elastic:(mode ()) ~truth_elastic)
    | None -> ());
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   Accuracy.accuracy accuracy
 
 let run (p : Common.profile) =
@@ -105,9 +108,11 @@ let run (p : Common.profile) =
       mk "RTT 25 ms" (Common.link ~mbps:96. ~rtt_ms:25. ~buffer_bdp:2. ());
       mk "RTT 75 ms" (Common.link ~mbps:96. ~rtt_ms:75. ~buffer_bdp:2. ());
       mk "PIE (1 BDP target)"
-        (Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:4. ~aqm:(`Pie 0.05) ());
+        (Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:4. ~aqm:(`Pie (Time.ms 50.))
+           ());
       mk "PIE (0.25 BDP target)"
-        (Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:4. ~aqm:(`Pie 0.0125) ()) ]
+        (Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:4.
+           ~aqm:(`Pie (Time.ms 12.5)) ()) ]
   in
   let env =
     List.map

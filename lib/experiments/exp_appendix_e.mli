@@ -1,0 +1,7 @@
+(** Fig 25 (App E): multi-factor detection robustness *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

@@ -7,6 +7,8 @@ module Flow = Nimbus_cc.Flow
 module Nimbus = Nimbus_core.Nimbus
 module Z = Nimbus_core.Z_estimator
 module Stats = Nimbus_dsp.Stats
+module Time = Units.Time
+module Freq = Units.Freq
 
 let id = "appf"
 
@@ -21,7 +23,7 @@ let case (p : Common.profile) ~fp ~seed =
        ~prop_rtt:l.Common.prop_rtt ());
   let etas = ref [] in
   let nim =
-    Nimbus.create ~mu:(Z.Mu.known l.Common.mu) ~fp_competitive:fp
+    Nimbus.create ~mu:(Z.Mu.known l.Common.mu) ~fp_competitive:(Freq.hz fp)
       ~on_detection:(fun d ->
         if not (Float.is_nan d.Nimbus.d_eta) then
           etas := d.Nimbus.d_eta :: !etas)
@@ -31,7 +33,7 @@ let case (p : Common.profile) ~fp ~seed =
     (Flow.create engine bn
        ~cc:(Nimbus.cc nim ~now:(fun () -> Engine.now engine))
        ~prop_rtt:l.Common.prop_rtt ());
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   Array.of_list !etas
 
 let run (p : Common.profile) =

@@ -1,0 +1,7 @@
+(** Fig 26 (App F): detecting PCC-Vivace by lowering the pulse frequency *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

@@ -6,6 +6,8 @@
 
 module Engine = Nimbus_sim.Engine
 module Schedule = Nimbus_traffic.Schedule
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "fig1"
 
@@ -25,14 +27,14 @@ let run (p : Common.profile) =
     let _sched =
       Schedule.install engine bn ~rng
         ~phases:
-          [ Schedule.phase ~start:t1 ~stop:te ~inelastic_bps:0.
-              ~elastic_flows:1;
-            Schedule.phase ~start:te ~stop:ti ~inelastic_bps:24e6
-              ~elastic_flows:0 ]
+          [ Schedule.phase ~start:(Time.secs t1) ~stop:(Time.secs te)
+              ~inelastic:Rate.zero ~elastic_flows:1;
+            Schedule.phase ~start:(Time.secs te) ~stop:(Time.secs ti)
+              ~inelastic:(Rate.bps 24e6) ~elastic_flows:0 ]
         ()
     in
-    let stats = Common.instrument engine bn running ~until:ti in
-    Engine.run_until engine ti;
+    let stats = Common.instrument engine bn running ~until:(Time.secs ti) in
+    Engine.run_until engine (Time.secs ti);
     let row label lo hi fair =
       [ sch.Common.scheme_name; label;
         Table.fmt_mbps (Common.mean stats.Common.tput_series ~lo ~hi);

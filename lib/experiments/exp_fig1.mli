@@ -1,0 +1,7 @@
+(** Fig 1: Cubic vs delay-control vs Nimbus under phase-switching cross traffic *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

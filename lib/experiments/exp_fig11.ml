@@ -7,6 +7,7 @@
 
 module Engine = Nimbus_sim.Engine
 module Video = Nimbus_traffic.Video
+module Time = Units.Time
 
 let id = "fig11"
 
@@ -18,8 +19,8 @@ let run_case (p : Common.profile) ~ladder ~seed (sch : Common.scheme) =
   let engine, bn, _rng = Common.setup ~seed l in
   let _video = Video.create engine bn ~ladder () in
   let running = sch.Common.start_flow engine bn l () in
-  let stats = Common.instrument engine bn running ~until:horizon in
-  Engine.run_until engine horizon;
+  let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
+  Engine.run_until engine (Time.secs horizon);
   let lo = 15. and hi = horizon in
   ( Common.mean stats.Common.tput_series ~lo ~hi,
     Common.mean stats.Common.rtt_series ~lo ~hi )

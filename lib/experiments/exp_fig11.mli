@@ -1,0 +1,7 @@
+(** Fig 11: throughput/delay against DASH video cross traffic *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

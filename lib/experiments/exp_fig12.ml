@@ -10,6 +10,8 @@ module Nimbus = Nimbus_core.Nimbus
 module Z = Nimbus_core.Z_estimator
 module Wan = Nimbus_traffic.Wan
 module Accuracy = Nimbus_metrics.Accuracy
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "fig12"
 
@@ -23,7 +25,7 @@ let run (p : Common.profile) =
   let engine, bn, rng = Common.setup ~seed:12 l in
   let wan =
     Wan.create engine bn ~rng:(Rng.split rng) ~profile:`Elephant
-      ~load_bps:(0.5 *. l.Common.mu) ()
+      ~load:(Rate.scale 0.5 l.Common.mu) ()
   in
   let nim = Nimbus.create ~mu:(Z.Mu.known l.Common.mu) () in
   ignore
@@ -34,7 +36,8 @@ let run (p : Common.profile) =
   let persistent_truth = Accuracy.create () in
   let prev_elastic = ref 0 and prev_total = ref 0 in
   let fractions = ref [] in
-  Engine.every engine ~dt:1.0 ~start:10. ~until:horizon (fun () ->
+  Engine.every engine ~dt:(Time.secs 1.0) ~start:(Time.secs 10.)
+    ~until:(Time.secs horizon) (fun () ->
       let now = Engine.now engine in
       let predicted = Nimbus.mode nim = Nimbus.Competitive in
       let elastic, total = Wan.bytes_split wan in
@@ -49,9 +52,9 @@ let run (p : Common.profile) =
       end;
       Accuracy.record persistent_truth ~predicted_elastic:predicted
         ~truth_elastic:
-          (Wan.persistent_elastic_active wan ~now ~min_age:2.
+          (Wan.persistent_elastic_active wan ~now ~min_age:(Time.secs 2.)
              ~min_size:1_000_000));
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   let fr = Array.of_list !fractions in
   [ Table.make ~title
       ~header:[ "metric"; "value" ]

@@ -1,0 +1,7 @@
+(** Fig 12: eta vs ground-truth elastic byte fraction (WAN trace) *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

@@ -7,6 +7,8 @@
 module Engine = Nimbus_sim.Engine
 module Rng = Nimbus_sim.Rng
 module Wan = Nimbus_traffic.Wan
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "fig13"
 
@@ -18,11 +20,11 @@ let run_one (p : Common.profile) ~load_frac ~seed (sch : Common.scheme) =
   let engine, bn, rng = Common.setup ~seed l in
   let _wan =
     Wan.create engine bn ~rng:(Rng.split rng)
-      ~load_bps:(load_frac *. l.Common.mu) ()
+      ~load:(Rate.scale load_frac l.Common.mu) ()
   in
   let running = sch.Common.start_flow engine bn l () in
-  let stats = Common.instrument engine bn running ~until:horizon in
-  Engine.run_until engine horizon;
+  let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
+  Engine.run_until engine (Time.secs horizon);
   let lo = 10. and hi = horizon in
   ( Common.pct stats.Common.tput_series ~lo ~hi 50.,
     Common.pct stats.Common.rtt_series ~lo ~hi 50. )

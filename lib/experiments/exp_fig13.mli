@@ -1,0 +1,7 @@
+(** Fig 13: WAN load x pulse size *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

@@ -11,6 +11,8 @@ module Rng = Nimbus_sim.Rng
 module Flow = Nimbus_cc.Flow
 module Source = Nimbus_traffic.Source
 module Accuracy = Nimbus_metrics.Accuracy
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "fig14"
 
@@ -20,7 +22,7 @@ let measure_accuracy engine running ~truth_elastic ~from_t ~until =
   let accuracy = Accuracy.create () in
   (match running.Common.in_competitive with
    | Some mode ->
-     Engine.every engine ~dt:0.1 ~start:from_t ~until (fun () ->
+     Engine.every engine ~dt:(Time.ms 100.) ~start:from_t ~until (fun () ->
          Accuracy.record accuracy ~predicted_elastic:(mode ())
            ~truth_elastic)
    | None -> ());
@@ -30,17 +32,17 @@ let inelastic_case (p : Common.profile) ~kind ~share ~seed (sch : Common.scheme)
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 60. in
   let engine, bn, rng = Common.setup ~seed l in
-  let rate = share *. l.Common.mu in
+  let rate = Rate.scale share l.Common.mu in
   (match kind with
-   | `Cbr -> ignore (Source.cbr engine bn ~rate_bps:rate ())
+   | `Cbr -> ignore (Source.cbr engine bn ~rate ())
    | `Poisson ->
-     ignore (Source.poisson engine bn ~rng:(Rng.split rng) ~rate_bps:rate ()));
+     ignore (Source.poisson engine bn ~rng:(Rng.split rng) ~rate ()));
   let running = sch.Common.start_flow engine bn l () in
   let accuracy =
-    measure_accuracy engine running ~truth_elastic:false ~from_t:10.
-      ~until:horizon
+    measure_accuracy engine running ~truth_elastic:false
+      ~from_t:(Time.secs 10.) ~until:(Time.secs horizon)
   in
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   Accuracy.accuracy accuracy
 
 let rtt_ratio_case (p : Common.profile) ~ratio ~seed (sch : Common.scheme) =
@@ -49,13 +51,13 @@ let rtt_ratio_case (p : Common.profile) ~ratio ~seed (sch : Common.scheme) =
   let engine, bn, _rng = Common.setup ~seed l in
   ignore
     (Flow.create engine bn ~cc:(Nimbus_cc.Reno.make ())
-       ~prop_rtt:(l.Common.prop_rtt *. ratio) ());
+       ~prop_rtt:(Time.scale ratio l.Common.prop_rtt) ());
   let running = sch.Common.start_flow engine bn l () in
   let accuracy =
-    measure_accuracy engine running ~truth_elastic:true ~from_t:10.
-      ~until:horizon
+    measure_accuracy engine running ~truth_elastic:true ~from_t:(Time.secs 10.)
+      ~until:(Time.secs horizon)
   in
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   Accuracy.accuracy accuracy
 
 let run (p : Common.profile) =

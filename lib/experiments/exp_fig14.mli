@@ -1,0 +1,7 @@
+(** Fig 14: classification accuracy vs Copa *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

@@ -9,6 +9,8 @@ module Rng = Nimbus_sim.Rng
 module Flow = Nimbus_cc.Flow
 module Source = Nimbus_traffic.Source
 module Accuracy = Nimbus_metrics.Accuracy
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "fig15"
 
@@ -19,16 +21,11 @@ type mix =
   | Inelastic
   | Mixed
 
-let mix_name = function
-  | Elastic -> "elastic"
-  | Inelastic -> "inelastic"
-  | Mixed -> "mix"
-
 let case (p : Common.profile) ~mix ~ratio ~seed =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 120. in
   let engine, bn, rng = Common.setup ~seed l in
-  let cross_rtt = l.Common.prop_rtt *. ratio in
+  let cross_rtt = Time.scale ratio l.Common.prop_rtt in
   let truth_elastic =
     match mix with
     | Elastic | Mixed -> true
@@ -42,21 +39,23 @@ let case (p : Common.profile) ~mix ~ratio ~seed =
        (Flow.create engine bn ~cc:(Nimbus_cc.Reno.make ()) ~prop_rtt:cross_rtt ())
    | Inelastic ->
      ignore
-       (Source.poisson engine bn ~rng:(Rng.split rng) ~rate_bps:(0.5 *. l.Common.mu) ())
+       (Source.poisson engine bn ~rng:(Rng.split rng)
+          ~rate:(Rate.scale 0.5 l.Common.mu) ())
    | Mixed ->
      ignore
        (Flow.create engine bn ~cc:(Nimbus_cc.Reno.make ()) ~prop_rtt:cross_rtt ());
      ignore
        (Source.poisson engine bn ~rng:(Rng.split rng)
-          ~rate_bps:(0.25 *. l.Common.mu) ()));
+          ~rate:(Rate.scale 0.25 l.Common.mu) ()));
   let running = (Common.nimbus ()).Common.start_flow engine bn l () in
   let accuracy = Accuracy.create () in
   (match running.Common.in_competitive with
    | Some mode ->
-     Engine.every engine ~dt:0.1 ~start:10. ~until:horizon (fun () ->
+     Engine.every engine ~dt:(Time.ms 100.) ~start:(Time.secs 10.)
+       ~until:(Time.secs horizon) (fun () ->
          Accuracy.record accuracy ~predicted_elastic:(mode ()) ~truth_elastic)
    | None -> ());
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   Accuracy.accuracy accuracy
 
 let heterogeneous (p : Common.profile) ~flows ~seed =
@@ -66,17 +65,18 @@ let heterogeneous (p : Common.profile) ~flows ~seed =
   for n = 1 to flows do
     ignore
       (Flow.create engine bn ~cc:(Nimbus_cc.Reno.make ())
-         ~prop_rtt:(0.02 *. float_of_int n) ())
+         ~prop_rtt:(Time.secs (0.02 *. float_of_int n)) ())
   done;
   let running = (Common.nimbus ()).Common.start_flow engine bn l () in
   let accuracy = Accuracy.create () in
   (match running.Common.in_competitive with
    | Some mode ->
-     Engine.every engine ~dt:0.1 ~start:10. ~until:horizon (fun () ->
+     Engine.every engine ~dt:(Time.ms 100.) ~start:(Time.secs 10.)
+       ~until:(Time.secs horizon) (fun () ->
          Accuracy.record accuracy ~predicted_elastic:(mode ())
            ~truth_elastic:true)
    | None -> ());
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   Accuracy.accuracy accuracy
 
 let run (p : Common.profile) =

@@ -1,0 +1,7 @@
+(** Fig 15: accuracy vs cross-traffic RTT *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

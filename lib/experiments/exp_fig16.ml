@@ -8,6 +8,7 @@ module Engine = Nimbus_sim.Engine
 module Nimbus = Nimbus_core.Nimbus
 module Flow = Nimbus_cc.Flow
 module Fairness = Nimbus_metrics.Fairness
+module Time = Units.Time
 
 let id = "fig16"
 
@@ -32,17 +33,18 @@ let run (p : Common.profile) =
     List.init n (fun i ->
         let start = float_of_int i *. stagger in
         let running =
-          (sch i).Common.start_flow engine bn l ~start ()
+          (sch i).Common.start_flow engine bn l ~start:(Time.secs start) ()
         in
-        Engine.schedule_at engine (start +. life) (fun () ->
+        Engine.schedule_at engine (Time.secs (start +. life)) (fun () ->
             Flow.stop running.Common.flow);
         (i, start, running))
   in
   (* sample: pulser count, delay-mode fraction, queue delay *)
   let pulser_excess = ref 0 and samples = ref 0 and delay_mode = ref 0 in
   let qdelays = ref [] in
-  Engine.every engine ~dt:0.5 ~start:10. ~until:horizon (fun () ->
-      let now = Engine.now engine in
+  Engine.every engine ~dt:(Time.ms 500.) ~start:(Time.secs 10.)
+    ~until:(Time.secs horizon) (fun () ->
+      let now = Time.to_secs (Engine.now engine) in
       let active =
         List.filter
           (fun (_, start, r) ->
@@ -70,7 +72,8 @@ let run (p : Common.profile) =
             active
         in
         if in_delay then incr delay_mode;
-        qdelays := Nimbus_sim.Bottleneck.queue_delay bn :: !qdelays
+        qdelays :=
+          Time.to_secs (Nimbus_sim.Bottleneck.queue_delay bn) :: !qdelays
       end);
   (* per-flow throughput measured over the window where all four are live *)
   let all_live_lo = (float_of_int (n - 1) *. stagger) +. 10. in
@@ -80,10 +83,10 @@ let run (p : Common.profile) =
       (fun (i, _, r) ->
         ( i,
           Nimbus_metrics.Monitor.flow_throughput engine r.Common.flow
-            ~interval:1.0 ~until:horizon () ))
+            ~interval:(Time.secs 1.0) ~until:(Time.secs horizon) () ))
       started
   in
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   let shares =
     List.map
       (fun (_, s) -> Common.mean s ~lo:all_live_lo ~hi:all_live_hi)

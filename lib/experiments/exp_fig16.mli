@@ -1,0 +1,7 @@
+(** Fig 16: multiple Nimbus flows, staggered arrivals *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

@@ -5,6 +5,8 @@
 
 module Engine = Nimbus_sim.Engine
 module Schedule = Nimbus_traffic.Schedule
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "fig17"
 
@@ -26,22 +28,24 @@ let run (p : Common.profile) =
   let _sched =
     Schedule.install engine bn ~rng
       ~phases:
-        [ Schedule.phase ~start:t1 ~stop:te ~inelastic_bps:0. ~elastic_flows:3;
-          Schedule.phase ~start:te ~stop:ti ~inelastic_bps:96e6
-            ~elastic_flows:0 ]
+        [ Schedule.phase ~start:(Time.secs t1) ~stop:(Time.secs te)
+            ~inelastic:Rate.zero ~elastic_flows:3;
+          Schedule.phase ~start:(Time.secs te) ~stop:(Time.secs ti)
+            ~inelastic:(Rate.bps 96e6) ~elastic_flows:0 ]
       ~inelastic:`Cbr ()
   in
   let tputs =
     List.map
       (fun r ->
         Nimbus_metrics.Monitor.flow_throughput engine r.Common.flow
-          ~interval:1.0 ~until:ti ())
+          ~interval:(Time.secs 1.0) ~until:(Time.secs ti) ())
       runnings
   in
   let qdelay =
-    Nimbus_metrics.Monitor.queue_delay engine bn ~interval:0.1 ~until:ti ()
+    Nimbus_metrics.Monitor.queue_delay engine bn ~interval:(Time.ms 100.)
+      ~until:(Time.secs ti) ()
   in
-  Engine.run_until engine ti;
+  Engine.run_until engine (Time.secs ti);
   let aggregate lo hi =
     List.fold_left
       (fun acc s ->

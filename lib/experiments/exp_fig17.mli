@@ -1,0 +1,7 @@
+(** Fig 17: multiple Nimbus flows + elastic then inelastic cross traffic *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

@@ -4,8 +4,9 @@
    instantaneous delay measurements cannot reveal elasticity. *)
 
 module Engine = Nimbus_sim.Engine
-module Bottleneck = Nimbus_sim.Bottleneck
 module Schedule = Nimbus_traffic.Schedule
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "fig3"
 
@@ -21,17 +22,18 @@ let run (p : Common.profile) =
   let _sched =
     Schedule.install engine bn ~rng
       ~phases:
-        [ Schedule.phase ~start:t1 ~stop:te ~inelastic_bps:0. ~elastic_flows:1;
-          Schedule.phase ~start:te ~stop:ti ~inelastic_bps:24e6
-            ~elastic_flows:0 ]
+        [ Schedule.phase ~start:(Time.secs t1) ~stop:(Time.secs te)
+            ~inelastic:Rate.zero ~elastic_flows:1;
+          Schedule.phase ~start:(Time.secs te) ~stop:(Time.secs ti)
+            ~inelastic:(Rate.bps 24e6) ~elastic_flows:0 ]
       ()
   in
-  let stats = Common.instrument engine bn running ~until:ti in
-  Engine.run_until engine ti;
+  let stats = Common.instrument engine bn running ~until:(Time.secs ti) in
+  Engine.run_until engine (Time.secs ti);
   let row label lo hi =
     let tput = Common.mean stats.Common.tput_series ~lo ~hi in
     let total = Common.mean stats.Common.qdelay_series ~lo ~hi in
-    let share = tput /. l.Common.mu in
+    let share = tput /. Rate.to_bps l.Common.mu in
     let self_inflicted = total *. share in
     [ label; Table.fmt_mbps tput; Table.fmt_ms total;
       Table.fmt_ms self_inflicted; Table.fmt_pct share ]

@@ -1,0 +1,7 @@
+(** Fig 3: self-inflicted delay does not reveal elasticity *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

@@ -16,6 +16,9 @@ module Z = Nimbus_core.Z_estimator
 module Source = Nimbus_traffic.Source
 module Stats = Nimbus_dsp.Stats
 module Spectrum = Nimbus_dsp.Spectrum
+module Time = Units.Time
+module Rate = Units.Rate
+module Freq = Units.Freq
 
 let id = "fig45"
 
@@ -35,9 +38,9 @@ let run_case (p : Common.profile) ~elastic =
   let nim =
     Nimbus.create ~mu:(Z.Mu.known l.Common.mu)
       ~on_sample:(fun s ->
-        if s.Nimbus.s_time >= collect_from then begin
-          cap.s_samples := s.Nimbus.s_send_rate :: !(cap.s_samples);
-          cap.z_samples := s.Nimbus.s_z :: !(cap.z_samples)
+        if Time.(s.Nimbus.s_time >= secs collect_from) then begin
+          cap.s_samples := Rate.to_bps s.Nimbus.s_send_rate :: !(cap.s_samples);
+          cap.z_samples := Rate.to_bps s.Nimbus.s_z :: !(cap.z_samples)
         end)
       ()
   in
@@ -50,14 +53,14 @@ let run_case (p : Common.profile) ~elastic =
       (Flow.create engine bn ~cc:(Nimbus_cc.Cubic.make ())
          ~prop_rtt:l.Common.prop_rtt ())
   else
-    ignore (Source.cbr engine bn ~rate_bps:48e6 ());
+    ignore (Source.cbr engine bn ~rate:(Rate.bps 48e6) ());
   ignore rng;
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   let arr r = Array.of_list (List.rev !r) in
   let s = arr cap.s_samples and z = arr cap.z_samples in
   let z = Array.map (fun x -> if Float.is_nan x then 0. else x) z in
   (* lag sweep: 0 .. 2 RTT in 10 ms steps *)
-  let max_lag = int_of_float (2. *. l.Common.prop_rtt /. 0.01) in
+  let max_lag = int_of_float (2. *. Time.to_secs l.Common.prop_rtt /. 0.01) in
   let corr = Stats.cross_correlation s z ~max_lag in
   let min_corr = Array.fold_left Float.min corr.(0) corr in
   let min_lag =
@@ -65,7 +68,7 @@ let run_case (p : Common.profile) ~elastic =
     Array.iteri (fun i c -> if c = min_corr then best := i) corr;
     float_of_int !best *. 0.01
   in
-  let spectrum = Spectrum.analyze z ~sample_rate:100. ~detrend:`Linear in
+  let spectrum = Spectrum.analyze z ~sample_rate:(Freq.hz 100.) ~detrend:`Linear in
   let eta = Nimbus.last_eta nim in
   (min_corr, min_lag, spectrum, eta)
 

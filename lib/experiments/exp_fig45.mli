@@ -1,0 +1,7 @@
+(** Fig 4/5: cross-traffic reaction to pulses, time and frequency domain *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

@@ -14,6 +14,8 @@ module Nimbus = Nimbus_core.Nimbus
 module Z = Nimbus_core.Z_estimator
 module Source = Nimbus_traffic.Source
 module Stats = Nimbus_dsp.Stats
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "fig6"
 
@@ -21,7 +23,7 @@ let title = "Fig 6: eta distribution vs elastic fraction of cross traffic"
 
 (* With an unconstrained Cubic sharing the residual bandwidth with Nimbus,
    a Poisson rate of µ·(1-f)/(1+f) yields an elastic byte fraction ≈ f. *)
-let poisson_rate_for_fraction ~mu f = mu *. (1. -. f) /. (1. +. f)
+let poisson_rate_for_fraction ~mu f = Rate.scale ((1. -. f) /. (1. +. f)) mu
 
 let run_mix (p : Common.profile) ~target_frac ~seed =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
@@ -51,14 +53,13 @@ let run_mix (p : Common.profile) ~target_frac ~seed =
   in
   let poisson_rate = poisson_rate_for_fraction ~mu:l.Common.mu target_frac in
   let poisson_id =
-    if poisson_rate > 1e5 then
+    if Rate.to_bps poisson_rate > 1e5 then
       Some
         (Source.flow_id
-           (Source.poisson engine bn ~rng:(Rng.split rng)
-              ~rate_bps:poisson_rate ()))
+           (Source.poisson engine bn ~rng:(Rng.split rng) ~rate:poisson_rate ()))
     else None
   in
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   let delivered = function
     | Some fid -> Bottleneck.delivered_bytes bn ~flow:fid
     | None -> 0

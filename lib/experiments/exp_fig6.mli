@@ -1,0 +1,7 @@
+(** Fig 6: eta distribution vs elastic fraction of cross traffic *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

@@ -3,6 +3,9 @@
    the minimum send rate a symmetric pulse would need. *)
 
 module Pulse = Nimbus_core.Pulse
+module Time = Units.Time
+module Freq = Units.Freq
+module Rate = Units.Rate
 
 let id = "fig7"
 
@@ -10,12 +13,13 @@ let title = "Fig 7: asymmetric sinusoidal pulse waveform"
 
 let run (_ : Common.profile) =
   let mu = 96e6 in
-  let amplitude = mu /. 4. in
-  let freq = 5. in
+  let amplitude = Rate.bps (mu /. 4.) in
+  let freq = Freq.hz 5. in
   let sample t =
-    Pulse.value ~shape:Pulse.Asymmetric ~amplitude ~freq t /. 1e6
+    Rate.to_bps (Pulse.value ~shape:Pulse.Asymmetric ~amplitude ~freq (Time.secs t))
+    /. 1e6
   in
-  let period = 1. /. freq in
+  let period = Time.to_secs (Freq.period freq) in
   let points = List.init 9 (fun i -> float_of_int i /. 8. *. period) in
   let waveform_row =
     "waveform (Mbps)"
@@ -31,9 +35,10 @@ let run (_ : Common.profile) =
   let min_sym = Pulse.min_send_rate ~shape:Pulse.Symmetric ~amplitude in
   [ Table.make ~title ~header
       ~notes:
-        [ Printf.sprintf "mean over period = %.3g Mbps (target 0)" (mean /. 1e6);
+        [ Printf.sprintf "mean over period = %.3g Mbps (target 0)"
+            (Rate.to_mbps mean);
           Printf.sprintf
             "min sender rate: asymmetric %.1f Mbps (mu/12) vs symmetric %.1f \
              Mbps (mu/4)"
-            (min_asym /. 1e6) (min_sym /. 1e6) ]
+            (Rate.to_mbps min_asym) (Rate.to_mbps min_sym) ]
       [ waveform_row ] ]

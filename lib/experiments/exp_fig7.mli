@@ -1,0 +1,7 @@
+(** Fig 7: asymmetric sinusoidal pulse waveform *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

@@ -11,6 +11,8 @@
 module Engine = Nimbus_sim.Engine
 module Schedule = Nimbus_traffic.Schedule
 module Accuracy = Nimbus_metrics.Accuracy
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "fig8"
 
@@ -28,31 +30,32 @@ let run_scheme (sch : Common.scheme) =
     List.mapi
       (fun i (m, t) ->
         Schedule.phase
-          ~start:(float_of_int i *. phase_len)
-          ~stop:(float_of_int (i + 1) *. phase_len)
-          ~inelastic_bps:(m *. 1e6) ~elastic_flows:t)
+          ~start:(Time.secs (float_of_int i *. phase_len))
+          ~stop:(Time.secs (float_of_int (i + 1) *. phase_len))
+          ~inelastic:(Rate.bps (m *. 1e6)) ~elastic_flows:t)
       script
   in
   let horizon = phase_len *. float_of_int (List.length script) in
   let sched = Schedule.install engine bn ~rng ~phases () in
   let running = sch.Common.start_flow engine bn l () in
-  let stats = Common.instrument engine bn running ~until:horizon in
+  let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
   let accuracy = Accuracy.create () in
   (match running.Common.in_competitive with
    | Some mode ->
-     Engine.every engine ~dt:0.1 ~start:5. ~until:horizon (fun () ->
+     Engine.every engine ~dt:(Time.ms 100.) ~start:(Time.secs 5.)
+       ~until:(Time.secs horizon) (fun () ->
          let now = Engine.now engine in
          Accuracy.record accuracy ~predicted_elastic:(mode ())
            ~truth_elastic:(Schedule.elastic_present sched ~now))
    | None -> ());
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   let err_acc = ref 0. and err_n = ref 0 in
   let phase_rows =
     List.mapi
       (fun i (m, t) ->
         let lo = (float_of_int i *. phase_len) +. 5. in
         let hi = float_of_int (i + 1) *. phase_len in
-        let fair = (l.Common.mu -. (m *. 1e6)) /. float_of_int (t + 1) in
+        let fair = (Rate.to_bps l.Common.mu -. (m *. 1e6)) /. float_of_int (t + 1) in
         let tput = Common.mean stats.Common.tput_series ~lo ~hi in
         if not (Float.is_nan tput) then begin
           err_acc := !err_acc +. Float.abs (tput -. fair) /. fair;

@@ -1,0 +1,7 @@
+(** Fig 8: scheme comparison under scripted cross traffic (96M/50ms/2BDP) *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

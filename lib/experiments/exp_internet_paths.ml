@@ -19,6 +19,8 @@ module Bottleneck = Nimbus_sim.Bottleneck
 module Qdisc = Nimbus_sim.Qdisc
 module Wan = Nimbus_traffic.Wan
 module Stats = Nimbus_dsp.Stats
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "paths"
 
@@ -59,8 +61,12 @@ let setup_path path ~seed =
   let random_loss =
     if path.loss > 0. then Some (path.loss, Rng.split rng) else None
   in
-  let policer = if path.policed then Some (mu *. 0.85, 50 * 1500) else None in
-  let bn = Bottleneck.create engine ~rate_bps:mu ~qdisc ?random_loss ?policer () in
+  let policer =
+    if path.policed then Some (Rate.bps (mu *. 0.85), 50 * 1500) else None
+  in
+  let bn =
+    Bottleneck.create engine ~rate:(Rate.bps mu) ~qdisc ?random_loss ?policer ()
+  in
   (engine, bn, rng, mu, prop_rtt)
 
 let run_path (p : Common.profile) path ~seed (sch : Common.scheme) =
@@ -68,14 +74,17 @@ let run_path (p : Common.profile) path ~seed (sch : Common.scheme) =
   let horizon = Common.scaled p 60. in
   if path.wan_load > 0. then
     ignore
-      (Wan.create engine bn ~rng:(Rng.split rng) ~prop_rtt
-         ~load_bps:(path.wan_load *. mu) ());
+      (Wan.create engine bn ~rng:(Rng.split rng) ~prop_rtt:(Time.secs prop_rtt)
+         ~load:(Rate.bps (path.wan_load *. mu)) ());
   let l =
-    { Common.mu; prop_rtt; buffer_bdp = path.buffer_bdp; aqm = `Droptail }
+    { Common.mu = Rate.bps mu;
+      prop_rtt = Time.secs prop_rtt;
+      buffer_bdp = path.buffer_bdp;
+      aqm = `Droptail }
   in
   let running = sch.Common.start_flow engine bn l () in
-  let stats = Common.instrument engine bn running ~until:horizon in
-  Engine.run_until engine horizon;
+  let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
+  Engine.run_until engine (Time.secs horizon);
   ( Common.mean stats.Common.tput_series ~lo:8. ~hi:horizon,
     Common.mean stats.Common.rtt_series ~lo:8. ~hi:horizon )
 

@@ -1,0 +1,7 @@
+(** Fig 18/19/20: synthetic Internet path profiles *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

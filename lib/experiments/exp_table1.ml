@@ -8,7 +8,8 @@ module Engine = Nimbus_sim.Engine
 module Rng = Nimbus_sim.Rng
 module Flow = Nimbus_cc.Flow
 module Source = Nimbus_traffic.Source
-module Accuracy = Nimbus_metrics.Accuracy
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "table1"
 
@@ -51,10 +52,11 @@ let cases =
             Flow.create engine bn ~cc:(Nimbus_cc.Cubic.make ())
               ~prop_rtt:l.Common.prop_rtt ~source:Flow.App_limited ()
           in
-          Engine.every engine ~dt:0.01 (fun () -> Flow.supply f 30_000)) };
+          Engine.every engine ~dt:(Time.ms 10.) (fun () -> Flow.supply f 30_000)) };
     { label = "Const. stream"; expected = "Inelastic"; buffer_bdp = 2.;
       install =
-        (fun engine bn _ _ -> ignore (Source.cbr engine bn ~rate_bps:48e6 ())) } ]
+        (fun engine bn _ _ ->
+          ignore (Source.cbr engine bn ~rate:(Rate.bps 48e6) ())) } ]
 
 let classify (p : Common.profile) case ~seed =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:case.buffer_bdp () in
@@ -65,11 +67,12 @@ let classify (p : Common.profile) case ~seed =
   let elastic_samples = ref 0 and samples = ref 0 in
   (match running.Common.in_competitive with
    | Some mode ->
-     Engine.every engine ~dt:0.1 ~start:10. ~until:horizon (fun () ->
+     Engine.every engine ~dt:(Time.ms 100.) ~start:(Time.secs 10.)
+       ~until:(Time.secs horizon) (fun () ->
          incr samples;
          if mode () then incr elastic_samples)
    | None -> ());
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   if !samples = 0 then ("?", nan)
   else begin
     let frac = float_of_int !elastic_samples /. float_of_int !samples in

@@ -1,0 +1,7 @@
+(** Table 1: per-protocol classification *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

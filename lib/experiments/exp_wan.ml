@@ -11,6 +11,8 @@ module Rng = Nimbus_sim.Rng
 module Wan = Nimbus_traffic.Wan
 module Fct = Nimbus_metrics.Fct
 module Stats = Nimbus_dsp.Stats
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "wan"
 
@@ -20,7 +22,7 @@ type result = {
   name : string;
   tput : Nimbus_metrics.Series.t;
   rtt : Nimbus_metrics.Series.t;
-  fcts : (int * float) array;
+  fcts : (int * Units.Time.t) array;
 }
 
 let run_scheme (p : Common.profile) ~seed ~load_frac (sch : Common.scheme) =
@@ -29,11 +31,11 @@ let run_scheme (p : Common.profile) ~seed ~load_frac (sch : Common.scheme) =
   let engine, bn, rng = Common.setup ~seed l in
   let wan =
     Wan.create engine bn ~rng:(Rng.split rng)
-      ~load_bps:(load_frac *. l.Common.mu) ()
+      ~load:(Rate.scale load_frac l.Common.mu) ()
   in
   let running = sch.Common.start_flow engine bn l () in
-  let stats = Common.instrument engine bn running ~until:horizon in
-  Engine.run_until engine horizon;
+  let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
+  Engine.run_until engine (Time.secs horizon);
   { name = sch.Common.scheme_name;
     tput = stats.Common.tput_series;
     rtt = stats.Common.rtt_series;

@@ -1,0 +1,7 @@
+(** Fig 9/10/21: WAN cross-traffic workload *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

@@ -11,6 +11,8 @@ module Nimbus = Nimbus_core.Nimbus
 module Z = Nimbus_core.Z_estimator
 module Source = Nimbus_traffic.Source
 module Stats = Nimbus_dsp.Stats
+module Time = Units.Time
+module Rate = Units.Rate
 
 let id = "zest"
 
@@ -25,8 +27,9 @@ let case (p : Common.profile) ~label ~seed ~install =
   let nim =
     Nimbus.create ~mu:(Z.Mu.known l.Common.mu)
       ~on_sample:(fun s ->
-        if not (Float.is_nan s.Nimbus.s_z) then begin
-          z_acc := !z_acc +. s.Nimbus.s_z;
+        let z = Rate.to_bps s.Nimbus.s_z in
+        if not (Float.is_nan z) then begin
+          z_acc := !z_acc +. z;
           incr z_n
         end)
       ()
@@ -37,7 +40,8 @@ let case (p : Common.profile) ~label ~seed ~install =
        ~prop_rtt:l.Common.prop_rtt ());
   let errors = ref [] in
   let prev = ref 0 in
-  Engine.every engine ~dt:1.0 ~start:10. ~until:horizon (fun () ->
+  Engine.every engine ~dt:(Time.secs 1.0) ~start:(Time.secs 10.)
+    ~until:(Time.secs horizon) (fun () ->
       let delivered =
         List.fold_left
           (fun acc fid -> acc + Bottleneck.delivered_bytes bn ~flow:fid)
@@ -52,16 +56,18 @@ let case (p : Common.profile) ~label ~seed ~install =
       end;
       z_acc := 0.;
       z_n := 0);
-  Engine.run_until engine horizon;
+  Engine.run_until engine (Time.secs horizon);
   let errs = Array.of_list !errors in
   (label, errs)
 
 let run (p : Common.profile) =
   let cases =
     [ case p ~label:"Poisson 24M" ~seed:31 ~install:(fun e b _ r ->
-          [ Source.flow_id (Source.poisson e b ~rng:(Rng.split r) ~rate_bps:24e6 ()) ]);
+          [ Source.flow_id
+              (Source.poisson e b ~rng:(Rng.split r) ~rate:(Rate.bps 24e6) ())
+          ]);
       case p ~label:"CBR 48M" ~seed:32 ~install:(fun e b _ _ ->
-          [ Source.flow_id (Source.cbr e b ~rate_bps:48e6 ()) ]);
+          [ Source.flow_id (Source.cbr e b ~rate:(Rate.bps 48e6) ()) ]);
       case p ~label:"1 Cubic" ~seed:33 ~install:(fun e b l _ ->
           [ Flow.id
               (Flow.create e b ~cc:(Nimbus_cc.Cubic.make ())
@@ -73,10 +79,10 @@ let run (p : Common.profile) =
           in
           let f2 =
             Flow.create e b ~cc:(Nimbus_cc.Cubic.make ())
-              ~prop_rtt:(l.Common.prop_rtt *. 1.5) ()
+              ~prop_rtt:(Time.scale 1.5 l.Common.prop_rtt) ()
           in
           let s =
-            Source.poisson e b ~rng:(Rng.split r) ~rate_bps:16e6 ()
+            Source.poisson e b ~rng:(Rng.split r) ~rate:(Rate.bps 16e6) ()
           in
           [ Flow.id f1; Flow.id f2; Source.flow_id s ]) ]
   in

@@ -1,0 +1,7 @@
+(** §3.1: cross-traffic rate estimator accuracy *)
+
+val id : string
+
+val title : string
+
+val run : Common.profile -> Table.t list

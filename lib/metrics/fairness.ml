@@ -1,11 +1,14 @@
+module Rate = Units.Rate
+
 let jain xs =
   let n = Array.length xs in
   if n = 0 then nan
   else begin
     let sum = Array.fold_left ( +. ) 0. xs in
     let sumsq = Array.fold_left (fun a x -> a +. (x *. x)) 0. xs in
-    if sumsq = 0. then nan else sum *. sum /. (float_of_int n *. sumsq)
+    if Float.equal sumsq 0. then nan else sum *. sum /. (float_of_int n *. sumsq)
   end
 
 let normalized_share ~achieved ~fair =
-  if fair <= 0. then nan else achieved /. fair
+  let fair = Rate.to_bps fair in
+  if fair <= 0. then nan else Rate.to_bps achieved /. fair

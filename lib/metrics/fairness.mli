@@ -6,5 +6,5 @@
 val jain : float array -> float
 
 (** [normalized_share ~achieved ~fair] is [achieved / fair]; [nan] when
-    [fair <= 0.]. *)
-val normalized_share : achieved:float -> fair:float -> float
+    [fair] is not positive. *)
+val normalized_share : achieved:Units.Rate.t -> fair:Units.Rate.t -> float

@@ -9,7 +9,7 @@ let bucketize ?(buckets = default_buckets) fcts =
         else place (i + 1)
       in
       let i = place 0 in
-      groups.(i) := fct :: !(groups.(i)))
+      groups.(i) := Units.Time.to_secs fct :: !(groups.(i)))
     fcts;
   Array.map (fun g -> Array.of_list (List.rev !g)) groups
 

@@ -6,8 +6,9 @@ val default_buckets : int array
 
 (** [bucketize ?buckets fcts] groups [(size, fct)] pairs by the first bucket
     whose bound is [>= size]; oversized flows land in the last bucket.
-    Result has one (possibly empty) array per bucket. *)
-val bucketize : ?buckets:int array -> (int * float) array -> float array array
+    Result has one (possibly empty) array of FCTs in seconds per bucket. *)
+val bucketize :
+  ?buckets:int array -> (int * Units.Time.t) array -> float array array
 
 (** [p95 per_bucket] maps each bucket to its 95th-percentile FCT
     ([nan] for empty buckets). *)

@@ -1,6 +1,7 @@
 module Engine = Nimbus_sim.Engine
 module Bottleneck = Nimbus_sim.Bottleneck
 module Flow = Nimbus_cc.Flow
+module Time = Units.Time
 
 let probe engine ~interval ?start ?until f =
   let series = Series.create () in
@@ -10,10 +11,11 @@ let probe engine ~interval ?start ?until f =
 
 let throughput engine ~interval ?start ?until counter =
   let series = Series.create () in
+  let interval_s = Time.to_secs interval in
   let prev = ref (counter ()) in
   Engine.every engine ~dt:interval ?start ?until (fun () ->
       let cur = counter () in
-      let bps = float_of_int ((cur - !prev) * 8) /. interval in
+      let bps = float_of_int ((cur - !prev) * 8) /. interval_s in
       prev := cur;
       Series.add series ~time:(Engine.now engine) ~value:bps);
   series
@@ -24,7 +26,8 @@ let flow_throughput engine flow ~interval ?start ?until () =
 
 let queue_delay engine bottleneck ~interval ?start ?until () =
   probe engine ~interval ?start ?until (fun () ->
-      Bottleneck.queue_delay bottleneck)
+      Time.to_secs (Bottleneck.queue_delay bottleneck))
 
 let flow_rtt engine flow ~interval ?start ?until () =
-  probe engine ~interval ?start ?until (fun () -> Flow.last_rtt flow)
+  probe engine ~interval ?start ?until (fun () ->
+      Time.to_secs (Flow.last_rtt flow))

@@ -1,12 +1,12 @@
 (** Periodic probes that turn live simulation state into {!Series.t}. *)
 
 (** [probe engine ~interval ?start ?until f] samples [f ()] every [interval]
-    seconds into a fresh series. *)
+    into a fresh series. *)
 val probe :
   Nimbus_sim.Engine.t ->
-  interval:float ->
-  ?start:float ->
-  ?until:float ->
+  interval:Units.Time.t ->
+  ?start:Units.Time.t ->
+  ?until:Units.Time.t ->
   (unit -> float) ->
   Series.t
 
@@ -14,9 +14,9 @@ val probe :
     byte counter into a bits-per-second series (delta per interval). *)
 val throughput :
   Nimbus_sim.Engine.t ->
-  interval:float ->
-  ?start:float ->
-  ?until:float ->
+  interval:Units.Time.t ->
+  ?start:Units.Time.t ->
+  ?until:Units.Time.t ->
   (unit -> int) ->
   Series.t
 
@@ -24,9 +24,9 @@ val throughput :
 val flow_throughput :
   Nimbus_sim.Engine.t ->
   Nimbus_cc.Flow.t ->
-  interval:float ->
-  ?start:float ->
-  ?until:float ->
+  interval:Units.Time.t ->
+  ?start:Units.Time.t ->
+  ?until:Units.Time.t ->
   unit ->
   Series.t
 
@@ -35,19 +35,19 @@ val flow_throughput :
 val queue_delay :
   Nimbus_sim.Engine.t ->
   Nimbus_sim.Bottleneck.t ->
-  interval:float ->
-  ?start:float ->
-  ?until:float ->
+  interval:Units.Time.t ->
+  ?start:Units.Time.t ->
+  ?until:Units.Time.t ->
   unit ->
   Series.t
 
-(** [flow_rtt engine flow ~interval] — the flow's latest RTT sample
-    ([nan] before traffic). *)
+(** [flow_rtt engine flow ~interval] — the flow's latest RTT sample in
+    seconds ([nan] before traffic). *)
 val flow_rtt :
   Nimbus_sim.Engine.t ->
   Nimbus_cc.Flow.t ->
-  interval:float ->
-  ?start:float ->
-  ?until:float ->
+  interval:Units.Time.t ->
+  ?start:Units.Time.t ->
+  ?until:Units.Time.t ->
   unit ->
   Series.t

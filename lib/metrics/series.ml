@@ -1,3 +1,5 @@
+module Time = Units.Time
+
 type t = {
   mutable times : float array;
   mutable values : float array;
@@ -18,7 +20,7 @@ let grow t =
 
 let add t ~time ~value =
   grow t;
-  t.times.(t.len) <- time;
+  t.times.(t.len) <- Time.to_secs time;
   t.values.(t.len) <- value;
   t.len <- t.len + 1
 
@@ -29,6 +31,7 @@ let times t = Array.sub t.times 0 t.len
 let values t = Array.sub t.values 0 t.len
 
 let values_between t ~lo ~hi =
+  let lo = Time.to_secs lo and hi = Time.to_secs hi in
   let out = ref [] in
   for i = t.len - 1 downto 0 do
     if t.times.(i) >= lo && t.times.(i) < hi then out := t.values.(i) :: !out

@@ -1,26 +1,27 @@
-(** Append-only (time, value) series collected during a simulation run. *)
+(** Append-only (time, value) series collected during a simulation run.
+    Values are unit-agnostic floats (bps, seconds, η, …); times are typed. *)
 
 type t
 
 val create : unit -> t
 
 (** [add t ~time ~value]. *)
-val add : t -> time:float -> value:float -> unit
+val add : t -> time:Units.Time.t -> value:float -> unit
 
 val length : t -> int
 
-(** [times t], [values t] — chronological copies. *)
+(** [times t], [values t] — chronological copies; times in seconds. *)
 val times : t -> float array
 
 val values : t -> float array
 
 (** [values_between t ~lo ~hi] — values with [lo <= time < hi]. *)
-val values_between : t -> lo:float -> hi:float -> float array
+val values_between : t -> lo:Units.Time.t -> hi:Units.Time.t -> float array
 
 (** [mean_between t ~lo ~hi] — [nan] when the window is empty. *)
-val mean_between : t -> lo:float -> hi:float -> float
+val mean_between : t -> lo:Units.Time.t -> hi:Units.Time.t -> float
 
-(** [iter t f] applies [f time value] in insertion order. *)
+(** [iter t f] applies [f time_secs value] in insertion order. *)
 val iter : t -> (float -> float -> unit) -> unit
 
 (** [last_value t] — [nan] when empty. *)

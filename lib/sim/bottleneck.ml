@@ -1,13 +1,17 @@
+module Time = Units.Time
+module Rate = Units.Rate
+module B = Units.Bytes
+
 type policer = {
-  p_rate : float; (* bps *)
-  p_burst : int;  (* bytes *)
+  p_rate : Rate.t;
+  p_burst : int; (* bytes *)
   mutable tokens : float; (* bytes *)
-  mutable last_refill : float;
+  mutable last_refill : Time.t;
 }
 
 type t = {
   engine : Engine.t;
-  rate_bps : float;
+  rate : Rate.t;
   qdisc : Qdisc.t;
   random_loss : (float * Rng.t) option;
   policer : policer option;
@@ -18,22 +22,22 @@ type t = {
   mutable drops : int;
   drops_by_flow : (int, int) Hashtbl.t;
   delivered_by_flow : (int, int) Hashtbl.t;
-  mutable busy_seconds : float;
+  mutable busy_secs : float;
 }
 
-let create engine ~rate_bps ~qdisc ?random_loss ?policer () =
-  if rate_bps <= 0. then invalid_arg "Bottleneck.create: rate <= 0";
+let create engine ~rate ~qdisc ?random_loss ?policer () =
+  let rate = Rate.bps_exn (Rate.to_bps rate) in
   let policer =
     Option.map
-      (fun (rate, burst) ->
-        { p_rate = rate; p_burst = burst; tokens = float_of_int burst;
+      (fun (prate, burst) ->
+        { p_rate = prate; p_burst = burst; tokens = float_of_int burst;
           last_refill = Engine.now engine })
       policer
   in
-  { engine; rate_bps; qdisc; random_loss; policer; fifo = Queue.create ();
+  { engine; rate; qdisc; random_loss; policer; fifo = Queue.create ();
     sinks = Hashtbl.create 16; qlen = 0; busy = false; drops = 0;
     drops_by_flow = Hashtbl.create 16; delivered_by_flow = Hashtbl.create 16;
-    busy_seconds = 0. }
+    busy_secs = 0. }
 
 let set_sink t ~flow f = Hashtbl.replace t.sinks flow f
 
@@ -56,8 +60,8 @@ let rec start_next t =
   | None -> t.busy <- false
   | Some pkt ->
     t.busy <- true;
-    let tx = float_of_int (pkt.size * 8) /. t.rate_bps in
-    t.busy_seconds <- t.busy_seconds +. tx;
+    let tx = Rate.tx_time t.rate (B.of_int pkt.size) in
+    t.busy_secs <- t.busy_secs +. Time.to_secs tx;
     Engine.schedule_in t.engine tx (fun () ->
         pkt.Packet.dequeued_at <- Engine.now t.engine;
         t.qlen <- t.qlen - pkt.size;
@@ -69,7 +73,8 @@ let policer_admits t (pkt : Packet.t) =
   | None -> true
   | Some p ->
     let now = Engine.now t.engine in
-    let refill = (now -. p.last_refill) *. p.p_rate /. 8. in
+    let elapsed = Time.sub now p.last_refill in
+    let refill = B.to_float (Rate.volume p.p_rate ~over:elapsed) in
     p.tokens <- Float.min (float_of_int p.p_burst) (p.tokens +. refill);
     p.last_refill <- now;
     if p.tokens >= float_of_int pkt.size then begin
@@ -96,11 +101,11 @@ let enqueue t pkt =
   end
   else record_drop t pkt
 
-let rate_bps t = t.rate_bps
+let rate t = t.rate
 
 let qlen_bytes t = t.qlen
 
-let queue_delay t = float_of_int (t.qlen * 8) /. t.rate_bps
+let queue_delay t = Rate.tx_time t.rate (B.of_int t.qlen)
 
 let drops t = t.drops
 
@@ -110,6 +115,6 @@ let drops_for t ~flow =
 let delivered_bytes t ~flow =
   Option.value ~default:0 (Hashtbl.find_opt t.delivered_by_flow flow)
 
-let busy_seconds t = t.busy_seconds
+let busy_time t = Time.secs t.busy_secs
 
 let capacity_bytes t = Qdisc.capacity_bytes t.qdisc

@@ -8,16 +8,17 @@
 
 type t
 
-(** [create engine ~rate_bps ~qdisc ()] builds an idle bottleneck.
+(** [create engine ~rate ~qdisc ()] builds an idle bottleneck.
     [random_loss] drops each admitted packet with the given probability;
-    [policer] drops packets exceeding a token bucket of [rate_bps] and
-    [burst_bytes] instead of queueing them. *)
+    [policer] drops packets exceeding a token bucket of the given rate and
+    [burst_bytes] instead of queueing them.
+    @raise Invalid_argument if [rate] is not finite and positive. *)
 val create :
   Engine.t ->
-  rate_bps:float ->
+  rate:Units.Rate.t ->
   qdisc:Qdisc.t ->
   ?random_loss:float * Rng.t ->
-  ?policer:float * int ->
+  ?policer:Units.Rate.t * int ->
   unit ->
   t
 
@@ -30,13 +31,14 @@ val enqueue : t -> Packet.t -> unit
 
 (** Observability *)
 
-val rate_bps : t -> float
+(** [rate t] is the configured drain rate µ. *)
+val rate : t -> Units.Rate.t
 
 (** [qlen_bytes t] includes the packet currently being serialised. *)
 val qlen_bytes : t -> int
 
-(** [queue_delay t] is the drain-time estimate [qlen·8/rate], in seconds. *)
-val queue_delay : t -> float
+(** [queue_delay t] is the drain-time estimate [qlen·8/rate]. *)
+val queue_delay : t -> Units.Time.t
 
 (** [drops t] is the cumulative count of dropped packets. *)
 val drops : t -> int
@@ -44,12 +46,13 @@ val drops : t -> int
 (** [drops_for t ~flow] is the cumulative drops of one flow. *)
 val drops_for : t -> flow:int -> int
 
-(** [delivered_bytes t ~flow] is the cumulative bytes serialised for [flow]. *)
+(** [delivered_bytes t ~flow] is the cumulative bytes serialised for
+    [flow]. *)
 val delivered_bytes : t -> flow:int -> int
 
-(** [busy_seconds t] is the cumulative time the link spent transmitting —
+(** [busy_time t] is the cumulative time the link spent transmitting —
     divide by elapsed time for utilisation. *)
-val busy_seconds : t -> float
+val busy_time : t -> Units.Time.t
 
 (** [capacity_bytes t] is the buffer size. *)
 val capacity_bytes : t -> int

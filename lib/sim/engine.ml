@@ -1,3 +1,8 @@
+module Time = Units.Time
+
+(* The clock and heap keys stay raw float internally — the typed boundary is
+   the .mli; unwrapping once on entry keeps the hot event loop allocation- and
+   indirection-free. *)
 type t = {
   mutable clock : float;
   events : (unit -> unit) Heap.t;
@@ -5,40 +10,48 @@ type t = {
 
 let create () = { clock = 0.; events = Heap.create () }
 
-let now t = t.clock
+let now t = Time.secs t.clock
 
 let schedule_at t time f =
+  let time = Time.to_secs time in
   if time < t.clock then
     invalid_arg
-      (Printf.sprintf "Engine.schedule_at: %.9f is before now (%.9f)" time t.clock);
+      (Printf.sprintf "Engine.schedule_at: %.9f is before now (%.9f)" time
+         t.clock);
   Heap.push t.events ~key:time f
 
 let schedule_in t delay f =
+  let delay = Time.to_secs delay in
   if delay < 0. then invalid_arg "Engine.schedule_in: negative delay";
   Heap.push t.events ~key:(t.clock +. delay) f
 
 let every t ~dt ?start ?until f =
+  let dt = Time.to_secs dt in
   if dt <= 0. then invalid_arg "Engine.every: dt <= 0";
-  let first = match start with Some s -> s | None -> t.clock +. dt in
+  let first =
+    match start with Some s -> Time.to_secs s | None -> t.clock +. dt
+  in
+  let until = Option.map Time.to_secs until in
   let rec tick () =
     f ();
     let next = t.clock +. dt in
     match until with
     | Some stop when next > stop -> ()
-    | _ -> schedule_at t next tick
+    | _ -> schedule_at t (Time.secs next) tick
   in
-  schedule_at t first tick
+  schedule_at t (Time.secs first) tick
 
 let run_until t horizon =
+  let horizon = Time.to_secs horizon in
   let continue = ref true in
   while !continue do
     match Heap.peek_key t.events with
-    | Some key when key <= horizon ->
-      (match Heap.pop t.events with
-       | Some (time, f) ->
-         t.clock <- time;
-         f ()
-       | None -> continue := false)
+    | Some key when key <= horizon -> (
+      match Heap.pop t.events with
+      | Some (time, f) ->
+        t.clock <- time;
+        f ()
+      | None -> continue := false)
     | _ -> continue := false
   done;
   if t.clock < horizon then t.clock <- horizon

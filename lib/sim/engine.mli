@@ -2,32 +2,42 @@
 
     A single mutable clock plus an event queue of thunks. All network
     elements, congestion controllers, and traffic sources advance by
-    scheduling callbacks on the shared engine. *)
+    scheduling callbacks on the shared engine.
+
+    All clock readings and delays are {!Units.Time.t} — the engine is the
+    root of the time dimension, so a hertz or Mbit/s value can never reach
+    the scheduler. *)
 
 type t
 
-(** [create ()] is a fresh engine with the clock at [0.]. *)
+(** [create ()] is a fresh engine with the clock at [Time.zero]. *)
 val create : unit -> t
 
-(** [now t] is the current simulated time in seconds. *)
-val now : t -> float
+(** [now t] is the current simulated time. *)
+val now : t -> Units.Time.t
 
 (** [schedule_at t time f] runs [f] when the clock reaches [time]. Scheduling
     in the past raises [Invalid_argument]. *)
-val schedule_at : t -> float -> (unit -> unit) -> unit
+val schedule_at : t -> Units.Time.t -> (unit -> unit) -> unit
 
-(** [schedule_in t delay f] runs [f] after [delay] seconds ([delay >= 0.]). *)
-val schedule_in : t -> float -> (unit -> unit) -> unit
+(** [schedule_in t delay f] runs [f] after [delay] ([delay >= Time.zero]). *)
+val schedule_in : t -> Units.Time.t -> (unit -> unit) -> unit
 
 (** [every t ~dt ?start ?until f] runs [f] at [start] (default: [now + dt])
-    and every [dt] seconds thereafter, stopping after [until] when given. *)
-val every : t -> dt:float -> ?start:float -> ?until:float -> (unit -> unit) -> unit
+    and every [dt] thereafter, stopping after [until] when given. *)
+val every :
+  t ->
+  dt:Units.Time.t ->
+  ?start:Units.Time.t ->
+  ?until:Units.Time.t ->
+  (unit -> unit) ->
+  unit
 
 (** [run_until t horizon] processes events in timestamp order until the queue
     empties or the next event lies beyond [horizon]; the clock ends at
     [horizon] (or at the last event if the queue drained early and no event
     reached the horizon). *)
-val run_until : t -> float -> unit
+val run_until : t -> Units.Time.t -> unit
 
 (** [pending t] is the number of queued events (of use to tests). *)
 val pending : t -> int

@@ -1,10 +1,12 @@
+module Time = Units.Time
+
 type t = {
   flow : int;
   seq : int;
   size : int;
-  mutable sent_at : float;
-  mutable enqueued_at : float;
-  mutable dequeued_at : float;
+  mutable sent_at : Time.t;
+  mutable enqueued_at : Time.t;
+  mutable dequeued_at : Time.t;
   retransmission : bool;
 }
 
@@ -13,8 +15,9 @@ let default_data_size = 1500
 let ack_size = 40
 
 let make ~flow ~seq ~size ~now ?(retransmission = false) () =
-  { flow; seq; size; sent_at = now; enqueued_at = nan; dequeued_at = nan;
-    retransmission }
+  { flow; seq; size; sent_at = now; enqueued_at = Time.unknown;
+    dequeued_at = Time.unknown; retransmission }
 
 let queueing_delay p =
-  if Float.is_nan p.dequeued_at then nan else p.dequeued_at -. p.enqueued_at
+  if not (Time.is_known p.dequeued_at) then Time.unknown
+  else Time.sub p.dequeued_at p.enqueued_at

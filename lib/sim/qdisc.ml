@@ -1,5 +1,9 @@
+module Time = Units.Time
+module Rate = Units.Rate
+
+(* AQM state stays raw float internally; the .mli is the typed boundary. *)
 type pie_state = {
-  target_delay : float;
+  target_delay : float; (* seconds *)
   link_rate_bps : float;
   rng : Rng.t;
   mutable drop_prob : float;
@@ -20,7 +24,9 @@ let droptail ~capacity_bytes =
   if capacity_bytes <= 0 then invalid_arg "Qdisc.droptail: capacity <= 0";
   { kind = Droptail; capacity_bytes }
 
-let pie ~capacity_bytes ~target_delay ~link_rate_bps ~rng =
+let pie ~capacity_bytes ~target_delay ~link_rate ~rng =
+  let target_delay = Time.to_secs target_delay in
+  let link_rate_bps = Rate.to_bps link_rate in
   if capacity_bytes <= 0 then invalid_arg "Qdisc.pie: capacity <= 0";
   if target_delay <= 0. then invalid_arg "Qdisc.pie: target_delay <= 0";
   { kind =
@@ -60,8 +66,8 @@ let pie_admit s ~now ~qlen_bytes ~pkt_size ~capacity =
       in
       s.drop_prob <- Float.max 0. (Float.min 1. (s.drop_prob +. (dp *. scale)));
       (* decay when the queue is idle-ish *)
-      if qdelay < s.target_delay /. 2. && s.old_delay < s.target_delay /. 2. then
-        s.drop_prob <- s.drop_prob *. 0.98;
+      if qdelay < s.target_delay /. 2. && s.old_delay < s.target_delay /. 2.
+      then s.drop_prob <- s.drop_prob *. 0.98;
       s.old_delay <- qdelay;
       s.last_update <- now
     end;
@@ -73,7 +79,9 @@ let pie_admit s ~now ~qlen_bytes ~pkt_size ~capacity =
 let admit t ~now ~qlen_bytes ~pkt_size =
   match t.kind with
   | Droptail -> qlen_bytes + pkt_size <= t.capacity_bytes
-  | Pie s -> pie_admit s ~now ~qlen_bytes ~pkt_size ~capacity:t.capacity_bytes
+  | Pie s ->
+    pie_admit s ~now:(Time.to_secs now) ~qlen_bytes ~pkt_size
+      ~capacity:t.capacity_bytes
 
 let name t =
   match t.kind with

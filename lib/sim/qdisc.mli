@@ -6,18 +6,19 @@
 
 type t
 
-(** [droptail ~capacity_bytes] drops arrivals that would overflow the buffer. *)
+(** [droptail ~capacity_bytes] drops arrivals that would overflow the
+    buffer. *)
 val droptail : capacity_bytes:int -> t
 
-(** [pie ~capacity_bytes ~target_delay ~link_rate_bps ~rng] implements the PIE
-    AQM (RFC 8033, simplified): a drop probability is updated every 15 ms from
-    the estimated queueing delay [qlen·8/rate] against [target_delay], and
-    arrivals are dropped randomly with that probability (plus tail drop at
-    [capacity_bytes]). *)
+(** [pie ~capacity_bytes ~target_delay ~link_rate ~rng] implements the PIE
+    AQM (RFC 8033, simplified): a drop probability is updated every 15 ms
+    from the estimated queueing delay [qlen·8/rate] against [target_delay],
+    and arrivals are dropped randomly with that probability (plus tail drop
+    at [capacity_bytes]). *)
 val pie :
   capacity_bytes:int ->
-  target_delay:float ->
-  link_rate_bps:float ->
+  target_delay:Units.Time.t ->
+  link_rate:Units.Rate.t ->
   rng:Rng.t ->
   t
 
@@ -26,7 +27,7 @@ val capacity_bytes : t -> int
 
 (** [admit t ~now ~qlen_bytes ~pkt_size] decides whether an arriving packet
     is admitted given the current backlog. Advances internal AQM state. *)
-val admit : t -> now:float -> qlen_bytes:int -> pkt_size:int -> bool
+val admit : t -> now:Units.Time.t -> qlen_bytes:int -> pkt_size:int -> bool
 
 (** [name t] is ["droptail"] or ["pie"]. *)
 val name : t -> string

@@ -1,44 +1,45 @@
 module Engine = Nimbus_sim.Engine
 module Flow = Nimbus_cc.Flow
 module Cubic = Nimbus_cc.Cubic
+module Time = Units.Time
+module Rate = Units.Rate
 
 type phase = {
-  p_start : float;
-  p_end : float;
-  inelastic_bps : float;
+  p_start : Units.Time.t;
+  p_end : Units.Time.t;
+  inelastic : Units.Rate.t;
   elastic_flows : int;
 }
 
-let phase ~start ~stop ~inelastic_bps ~elastic_flows =
-  if stop <= start then invalid_arg "Schedule.phase: stop <= start";
+let phase ~start ~stop ~inelastic ~elastic_flows =
+  if Time.(stop <= start) then invalid_arg "Schedule.phase: stop <= start";
   if elastic_flows < 0 then invalid_arg "Schedule.phase: negative flow count";
-  { p_start = start; p_end = stop; inelastic_bps; elastic_flows }
+  { p_start = start; p_end = stop; inelastic; elastic_flows }
 
 type t = {
   phases : phase list;
-  source : Source.t;
   mutable created : Flow.t list;
 }
 
 let phase_at t now =
-  List.find_opt (fun p -> now >= p.p_start && now < p.p_end) t.phases
+  List.find_opt (fun p -> Time.(now >= p.p_start && now < p.p_end)) t.phases
 
 let install engine bottleneck ~rng ~phases ?(inelastic = `Poisson)
-    ?(prop_rtt = 0.05) ?elastic_cc () =
+    ?(prop_rtt = Time.ms 50.) ?elastic_cc () =
   if phases = [] then invalid_arg "Schedule.install: no phases";
   let make_cc =
     match elastic_cc with Some f -> f | None -> fun () -> Cubic.make ()
   in
   let source =
     match inelastic with
-    | `Poisson -> Source.poisson engine bottleneck ~rng ~rate_bps:0. ()
-    | `Cbr -> Source.cbr engine bottleneck ~rate_bps:0. ()
+    | `Poisson -> Source.poisson engine bottleneck ~rng ~rate:Rate.zero ()
+    | `Cbr -> Source.cbr engine bottleneck ~rate:Rate.zero ()
   in
-  let t = { phases; source; created = [] } in
+  let t = { phases; created = [] } in
   List.iter
     (fun p ->
       Engine.schedule_at engine p.p_start (fun () ->
-          Source.set_rate source p.inelastic_bps;
+          Source.set_rate source p.inelastic;
           let flows =
             List.init p.elastic_flows (fun _ ->
                 Flow.create engine bottleneck ~cc:(make_cc ()) ~prop_rtt ())
@@ -49,9 +50,12 @@ let install engine bottleneck ~rng ~phases ?(inelastic = `Poisson)
     phases;
   (* silence the source after the last phase *)
   let last_end =
-    List.fold_left (fun acc p -> Float.max acc p.p_end) neg_infinity phases
+    List.fold_left
+      (fun acc p -> Time.max acc p.p_end)
+      (Time.secs neg_infinity) phases
   in
-  Engine.schedule_at engine last_end (fun () -> Source.set_rate source 0.);
+  Engine.schedule_at engine last_end (fun () ->
+      Source.set_rate source Rate.zero);
   t
 
 let elastic_present t ~now =
@@ -61,14 +65,16 @@ let elastic_present t ~now =
 
 let inelastic_rate t ~now =
   match phase_at t now with
-  | Some p -> p.inelastic_bps
-  | None -> 0.
+  | Some p -> p.inelastic
+  | None -> Rate.zero
 
 let fair_share t ~now ~mu ~primary_flows =
   match phase_at t now with
-  | None -> mu /. float_of_int (max 1 primary_flows)
+  | None -> Rate.scale (1. /. float_of_int (max 1 primary_flows)) mu
   | Some p ->
-    let remaining = Float.max 0. (mu -. p.inelastic_bps) in
-    remaining /. float_of_int (max 1 (p.elastic_flows + primary_flows))
+    let remaining = Rate.max Rate.zero (Rate.sub mu p.inelastic) in
+    Rate.scale
+      (1. /. float_of_int (max 1 (p.elastic_flows + primary_flows)))
+      remaining
 
 let elastic_cross_flows t = t.created

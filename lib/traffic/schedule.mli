@@ -3,15 +3,19 @@
     plus a number of long-running elastic (Cubic) flows. *)
 
 type phase = {
-  p_start : float;
-  p_end : float;
-  inelastic_bps : float; (* offered rate of the open-loop source *)
-  elastic_flows : int;   (* backlogged Cubic cross-flows during the phase *)
+  p_start : Units.Time.t;
+  p_end : Units.Time.t;
+  inelastic : Units.Rate.t; (* offered rate of the open-loop source *)
+  elastic_flows : int; (* backlogged Cubic cross-flows during the phase *)
 }
 
-(** [phase ~start ~stop ~inelastic_bps ~elastic_flows] builds one entry. *)
+(** [phase ~start ~stop ~inelastic ~elastic_flows] builds one entry. *)
 val phase :
-  start:float -> stop:float -> inelastic_bps:float -> elastic_flows:int -> phase
+  start:Units.Time.t ->
+  stop:Units.Time.t ->
+  inelastic:Units.Rate.t ->
+  elastic_flows:int ->
+  phase
 
 type t
 
@@ -19,7 +23,7 @@ type t
     open-loop source whose rate follows the script, and per-phase Cubic
     flows started/stopped at the boundaries.
     @param inelastic [`Poisson] (default) or [`Cbr]
-    @param prop_rtt RTT of the elastic cross-flows (default 0.05)
+    @param prop_rtt RTT of the elastic cross-flows (default 50 ms)
     @param elastic_cc controller factory for the elastic flows (default
            Cubic) *)
 val install :
@@ -28,7 +32,7 @@ val install :
   rng:Nimbus_sim.Rng.t ->
   phases:phase list ->
   ?inelastic:[ `Poisson | `Cbr ] ->
-  ?prop_rtt:float ->
+  ?prop_rtt:Units.Time.t ->
   ?elastic_cc:(unit -> Nimbus_cc.Cc_types.t) ->
   unit ->
   t
@@ -37,15 +41,16 @@ val install :
 
 (** [elastic_present t ~now] — does the script place elastic flows on the
     link at [now]? *)
-val elastic_present : t -> now:float -> bool
+val elastic_present : t -> now:Units.Time.t -> bool
 
-(** [inelastic_rate t ~now] — scripted open-loop rate at [now], bps. *)
-val inelastic_rate : t -> now:float -> float
+(** [inelastic_rate t ~now] — scripted open-loop rate at [now]. *)
+val inelastic_rate : t -> now:Units.Time.t -> Units.Rate.t
 
 (** [fair_share t ~now ~mu ~primary_flows] — the throughput each of the
     [primary_flows] measured flows should get: the link capacity left after
     the inelastic traffic, split evenly with the elastic cross-flows. *)
-val fair_share : t -> now:float -> mu:float -> primary_flows:int -> float
+val fair_share :
+  t -> now:Units.Time.t -> mu:Units.Rate.t -> primary_flows:int -> Units.Rate.t
 
 (** [elastic_cross_flows t] — every elastic flow the scenario created (for
     per-flow accounting). *)

@@ -3,11 +3,15 @@ module Bottleneck = Nimbus_sim.Bottleneck
 module Packet = Nimbus_sim.Packet
 module Rng = Nimbus_sim.Rng
 module Flow = Nimbus_cc.Flow
+module Time = Units.Time
+module Rate = Units.Rate
 
 type kind =
   | Poisson of Rng.t
   | Cbr
 
+(* Rate and stop time stay raw float (bits/s, seconds) internally — the
+   typed boundary is the .mli. *)
 type t = {
   engine : Engine.t;
   bottleneck : Bottleneck.t;
@@ -22,9 +26,9 @@ type t = {
 
 let flow_id t = t.flow_id
 
-let rate_bps t = t.rate
+let rate t = Rate.bps t.rate
 
-let set_rate t rate = t.rate <- Float.max 0. rate
+let set_rate t rate = t.rate <- Float.max 0. (Rate.to_bps rate)
 
 let halt t = t.active <- false
 
@@ -36,7 +40,9 @@ let interval t =
 
 let rec step t =
   let now = Engine.now t.engine in
-  let expired = match t.stop with Some s -> now >= s | None -> false in
+  let expired =
+    match t.stop with Some s -> Time.to_secs now >= s | None -> false
+  in
   if t.active && not expired then begin
     if t.rate > 0. then begin
       let pkt =
@@ -44,25 +50,26 @@ let rec step t =
       in
       t.seq <- t.seq + 1;
       Bottleneck.enqueue t.bottleneck pkt;
-      Engine.schedule_in t.engine (interval t) (fun () -> step t)
+      Engine.schedule_in t.engine (Time.secs (interval t)) (fun () -> step t)
     end
     else
       (* paused: poll for a rate change *)
-      Engine.schedule_in t.engine 0.01 (fun () -> step t)
+      Engine.schedule_in t.engine (Time.ms 10.) (fun () -> step t)
   end
 
-let make engine bottleneck kind ~rate_bps ~pkt_size ~start ~stop =
-  if rate_bps < 0. then invalid_arg "Source: negative rate";
+let make engine bottleneck kind ~rate ~pkt_size ~start ~stop =
+  let rate = Rate.to_bps rate in
+  if rate < 0. then invalid_arg "Source: negative rate";
   let t =
-    { engine; bottleneck; kind; flow_id = Flow.fresh_id (); pkt_size; stop;
-      rate = rate_bps; seq = 0; active = true }
+    { engine; bottleneck; kind; flow_id = Flow.fresh_id (); pkt_size;
+      stop = Option.map Time.to_secs stop; rate; seq = 0; active = true }
   in
   let start = match start with Some s -> s | None -> Engine.now engine in
   Engine.schedule_at engine start (fun () -> step t);
   t
 
-let poisson engine bottleneck ~rng ~rate_bps ?(pkt_size = 1500) ?start ?stop () =
-  make engine bottleneck (Poisson rng) ~rate_bps ~pkt_size ~start ~stop
+let poisson engine bottleneck ~rng ~rate ?(pkt_size = 1500) ?start ?stop () =
+  make engine bottleneck (Poisson rng) ~rate ~pkt_size ~start ~stop
 
-let cbr engine bottleneck ~rate_bps ?(pkt_size = 1500) ?start ?stop () =
-  make engine bottleneck Cbr ~rate_bps ~pkt_size ~start ~stop
+let cbr engine bottleneck ~rate ?(pkt_size = 1500) ?start ?stop () =
+  make engine bottleneck Cbr ~rate ~pkt_size ~start ~stop

@@ -4,8 +4,8 @@
 
 type t
 
-(** [poisson engine bottleneck ~rng ~rate_bps ()] injects packets with
-    exponential inter-arrival times averaging [rate_bps].
+(** [poisson engine bottleneck ~rng ~rate ()] injects packets with
+    exponential inter-arrival times averaging [rate].
     @param pkt_size bytes (default 1500)
     @param start absolute start time (default now)
     @param stop absolute stop time (default never) *)
@@ -13,34 +13,34 @@ val poisson :
   Nimbus_sim.Engine.t ->
   Nimbus_sim.Bottleneck.t ->
   rng:Nimbus_sim.Rng.t ->
-  rate_bps:float ->
+  rate:Units.Rate.t ->
   ?pkt_size:int ->
-  ?start:float ->
-  ?stop:float ->
+  ?start:Units.Time.t ->
+  ?stop:Units.Time.t ->
   unit ->
   t
 
-(** [cbr engine bottleneck ~rate_bps ()] injects packets with deterministic
+(** [cbr engine bottleneck ~rate ()] injects packets with deterministic
     spacing — a constant-bit-rate stream. *)
 val cbr :
   Nimbus_sim.Engine.t ->
   Nimbus_sim.Bottleneck.t ->
-  rate_bps:float ->
+  rate:Units.Rate.t ->
   ?pkt_size:int ->
-  ?start:float ->
-  ?stop:float ->
+  ?start:Units.Time.t ->
+  ?stop:Units.Time.t ->
   unit ->
   t
 
 (** [flow_id t] — for per-flow accounting at the bottleneck. *)
 val flow_id : t -> int
 
-(** [set_rate t rate_bps] changes the injection rate (0 pauses); scripted
-    scenarios use this to vary the inelastic load. *)
-val set_rate : t -> float -> unit
+(** [set_rate t rate] changes the injection rate ({!Units.Rate.zero}
+    pauses); scripted scenarios use this to vary the inelastic load. *)
+val set_rate : t -> Units.Rate.t -> unit
 
-(** [rate_bps t]. *)
-val rate_bps : t -> float
+(** [rate t]. *)
+val rate : t -> Units.Rate.t
 
 (** [halt t] stops the source permanently. *)
 val halt : t -> unit

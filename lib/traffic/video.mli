@@ -10,42 +10,42 @@
 
 type t
 
-(** Bitrate ladders in bits/s. *)
-val ladder_4k : float array
+(** Bitrate ladders. *)
+val ladder_4k : Units.Rate.t array
 
-val ladder_1080p : float array
+val ladder_1080p : Units.Rate.t array
 
 (** [create engine bottleneck ~ladder ()] starts a client.
-    @param chunk_seconds media seconds per chunk (default 4)
-    @param prop_rtt transport propagation RTT (default 0.05 s)
-    @param buffer_low start panicking below this many buffered seconds
-           (default 8)
-    @param buffer_high stop requesting above this (default 20)
+    @param chunk_duration media time per chunk (default 4 s)
+    @param prop_rtt transport propagation RTT (default 50 ms)
+    @param buffer_low start panicking below this much buffered media
+           (default 8 s)
+    @param buffer_high stop requesting above this (default 20 s)
     @param start absolute start time *)
 val create :
   Nimbus_sim.Engine.t ->
   Nimbus_sim.Bottleneck.t ->
-  ladder:float array ->
-  ?chunk_seconds:float ->
-  ?prop_rtt:float ->
-  ?buffer_low:float ->
-  ?buffer_high:float ->
-  ?start:float ->
+  ladder:Units.Rate.t array ->
+  ?chunk_duration:Units.Time.t ->
+  ?prop_rtt:Units.Time.t ->
+  ?buffer_low:Units.Time.t ->
+  ?buffer_high:Units.Time.t ->
+  ?start:Units.Time.t ->
   unit ->
   t
 
-(** [buffer_seconds t] — current playback buffer. *)
-val buffer_seconds : t -> float
+(** [buffer t] — current playback buffer, in media time. *)
+val buffer : t -> Units.Time.t
 
-(** [current_bitrate_bps t] — ladder rung of the chunk in flight (or last
+(** [current_bitrate t] — ladder rung of the chunk in flight (or last
     completed). *)
-val current_bitrate_bps : t -> float
+val current_bitrate : t -> Units.Rate.t
 
 (** [chunks_fetched t]. *)
 val chunks_fetched : t -> int
 
-(** [rebuffer_seconds t] — cumulative stall time. *)
-val rebuffer_seconds : t -> float
+(** [rebuffer t] — cumulative stall time. *)
+val rebuffer : t -> Units.Time.t
 
 (** [flow_id t] — bottleneck accounting id of the transport flow. *)
 val flow_id : t -> int

@@ -3,6 +3,9 @@ module Bottleneck = Nimbus_sim.Bottleneck
 module Rng = Nimbus_sim.Rng
 module Flow = Nimbus_cc.Flow
 module Cubic = Nimbus_cc.Cubic
+module Time = Units.Time
+module Rate = Units.Rate
+module B = Units.Bytes
 
 let elastic_threshold_bytes = 10 * 1500
 
@@ -48,6 +51,8 @@ type record = {
   started : float;
 }
 
+(* Internal timekeeping stays raw float seconds — the typed boundary is the
+   .mli. *)
 type t = {
   engine : Engine.t;
   bottleneck : Bottleneck.t;
@@ -107,7 +112,8 @@ let launch t size =
     | Some r ->
       (match Flow.completion_time flow with
        | Some fct_end ->
-         t.fcts <- (size, fct_end -. Flow.start_time flow) :: t.fcts
+         let fct = Time.to_secs fct_end -. Time.to_secs (Flow.start_time flow) in
+         t.fcts <- (size, fct) :: t.fcts
        | None -> ());
       retire t r
     | None -> ()
@@ -115,17 +121,20 @@ let launch t size =
   let flow =
     (* cross-flows have no tick-driven controller; a coarse tick (RTO checks
        only) keeps the per-flow overhead low at high arrival rates *)
-    Flow.create t.engine t.bottleneck ~cc:(Cubic.make ()) ~prop_rtt
-      ~source:(Flow.Finite size) ~on_complete ~tick_interval:0.1 ()
+    Flow.create t.engine t.bottleneck ~cc:(Cubic.make ())
+      ~prop_rtt:(Time.secs prop_rtt) ~source:(Flow.Finite size) ~on_complete
+      ~tick_interval:(Time.ms 100.) ()
   in
-  let r = { flow; size; elastic; started = Engine.now t.engine } in
+  let r =
+    { flow; size; elastic; started = Time.to_secs (Engine.now t.engine) }
+  in
   record := Some r;
   t.active <- r :: t.active
 
 let rec schedule_arrival t =
   let gap = Rng.exponential t.rng ~mean:t.arrival_mean in
-  Engine.schedule_in t.engine gap (fun () ->
-      let now = Engine.now t.engine in
+  Engine.schedule_in t.engine (Time.secs gap) (fun () ->
+      let now = Time.to_secs (Engine.now t.engine) in
       let expired = match t.stop with Some s -> now >= s | None -> false in
       if not expired then begin
         t.arrivals <- t.arrivals + 1;
@@ -135,16 +144,17 @@ let rec schedule_arrival t =
         schedule_arrival t
       end)
 
-let create engine bottleneck ~rng ~load_bps ?(profile = `Churny)
-    ?(prop_rtt = 0.05) ?(rtt_jitter_frac = 0.2) ?start ?stop
+let create engine bottleneck ~rng ~load ?(profile = `Churny)
+    ?(prop_rtt = Time.ms 50.) ?(rtt_jitter_frac = 0.2) ?start ?stop
     ?(max_concurrent = 512) () =
-  if load_bps <= 0. then invalid_arg "Wan.create: load <= 0";
+  let load = Rate.to_bps load in
+  if load <= 0. then invalid_arg "Wan.create: load <= 0";
   let mixture = mixture_of_profile profile in
   let mean_size = analytic_mean_size mixture in
-  let arrival_rate = load_bps /. 8. /. mean_size in
+  let arrival_rate = load /. 8. /. mean_size in
   let t =
-    { engine; bottleneck; rng; mixture; prop_rtt; rtt_jitter_frac; stop;
-      max_concurrent;
+    { engine; bottleneck; rng; mixture; prop_rtt = Time.to_secs prop_rtt;
+      rtt_jitter_frac; stop = Option.map Time.to_secs stop; max_concurrent;
       mean_size; arrival_mean = 1. /. arrival_rate; active = [];
       completed_elastic_bytes = 0; completed_total_bytes = 0; fcts = [];
       arrivals = 0; skipped = 0 }
@@ -167,12 +177,16 @@ let bytes_split t =
 let elastic_active t = List.exists (fun r -> r.elastic) t.active
 
 let persistent_elastic_active t ~now ~min_age ~min_size =
+  let now = Time.to_secs now in
+  let min_age = Time.to_secs min_age in
   List.exists
     (fun r ->
       r.elastic && r.size >= min_size && now -. r.started >= min_age)
     t.active
 
-let fcts t = Array.of_list (List.rev t.fcts)
+let fcts t =
+  Array.of_list
+    (List.rev_map (fun (size, fct) -> (size, Time.secs fct)) t.fcts)
 
 let arrivals t = t.arrivals
 
@@ -180,4 +194,4 @@ let skipped t = t.skipped
 
 let active_count t = List.length t.active
 
-let mean_flow_size_bytes t = t.mean_size
+let mean_flow_size t = B.bytes t.mean_size

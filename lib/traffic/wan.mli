@@ -24,10 +24,10 @@ type profile =
   | `Elephant
   ]
 
-(** [create engine bottleneck ~rng ~load_bps ()] starts the generator.
-    @param load_bps offered load in bits/s (arrival rate × mean flow size)
+(** [create engine bottleneck ~rng ~load ()] starts the generator.
+    @param load offered load (arrival rate × mean flow size)
     @param profile size mixture (default [`Churny])
-    @param prop_rtt cross-flow propagation RTT (default 0.05 s)
+    @param prop_rtt cross-flow propagation RTT (default 50 ms)
     @param rtt_jitter_frac uniform per-flow RTT jitter, ± fraction
            (default 0.2)
     @param start default now
@@ -38,12 +38,12 @@ val create :
   Nimbus_sim.Engine.t ->
   Nimbus_sim.Bottleneck.t ->
   rng:Nimbus_sim.Rng.t ->
-  load_bps:float ->
+  load:Units.Rate.t ->
   ?profile:profile ->
-  ?prop_rtt:float ->
+  ?prop_rtt:Units.Time.t ->
   ?rtt_jitter_frac:float ->
-  ?start:float ->
-  ?stop:float ->
+  ?start:Units.Time.t ->
+  ?stop:Units.Time.t ->
   ?max_concurrent:int ->
   unit ->
   t
@@ -63,15 +63,15 @@ val elastic_active : t -> bool
 
 (** [persistent_elastic_active t ~now ~min_age ~min_size] holds while some
     elastic cross-flow of at least [min_size] bytes has been running for at
-    least [min_age] seconds — the detector's actual design target (§3.2: it
-    needs the elastic traffic to persist across the FFT window), used as an
+    least [min_age] — the detector's actual design target (§3.2: it needs
+    the elastic traffic to persist across the FFT window), used as an
     alternative ground truth in the Fig. 12 reproduction. *)
 val persistent_elastic_active :
-  t -> now:float -> min_age:float -> min_size:int -> bool
+  t -> now:Units.Time.t -> min_age:Units.Time.t -> min_size:int -> bool
 
-(** [fcts t] is the completed transfers as [(size_bytes, fct_seconds)] pairs
+(** [fcts t] is the completed transfers as [(size_bytes, fct)] pairs
     (Appendix B). *)
-val fcts : t -> (int * float) array
+val fcts : t -> (int * Units.Time.t) array
 
 (** [arrivals t], [skipped t] — generator accounting. *)
 val arrivals : t -> int
@@ -81,6 +81,6 @@ val skipped : t -> int
 (** [active_count t]. *)
 val active_count : t -> int
 
-(** [mean_flow_size_bytes t] — analytic mean of the configured size
-    distribution; exposed to compute arrival rate from load. *)
-val mean_flow_size_bytes : t -> float
+(** [mean_flow_size t] — analytic mean of the configured size distribution;
+    exposed to compute arrival rate from load. *)
+val mean_flow_size : t -> Units.Bytes.t

@@ -1,0 +1,49 @@
+type t = float
+
+let bytes x = x
+
+let of_int n = float_of_int n
+
+let of_bits b = b /. 8.
+
+let kib x = x *. 1024.
+
+let mib x = x *. 1048576.
+
+let of_float x = x
+
+let to_float x = x
+
+let to_bits x = x *. 8.
+
+let to_int_trunc x = int_of_float x
+
+let zero = 0.
+
+let is_finite = Float.is_finite
+
+let add = ( +. )
+
+let sub = ( -. )
+
+let scale k x = k *. x
+
+let ratio a b = a /. b
+
+let min = Float.min
+
+let max = Float.max
+
+let compare = Float.compare
+
+let equal = Float.equal
+
+let ( < ) a b = Float.compare a b < 0
+
+let ( <= ) a b = Float.compare a b <= 0
+
+let ( > ) a b = Float.compare a b > 0
+
+let ( >= ) a b = Float.compare a b >= 0
+
+let pp fmt x = Format.fprintf fmt "%gB" x

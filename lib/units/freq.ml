@@ -1,0 +1,44 @@
+type t = float
+
+let hz x = x
+
+let hz_exn x =
+  if not (Float.is_finite x) || Float.compare x 0. <= 0 then
+    invalid_arg "Freq.hz_exn: frequency must be finite and positive";
+  x
+
+let of_float x = x
+
+let to_hz x = x
+
+let to_float x = x
+
+let unknown = Float.nan
+
+let is_known x = not (Float.is_nan x)
+
+let scale k x = k *. x
+
+let ratio a b = a /. b
+
+let min = Float.min
+
+let max = Float.max
+
+let period f = Time.secs (1. /. f)
+
+let of_period dt = 1. /. Time.to_secs dt
+
+let compare = Float.compare
+
+let equal = Float.equal
+
+let ( < ) a b = Float.compare a b < 0
+
+let ( <= ) a b = Float.compare a b <= 0
+
+let ( > ) a b = Float.compare a b > 0
+
+let ( >= ) a b = Float.compare a b >= 0
+
+let pp fmt x = Format.fprintf fmt "%gHz" x

@@ -1,0 +1,69 @@
+type t = float
+
+let bps x = x
+
+let kbps x = x *. 1e3
+
+let mbps x = x *. 1e6
+
+let gbps x = x *. 1e9
+
+let bps_exn x =
+  if not (Float.is_finite x) || Float.compare x 0. <= 0 then
+    invalid_arg "Rate.bps_exn: rate must be finite and positive";
+  x
+
+let of_float x = x
+
+let to_bps x = x
+
+let to_mbps x = x /. 1e6
+
+let to_float x = x
+
+let zero = 0.
+
+let unknown = Float.nan
+
+let is_known x = not (Float.is_nan x)
+
+let is_finite = Float.is_finite
+
+let add = ( +. )
+
+let sub = ( -. )
+
+let neg x = -.x
+
+let scale k x = k *. x
+
+let ratio a b = a /. b
+
+let min = Float.min
+
+let max = Float.max
+
+let clamp ~lo ~hi x = Float.max lo (Float.min hi x)
+
+let of_volume v ~per = Bytes.to_bits v /. Time.to_secs per
+
+let volume r ~over = Bytes.of_bits (r *. Time.to_secs over)
+
+let tx_time r v = Time.secs (Bytes.to_bits v /. r)
+
+let compare = Float.compare
+
+let equal = Float.equal
+
+let ( < ) a b = Float.compare a b < 0
+
+let ( <= ) a b = Float.compare a b <= 0
+
+let ( > ) a b = Float.compare a b > 0
+
+let ( >= ) a b = Float.compare a b >= 0
+
+let pp fmt x =
+  if Float.abs x >= 1e6 then
+    Format.fprintf fmt "%gMbit/s" (x /. 1e6)
+  else Format.fprintf fmt "%gbit/s" x

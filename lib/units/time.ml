@@ -1,0 +1,62 @@
+type t = float
+
+let secs x = x
+
+let ms x = x *. 1e-3
+
+let us x = x *. 1e-6
+
+let mins x = x *. 60.
+
+let secs_exn x =
+  if not (Float.is_finite x) then
+    invalid_arg "Time.secs_exn: non-finite seconds";
+  x
+
+let of_float x = x
+
+let to_secs x = x
+
+let to_ms x = x *. 1e3
+
+let to_float x = x
+
+let zero = 0.
+
+let unknown = Float.nan
+
+let is_known x = not (Float.is_nan x)
+
+let is_finite = Float.is_finite
+
+let add = ( +. )
+
+let sub = ( -. )
+
+let neg x = -.x
+
+let abs = Float.abs
+
+let scale k x = k *. x
+
+let ratio a b = a /. b
+
+let min = Float.min
+
+let max = Float.max
+
+let clamp ~lo ~hi x = Float.max lo (Float.min hi x)
+
+let compare = Float.compare
+
+let equal = Float.equal
+
+let ( < ) a b = Float.compare a b < 0
+
+let ( <= ) a b = Float.compare a b <= 0
+
+let ( > ) a b = Float.compare a b > 0
+
+let ( >= ) a b = Float.compare a b >= 0
+
+let pp fmt x = Format.fprintf fmt "%gs" x

@@ -6,6 +6,9 @@ module Engine = Nimbus_sim.Engine
 module Bottleneck = Nimbus_sim.Bottleneck
 module Qdisc = Nimbus_sim.Qdisc
 module Rng = Nimbus_sim.Rng
+module Time = Units.Time
+module Rate = Units.Rate
+module B = Units.Bytes
 open Nimbus_cc
 
 let check_close ?(eps = 1e-9) msg expected actual =
@@ -16,9 +19,13 @@ let make_link ?(rate_bps = 24e6) ?(buffer_s = 0.1) () =
   let e = Engine.create () in
   let capacity = int_of_float (rate_bps *. buffer_s /. 8.) in
   let bn =
-    Bottleneck.create e ~rate_bps ~qdisc:(Qdisc.droptail ~capacity_bytes:capacity) ()
+    Bottleneck.create e ~rate:(Rate.bps rate_bps)
+      ~qdisc:(Qdisc.droptail ~capacity_bytes:capacity)
+      ()
   in
   (e, bn)
+
+let rtt50 = Time.ms 50.
 
 let throughput flow ~seconds =
   float_of_int (Flow.received_bytes flow * 8) /. seconds
@@ -27,45 +34,45 @@ let throughput flow ~seconds =
 
 let test_flow_fills_link () =
   let e, bn = make_link () in
-  let f = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:0.05 () in
-  Engine.run_until e 20.;
+  let f = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:rtt50 () in
+  Engine.run_until e (Time.secs 20.);
   let tput = throughput f ~seconds:20. in
   Alcotest.(check bool) "utilizes >90%" true (tput > 0.9 *. 24e6);
   Alcotest.(check bool) "not above link" true (tput <= 24e6 *. 1.01)
 
 let test_flow_min_rtt_is_propagation () =
   let e, bn = make_link () in
-  let f = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:0.05 () in
-  Engine.run_until e 10.;
+  let f = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:rtt50 () in
+  Engine.run_until e (Time.secs 10.);
   (* min RTT = propagation + one serialization *)
   let expected = 0.05 +. (1500. *. 8. /. 24e6) in
-  check_close ~eps:1e-4 "min rtt" expected (Flow.min_rtt f)
+  check_close ~eps:1e-4 "min rtt" expected (Time.to_secs (Flow.min_rtt f))
 
 let test_finite_flow_completes () =
   let e, bn = make_link () in
   let completed = ref None in
   let f =
-    Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:0.05
+    Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:rtt50
       ~source:(Flow.Finite 150_000)
       ~on_complete:(fun fl -> completed := Flow.completion_time fl)
       ()
   in
-  Engine.run_until e 10.;
+  Engine.run_until e (Time.secs 10.);
   Alcotest.(check bool) "completed" true (!completed <> None);
   Alcotest.(check bool) "received full size" true
     (Flow.received_bytes f >= 150_000);
   (* 100 packets at 24 Mbps with 50 ms RTT: at least a couple RTTs *)
-  let fct = Option.get !completed in
+  let fct = Time.to_secs (Option.get !completed) in
   Alcotest.(check bool) "fct sane" true (fct > 0.05 && fct < 5.)
 
 let test_app_limited_respects_supply () =
   let e, bn = make_link () in
   let f =
-    Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:0.05
+    Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:rtt50
       ~source:Flow.App_limited ()
   in
   Flow.supply f 30_000;
-  Engine.run_until e 5.;
+  Engine.run_until e (Time.secs 5.);
   Alcotest.(check int) "sends exactly the supplied bytes" 30_000
     (Flow.received_bytes f)
 
@@ -73,10 +80,10 @@ let test_loss_detection_and_retransmit () =
   (* tiny buffer forces drops; the finite transfer must still complete *)
   let e, bn = make_link ~buffer_s:0.01 () in
   let f =
-    Flow.create e bn ~cc:(Reno.make ()) ~prop_rtt:0.05
+    Flow.create e bn ~cc:(Reno.make ()) ~prop_rtt:rtt50
       ~source:(Flow.Finite 600_000) ()
   in
-  Engine.run_until e 30.;
+  Engine.run_until e (Time.secs 30.);
   Alcotest.(check bool) "losses happened" true (Flow.lost_packets f > 0);
   Alcotest.(check bool) "still completed" true
     (Flow.completion_time f <> None)
@@ -85,38 +92,44 @@ let test_rate_measurement_tracks_pacing () =
   (* a CBR flow paced at 8 Mbps must measure S ~ R ~ 8 Mbps *)
   let e, bn = make_link () in
   let f =
-    Flow.create e bn ~cc:(Simple_cc.const_rate ~rate_bps:8e6) ~prop_rtt:0.05 ()
+    Flow.create e bn
+      ~cc:(Simple_cc.const_rate ~rate:(Rate.bps 8e6))
+      ~prop_rtt:rtt50 ()
   in
-  Engine.run_until e 10.;
-  let s = Flow.send_rate f and r = Flow.recv_rate f in
+  Engine.run_until e (Time.secs 10.);
+  let s = Rate.to_bps (Flow.send_rate f)
+  and r = Rate.to_bps (Flow.recv_rate f) in
   Alcotest.(check bool) "S close to 8M" true (Float.abs (s -. 8e6) < 0.8e6);
   Alcotest.(check bool) "R close to 8M" true (Float.abs (r -. 8e6) < 0.8e6)
 
 let test_flow_stop () =
   let e, bn = make_link () in
-  let f = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:0.05 () in
-  Engine.schedule_at e 5. (fun () -> Flow.stop f);
-  Engine.run_until e 6.;
+  let f = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:rtt50 () in
+  Engine.schedule_at e (Time.secs 5.) (fun () -> Flow.stop f);
+  Engine.run_until e (Time.secs 6.);
   let bytes_at_6 = Flow.received_bytes f in
-  Engine.run_until e 10.;
+  Engine.run_until e (Time.secs 10.);
   Alcotest.(check bool) "stopped flow sends (almost) nothing more" true
     (Flow.received_bytes f - bytes_at_6 < 20 * 1500);
   Alcotest.(check bool) "stopped" true (Flow.stopped f)
 
 let test_delayed_start () =
   let e, bn = make_link () in
-  let f = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:0.05 ~start:5. () in
-  Engine.run_until e 4.;
+  let f =
+    Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:rtt50
+      ~start:(Time.secs 5.) ()
+  in
+  Engine.run_until e (Time.secs 4.);
   Alcotest.(check int) "nothing before start" 0 (Flow.received_bytes f);
-  Engine.run_until e 10.;
+  Engine.run_until e (Time.secs 10.);
   Alcotest.(check bool) "transfers after start" true
     (Flow.received_bytes f > 100_000)
 
 let test_two_flows_share () =
   let e, bn = make_link ~rate_bps:48e6 () in
-  let f1 = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:0.05 () in
-  let f2 = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:0.05 () in
-  Engine.run_until e 60.;
+  let f1 = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:rtt50 () in
+  let f2 = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:rtt50 () in
+  Engine.run_until e (Time.secs 60.);
   let t1 = throughput f1 ~seconds:60. and t2 = throughput f2 ~seconds:60. in
   let jain = Nimbus_metrics.Fairness.jain [| t1; t2 |] in
   Alcotest.(check bool) "jain > 0.9" true (jain > 0.9);
@@ -134,100 +147,107 @@ let test_reno_halves_on_loss () =
   let cc = Reno.cc r in
   (* leave slow start by faking a loss, then grow in CA *)
   cc.Cc_types.on_loss
-    { Cc_types.now = 1.; seq = 0; bytes = 1500; inflight_bytes = 0;
+    { Cc_types.now = Time.secs 1.; seq = 0; bytes = 1500; inflight_bytes = 0;
       kind = `Dupack };
-  let after_first = Reno.cwnd_bytes r in
+  let after_first = B.to_float (Reno.cwnd_bytes r) in
   cc.Cc_types.on_loss
-    { Cc_types.now = 10.; seq = 0; bytes = 1500; inflight_bytes = 0;
+    { Cc_types.now = Time.secs 10.; seq = 0; bytes = 1500; inflight_bytes = 0;
       kind = `Dupack };
-  check_close "halves" (Float.max (after_first /. 2.) 3000.) (Reno.cwnd_bytes r)
+  check_close "halves"
+    (Float.max (after_first /. 2.) 3000.)
+    (B.to_float (Reno.cwnd_bytes r))
 
 let test_reno_slow_start_doubles () =
   let r = Reno.create ~mss:1500 ~initial_cwnd:2 () in
   let cc = Reno.cc r in
   let ack now =
     cc.Cc_types.on_ack
-      { Cc_types.now; seq = 0; bytes = 1500; rtt = 0.05; min_rtt = 0.05;
-        srtt = 0.05; inflight_bytes = 0; delivered_bytes = 0 }
+      { Cc_types.now = Time.secs now; seq = 0; bytes = 1500; rtt = rtt50;
+        min_rtt = rtt50; srtt = rtt50; inflight_bytes = 0;
+        delivered_bytes = 0 }
   in
   ack 0.1;
   ack 0.2;
-  check_close "2 acks add 2 mss" 6000. (Reno.cwnd_bytes r)
+  check_close "2 acks add 2 mss" 6000. (B.to_float (Reno.cwnd_bytes r))
 
 let test_reno_timeout_resets () =
   let r = Reno.create ~mss:1500 ~initial_cwnd:20 () in
   (Reno.cc r).Cc_types.on_loss
-    { Cc_types.now = 1.; seq = 0; bytes = 1500; inflight_bytes = 0;
+    { Cc_types.now = Time.secs 1.; seq = 0; bytes = 1500; inflight_bytes = 0;
       kind = `Timeout };
-  check_close "collapses to 2 mss" 3000. (Reno.cwnd_bytes r)
+  check_close "collapses to 2 mss" 3000. (B.to_float (Reno.cwnd_bytes r))
 
 let test_cubic_reduces_by_beta () =
   let c = Cubic.create ~mss:1500 ~initial_cwnd:100 () in
   (Cubic.cc c).Cc_types.on_loss
-    { Cc_types.now = 5.; seq = 0; bytes = 1500; inflight_bytes = 0;
+    { Cc_types.now = Time.secs 5.; seq = 0; bytes = 1500; inflight_bytes = 0;
       kind = `Dupack };
-  check_close "beta cut" (150_000. *. 0.7) (Cubic.cwnd_bytes c)
+  check_close "beta cut" (150_000. *. 0.7) (B.to_float (Cubic.cwnd_bytes c))
 
 let test_cubic_grows_toward_wmax () =
   let c = Cubic.create ~mss:1500 ~initial_cwnd:100 () in
   let cc = Cubic.cc c in
   cc.Cc_types.on_loss
-    { Cc_types.now = 0.; seq = 0; bytes = 1500; inflight_bytes = 0;
+    { Cc_types.now = Time.zero; seq = 0; bytes = 1500; inflight_bytes = 0;
       kind = `Dupack };
-  let low = Cubic.cwnd_bytes c in
+  let low = B.to_float (Cubic.cwnd_bytes c) in
   (* feed acks over simulated seconds; window must recover toward w_max *)
   for i = 1 to 2000 do
     cc.Cc_types.on_ack
-      { Cc_types.now = float_of_int i /. 100.; seq = i; bytes = 1500;
-        rtt = 0.05; min_rtt = 0.05; srtt = 0.05; inflight_bytes = 0;
-        delivered_bytes = 0 }
+      { Cc_types.now = Time.secs (float_of_int i /. 100.); seq = i;
+        bytes = 1500; rtt = rtt50; min_rtt = rtt50; srtt = rtt50;
+        inflight_bytes = 0; delivered_bytes = 0 }
   done;
-  Alcotest.(check bool) "recovers above the cut" true (Cubic.cwnd_bytes c > low);
+  Alcotest.(check bool) "recovers above the cut" true
+    (B.to_float (Cubic.cwnd_bytes c) > low);
   Alcotest.(check bool) "reaches w_max region" true
-    (Cubic.cwnd_bytes c > 140_000.)
+    (B.to_float (Cubic.cwnd_bytes c) > 140_000.)
 
 let test_cubic_reset_cwnd () =
   let c = Cubic.create () in
-  Cubic.reset_cwnd c 99_000.;
-  check_close "reset" 99_000. (Cubic.cwnd_bytes c)
+  Cubic.reset_cwnd c (B.bytes 99_000.);
+  check_close "reset" 99_000. (B.to_float (Cubic.cwnd_bytes c))
 
 let test_vegas_keeps_small_queue () =
   let e, bn = make_link () in
-  let f = Flow.create e bn ~cc:(Vegas.make ()) ~prop_rtt:0.05 () in
-  Engine.run_until e 30.;
+  let f = Flow.create e bn ~cc:(Vegas.make ()) ~prop_rtt:rtt50 () in
+  Engine.run_until e (Time.secs 30.);
   (* alpha..beta packets of backlog: at 24 Mbps that is < 10 ms of queue *)
   Alcotest.(check bool) "throughput high" true
     (throughput f ~seconds:30. > 0.85 *. 24e6);
-  Alcotest.(check bool) "queue short" true (Bottleneck.queue_delay bn < 0.012)
+  Alcotest.(check bool) "queue short" true
+    (Time.to_secs (Bottleneck.queue_delay bn) < 0.012)
 
 let test_vegas_starves_against_cubic () =
   let e, bn = make_link ~rate_bps:48e6 () in
-  let v = Flow.create e bn ~cc:(Vegas.make ()) ~prop_rtt:0.05 () in
-  let c = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:0.05 () in
-  Engine.run_until e 40.;
+  let v = Flow.create e bn ~cc:(Vegas.make ()) ~prop_rtt:rtt50 () in
+  let c = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:rtt50 () in
+  Engine.run_until e (Time.secs 40.);
   let tv = throughput v ~seconds:40. and tc = throughput c ~seconds:40. in
   Alcotest.(check bool) "vegas gets far less than cubic" true (tv < tc /. 2.)
 
 let test_copa_default_mode_low_delay () =
   let e, bn = make_link () in
   let f =
-    Flow.create e bn ~cc:(Copa.make ~switching:false ()) ~prop_rtt:0.05 ()
+    Flow.create e bn ~cc:(Copa.make ~switching:false ()) ~prop_rtt:rtt50 ()
   in
-  Engine.run_until e 30.;
+  Engine.run_until e (Time.secs 30.);
   Alcotest.(check bool) "throughput decent" true
     (throughput f ~seconds:30. > 0.7 *. 24e6);
-  Alcotest.(check bool) "queue moderate" true (Bottleneck.queue_delay bn < 0.05)
+  Alcotest.(check bool) "queue moderate" true
+    (Time.to_secs (Bottleneck.queue_delay bn) < 0.05)
 
 let copa_competitive_fraction ~cbr_rate =
   let e, bn = make_link ~rate_bps:96e6 () in
   let copa = Copa.create ~switching:true () in
-  ignore (Flow.create e bn ~cc:(Copa.cc copa) ~prop_rtt:0.05 ());
-  ignore (Nimbus_traffic.Source.cbr e bn ~rate_bps:cbr_rate ());
+  ignore (Flow.create e bn ~cc:(Copa.cc copa) ~prop_rtt:rtt50 ());
+  ignore (Nimbus_traffic.Source.cbr e bn ~rate:(Rate.bps cbr_rate) ());
   let competitive_samples = ref 0 and samples = ref 0 in
-  Engine.every e ~dt:0.1 ~start:10. ~until:90. (fun () ->
+  Engine.every e ~dt:(Time.ms 100.) ~start:(Time.secs 10.)
+    ~until:(Time.secs 90.) (fun () ->
       incr samples;
       if Copa.in_competitive_mode copa then incr competitive_samples);
-  Engine.run_until e 90.;
+  Engine.run_until e (Time.secs 90.);
   float_of_int !competitive_samples /. float_of_int !samples
 
 let test_copa_sticks_competitive_under_heavy_cbr () =
@@ -244,22 +264,23 @@ let test_copa_sticks_competitive_under_heavy_cbr () =
 let test_copa_default_under_light_cbr () =
   let e, bn = make_link ~rate_bps:96e6 () in
   let copa = Copa.create ~switching:true () in
-  ignore (Flow.create e bn ~cc:(Copa.cc copa) ~prop_rtt:0.05 ());
-  ignore (Nimbus_traffic.Source.cbr e bn ~rate_bps:24e6 ());
+  ignore (Flow.create e bn ~cc:(Copa.cc copa) ~prop_rtt:rtt50 ());
+  ignore (Nimbus_traffic.Source.cbr e bn ~rate:(Rate.bps 24e6) ());
   let competitive_samples = ref 0 and samples = ref 0 in
-  Engine.every e ~dt:0.1 ~start:20. ~until:60. (fun () ->
+  Engine.every e ~dt:(Time.ms 100.) ~start:(Time.secs 20.)
+    ~until:(Time.secs 60.) (fun () ->
       incr samples;
       if Copa.in_competitive_mode copa then incr competitive_samples);
-  Engine.run_until e 60.;
+  Engine.run_until e (Time.secs 60.);
   let frac = float_of_int !competitive_samples /. float_of_int !samples in
   Alcotest.(check bool) "mostly default mode" true (frac < 0.4)
 
 let test_bbr_estimates_bandwidth () =
   let e, bn = make_link ~rate_bps:24e6 () in
   let b = Bbr.create () in
-  let f = Flow.create e bn ~cc:(Bbr.cc b) ~prop_rtt:0.05 () in
-  Engine.run_until e 20.;
-  let est = Bbr.btl_bw b in
+  let f = Flow.create e bn ~cc:(Bbr.cc b) ~prop_rtt:rtt50 () in
+  Engine.run_until e (Time.secs 20.);
+  let est = Rate.to_bps (Bbr.btl_bw b) in
   Alcotest.(check bool) "btl_bw within 25% of the link" true
     (Float.abs (est -. 24e6) < 6e6);
   Alcotest.(check bool) "throughput near link" true
@@ -267,28 +288,31 @@ let test_bbr_estimates_bandwidth () =
 
 let test_vivace_fills_link_solo () =
   let e, bn = make_link ~rate_bps:24e6 () in
-  let f = Flow.create e bn ~cc:(Vivace.make ()) ~prop_rtt:0.05 () in
-  Engine.run_until e 40.;
+  let f = Flow.create e bn ~cc:(Vivace.make ()) ~prop_rtt:rtt50 () in
+  Engine.run_until e (Time.secs 40.);
   Alcotest.(check bool) "ramps to a useful rate" true
     (throughput f ~seconds:40. > 0.4 *. 24e6)
 
 let test_compound_ramps_fast_when_idle () =
   let e, bn = make_link ~rate_bps:48e6 () in
-  let f = Flow.create e bn ~cc:(Compound.make ()) ~prop_rtt:0.05 () in
-  Engine.run_until e 20.;
+  let f = Flow.create e bn ~cc:(Compound.make ()) ~prop_rtt:rtt50 () in
+  Engine.run_until e (Time.secs 20.);
   Alcotest.(check bool) "good utilization" true
     (throughput f ~seconds:20. > 0.8 *. 48e6)
 
 let test_basic_delay_targets_queue () =
   let e, bn = make_link ~rate_bps:48e6 () in
   let f =
-    Flow.create e bn ~cc:(Basic_delay.make ~mu:48e6 ()) ~prop_rtt:0.05 ()
+    Flow.create e bn
+      ~cc:(Basic_delay.make ~mu:(Rate.bps 48e6) ())
+      ~prop_rtt:rtt50 ()
   in
   let qsum = ref 0. and qn = ref 0 in
-  Engine.every e ~dt:0.1 ~start:10. ~until:40. (fun () ->
-      qsum := !qsum +. Bottleneck.queue_delay bn;
+  Engine.every e ~dt:(Time.ms 100.) ~start:(Time.secs 10.)
+    ~until:(Time.secs 40.) (fun () ->
+      qsum := !qsum +. Time.to_secs (Bottleneck.queue_delay bn);
       incr qn);
-  Engine.run_until e 40.;
+  Engine.run_until e (Time.secs 40.);
   let mean_q = !qsum /. float_of_int !qn in
   Alcotest.(check bool) "fills link" true
     (throughput f ~seconds:40. > 0.9 *. 48e6);
@@ -299,9 +323,11 @@ let test_basic_delay_targets_queue () =
 let test_const_rate_paces_exactly () =
   let e, bn = make_link () in
   let f =
-    Flow.create e bn ~cc:(Simple_cc.const_rate ~rate_bps:4e6) ~prop_rtt:0.05 ()
+    Flow.create e bn
+      ~cc:(Simple_cc.const_rate ~rate:(Rate.bps 4e6))
+      ~prop_rtt:rtt50 ()
   in
-  Engine.run_until e 10.;
+  Engine.run_until e (Time.secs 10.);
   let tput = throughput f ~seconds:10. in
   Alcotest.(check bool) "4 Mbps +-10%" true (Float.abs (tput -. 4e6) < 0.4e6)
 
@@ -310,22 +336,22 @@ let test_fixed_window_is_capped () =
   let f =
     Flow.create e bn
       ~cc:(Simple_cc.fixed_window ~segments:10 ())
-      ~prop_rtt:0.1 ()
+      ~prop_rtt:(Time.ms 100.) ()
   in
-  Engine.run_until e 10.;
+  Engine.run_until e (Time.secs 10.);
   (* 10 segments per ~100 ms RTT = ~1.2 Mbps *)
   let tput = throughput f ~seconds:10. in
   Alcotest.(check bool) "window-limited" true (tput < 2e6)
 
 let test_validation_errors () =
   Alcotest.(check bool) "const_rate rejects 0" true
-    (try ignore (Simple_cc.const_rate ~rate_bps:0.); false
+    (try ignore (Simple_cc.const_rate ~rate:Rate.zero); false
      with Invalid_argument _ -> true);
   Alcotest.(check bool) "fixed_window rejects 0" true
     (try ignore (Simple_cc.fixed_window ~segments:0 ()); false
      with Invalid_argument _ -> true);
   Alcotest.(check bool) "basic_delay rejects mu<=0" true
-    (try ignore (Basic_delay.create ~mu:0. ()); false
+    (try ignore (Basic_delay.create ~mu:Rate.zero ()); false
      with Invalid_argument _ -> true)
 
 let suite =

@@ -6,6 +6,9 @@ module Bottleneck = Nimbus_sim.Bottleneck
 module Qdisc = Nimbus_sim.Qdisc
 module Rng = Nimbus_sim.Rng
 module Flow = Nimbus_cc.Flow
+module Time = Units.Time
+module Rate = Units.Rate
+module Freq = Units.Freq
 open Nimbus_core
 
 let pi = 4.0 *. atan 1.0
@@ -14,19 +17,29 @@ let check_close ?(eps = 1e-9) msg expected actual =
   if Float.abs (expected -. actual) > eps then
     Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
 
+let f5 = Freq.hz 5.
+
 (* --- pulse ---------------------------------------------------------------- *)
 
 let test_pulse_zero_mean () =
   List.iter
     (fun shape ->
-      let m = Pulse.mean ~shape ~amplitude:12e6 ~freq:5. ~samples:100_000 in
+      let m =
+        Rate.to_bps
+          (Pulse.mean ~shape ~amplitude:(Rate.bps 12e6) ~freq:f5
+             ~samples:100_000)
+      in
       if Float.abs m > 12e6 *. 1e-3 then
         Alcotest.failf "pulse mean %.3g not ~0" m)
     [ Pulse.Asymmetric; Pulse.Symmetric ]
 
 let test_pulse_asymmetric_profile () =
-  let amplitude = 24e6 and freq = 5. in
-  let v t = Pulse.value ~shape:Pulse.Asymmetric ~amplitude ~freq t in
+  let amplitude = 24e6 in
+  let v t =
+    Rate.to_bps
+      (Pulse.value ~shape:Pulse.Asymmetric ~amplitude:(Rate.bps amplitude)
+         ~freq:f5 (Time.secs t))
+  in
   (* peak of the positive lobe at T/8 *)
   check_close ~eps:1. "positive peak" amplitude (v 0.025);
   (* trough of the negative lobe at T/4 + 3T/8 = 0.125 *)
@@ -39,56 +52,89 @@ let test_pulse_asymmetric_profile () =
 
 let test_pulse_min_send_rate () =
   check_close "asym mu/12" 8e6
-    (Pulse.min_send_rate ~shape:Pulse.Asymmetric ~amplitude:24e6);
+    (Rate.to_bps
+       (Pulse.min_send_rate ~shape:Pulse.Asymmetric ~amplitude:(Rate.bps 24e6)));
   check_close "sym mu/4" 24e6
-    (Pulse.min_send_rate ~shape:Pulse.Symmetric ~amplitude:24e6)
+    (Rate.to_bps
+       (Pulse.min_send_rate ~shape:Pulse.Symmetric ~amplitude:(Rate.bps 24e6)))
 
 let test_pulse_validation () =
   Alcotest.(check bool) "freq <= 0" true
-    (try ignore (Pulse.value ~shape:Pulse.Symmetric ~amplitude:1. ~freq:0. 0.); false
+    (try
+       ignore
+         (Pulse.value ~shape:Pulse.Symmetric ~amplitude:(Rate.bps 1.)
+            ~freq:(Freq.hz 0.) Time.zero);
+       false
      with Invalid_argument _ -> true)
 
 (* --- z estimator ---------------------------------------------------------- *)
 
+let estimate ~mu ~send_rate ~recv_rate =
+  Rate.to_bps
+    (Z_estimator.estimate ~mu:(Rate.bps mu) ~send_rate:(Rate.bps send_rate)
+       ~recv_rate:(Rate.bps recv_rate))
+
 let test_z_estimator_exact () =
   (* S = 24M, cross = 48M on a 96M busy link: R = mu*S/(S+z) = 32M *)
   check_close "recovers z" 48e6
-    (Z_estimator.estimate ~mu:96e6 ~send_rate:24e6 ~recv_rate:32e6);
+    (estimate ~mu:96e6 ~send_rate:24e6 ~recv_rate:32e6);
   (* no cross traffic: R = S -> z = mu - S... clamped by queue-busy caveat *)
   check_close "alone gives mu - S" 72e6
-    (Z_estimator.estimate ~mu:96e6 ~send_rate:24e6 ~recv_rate:24e6)
+    (estimate ~mu:96e6 ~send_rate:24e6 ~recv_rate:24e6)
 
 let test_z_estimator_clamps () =
   (* R > S (draining faster than sending) would give negative z *)
-  check_close "clamps at 0" 0.
-    (Z_estimator.estimate ~mu:96e6 ~send_rate:24e6 ~recv_rate:96e6);
+  check_close "clamps at 0" 0. (estimate ~mu:96e6 ~send_rate:24e6 ~recv_rate:96e6);
   check_close "clamps at mu" 96e6
-    (Z_estimator.estimate ~mu:96e6 ~send_rate:50e6 ~recv_rate:1e6)
+    (estimate ~mu:96e6 ~send_rate:50e6 ~recv_rate:1e6)
 
 let test_z_estimator_nan () =
   Alcotest.(check bool) "nan send" true
-    (Float.is_nan (Z_estimator.estimate ~mu:96e6 ~send_rate:nan ~recv_rate:1e6));
+    (Float.is_nan (estimate ~mu:96e6 ~send_rate:nan ~recv_rate:1e6));
+  (* recv_rate = 0 must yield nan (unknown), not the +inf a literal reading
+     of Eq. 1 gives: an infinity would survive an is_known test and poison
+     downstream max filters. *)
   Alcotest.(check bool) "zero recv" true
-    (Float.is_nan (Z_estimator.estimate ~mu:96e6 ~send_rate:1e6 ~recv_rate:0.))
+    (Float.is_nan (estimate ~mu:96e6 ~send_rate:1e6 ~recv_rate:0.));
+  Alcotest.(check bool) "zero recv is not +inf" false
+    (Float.equal (estimate ~mu:96e6 ~send_rate:1e6 ~recv_rate:0.)
+       Float.infinity);
+  Alcotest.(check bool) "unknown, not merely infinite" false
+    (Rate.is_known
+       (Z_estimator.estimate ~mu:(Rate.bps 96e6) ~send_rate:(Rate.bps 1e6)
+          ~recv_rate:Rate.zero))
 
 let test_mu_known () =
-  let mu = Z_estimator.Mu.known 48e6 in
-  check_close "known" 48e6 (Z_estimator.Mu.current mu ~now:0.);
-  Z_estimator.Mu.observe mu ~now:1. ~recv_rate:99e6;
+  let mu = Z_estimator.Mu.known (Rate.bps 48e6) in
+  check_close "known" 48e6
+    (Rate.to_bps (Z_estimator.Mu.current mu ~now:Time.zero));
+  Z_estimator.Mu.observe mu ~now:(Time.secs 1.) ~recv_rate:(Rate.bps 99e6);
   check_close "known ignores observations" 48e6
-    (Z_estimator.Mu.current mu ~now:1.)
+    (Rate.to_bps (Z_estimator.Mu.current mu ~now:(Time.secs 1.)))
 
 let test_mu_estimator_tracks_max () =
-  let mu = Z_estimator.Mu.estimator ~window:5. () in
+  let mu = Z_estimator.Mu.estimator ~window:(Time.secs 5.) () in
   Alcotest.(check bool) "starts nan" true
-    (Float.is_nan (Z_estimator.Mu.current mu ~now:0.));
-  Z_estimator.Mu.observe mu ~now:1. ~recv_rate:10e6;
-  Z_estimator.Mu.observe mu ~now:2. ~recv_rate:40e6;
-  Z_estimator.Mu.observe mu ~now:3. ~recv_rate:20e6;
-  check_close "max" 40e6 (Z_estimator.Mu.current mu ~now:3.);
+    (not (Rate.is_known (Z_estimator.Mu.current mu ~now:Time.zero)));
+  Z_estimator.Mu.observe mu ~now:(Time.secs 1.) ~recv_rate:(Rate.bps 10e6);
+  Z_estimator.Mu.observe mu ~now:(Time.secs 2.) ~recv_rate:(Rate.bps 40e6);
+  Z_estimator.Mu.observe mu ~now:(Time.secs 3.) ~recv_rate:(Rate.bps 20e6);
+  check_close "max" 40e6
+    (Rate.to_bps (Z_estimator.Mu.current mu ~now:(Time.secs 3.)));
   (* the 40M sample ages out of the window *)
-  Z_estimator.Mu.observe mu ~now:8. ~recv_rate:20e6;
-  check_close "window expiry" 20e6 (Z_estimator.Mu.current mu ~now:8.)
+  Z_estimator.Mu.observe mu ~now:(Time.secs 8.) ~recv_rate:(Rate.bps 20e6);
+  check_close "window expiry" 20e6
+    (Rate.to_bps (Z_estimator.Mu.current mu ~now:(Time.secs 8.)))
+
+let test_mu_estimator_ignores_non_finite () =
+  (* non-finite samples must not enter the max filter: a single +inf or nan
+     observation would otherwise stick as "the bottleneck rate" *)
+  let mu = Z_estimator.Mu.estimator ~window:(Time.secs 5.) () in
+  Z_estimator.Mu.observe mu ~now:(Time.secs 1.) ~recv_rate:(Rate.bps 10e6);
+  Z_estimator.Mu.observe mu ~now:(Time.secs 2.) ~recv_rate:(Rate.bps infinity);
+  Z_estimator.Mu.observe mu ~now:(Time.secs 3.) ~recv_rate:(Rate.bps nan);
+  check_close "non-finite samples dropped" 10e6
+    (Rate.to_bps (Z_estimator.Mu.current mu ~now:(Time.secs 3.)))
 
 (* --- elasticity detector -------------------------------------------------- *)
 
@@ -100,19 +146,20 @@ let feed det f =
 let test_detector_needs_full_window () =
   let det = Elasticity.create () in
   Alcotest.(check bool) "not ready" false (Elasticity.ready det);
-  Alcotest.(check bool) "eta nan" true (Float.is_nan (Elasticity.eta det ~freq:5.));
+  Alcotest.(check bool) "eta nan" true
+    (Float.is_nan (Elasticity.eta det ~freq:f5));
   Alcotest.(check (option reject)) "no verdict" None
-    (Elasticity.classify det ~freq:5.);
+    (Elasticity.classify det ~freq:f5);
   feed det (fun _ -> 1.);
   Alcotest.(check bool) "ready" true (Elasticity.ready det)
 
 let test_detector_elastic_signal () =
   let det = Elasticity.create () in
   feed det (fun t -> 24e6 +. (4e6 *. sin (2. *. pi *. 5. *. t)));
-  Alcotest.(check bool) "high eta" true (Elasticity.eta det ~freq:5. > 10.);
+  Alcotest.(check bool) "high eta" true (Elasticity.eta det ~freq:f5 > 10.);
   Alcotest.(check (option (of_pp Fmt.nop))) "elastic"
     (Some Elasticity.Elastic)
-    (Elasticity.classify det ~freq:5.)
+    (Elasticity.classify det ~freq:f5)
 
 let test_detector_inelastic_noise () =
   let rng = Rng.create 11 in
@@ -120,13 +167,13 @@ let test_detector_inelastic_noise () =
   feed det (fun _ -> 24e6 +. (4e6 *. (Rng.uniform rng -. 0.5)));
   Alcotest.(check (option (of_pp Fmt.nop))) "inelastic"
     (Some Elasticity.Inelastic)
-    (Elasticity.classify det ~freq:5.)
+    (Elasticity.classify det ~freq:f5)
 
 let test_detector_off_frequency () =
   let det = Elasticity.create () in
   (* strong oscillation inside the comparison band, none at f_p *)
   feed det (fun t -> 24e6 +. (4e6 *. sin (2. *. pi *. 7.4 *. t)));
-  Alcotest.(check bool) "eta < 1" true (Elasticity.eta det ~freq:5. < 1.)
+  Alcotest.(check bool) "eta < 1" true (Elasticity.eta det ~freq:f5 < 1.)
 
 let test_detector_handles_nan_samples () =
   let det = Elasticity.create () in
@@ -136,7 +183,7 @@ let test_detector_handles_nan_samples () =
       (if i mod 7 = 0 then nan else 24e6 +. (4e6 *. sin (2. *. pi *. 5. *. t)))
   done;
   Alcotest.(check bool) "still elastic despite gaps" true
-    (Elasticity.eta det ~freq:5. > 2.)
+    (Elasticity.eta det ~freq:f5 > 2.)
 
 let test_detector_sliding () =
   (* after a full window of noise, an elastic signal must flip the verdict
@@ -146,11 +193,11 @@ let test_detector_sliding () =
   feed det (fun _ -> 24e6 +. (2e6 *. (Rng.uniform rng -. 0.5)));
   Alcotest.(check (option (of_pp Fmt.nop))) "starts inelastic"
     (Some Elasticity.Inelastic)
-    (Elasticity.classify det ~freq:5.);
+    (Elasticity.classify det ~freq:f5);
   feed det (fun t -> 24e6 +. (6e6 *. sin (2. *. pi *. 5. *. t)));
   Alcotest.(check (option (of_pp Fmt.nop))) "flips to elastic"
     (Some Elasticity.Elastic)
-    (Elasticity.classify det ~freq:5.)
+    (Elasticity.classify det ~freq:f5)
 
 let test_detector_spectrum_access () =
   let det = Elasticity.create () in
@@ -166,7 +213,7 @@ let test_detector_oscillation_amplitude () =
      coherent-gain inversion *)
   let det = Elasticity.create () in
   feed det (fun t -> 24e6 +. (3e6 *. sin (2. *. pi *. 5. *. t)));
-  let a = Elasticity.oscillation_amplitude det ~freq:5. in
+  let a = Elasticity.oscillation_amplitude det ~freq:f5 in
   if Float.abs (a -. 3e6) > 0.15e6 then
     Alcotest.failf "amplitude %.3g != 3e6" a
 
@@ -180,7 +227,7 @@ let test_detector_validation () =
 let make_link ?(rate_bps = 48e6) () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate_bps
+    Bottleneck.create e ~rate:(Rate.bps rate_bps)
       ~qdisc:
         (Qdisc.droptail
            ~capacity_bytes:(int_of_float (rate_bps *. 0.1 /. 8.)))
@@ -189,33 +236,38 @@ let make_link ?(rate_bps = 48e6) () =
   (e, bn)
 
 let start_nimbus ?(multi_flow = false) ?(seed = 1) e bn ~mu =
-  let nim = Nimbus.create ~mu:(Z_estimator.Mu.known mu) ~multi_flow ~seed () in
+  let nim =
+    Nimbus.create ~mu:(Z_estimator.Mu.known (Rate.bps mu)) ~multi_flow ~seed ()
+  in
   let flow =
     Flow.create e bn
       ~cc:(Nimbus.cc nim ~now:(fun () -> Engine.now e))
-      ~prop_rtt:0.05 ()
+      ~prop_rtt:(Time.ms 50.) ()
   in
   (nim, flow)
 
 let test_nimbus_solo_delay_mode () =
   let e, bn = make_link () in
   let nim, flow = start_nimbus e bn ~mu:48e6 in
-  Engine.run_until e 30.;
+  Engine.run_until e (Time.secs 30.);
   Alcotest.(check string) "delay mode" "delay"
     (Nimbus.mode_to_string (Nimbus.mode nim));
   Alcotest.(check bool) "fills link" true
     (float_of_int (Flow.received_bytes flow * 8) /. 30. > 0.9 *. 48e6);
-  Alcotest.(check bool) "short queue" true (Bottleneck.queue_delay bn < 0.03)
+  Alcotest.(check bool) "short queue" true
+    (Time.to_secs (Bottleneck.queue_delay bn) < 0.03)
 
 let test_nimbus_detects_cubic () =
   let e, bn = make_link () in
   let nim, flow = start_nimbus e bn ~mu:48e6 in
-  ignore (Flow.create e bn ~cc:(Nimbus_cc.Cubic.make ()) ~prop_rtt:0.05 ());
+  ignore
+    (Flow.create e bn ~cc:(Nimbus_cc.Cubic.make ()) ~prop_rtt:(Time.ms 50.) ());
   let competitive = ref 0 and samples = ref 0 in
-  Engine.every e ~dt:0.1 ~start:10. ~until:60. (fun () ->
+  Engine.every e ~dt:(Time.ms 100.) ~start:(Time.secs 10.)
+    ~until:(Time.secs 60.) (fun () ->
       incr samples;
       if Nimbus.mode nim = Nimbus.Competitive then incr competitive);
-  Engine.run_until e 60.;
+  Engine.run_until e (Time.secs 60.);
   let frac = float_of_int !competitive /. float_of_int !samples in
   Alcotest.(check bool) "mostly competitive" true (frac > 0.8);
   Alcotest.(check bool) "gets a useful share" true
@@ -225,12 +277,14 @@ let test_nimbus_stays_delay_on_poisson () =
   let e, bn = make_link () in
   let nim, flow = start_nimbus e bn ~mu:48e6 in
   ignore
-    (Nimbus_traffic.Source.poisson e bn ~rng:(Rng.create 5) ~rate_bps:24e6 ());
+    (Nimbus_traffic.Source.poisson e bn ~rng:(Rng.create 5)
+       ~rate:(Rate.bps 24e6) ());
   let delay = ref 0 and samples = ref 0 in
-  Engine.every e ~dt:0.1 ~start:10. ~until:60. (fun () ->
+  Engine.every e ~dt:(Time.ms 100.) ~start:(Time.secs 10.)
+    ~until:(Time.secs 60.) (fun () ->
       incr samples;
       if Nimbus.mode nim = Nimbus.Delay then incr delay);
-  Engine.run_until e 60.;
+  Engine.run_until e (Time.secs 60.);
   Alcotest.(check bool) "mostly delay mode" true
     (float_of_int !delay /. float_of_int !samples > 0.9);
   let tput = float_of_int (Flow.received_bytes flow * 8) /. 60. in
@@ -240,22 +294,25 @@ let test_nimbus_mode_transition () =
   (* cubic joins at t=20: nimbus must be competitive within ~10 s *)
   let e, bn = make_link () in
   let nim, _ = start_nimbus e bn ~mu:48e6 in
-  Engine.schedule_at e 20. (fun () ->
-      ignore (Flow.create e bn ~cc:(Nimbus_cc.Cubic.make ()) ~prop_rtt:0.05 ()));
-  Engine.run_until e 19.;
+  Engine.schedule_at e (Time.secs 20.) (fun () ->
+      ignore
+        (Flow.create e bn ~cc:(Nimbus_cc.Cubic.make ())
+           ~prop_rtt:(Time.ms 50.) ()));
+  Engine.run_until e (Time.secs 19.);
   Alcotest.(check string) "delay before" "delay"
     (Nimbus.mode_to_string (Nimbus.mode nim));
-  Engine.run_until e 32.;
+  Engine.run_until e (Time.secs 32.);
   Alcotest.(check string) "competitive after" "competitive"
     (Nimbus.mode_to_string (Nimbus.mode nim))
 
 let test_nimbus_single_flow_is_pulser () =
   let e, bn = make_link () in
   let nim, _ = start_nimbus e bn ~mu:48e6 in
-  Engine.run_until e 1.;
+  Engine.run_until e (Time.secs 1.);
   Alcotest.(check string) "pulser" "pulser"
     (Nimbus.role_to_string (Nimbus.role nim));
-  Alcotest.(check bool) "pulses at 5Hz" true (Nimbus.pulse_freq nim = 5.)
+  Alcotest.(check bool) "pulses at 5Hz" true
+    (Float.equal (Freq.to_hz (Nimbus.pulse_freq nim)) 5.)
 
 let test_nimbus_multiflow_election () =
   (* two multi-flow Nimbus flows: exactly one should end up pulsing, and
@@ -263,7 +320,7 @@ let test_nimbus_multiflow_election () =
   let e, bn = make_link ~rate_bps:96e6 () in
   let nim1, f1 = start_nimbus ~multi_flow:true ~seed:21 e bn ~mu:96e6 in
   let nim2, f2 = start_nimbus ~multi_flow:true ~seed:77 e bn ~mu:96e6 in
-  Engine.run_until e 60.;
+  Engine.run_until e (Time.secs 60.);
   let pulsers =
     List.length
       (List.filter
@@ -281,9 +338,9 @@ let test_nimbus_multiflow_election () =
 let test_nimbus_base_rate_positive () =
   let e, bn = make_link () in
   let nim, _ = start_nimbus e bn ~mu:48e6 in
-  Engine.run_until e 10.;
+  Engine.run_until e (Time.secs 10.);
   Alcotest.(check bool) "positive base rate" true
-    (Nimbus.base_rate_bps nim > 0.)
+    (Rate.to_bps (Nimbus.base_rate nim) > 0.)
 
 (* --- property tests -------------------------------------------------------- *)
 
@@ -291,21 +348,29 @@ let prop_pulse_bounded =
   QCheck.Test.make ~count:200 ~name:"pulse: |value| <= amplitude, any phase"
     QCheck.(triple (float_range 1e3 1e8) (float_range 0.5 20.) (float_range (-10.) 10.))
     (fun (amplitude, freq, t) ->
-      let v = Pulse.value ~shape:Pulse.Asymmetric ~amplitude ~freq t in
+      let v =
+        Rate.to_bps
+          (Pulse.value ~shape:Pulse.Asymmetric ~amplitude:(Rate.bps amplitude)
+             ~freq:(Freq.hz freq) (Time.secs t))
+      in
       Float.abs v <= amplitude +. 1e-6)
 
 let prop_pulse_zero_mean =
   QCheck.Test.make ~count:50 ~name:"pulse: zero mean for any amplitude/freq"
     QCheck.(pair (float_range 1e3 1e8) (float_range 0.5 20.))
     (fun (amplitude, freq) ->
-      let m = Pulse.mean ~shape:Pulse.Asymmetric ~amplitude ~freq ~samples:4000 in
+      let m =
+        Rate.to_bps
+          (Pulse.mean ~shape:Pulse.Asymmetric ~amplitude:(Rate.bps amplitude)
+             ~freq:(Freq.hz freq) ~samples:4000)
+      in
       Float.abs m < amplitude *. 2e-3)
 
 let prop_z_estimate_clamped =
   QCheck.Test.make ~count:200 ~name:"z: estimate always within [0, mu]"
     QCheck.(triple (float_range 1e6 1e9) (float_range 1e3 1e9) (float_range 1e3 1e9))
     (fun (mu, s, r) ->
-      let z = Z_estimator.estimate ~mu ~send_rate:s ~recv_rate:r in
+      let z = estimate ~mu ~send_rate:s ~recv_rate:r in
       z >= 0. && z <= mu)
 
 let prop_z_estimate_inverts =
@@ -316,7 +381,7 @@ let prop_z_estimate_inverts =
       let mu = 1e8 in
       QCheck.assume (s +. z > mu);
       let r = mu *. s /. (s +. z) in
-      let zhat = Z_estimator.estimate ~mu ~send_rate:s ~recv_rate:r in
+      let zhat = estimate ~mu ~send_rate:s ~recv_rate:r in
       Float.abs (zhat -. z) < 1e-3 *. z +. 1.)
 
 let prop_detector_sinusoid_always_elastic =
@@ -330,7 +395,7 @@ let prop_detector_sinusoid_always_elastic =
         Elasticity.add_sample det
           (3e7 +. (amp *. sin ((2. *. pi *. 5. *. t) +. phase)))
       done;
-      Elasticity.classify det ~freq:5. = Some Elasticity.Elastic)
+      Elasticity.classify det ~freq:f5 = Some Elasticity.Elastic)
 
 let qtest = QCheck_alcotest.to_alcotest
 
@@ -349,6 +414,8 @@ let suite =
         Alcotest.test_case "nan handling" `Quick test_z_estimator_nan;
         Alcotest.test_case "mu known" `Quick test_mu_known;
         Alcotest.test_case "mu estimator" `Quick test_mu_estimator_tracks_max;
+        Alcotest.test_case "mu ignores non-finite" `Quick
+          test_mu_estimator_ignores_non_finite;
         qtest prop_z_estimate_clamped;
         qtest prop_z_estimate_inverts ] );
     ( "core.elasticity",

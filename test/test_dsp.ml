@@ -180,19 +180,19 @@ let prop_bluestein_equals_radix2 =
 let test_goertzel_matches_fft () =
   let n = 500 in
   let xs = sinusoid ~n ~sample_rate:100. ~freq:5. ~amp:1.5 ~phase:0.7 in
-  let g = Goertzel.magnitude xs ~sample_rate:100. ~freq:5. in
+  let g = Goertzel.magnitude xs ~sample_rate:(Units.Freq.hz 100.) ~freq:5. in
   let amps = Fft.real_amplitudes xs in
   (* bin 25 = 5 Hz at 100 Hz / 500 samples *)
   check_rel ~tol:1e-6 "goertzel vs fft" amps.(25) g
 
 let test_goertzel_rejects_other_freq () =
   let xs = sinusoid ~n:500 ~sample_rate:100. ~freq:5. ~amp:1. ~phase:0. in
-  let off = Goertzel.magnitude xs ~sample_rate:100. ~freq:17. in
-  let on = Goertzel.magnitude xs ~sample_rate:100. ~freq:5. in
+  let off = Goertzel.magnitude xs ~sample_rate:(Units.Freq.hz 100.) ~freq:17. in
+  let on = Goertzel.magnitude xs ~sample_rate:(Units.Freq.hz 100.) ~freq:5. in
   if off > on /. 100. then Alcotest.fail "goertzel leaks across bins"
 
 let test_goertzel_sliding () =
-  let s = Goertzel.Sliding.create ~window:100 ~sample_rate:100. ~freq:5. in
+  let s = Goertzel.Sliding.create ~window:100 ~sample_rate:(Units.Freq.hz 100.) ~freq:5. in
   Alcotest.(check bool) "not filled" false (Goertzel.Sliding.filled s);
   for i = 0 to 199 do
     Goertzel.Sliding.push s (sin (2. *. pi *. 5. *. float_of_int i /. 100.))
@@ -228,7 +228,7 @@ let test_window_coherent_gain () =
 
 let test_spectrum_bin_mapping () =
   let xs = Array.make 500 0. in
-  let s = Spectrum.analyze xs ~sample_rate:100. in
+  let s = Spectrum.analyze xs ~sample_rate:(Units.Freq.hz 100.) in
   check_close "bin width" 0.2 (Spectrum.bin_width s);
   Alcotest.(check int) "bin of 5Hz" 25 (Spectrum.bin_of_freq s 5.);
   Alcotest.(check int) "clamp high" 250 (Spectrum.bin_of_freq s 1000.);
@@ -237,7 +237,7 @@ let test_spectrum_bin_mapping () =
 
 let test_spectrum_peak_and_band () =
   let xs = sinusoid ~n:500 ~sample_rate:100. ~freq:7. ~amp:1. ~phase:0. in
-  let s = Spectrum.analyze xs ~sample_rate:100. in
+  let s = Spectrum.analyze xs ~sample_rate:(Units.Freq.hz 100.) in
   let f, a = Spectrum.dominant s ~above:0.5 in
   check_close "dominant freq" 7. f;
   check_rel ~tol:1e-6 "dominant amp" 250. a;
@@ -249,8 +249,8 @@ let test_spectrum_peak_and_band () =
 let test_spectrum_detrend_linear () =
   (* a pure ramp should vanish almost entirely under linear detrending *)
   let xs = Array.init 500 (fun i -> 5e6 +. (1e4 *. float_of_int i)) in
-  let mean_only = Spectrum.analyze ~detrend:`Mean xs ~sample_rate:100. in
-  let linear = Spectrum.analyze ~detrend:`Linear xs ~sample_rate:100. in
+  let mean_only = Spectrum.analyze ~detrend:`Mean xs ~sample_rate:(Units.Freq.hz 100.) in
+  let linear = Spectrum.analyze ~detrend:`Linear xs ~sample_rate:(Units.Freq.hz 100.) in
   let low_mean = Spectrum.band_max mean_only ~lo:0.1 ~hi:10. in
   let low_linear = Spectrum.band_max linear ~lo:0.1 ~hi:10. in
   if low_linear > low_mean /. 100. then
@@ -258,10 +258,10 @@ let test_spectrum_detrend_linear () =
 
 let test_spectrum_rejects_bad_input () =
   Alcotest.check_raises "empty" (Invalid_argument "Spectrum.analyze: empty signal")
-    (fun () -> ignore (Spectrum.analyze [||] ~sample_rate:100.));
+    (fun () -> ignore (Spectrum.analyze [||] ~sample_rate:(Units.Freq.hz 100.)));
   Alcotest.check_raises "bad rate"
     (Invalid_argument "Spectrum.analyze: sample_rate <= 0") (fun () ->
-      ignore (Spectrum.analyze [| 1. |] ~sample_rate:0.))
+      ignore (Spectrum.analyze [| 1. |] ~sample_rate:(Units.Freq.hz 0.)))
 
 (* --- ewma ---------------------------------------------------------------- *)
 

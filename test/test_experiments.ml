@@ -2,6 +2,8 @@
    cheap analytic experiments (the heavyweight ones run in bench/main.exe). *)
 
 module E = Nimbus_experiments
+module Time = Units.Time
+module Rate = Units.Rate
 
 let test_table_render () =
   let t =
@@ -54,8 +56,8 @@ let test_fig7_analytic () =
 
 let test_common_link () =
   let l = E.Common.link ~mbps:96. ~rtt_ms:50. () in
-  Alcotest.(check (float 0.001)) "mu" 96e6 l.E.Common.mu;
-  Alcotest.(check (float 1e-9)) "rtt" 0.05 l.E.Common.prop_rtt;
+  Alcotest.(check (float 0.001)) "mu" 96e6 (Rate.to_bps l.E.Common.mu);
+  Alcotest.(check (float 1e-9)) "rtt" 0.05 (Time.to_secs l.E.Common.prop_rtt);
   let _, bn, _ = E.Common.setup ~seed:1 l in
   (* 2 BDP of buffer at 96 Mbit/s x 50 ms = 1.2 MB *)
   Alcotest.(check int) "buffer bytes" 1_200_000
@@ -78,7 +80,7 @@ let test_scheme_start () =
   let r2 = E.Common.cubic.E.Common.start_flow engine bn l () in
   Alcotest.(check bool) "cubic has no mode" true
     (r2.E.Common.in_competitive = None);
-  Nimbus_sim.Engine.run_until engine 5.;
+  Nimbus_sim.Engine.run_until engine (Time.secs 5.);
   Alcotest.(check bool) "flows actually run" true
     (Nimbus_cc.Flow.received_bytes r.E.Common.flow > 0
     && Nimbus_cc.Flow.received_bytes r2.E.Common.flow > 0)

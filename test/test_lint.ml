@@ -1,0 +1,102 @@
+(* The lint driver (tool/lint) must actually reject the patterns it
+   documents; otherwise @lint passing means nothing.  Each rule gets a
+   minimal offending fixture (checked as source strings, so nothing here
+   trips the real tree-wide lint) and a clean twin that must pass. *)
+
+module Rules = Lint_rules.Rules
+
+let rules_of violations = List.map (fun v -> v.Rules.rule) violations
+
+let check_rules msg expected actual =
+  Alcotest.(check (list string)) msg expected (rules_of actual)
+
+(* --- obj-magic ------------------------------------------------------------- *)
+
+let test_obj_magic () =
+  check_rules "Obj.magic flagged" [ "obj-magic" ]
+    (Rules.check_ml ~path:"fixture.ml" "let f x = Obj.magic x");
+  check_rules "Obj.repr not flagged" []
+    (Rules.check_ml ~path:"fixture.ml" "let f x = Obj.repr x");
+  check_rules "unrelated magic not flagged" []
+    (Rules.check_ml ~path:"fixture.ml" "let magic x = x + 1")
+
+(* --- float-compare --------------------------------------------------------- *)
+
+let test_float_compare () =
+  check_rules "= against float literal flagged" [ "float-compare" ]
+    (Rules.check_ml ~path:"fixture.ml" "let f x = x = 0.5");
+  check_rules "compare against float literal flagged" [ "float-compare" ]
+    (Rules.check_ml ~path:"fixture.ml" "let f x = compare x 1.0");
+  check_rules "<> against float literal flagged" [ "float-compare" ]
+    (Rules.check_ml ~path:"fixture.ml" "let f x = x <> 3.14");
+  check_rules "Float.equal not flagged" []
+    (Rules.check_ml ~path:"fixture.ml" "let f x = Float.equal x 0.5");
+  check_rules "int comparison not flagged" []
+    (Rules.check_ml ~path:"fixture.ml" "let f x = x = 5");
+  check_rules "float arithmetic not flagged" []
+    (Rules.check_ml ~path:"fixture.ml" "let f x = x +. 0.5")
+
+(* --- raw-float-param ------------------------------------------------------- *)
+
+let test_raw_float_param () =
+  check_rules "~link_rate:float in mli flagged" [ "raw-float-param" ]
+    (Rules.check_mli ~path:"lib/sim/thing.mli"
+       "val create : link_rate:float -> unit");
+  check_rules "?sample_hz:float in mli flagged" [ "raw-float-param" ]
+    (Rules.check_mli ~path:"lib/dsp/thing.mli"
+       "val analyze : ?sample_hz:float -> unit -> unit");
+  check_rules "typed rate param not flagged" []
+    (Rules.check_mli ~path:"lib/sim/thing.mli"
+       "val create : link_rate:Units.Rate.t -> unit");
+  check_rules "non-suffixed float label not flagged" []
+    (Rules.check_mli ~path:"lib/sim/thing.mli"
+       "val create : gain:float -> unit");
+  check_rules "lib/units itself exempt" []
+    (Rules.check_mli ~path:"lib/units/rate.mli"
+       "val weird : raw_rate:float -> unit")
+
+(* --- parse errors surface as violations ------------------------------------ *)
+
+let test_parse_error () =
+  check_rules "syntax error reported, not raised" [ "parse-error" ]
+    (Rules.check_ml ~path:"fixture.ml" "let let let")
+
+(* --- missing-mli (filesystem rule, exercised in a temp tree) ---------------- *)
+
+let test_missing_mli () =
+  let root = Filename.temp_dir "lint_fixture" "" in
+  let lib = Filename.concat root "lib" in
+  Sys.mkdir lib 0o755;
+  let write name contents =
+    let oc = open_out (Filename.concat lib name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "covered.ml" "let x = 1";
+  write "covered.mli" "val x : int";
+  write "naked.ml" "let y = 2";
+  let violations = Rules.check_missing_mli ~lib_root:lib in
+  check_rules "exactly one missing-mli" [ "missing-mli" ] violations;
+  (match violations with
+  | [ v ] ->
+    Alcotest.(check bool)
+      "points at the uncovered module" true
+      (Filename.basename v.Rules.file = "naked.ml")
+  | _ -> Alcotest.fail "expected exactly one violation");
+  List.iter
+    (fun name -> Sys.remove (Filename.concat lib name))
+    [ "covered.ml"; "covered.mli"; "naked.ml" ];
+  Sys.rmdir lib;
+  Sys.rmdir root
+
+let suite =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "obj-magic" `Quick test_obj_magic;
+        Alcotest.test_case "float-compare" `Quick test_float_compare;
+        Alcotest.test_case "raw-float-param" `Quick test_raw_float_param;
+        Alcotest.test_case "parse error" `Quick test_parse_error;
+        Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+      ] );
+  ]

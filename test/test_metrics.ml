@@ -4,6 +4,8 @@ module Engine = Nimbus_sim.Engine
 module Bottleneck = Nimbus_sim.Bottleneck
 module Qdisc = Nimbus_sim.Qdisc
 open Nimbus_metrics
+module Time = Units.Time
+module Rate = Units.Rate
 
 let check_close ?(eps = 1e-9) msg expected actual =
   if Float.abs (expected -. actual) > eps then
@@ -16,7 +18,7 @@ let test_series_basics () =
   Alcotest.(check int) "empty" 0 (Series.length s);
   Alcotest.(check bool) "last nan" true (Float.is_nan (Series.last_value s));
   for i = 0 to 99 do
-    Series.add s ~time:(float_of_int i) ~value:(float_of_int (i * 2))
+    Series.add s ~time:(Time.secs (float_of_int i)) ~value:(float_of_int (i * 2))
   done;
   Alcotest.(check int) "length" 100 (Series.length s);
   check_close "last" 198. (Series.last_value s);
@@ -26,18 +28,18 @@ let test_series_basics () =
 let test_series_windows () =
   let s = Series.create () in
   for i = 0 to 9 do
-    Series.add s ~time:(float_of_int i) ~value:(float_of_int i)
+    Series.add s ~time:(Time.secs (float_of_int i)) ~value:(float_of_int i)
   done;
-  let w = Series.values_between s ~lo:3. ~hi:6. in
+  let w = Series.values_between s ~lo:(Time.secs 3.) ~hi:(Time.secs 6.) in
   Alcotest.(check (array (float 0.))) "half-open window" [| 3.; 4.; 5. |] w;
-  check_close "mean over window" 4. (Series.mean_between s ~lo:3. ~hi:6.);
+  check_close "mean over window" 4. (Series.mean_between s ~lo:(Time.secs 3.) ~hi:(Time.secs 6.));
   Alcotest.(check bool) "empty window nan" true
-    (Float.is_nan (Series.mean_between s ~lo:100. ~hi:200.))
+    (Float.is_nan (Series.mean_between s ~lo:(Time.secs 100.) ~hi:(Time.secs 200.)))
 
 let test_series_iter_order () =
   let s = Series.create () in
-  Series.add s ~time:1. ~value:10.;
-  Series.add s ~time:2. ~value:20.;
+  Series.add s ~time:(Time.secs 1.) ~value:10.;
+  Series.add s ~time:(Time.secs 2.) ~value:20.;
   let acc = ref [] in
   Series.iter s (fun t v -> acc := (t, v) :: !acc);
   Alcotest.(check bool) "insertion order" true
@@ -49,9 +51,9 @@ let test_monitor_throughput_math () =
   let e = Engine.create () in
   let counter = ref 0 in
   (* grow the counter by 1250 bytes every 100 ms = 100 kbit/s *)
-  Engine.every e ~dt:0.1 (fun () -> counter := !counter + 1250);
-  let series = Monitor.throughput e ~interval:1.0 (fun () -> !counter) in
-  Engine.run_until e 10.;
+  Engine.every e ~dt:(Time.ms 100.) (fun () -> counter := !counter + 1250);
+  let series = Monitor.throughput e ~interval:(Time.secs 1.0) (fun () -> !counter) in
+  Engine.run_until e (Time.secs 10.);
   let values = Series.values series in
   Alcotest.(check bool) "some samples" true (Array.length values >= 9);
   (* skip the first sample (partial interval alignment) *)
@@ -60,16 +62,16 @@ let test_monitor_throughput_math () =
 let test_monitor_queue_delay () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate_bps:12e6
+    Bottleneck.create e ~rate:(Rate.bps 12e6)
       ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000) ()
   in
-  let series = Monitor.queue_delay e bn ~interval:0.01 () in
+  let series = Monitor.queue_delay e bn ~interval:(Time.ms 10.) () in
   (* enqueue 100 packets at t=0; queue drains at 1 ms/packet *)
   for seq = 0 to 99 do
     Bottleneck.enqueue bn
-      (Nimbus_sim.Packet.make ~flow:0 ~seq ~size:1500 ~now:0. ())
+      (Nimbus_sim.Packet.make ~flow:0 ~seq ~size:1500 ~now:Time.zero ())
   done;
-  Engine.run_until e 0.2;
+  Engine.run_until e (Time.secs 0.2);
   let first = (Series.values series).(0) in
   (* after 10 ms, ~90 packets remain = ~90 ms of drain time *)
   Alcotest.(check bool) "tracks backlog" true (first > 0.08 && first < 0.1)
@@ -103,16 +105,18 @@ let test_jain () =
   Alcotest.(check bool) "empty nan" true (Float.is_nan (Fairness.jain [||]))
 
 let test_normalized_share () =
-  check_close "half" 0.5 (Fairness.normalized_share ~achieved:12. ~fair:24.);
+  check_close "half" 0.5 (Fairness.normalized_share ~achieved:(Rate.bps 12.) ~fair:(Rate.bps 24.));
   Alcotest.(check bool) "zero fair nan" true
-    (Float.is_nan (Fairness.normalized_share ~achieved:1. ~fair:0.))
+    (Float.is_nan (Fairness.normalized_share ~achieved:(Rate.bps 1.) ~fair:Rate.zero))
 
 (* --- fct ------------------------------------------------------------------ *)
 
 let test_fct_bucketize () =
   let fcts =
-    [| (10_000, 0.1); (14_000, 0.2); (100_000, 1.0); (2_000_000, 3.0);
-       (999_000_000, 60.0) |]
+    Array.map
+      (fun (size, fct) -> (size, Time.secs fct))
+      [| (10_000, 0.1); (14_000, 0.2); (100_000, 1.0); (2_000_000, 3.0);
+         (999_000_000, 60.0) |]
   in
   let buckets = Fct.bucketize fcts in
   Alcotest.(check int) "bucket count" 5 (Array.length buckets);
@@ -143,8 +147,8 @@ let prop_series_window_subset =
     QCheck.(list (pair (float_range 0. 100.) (float_bound_exclusive 1000.)))
     (fun pts ->
       let s = Series.create () in
-      List.iter (fun (t, v) -> Series.add s ~time:t ~value:v) pts;
-      let w = Series.values_between s ~lo:25. ~hi:75. in
+      List.iter (fun (t, v) -> Series.add s ~time:(Time.secs t) ~value:v) pts;
+      let w = Series.values_between s ~lo:(Time.secs 25.) ~hi:(Time.secs 75.) in
       let all = Array.to_list (Series.values s) in
       Array.for_all (fun v -> List.mem v all) w)
 

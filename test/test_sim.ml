@@ -1,6 +1,8 @@
 (* Unit and property tests for the discrete-event simulation substrate. *)
 
 open Nimbus_sim
+module Time = Units.Time
+module Rate = Units.Rate
 
 let check_close ?(eps = 1e-9) msg expected actual =
   if Float.abs (expected -. actual) > eps then
@@ -56,48 +58,48 @@ let prop_heap_sorts =
 let test_engine_ordering () =
   let e = Engine.create () in
   let log = ref [] in
-  Engine.schedule_in e 0.3 (fun () -> log := 3 :: !log);
-  Engine.schedule_in e 0.1 (fun () -> log := 1 :: !log);
-  Engine.schedule_in e 0.2 (fun () -> log := 2 :: !log);
-  Engine.run_until e 1.;
+  Engine.schedule_in e (Time.secs 0.3) (fun () -> log := 3 :: !log);
+  Engine.schedule_in e (Time.secs 0.1) (fun () -> log := 1 :: !log);
+  Engine.schedule_in e (Time.secs 0.2) (fun () -> log := 2 :: !log);
+  Engine.run_until e (Time.secs 1.);
   Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
-  check_close "clock at horizon" 1. (Engine.now e)
+  check_close "clock at horizon" 1. (Time.to_secs (Engine.now e))
 
 let test_engine_horizon () =
   let e = Engine.create () in
   let fired = ref false in
-  Engine.schedule_in e 5. (fun () -> fired := true);
-  Engine.run_until e 1.;
+  Engine.schedule_in e (Time.secs 5.) (fun () -> fired := true);
+  Engine.run_until e (Time.secs 1.);
   Alcotest.(check bool) "beyond horizon not fired" false !fired;
   Alcotest.(check int) "still pending" 1 (Engine.pending e);
-  Engine.run_until e 10.;
+  Engine.run_until e (Time.secs 10.);
   Alcotest.(check bool) "fires later" true !fired
 
 let test_engine_every () =
   let e = Engine.create () in
   let count = ref 0 in
-  Engine.every e ~dt:0.5 ~until:2.9 (fun () -> incr count);
-  Engine.run_until e 10.;
+  Engine.every e ~dt:(Time.secs 0.5) ~until:(Time.secs 2.9) (fun () -> incr count);
+  Engine.run_until e (Time.secs 10.);
   (* first at 0.5, then 1.0 .. 2.5: stops once the next tick exceeds until *)
   Alcotest.(check int) "periodic fires" 5 !count
 
 let test_engine_rejects_past () =
   let e = Engine.create () in
-  Engine.schedule_in e 1. (fun () -> ());
-  Engine.run_until e 1.;
+  Engine.schedule_in e (Time.secs 1.) (fun () -> ());
+  Engine.run_until e (Time.secs 1.);
   Alcotest.(check bool) "past raises" true
     (try
-       Engine.schedule_at e 0.5 (fun () -> ());
+       Engine.schedule_at e (Time.secs 0.5) (fun () -> ());
        false
      with Invalid_argument _ -> true)
 
 let test_engine_nested_schedule () =
   let e = Engine.create () in
   let hits = ref [] in
-  Engine.schedule_in e 1. (fun () ->
-      hits := Engine.now e :: !hits;
-      Engine.schedule_in e 1. (fun () -> hits := Engine.now e :: !hits));
-  Engine.run_until e 5.;
+  Engine.schedule_in e (Time.secs 1.) (fun () ->
+      hits := Time.to_secs (Engine.now e) :: !hits;
+      Engine.schedule_in e (Time.secs 1.) (fun () -> hits := Time.to_secs (Engine.now e) :: !hits));
+  Engine.run_until e (Time.secs 5.);
   Alcotest.(check (list (float 1e-9))) "nested" [ 1.; 2. ] (List.rev !hits)
 
 (* --- rng ----------------------------------------------------------------- *)
@@ -160,34 +162,34 @@ let prop_rng_int_bound =
 (* --- packet -------------------------------------------------------------- *)
 
 let test_packet_fields () =
-  let p = Packet.make ~flow:3 ~seq:7 ~size:1500 ~now:2.5 () in
+  let p = Packet.make ~flow:3 ~seq:7 ~size:1500 ~now:(Time.secs 2.5) () in
   Alcotest.(check int) "flow" 3 p.Packet.flow;
   Alcotest.(check int) "seq" 7 p.Packet.seq;
-  check_close "sent_at" 2.5 p.Packet.sent_at;
+  check_close "sent_at" 2.5 (Time.to_secs p.Packet.sent_at);
   Alcotest.(check bool) "queueing delay nan before dequeue" true
-    (Float.is_nan (Packet.queueing_delay p))
+    (not (Time.is_known (Packet.queueing_delay p)))
 
 (* --- qdisc --------------------------------------------------------------- *)
 
 let test_droptail_capacity () =
   let q = Qdisc.droptail ~capacity_bytes:3000 in
   Alcotest.(check bool) "admit within" true
-    (Qdisc.admit q ~now:0. ~qlen_bytes:1500 ~pkt_size:1500);
+    (Qdisc.admit q ~now:Time.zero ~qlen_bytes:1500 ~pkt_size:1500);
   Alcotest.(check bool) "reject overflow" false
-    (Qdisc.admit q ~now:0. ~qlen_bytes:1501 ~pkt_size:1500);
+    (Qdisc.admit q ~now:Time.zero ~qlen_bytes:1501 ~pkt_size:1500);
   Alcotest.(check string) "name" "droptail" (Qdisc.name q)
 
 let test_pie_drops_under_load () =
   let rng = Rng.create 3 in
   let q =
-    Qdisc.pie ~capacity_bytes:1_000_000 ~target_delay:0.015
-      ~link_rate_bps:48e6 ~rng
+    Qdisc.pie ~capacity_bytes:1_000_000 ~target_delay:(Time.ms 15.)
+      ~link_rate:(Rate.bps 48e6) ~rng
   in
   Alcotest.(check string) "name" "pie" (Qdisc.name q);
   (* sustained deep queue (~10x target) must start dropping *)
   let drops = ref 0 in
   for i = 1 to 4000 do
-    let now = float_of_int i *. 0.001 in
+    let now = Time.ms (float_of_int i) in
     if not (Qdisc.admit q ~now ~qlen_bytes:900_000 ~pkt_size:1500) then
       incr drops
   done;
@@ -196,12 +198,12 @@ let test_pie_drops_under_load () =
 let test_pie_spares_short_queue () =
   let rng = Rng.create 4 in
   let q =
-    Qdisc.pie ~capacity_bytes:1_000_000 ~target_delay:0.015
-      ~link_rate_bps:48e6 ~rng
+    Qdisc.pie ~capacity_bytes:1_000_000 ~target_delay:(Time.ms 15.)
+      ~link_rate:(Rate.bps 48e6) ~rng
   in
   let drops = ref 0 in
   for i = 1 to 2000 do
-    let now = float_of_int i *. 0.001 in
+    let now = Time.ms (float_of_int i) in
     if not (Qdisc.admit q ~now ~qlen_bytes:3000 ~pkt_size:1500) then incr drops
   done;
   Alcotest.(check int) "no drops below target/2" 0 !drops
@@ -220,49 +222,49 @@ let drain_packets engine bn ~flow ~count ~size =
 let test_bottleneck_serialization_rate () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate_bps:12e6
+    Bottleneck.create e ~rate:(Rate.bps 12e6)
       ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000) ()
   in
   let delivered = drain_packets e bn ~flow:0 ~count:10 ~size:1500 in
-  Engine.run_until e 1.;
+  Engine.run_until e (Time.secs 1.);
   Alcotest.(check int) "all delivered" 10 (List.length !delivered);
   (* 10 pkts * 1500 B * 8 / 12 Mbps = 10 ms *)
   let last = List.hd !delivered in
-  check_close ~eps:1e-9 "last dequeue time" 0.01 last.Packet.dequeued_at;
-  check_close ~eps:1e-9 "busy time" 0.01 (Bottleneck.busy_seconds bn)
+  check_close ~eps:1e-9 "last dequeue time" 0.01 (Time.to_secs last.Packet.dequeued_at);
+  check_close ~eps:1e-9 "busy time" 0.01 (Time.to_secs (Bottleneck.busy_time bn))
 
 let test_bottleneck_fifo_order () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate_bps:10e6
+    Bottleneck.create e ~rate:(Rate.bps 10e6)
       ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000) ()
   in
   let delivered = drain_packets e bn ~flow:0 ~count:20 ~size:1000 in
-  Engine.run_until e 1.;
+  Engine.run_until e (Time.secs 1.);
   let seqs = List.rev_map (fun p -> p.Packet.seq) !delivered in
   Alcotest.(check (list int)) "fifo" (List.init 20 (fun i -> i)) seqs
 
 let test_bottleneck_drops_at_capacity () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate_bps:1e6
+    Bottleneck.create e ~rate:(Rate.bps 1e6)
       ~qdisc:(Qdisc.droptail ~capacity_bytes:4500) ()
   in
   let _ = drain_packets e bn ~flow:0 ~count:10 ~size:1500 in
   (* capacity 3 pkts: 3 admitted instantly, 7 dropped *)
   Alcotest.(check int) "drops" 7 (Bottleneck.drops bn);
   Alcotest.(check int) "drops for flow" 7 (Bottleneck.drops_for bn ~flow:0);
-  check_close "queue delay" (4500. *. 8. /. 1e6) (Bottleneck.queue_delay bn)
+  check_close "queue delay" (4500. *. 8. /. 1e6) (Time.to_secs (Bottleneck.queue_delay bn))
 
 let test_bottleneck_random_loss () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate_bps:100e6
+    Bottleneck.create e ~rate:(Rate.bps 100e6)
       ~qdisc:(Qdisc.droptail ~capacity_bytes:10_000_000)
       ~random_loss:(0.5, Rng.create 9) ()
   in
   for seq = 0 to 999 do
-    Bottleneck.enqueue bn (Packet.make ~flow:0 ~seq ~size:1500 ~now:0. ())
+    Bottleneck.enqueue bn (Packet.make ~flow:0 ~seq ~size:1500 ~now:Time.zero ())
   done;
   let d = Bottleneck.drops bn in
   Alcotest.(check bool) "about half dropped" true (d > 400 && d < 600)
@@ -270,24 +272,24 @@ let test_bottleneck_random_loss () =
 let test_bottleneck_policer () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate_bps:100e6
+    Bottleneck.create e ~rate:(Rate.bps 100e6)
       ~qdisc:(Qdisc.droptail ~capacity_bytes:10_000_000)
-      ~policer:(8e6, 3000) ()
+      ~policer:(Rate.bps 8e6, 3000) ()
   in
   (* burst of 10 packets at t=0: bucket holds 2, rest dropped *)
   for seq = 0 to 9 do
-    Bottleneck.enqueue bn (Packet.make ~flow:0 ~seq ~size:1500 ~now:0. ())
+    Bottleneck.enqueue bn (Packet.make ~flow:0 ~seq ~size:1500 ~now:Time.zero ())
   done;
   Alcotest.(check int) "policed" 8 (Bottleneck.drops bn)
 
 let test_bottleneck_delivered_accounting () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate_bps:10e6
+    Bottleneck.create e ~rate:(Rate.bps 10e6)
       ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000) ()
   in
   let _ = drain_packets e bn ~flow:5 ~count:4 ~size:1000 in
-  Engine.run_until e 1.;
+  Engine.run_until e (Time.secs 1.);
   Alcotest.(check int) "delivered bytes" 4000
     (Bottleneck.delivered_bytes bn ~flow:5);
   Alcotest.(check int) "other flow" 0 (Bottleneck.delivered_bytes bn ~flow:6)

@@ -1,0 +1,20 @@
+(* Lint driver: `main.exe DIR...` checks every .ml/.mli under the given
+   directories and exits non-zero if any rule fires.  Wired into
+   `dune build @lint` from the root dune file. *)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as roots) -> roots
+    | _ ->
+      prerr_endline "usage: lint DIR...";
+      exit 2
+  in
+  match Lint_rules.Rules.check_tree roots with
+  | [] -> ()
+  | violations ->
+    List.iter
+      (fun v -> Format.eprintf "%a@." Lint_rules.Rules.pp_violation v)
+      violations;
+    Format.eprintf "lint: %d violation(s)@." (List.length violations);
+    exit 1

@@ -1,0 +1,191 @@
+(* Lint rules over the compiler's parsetree.  Kept dependency-light:
+   compiler-libs.common only, so the driver builds anywhere the compiler
+   does. *)
+
+type violation = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s:%d: [%s] %s" v.file v.line v.rule v.message
+
+let line_of_loc (loc : Location.t) = loc.loc_start.pos_lnum
+
+(* --- helpers -------------------------------------------------------------- *)
+
+let parse_with ~path parser src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  parser lexbuf
+
+let suffix_matches name =
+  List.exists
+    (fun suf -> Filename.check_suffix name suf)
+    [ "_rate"; "_bps"; "_hz"; "_secs"; "_seconds" ]
+
+let under_lib_units path =
+  (* normalise away leading ./ and backslashes *)
+  let parts = String.split_on_char '/' path in
+  let rec scan = function
+    | "lib" :: "units" :: _ -> true
+    | _ :: tl -> scan tl
+    | [] -> false
+  in
+  scan parts
+
+let poly_compare_names = [ "="; "=="; "<>"; "!="; "compare" ]
+
+let is_poly_compare_ident (id : Longident.t) =
+  match id with
+  | Lident name | Ldot (Lident "Stdlib", name) ->
+    List.mem name poly_compare_names
+  | _ -> false
+
+let is_float_literal (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+(* --- implementation rules ------------------------------------------------- *)
+
+let check_structure ~path (str : Parsetree.structure) =
+  let violations = ref [] in
+  let add ~loc rule message =
+    violations :=
+      { file = path; line = line_of_loc loc; rule; message } :: !violations
+  in
+  let expr_rule (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Ldot (Lident "Obj", "magic"); _ } ->
+      add ~loc:e.pexp_loc "obj-magic"
+        "Obj.magic defeats the type system; restructure instead"
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+      when is_poly_compare_ident txt
+           && List.exists (fun (_, a) -> is_float_literal a) args ->
+      add ~loc:e.pexp_loc "float-compare"
+        "polymorphic comparison against a float literal; use Float.equal / \
+         Float.compare (or the Units comparison operators)"
+    | _ -> ()
+  in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          expr_rule e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iterator.structure iterator str;
+  List.rev !violations
+
+(* --- interface rules ------------------------------------------------------ *)
+
+let check_signature ~path (sg : Parsetree.signature) =
+  if under_lib_units path then []
+  else begin
+    let violations = ref [] in
+    let add ~loc rule message =
+      violations :=
+        { file = path; line = line_of_loc loc; rule; message } :: !violations
+    in
+    let typ_rule (t : Parsetree.core_type) =
+      match t.ptyp_desc with
+      | Ptyp_arrow
+          ( (Labelled name | Optional name),
+            { ptyp_desc = Ptyp_constr ({ txt = Lident "float"; _ }, []); _ },
+            _ )
+        when suffix_matches name ->
+        add ~loc:t.ptyp_loc "raw-float-param"
+          (Printf.sprintf
+             "labelled float parameter ~%s; use Units.Rate.t / Units.Time.t \
+              / Units.Freq.t so the unit is carried by the type"
+             name)
+      | _ -> ()
+    in
+    let iterator =
+      {
+        Ast_iterator.default_iterator with
+        typ =
+          (fun self t ->
+            typ_rule t;
+            Ast_iterator.default_iterator.typ self t);
+      }
+    in
+    iterator.signature iterator sg;
+    List.rev !violations
+  end
+
+(* --- entry points --------------------------------------------------------- *)
+
+let parse_error ~path exn =
+  let message = Printexc.to_string exn in
+  [ { file = path; line = 1; rule = "parse-error"; message } ]
+
+let check_ml ~path src =
+  match parse_with ~path Parse.implementation src with
+  | str -> check_structure ~path str
+  | exception exn -> parse_error ~path exn
+
+let check_mli ~path src =
+  match parse_with ~path Parse.interface src with
+  | sg -> check_signature ~path sg
+  | exception exn -> parse_error ~path exn
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_file path =
+  if Filename.check_suffix path ".mli" then check_mli ~path (read_file path)
+  else if Filename.check_suffix path ".ml" then check_ml ~path (read_file path)
+  else []
+
+let rec walk dir f =
+  Array.iter
+    (fun entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then walk path f else f path)
+    (Sys.readdir dir)
+
+let check_missing_mli ~lib_root =
+  let violations = ref [] in
+  walk lib_root (fun path ->
+      if
+        Filename.check_suffix path ".ml"
+        && not (Sys.file_exists (path ^ "i"))
+      then
+        violations :=
+          {
+            file = path;
+            line = 1;
+            rule = "missing-mli";
+            message =
+              "library modules need an explicit interface (add a sibling \
+               .mli)";
+          }
+          :: !violations);
+  List.rev !violations
+
+let has_lib_component root =
+  List.exists
+    (fun part -> String.equal part "lib")
+    (String.split_on_char '/' root)
+  || String.equal (Filename.basename root) "lib"
+
+let check_tree roots =
+  List.concat_map
+    (fun root ->
+      let per_file = ref [] in
+      walk root (fun path -> per_file := check_file path :: !per_file);
+      let missing =
+        if has_lib_component root then check_missing_mli ~lib_root:root
+        else []
+      in
+      missing @ List.concat (List.rev !per_file))
+    roots

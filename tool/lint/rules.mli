@@ -1,0 +1,47 @@
+(** Repo lint rules, shared by the [dune build @lint] driver and the test
+    suite.  The checks run over the compiler's own parsetree (compiler-libs),
+    so they track the exact grammar the build uses.
+
+    Rules:
+    - [obj-magic]: any use of [Obj.magic].
+    - [float-compare]: polymorphic [=], [==], [<>], [!=] or [compare]
+      applied to a float literal operand.  (Type-directed detection needs
+      the typedtree; the literal heuristic catches the real-world cases and
+      never false-positives on non-floats.)
+    - [raw-float-param]: a labelled [float] parameter named [*_rate],
+      [*_bps], [*_hz], [*_secs] or [*_seconds] in an [.mli] — such values
+      must be carried by [Units.Rate.t] / [Units.Freq.t] / [Units.Time.t].
+      Not applied under [lib/units], which defines the carriers.
+    - [missing-mli]: a module under [lib/] with no interface file. *)
+
+type violation = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [check_ml ~path src] parses [src] as an implementation and returns
+    [obj-magic] and [float-compare] violations.  A syntax error is reported
+    as a single [parse-error] violation rather than an exception. *)
+val check_ml : path:string -> string -> violation list
+
+(** [check_mli ~path src] parses [src] as an interface and returns
+    [raw-float-param] violations ([obj-magic] cannot occur in signatures).
+    Interfaces under [lib/units] are exempt. *)
+val check_mli : path:string -> string -> violation list
+
+(** [check_missing_mli ~lib_root] walks [lib_root] recursively and flags
+    every [.ml] without a sibling [.mli]. *)
+val check_missing_mli : lib_root:string -> violation list
+
+(** [check_file path] dispatches on the extension and reads the file;
+    [.ml] files also get the interface rules skipped, and vice versa. *)
+val check_file : string -> violation list
+
+(** [check_tree roots] runs [check_file] over every [.ml]/[.mli] under the
+    given directories and [check_missing_mli] over each root named [lib]
+    (or containing a [lib] component). *)
+val check_tree : string list -> violation list
