@@ -6,21 +6,34 @@
      bench/main.exe                 run all experiments, quick profile
      bench/main.exe --full          paper durations and repetitions
      bench/main.exe --only fig8     one experiment
+     bench/main.exe --jobs 4        fan cases out over 4 domains
      bench/main.exe --micro         only the Bechamel primitives
-     bench/main.exe --list          list experiment ids *)
+     bench/main.exe --micro --json BENCH_micro.json
+                                    also dump machine-readable results
+     bench/main.exe --list          list experiment ids
+
+   Tables are byte-identical whatever --jobs is: cases are seeded
+   independently and results are merged in input order.  Only the timing
+   trailer lines vary. *)
 
 module Registry = Nimbus_experiments.Registry
 module Table = Nimbus_experiments.Table
 module Common = Nimbus_experiments.Common
+module Pool = Nimbus_parallel.Pool
+
+let wall_secs () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 let run_experiment profile (e : Registry.experiment) =
   Printf.printf "\n### [%s] %s\n%!" e.Registry.id e.Registry.title;
-  let started = Sys.time () in
+  let cpu0 = Sys.time () in
+  let wall0 = wall_secs () in
   let tables = e.Registry.run profile in
   List.iter Table.print tables;
-  Printf.printf "  (%.1f s cpu)\n%!" (Sys.time () -. started)
+  Printf.printf "  (%.1f s wall, %.1f s cpu)\n%!"
+    (wall_secs () -. wall0)
+    (Sys.time () -. cpu0)
 
-let main full only micro list_ids =
+let main full only micro list_ids jobs json =
   if list_ids then begin
     List.iter print_endline Registry.ids;
     0
@@ -28,7 +41,7 @@ let main full only micro list_ids =
   else begin
     let profile = if full then Common.full else Common.quick in
     if micro then begin
-      Micro.run ();
+      Micro.run ?json ();
       0
     end
     else begin
@@ -42,11 +55,27 @@ let main full only micro list_ids =
             exit 2)
         | None -> Registry.all
       in
-      Printf.printf "nimbus reproduction bench: %d experiment(s), %s profile\n%!"
+      let jobs =
+        match jobs with
+        | Some j ->
+          if j < 1 then begin
+            Printf.eprintf "--jobs must be >= 1\n";
+            exit 2
+          end;
+          j
+        | None -> Domain.recommended_domain_count ()
+      in
+      Printf.printf
+        "nimbus reproduction bench: %d experiment(s), %s profile, %d job(s)\n%!"
         (List.length todo)
-        (if full then "full" else "quick");
-      List.iter (run_experiment profile) todo;
-      if only = None && not full then Micro.run ();
+        (if full then "full" else "quick")
+        jobs;
+      Pool.run ~domains:jobs (fun pool ->
+          Common.set_pool (Some pool);
+          Fun.protect
+            ~finally:(fun () -> Common.set_pool None)
+            (fun () -> List.iter (run_experiment profile) todo));
+      if only = None && not full then Micro.run ?json ();
       0
     end
   end
@@ -68,10 +97,26 @@ let micro =
 let list_ids =
   Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan experiment cases out over $(docv) domains (default: the \
+           recommended domain count). Tables are byte-identical for any N.")
+
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"With $(b,--micro): also write results as JSON to $(docv).")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "nimbus-bench" ~doc)
-    Term.(const main $ full $ only $ micro $ list_ids)
+    Term.(const main $ full $ only $ micro $ list_ids $ jobs $ json)
 
 let () = exit (Cmd.eval' cmd)

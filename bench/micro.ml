@@ -1,7 +1,10 @@
 (* Bechamel micro-benchmarks of the primitives every experiment leans on:
-   FFT kernels, the Goertzel single-bin filter, the elasticity metric, the
-   ẑ estimator, event-queue churn, and one simulated packet-second of a
-   Cubic flow. *)
+   FFT kernels (planless and plan-cached), the spectrum pipeline (one-shot
+   and reusable-state), the Goertzel single-bin filter, the elasticity
+   detector tick, the ẑ estimator, event-queue churn, and one simulated
+   packet-second of a Cubic flow.  Each benchmark is measured against both
+   the monotonic clock and the minor allocator, and the results can be
+   dumped as JSON for per-PR perf tracking. *)
 
 open Bechamel
 open Toolkit
@@ -26,6 +29,37 @@ let fft_bluestein_500 =
     (Staged.stage (fun () ->
          ignore (Nimbus_dsp.Fft.bluestein (Nimbus_dsp.Cbuf.of_real xs))))
 
+(* the plan-based transforms refill the buffer from a pristine signal each
+   run, so they time the same work as the planless kernels above minus the
+   table building and allocation *)
+let fft_plan n =
+  let xs = signal n in
+  let plan = Nimbus_dsp.Fft.Plan.create n in
+  let buf = Nimbus_dsp.Cbuf.create n in
+  Test.make
+    ~name:(Printf.sprintf "fft.plan.%d" n)
+    (Staged.stage (fun () ->
+         Array.blit xs 0 buf.Nimbus_dsp.Cbuf.re 0 n;
+         Array.fill buf.Nimbus_dsp.Cbuf.im 0 n 0.;
+         Nimbus_dsp.Fft.Plan.execute plan buf))
+
+let spectrum_analyze_500 =
+  let xs = signal 500 in
+  Test.make ~name:"spectrum.analyze.500"
+    (Staged.stage (fun () ->
+         ignore
+           (Nimbus_dsp.Spectrum.analyze ~window:Nimbus_dsp.Window.Hann
+              ~detrend:`Linear xs ~sample_rate:(Units.Freq.hz 100.))))
+
+let spectrum_analyze_into_500 =
+  let xs = signal 500 in
+  let st =
+    Nimbus_dsp.Spectrum.create_state ~window:Nimbus_dsp.Window.Hann
+      ~detrend:`Linear ~n:500 ~sample_rate:(Units.Freq.hz 100.) ()
+  in
+  Test.make ~name:"spectrum.analyze_into.500"
+    (Staged.stage (fun () -> ignore (Nimbus_dsp.Spectrum.analyze_into st xs)))
+
 let goertzel_500 =
   let xs = signal 500 in
   Test.make ~name:"goertzel.500"
@@ -33,6 +67,7 @@ let goertzel_500 =
          ignore (Nimbus_dsp.Goertzel.magnitude xs ~sample_rate:(Units.Freq.hz 100.)
               ~freq:5.)))
 
+(* the steady-state detector tick: one new sample plus one eta readout *)
 let elasticity_eta =
   let det = Nimbus_core.Elasticity.create () in
   let xs = signal 500 in
@@ -77,31 +112,56 @@ let sim_packet_second =
 
 let benchmarks =
   Test.make_grouped ~name:"nimbus"
-    [ fft_radix2_512; fft_bluestein_500; goertzel_500; elasticity_eta;
-      z_estimate; event_queue; sim_packet_second ]
+    [ fft_radix2_512; fft_bluestein_500; fft_plan 500; fft_plan 512;
+      spectrum_analyze_500; spectrum_analyze_into_500; goertzel_500;
+      elasticity_eta; z_estimate; event_queue; sim_packet_second ]
 
-let run () =
+let estimate results name =
+  match Hashtbl.find_opt results name with
+  | None -> nan
+  | Some r -> (
+    match Analyze.OLS.estimates r with
+    | Some (t :: _) -> t
+    | Some [] | None -> nan)
+
+let run ?json () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let clock = Instance.monotonic_clock in
+  let alloc = Instance.minor_allocated in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg instances benchmarks in
-  let results =
-    List.map (fun instance -> Analyze.all ols instance raw) instances
+  let raw = Benchmark.all cfg [ clock; alloc ] benchmarks in
+  let times = Analyze.all ols clock raw in
+  let allocs = Analyze.all ols alloc raw in
+  let names =
+    List.sort String.compare
+      (Hashtbl.fold (fun name _ acc -> name :: acc) times [])
   in
-  let merged = Analyze.merge ols instances results in
-  print_endline "== Bechamel micro-benchmarks (monotonic clock) ==";
-  Hashtbl.iter
-    (fun _measure per_test ->
-      let rows = ref [] in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some (t :: _) -> rows := (name, t) :: !rows
-          | _ -> ())
-        per_test;
-      List.iter
-        (fun (name, t) -> Printf.printf "%-36s %14.1f ns/run\n" name t)
-        (List.sort compare !rows))
-    merged
+  print_endline "== Bechamel micro-benchmarks ==";
+  Printf.printf "%-36s %14s %18s\n" "" "ns/run" "minor words/run";
+  List.iter
+    (fun name ->
+      Printf.printf "%-36s %14.1f %18.1f\n" name (estimate times name)
+        (estimate allocs name))
+    names;
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    let num v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null" in
+    output_string oc "{\n  \"benchmarks\": [\n";
+    let last = List.length names - 1 in
+    List.iteri
+      (fun i name ->
+        Printf.fprintf oc
+          "    {\"name\": %S, \"ns_per_run\": %s, \"minor_words_per_run\": \
+           %s}%s\n"
+          name
+          (num (estimate times name))
+          (num (estimate allocs name))
+          (if i = last then "" else ","))
+      names;
+    output_string oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path

@@ -20,7 +20,25 @@ module Rate = Units.Rate
 
 let profile full = if full then Common.full else Common.quick
 
-let run_cmd id full =
+(* [with_pool jobs f] installs the ambient case pool around [f]; tables are
+   byte-identical whatever the pool size, since cases are independently
+   seeded and merged in input order *)
+let with_pool jobs f =
+  let domains =
+    match jobs with
+    | Some j ->
+      if j < 1 then begin
+        Printf.eprintf "--jobs must be >= 1\n";
+        exit 2
+      end;
+      j
+    | None -> Domain.recommended_domain_count ()
+  in
+  Nimbus_parallel.Pool.run ~domains (fun pool ->
+      Common.set_pool (Some pool);
+      Fun.protect ~finally:(fun () -> Common.set_pool None) f)
+
+let run_cmd id full jobs =
   let todo =
     match id with
     | None -> Registry.all
@@ -31,22 +49,24 @@ let run_cmd id full =
         Printf.eprintf "unknown experiment %S (try `nimbus_cli list`)\n" id;
         exit 2)
   in
-  List.iter
-    (fun (e : Registry.experiment) ->
-      Printf.printf "\n### [%s] %s\n%!" e.Registry.id e.Registry.title;
-      List.iter Table.print (e.Registry.run (profile full)))
-    todo;
+  with_pool jobs (fun () ->
+      List.iter
+        (fun (e : Registry.experiment) ->
+          Printf.printf "\n### [%s] %s\n%!" e.Registry.id e.Registry.title;
+          List.iter Table.print (e.Registry.run (profile full)))
+        todo);
   0
 
-let csv_cmd id full =
+let csv_cmd id full jobs =
   match Registry.find id with
   | None ->
     Printf.eprintf "unknown experiment %S\n" id;
     2
   | Some e ->
-    List.iter
-      (fun t -> print_string (Table.to_csv t))
-      (e.Registry.run (profile full));
+    with_pool jobs (fun () ->
+        List.iter
+          (fun t -> print_string (Table.to_csv t))
+          (e.Registry.run (profile full)));
     0
 
 let list_cmd () =
@@ -95,17 +115,26 @@ open Cmdliner
 
 let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale profile.")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan experiment cases out over $(docv) domains (default: the \
+           recommended domain count). Output is byte-identical for any N.")
+
 let run_t =
   let id =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"ID")
   in
   Cmd.v (Cmd.info "run" ~doc:"Run experiment(s) and print tables.")
-    Term.(const run_cmd $ id $ full)
+    Term.(const run_cmd $ id $ full $ jobs)
 
 let csv_t =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   Cmd.v (Cmd.info "csv" ~doc:"Run one experiment, dump CSV.")
-    Term.(const csv_cmd $ id $ full)
+    Term.(const csv_cmd $ id $ full $ jobs)
 
 let list_t =
   Cmd.v (Cmd.info "list" ~doc:"List experiments.") Term.(const list_cmd $ const ())

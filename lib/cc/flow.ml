@@ -29,12 +29,11 @@ let reorder_window = 3
 
 let rate_ring_capacity = 2048
 
-let next_flow_id = ref 0
+(* atomic so experiments may build engines from several domains at once; ids
+   only need to be distinct, not dense, and never reach printed output *)
+let next_flow_id = Atomic.make 0
 
-let fresh_id () =
-  let id = !next_flow_id in
-  incr next_flow_id;
-  id
+let fresh_id () = Atomic.fetch_and_add next_flow_id 1
 
 type t = {
   engine : Engine.t;

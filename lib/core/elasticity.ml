@@ -7,16 +7,21 @@ type verdict =
   | Elastic
   | Inelastic
 
-(* Internals stay raw float (Hz, seconds) — the typed boundary is the .mli. *)
+(* Internals stay raw float (Hz, seconds) — the typed boundary is the .mli.
+   The record deliberately has no mutable float field: assigning one in a
+   mixed record boxes on every write, and this type sits on the per-tick hot
+   path. *)
 type t = {
   ring : Ring.t;
   sample_rate : float;
   eta_thresh : float;
   band_guard_hz : float;
   taper : Nimbus_dsp.Window.kind;
-  detrend : Spectrum.detrend;
-  mutable last_sample : float;
-  (* the spectrum is recomputed lazily, at most once per new sample *)
+  scratch : float array; (* chronological window copy fed to the analyzer *)
+  spec_state : Spectrum.state;
+  (* the spectrum is recomputed lazily, at most once per new sample;
+     [analyze_into] always returns the same physical record, so the [Some]
+     cell is allocated once and reused *)
   mutable cached_spectrum : Spectrum.t option;
   mutable dirty : bool;
 }
@@ -33,13 +38,20 @@ let create ?(sample_interval = Time.ms 10.) ?(window = Time.secs 5.0)
   if eta_thresh < 1. then invalid_arg "Elasticity.create: eta_thresh < 1";
   if band_guard_hz < 0. then invalid_arg "Elasticity.create: negative guard";
   let n = int_of_float (Float.round (window /. sample_interval)) in
-  { ring = Ring.create n; sample_rate = 1. /. sample_interval; eta_thresh;
-    band_guard_hz; taper; detrend; last_sample = 0.; cached_spectrum = None;
-    dirty = true }
+  let sample_rate = 1. /. sample_interval in
+  { ring = Ring.create n; sample_rate; eta_thresh; band_guard_hz; taper;
+    scratch = Array.make n 0.;
+    spec_state =
+      Spectrum.create_state ~window:taper ~detrend ~n
+        ~sample_rate:(Freq.hz sample_rate) ();
+    cached_spectrum = None; dirty = true }
 
 let add_sample t z =
-  let z = if Float.is_nan z then t.last_sample else z in
-  t.last_sample <- z;
+  let z =
+    if Float.is_nan z then
+      (if Ring.count t.ring > 0 then Ring.last t.ring else 0.)
+    else z
+  in
   Ring.push t.ring z;
   t.dirty <- true
 
@@ -49,11 +61,11 @@ let spectrum t =
   if not (ready t) then None
   else begin
     if t.dirty then begin
-      let xs = Ring.to_array t.ring in
-      t.cached_spectrum <-
-        Some
-          (Spectrum.analyze ~window:t.taper ~detrend:t.detrend xs
-             ~sample_rate:(Freq.hz t.sample_rate));
+      Ring.blit_to t.ring t.scratch;
+      let s = Spectrum.analyze_into t.spec_state t.scratch in
+      (match t.cached_spectrum with
+      | Some _ -> () (* [s] is the same record the option already holds *)
+      | None -> t.cached_spectrum <- Some s);
       t.dirty <- false
     end;
     t.cached_spectrum
@@ -100,3 +112,7 @@ let eta_thresh t = t.eta_thresh
 let sample_rate t = Freq.hz t.sample_rate
 
 let samples t = Ring.to_array t.ring
+
+let mean t =
+  let c = Ring.count t.ring in
+  if c = 0 then 0. else Ring.sum t.ring /. float_of_int c

@@ -83,3 +83,7 @@ val sample_rate : t -> Units.Freq.t
 
 (** [samples t] is the current window contents in chronological order. *)
 val samples : t -> float array
+
+(** [mean t] is the mean of the current window contents ([0.] when empty),
+    computed without allocating. *)
+val mean : t -> float

@@ -58,6 +58,18 @@ type delay_inner =
 
 (* Internal state stays raw float (bits/s, Hz, seconds) — detection maths and
    the per-tick hot path run unwrapped; the typed boundary is the .mli. *)
+
+(* The per-tick mutable floats live in their own all-float record: OCaml
+   stores such a record flat, so these assignments do not box, unlike a
+   mutable float field in the mixed record below. *)
+type hot = {
+  mutable last_eta : float;
+  mutable last_z : float;
+  mutable srtt : float;
+  mutable next_detect : float;
+  mutable mu_cache : float;
+}
+
 type t = {
   mu : Z_estimator.Mu.t;
   comp : comp_inner;
@@ -82,11 +94,7 @@ type t = {
   smoothed_rate : Ewma.t;      (* watcher low-pass on the transmitted rate *)
   mutable mode : mode;
   mutable role : role;
-  mutable last_eta : float;
-  mutable last_z : float;
-  mutable srtt : float;
-  mutable next_detect : float;
-  mutable mu_cache : float;
+  hot : hot;
   switch_streak : int;
   mutable inelastic_streak : int;
   mutable elastic_streak : int;
@@ -157,8 +165,10 @@ let create ~mu ?(competitive = `Cubic) ?(delay = `Basic_delay)
         ~dt:sample_interval;
     mode = Delay;
     role = (if multi_flow then Watcher else Pulser);
-    last_eta = nan; last_z = nan; srtt = nan;
-    next_detect = fft_window; mu_cache = mu_now; switch_streak;
+    hot =
+      { last_eta = nan; last_z = nan; srtt = nan; next_detect = fft_window;
+        mu_cache = mu_now };
+    switch_streak;
     inelastic_streak = 0; elastic_streak = 0; z_gate_delay; min_z_frac;
     rate_reset }
 
@@ -166,9 +176,9 @@ let mode t = t.mode
 
 let role t = t.role
 
-let last_eta t = t.last_eta
+let last_eta t = t.hot.last_eta
 
-let last_z t = Rate.bps t.last_z
+let last_z t = Rate.bps t.hot.last_z
 
 let detector t = t.z_detector
 
@@ -209,7 +219,7 @@ let delay_on_loss t l =
   | D_basic _ -> ()
   | D_vegas _ | D_copa _ -> (delay_cc t).Cc_types.on_loss l
 
-let srtt_or t default = if Float.is_nan t.srtt then default else t.srtt
+let srtt_or t default = if Float.is_nan t.hot.srtt then default else t.hot.srtt
 
 (* rate in bits per second of a window-based controller *)
 let rate_of_cwnd t cwnd = cwnd *. 8. /. Float.max (srtt_or t 0.1) 1e-3
@@ -243,7 +253,7 @@ let switch_to t target ~now:_ =
          else Ring.fold t.rate_history ~init:0. ~f:Float.max
        in
        let restore =
-         if Float.is_nan t.mu_cache then restore else Float.min restore t.mu_cache
+         if Float.is_nan t.hot.mu_cache then restore else Float.min restore t.hot.mu_cache
        in
        let cwnd = restore *. srtt_or t 0.1 /. 8. in
        comp_reset t cwnd
@@ -274,16 +284,16 @@ let pulse_value t ~now =
   match t.role with
   | Watcher -> 0.
   | Pulser ->
-    if Float.is_nan t.mu_cache then 0.
+    if Float.is_nan t.hot.mu_cache then 0.
     else
       Rate.to_bps
         (Pulse.value ~shape:t.pulse_shape
-           ~amplitude:(Rate.bps (t.pulse_frac *. t.mu_cache))
+           ~amplitude:(Rate.bps (t.pulse_frac *. t.hot.mu_cache))
            ~freq:(Freq.hz (pulse_freq_hz t))
            (Time.secs now))
 
 let pulse_amplitude t =
-  if Float.is_nan t.mu_cache then 0. else t.pulse_frac *. t.mu_cache
+  if Float.is_nan t.hot.mu_cache then 0. else t.pulse_frac *. t.hot.mu_cache
 
 (* --- detection ------------------------------------------------------------ *)
 
@@ -304,12 +314,12 @@ let pulser_detect t ~now =
        an amplitude that is a sizeable fraction of the pulse amplitude;
        requiring it suppresses residues such as a smoothed Nimbus watcher's
        low-pass leakage. *)
-    let zbar = Nimbus_dsp.Stats.mean (Elasticity.samples t.z_detector) in
+    let zbar = Elasticity.mean t.z_detector in
     let z_floor =
-      if Float.is_nan t.mu_cache then 0. else t.min_z_frac *. t.mu_cache
+      if Float.is_nan t.hot.mu_cache then 0. else t.min_z_frac *. t.hot.mu_cache
     in
     let eta = if zbar < z_floor then Float.min eta 1.0 else eta in
-    t.last_eta <- eta;
+    t.hot.last_eta <- eta;
     if not (Float.is_nan eta) then begin
       (* asymmetric hysteresis: adopt competitive mode on the first elastic
          verdict (losing throughput to elastic cross traffic is the costly
@@ -341,7 +351,7 @@ let pulser_detect t ~now =
         Elasticity.oscillation_amplitude t.z_detector ~freq:(Freq.hz fp)
       in
       let big_enough =
-        (not (Float.is_nan t.mu_cache)) && z_osc >= 0.05 *. t.mu_cache
+        (not (Float.is_nan t.hot.mu_cache)) && z_osc >= 0.05 *. t.hot.mu_cache
       in
       if big_enough && z_amp > 1.5 *. r_amp && Rng.bool t.rng ~p:0.5 then
         t.role <- Watcher
@@ -381,7 +391,7 @@ let audible_pulser t =
           ~freq:(Freq.hz t.fp_delay)
       in
       let floor_amp =
-        if Float.is_nan t.mu_cache then infinity else 0.02 *. t.mu_cache
+        if Float.is_nan t.hot.mu_cache then infinity else 0.02 *. t.hot.mu_cache
       in
       let c_ok = eta_c >= t.eta_thresh && osc_c >= floor_amp in
       let d_ok = eta_d >= t.eta_thresh && osc_d >= floor_amp in
@@ -392,7 +402,7 @@ let audible_pulser t =
 
 let watcher_detect t ~now =
   if Elasticity.ready t.r_detector then begin
-    t.last_eta <- nan;
+    t.hot.last_eta <- nan;
     (match audible_pulser t with
      | Some target -> switch_to t target ~now
      | None -> ());
@@ -405,13 +415,13 @@ let election t ~recv_rate =
   if
     t.multi_flow && t.role = Watcher
     && Elasticity.ready t.r_detector
-    && not (Float.is_nan t.mu_cache || Float.is_nan recv_rate)
+    && not (Float.is_nan t.hot.mu_cache || Float.is_nan recv_rate)
   then begin
     if audible_pulser t = None then begin
       (* Eq. 5, with the share term floored: if every flow is squeezed by
          undetected elastic traffic, all receive rates collapse and the
          pure rate-proportional rule can never bootstrap a pulser *)
-      let share = Float.max (recv_rate /. t.mu_cache) 0.05 in
+      let share = Float.max (recv_rate /. t.hot.mu_cache) 0.05 in
       let p = t.kappa *. t.sample_interval /. t.fft_window *. share in
       if Rng.bool t.rng ~p:(Float.max 0. (Float.min 1. p)) then
         t.role <- Pulser
@@ -425,19 +435,19 @@ let on_tick t (tk : Cc_types.tick) =
   let srtt = Time.to_secs tk.srtt in
   let min_rtt = Time.to_secs tk.min_rtt in
   let recv_rate = Rate.to_bps tk.recv_rate in
-  if not (Float.is_nan srtt) then t.srtt <- srtt;
+  if not (Float.is_nan srtt) then t.hot.srtt <- srtt;
   Z_estimator.Mu.observe t.mu ~now:tk.now ~recv_rate:tk.recv_rate;
-  t.mu_cache <- Rate.to_bps (Z_estimator.Mu.current t.mu ~now:tk.now);
+  t.hot.mu_cache <- Rate.to_bps (Z_estimator.Mu.current t.mu ~now:tk.now);
   (match t.delay with
-   | D_basic b when not (Float.is_nan t.mu_cache) ->
-     Basic_delay.set_mu b (Rate.bps t.mu_cache)
+   | D_basic b when not (Float.is_nan t.hot.mu_cache) ->
+     Basic_delay.set_mu b (Rate.bps t.hot.mu_cache)
    | _ -> ());
   (* ẑ and receive-rate windows.  Eq. 1 requires a busy bottleneck: with no
      standing queue the ratio degenerates to µ − S, which tracks our own
      pulses and would read as elastic cross traffic.  No standing queue also
      means nothing elastic is backlogged, so ẑ = 0 is the truthful sample. *)
   let z =
-    if Float.is_nan t.mu_cache then nan
+    if Float.is_nan t.hot.mu_cache then nan
     else if
       (not (Float.is_nan srtt))
       && (not (Float.is_nan min_rtt))
@@ -445,10 +455,10 @@ let on_tick t (tk : Cc_types.tick) =
     then 0.
     else
       Rate.to_bps
-        (Z_estimator.estimate ~mu:(Rate.bps t.mu_cache)
+        (Z_estimator.estimate ~mu:(Rate.bps t.hot.mu_cache)
            ~send_rate:tk.send_rate ~recv_rate:tk.recv_rate)
   in
-  t.last_z <- z;
+  t.hot.last_z <- z;
   Elasticity.add_sample t.z_detector z;
   Elasticity.add_sample t.r_detector
     (if Float.is_nan recv_rate then 0. else recv_rate);
@@ -467,8 +477,8 @@ let on_tick t (tk : Cc_types.tick) =
          s_base_rate = Rate.bps base }
    | None -> ());
   election t ~recv_rate;
-  if now >= t.next_detect then begin
-    t.next_detect <- now +. t.detect_interval;
+  if now >= t.hot.next_detect then begin
+    t.hot.next_detect <- now +. t.detect_interval;
     match t.role with
     | Pulser -> pulser_detect t ~now
     | Watcher -> watcher_detect t ~now

@@ -14,8 +14,41 @@
 (** [is_power_of_two n] holds iff [n] is a positive power of two. *)
 val is_power_of_two : int -> bool
 
-(** [next_power_of_two n] is the least power of two [>= max n 1]. *)
+(** [max_power_of_two] is the largest power of two representable as an
+    [int] ([max_int/2 + 1]). *)
+val max_power_of_two : int
+
+(** [next_power_of_two n] is the least power of two [>= max n 1].
+    @raise Invalid_argument if [n > max_power_of_two] (doubling past it
+    would overflow and never terminate). *)
 val next_power_of_two : int -> int
+
+(** Precomputed transform plans.
+
+    A plan caches everything size-dependent the kernels otherwise recompute
+    per call — the bit-reversal permutation, every stage's twiddle factors,
+    and (for non-power-of-two sizes) the Bluestein chirp tables, the FFT of
+    the chirp filter, and the padded convolution scratch buffer — so that
+    {!Plan.execute} performs no allocation and no trigonometry.
+
+    A plan owns mutable scratch state: one plan must not be executed from
+    two domains concurrently.  Give each detector (or each domain) its own
+    plan. *)
+module Plan : sig
+  type t
+
+  (** [create n] builds a plan for transforms of [n] complex points.
+      @raise Invalid_argument if [n <= 0]. *)
+  val create : int -> t
+
+  (** [size t] is the transform length the plan was built for. *)
+  val size : t -> int
+
+  (** [execute ?inverse t b] transforms [b] in place (same convention as
+      {!transform}), allocation-free.
+      @raise Invalid_argument if [Cbuf.length b <> size t]. *)
+  val execute : ?inverse:bool -> t -> Cbuf.t -> unit
+end
 
 (** [radix2 ?inverse b] transforms [b] in place.
     @raise Invalid_argument if the length of [b] is not a power of two. *)

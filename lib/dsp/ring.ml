@@ -24,6 +24,23 @@ let to_array t =
   let start = (t.head - t.count + n) mod n in
   Array.init t.count (fun i -> t.buf.((start + i) mod n))
 
+let blit_to t dst =
+  if Array.length dst < t.count then invalid_arg "Ring.blit_to: dst too small";
+  let n = Array.length t.buf in
+  let start = (t.head - t.count + n) mod n in
+  let first = min t.count (n - start) in
+  Array.blit t.buf start dst 0 first;
+  if first < t.count then Array.blit t.buf 0 dst first (t.count - first)
+
+let sum t =
+  let n = Array.length t.buf in
+  let start = (t.head - t.count + n) mod n in
+  let acc = ref 0. in
+  for i = 0 to t.count - 1 do
+    acc := !acc +. t.buf.((start + i) mod n)
+  done;
+  !acc
+
 let last t =
   if t.count = 0 then invalid_arg "Ring.last: empty";
   t.buf.((t.head - 1 + Array.length t.buf) mod Array.length t.buf)

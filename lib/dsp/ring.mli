@@ -24,6 +24,14 @@ val push : t -> float -> unit
 (** [to_array t] is the stored samples in chronological order. *)
 val to_array : t -> float array
 
+(** [blit_to t dst] copies the stored samples in chronological order into
+    [dst.(0 .. count t - 1)] without allocating.
+    @raise Invalid_argument if [dst] is shorter than [count t]. *)
+val blit_to : t -> float array -> unit
+
+(** [sum t] is the sum of the stored samples, without allocating. *)
+val sum : t -> float
+
 (** [last t] is the most recent sample. @raise Invalid_argument when empty. *)
 val last : t -> float
 

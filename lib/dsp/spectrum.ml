@@ -10,44 +10,90 @@ type detrend =
   | `Linear
   ]
 
-let remove_mean xs =
-  let n = Array.length xs in
-  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
-  Array.map (fun x -> x -. mean) xs
+type state = {
+  st_n : int;
+  st_detrend : detrend;
+  coeffs : float array;
+  buf : Cbuf.t;
+  plan : Fft.Plan.t;
+  result : t;
+}
 
-let remove_line xs =
-  let n = Array.length xs in
-  if n < 2 then remove_mean xs
-  else begin
-    (* least-squares line over index i = 0 .. n-1 *)
-    let nf = float_of_int n in
-    let sx = nf *. (nf -. 1.) /. 2. in
-    let sxx = nf *. (nf -. 1.) *. ((2. *. nf) -. 1.) /. 6. in
-    let sy = ref 0. and sxy = ref 0. in
-    Array.iteri
-      (fun i y ->
-        sy := !sy +. y;
-        sxy := !sxy +. (float_of_int i *. y))
-      xs;
-    let denom = (nf *. sxx) -. (sx *. sx) in
-    let slope = ((nf *. !sxy) -. (sx *. !sy)) /. denom in
-    let intercept = (!sy -. (slope *. sx)) /. nf in
-    Array.mapi (fun i y -> y -. intercept -. (slope *. float_of_int i)) xs
-  end
+let create_state ?(window = Window.Rectangular) ?(detrend = `Mean) ~n
+    ~sample_rate () =
+  let rate = Units.Freq.to_hz sample_rate in
+  if n <= 0 then invalid_arg "Spectrum.create_state: n <= 0";
+  if rate <= 0. then invalid_arg "Spectrum.create_state: sample_rate <= 0";
+  {
+    st_n = n;
+    st_detrend = detrend;
+    coeffs = Window.coefficients window n;
+    buf = Cbuf.create n;
+    plan = Fft.Plan.create n;
+    result = { amplitudes = Array.make ((n / 2) + 1) 0.; sample_rate = rate; n };
+  }
+
+let state_size st = st.st_n
+
+let analyze_into st xs =
+  let n = st.st_n in
+  if Array.length xs <> n then
+    invalid_arg "Spectrum.analyze_into: signal length <> state size";
+  (* The detrended sample is xs.(i) - intercept - slope*i; computing the two
+     coefficients first lets the fill loop below run without a scratch copy. *)
+  let intercept = ref 0. and slope = ref 0. in
+  (match st.st_detrend with
+  | `None -> ()
+  | `Mean ->
+      let s = ref 0. in
+      for i = 0 to n - 1 do
+        s := !s +. xs.(i)
+      done;
+      intercept := !s /. float_of_int n
+  | `Linear ->
+      if n < 2 then begin
+        let s = ref 0. in
+        for i = 0 to n - 1 do
+          s := !s +. xs.(i)
+        done;
+        intercept := !s /. float_of_int n
+      end
+      else begin
+        (* least-squares line over index i = 0 .. n-1 *)
+        let nf = float_of_int n in
+        let sx = nf *. (nf -. 1.) /. 2. in
+        let sxx = nf *. (nf -. 1.) *. ((2. *. nf) -. 1.) /. 6. in
+        let sy = ref 0. and sxy = ref 0. in
+        for i = 0 to n - 1 do
+          let y = xs.(i) in
+          sy := !sy +. y;
+          sxy := !sxy +. (float_of_int i *. y)
+        done;
+        let denom = (nf *. sxx) -. (sx *. sx) in
+        slope := ((nf *. !sxy) -. (sx *. !sy)) /. denom;
+        intercept := (!sy -. (!slope *. sx)) /. nf
+      end);
+  let b = !intercept and a = !slope in
+  let re = st.buf.Cbuf.re and im = st.buf.Cbuf.im in
+  let coeffs = st.coeffs in
+  for i = 0 to n - 1 do
+    re.(i) <- (xs.(i) -. b -. (a *. float_of_int i)) *. coeffs.(i);
+    im.(i) <- 0.
+  done;
+  Fft.Plan.execute st.plan st.buf;
+  let amps = st.result.amplitudes in
+  for k = 0 to n / 2 do
+    amps.(k) <- Float.hypot re.(k) im.(k)
+  done;
+  st.result
 
 let analyze ?(window = Window.Rectangular) ?(detrend = `Mean) xs ~sample_rate =
-  let sample_rate = Units.Freq.to_hz sample_rate in
   let n = Array.length xs in
   if n = 0 then invalid_arg "Spectrum.analyze: empty signal";
-  if sample_rate <= 0. then invalid_arg "Spectrum.analyze: sample_rate <= 0";
-  let xs =
-    match detrend with
-    | `None -> Array.copy xs
-    | `Mean -> remove_mean xs
-    | `Linear -> remove_line xs
-  in
-  let xs = Window.apply window xs in
-  { amplitudes = Fft.real_amplitudes xs; sample_rate; n }
+  if Units.Freq.to_hz sample_rate <= 0. then
+    invalid_arg "Spectrum.analyze: sample_rate <= 0";
+  let st = create_state ~window ~detrend ~n ~sample_rate () in
+  analyze_into st xs
 
 let bin_width s = s.sample_rate /. float_of_int s.n
 

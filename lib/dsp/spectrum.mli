@@ -19,8 +19,39 @@ type detrend =
                  rate mid-transition *)
   ]
 
+(** Reusable analysis state for a fixed signal length.
+
+    A [state] preallocates everything {!analyze} otherwise rebuilds per call —
+    the window coefficients, the complex FFT buffer, the {!Fft.Plan.t}, and
+    the result record with its amplitude array — so that {!analyze_into} runs
+    without heap allocation.  A state owns mutable scratch: do not share one
+    between domains, and note that the [t] returned by {!analyze_into} aliases
+    the state's amplitude array (it is overwritten by the next call). *)
+type state
+
+(** [create_state ?window ?detrend ~n ~sample_rate ()] builds reusable state
+    for signals of exactly [n] samples.  Defaults match {!analyze}.
+    @raise Invalid_argument if [n <= 0] or the rate is non-positive. *)
+val create_state :
+  ?window:Window.kind ->
+  ?detrend:detrend ->
+  n:int ->
+  sample_rate:Units.Freq.t ->
+  unit ->
+  state
+
+(** [state_size st] is the signal length [st] was built for. *)
+val state_size : state -> int
+
+(** [analyze_into st xs] computes the spectrum of [xs] into [st]'s reused
+    buffers.  The returned [t] is valid until the next [analyze_into] on the
+    same state.
+    @raise Invalid_argument if [Array.length xs <> state_size st]. *)
+val analyze_into : state -> float array -> t
+
 (** [analyze ?window ?detrend xs ~sample_rate] computes the spectrum of [xs].
     [detrend] defaults to [`Mean]; [window] defaults to rectangular.
+    One-shot convenience over {!create_state} + {!analyze_into}.
     @raise Invalid_argument on an empty signal or non-positive rate. *)
 val analyze :
   ?window:Window.kind ->

@@ -165,3 +165,22 @@ let mean s ~lo ~hi =
 let pct s ~lo ~hi p =
   let xs = window_values s ~lo ~hi in
   if Array.length xs = 0 then nan else Stats.percentile xs p
+
+(* --- parallel fan-out ----------------------------------------------------- *)
+
+let pool : Nimbus_parallel.Pool.t option ref = ref None
+
+let set_pool p = pool := p
+
+let map_cases ~f cases =
+  match !pool with
+  | Some p when Nimbus_parallel.Pool.parallelism p > 1 ->
+    let arr = Array.of_list cases in
+    let n = Array.length arr in
+    if n <= 1 then List.map f cases
+    else
+      Array.to_list (Nimbus_parallel.Pool.map p ~f:(fun i -> f arr.(i)) n)
+  | _ -> List.map f cases
+
+let run_seeds p ~base f =
+  map_cases ~f:(fun seed -> f ~seed) (List.init p.seeds (fun k -> base + k))

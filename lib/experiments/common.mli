@@ -104,3 +104,23 @@ val instrument :
 val mean : Nimbus_metrics.Series.t -> lo:float -> hi:float -> float
 
 val pct : Nimbus_metrics.Series.t -> lo:float -> hi:float -> float -> float
+
+(** Parallel fan-out
+
+    Experiments fan independent cases (scenarios, seeds) out over an ambient
+    {!Nimbus_parallel.Pool.t} installed by the harness.  Each case must build
+    its own engine, RNG, and flows from its inputs — cases run on arbitrary
+    domains and must share no mutable state.  Results always come back in
+    input order, so tables are byte-identical whatever the pool size. *)
+
+(** [set_pool p] installs (or, with [None], removes) the ambient pool. *)
+val set_pool : Nimbus_parallel.Pool.t option -> unit
+
+(** [map_cases ~f cases] is [List.map f cases], evaluated across the ambient
+    pool when one is installed. *)
+val map_cases : f:('a -> 'b) -> 'a list -> 'b list
+
+(** [run_seeds p ~base f] runs [f ~seed] for [p.seeds] consecutive seeds
+    starting at [base] (so quick profiles, with one seed, behave exactly like
+    a fixed-seed run) and returns the results in seed order. *)
+val run_seeds : profile -> base:int -> (seed:int -> 'a) -> 'a list

@@ -73,23 +73,25 @@ let run (p : Common.profile) =
   let pulses = if fullp then [ 0.0625; 0.125; 0.25; 0.5 ] else [ 0.125; 0.25 ] in
   let shares = if fullp then [ 0.125; 0.25; 0.5; 0.75 ] else [ 0.25; 0.5 ] in
   let rates = if fullp then [ 96.; 192.; 384. ] else [ 96.; 192. ] in
-  let sweep =
+  let grid =
     List.concat_map
       (fun mbps ->
         List.concat_map
-          (fun pulse ->
-            List.map
-              (fun share ->
-                let link = Common.link ~mbps ~rtt_ms:50. ~buffer_bdp:2.0 () in
-                let acc mix = case p ~link ~mix ~share ~pulse ~seed:25 in
-                [ Printf.sprintf "%.0fM" mbps; Table.fmt_float pulse;
-                  Table.fmt_pct share;
-                  Table.fmt_pct (acc Elastic);
-                  Table.fmt_pct (acc Inelastic);
-                  Table.fmt_pct (acc Mixed) ])
-              shares)
+          (fun pulse -> List.map (fun share -> (mbps, pulse, share)) shares)
           pulses)
       rates
+  in
+  let sweep =
+    Common.map_cases
+      ~f:(fun (mbps, pulse, share) ->
+        let link = Common.link ~mbps ~rtt_ms:50. ~buffer_bdp:2.0 () in
+        let acc mix = case p ~link ~mix ~share ~pulse ~seed:25 in
+        [ Printf.sprintf "%.0fM" mbps; Table.fmt_float pulse;
+          Table.fmt_pct share;
+          Table.fmt_pct (acc Elastic);
+          Table.fmt_pct (acc Inelastic);
+          Table.fmt_pct (acc Mixed) ])
+      grid
   in
   let fig25 =
     Table.make ~title:"Fig 25: pulse size x Nimbus share x link rate"
@@ -115,8 +117,8 @@ let run (p : Common.profile) =
            ~aqm:(`Pie (Time.ms 12.5)) ()) ]
   in
   let env =
-    List.map
-      (fun (label, link) ->
+    Common.map_cases
+      ~f:(fun (label, link) ->
         let acc mix = case p ~link ~mix ~share:0.5 ~pulse:0.25 ~seed:26 in
         [ label;
           Table.fmt_pct (acc Elastic);

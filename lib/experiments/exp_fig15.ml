@@ -82,18 +82,24 @@ let heterogeneous (p : Common.profile) ~flows ~seed =
 let run (p : Common.profile) =
   let ratios = [ 0.2; 0.5; 1.; 2.; 4. ] in
   let sweep =
-    List.map
-      (fun ratio ->
-        let acc mix = case p ~mix ~ratio ~seed:15 in
+    Common.map_cases
+      ~f:(fun (ratio, mix) -> case p ~mix ~ratio ~seed:15)
+      (List.concat_map
+         (fun ratio -> [ (ratio, Elastic); (ratio, Mixed); (ratio, Inelastic) ])
+         ratios)
+  in
+  let sweep =
+    List.mapi
+      (fun i ratio ->
         [ Table.fmt_float ~digits:1 ratio;
-          Table.fmt_pct (acc Elastic);
-          Table.fmt_pct (acc Mixed);
-          Table.fmt_pct (acc Inelastic) ])
+          Table.fmt_pct (List.nth sweep (3 * i));
+          Table.fmt_pct (List.nth sweep ((3 * i) + 1));
+          Table.fmt_pct (List.nth sweep ((3 * i) + 2)) ])
       ratios
   in
   let hetero =
-    List.map
-      (fun flows ->
+    Common.map_cases
+      ~f:(fun flows ->
         [ string_of_int flows;
           Table.fmt_pct (heterogeneous p ~flows ~seed:16) ])
       [ 1; 2; 3; 4; 5 ]

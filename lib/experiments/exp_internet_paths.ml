@@ -95,8 +95,8 @@ let run (p : Common.profile) =
       Common.vegas ]
   in
   let results =
-    List.map
-      (fun path ->
+    Common.map_cases
+      ~f:(fun path ->
         (path, List.map (fun sch -> run_path p path ~seed:(500 + path.p_id) sch) schemes))
       paths
   in
@@ -167,7 +167,9 @@ let run (p : Common.profile) =
   in
   let runs = max 4 (p.Common.seeds * 4) in
   let collect sch =
-    List.init runs (fun k -> run_path p base_path ~seed:(900 + k) sch)
+    Common.map_cases
+      ~f:(fun k -> run_path p base_path ~seed:(900 + k) sch)
+      (List.init runs (fun k -> k))
   in
   let cubic_runs = collect Common.cubic in
   let delay_runs = collect Common.nimbus_delay_only in

@@ -81,9 +81,26 @@ let classify (p : Common.profile) case ~seed =
 
 let run (p : Common.profile) =
   let rows =
-    List.map
-      (fun case ->
-        let verdict, frac = classify p case ~seed:100 in
+    Common.map_cases
+      ~f:(fun case ->
+        (* full profiles average the elastic-time fraction over the seed
+           repetitions; the quick profile's single seed reproduces the
+           historical fixed-seed run exactly *)
+        let outcomes = Common.run_seeds p ~base:100 (classify p case) in
+        let fracs =
+          List.filter (fun f -> not (Float.is_nan f)) (List.map snd outcomes)
+        in
+        let frac =
+          match fracs with
+          | [] -> nan
+          | _ ->
+            List.fold_left ( +. ) 0. fracs /. float_of_int (List.length fracs)
+        in
+        let verdict =
+          if Float.is_nan frac then "?"
+          else if frac >= 0.5 then "Elastic"
+          else "Inelastic"
+        in
         [ case.label; case.expected; verdict; Table.fmt_pct frac;
           (if verdict = case.expected then "ok" else "MISMATCH") ])
       cases

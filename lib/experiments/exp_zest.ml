@@ -61,18 +61,24 @@ let case (p : Common.profile) ~label ~seed ~install =
   (label, errs)
 
 let run (p : Common.profile) =
-  let cases =
-    [ case p ~label:"Poisson 24M" ~seed:31 ~install:(fun e b _ r ->
+  (* each (pattern, seed) pair is an independent simulation; full profiles
+     pool the error samples of [p.seeds] consecutive seeds per pattern *)
+  let specs =
+    [ ( "Poisson 24M", 31,
+        fun e b _ r ->
           [ Source.flow_id
               (Source.poisson e b ~rng:(Rng.split r) ~rate:(Rate.bps 24e6) ())
-          ]);
-      case p ~label:"CBR 48M" ~seed:32 ~install:(fun e b _ _ ->
-          [ Source.flow_id (Source.cbr e b ~rate:(Rate.bps 48e6) ()) ]);
-      case p ~label:"1 Cubic" ~seed:33 ~install:(fun e b l _ ->
+          ] );
+      ( "CBR 48M", 32,
+        fun e b _ _ ->
+          [ Source.flow_id (Source.cbr e b ~rate:(Rate.bps 48e6) ()) ] );
+      ( "1 Cubic", 33,
+        fun e b l _ ->
           [ Flow.id
               (Flow.create e b ~cc:(Nimbus_cc.Cubic.make ())
-                 ~prop_rtt:l.Common.prop_rtt ()) ]);
-      case p ~label:"2 Cubic + Poisson 16M" ~seed:34 ~install:(fun e b l r ->
+                 ~prop_rtt:l.Common.prop_rtt ()) ] );
+      ( "2 Cubic + Poisson 16M", 34,
+        fun e b l r ->
           let f1 =
             Flow.create e b ~cc:(Nimbus_cc.Cubic.make ())
               ~prop_rtt:l.Common.prop_rtt ()
@@ -84,7 +90,16 @@ let run (p : Common.profile) =
           let s =
             Source.poisson e b ~rng:(Rng.split r) ~rate:(Rate.bps 16e6) ()
           in
-          [ Flow.id f1; Flow.id f2; Source.flow_id s ]) ]
+          [ Flow.id f1; Flow.id f2; Source.flow_id s ] ) ]
+  in
+  let cases =
+    Common.map_cases
+      ~f:(fun (label, base, install) ->
+        let per_seed =
+          Common.run_seeds p ~base (fun ~seed -> case p ~label ~seed ~install)
+        in
+        (label, Array.concat (List.map snd per_seed)))
+      specs
   in
   let rows =
     List.map

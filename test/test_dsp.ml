@@ -63,6 +63,24 @@ let test_power_of_two () =
   Alcotest.(check int) "next 512" 512 (Fft.next_power_of_two 512);
   Alcotest.(check int) "next 1" 1 (Fft.next_power_of_two 1)
 
+let test_next_power_of_two_bounds () =
+  (* non-positive inputs round up to 2^0 *)
+  Alcotest.(check int) "next 0" 1 (Fft.next_power_of_two 0);
+  Alcotest.(check int) "next -17" 1 (Fft.next_power_of_two (-17));
+  (* the largest representable power of two is its own ceiling... *)
+  Alcotest.(check int) "next max" Fft.max_power_of_two
+    (Fft.next_power_of_two Fft.max_power_of_two);
+  Alcotest.(check int) "next max-1" Fft.max_power_of_two
+    (Fft.next_power_of_two (Fft.max_power_of_two - 1));
+  (* ...and anything beyond it has none *)
+  let overflow = Invalid_argument
+      "Fft.next_power_of_two: no representable power of two >= n"
+  in
+  Alcotest.check_raises "next max+1" overflow (fun () ->
+      ignore (Fft.next_power_of_two (Fft.max_power_of_two + 1)));
+  Alcotest.check_raises "next max_int" overflow (fun () ->
+      ignore (Fft.next_power_of_two max_int))
+
 let test_fft_impulse () =
   (* delta function -> flat spectrum of magnitude 1 *)
   let b = Cbuf.create 16 in
@@ -128,6 +146,90 @@ let test_inverse_roundtrip () =
       let back = Fft.transform ~inverse:true fwd in
       if max_diff b back > 1e-8 then Alcotest.failf "roundtrip fails at n=%d" n)
     [ 8; 17; 500; 512 ]
+
+let test_plan_matches_dft () =
+  List.iter
+    (fun n ->
+      let rng = Nimbus_sim.Rng.create (3000 + n) in
+      let b = Cbuf.create n in
+      for i = 0 to n - 1 do
+        Cbuf.set b i (Nimbus_sim.Rng.uniform rng) (Nimbus_sim.Rng.uniform rng)
+      done;
+      let oracle = Fft.dft b in
+      let plan = Fft.Plan.create n in
+      Alcotest.(check int) "plan size" n (Fft.Plan.size plan);
+      let fwd = Cbuf.copy b in
+      Fft.Plan.execute plan fwd;
+      if max_diff oracle fwd > 1e-7 then
+        Alcotest.failf "plan deviates from DFT at n=%d" n;
+      (* executing the same plan again must give the same answer: the plan's
+         scratch state carries nothing across calls *)
+      let again = Cbuf.copy b in
+      Fft.Plan.execute plan again;
+      if max_diff fwd again > 0. then
+        Alcotest.failf "plan not reusable at n=%d" n;
+      Fft.Plan.execute ~inverse:true plan again;
+      if max_diff b again > 1e-8 then
+        Alcotest.failf "plan roundtrip fails at n=%d" n)
+    [ 1; 2; 3; 5; 7; 12; 100; 500; 512 ]
+
+let test_plan_validation () =
+  Alcotest.check_raises "create 0"
+    (Invalid_argument "Fft.Plan.create: size must be positive") (fun () ->
+      ignore (Fft.Plan.create 0));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Fft.Plan.execute: buffer length does not match plan size")
+    (fun () -> Fft.Plan.execute (Fft.Plan.create 8) (Cbuf.create 9))
+
+(* the core kernel-agreement property of the plan layer: dft, bluestein and
+   plan execute agree on any length; radix2 joins in on powers of two *)
+let prop_kernels_agree =
+  QCheck.Test.make ~count:60 ~name:"fft: dft = bluestein = plan (any n)"
+    QCheck.(pair (int_range 1 128) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Nimbus_sim.Rng.create seed in
+      let b = Cbuf.create n in
+      for i = 0 to n - 1 do
+        Cbuf.set b i
+          (Nimbus_sim.Rng.range rng ~lo:(-1.) ~hi:1.)
+          (Nimbus_sim.Rng.range rng ~lo:(-1.) ~hi:1.)
+      done;
+      let tol = 1e-9 *. float_of_int n in
+      let oracle = Fft.dft b in
+      let via_bluestein = Fft.bluestein b in
+      let via_plan = Cbuf.copy b in
+      Fft.Plan.execute (Fft.Plan.create n) via_plan;
+      let radix2_ok =
+        if Fft.is_power_of_two n then begin
+          let via_radix2 = Cbuf.copy b in
+          Fft.radix2 via_radix2;
+          max_diff oracle via_radix2 < tol
+        end
+        else true
+      in
+      max_diff oracle via_bluestein < tol
+      && max_diff oracle via_plan < tol
+      && radix2_ok)
+
+let prop_kernels_agree_pow2 =
+  QCheck.Test.make ~count:30 ~name:"fft: dft = radix2 = plan (power of two)"
+    QCheck.(pair (int_range 0 7) (int_range 0 10_000))
+    (fun (log2, seed) ->
+      let n = 1 lsl log2 in
+      let rng = Nimbus_sim.Rng.create seed in
+      let b = Cbuf.create n in
+      for i = 0 to n - 1 do
+        Cbuf.set b i
+          (Nimbus_sim.Rng.range rng ~lo:(-1.) ~hi:1.)
+          (Nimbus_sim.Rng.range rng ~lo:(-1.) ~hi:1.)
+      done;
+      let tol = 1e-9 *. float_of_int (max n 1) in
+      let oracle = Fft.dft b in
+      let via_radix2 = Cbuf.copy b in
+      Fft.radix2 via_radix2;
+      let via_plan = Cbuf.copy b in
+      Fft.Plan.execute (Fft.Plan.create n) via_plan;
+      max_diff oracle via_radix2 < tol && max_diff oracle via_plan < tol)
 
 let test_parseval () =
   let n = 128 in
@@ -263,6 +365,46 @@ let test_spectrum_rejects_bad_input () =
     (Invalid_argument "Spectrum.analyze: sample_rate <= 0") (fun () ->
       ignore (Spectrum.analyze [| 1. |] ~sample_rate:(Units.Freq.hz 0.)))
 
+let test_spectrum_state_matches_analyze () =
+  let st =
+    Spectrum.create_state ~window:Window.Hann ~detrend:`Linear ~n:500
+      ~sample_rate:(Units.Freq.hz 100.) ()
+  in
+  Alcotest.(check int) "state size" 500 (Spectrum.state_size st);
+  (* reuse the same state for two different signals; each result must match
+     the one-shot analyze exactly *)
+  List.iter
+    (fun (freq, amp) ->
+      let xs = sinusoid ~n:500 ~sample_rate:100. ~freq ~amp ~phase:0.4 in
+      let fresh =
+        Spectrum.analyze ~window:Window.Hann ~detrend:`Linear xs
+          ~sample_rate:(Units.Freq.hz 100.)
+      in
+      let reused = Spectrum.analyze_into st xs in
+      check_close "bin width" (Spectrum.bin_width fresh)
+        (Spectrum.bin_width reused);
+      for k = 0 to 250 do
+        check_close ~eps:1e-12
+          (Printf.sprintf "amplitude bin %d at %g Hz" k freq)
+          (Spectrum.amplitude_at fresh (Spectrum.freq_of_bin fresh k))
+          (Spectrum.amplitude_at reused (Spectrum.freq_of_bin reused k))
+      done)
+    [ (7., 1.); (23.4, 0.3) ]
+
+let test_spectrum_state_validation () =
+  Alcotest.check_raises "n 0"
+    (Invalid_argument "Spectrum.create_state: n <= 0") (fun () ->
+      ignore
+        (Spectrum.create_state ~n:0 ~sample_rate:(Units.Freq.hz 100.) ()));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Spectrum.create_state: sample_rate <= 0") (fun () ->
+      ignore
+        (Spectrum.create_state ~n:8 ~sample_rate:(Units.Freq.hz 0.) ()));
+  let st = Spectrum.create_state ~n:8 ~sample_rate:(Units.Freq.hz 100.) () in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Spectrum.analyze_into: signal length <> state size")
+    (fun () -> ignore (Spectrum.analyze_into st (Array.make 9 0.)))
+
 (* --- ewma ---------------------------------------------------------------- *)
 
 let test_ewma_first_sample () =
@@ -379,6 +521,24 @@ let test_ring_clear_fold () =
   Ring.clear r;
   Alcotest.(check int) "cleared" 0 (Ring.count r)
 
+let test_ring_blit_to () =
+  let r = Ring.create 3 in
+  (* force wrap-around: oldest-to-newest order must survive the seam *)
+  List.iter (Ring.push r) [ 1.; 2.; 3.; 4.; 5. ];
+  let dst = Array.make 4 0. in
+  Ring.blit_to r dst;
+  Alcotest.(check (array (float 0.))) "wrapped blit" [| 3.; 4.; 5.; 0. |] dst;
+  Alcotest.check_raises "short dst"
+    (Invalid_argument "Ring.blit_to: dst too small") (fun () ->
+      Ring.blit_to r (Array.make 2 0.))
+
+let test_ring_sum () =
+  let r = Ring.create 3 in
+  check_close "empty sum" 0. (Ring.sum r);
+  List.iter (Ring.push r) [ 1.; 2.; 3.; 4.; 5. ];
+  (* only the surviving window counts *)
+  check_close "wrapped sum" 12. (Ring.sum r)
+
 let prop_ring_keeps_last_n =
   QCheck.Test.make ~count:100 ~name:"ring: to_array = last n pushes"
     QCheck.(pair (int_range 1 20) (list_of_size Gen.(int_range 0 100) (float_bound_exclusive 100.)))
@@ -401,17 +561,23 @@ let suite =
         Alcotest.test_case "blit" `Quick test_cbuf_blit ] );
     ( "dsp.fft",
       [ Alcotest.test_case "power-of-two helpers" `Quick test_power_of_two;
+        Alcotest.test_case "next_power_of_two bounds" `Quick
+          test_next_power_of_two_bounds;
         Alcotest.test_case "impulse" `Quick test_fft_impulse;
         Alcotest.test_case "dc" `Quick test_fft_dc;
         Alcotest.test_case "sinusoid bin" `Quick test_fft_sinusoid_bin;
         Alcotest.test_case "radix2 = DFT" `Quick test_radix2_matches_dft;
         Alcotest.test_case "bluestein = DFT" `Quick test_bluestein_matches_dft;
         Alcotest.test_case "inverse roundtrip" `Quick test_inverse_roundtrip;
+        Alcotest.test_case "plan = DFT + roundtrip" `Quick test_plan_matches_dft;
+        Alcotest.test_case "plan validation" `Quick test_plan_validation;
         Alcotest.test_case "parseval" `Quick test_parseval;
         Alcotest.test_case "real_amplitudes length" `Quick
           test_real_amplitudes_length;
         qtest prop_fft_linearity;
-        qtest prop_bluestein_equals_radix2 ] );
+        qtest prop_bluestein_equals_radix2;
+        qtest prop_kernels_agree;
+        qtest prop_kernels_agree_pow2 ] );
     ( "dsp.goertzel",
       [ Alcotest.test_case "matches fft bin" `Quick test_goertzel_matches_fft;
         Alcotest.test_case "rejects other freq" `Quick
@@ -426,7 +592,11 @@ let suite =
         Alcotest.test_case "peak and band" `Quick test_spectrum_peak_and_band;
         Alcotest.test_case "linear detrend" `Quick test_spectrum_detrend_linear;
         Alcotest.test_case "input validation" `Quick
-          test_spectrum_rejects_bad_input ] );
+          test_spectrum_rejects_bad_input;
+        Alcotest.test_case "reusable state = analyze" `Quick
+          test_spectrum_state_matches_analyze;
+        Alcotest.test_case "state validation" `Quick
+          test_spectrum_state_validation ] );
     ( "dsp.ewma",
       [ Alcotest.test_case "first sample" `Quick test_ewma_first_sample;
         Alcotest.test_case "convergence" `Quick test_ewma_convergence;
@@ -445,4 +615,6 @@ let suite =
     ( "dsp.ring",
       [ Alcotest.test_case "fifo" `Quick test_ring_fifo;
         Alcotest.test_case "clear/fold" `Quick test_ring_clear_fold;
+        Alcotest.test_case "blit_to" `Quick test_ring_blit_to;
+        Alcotest.test_case "sum" `Quick test_ring_sum;
         qtest prop_ring_keeps_last_n ] ) ]

@@ -1,0 +1,111 @@
+(* Tests for the domain pool and the parallel experiment harness: result
+   ordering, exception propagation, nested maps (the caller-helps invariant),
+   and byte-identical experiment tables at --jobs 1 vs --jobs 4. *)
+
+module Pool = Nimbus_parallel.Pool
+module Common = Nimbus_experiments.Common
+module Registry = Nimbus_experiments.Registry
+module Table = Nimbus_experiments.Table
+
+let test_create_invalid () =
+  Alcotest.check_raises "domains 0"
+    (Invalid_argument "Pool.create: domains < 1") (fun () ->
+      ignore (Pool.create ~domains:0 ()))
+
+let test_map_order () =
+  Pool.run ~domains:4 (fun p ->
+      Alcotest.(check (array int))
+        "index order"
+        (Array.init 100 (fun i -> i * i))
+        (Pool.map p ~f:(fun i -> i * i) 100))
+
+let test_map_sequential () =
+  (* parallelism 1: no worker domains, everything runs in the caller *)
+  Pool.run ~domains:1 (fun p ->
+      Alcotest.(check int) "parallelism" 1 (Pool.parallelism p);
+      Alcotest.(check (array int))
+        "index order" (Array.init 10 (fun i -> i + 1))
+        (Pool.map p ~f:(fun i -> i + 1) 10))
+
+let test_map_empty () =
+  Pool.run ~domains:2 (fun p ->
+      Alcotest.(check int) "empty" 0 (Array.length (Pool.map p ~f:(fun i -> i) 0)))
+
+let test_map_exception () =
+  Pool.run ~domains:4 (fun p ->
+      Alcotest.check_raises "re-raised in caller" (Failure "boom") (fun () ->
+          ignore
+            (Pool.map p ~f:(fun i -> if i = 37 then failwith "boom" else i) 64));
+      (* the pool survives a failed map *)
+      Alcotest.(check (array int)) "still usable" [| 0; 1; 2 |]
+        (Pool.map p ~f:(fun i -> i) 3))
+
+let test_nested_map () =
+  (* inner maps issued from pool tasks drain themselves: no deadlock even
+     when every worker is inside an outer task *)
+  Pool.run ~domains:2 (fun p ->
+      let sums =
+        Pool.map p
+          ~f:(fun i ->
+            Array.fold_left ( + ) 0 (Pool.map p ~f:(fun j -> (10 * i) + j) 8))
+          6
+      in
+      Alcotest.(check (array int))
+        "nested results"
+        (Array.init 6 (fun i -> (80 * i) + 28))
+        sums)
+
+let test_map_reduce () =
+  Pool.run ~domains:4 (fun p ->
+      Alcotest.(check int) "sum 0..999" 499500
+        (Pool.map_reduce p ~f:(fun i -> i) ~reduce:( + ) ~init:0 1000);
+      (* non-commutative reduce still sees index order *)
+      Alcotest.(check string) "concat in order" "0123456789"
+        (Pool.map_reduce p ~f:string_of_int ~reduce:( ^ ) ~init:"" 10))
+
+let test_shutdown_idempotent () =
+  let p = Pool.create ~domains:3 () in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* maps after shutdown degrade to running in the caller *)
+  Alcotest.(check (array int)) "post-shutdown map" [| 0; 2; 4 |]
+    (Pool.map p ~f:(fun i -> 2 * i) 3)
+
+(* --- harness determinism --------------------------------------------------- *)
+
+let run_experiment_with_jobs id jobs =
+  let e =
+    match Registry.find id with
+    | Some e -> e
+    | None -> Alcotest.failf "experiment %s not registered" id
+  in
+  Pool.run ~domains:jobs (fun pool ->
+      Common.set_pool (Some pool);
+      Fun.protect
+        ~finally:(fun () -> Common.set_pool None)
+        (fun () -> e.Registry.run Common.quick))
+
+let test_jobs_determinism () =
+  (* zest goes through both map_cases and run_seeds; its rendered tables and
+     CSV must be byte-identical whatever the pool size *)
+  let render tables =
+    String.concat "\n"
+      (List.concat_map (fun t -> [ Table.render t; Table.to_csv t ]) tables)
+  in
+  let sequential = render (run_experiment_with_jobs "zest" 1) in
+  let parallel = render (run_experiment_with_jobs "zest" 4) in
+  Alcotest.(check string) "jobs 1 = jobs 4" sequential parallel
+
+let suite =
+  [ ( "parallel.pool",
+      [ Alcotest.test_case "create validation" `Quick test_create_invalid;
+        Alcotest.test_case "map order" `Quick test_map_order;
+        Alcotest.test_case "sequential pool" `Quick test_map_sequential;
+        Alcotest.test_case "empty map" `Quick test_map_empty;
+        Alcotest.test_case "exception propagation" `Quick test_map_exception;
+        Alcotest.test_case "nested maps" `Quick test_nested_map;
+        Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+        Alcotest.test_case "shutdown" `Quick test_shutdown_idempotent ] );
+    ( "parallel.harness",
+      [ Alcotest.test_case "jobs 1 = jobs 4 tables" `Slow test_jobs_determinism
+      ] ) ]
