@@ -5,7 +5,9 @@
      run        run one experiment (or all) and print its tables
      csv        run one experiment and dump its tables as CSV
      simulate   one Nimbus flow vs configurable cross traffic, with a
-                per-second timeline of throughput / queue delay / mode *)
+                per-second timeline of throughput / queue delay / mode
+     faults     the fault matrix under the invariant monitor; exits 1 on
+                any violation (the CI smoke gate) *)
 
 module Registry = Nimbus_experiments.Registry
 module Table = Nimbus_experiments.Table
@@ -15,6 +17,9 @@ module Rng = Nimbus_sim.Rng
 module Flow = Nimbus_cc.Flow
 module Nimbus = Nimbus_core.Nimbus
 module Source = Nimbus_traffic.Source
+module Fault = Nimbus_faults.Fault
+module Invariant = Nimbus_metrics.Invariant
+module Exp_faults = Nimbus_experiments.Exp_faults
 module Time = Units.Time
 module Rate = Units.Rate
 
@@ -76,7 +81,7 @@ let list_cmd () =
     Registry.all;
   0
 
-let simulate_cmd mbps rtt_ms duration cross_kind cross_mbps seed =
+let simulate_cmd mbps rtt_ms duration cross_kind cross_mbps seed faults =
   let l = Common.link ~mbps ~rtt_ms () in
   let engine, bn, rng = Common.setup ~seed l in
   (match cross_kind with
@@ -95,6 +100,20 @@ let simulate_cmd mbps rtt_ms duration cross_kind cross_mbps seed =
      exit 2);
   let running = (Common.nimbus ()).Common.start_flow engine bn l () in
   let nim = Option.get running.Common.nimbus in
+  let monitor =
+    Invariant.create engine ~bottleneck:bn ~nimbus:[ ("nimbus", nim) ] ()
+  in
+  (match faults with
+   | None -> ()
+   | Some spec -> (
+     match Fault.parse spec with
+     | Ok plan ->
+       Fault.attach ~engine ~bottleneck:bn
+         ~flows:[| running.Common.flow |]
+         ~rng:(Rng.split rng) plan
+     | Error msg ->
+       Printf.eprintf "bad --faults spec: %s\n" msg;
+       exit 2));
   let last = ref 0 in
   Printf.printf "%6s %10s %10s %8s %12s %8s\n" "t(s)" "tput(Mbps)"
     "qdelay(ms)" "eta" "mode" "z(Mbps)";
@@ -109,7 +128,28 @@ let simulate_cmd mbps rtt_ms duration cross_kind cross_mbps seed =
         (Rate.to_mbps (Nimbus.last_z nim));
       last := b);
   Engine.run_until engine (Time.secs duration);
-  0
+  print_string (Invariant.report monitor);
+  if Invariant.ok monitor then 0 else 1
+
+let faults_cmd full jobs seeds report_file =
+  let p = profile full in
+  let p = match seeds with None -> p | Some s ->
+    if s < 1 then begin
+      Printf.eprintf "--seeds must be >= 1\n";
+      exit 2
+    end;
+    { p with Common.seeds = s }
+  in
+  let outcome = with_pool jobs (fun () -> Exp_faults.run_matrix p) in
+  List.iter Table.print outcome.Exp_faults.tables;
+  print_string outcome.Exp_faults.report;
+  (match report_file with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc outcome.Exp_faults.report;
+     close_out oc);
+  if outcome.Exp_faults.violations > 0 then 1 else 0
 
 open Cmdliner
 
@@ -158,12 +198,47 @@ let simulate_t =
          ~doc:"Cross rate for poisson/cbr.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Seed.") in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Inject faults, e.g. \
+             'burst@30:0.05/0.4/0.3;flap@50:2;delay@40:20'. Clauses: \
+             burst@T:PENTER/PEXIT[/LGOOD]/LBAD, lossoff@T, step@T:MBPS, \
+             flap@T:DUR, delay@T:MS, jitter@T1-T2:AMPMS/PERIODMS, acks@T:P, \
+             acksoff@T, kill@T:IDX. Exits 1 if an invariant is violated.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Timeline of one Nimbus flow vs cross traffic.")
-    Term.(const simulate_cmd $ mbps $ rtt $ dur $ kind $ cmbps $ seed)
+    Term.(const simulate_cmd $ mbps $ rtt $ dur $ kind $ cmbps $ seed $ faults)
+
+let faults_t =
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write the violation report to $(docv) (CI artifact).")
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Run each fault spec under $(docv) seeds (default: profile).")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run the fault matrix under the invariant monitor; exit 1 on any \
+          violation.")
+    Term.(const faults_cmd $ full $ jobs $ seeds $ report)
 
 let () =
   let doc = "Nimbus elasticity-detection reproduction CLI" in
   exit
     (Cmd.eval'
-       (Cmd.group (Cmd.info "nimbus_cli" ~doc) [ run_t; csv_t; list_t; simulate_t ]))
+       (Cmd.group (Cmd.info "nimbus_cli" ~doc)
+          [ run_t; csv_t; list_t; simulate_t; faults_t ]))

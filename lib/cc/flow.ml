@@ -73,6 +73,10 @@ type t = {
   mutable last_pace_at : float;
   mutable active : bool;
   mutable completion_time : float option;
+  (* fault hooks: extra one-way propagation delay (link delay steps/jitter)
+     and a reverse-path loss process (ACK loss) *)
+  mutable extra_fwd_delay : float;
+  mutable ack_loss : (unit -> bool) option;
 }
 
 let now_secs t = Time.to_secs (Engine.now t.engine)
@@ -111,6 +115,18 @@ let supply t bytes =
   | Backlogged | Finite _ -> ()
 
 let stop t = t.active <- false
+
+let set_extra_delay t extra =
+  let extra = Time.to_secs extra in
+  if not (Float.is_finite extra) then
+    invalid_arg "Flow.set_extra_delay: non-finite delay";
+  if extra +. t.fwd_delay < 0. then
+    invalid_arg "Flow.set_extra_delay: total forward delay would be negative";
+  t.extra_fwd_delay <- extra
+
+let extra_delay t = Time.secs t.extra_fwd_delay
+
+let set_ack_loss t f = t.ack_loss <- f
 
 (* --- data availability -------------------------------------------------- *)
 
@@ -170,11 +186,18 @@ let receiver_got t (pkt : Packet.t) =
 
 let rec handle_delivery t (pkt : Packet.t) =
   (* packet finished serialising at the bottleneck; receiver sees it after
-     the forward leg, and the ACK lands after the reverse leg *)
-  Engine.schedule_in t.engine (Time.secs t.fwd_delay) (fun () ->
+     the forward leg (plus any injected delay step/jitter), and the ACK lands
+     after the reverse leg — unless the ACK-path loss process eats it, in
+     which case the sender's dup-ACK / RTO machinery takes over *)
+  let fwd = Float.max 0. (t.fwd_delay +. t.extra_fwd_delay) in
+  Engine.schedule_in t.engine (Time.secs fwd) (fun () ->
       receiver_got t pkt;
-      Engine.schedule_in t.engine (Time.secs t.rev_delay) (fun () ->
-          handle_ack t pkt))
+      let ack_dropped =
+        match t.ack_loss with Some lost -> lost () | None -> false
+      in
+      if not ack_dropped then
+        Engine.schedule_in t.engine (Time.secs t.rev_delay) (fun () ->
+            handle_ack t pkt))
 
 and send_packet t ~seq ~retransmission =
   let now = Engine.now t.engine in
@@ -380,7 +403,7 @@ let create engine bottleneck ~cc ~prop_rtt ?(fwd_frac = 0.5)
       acked_head = 0; acked_count = 0; send_rate = nan; recv_rate = nan;
       pacing_scheduled = false; pace_credit = 0.; last_pace_at = start_time;
       active = true;
-      completion_time = None }
+      completion_time = None; extra_fwd_delay = 0.; ack_loss = None }
   in
   Bottleneck.set_sink bottleneck ~flow:flow_id (fun pkt -> handle_delivery t pkt);
   Engine.schedule_at engine (Time.secs start_time) (fun () ->

@@ -62,6 +62,23 @@ val stop : t -> unit
 (** [stopped t]. *)
 val stopped : t -> bool
 
+(** Fault hooks (driven by [lib/faults]) *)
+
+(** [set_extra_delay t extra] adds [extra] to the forward propagation leg of
+    every subsequent delivery — a delay step; called periodically with random
+    values it models jitter. May be negative as long as the total leg stays
+    non-negative.
+    @raise Invalid_argument on NaN/infinite values or a negative total. *)
+val set_extra_delay : t -> Units.Time.t -> unit
+
+(** [extra_delay t] is the currently injected extra forward delay. *)
+val extra_delay : t -> Units.Time.t
+
+(** [set_ack_loss t f] installs ([Some f]) or removes ([None]) a reverse-path
+    loss process: each ACK is dropped when [f ()] returns [true], leaving
+    recovery to the sender's dup-ACK / RTO machinery. *)
+val set_ack_loss : t -> (unit -> bool) option -> unit
+
 (** Telemetry *)
 
 (** [received_bytes t] is the count delivered to the receiver application. *)

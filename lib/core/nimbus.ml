@@ -7,6 +7,7 @@ module Basic_delay = Nimbus_cc.Basic_delay
 module Ring = Nimbus_dsp.Ring
 module Spectrum = Nimbus_dsp.Spectrum
 module Ewma = Nimbus_dsp.Ewma
+module Goertzel = Nimbus_dsp.Goertzel
 module Rng = Nimbus_sim.Rng
 module Time = Units.Time
 module Freq = Units.Freq
@@ -32,11 +33,19 @@ type delay_alg =
   | `Copa_default
   ]
 
+type evidence =
+  | Ev_eta of float
+  | Ev_pulser_heard of mode
+  | Ev_pulser_quiet
+  | Ev_pulser_lost
+  | Ev_elected
+
 type detection = {
   d_time : Units.Time.t;
   d_eta : float;
   d_mode : mode;
   d_role : role;
+  d_evidence : evidence;
 }
 
 type sample = {
@@ -90,6 +99,25 @@ type t = {
   on_sample : (sample -> unit) option;
   z_detector : Elasticity.t;   (* ẑ window: the pulser's elasticity source *)
   r_detector : Elasticity.t;   (* own receive rate: watcher / conflict source *)
+  (* Pulse keep-alive: single-bin Goertzel evaluators over the trailing
+     ~1 s of the receive rate, one per mode frequency.  The full-window
+     audibility test needs most of an FFT window to fade after the pulser
+     dies; these recent probes go quiet within about a second, which is what
+     lets watchers notice a dead pulser within one FFT window. *)
+  tone_c : Goertzel.Sliding.t;
+  tone_d : Goertzel.Sliding.t;
+  (* Same fast probes over ẑ: a pulser's conflict evidence.  The full-window
+     spectrum remembers a demoted peer's pulses for up to [fft_window]; these
+     clear within about a second of the peer yielding, so one pulser backing
+     off does not drag the survivor down with stale evidence. *)
+  ztone_c : Goertzel.Sliding.t;
+  ztone_d : Goertzel.Sliding.t;
+  recent_len : int;            (* tone probe window, in samples *)
+  pulse_timeout : float;       (* silence after last tone before "orphaned" *)
+  mutable tone_heard_at : float; (* nan until a pulser has ever been heard *)
+  mutable follow_target : mode option; (* watcher switch-confirmation streak *)
+  mutable follow_streak : int;
+  mutable next_conflict_coin : float; (* earliest next demotion coin flip *)
   rate_history : Ring.t;       (* base rates, one per tick, ~fft_window deep *)
   smoothed_rate : Ewma.t;      (* watcher low-pass on the transmitted rate *)
   mutable mode : mode;
@@ -111,6 +139,13 @@ let role_to_string = function
   | Pulser -> "pulser"
   | Watcher -> "watcher"
 
+let evidence_to_string = function
+  | Ev_eta eta -> Printf.sprintf "eta=%.3g" eta
+  | Ev_pulser_heard m -> "pulser-heard:" ^ mode_to_string m
+  | Ev_pulser_quiet -> "pulser-quiet"
+  | Ev_pulser_lost -> "pulser-lost"
+  | Ev_elected -> "elected"
+
 let create ~mu ?(competitive = `Cubic) ?(delay = `Basic_delay)
     ?(pulse_frac = 0.25) ?(pulse_shape = Pulse.Asymmetric)
     ?(fp_competitive = Freq.hz 5.) ?(fp_delay = Freq.hz 6.)
@@ -118,6 +153,7 @@ let create ~mu ?(competitive = `Cubic) ?(delay = `Basic_delay)
     ?(sample_interval = Time.ms 10.) ?(detect_interval = Time.ms 100.)
     ?(eta_thresh = 2.) ?(multi_flow = false) ?(kappa = 1.)
     ?(delay_target = Time.ms 12.5) ?(switch_streak = 30)
+    ?(pulse_timeout = Time.secs 1.)
     ?(z_gate_delay = Time.ms 3.) ?(min_z_frac = 0.05) ?(rate_reset = true)
     ?taper ?detrend ?(seed = 0xD15EA5E) ?on_detection ?on_sample () =
   let use_mode_frequencies =
@@ -150,10 +186,26 @@ let create ~mu ?(competitive = `Cubic) ?(delay = `Basic_delay)
   let hist_len =
     max 2 (int_of_float (Float.round (fft_window /. sample_interval)))
   in
+  let pulse_timeout = Time.to_secs pulse_timeout in
+  (* trailing ~1 s (never more than half the FFT window) for the tone probe *)
+  let recent_len =
+    max 2
+      (int_of_float
+         (Float.round (Float.min 1.0 (fft_window /. 2.) /. sample_interval)))
+  in
+  let tone_probe freq =
+    Goertzel.Sliding.create ~window:recent_len
+      ~sample_rate:(Freq.hz (1. /. sample_interval))
+      ~freq
+  in
   { mu; comp; delay; pulse_frac; pulse_shape; fp_competitive; fp_delay;
     use_mode_frequencies; sample_interval; fft_window; detect_interval;
     eta_thresh; multi_flow; kappa; rng = Rng.create seed; on_detection;
     on_sample; z_detector = mk_detector (); r_detector = mk_detector ();
+    tone_c = tone_probe fp_competitive; tone_d = tone_probe fp_delay;
+    ztone_c = tone_probe fp_competitive; ztone_d = tone_probe fp_delay;
+    recent_len; pulse_timeout; tone_heard_at = nan; follow_target = None;
+    follow_streak = 0; next_conflict_coin = 0.;
     rate_history = Ring.create hist_len;
     (* the cutoff must sit well below the pulsing band: the watcher's inner
        controller reacts to the pulser's rate fluctuations within ticks, and
@@ -297,10 +349,12 @@ let pulse_amplitude t =
 
 (* --- detection ------------------------------------------------------------ *)
 
-let emit_detection t ~now ~eta =
+let emit_detection t ~now ~eta ~evidence =
   match t.on_detection with
   | Some f ->
-    f { d_time = Time.secs now; d_eta = eta; d_mode = t.mode; d_role = t.role }
+    f
+      { d_time = Time.secs now; d_eta = eta; d_mode = t.mode; d_role = t.role;
+        d_evidence = evidence }
   | None -> ()
 
 let pulser_detect t ~now =
@@ -319,6 +373,10 @@ let pulser_detect t ~now =
       if Float.is_nan t.hot.mu_cache then 0. else t.min_z_frac *. t.hot.mu_cache
     in
     let eta = if zbar < z_floor then Float.min eta 1.0 else eta in
+    (* Elasticity.eta is +inf when the reference band carries exactly zero
+       energy; clamp so consumers (and the finite-signal invariant) always
+       see a finite verdict.  nan propagates: min nan x = nan. *)
+    let eta = Float.min eta 1e6 in
     t.hot.last_eta <- eta;
     if not (Float.is_nan eta) then begin
       (* asymmetric hysteresis: adopt competitive mode on the first elastic
@@ -343,20 +401,48 @@ let pulser_detect t ~now =
     end;
     (* multiple-pulser conflict: if the cross traffic carries clearly more
        energy at fp than our own receive rate does -- and that energy is of
-       genuine pulse magnitude -- someone else is pulsing too *)
+       genuine pulse magnitude on the *fast* ẑ probe, so the evidence is at
+       most ~1 s old -- someone else is pulsing right now.  A solo pulser
+       sees the opposite signature (own receive rate dominates ẑ at fp by an
+       order of magnitude, fast ẑ tone under half a percent of µ), so both
+       gates have a wide margin.  The coin is flipped at most once per 2 s:
+       flipping it every detection interval would demote *both* pulsers
+       almost surely before either could observe the other yielding. *)
     if t.multi_flow && Elasticity.ready t.r_detector then begin
       let z_amp = Elasticity.peak_amplitude t.z_detector ~freq:(Freq.hz fp) in
       let r_amp = Elasticity.peak_amplitude t.r_detector ~freq:(Freq.hz fp) in
-      let z_osc =
-        Elasticity.oscillation_amplitude t.z_detector ~freq:(Freq.hz fp)
+      let z_tone =
+        if not (Goertzel.Sliding.filled t.ztone_c) then nan
+        else begin
+          let n = float_of_int t.recent_len in
+          let probe =
+            match t.mode with
+            | Competitive -> t.ztone_c
+            | Delay -> t.ztone_d
+          in
+          2. /. n *. Goertzel.Sliding.magnitude probe
+        end
       in
       let big_enough =
-        (not (Float.is_nan t.hot.mu_cache)) && z_osc >= 0.05 *. t.hot.mu_cache
+        (not (Float.is_nan t.hot.mu_cache))
+        && (not (Float.is_nan z_tone))
+        && z_tone >= 0.02 *. t.hot.mu_cache
       in
-      if big_enough && z_amp > 1.5 *. r_amp && Rng.bool t.rng ~p:0.5 then
-        t.role <- Watcher
+      if big_enough && z_amp > 1.5 *. r_amp && now >= t.next_conflict_coin
+      then begin
+        t.next_conflict_coin <- now +. 2.;
+        if Rng.bool t.rng ~p:0.5 then begin
+          t.role <- Watcher;
+          (* grace period: the demoted pulser must not instantly declare the
+             (possibly simultaneously demoted) peer lost and re-elect
+             itself *)
+          t.tone_heard_at <- now;
+          t.follow_target <- None;
+          t.follow_streak <- 0
+        end
+      end
     end;
-    emit_detection t ~now ~eta
+    emit_detection t ~now ~eta ~evidence:(Ev_eta eta)
   end
 
 (* Reference band for the watcher's pulser search: above both pulse
@@ -400,31 +486,112 @@ let audible_pulser t =
       else None
   end
 
+(* Oscillation amplitude over the trailing ~1 s of the receive rate at
+   whichever mode frequency is louder. *)
+let tone_level_bps t =
+  if not (Goertzel.Sliding.filled t.tone_c) then nan
+  else begin
+    let n = float_of_int t.recent_len in
+    2. /. n
+    *. Float.max
+         (Goertzel.Sliding.magnitude t.tone_c)
+         (Goertzel.Sliding.magnitude t.tone_d)
+  end
+
+(* [tone_heard_at] refresh: does the trailing ~1 s of the receive rate still
+   carry pulse-magnitude energy at either mode frequency?  The floor scales
+   with the watcher's own receive level, not with µ: a watcher holding
+   fraction s of the link sees a pulse oscillation of roughly
+   pulse_frac·s·µ, so an absolute floor would go deaf exactly when many
+   flows share the link.  A 1%-of-µ backstop keeps dead-air noise out. *)
+let recent_tone_alive t =
+  let amp = tone_level_bps t in
+  (not (Float.is_nan amp))
+  && begin
+       let own = Elasticity.mean t.r_detector in
+       let mu_floor =
+         if Float.is_nan t.hot.mu_cache then infinity
+         else 0.01 *. t.hot.mu_cache
+       in
+       (not (Float.is_nan own)) && own >= mu_floor && amp >= 0.025 *. own
+     end
+
+let tone_level t = Rate.bps (tone_level_bps t)
+
+let orphaned t ~now =
+  (not (Float.is_nan t.tone_heard_at))
+  && now -. t.tone_heard_at > t.pulse_timeout
+
 let watcher_detect t ~now =
   if Elasticity.ready t.r_detector then begin
     t.hot.last_eta <- nan;
-    (match audible_pulser t with
-     | Some target -> switch_to t target ~now
-     | None -> ());
-    emit_detection t ~now ~eta:nan
+    let audible = audible_pulser t in
+    (* either probe refreshes the keep-alive: the fast Goertzel catches a
+       death quickly, while the full-window test bridges the 1–2 s tone
+       dropouts a live pulser produces while resetting rates across a mode
+       switch *)
+    if recent_tone_alive t || audible <> None then t.tone_heard_at <- now;
+    (match audible with
+     | Some target when target <> t.mode ->
+       (* switch confirmation: follow the pulser only after three
+          consecutive identical verdicts (~0.3 s), mirroring the pulser's
+          own streak hysteresis so that a loss burst rattling the spectrum
+          cannot flap the mode at the detection period *)
+       (match t.follow_target with
+        | Some m when m = target ->
+          t.follow_streak <- t.follow_streak + 1;
+          if t.follow_streak >= 3 then begin
+            switch_to t target ~now;
+            t.follow_target <- None;
+            t.follow_streak <- 0
+          end
+        | Some _ | None ->
+          t.follow_target <- Some target;
+          t.follow_streak <- 1)
+     | Some _ | None ->
+       t.follow_target <- None;
+       t.follow_streak <- 0);
+    let evidence =
+      match audible with
+      | Some target -> Ev_pulser_heard target
+      | None -> if orphaned t ~now then Ev_pulser_lost else Ev_pulser_quiet
+    in
+    emit_detection t ~now ~eta:nan ~evidence
   end
 
 (* Eq. 5: per-decision probability of becoming the pulser, proportional to
    this flow's share of the link. *)
-let election t ~recv_rate =
+let election t ~now ~recv_rate =
   if
     t.multi_flow && t.role = Watcher
     && Elasticity.ready t.r_detector
     && not (Float.is_nan t.hot.mu_cache || Float.is_nan recv_rate)
   then begin
-    if audible_pulser t = None then begin
+    (* Both probes must be silent before a candidacy: the full-window test
+       alone lags by most of an FFT window, so a watcher that can already
+       hear a freshly elected pulser on the fast keep-alive probe would
+       otherwise elect itself against it. *)
+    if (not (recent_tone_alive t)) && audible_pulser t = None then begin
       (* Eq. 5, with the share term floored: if every flow is squeezed by
          undetected elastic traffic, all receive rates collapse and the
          pure rate-proportional rule can never bootstrap a pulser *)
       let share = Float.max (recv_rate /. t.hot.mu_cache) 0.05 in
-      let p = t.kappa *. t.sample_interval /. t.fft_window *. share in
-      if Rng.bool t.rng ~p:(Float.max 0. (Float.min 1. p)) then
-        t.role <- Pulser
+      (* Pulser-failure recovery: once a previously heard pulse tone has
+         been silent for pulse_timeout, shorten Eq. 5's horizon from one
+         FFT window to ~1.5 s so a replacement pulser appears within one
+         window of the failure instead of within one further window.  The
+         boosted horizon must stay longer than the ~1 s the keep-alive
+         probe needs to acquire the winner's tone, or the losers elect
+         themselves before they can possibly hear the winner. *)
+      let horizon = if orphaned t ~now then 1.5 else t.fft_window in
+      let p = t.kappa *. t.sample_interval /. horizon *. share in
+      if Rng.bool t.rng ~p:(Float.max 0. (Float.min 1. p)) then begin
+        t.role <- Pulser;
+        t.tone_heard_at <- nan;
+        t.follow_target <- None;
+        t.follow_streak <- 0;
+        emit_detection t ~now ~eta:nan ~evidence:Ev_elected
+      end
     end
   end
 
@@ -460,8 +627,13 @@ let on_tick t (tk : Cc_types.tick) =
   in
   t.hot.last_z <- z;
   Elasticity.add_sample t.z_detector z;
-  Elasticity.add_sample t.r_detector
-    (if Float.is_nan recv_rate then 0. else recv_rate);
+  let r_sample = if Float.is_nan recv_rate then 0. else recv_rate in
+  Elasticity.add_sample t.r_detector r_sample;
+  Goertzel.Sliding.push t.tone_c r_sample;
+  Goertzel.Sliding.push t.tone_d r_sample;
+  let z_sample = if Float.is_nan z then 0. else z in
+  Goertzel.Sliding.push t.ztone_c z_sample;
+  Goertzel.Sliding.push t.ztone_d z_sample;
   (* delay-mode controller runs on ticks *)
   (match (t.mode, t.delay) with
    | Delay, D_basic b -> Basic_delay.update b tk
@@ -476,7 +648,7 @@ let on_tick t (tk : Cc_types.tick) =
          s_recv_rate = tk.recv_rate; s_z = Rate.bps z;
          s_base_rate = Rate.bps base }
    | None -> ());
-  election t ~recv_rate;
+  election t ~now ~recv_rate;
   if now >= t.hot.next_detect then begin
     t.hot.next_detect <- now +. t.detect_interval;
     match t.role with

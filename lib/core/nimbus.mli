@@ -33,8 +33,21 @@ type delay_alg =
   | `Copa_default
   ]
 
+(** What a detection was based on — the failure-recovery state machine made
+    observable. Watchers report whether the pulser's tone is currently heard,
+    has never been heard / recently faded ([Ev_pulser_quiet]), or has been
+    silent for longer than [pulse_timeout] after being heard
+    ([Ev_pulser_lost], the orphaned state that boosts the Eq. 5 election). *)
+type evidence =
+  | Ev_eta of float  (** pulser: its own Eq. 3 verdict *)
+  | Ev_pulser_heard of mode  (** watcher: tone audible, following this mode *)
+  | Ev_pulser_quiet  (** watcher: no tone, but not (yet) orphaned *)
+  | Ev_pulser_lost  (** watcher: tone lost for > [pulse_timeout] *)
+  | Ev_elected  (** this flow just won the election and became the pulser *)
+
 (** Detection outcome passed to the [on_detection] hook every detection
-    interval once the FFT window is full. *)
+    interval once the FFT window is full (plus once, out of cadence, when a
+    flow wins the election). *)
 type detection = {
   d_time : Units.Time.t;
   d_eta : float;
@@ -42,6 +55,7 @@ type detection = {
           the pulser instead) *)
   d_mode : mode;  (** mode after this detection *)
   d_role : role;
+  d_evidence : evidence;
 }
 
 (** Per-tick raw signals passed to the [on_sample] hook (10 ms period). *)
@@ -91,6 +105,13 @@ type t
            leaving competitive mode (default 30, i.e. three seconds at the
            default detection interval); switching into competitive mode is
            immediate. Set 1 to reproduce the paper's memoryless rule.
+    @param pulse_timeout watcher failover latency: once a pulse tone that
+           was heard on the fast keep-alive probe (a single-bin Goertzel
+           over the trailing ~1 s of the receive rate) has been silent this
+           long, the watcher is {e orphaned} — its [on_detection] evidence
+           becomes [Ev_pulser_lost] and its Eq. 5 election probability is
+           boosted so a replacement pulser appears within one FFT window of
+           a pulser death (default 1 s)
     @param rate_reset restore the pre-squeeze rate when entering competitive
            mode (default true; false ablates §4.1's reset)
     @param taper / detrend forwarded to {!Elasticity.create}
@@ -114,6 +135,7 @@ val create :
   ?kappa:float ->
   ?delay_target:Units.Time.t ->
   ?switch_streak:int ->
+  ?pulse_timeout:Units.Time.t ->
   ?z_gate_delay:Units.Time.t ->
   ?min_z_frac:float ->
   ?rate_reset:bool ->
@@ -142,6 +164,12 @@ val last_eta : t -> float
 (** [last_z t] — most recent ẑ sample; {!Units.Rate.unknown} before any. *)
 val last_z : t -> Units.Rate.t
 
+(** [tone_level t] — oscillation amplitude of the fast pulse keep-alive
+    probe (single-bin Goertzel over the trailing ~1 s of the receive rate,
+    the louder of the two mode frequencies); {!Units.Rate.unknown} until the
+    probe window fills. *)
+val tone_level : t -> Units.Rate.t
+
 (** [base_rate t] — inner controller rate before pulse modulation. *)
 val base_rate : t -> Units.Rate.t
 
@@ -155,3 +183,5 @@ val pulse_freq : t -> Units.Freq.t
 val mode_to_string : mode -> string
 
 val role_to_string : role -> string
+
+val evidence_to_string : evidence -> string

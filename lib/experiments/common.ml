@@ -184,3 +184,89 @@ let map_cases ~f cases =
 
 let run_seeds p ~base f =
   map_cases ~f:(fun seed -> f ~seed) (List.init p.seeds (fun k -> base + k))
+
+(* --- crash isolation ------------------------------------------------------- *)
+
+type crash = {
+  crash_label : string;
+  crash_seed : int;
+  crash_exn : string;
+  crash_backtrace : string;
+  crash_recovered : bool;
+}
+
+(* cases run on arbitrary pool domains, so the log needs a lock and the test
+   hook must be an atomic *)
+let crash_mutex = Mutex.create ()
+
+let crash_log : crash list ref = ref []
+
+let record_crash c =
+  Mutex.lock crash_mutex;
+  crash_log := c :: !crash_log;
+  Mutex.unlock crash_mutex
+
+let crashes () =
+  Mutex.lock crash_mutex;
+  let cs = !crash_log in
+  Mutex.unlock crash_mutex;
+  (* domain scheduling makes the log order nondeterministic; sort so crash
+     reports are stable across pool sizes *)
+  List.sort
+    (fun a b ->
+      match String.compare a.crash_label b.crash_label with
+      | 0 -> Int.compare a.crash_seed b.crash_seed
+      | c -> c)
+    cs
+
+let clear_crashes () =
+  Mutex.lock crash_mutex;
+  crash_log := [];
+  Mutex.unlock crash_mutex
+
+let crash_hook : (label:string -> seed:int -> bool) option Atomic.t =
+  Atomic.make None
+
+let set_crash_hook h = Atomic.set crash_hook h
+
+let rekey seed = seed lxor 0x9E3779B9
+
+let run_case ?check ~label ~seed f =
+  let attempt seed =
+    (match Atomic.get crash_hook with
+     | Some hook when hook ~label ~seed ->
+       failwith
+         (Printf.sprintf "forced crash (test hook): %s seed=%d" label seed)
+     | _ -> ());
+    let r = f ~seed in
+    (match check with
+     | Some chk ->
+       (match chk r with
+        | Some msg -> failwith (Printf.sprintf "invalid result: %s" msg)
+        | None -> ())
+     | None -> ());
+    r
+  in
+  match attempt seed with
+  | r -> Ok r
+  | exception e1 ->
+    let bt1 = Printexc.get_backtrace () in
+    (* retry exactly once, on a fresh deterministic rng stream *)
+    (match attempt (rekey seed) with
+     | r ->
+       record_crash
+         { crash_label = label; crash_seed = seed;
+           crash_exn = Printexc.to_string e1; crash_backtrace = bt1;
+           crash_recovered = true };
+       Ok r
+     | exception e2 ->
+       let bt2 = Printexc.get_backtrace () in
+       let c =
+         { crash_label = label; crash_seed = seed;
+           crash_exn = Printexc.to_string e2; crash_backtrace = bt2;
+           crash_recovered = false }
+       in
+       record_crash c;
+       Error c)
+
+let crash_cell c = Printf.sprintf "!crash(seed %d)" c.crash_seed

@@ -124,3 +124,46 @@ val map_cases : f:('a -> 'b) -> 'a list -> 'b list
     starting at [base] (so quick profiles, with one seed, behave exactly like
     a fixed-seed run) and returns the results in seed order. *)
 val run_seeds : profile -> base:int -> (seed:int -> 'a) -> 'a list
+
+(** Crash isolation
+
+    A case that raises (or produces a result its [check] rejects, e.g. a
+    non-finite statistic) must cost one table cell, not the whole run. *)
+
+type crash = {
+  crash_label : string;
+  crash_seed : int;  (** the original seed, before the retry rekey *)
+  crash_exn : string;
+  crash_backtrace : string;
+  crash_recovered : bool;  (** the single retry on a rekeyed seed succeeded *)
+}
+
+(** [run_case ~label ~seed f] runs [f ~seed], capturing any exception (with
+    its backtrace) instead of propagating it.  A failed case is retried
+    exactly once on a fresh deterministic RNG stream ([seed] rekeyed); if the
+    retry also fails the case is reported as [Error].  Both outcomes are
+    appended to the {!crashes} log.  Deterministic: identical inputs give
+    identical results whatever pool runs them.
+    @param check result validation — [Some msg] marks the result invalid and
+           is treated exactly like a raise *)
+val run_case :
+  ?check:('a -> string option) ->
+  label:string ->
+  seed:int ->
+  (seed:int -> 'a) ->
+  ('a, crash) result
+
+(** [crash_cell c] — short marker for the table cell of a crashed case. *)
+val crash_cell : crash -> string
+
+(** [crashes ()] — all crashes recorded since {!clear_crashes}, sorted by
+    (label, seed) so reports are stable across pool sizes. *)
+val crashes : unit -> crash list
+
+val clear_crashes : unit -> unit
+
+(** [set_crash_hook h] installs (or clears) a test-only hook consulted before
+    each {!run_case} attempt; returning [true] forces that attempt to raise.
+    The retry runs under a rekeyed seed, so a hook matching only the original
+    seed exercises the recovery path. *)
+val set_crash_hook : (label:string -> seed:int -> bool) option -> unit

@@ -1,0 +1,20 @@
+(** Fault matrix: multi-flow Nimbus under injected faults (burst loss, link
+    flap, pulser kill), audited by {!Nimbus_metrics.Invariant} throughout.
+    The CLI's [faults] subcommand uses {!run_matrix} to gate CI on the
+    violation count. *)
+
+val id : string
+
+val title : string
+
+type outcome = {
+  tables : Table.t list;
+  violations : int;  (** total invariant violations across the matrix *)
+  report : string;  (** per-case violation / crash details *)
+}
+
+(** [run_matrix p] runs every (fault spec × seed) cell, each crash-isolated
+    via {!Common.run_case}. *)
+val run_matrix : Common.profile -> outcome
+
+val run : Common.profile -> Table.t list

@@ -86,9 +86,20 @@ let run (p : Common.profile) =
         (* full profiles average the elastic-time fraction over the seed
            repetitions; the quick profile's single seed reproduces the
            historical fixed-seed run exactly *)
-        let outcomes = Common.run_seeds p ~base:100 (classify p case) in
+        let outcomes =
+          Common.run_seeds p ~base:100 (fun ~seed ->
+              Common.run_case ~label:case.label ~seed (classify p case))
+        in
+        (* a crashed seed costs its own cell, not the whole table: verdicts
+           average over the surviving seeds and the row is marked *)
+        let survived = List.filter_map Result.to_option outcomes in
+        let crashed =
+          List.filter_map
+            (function Ok _ -> None | Error c -> Some c)
+            outcomes
+        in
         let fracs =
-          List.filter (fun f -> not (Float.is_nan f)) (List.map snd outcomes)
+          List.filter (fun f -> not (Float.is_nan f)) (List.map snd survived)
         in
         let frac =
           match fracs with
@@ -101,8 +112,15 @@ let run (p : Common.profile) =
           else if frac >= 0.5 then "Elastic"
           else "Inelastic"
         in
-        [ case.label; case.expected; verdict; Table.fmt_pct frac;
-          (if verdict = case.expected then "ok" else "MISMATCH") ])
+        let status =
+          match crashed with
+          | c :: _ when survived = [] -> Common.crash_cell c
+          | c :: _ ->
+            (if verdict = case.expected then "ok" else "MISMATCH")
+            ^ " " ^ Common.crash_cell c
+          | [] -> if verdict = case.expected then "ok" else "MISMATCH"
+        in
+        [ case.label; case.expected; verdict; Table.fmt_pct frac; status ])
       cases
   in
   [ Table.make ~title

@@ -27,6 +27,7 @@ let all =
     exp Exp_appendix_e.id Exp_appendix_e.title Exp_appendix_e.run;
     exp Exp_appendix_f.id Exp_appendix_f.title Exp_appendix_f.run;
     exp Exp_table1.id Exp_table1.title Exp_table1.run;
+    exp Exp_faults.id Exp_faults.title Exp_faults.run;
     exp Exp_zest.id Exp_zest.title Exp_zest.run;
     exp Exp_ablation.id Exp_ablation.title Exp_ablation.run ]
 

@@ -1,0 +1,288 @@
+module Engine = Nimbus_sim.Engine
+module Bottleneck = Nimbus_sim.Bottleneck
+module Rng = Nimbus_sim.Rng
+module Flow = Nimbus_cc.Flow
+module Time = Units.Time
+module Rate = Units.Rate
+
+type event =
+  | Burst_loss of {
+      at : Time.t;
+      p_enter : float;
+      p_exit : float;
+      loss_good : float;
+      loss_bad : float;
+    }
+  | Loss_off of Time.t
+  | Rate_step of {
+      at : Time.t;
+      rate : Rate.t;
+    }
+  | Outage of {
+      at : Time.t;
+      duration : Time.t;
+    }
+  | Delay_step of {
+      at : Time.t;
+      extra : Time.t;
+    }
+  | Delay_jitter of {
+      at : Time.t;
+      until : Time.t;
+      amp : Time.t;
+      period : Time.t;
+    }
+  | Ack_loss of {
+      at : Time.t;
+      p : float;
+    }
+  | Ack_loss_off of Time.t
+  | Kill_flow of {
+      at : Time.t;
+      index : int;
+    }
+
+type plan = event list
+
+let event_time = function
+  | Burst_loss { at; _ }
+  | Rate_step { at; _ }
+  | Outage { at; _ }
+  | Delay_step { at; _ }
+  | Delay_jitter { at; _ }
+  | Ack_loss { at; _ }
+  | Kill_flow { at; _ }
+  | Loss_off at
+  | Ack_loss_off at ->
+    at
+
+let to_string plan =
+  let f = Printf.sprintf in
+  let clause = function
+    | Burst_loss { at; p_enter; p_exit; loss_good; loss_bad } ->
+      f "burst@%g:%g/%g/%g/%g" (Time.to_secs at) p_enter p_exit loss_good
+        loss_bad
+    | Loss_off at -> f "lossoff@%g" (Time.to_secs at)
+    | Rate_step { at; rate } ->
+      f "step@%g:%g" (Time.to_secs at) (Rate.to_mbps rate)
+    | Outage { at; duration } ->
+      f "flap@%g:%g" (Time.to_secs at) (Time.to_secs duration)
+    | Delay_step { at; extra } ->
+      f "delay@%g:%g" (Time.to_secs at) (Time.to_ms extra)
+    | Delay_jitter { at; until; amp; period } ->
+      f "jitter@%g-%g:%g/%g" (Time.to_secs at) (Time.to_secs until)
+        (Time.to_ms amp) (Time.to_ms period)
+    | Ack_loss { at; p } -> f "acks@%g:%g" (Time.to_secs at) p
+    | Ack_loss_off at -> f "acksoff@%g" (Time.to_secs at)
+    | Kill_flow { at; index } -> f "kill@%g:%d" (Time.to_secs at) index
+  in
+  String.concat ";" (List.map clause plan)
+
+(* --- spec parsing --------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let float_param clause s =
+  match float_of_string_opt (String.trim s) with
+  | Some v when Float.is_finite v -> Ok v
+  | _ -> Error (Printf.sprintf "fault clause %S: bad number %S" clause s)
+
+let prob_param clause s =
+  let* p = float_param clause s in
+  if p < 0. || p > 1. then
+    Error (Printf.sprintf "fault clause %S: probability %g not in [0,1]" clause p)
+  else Ok p
+
+let nonneg_param clause s =
+  let* v = float_param clause s in
+  if v < 0. then Error (Printf.sprintf "fault clause %S: negative value" clause)
+  else Ok v
+
+let parse_clause clause =
+  let clause = String.trim clause in
+  let* kind, rest =
+    match String.index_opt clause '@' with
+    | Some i ->
+      Ok
+        ( String.sub clause 0 i,
+          String.sub clause (i + 1) (String.length clause - i - 1) )
+    | None -> Error (Printf.sprintf "fault clause %S: missing '@TIME'" clause)
+  in
+  let time_part, params =
+    match String.index_opt rest ':' with
+    | Some i ->
+      ( String.sub rest 0 i,
+        String.split_on_char '/'
+          (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    | None -> (rest, [])
+  in
+  let* at =
+    match String.index_opt time_part '-' with
+    | Some _ -> nonneg_param clause (List.hd (String.split_on_char '-' time_part))
+    | None -> nonneg_param clause time_part
+  in
+  let span () =
+    match String.split_on_char '-' time_part with
+    | [ _; hi ] ->
+      let* hi = nonneg_param clause hi in
+      if hi <= at then
+        Error (Printf.sprintf "fault clause %S: empty time span" clause)
+      else Ok hi
+    | _ -> Error (Printf.sprintf "fault clause %S: expected TIME-TIME" clause)
+  in
+  let arity n =
+    if List.length params = n then Ok ()
+    else
+      Error
+        (Printf.sprintf "fault clause %S: expected %d parameter(s)" clause n)
+  in
+  match kind with
+  | "burst" ->
+    let* probs =
+      match params with
+      | [ pe; px; lb ] -> Ok (pe, px, "0", lb)
+      | [ pe; px; lg; lb ] -> Ok (pe, px, lg, lb)
+      | _ ->
+        Error
+          (Printf.sprintf
+             "fault clause %S: burst wants PENTER/PEXIT[/LGOOD]/LBAD" clause)
+    in
+    let pe, px, lg, lb = probs in
+    let* p_enter = prob_param clause pe in
+    let* p_exit = prob_param clause px in
+    let* loss_good = prob_param clause lg in
+    let* loss_bad = prob_param clause lb in
+    Ok
+      (Burst_loss
+         { at = Time.secs at; p_enter; p_exit; loss_good; loss_bad })
+  | "lossoff" ->
+    let* () = arity 0 in
+    Ok (Loss_off (Time.secs at))
+  | "step" ->
+    let* () = arity 1 in
+    let* mbps = nonneg_param clause (List.nth params 0) in
+    Ok (Rate_step { at = Time.secs at; rate = Rate.mbps mbps })
+  | "flap" ->
+    let* () = arity 1 in
+    let* dur = nonneg_param clause (List.nth params 0) in
+    Ok (Outage { at = Time.secs at; duration = Time.secs dur })
+  | "delay" ->
+    let* () = arity 1 in
+    let* ms = float_param clause (List.nth params 0) in
+    Ok (Delay_step { at = Time.secs at; extra = Time.ms ms })
+  | "jitter" ->
+    let* () = arity 2 in
+    let* until = span () in
+    let* amp_ms = nonneg_param clause (List.nth params 0) in
+    let* period_ms = nonneg_param clause (List.nth params 1) in
+    if period_ms <= 0. then
+      Error (Printf.sprintf "fault clause %S: period must be > 0" clause)
+    else
+      Ok
+        (Delay_jitter
+           { at = Time.secs at; until = Time.secs until; amp = Time.ms amp_ms;
+             period = Time.ms period_ms })
+  | "acks" ->
+    let* () = arity 1 in
+    let* p = prob_param clause (List.nth params 0) in
+    Ok (Ack_loss { at = Time.secs at; p })
+  | "acksoff" ->
+    let* () = arity 0 in
+    Ok (Ack_loss_off (Time.secs at))
+  | "kill" ->
+    let* () = arity 1 in
+    (match int_of_string_opt (String.trim (List.nth params 0)) with
+     | Some index when index >= 0 -> Ok (Kill_flow { at = Time.secs at; index })
+     | _ ->
+       Error
+         (Printf.sprintf "fault clause %S: flow index must be a natural" clause))
+  | other ->
+    Error
+      (Printf.sprintf
+         "fault clause %S: unknown kind %S \
+          (burst|lossoff|step|flap|delay|jitter|acks|acksoff|kill)"
+         clause other)
+
+let parse spec =
+  let clauses =
+    String.split_on_char ';' spec
+    |> List.concat_map (String.split_on_char ',')
+    |> List.filter (fun c -> not (String.equal (String.trim c) ""))
+  in
+  if clauses = [] then Error "empty fault spec"
+  else begin
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | c :: rest ->
+        let* ev = parse_clause c in
+        go (ev :: acc) rest
+    in
+    go [] clauses
+  end
+
+(* --- attachment ------------------------------------------------------------ *)
+
+let iter_flows flows f = Array.iter f flows
+
+let attach ~engine ~bottleneck ?(flows = [||]) ~rng plan =
+  List.iter
+    (fun ev ->
+      let at = event_time ev in
+      if not (Time.is_finite at) then
+        invalid_arg "Fault.attach: non-finite event time";
+      match ev with
+      | Kill_flow { index; _ } when index >= Array.length flows ->
+        invalid_arg
+          (Printf.sprintf "Fault.attach: kill targets flow %d but only %d \
+                           flow(s) attached"
+             index (Array.length flows))
+      | _ -> ())
+    plan;
+  (* randomness is split off per event at attach time, in plan order, so a
+     plan is deterministic for a given rng regardless of event timing *)
+  List.iter
+    (fun ev ->
+      match ev with
+      | Burst_loss { at; p_enter; p_exit; loss_good; loss_bad } ->
+        let ge_rng = Rng.split rng in
+        Engine.schedule_at engine at (fun () ->
+            let ge =
+              Gilbert_elliott.create ~rng:ge_rng ~p_enter ~p_exit ~loss_good
+                ~loss_bad ()
+            in
+            Bottleneck.set_loss_model bottleneck
+              (Some (fun _pkt -> Gilbert_elliott.drop ge)))
+      | Loss_off at ->
+        Engine.schedule_at engine at (fun () ->
+            Bottleneck.set_loss_model bottleneck None)
+      | Rate_step { at; rate } ->
+        Engine.schedule_at engine at (fun () ->
+            Bottleneck.set_rate bottleneck rate)
+      | Outage { at; duration } ->
+        Engine.schedule_at engine at (fun () ->
+            let restore = Bottleneck.rate bottleneck in
+            Bottleneck.set_rate bottleneck Rate.zero;
+            Engine.schedule_in engine duration (fun () ->
+                Bottleneck.set_rate bottleneck restore))
+      | Delay_step { at; extra } ->
+        Engine.schedule_at engine at (fun () ->
+            iter_flows flows (fun fl -> Flow.set_extra_delay fl extra))
+      | Delay_jitter { at; until; amp; period } ->
+        let jrng = Rng.split rng in
+        Engine.every engine ~dt:period ~start:at ~until (fun () ->
+            iter_flows flows (fun fl ->
+                Flow.set_extra_delay fl
+                  (Time.secs (Rng.float jrng (Time.to_secs amp)))));
+        Engine.schedule_at engine until (fun () ->
+            iter_flows flows (fun fl -> Flow.set_extra_delay fl Time.zero))
+      | Ack_loss { at; p } ->
+        let arng = Rng.split rng in
+        Engine.schedule_at engine at (fun () ->
+            iter_flows flows (fun fl ->
+                Flow.set_ack_loss fl (Some (fun () -> Rng.bool arng ~p))))
+      | Ack_loss_off at ->
+        Engine.schedule_at engine at (fun () ->
+            iter_flows flows (fun fl -> Flow.set_ack_loss fl None))
+      | Kill_flow { at; index } ->
+        Engine.schedule_at engine at (fun () -> Flow.stop flows.(index)))
+    plan

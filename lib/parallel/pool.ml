@@ -83,12 +83,16 @@ let retire t step =
   t.pending <- List.filter (fun s -> s != step) t.pending;
   Mutex.unlock t.m
 
-let map t ~f n =
-  if n < 0 then invalid_arg "Pool.map: negative size";
+type job_error = {
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+let try_map t ~f n =
+  if n < 0 then invalid_arg "Pool.try_map: negative size";
   if n = 0 then [||]
   else begin
     let results = Array.make n None in
-    let error = Atomic.make None in
     let next = Atomic.make 0 in
     let completed = Atomic.make 0 in
     let m = Mutex.create () and c = Condition.create () in
@@ -96,11 +100,13 @@ let map t ~f n =
       let i = Atomic.fetch_and_add next 1 in
       if i >= n then false
       else begin
+        (* a raising job is captured in its own slot, with its backtrace,
+           so one crashed index cannot poison the others *)
         (match f i with
-        | r -> results.(i) <- Some r
-        | exception e ->
-          let bt = Printexc.get_raw_backtrace () in
-          ignore (Atomic.compare_and_set error None (Some (e, bt))));
+        | r -> results.(i) <- Some (Ok r)
+        | exception exn ->
+          let backtrace = Printexc.get_raw_backtrace () in
+          results.(i) <- Some (Error { exn; backtrace }));
         if Atomic.fetch_and_add completed 1 = n - 1 then begin
           (* last index done: wake the submitting caller if it is waiting *)
           Mutex.lock m;
@@ -118,15 +124,20 @@ let map t ~f n =
     done;
     Mutex.unlock m;
     retire t step;
-    (match Atomic.get error with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
     Array.map
       (function
         | Some r -> r
-        | None -> assert false (* completed = n and no error *))
+        | None -> assert false (* completed = n *))
       results
   end
+
+let map t ~f n =
+  Array.map
+    (function
+      | Ok r -> r
+      | Error { exn; backtrace } ->
+        Printexc.raise_with_backtrace exn backtrace)
+    (try_map t ~f n)
 
 let map_reduce t ~f ~reduce ~init n =
   (* results are reduced strictly in index order, so the outcome is

@@ -11,9 +11,11 @@ type policer = {
 
 type t = {
   engine : Engine.t;
-  rate : Rate.t;
+  mutable rate : Rate.t;
+  mutable drain_rate_hint : Rate.t; (* last positive rate, for queue_delay *)
   qdisc : Qdisc.t;
   random_loss : (float * Rng.t) option;
+  mutable loss_model : (Packet.t -> bool) option;
   policer : policer option;
   fifo : Packet.t Queue.t;
   sinks : (int, Packet.t -> unit) Hashtbl.t;
@@ -23,6 +25,12 @@ type t = {
   drops_by_flow : (int, int) Hashtbl.t;
   delivered_by_flow : (int, int) Hashtbl.t;
   mutable busy_secs : float;
+  (* packet-conservation ledger: every offered packet must end up delivered,
+     dropped, or still queued.  The invariant monitor audits
+     [offered = delivered + drops + queued] every tick. *)
+  mutable offered_pkts : int;
+  mutable delivered_pkts : int;
+  mutable queued_pkts : int;
 }
 
 let create engine ~rate ~qdisc ?random_loss ?policer () =
@@ -34,12 +42,15 @@ let create engine ~rate ~qdisc ?random_loss ?policer () =
           last_refill = Engine.now engine })
       policer
   in
-  { engine; rate; qdisc; random_loss; policer; fifo = Queue.create ();
+  { engine; rate; drain_rate_hint = rate; qdisc; random_loss;
+    loss_model = None; policer; fifo = Queue.create ();
     sinks = Hashtbl.create 16; qlen = 0; busy = false; drops = 0;
     drops_by_flow = Hashtbl.create 16; delivered_by_flow = Hashtbl.create 16;
-    busy_secs = 0. }
+    busy_secs = 0.; offered_pkts = 0; delivered_pkts = 0; queued_pkts = 0 }
 
 let set_sink t ~flow f = Hashtbl.replace t.sinks flow f
+
+let set_loss_model t f = t.loss_model <- f
 
 let bump tbl key n =
   let cur = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
@@ -51,22 +62,42 @@ let record_drop t (pkt : Packet.t) =
 
 let deliver t (pkt : Packet.t) =
   bump t.delivered_by_flow pkt.flow pkt.size;
+  t.delivered_pkts <- t.delivered_pkts + 1;
+  t.queued_pkts <- t.queued_pkts - 1;
   match Hashtbl.find_opt t.sinks pkt.flow with
   | Some f -> f pkt
   | None -> ()
 
+(* The head packet is only committed (taken off the FIFO and scheduled) when
+   the link has a positive rate; during an outage (µ = 0, see {!set_rate})
+   packets stay queued and the link idles until the rate is restored. *)
 let rec start_next t =
-  match Queue.take_opt t.fifo with
-  | None -> t.busy <- false
-  | Some pkt ->
-    t.busy <- true;
-    let tx = Rate.tx_time t.rate (B.of_int pkt.size) in
-    t.busy_secs <- t.busy_secs +. Time.to_secs tx;
-    Engine.schedule_in t.engine tx (fun () ->
-        pkt.Packet.dequeued_at <- Engine.now t.engine;
-        t.qlen <- t.qlen - pkt.size;
-        deliver t pkt;
-        start_next t)
+  if Rate.(t.rate <= Rate.zero) then t.busy <- false
+  else begin
+    match Queue.take_opt t.fifo with
+    | None -> t.busy <- false
+    | Some pkt ->
+      t.busy <- true;
+      let tx = Rate.tx_time t.rate (B.of_int pkt.size) in
+      t.busy_secs <- t.busy_secs +. Time.to_secs tx;
+      Engine.schedule_in t.engine tx (fun () ->
+          pkt.Packet.dequeued_at <- Engine.now t.engine;
+          t.qlen <- t.qlen - pkt.size;
+          deliver t pkt;
+          start_next t)
+  end
+
+let set_rate t rate =
+  let r = Rate.to_bps rate in
+  if not (Float.is_finite r) || r < 0. then
+    invalid_arg "Bottleneck.set_rate: rate must be finite and >= 0";
+  t.rate <- rate;
+  if Rate.(rate > Rate.zero) then begin
+    t.drain_rate_hint <- rate;
+    (* coming out of an outage: resume draining whatever queued meanwhile
+       (a packet already being serialised keeps its old completion time) *)
+    if not t.busy then start_next t
+  end
 
 let policer_admits t (pkt : Packet.t) =
   match t.policer with
@@ -88,14 +119,20 @@ let random_loss_admits t =
   | None -> true
   | Some (p, rng) -> not (Rng.bool rng ~p)
 
+let loss_model_admits t pkt =
+  match t.loss_model with None -> true | Some drop -> not (drop pkt)
+
 let enqueue t pkt =
   let now = Engine.now t.engine in
+  t.offered_pkts <- t.offered_pkts + 1;
   if not (policer_admits t pkt) then record_drop t pkt
   else if not (random_loss_admits t) then record_drop t pkt
+  else if not (loss_model_admits t pkt) then record_drop t pkt
   else if Qdisc.admit t.qdisc ~now ~qlen_bytes:t.qlen ~pkt_size:pkt.Packet.size
   then begin
     pkt.Packet.enqueued_at <- now;
     t.qlen <- t.qlen + pkt.Packet.size;
+    t.queued_pkts <- t.queued_pkts + 1;
     Queue.push pkt t.fifo;
     if not t.busy then start_next t
   end
@@ -105,7 +142,13 @@ let rate t = t.rate
 
 let qlen_bytes t = t.qlen
 
-let queue_delay t = Rate.tx_time t.rate (B.of_int t.qlen)
+let queue_delay t =
+  (* during an outage the true drain time is unbounded; estimate against the
+     last positive rate so monitors keep producing finite samples *)
+  let r =
+    if Rate.(t.rate > Rate.zero) then t.rate else t.drain_rate_hint
+  in
+  Rate.tx_time r (B.of_int t.qlen)
 
 let drops t = t.drops
 
@@ -118,3 +161,9 @@ let delivered_bytes t ~flow =
 let busy_time t = Time.secs t.busy_secs
 
 let capacity_bytes t = Qdisc.capacity_bytes t.qdisc
+
+let offered_packets t = t.offered_pkts
+
+let delivered_packets t = t.delivered_pkts
+
+let queued_packets t = t.queued_pkts

@@ -29,15 +29,32 @@ val set_sink : t -> flow:int -> (Packet.t -> unit) -> unit
 (** [enqueue t pkt] submits [pkt]; it is either queued or dropped. *)
 val enqueue : t -> Packet.t -> unit
 
+(** Fault hooks (driven by [lib/faults]) *)
+
+(** [set_rate t rate] changes the drain rate µ mid-run. [Rate.zero] stalls
+    the link (an outage): queued packets are held, not dropped, and drain
+    resumes when a positive rate is restored. A packet already being
+    serialised keeps its old completion time.
+    @raise Invalid_argument if [rate] is NaN, infinite, or negative. *)
+val set_rate : t -> Units.Rate.t -> unit
+
+(** [set_loss_model t f] installs ([Some f]) or removes ([None]) a stateful
+    loss process consulted per offered packet after the policer and the
+    uniform [random_loss]; [f pkt = true] drops the packet (e.g. a
+    Gilbert–Elliott burst-loss injector). *)
+val set_loss_model : t -> (Packet.t -> bool) option -> unit
+
 (** Observability *)
 
-(** [rate t] is the configured drain rate µ. *)
+(** [rate t] is the current drain rate µ. *)
 val rate : t -> Units.Rate.t
 
 (** [qlen_bytes t] includes the packet currently being serialised. *)
 val qlen_bytes : t -> int
 
-(** [queue_delay t] is the drain-time estimate [qlen·8/rate]. *)
+(** [queue_delay t] is the drain-time estimate [qlen·8/rate]; during an
+    outage ([rate = 0]) the last positive rate is used so the estimate stays
+    finite. *)
 val queue_delay : t -> Units.Time.t
 
 (** [drops t] is the cumulative count of dropped packets. *)
@@ -56,3 +73,16 @@ val busy_time : t -> Units.Time.t
 
 (** [capacity_bytes t] is the buffer size. *)
 val capacity_bytes : t -> int
+
+(** Packet-conservation ledger, audited by the invariant monitor: at any
+    instant [offered = delivered + drops + queued]. *)
+
+(** [offered_packets t] counts every packet ever submitted via {!enqueue}. *)
+val offered_packets : t -> int
+
+(** [delivered_packets t] counts packets that finished serialisation. *)
+val delivered_packets : t -> int
+
+(** [queued_packets t] is the number buffered right now, including the one
+    being serialised. *)
+val queued_packets : t -> int

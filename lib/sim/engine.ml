@@ -12,8 +12,14 @@ let create () = { clock = 0.; events = Heap.create () }
 
 let now t = Time.secs t.clock
 
+(* A NaN or infinite key would silently corrupt the heap order (every
+   comparison against NaN is false), so both entry points reject non-finite
+   times before they reach the queue. *)
 let schedule_at t time f =
   let time = Time.to_secs time in
+  if not (Float.is_finite time) then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: non-finite time (%h)" time);
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: %.9f is before now (%.9f)" time
@@ -22,11 +28,16 @@ let schedule_at t time f =
 
 let schedule_in t delay f =
   let delay = Time.to_secs delay in
+  if not (Float.is_finite delay) then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_in: non-finite delay (%h)" delay);
   if delay < 0. then invalid_arg "Engine.schedule_in: negative delay";
   Heap.push t.events ~key:(t.clock +. delay) f
 
 let every t ~dt ?start ?until f =
   let dt = Time.to_secs dt in
+  if not (Float.is_finite dt) then
+    invalid_arg (Printf.sprintf "Engine.every: non-finite dt (%h)" dt);
   if dt <= 0. then invalid_arg "Engine.every: dt <= 0";
   let first =
     match start with Some s -> Time.to_secs s | None -> t.clock +. dt

@@ -17,10 +17,12 @@ val create : unit -> t
 val now : t -> Units.Time.t
 
 (** [schedule_at t time f] runs [f] when the clock reaches [time]. Scheduling
-    in the past raises [Invalid_argument]. *)
+    in the past — or at a NaN/infinite time, which would silently corrupt the
+    heap order — raises [Invalid_argument]. *)
 val schedule_at : t -> Units.Time.t -> (unit -> unit) -> unit
 
-(** [schedule_in t delay f] runs [f] after [delay] ([delay >= Time.zero]). *)
+(** [schedule_in t delay f] runs [f] after [delay] ([delay >= Time.zero] and
+    finite; NaN/infinite delays raise [Invalid_argument]). *)
 val schedule_in : t -> Units.Time.t -> (unit -> unit) -> unit
 
 (** [every t ~dt ?start ?until f] runs [f] at [start] (default: [now + dt])

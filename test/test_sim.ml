@@ -93,6 +93,31 @@ let test_engine_rejects_past () =
        false
      with Invalid_argument _ -> true)
 
+let test_engine_rejects_non_finite () =
+  let e = Engine.create () in
+  let raises name f =
+    Alcotest.(check bool) name true
+      (try
+         f ();
+         false
+       with Invalid_argument _ -> true)
+  in
+  raises "schedule_at nan" (fun () ->
+      Engine.schedule_at e (Time.secs nan) (fun () -> ()));
+  raises "schedule_at +inf" (fun () ->
+      Engine.schedule_at e (Time.secs infinity) (fun () -> ()));
+  raises "schedule_in nan" (fun () ->
+      Engine.schedule_in e (Time.secs nan) (fun () -> ()));
+  raises "schedule_in -inf" (fun () ->
+      Engine.schedule_in e (Time.secs neg_infinity) (fun () -> ()));
+  raises "every nan dt" (fun () ->
+      Engine.every e ~dt:(Time.secs nan) (fun () -> ()));
+  (* the queue must still be usable after the rejections *)
+  let hit = ref false in
+  Engine.schedule_in e (Time.secs 1.) (fun () -> hit := true);
+  Engine.run_until e (Time.secs 2.);
+  Alcotest.(check bool) "engine survives" true !hit
+
 let test_engine_nested_schedule () =
   let e = Engine.create () in
   let hits = ref [] in
@@ -307,6 +332,8 @@ let suite =
         Alcotest.test_case "horizon" `Quick test_engine_horizon;
         Alcotest.test_case "every" `Quick test_engine_every;
         Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        Alcotest.test_case "rejects non-finite" `Quick
+          test_engine_rejects_non_finite;
         Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule ] );
     ( "sim.rng",
       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
