@@ -33,17 +33,14 @@ let run_experiment profile (e : Registry.experiment) =
     (wall_secs () -. wall0)
     (Sys.time () -. cpu0)
 
-let main full only micro list_ids jobs json =
+let main full only micro list_ids jobs json assert_trace_overhead =
   if list_ids then begin
     List.iter print_endline Registry.ids;
     0
   end
   else begin
     let profile = if full then Common.full else Common.quick in
-    if micro then begin
-      Micro.run ?json ();
-      0
-    end
+    if micro then Micro.run ?json ?assert_trace_overhead ()
     else begin
       let todo =
         match only with
@@ -75,7 +72,7 @@ let main full only micro list_ids jobs json =
           Fun.protect
             ~finally:(fun () -> Common.set_pool None)
             (fun () -> List.iter (run_experiment profile) todo));
-      if only = None && not full then Micro.run ?json ();
+      if only = None && not full then ignore (Micro.run ?json ());
       0
     end
   end
@@ -113,10 +110,24 @@ let json =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"With $(b,--micro): also write results as JSON to $(docv).")
 
+let assert_trace_overhead =
+  Arg.(
+    value
+    & opt (some float) None
+    & info
+        [ "assert-trace-overhead" ]
+        ~docv:"PCT"
+        ~doc:
+          "With $(b,--micro): exit nonzero if full-mask tracing slows the \
+           Nimbus controller tick (nimbus.tick.traced vs nimbus.tick.plain) \
+           by more than $(docv) percent.")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "nimbus-bench" ~doc)
-    Term.(const main $ full $ only $ micro $ list_ids $ jobs $ json)
+    Term.(
+      const main $ full $ only $ micro $ list_ids $ jobs $ json
+      $ assert_trace_overhead)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,10 @@
    the monotonic clock and the minor allocator, and the results can be
    dumped as JSON for per-PR perf tracking. *)
 
+(* aliased before the opens: Toolkit also exposes a [Monotonic_clock]
+   measure, which would otherwise shadow the raw clock *)
+module Clock = Monotonic_clock
+
 open Bechamel
 open Toolkit
 
@@ -102,7 +106,9 @@ let sim_packet_second =
          let e = Nimbus_sim.Engine.create () in
          let qdisc = Nimbus_sim.Qdisc.droptail ~capacity_bytes:600_000 in
          let bn =
-           Nimbus_sim.Bottleneck.create e ~rate:(Units.Rate.bps 48e6) ~qdisc ()
+           Nimbus_sim.Bottleneck.create e
+             (Nimbus_sim.Bottleneck.Config.default ~rate:(Units.Rate.bps 48e6)
+                ~qdisc)
          in
          let _f =
            Nimbus_cc.Flow.create e bn ~cc:(Nimbus_cc.Cubic.make ())
@@ -110,11 +116,48 @@ let sim_packet_second =
          in
          Nimbus_sim.Engine.run_until e (Units.Time.secs 1.0)))
 
+(* the full Nimbus controller tick (ẑ sample + detector + pulse bookkeeping)
+   driven synthetically at 10 ms cadence, with tracing off vs. on — the pair
+   the --assert-trace-overhead gate compares.  The traced collector has
+   every category enabled and no sink, so the measured cost is pure
+   record-into-ring plus the values computed only to be recorded. *)
+let make_tick ~traced =
+  let module Nimbus = Nimbus_core.Nimbus in
+  let trace =
+    if traced then
+      Nimbus_trace.Trace.create ~mask:Nimbus_trace.Trace.mask_all ()
+    else Nimbus_trace.Trace.disabled
+  in
+  let now = ref 0. in
+  let nim =
+    Nimbus.create
+      { (Nimbus.Config.default
+           ~mu:(Nimbus_core.Z_estimator.Mu.known (Units.Rate.bps 96e6)))
+        with trace }
+  in
+  let cc = Nimbus.cc nim ~now:(fun () -> Units.Time.secs !now) in
+  let tick = Option.get cc.Nimbus_cc.Cc_types.on_tick in
+  fun () ->
+    now := !now +. 0.01;
+    tick
+      { Nimbus_cc.Cc_types.now = Units.Time.secs !now;
+        send_rate = Units.Rate.bps 48e6; recv_rate = Units.Rate.bps 46e6;
+        rtt = Units.Time.ms 55.; srtt = Units.Time.ms 55.;
+        min_rtt = Units.Time.ms 50.; inflight_bytes = 300_000;
+        delivered_bytes = 0; lost_packets = 0 }
+
+let nimbus_tick ~traced =
+  let tick = make_tick ~traced in
+  Test.make
+    ~name:(if traced then "nimbus.tick.traced" else "nimbus.tick.plain")
+    (Staged.stage tick)
+
 let benchmarks =
   Test.make_grouped ~name:"nimbus"
     [ fft_radix2_512; fft_bluestein_500; fft_plan 500; fft_plan 512;
       spectrum_analyze_500; spectrum_analyze_into_500; goertzel_500;
-      elasticity_eta; z_estimate; event_queue; sim_packet_second ]
+      elasticity_eta; z_estimate; event_queue; sim_packet_second;
+      nimbus_tick ~traced:false; nimbus_tick ~traced:true ]
 
 let estimate results name =
   match Hashtbl.find_opt results name with
@@ -124,7 +167,37 @@ let estimate results name =
     | Some (t :: _) -> t
     | Some [] | None -> nan)
 
-let run ?json () =
+(* span profile of one representative simulated run: a Nimbus flow against
+   the 48 Mbit/s link for 10 simulated seconds, with Span scopes (FFT,
+   spectrum, detector tick, engine drain, flow tick) enabled *)
+let span_profile () =
+  Nimbus_trace.Span.reset ();
+  Nimbus_trace.Span.enable ();
+  Fun.protect ~finally:Nimbus_trace.Span.disable (fun () ->
+      let module Nimbus = Nimbus_core.Nimbus in
+      let e = Nimbus_sim.Engine.create () in
+      let qdisc = Nimbus_sim.Qdisc.droptail ~capacity_bytes:600_000 in
+      let bn =
+        Nimbus_sim.Bottleneck.create e
+          (Nimbus_sim.Bottleneck.Config.default ~rate:(Units.Rate.bps 48e6)
+             ~qdisc)
+      in
+      let nim =
+        Nimbus.create
+          (Nimbus.Config.default
+             ~mu:(Nimbus_core.Z_estimator.Mu.known (Units.Rate.bps 48e6)))
+      in
+      let _f =
+        Nimbus_cc.Flow.create e bn
+          ~cc:(Nimbus.cc nim ~now:(fun () -> Nimbus_sim.Engine.now e))
+          ~prop_rtt:(Units.Time.ms 50.) ()
+      in
+      Nimbus_sim.Engine.run_until e (Units.Time.secs 10.));
+  let report = Nimbus_trace.Span.report () in
+  Nimbus_trace.Span.reset ();
+  report
+
+let run ?json ?assert_trace_overhead () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -145,23 +218,80 @@ let run ?json () =
       Printf.printf "%-36s %14.1f %18.1f\n" name (estimate times name)
         (estimate allocs name))
     names;
-  match json with
-  | None -> ()
-  | Some path ->
-    let oc = open_out path in
-    let num v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null" in
-    output_string oc "{\n  \"benchmarks\": [\n";
-    let last = List.length names - 1 in
-    List.iteri
-      (fun i name ->
-        Printf.fprintf oc
-          "    {\"name\": %S, \"ns_per_run\": %s, \"minor_words_per_run\": \
-           %s}%s\n"
-          name
-          (num (estimate times name))
-          (num (estimate allocs name))
-          (if i = last then "" else ","))
-      names;
-    output_string oc "  ]\n}\n";
-    close_out oc;
-    Printf.printf "wrote %s\n%!" path
+  print_newline ();
+  print_endline "== Span profile (nimbus flow, 10 simulated seconds) ==";
+  let profile = span_profile () in
+  print_string (if String.equal profile "" then "(no spans fired)\n" else profile);
+  (match json with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     let num v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null" in
+     output_string oc "{\n  \"benchmarks\": [\n";
+     let last = List.length names - 1 in
+     List.iteri
+       (fun i name ->
+         Printf.fprintf oc
+           "    {\"name\": %S, \"ns_per_run\": %s, \"minor_words_per_run\": \
+            %s}%s\n"
+           name
+           (num (estimate times name))
+           (num (estimate allocs name))
+           (if i = last then "" else ","))
+       names;
+     output_string oc "  ]\n}\n";
+     close_out oc;
+     Printf.printf "wrote %s\n%!" path);
+  (* the tracing-cost gate: full-mask (sinkless) tracing of the controller
+     tick must stay within the given percentage of the untraced tick.  The
+     tick costs ~6 µs and a single sequential measurement carries ±10%
+     noise from CPU-frequency drift (the later side always loses) and from
+     per-instance memory-layout luck, so the gate hand-rolls a robust
+     comparison: several independent instances per side, measured in
+     interleaved batches, taking the best batch each side ever achieves —
+     and one whole-measurement retry before failing, so a single unlucky
+     layout draw cannot flake the gate while a genuine regression still
+     fails both attempts. *)
+  match assert_trace_overhead with
+  | None -> 0
+  | Some pct ->
+    let measure () =
+      let instances = 4 and batch = 10_000 and rounds = 6 in
+      let plains = List.init instances (fun _ -> make_tick ~traced:false) in
+      let traceds = List.init instances (fun _ -> make_tick ~traced:true) in
+      List.iter (fun f -> for _ = 1 to batch do f () done) (plains @ traceds);
+      let time_batch f =
+        let t0 = Clock.now () in
+        for _ = 1 to batch do f () done;
+        Int64.to_float (Int64.sub (Clock.now ()) t0) /. float_of_int batch
+      in
+      let plain = ref infinity and traced = ref infinity in
+      for _ = 1 to rounds do
+        List.iter (fun f -> plain := Float.min !plain (time_batch f)) plains;
+        List.iter (fun f -> traced := Float.min !traced (time_batch f)) traceds
+      done;
+      (!plain, !traced)
+    in
+    let verdict attempt =
+      let plain, traced = measure () in
+      if not (Float.is_finite plain && Float.is_finite traced) || plain <= 0.
+      then begin
+        Printf.printf "trace overhead: tick measurements unavailable\n%!";
+        None
+      end
+      else begin
+        let overhead = (traced -. plain) /. plain *. 100. in
+        Printf.printf
+          "trace overhead%s: plain %.1f ns, traced %.1f ns -> %+.1f%% \
+           (budget %.1f%%)\n%!"
+          attempt plain traced overhead pct;
+        Some overhead
+      end
+    in
+    (match verdict "" with
+     | None -> 1
+     | Some o when o <= pct -> 0
+     | Some _ -> (
+       match verdict " (retry)" with
+       | Some o when o <= pct -> 0
+       | Some _ | None -> 1))

@@ -1,0 +1,106 @@
+(* Shared CLI plumbing: the flags every subcommand should spell the same way
+   (--full, --jobs, --seeds, --trace, --trace-filter) plus the pool and trace
+   helpers that interpret them.  Subcommands compose these terms instead of
+   re-declaring their own. *)
+
+module Common = Nimbus_experiments.Common
+module Trace = Nimbus_trace.Trace
+module Sink = Nimbus_trace.Sink
+
+open Cmdliner
+
+let profile full = if full then Common.full else Common.quick
+
+(* [with_pool jobs f] installs the ambient case pool around [f]; tables are
+   byte-identical whatever the pool size, since cases are independently
+   seeded and merged in input order *)
+let with_pool jobs f =
+  let domains =
+    match jobs with
+    | Some j ->
+      if j < 1 then begin
+        Printf.eprintf "--jobs must be >= 1\n";
+        exit 2
+      end;
+      j
+    | None -> Domain.recommended_domain_count ()
+  in
+  Nimbus_parallel.Pool.run ~domains (fun pool ->
+      Common.set_pool (Some pool);
+      Fun.protect ~finally:(fun () -> Common.set_pool None) f)
+
+let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale profile.")
+
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan experiment cases out over $(docv) domains (default: the \
+           recommended domain count). Output is byte-identical for any N.")
+
+let seeds =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:"Run each case under $(docv) seeds (default: profile).")
+
+let seeds_profile p = function
+  | None -> p
+  | Some s ->
+    if s < 1 then begin
+      Printf.eprintf "--seeds must be >= 1\n";
+      exit 2
+    end;
+    { p with Common.seeds = s }
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured event trace to $(docv). The format follows \
+           the extension: .csv and .bin select CSV and compact binary, \
+           anything else JSONL. Summarize with `nimbus_cli trace FILE'.")
+
+let trace_filter =
+  Arg.(
+    value
+    & opt string "all"
+    & info [ "trace-filter" ] ~docv:"CATS"
+        ~doc:
+          "Comma-separated trace categories (engine, packet, bottleneck, \
+           fault, flow, detector, spectrum, pulse, mode, election, \
+           invariant) or 'all'.")
+
+(* exit 2 on a bad filter, like any other argv error *)
+let trace_mask filter =
+  match Trace.parse_filter filter with
+  | Ok mask -> mask
+  | Error msg ->
+    Printf.eprintf "bad --trace-filter: %s\n" msg;
+    exit 2
+
+let sink_for_path path oc =
+  if Filename.check_suffix path ".csv" then Sink.csv oc
+  else if Filename.check_suffix path ".bin" then Sink.binary oc
+  else Sink.jsonl oc
+
+(* [with_trace ?out ~filter f] builds the run's collector: a sink on [out]
+   (or a disabled collector when absent), handed to [f] together with a
+   [flush] the caller should schedule off the hot path (e.g. on a 1 s engine
+   event).  The trace is flushed and closed when [f] returns. *)
+let with_trace ?out ~filter f =
+  match out with
+  | None -> f Trace.disabled (fun () -> ())
+  | Some path ->
+    let mask = trace_mask filter in
+    let tr = Trace.create ~mask () in
+    let oc = open_out_bin path in
+    Trace.attach tr (sink_for_path path oc);
+    Fun.protect
+      ~finally:(fun () -> Trace.close tr)
+      (fun () -> f tr (fun () -> Trace.flush tr))

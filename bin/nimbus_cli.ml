@@ -7,7 +7,11 @@
      simulate   one Nimbus flow vs configurable cross traffic, with a
                 per-second timeline of throughput / queue delay / mode
      faults     the fault matrix under the invariant monitor; exits 1 on
-                any violation (the CI smoke gate) *)
+                any violation (the CI smoke gate)
+     trace      summarize a trace file recorded with --trace
+
+   Flags shared across subcommands (--full, --jobs, --seeds, --trace,
+   --trace-filter) live in Flags, so they are spelled and documented once. *)
 
 module Registry = Nimbus_experiments.Registry
 module Table = Nimbus_experiments.Table
@@ -23,25 +27,9 @@ module Exp_faults = Nimbus_experiments.Exp_faults
 module Time = Units.Time
 module Rate = Units.Rate
 
-let profile full = if full then Common.full else Common.quick
+let profile = Flags.profile
 
-(* [with_pool jobs f] installs the ambient case pool around [f]; tables are
-   byte-identical whatever the pool size, since cases are independently
-   seeded and merged in input order *)
-let with_pool jobs f =
-  let domains =
-    match jobs with
-    | Some j ->
-      if j < 1 then begin
-        Printf.eprintf "--jobs must be >= 1\n";
-        exit 2
-      end;
-      j
-    | None -> Domain.recommended_domain_count ()
-  in
-  Nimbus_parallel.Pool.run ~domains (fun pool ->
-      Common.set_pool (Some pool);
-      Fun.protect ~finally:(fun () -> Common.set_pool None) f)
+let with_pool = Flags.with_pool
 
 let run_cmd id full jobs =
   let todo =
@@ -81,9 +69,13 @@ let list_cmd () =
     Registry.all;
   0
 
-let simulate_cmd mbps rtt_ms duration cross_kind cross_mbps seed faults =
+let simulate_cmd mbps rtt_ms duration cross_kind cross_mbps seed faults
+    trace_out trace_filter =
+  Flags.with_trace ?out:trace_out ~filter:trace_filter @@ fun trace flush ->
   let l = Common.link ~mbps ~rtt_ms () in
-  let engine, bn, rng = Common.setup ~seed l in
+  let engine, bn, rng = Common.setup ~trace ~seed l in
+  (* drain the ring into the sink off the hot path, once a simulated second *)
+  Engine.every engine ~dt:(Time.secs 1.0) (fun () -> flush ());
   (match cross_kind with
    | "none" -> ()
    | "cubic" ->
@@ -131,16 +123,16 @@ let simulate_cmd mbps rtt_ms duration cross_kind cross_mbps seed faults =
   print_string (Invariant.report monitor);
   if Invariant.ok monitor then 0 else 1
 
-let faults_cmd full jobs seeds report_file =
-  let p = profile full in
-  let p = match seeds with None -> p | Some s ->
-    if s < 1 then begin
-      Printf.eprintf "--seeds must be >= 1\n";
-      exit 2
-    end;
-    { p with Common.seeds = s }
+let faults_cmd full jobs seeds report_file trace_out trace_filter =
+  let p = Flags.seeds_profile (profile full) seeds in
+  let trace_mask =
+    match trace_out with
+    | None -> 0
+    | Some _ -> Flags.trace_mask trace_filter
   in
-  let outcome = with_pool jobs (fun () -> Exp_faults.run_matrix p) in
+  let outcome =
+    with_pool jobs (fun () -> Exp_faults.run_matrix ~trace_mask p)
+  in
   List.iter Table.print outcome.Exp_faults.tables;
   print_string outcome.Exp_faults.report;
   (match report_file with
@@ -149,20 +141,28 @@ let faults_cmd full jobs seeds report_file =
      let oc = open_out path in
      output_string oc outcome.Exp_faults.report;
      close_out oc);
+  (match trace_out with
+   | None -> ()
+   | Some path ->
+     let oc = open_out_bin path in
+     output_string oc outcome.Exp_faults.traces;
+     close_out oc);
   if outcome.Exp_faults.violations > 0 then 1 else 0
+
+let trace_cmd file =
+  match Nimbus_trace.Sink.summarize_file file with
+  | Ok summary ->
+    print_string summary;
+    0
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    2
 
 open Cmdliner
 
-let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale profile.")
+let full = Flags.full
 
-let jobs =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Fan experiment cases out over $(docv) domains (default: the \
-           recommended domain count). Output is byte-identical for any N.")
+let jobs = Flags.jobs
 
 let run_t =
   let id =
@@ -212,7 +212,9 @@ let simulate_t =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Timeline of one Nimbus flow vs cross traffic.")
-    Term.(const simulate_cmd $ mbps $ rtt $ dur $ kind $ cmbps $ seed $ faults)
+    Term.(
+      const simulate_cmd $ mbps $ rtt $ dur $ kind $ cmbps $ seed $ faults
+      $ Flags.trace_out $ Flags.trace_filter)
 
 let faults_t =
   let report =
@@ -222,23 +224,30 @@ let faults_t =
       & info [ "report" ] ~docv:"FILE"
           ~doc:"Also write the violation report to $(docv) (CI artifact).")
   in
-  let seeds =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "seeds" ] ~docv:"N"
-          ~doc:"Run each fault spec under $(docv) seeds (default: profile).")
-  in
   Cmd.v
     (Cmd.info "faults"
        ~doc:
          "Run the fault matrix under the invariant monitor; exit 1 on any \
           violation.")
-    Term.(const faults_cmd $ full $ jobs $ seeds $ report)
+    Term.(
+      const faults_cmd $ full $ jobs $ Flags.seeds $ report $ Flags.trace_out
+      $ Flags.trace_filter)
+
+let trace_t =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Summarize a trace file (JSONL or .bin) recorded with --trace: \
+          event counts per kind, time span, and notable events (mode \
+          switches, elections, faults, violations).")
+    Term.(const trace_cmd $ file)
 
 let () =
   let doc = "Nimbus elasticity-detection reproduction CLI" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "nimbus_cli" ~doc)
-          [ run_t; csv_t; list_t; simulate_t; faults_t ]))
+          [ run_t; csv_t; list_t; simulate_t; faults_t; trace_t ]))

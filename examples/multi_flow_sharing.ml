@@ -19,12 +19,15 @@ let () =
     Qdisc.droptail
       ~capacity_bytes:(int_of_float (Rate.to_bps mu *. 0.1 /. 8.))
   in
-  let bottleneck = Bottleneck.create engine ~rate:mu ~qdisc () in
+  let bottleneck =
+    Bottleneck.create engine (Bottleneck.Config.default ~rate:mu ~qdisc)
+  in
   let flows =
     List.init 3 (fun i ->
         let nim =
-          Nimbus.create ~mu:(Z.Mu.known mu) ~multi_flow:true
-            ~seed:(1000 + (31 * i)) ()
+          Nimbus.create
+            { (Nimbus.Config.default ~mu:(Z.Mu.known mu)) with
+              multi_flow = true; seed = 1000 + (31 * i) }
         in
         let flow =
           Flow.create engine bottleneck

@@ -23,11 +23,13 @@ let () =
     Qdisc.droptail
       ~capacity_bytes:(int_of_float (Rate.to_bps mu *. 0.1 /. 8.))
   in
-  let bottleneck = Bottleneck.create engine ~rate:mu ~qdisc () in
+  let bottleneck =
+    Bottleneck.create engine (Bottleneck.Config.default ~rate:mu ~qdisc)
+  in
 
   (* the Nimbus flow: Cubic when cross traffic is elastic, BasicDelay
      otherwise, switching on the FFT elasticity metric *)
-  let nimbus = Nimbus.create ~mu:(Z.Mu.known mu) () in
+  let nimbus = Nimbus.create (Nimbus.Config.default ~mu:(Z.Mu.known mu)) in
   let flow =
     Flow.create engine bottleneck
       ~cc:(Nimbus.cc nimbus ~now:(fun () -> Engine.now engine))
@@ -40,7 +42,7 @@ let () =
         Flow.create engine bottleneck ~cc:(Nimbus_cc.Cubic.make ())
           ~prop_rtt:(Time.ms 50.) ()
       in
-      Engine.schedule_at engine (Time.secs 60.) (fun () -> Flow.stop cross));
+      Engine.schedule_at engine (Time.secs 60.) (fun () -> Flow.apply cross Flow.Control.Stop));
   ignore
     (Source.poisson engine bottleneck ~rng:(Rng.create 7) ~rate:(Rate.mbps 24.)
        ~start:(Time.secs 60.) ());

@@ -20,9 +20,11 @@ let () =
     Qdisc.droptail
       ~capacity_bytes:(int_of_float (Rate.to_bps mu *. 0.1 /. 8.))
   in
-  let bottleneck = Bottleneck.create engine ~rate:mu ~qdisc () in
+  let bottleneck =
+    Bottleneck.create engine (Bottleneck.Config.default ~rate:mu ~qdisc)
+  in
   let video = Video.create engine bottleneck ~ladder:Video.ladder_1080p () in
-  let nimbus = Nimbus.create ~mu:(Z.Mu.known mu) () in
+  let nimbus = Nimbus.create (Nimbus.Config.default ~mu:(Z.Mu.known mu)) in
   let flow =
     Flow.create engine bottleneck
       ~cc:(Nimbus.cc nimbus ~now:(fun () -> Engine.now engine))

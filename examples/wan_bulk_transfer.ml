@@ -21,12 +21,14 @@ let () =
     Qdisc.droptail
       ~capacity_bytes:(int_of_float (Rate.to_bps mu *. 0.1 /. 8.))
   in
-  let bottleneck = Bottleneck.create engine ~rate:mu ~qdisc () in
+  let bottleneck =
+    Bottleneck.create engine (Bottleneck.Config.default ~rate:mu ~qdisc)
+  in
   let wan =
     Wan.create engine bottleneck ~rng:(Rng.create 42) ~load:(Rate.scale 0.5 mu)
       ()
   in
-  let nimbus = Nimbus.create ~mu:(Z.Mu.known mu) () in
+  let nimbus = Nimbus.create (Nimbus.Config.default ~mu:(Z.Mu.known mu)) in
   let flow =
     Flow.create engine bottleneck
       ~cc:(Nimbus.cc nimbus ~now:(fun () -> Engine.now engine))

@@ -29,12 +29,6 @@ let reorder_window = 3
 
 let rate_ring_capacity = 2048
 
-(* atomic so experiments may build engines from several domains at once; ids
-   only need to be distinct, not dense, and never reach printed output *)
-let next_flow_id = Atomic.make 0
-
-let fresh_id () = Atomic.fetch_and_add next_flow_id 1
-
 type t = {
   engine : Engine.t;
   bottleneck : Bottleneck.t;
@@ -114,19 +108,42 @@ let supply t bytes =
   | App_limited -> t.supplied_bytes <- t.supplied_bytes + bytes
   | Backlogged | Finite _ -> ()
 
-let stop t = t.active <- false
+module Control = struct
+  type t =
+    | Extra_delay of Time.t
+    | Ack_loss of (unit -> bool) option
+    | Stop
+end
 
-let set_extra_delay t extra =
-  let extra = Time.to_secs extra in
-  if not (Float.is_finite extra) then
-    invalid_arg "Flow.set_extra_delay: non-finite delay";
-  if extra +. t.fwd_delay < 0. then
-    invalid_arg "Flow.set_extra_delay: total forward delay would be negative";
-  t.extra_fwd_delay <- extra
+(* every control mutation funnels through {!apply}, so this is the single
+   audit/trace point for external interference with a flow *)
+let trace_control t control ~value =
+  let tr = Engine.trace t.engine in
+  if Nimbus_trace.Trace.want tr Nimbus_trace.Event.Flow then
+    Nimbus_trace.Trace.flow_control tr ~now:(now_secs t) ~flow:t.flow_id
+      ~control ~value
+
+let apply t (c : Control.t) =
+  match c with
+  | Control.Extra_delay extra ->
+    let extra = Time.to_secs extra in
+    if not (Float.is_finite extra) then
+      invalid_arg "Flow.apply: non-finite extra delay";
+    if extra +. t.fwd_delay < 0. then
+      invalid_arg "Flow.apply: total forward delay would be negative";
+    t.extra_fwd_delay <- extra;
+    trace_control t Nimbus_trace.Event.C_extra_delay ~value:extra
+  | Control.Ack_loss (Some f) ->
+    t.ack_loss <- Some f;
+    trace_control t Nimbus_trace.Event.C_ack_loss ~value:1.
+  | Control.Ack_loss None ->
+    t.ack_loss <- None;
+    trace_control t Nimbus_trace.Event.C_ack_off ~value:0.
+  | Control.Stop ->
+    t.active <- false;
+    trace_control t Nimbus_trace.Event.C_stop ~value:0.
 
 let extra_delay t = Time.secs t.extra_fwd_delay
-
-let set_ack_loss t f = t.ack_loss <- f
 
 (* --- data availability -------------------------------------------------- *)
 
@@ -359,6 +376,7 @@ let check_rto t =
 
 let rec tick_loop t =
   if t.active then begin
+    Nimbus_trace.Span.enter Nimbus_trace.Span.Flow_tick;
     check_rto t;
     (match t.cc.Cc_types.on_tick with
     | Some f ->
@@ -371,6 +389,7 @@ let rec tick_loop t =
           delivered_bytes = t.acked_bytes; lost_packets = t.losses }
     | None -> ());
     try_send t;
+    Nimbus_trace.Span.leave Nimbus_trace.Span.Flow_tick;
     Engine.schedule_in t.engine (Time.secs t.tick_interval) (fun () ->
         tick_loop t)
   end
@@ -381,7 +400,7 @@ let create engine bottleneck ~cc ~prop_rtt ?(fwd_frac = 0.5)
   let prop_rtt = Time.to_secs prop_rtt in
   let tick_interval = Time.to_secs tick_interval in
   if prop_rtt < 0. then invalid_arg "Flow.create: negative prop_rtt";
-  let flow_id = fresh_id () in
+  let flow_id = Engine.fresh_flow_id engine in
   let start_time =
     match start with
     | Some s -> Time.to_secs s

@@ -47,37 +47,37 @@ val create :
 (** [id t] is the flow identifier used at the bottleneck. *)
 val id : t -> int
 
-(** [fresh_id ()] allocates a flow identifier from the same namespace —
-    raw traffic sources that bypass the flow engine (Poisson/CBR injectors)
-    use this so their packets never collide with a flow's. *)
-val fresh_id : unit -> int
-
 (** [supply t bytes] makes [bytes] more data available to an [App_limited]
     source. No-op for other sources. *)
 val supply : t -> int -> unit
 
-(** [stop t] halts transmission permanently (flow departure). *)
-val stop : t -> unit
-
 (** [stopped t]. *)
 val stopped : t -> bool
 
-(** Fault hooks (driven by [lib/faults]) *)
+(** External control actions (flow departure, fault injection).  All
+    mutations of a running flow funnel through {!apply} — the single
+    audited entry point, traced as [flow_control] events. *)
+module Control : sig
+  type t =
+    | Extra_delay of Units.Time.t
+        (** add this to the forward propagation leg of every subsequent
+            delivery — a delay step; applied periodically with random
+            values it models jitter.  May be negative as long as the
+            total leg stays non-negative. *)
+    | Ack_loss of (unit -> bool) option
+        (** install ([Some f]) or remove ([None]) a reverse-path loss
+            process: each ACK is dropped when [f ()] returns [true],
+            leaving recovery to the sender's dup-ACK / RTO machinery. *)
+    | Stop  (** halt transmission permanently (flow departure) *)
+end
 
-(** [set_extra_delay t extra] adds [extra] to the forward propagation leg of
-    every subsequent delivery — a delay step; called periodically with random
-    values it models jitter. May be negative as long as the total leg stays
-    non-negative.
-    @raise Invalid_argument on NaN/infinite values or a negative total. *)
-val set_extra_delay : t -> Units.Time.t -> unit
+(** [apply t c] performs control action [c] on the flow.
+    @raise Invalid_argument on a NaN/infinite extra delay or a negative
+    total forward delay. *)
+val apply : t -> Control.t -> unit
 
 (** [extra_delay t] is the currently injected extra forward delay. *)
 val extra_delay : t -> Units.Time.t
-
-(** [set_ack_loss t f] installs ([Some f]) or removes ([None]) a reverse-path
-    loss process: each ACK is dropped when [f ()] returns [true], leaving
-    recovery to the sender's dup-ACK / RTO machinery. *)
-val set_ack_loss : t -> (unit -> bool) option -> unit
 
 (** Telemetry *)
 

@@ -13,6 +13,9 @@ module Time = Units.Time
 module Freq = Units.Freq
 module Rate = Units.Rate
 module B = Units.Bytes
+module Trace = Nimbus_trace.Trace
+module Tev = Nimbus_trace.Event
+module Span = Nimbus_trace.Span
 
 type mode =
   | Delay
@@ -129,6 +132,7 @@ type t = {
   z_gate_delay : float;
   min_z_frac : float;
   rate_reset : bool;
+  trace : Trace.t;
 }
 
 let mode_to_string = function
@@ -146,16 +150,75 @@ let evidence_to_string = function
   | Ev_pulser_lost -> "pulser-lost"
   | Ev_elected -> "elected"
 
-let create ~mu ?(competitive = `Cubic) ?(delay = `Basic_delay)
-    ?(pulse_frac = 0.25) ?(pulse_shape = Pulse.Asymmetric)
-    ?(fp_competitive = Freq.hz 5.) ?(fp_delay = Freq.hz 6.)
-    ?use_mode_frequencies ?(fft_window = Time.secs 5.)
-    ?(sample_interval = Time.ms 10.) ?(detect_interval = Time.ms 100.)
-    ?(eta_thresh = 2.) ?(multi_flow = false) ?(kappa = 1.)
-    ?(delay_target = Time.ms 12.5) ?(switch_streak = 30)
-    ?(pulse_timeout = Time.secs 1.)
-    ?(z_gate_delay = Time.ms 3.) ?(min_z_frac = 0.05) ?(rate_reset = true)
-    ?taper ?detrend ?(seed = 0xD15EA5E) ?on_detection ?on_sample () =
+module Config = struct
+  type nonrec t = {
+    mu : Z_estimator.Mu.t;
+    competitive : competitive_alg;
+    delay : delay_alg;
+    pulse_frac : float;
+    pulse_shape : Pulse.shape;
+    fp_competitive : Freq.t;
+    fp_delay : Freq.t;
+    use_mode_frequencies : bool option;
+    fft_window : Time.t;
+    sample_interval : Time.t;
+    detect_interval : Time.t;
+    eta_thresh : float;
+    multi_flow : bool;
+    kappa : float;
+    delay_target : Time.t;
+    switch_streak : int;
+    pulse_timeout : Time.t;
+    z_gate_delay : Time.t;
+    min_z_frac : float;
+    rate_reset : bool;
+    taper : Nimbus_dsp.Window.kind option;
+    detrend : Nimbus_dsp.Spectrum.detrend option;
+    seed : int;
+    trace : Trace.t;
+    on_detection : (detection -> unit) option;
+    on_sample : (sample -> unit) option;
+  }
+
+  let default ~mu =
+    {
+      mu;
+      competitive = `Cubic;
+      delay = `Basic_delay;
+      pulse_frac = 0.25;
+      pulse_shape = Pulse.Asymmetric;
+      fp_competitive = Freq.hz 5.;
+      fp_delay = Freq.hz 6.;
+      use_mode_frequencies = None;
+      fft_window = Time.secs 5.;
+      sample_interval = Time.ms 10.;
+      detect_interval = Time.ms 100.;
+      eta_thresh = 2.;
+      multi_flow = false;
+      kappa = 1.;
+      delay_target = Time.ms 12.5;
+      switch_streak = 30;
+      pulse_timeout = Time.secs 1.;
+      z_gate_delay = Time.ms 3.;
+      min_z_frac = 0.05;
+      rate_reset = true;
+      taper = None;
+      detrend = None;
+      seed = 0xD15EA5E;
+      trace = Trace.disabled;
+      on_detection = None;
+      on_sample = None;
+    }
+end
+
+let create (cfg : Config.t) =
+  let { Config.mu; competitive; delay; pulse_frac; pulse_shape;
+        fp_competitive; fp_delay; use_mode_frequencies; fft_window;
+        sample_interval; detect_interval; eta_thresh; multi_flow; kappa;
+        delay_target; switch_streak; pulse_timeout; z_gate_delay; min_z_frac;
+        rate_reset; taper; detrend; seed; trace; on_detection; on_sample } =
+    cfg
+  in
   let use_mode_frequencies =
     match use_mode_frequencies with Some b -> b | None -> multi_flow
   in
@@ -222,7 +285,7 @@ let create ~mu ?(competitive = `Cubic) ?(delay = `Basic_delay)
         mu_cache = mu_now };
     switch_streak;
     inelastic_streak = 0; elastic_streak = 0; z_gate_delay; min_z_frac;
-    rate_reset }
+    rate_reset; trace }
 
 let mode t = t.mode
 
@@ -289,10 +352,26 @@ let base_rate_bps t =
 
 let base_rate t = Rate.bps (base_rate_bps t)
 
+(* --- trace plumbing ------------------------------------------------------- *)
+
+let tev_mode = function Delay -> Tev.Delay | Competitive -> Tev.Competitive
+let tev_role = function Pulser -> Tev.Pulser | Watcher -> Tev.Watcher
+
+let tev_evidence = function
+  | Ev_eta _ -> Tev.Eta
+  | Ev_pulser_heard Delay -> Tev.Heard_delay
+  | Ev_pulser_heard Competitive -> Tev.Heard_competitive
+  | Ev_pulser_quiet -> Tev.Quiet
+  | Ev_pulser_lost -> Tev.Lost
+  | Ev_elected -> Tev.Won
+
 (* --- mode switching ------------------------------------------------------ *)
 
-let switch_to t target ~now:_ =
+let switch_to t target ~now =
   if t.mode <> target then begin
+    if Trace.want t.trace Tev.Mode then
+      Trace.mode_switch t.trace ~now ~from_mode:(tev_mode t.mode)
+        ~to_mode:(tev_mode target) ~role:(tev_role t.role);
     (match target with
      | Competitive ->
        (* restore the pre-squeeze rate (§4.1).  The paper words this as "the
@@ -350,6 +429,9 @@ let pulse_amplitude t =
 (* --- detection ------------------------------------------------------------ *)
 
 let emit_detection t ~now ~eta ~evidence =
+  if Trace.want t.trace Tev.Mode then
+    Trace.detection t.trace ~now ~eta ~mode:(tev_mode t.mode)
+      ~role:(tev_role t.role) ~evidence:(tev_evidence evidence);
   match t.on_detection with
   | Some f ->
     f
@@ -378,6 +460,16 @@ let pulser_detect t ~now =
        see a finite verdict.  nan propagates: min nan x = nan. *)
     let eta = Float.min eta 1e6 in
     t.hot.last_eta <- eta;
+    if Trace.want t.trace Tev.Spectrum then begin
+      let n = float_of_int t.recent_len in
+      let probe_amp p =
+        if Goertzel.Sliding.filled p then
+          2. /. n *. Goertzel.Sliding.magnitude p *. 1e-6
+        else Float.nan
+      in
+      Trace.window t.trace ~now ~eta ~zbar:(zbar *. 1e-6)
+        ~lo:(probe_amp t.ztone_d) ~hi:(probe_amp t.ztone_c)
+    end;
     if not (Float.is_nan eta) then begin
       (* asymmetric hysteresis: adopt competitive mode on the first elastic
          verdict (losing throughput to elastic cross traffic is the costly
@@ -433,6 +525,7 @@ let pulser_detect t ~now =
         t.next_conflict_coin <- now +. 2.;
         if Rng.bool t.rng ~p:0.5 then begin
           t.role <- Watcher;
+          if Trace.want t.trace Tev.Election then Trace.demoted t.trace ~now;
           (* grace period: the demoted pulser must not instantly declare the
              (possibly simultaneously demoted) peer lost and re-elect
              itself *)
@@ -526,6 +619,9 @@ let watcher_detect t ~now =
   if Elasticity.ready t.r_detector then begin
     t.hot.last_eta <- nan;
     let audible = audible_pulser t in
+    if Trace.want t.trace Tev.Election then
+      Trace.keepalive t.trace ~now ~tone:(tone_level_bps t *. 1e-6)
+        ~alive:(recent_tone_alive t);
     (* either probe refreshes the keep-alive: the fast Goertzel catches a
        death quickly, while the full-window test bridges the 1–2 s tone
        dropouts a live pulser produces while resetting rates across a mode
@@ -585,11 +681,13 @@ let election t ~now ~recv_rate =
          themselves before they can possibly hear the winner. *)
       let horizon = if orphaned t ~now then 1.5 else t.fft_window in
       let p = t.kappa *. t.sample_interval /. horizon *. share in
-      if Rng.bool t.rng ~p:(Float.max 0. (Float.min 1. p)) then begin
+      let p = Float.max 0. (Float.min 1. p) in
+      if Rng.bool t.rng ~p then begin
         t.role <- Pulser;
         t.tone_heard_at <- nan;
         t.follow_target <- None;
         t.follow_streak <- 0;
+        if Trace.want t.trace Tev.Election then Trace.elected t.trace ~now ~p;
         emit_detection t ~now ~eta:nan ~evidence:Ev_elected
       end
     end
@@ -598,6 +696,7 @@ let election t ~now ~recv_rate =
 (* --- tick ----------------------------------------------------------------- *)
 
 let on_tick t (tk : Cc_types.tick) =
+  Span.enter Detector_tick;
   let now = Time.to_secs tk.now in
   let srtt = Time.to_secs tk.srtt in
   let min_rtt = Time.to_secs tk.min_rtt in
@@ -641,6 +740,17 @@ let on_tick t (tk : Cc_types.tick) =
   let base = base_rate_bps t in
   Ring.push t.rate_history base;
   ignore (Ewma.update t.smoothed_rate base);
+  if Trace.want t.trace Tev.Detector then
+    Trace.z_tick t.trace ~now ~z:(z *. 1e-6)
+      ~send:(Rate.to_bps tk.send_rate *. 1e-6)
+      ~recv:(recv_rate *. 1e-6) ~base:(base *. 1e-6);
+  if Trace.want t.trace Tev.Pulse then begin
+    match t.role with
+    | Pulser ->
+      Trace.pulse_phase t.trace ~now ~freq:(pulse_freq_hz t)
+        ~value:(pulse_value t ~now *. 1e-6)
+    | Watcher -> ()
+  end;
   (match t.on_sample with
    | Some f ->
      f
@@ -654,7 +764,8 @@ let on_tick t (tk : Cc_types.tick) =
     match t.role with
     | Pulser -> pulser_detect t ~now
     | Watcher -> watcher_detect t ~now
-  end
+  end;
+  Span.leave Detector_tick
 
 (* --- the engine-facing controller ----------------------------------------- *)
 

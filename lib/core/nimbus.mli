@@ -69,83 +69,92 @@ type sample = {
 
 type t
 
-(** [create ~mu ()] builds a Nimbus instance; pass [cc t] to
-    {!Nimbus_cc.Flow.create} with the same [tick_interval] as
-    [sample_interval].
+(** Construction parameters.  Start from {!Config.default} (which fixes
+    the paper's defaults) and override fields with record-update syntax:
+    {[
+      Nimbus.create
+        { (Nimbus.Config.default ~mu) with multi_flow = true; seed = 42 }
+    ]} *)
+module Config : sig
+  type nonrec t = {
+    mu : Z_estimator.Mu.t;
+        (** link-rate source (supply {!Z_estimator.Mu.known} in
+            emulation, {!Z_estimator.Mu.estimator} on unknown paths) *)
+    competitive : competitive_alg;  (** TCP-competitive algorithm *)
+    delay : delay_alg;  (** delay-control algorithm *)
+    pulse_frac : float;  (** pulse amplitude as a fraction of µ *)
+    pulse_shape : Pulse.shape;
+    fp_competitive : Units.Freq.t;
+        (** pulse frequency in competitive mode *)
+    fp_delay : Units.Freq.t;
+        (** pulse frequency in delay mode; only used when
+            [use_mode_frequencies] is on *)
+    use_mode_frequencies : bool option;
+        (** encode the mode in the pulse frequency
+            ([None]: on iff [multi_flow]) *)
+    fft_window : Units.Time.t;  (** duration of ẑ per FFT *)
+    sample_interval : Units.Time.t;  (** tick period *)
+    detect_interval : Units.Time.t;  (** how often to re-run detection *)
+    eta_thresh : float;  (** detection threshold *)
+    multi_flow : bool;
+        (** enable the pulser/watcher protocol ([false]: this flow
+            always pulses) *)
+    kappa : float;
+        (** election aggressiveness, expected pulsers per FFT window *)
+    delay_target : Units.Time.t;
+        (** BasicDelay's queueing-delay target *)
+    switch_streak : int;
+        (** consecutive inelastic detections required before leaving
+            competitive mode (default 30, i.e. three seconds at the
+            default detection interval); switching into competitive
+            mode is immediate.  Set 1 to reproduce the paper's
+            memoryless rule. *)
+    pulse_timeout : Units.Time.t;
+        (** watcher failover latency: once a pulse tone that was heard
+            on the fast keep-alive probe (a single-bin Goertzel over
+            the trailing ~1 s of the receive rate) has been silent
+            this long, the watcher is {e orphaned} — its
+            [on_detection] evidence becomes [Ev_pulser_lost] and its
+            Eq. 5 election probability is boosted so a replacement
+            pulser appears within one FFT window of a pulser death *)
+    z_gate_delay : Units.Time.t;
+        (** standing-queue threshold: when [rtt − min_rtt] is below it
+            the bottleneck has no backlog, Eq. 1 is invalid (and
+            nothing elastic can be present), so the ẑ sample is forced
+            to 0 *)
+    min_z_frac : float;
+        (** minimum mean ẑ (as a fraction of µ) over the FFT window
+            for an elastic verdict — with no meaningful cross traffic
+            Eq. 3 is a ratio of noise bins, so η is forced ≤ 1 below
+            this floor *)
+    rate_reset : bool;
+        (** restore the pre-squeeze rate when entering competitive
+            mode ([false] ablates §4.1's reset) *)
+    taper : Nimbus_dsp.Window.kind option;
+        (** forwarded to {!Elasticity.create} *)
+    detrend : Nimbus_dsp.Spectrum.detrend option;
+        (** forwarded to {!Elasticity.create} *)
+    seed : int;  (** randomness for the election *)
+    trace : Nimbus_trace.Trace.t;
+        (** collector for [detector]/[spectrum]/[pulse]/[mode]/
+            [election] events (default {!Nimbus_trace.Trace.disabled}) *)
+    on_detection : (detection -> unit) option;  (** observation hook *)
+    on_sample : (sample -> unit) option;  (** observation hook *)
+  }
 
-    @param mu link-rate source (supply {!Z_estimator.Mu.known} in emulation,
-           {!Z_estimator.Mu.estimator} on unknown paths)
-    @param competitive TCP-competitive algorithm (default [`Cubic])
-    @param delay delay-control algorithm (default [`Basic_delay])
-    @param pulse_frac pulse amplitude as a fraction of µ (default 0.25)
-    @param pulse_shape default {!Pulse.Asymmetric}
-    @param fp_competitive pulse frequency in competitive mode (default 5 Hz)
-    @param fp_delay pulse frequency in delay mode (default 6 Hz); only used
-           when [use_mode_frequencies] is on
-    @param use_mode_frequencies encode the mode in the pulse frequency
-           (default: on iff [multi_flow])
-    @param fft_window duration of ẑ per FFT (default 5 s)
-    @param sample_interval tick period (default 10 ms)
-    @param detect_interval how often to re-run detection (default 100 ms)
-    @param eta_thresh detection threshold (default 2)
-    @param multi_flow enable the pulser/watcher protocol (default false:
-           this flow always pulses)
-    @param kappa election aggressiveness, expected pulsers per FFT window
-           (default 1)
-    @param delay_target BasicDelay's queueing-delay target
-    @param z_gate_delay standing-queue threshold: when [rtt − min_rtt] is
-           below it the bottleneck has no backlog, Eq. 1 is invalid (and
-           nothing elastic can be present), so the ẑ sample is forced to 0
-           (default 3 ms)
-    @param min_z_frac minimum mean ẑ (as a fraction of µ) over the FFT
-           window for an elastic verdict — with no meaningful cross traffic
-           Eq. 3 is a ratio of noise bins, so η is forced ≤ 1 below this
-           floor (default 0.05)
-    @param switch_streak consecutive inelastic detections required before
-           leaving competitive mode (default 30, i.e. three seconds at the
-           default detection interval); switching into competitive mode is
-           immediate. Set 1 to reproduce the paper's memoryless rule.
-    @param pulse_timeout watcher failover latency: once a pulse tone that
-           was heard on the fast keep-alive probe (a single-bin Goertzel
-           over the trailing ~1 s of the receive rate) has been silent this
-           long, the watcher is {e orphaned} — its [on_detection] evidence
-           becomes [Ev_pulser_lost] and its Eq. 5 election probability is
-           boosted so a replacement pulser appears within one FFT window of
-           a pulser death (default 1 s)
-    @param rate_reset restore the pre-squeeze rate when entering competitive
-           mode (default true; false ablates §4.1's reset)
-    @param taper / detrend forwarded to {!Elasticity.create}
-    @param seed randomness for the election
-    @param on_detection observation hook
-    @param on_sample observation hook *)
-val create :
-  mu:Z_estimator.Mu.t ->
-  ?competitive:competitive_alg ->
-  ?delay:delay_alg ->
-  ?pulse_frac:float ->
-  ?pulse_shape:Pulse.shape ->
-  ?fp_competitive:Units.Freq.t ->
-  ?fp_delay:Units.Freq.t ->
-  ?use_mode_frequencies:bool ->
-  ?fft_window:Units.Time.t ->
-  ?sample_interval:Units.Time.t ->
-  ?detect_interval:Units.Time.t ->
-  ?eta_thresh:float ->
-  ?multi_flow:bool ->
-  ?kappa:float ->
-  ?delay_target:Units.Time.t ->
-  ?switch_streak:int ->
-  ?pulse_timeout:Units.Time.t ->
-  ?z_gate_delay:Units.Time.t ->
-  ?min_z_frac:float ->
-  ?rate_reset:bool ->
-  ?taper:Nimbus_dsp.Window.kind ->
-  ?detrend:Nimbus_dsp.Spectrum.detrend ->
-  ?seed:int ->
-  ?on_detection:(detection -> unit) ->
-  ?on_sample:(sample -> unit) ->
-  unit ->
-  t
+  (** [default ~mu] — the paper's defaults: Cubic/BasicDelay inners,
+      0.25 pulse fraction, asymmetric pulses at 5/6 Hz, 5 s FFT window,
+      10 ms ticks, 100 ms detection, η threshold 2, single-flow,
+      κ = 1, 12.5 ms delay target, 30-streak hysteresis, 1 s pulse
+      timeout, 3 ms ẑ gate, 0.05 ẑ floor, rate reset on, tracing
+      off. *)
+  val default : mu:Z_estimator.Mu.t -> t
+end
+
+(** [create config] builds a Nimbus instance; pass [cc t] to
+    {!Nimbus_cc.Flow.create} with the same [tick_interval] as
+    [config.sample_interval]. *)
+val create : Config.t -> t
 
 (** [cc t ~now] is the engine-facing controller. [now] must read the
     simulation clock — the pulse waveform is evaluated at packet-send time,

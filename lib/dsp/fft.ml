@@ -244,9 +244,11 @@ module Plan = struct
   let execute ?(inverse = false) t (b : Cbuf.t) =
     if Cbuf.length b <> t.n then
       invalid_arg "Fft.Plan.execute: buffer length does not match plan size";
-    match t.kind with
+    Nimbus_trace.Span.enter Fft;
+    (match t.kind with
     | Pow2 p -> exec_pow2 p ~inverse b
-    | Bluestein bt -> exec_bluestein bt ~inverse t.n b
+    | Bluestein bt -> exec_bluestein bt ~inverse t.n b);
+    Nimbus_trace.Span.leave Fft
 end
 
 (* Bluestein re-expresses an N-point DFT as a convolution, evaluated with two

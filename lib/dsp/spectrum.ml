@@ -39,6 +39,7 @@ let analyze_into st xs =
   let n = st.st_n in
   if Array.length xs <> n then
     invalid_arg "Spectrum.analyze_into: signal length <> state size";
+  Nimbus_trace.Span.enter Spectrum;
   (* The detrended sample is xs.(i) - intercept - slope*i; computing the two
      coefficients first lets the fill loop below run without a scratch copy. *)
   let intercept = ref 0. and slope = ref 0. in
@@ -85,6 +86,7 @@ let analyze_into st xs =
   for k = 0 to n / 2 do
     amps.(k) <- Float.hypot re.(k) im.(k)
   done;
+  Nimbus_trace.Span.leave Spectrum;
   st.result
 
 let analyze ?(window = Window.Rectangular) ?(detrend = `Mean) xs ~sample_rate =

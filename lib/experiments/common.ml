@@ -33,8 +33,8 @@ type link = {
 let link ~mbps ~rtt_ms ?(buffer_bdp = 2.0) ?(aqm = `Droptail) () =
   { mu = Rate.mbps mbps; prop_rtt = Time.ms rtt_ms; buffer_bdp; aqm }
 
-let setup ~seed l =
-  let engine = Engine.create () in
+let setup ?(trace = Nimbus_trace.Trace.disabled) ~seed l =
+  let engine = Engine.create ~trace () in
   let rng = Rng.create seed in
   let capacity_bytes =
     max (4 * 1500)
@@ -48,7 +48,10 @@ let setup ~seed l =
       Qdisc.pie ~capacity_bytes ~target_delay:target ~link_rate:l.mu
         ~rng:(Rng.split rng)
   in
-  let bottleneck = Bottleneck.create engine ~rate:l.mu ~qdisc () in
+  let bottleneck =
+    Bottleneck.create engine
+      { (Bottleneck.Config.default ~rate:l.mu ~qdisc) with trace }
+  in
   (engine, bottleneck, rng)
 
 type running = {
@@ -84,10 +87,11 @@ let nimbus ?name ?(delay = `Basic_delay) ?(competitive = `Cubic)
           if estimate_mu then Z.Mu.estimator () else Z.Mu.known l.mu
         in
         let nim =
-          Nimbus.create ~mu ~delay ~competitive ~pulse_frac
-            ~fp_competitive:fp
-            ~fp_delay:(Freq.hz (Freq.to_hz fp +. 1.))
-            ~multi_flow ~seed ()
+          Nimbus.create
+            { (Nimbus.Config.default ~mu) with
+              delay; competitive; pulse_frac; fp_competitive = fp;
+              fp_delay = Freq.hz (Freq.to_hz fp +. 1.); multi_flow; seed;
+              trace = Engine.trace engine }
         in
         let flow =
           Flow.create engine bottleneck

@@ -36,8 +36,12 @@ val link :
   unit ->
   link
 
-(** [setup ~seed l] builds the engine + bottleneck. *)
-val setup : seed:int -> link -> Engine.t * Bottleneck.t * Rng.t
+(** [setup ?trace ~seed l] builds the engine + bottleneck.  When [trace] is
+    given it becomes the run's shared collector: it is installed on the
+    engine (where flows, faults, and invariant monitors find it) and on the
+    bottleneck, and scheme constructors pick it up via [Engine.trace]. *)
+val setup :
+  ?trace:Nimbus_trace.Trace.t -> seed:int -> link -> Engine.t * Bottleneck.t * Rng.t
 
 (** A scheme is a named congestion-control configuration a primary flow can
     run, paired with optional introspection for mode-switching schemes. *)

@@ -72,16 +72,21 @@ let observe (p : Common.profile) ?(share = 0.5) ?(pulse_shape = Nimbus_core.Puls
   let etas = ref [] and amps = ref [] in
   let zs = ref [] and ss = ref [] in
   let nim =
-    Nimbus.create ~mu:(Z.Mu.known l.Common.mu) ~pulse_shape
-      ~fft_window:(Time.secs fft_window) ~switch_streak ~rate_reset ~taper
-      ~seed:(seed + 1)
-      ~on_detection:(fun d ->
-        if not (Float.is_nan d.Nimbus.d_eta) then etas := d.Nimbus.d_eta :: !etas)
-      ~on_sample:(fun s ->
-        let z = Rate.to_bps s.Nimbus.s_z in
-        zs := (if Float.is_nan z then 0. else z) :: !zs;
-        ss := Rate.to_bps s.Nimbus.s_send_rate :: !ss)
-      ()
+    Nimbus.create
+      { (Nimbus.Config.default ~mu:(Z.Mu.known l.Common.mu)) with
+        pulse_shape; fft_window = Time.secs fft_window; switch_streak;
+        rate_reset; taper = Some taper; seed = seed + 1;
+        on_detection =
+          Some
+            (fun d ->
+              if not (Float.is_nan d.Nimbus.d_eta) then
+                etas := d.Nimbus.d_eta :: !etas);
+        on_sample =
+          Some
+            (fun s ->
+              let z = Rate.to_bps s.Nimbus.s_z in
+              zs := (if Float.is_nan z then 0. else z) :: !zs;
+              ss := Rate.to_bps s.Nimbus.s_send_rate :: !ss) }
   in
   let flow =
     Flow.create engine bn

@@ -23,11 +23,14 @@ let case (p : Common.profile) ~fp ~seed =
        ~prop_rtt:l.Common.prop_rtt ());
   let etas = ref [] in
   let nim =
-    Nimbus.create ~mu:(Z.Mu.known l.Common.mu) ~fp_competitive:(Freq.hz fp)
-      ~on_detection:(fun d ->
-        if not (Float.is_nan d.Nimbus.d_eta) then
-          etas := d.Nimbus.d_eta :: !etas)
-      ()
+    Nimbus.create
+      { (Nimbus.Config.default ~mu:(Z.Mu.known l.Common.mu)) with
+        fp_competitive = Freq.hz fp;
+        on_detection =
+          Some
+            (fun d ->
+              if not (Float.is_nan d.Nimbus.d_eta) then
+                etas := d.Nimbus.d_eta :: !etas) }
   in
   ignore
     (Flow.create engine bn

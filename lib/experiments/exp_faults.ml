@@ -46,12 +46,24 @@ type one = {
   o_failover : float; (* seconds from pulser kill to a live pulser; nan: n/a *)
   o_viol : int;
   o_report : string;
+  o_trace : string; (* JSONL, "" when tracing is off *)
 }
 
-let run_one (p : Common.profile) case ~seed =
+let run_one (p : Common.profile) ~trace_mask case ~seed =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let h = Common.scaled p 60. in
-  let engine, bn, rng = Common.setup ~seed l in
+  (* each case owns its collector and buffer, so cases stay shareable across
+     pool domains; the matrix concatenates buffers in input order *)
+  let tbuf = Buffer.create (if trace_mask = 0 then 16 else 65536) in
+  let trace =
+    if trace_mask = 0 then Nimbus_trace.Trace.disabled
+    else begin
+      let tr = Nimbus_trace.Trace.create ~mask:trace_mask () in
+      Nimbus_trace.Trace.attach tr (Nimbus_trace.Sink.jsonl_buffer tbuf);
+      tr
+    end
+  in
+  let engine, bn, rng = Common.setup ~trace ~seed l in
   let n = 3 in
   let runnings =
     List.init n (fun i ->
@@ -104,7 +116,7 @@ let run_one (p : Common.profile) case ~seed =
           | Some r -> r.Common.flow
           | None -> flows.(0)
         in
-        Flow.stop victim);
+        Flow.apply victim Flow.Control.Stop);
     (* the probe must start strictly after the kill event: two events at the
        same timestamp run in unspecified order, and sampling first would
        count the victim itself as the recovered pulser *)
@@ -136,6 +148,7 @@ let run_one (p : Common.profile) case ~seed =
       ~until:(Time.secs h) ()
   in
   Engine.run_until engine (Time.secs h);
+  Nimbus_trace.Trace.close trace;
   let tput =
     List.fold_left
       (fun acc s ->
@@ -147,15 +160,17 @@ let run_one (p : Common.profile) case ~seed =
     o_q95 = Common.pct qdelay ~lo:10. ~hi:h 95.;
     o_failover = !failover;
     o_viol = Invariant.count monitor;
-    o_report = Invariant.report monitor }
+    o_report = Invariant.report monitor;
+    o_trace = Buffer.contents tbuf }
 
 type outcome = {
   tables : Table.t list;
   violations : int;
   report : string;
+  traces : string;
 }
 
-let run_matrix (p : Common.profile) =
+let run_matrix ?(trace_mask = 0) (p : Common.profile) =
   let results =
     Common.map_cases cases ~f:(fun case ->
         Common.run_seeds p ~base:7000 (fun ~seed ->
@@ -166,7 +181,7 @@ let run_matrix (p : Common.profile) =
                 ~check:(fun o ->
                   if Float.is_finite o.o_tput then None
                   else Some "non-finite throughput")
-                (run_one p case) ))
+                (run_one p ~trace_mask case) ))
         |> List.map (fun (seed, r) -> (case, seed, r)))
   in
   let results = List.concat results in
@@ -209,6 +224,15 @@ let run_matrix (p : Common.profile) =
     if Buffer.length buf = 0 then "fault matrix: all invariants held\n"
     else Buffer.contents buf
   in
+  (* per-case buffers concatenated in input order: byte-identical whatever
+     the pool size *)
+  let traces =
+    String.concat ""
+      (List.map
+         (fun (_, _, r) ->
+           match r with Ok o -> o.o_trace | Error _ -> "")
+         results)
+  in
   { tables =
       [ Table.make ~title
           ~header:
@@ -220,6 +244,7 @@ let run_matrix (p : Common.profile) =
                a clean kill -- concurrent burst loss can stretch it)" ]
           rows ];
     violations;
-    report }
+    report;
+    traces }
 
 let run p = (run_matrix p).tables

@@ -11,10 +11,17 @@ type outcome = {
   tables : Table.t list;
   violations : int;  (** total invariant violations across the matrix *)
   report : string;  (** per-case violation / crash details *)
+  traces : string;
+      (** JSONL trace of every case, concatenated in (case, seed) input
+          order — byte-identical for a given profile whatever the pool
+          size; [""] when [trace_mask] is 0 *)
 }
 
-(** [run_matrix p] runs every (fault spec × seed) cell, each crash-isolated
-    via {!Common.run_case}. *)
-val run_matrix : Common.profile -> outcome
+(** [run_matrix ?trace_mask p] runs every (fault spec × seed) cell, each
+    crash-isolated via {!Common.run_case}.
+    @param trace_mask category mask (see {!Nimbus_trace.Trace.parse_filter})
+           enabling per-case trace collection into [traces]; default 0
+           (off) *)
+val run_matrix : ?trace_mask:int -> Common.profile -> outcome
 
 val run : Common.profile -> Table.t list

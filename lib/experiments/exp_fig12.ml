@@ -27,7 +27,7 @@ let run (p : Common.profile) =
     Wan.create engine bn ~rng:(Rng.split rng) ~profile:`Elephant
       ~load:(Rate.scale 0.5 l.Common.mu) ()
   in
-  let nim = Nimbus.create ~mu:(Z.Mu.known l.Common.mu) () in
+  let nim = Nimbus.create (Nimbus.Config.default ~mu:(Z.Mu.known l.Common.mu)) in
   ignore
     (Flow.create engine bn
        ~cc:(Nimbus.cc nim ~now:(fun () -> Engine.now engine))

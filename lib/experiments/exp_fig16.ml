@@ -36,7 +36,7 @@ let run (p : Common.profile) =
           (sch i).Common.start_flow engine bn l ~start:(Time.secs start) ()
         in
         Engine.schedule_at engine (Time.secs (start +. life)) (fun () ->
-            Flow.stop running.Common.flow);
+            Flow.apply running.Common.flow Flow.Control.Stop);
         (i, start, running))
   in
   (* sample: pulser count, delay-mode fraction, queue delay *)

@@ -36,13 +36,16 @@ let run_case (p : Common.profile) ~elastic =
   let cap = { s_samples = ref []; z_samples = ref [] } in
   let collect_from = horizon -. 10. in
   let nim =
-    Nimbus.create ~mu:(Z.Mu.known l.Common.mu)
-      ~on_sample:(fun s ->
-        if Time.(s.Nimbus.s_time >= secs collect_from) then begin
-          cap.s_samples := Rate.to_bps s.Nimbus.s_send_rate :: !(cap.s_samples);
-          cap.z_samples := Rate.to_bps s.Nimbus.s_z :: !(cap.z_samples)
-        end)
-      ()
+    Nimbus.create
+      { (Nimbus.Config.default ~mu:(Z.Mu.known l.Common.mu)) with
+        on_sample =
+          Some
+            (fun s ->
+              if Time.(s.Nimbus.s_time >= secs collect_from) then begin
+                cap.s_samples :=
+                  Rate.to_bps s.Nimbus.s_send_rate :: !(cap.s_samples);
+                cap.z_samples := Rate.to_bps s.Nimbus.s_z :: !(cap.z_samples)
+              end) }
   in
   ignore
     (Flow.create engine bn

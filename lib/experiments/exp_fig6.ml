@@ -31,11 +31,13 @@ let run_mix (p : Common.profile) ~target_frac ~seed =
   let engine, bn, rng = Common.setup ~seed l in
   let etas = ref [] in
   let nim =
-    Nimbus.create ~mu:(Z.Mu.known l.Common.mu)
-      ~on_detection:(fun d ->
-        if not (Float.is_nan d.Nimbus.d_eta) then
-          etas := d.Nimbus.d_eta :: !etas)
-      ()
+    Nimbus.create
+      { (Nimbus.Config.default ~mu:(Z.Mu.known l.Common.mu)) with
+        on_detection =
+          Some
+            (fun d ->
+              if not (Float.is_nan d.Nimbus.d_eta) then
+                etas := d.Nimbus.d_eta :: !etas) }
   in
   ignore
     (Flow.create engine bn

@@ -65,7 +65,9 @@ let setup_path path ~seed =
     if path.policed then Some (Rate.bps (mu *. 0.85), 50 * 1500) else None
   in
   let bn =
-    Bottleneck.create engine ~rate:(Rate.bps mu) ~qdisc ?random_loss ?policer ()
+    Bottleneck.create engine
+      { (Bottleneck.Config.default ~rate:(Rate.bps mu) ~qdisc) with
+        random_loss; policer }
   in
   (engine, bn, rng, mu, prop_rtt)
 

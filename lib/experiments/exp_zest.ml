@@ -25,14 +25,16 @@ let case (p : Common.profile) ~label ~seed ~install =
   let cross_ids = install engine bn l rng in
   let z_acc = ref 0. and z_n = ref 0 in
   let nim =
-    Nimbus.create ~mu:(Z.Mu.known l.Common.mu)
-      ~on_sample:(fun s ->
-        let z = Rate.to_bps s.Nimbus.s_z in
-        if not (Float.is_nan z) then begin
-          z_acc := !z_acc +. z;
-          incr z_n
-        end)
-      ()
+    Nimbus.create
+      { (Nimbus.Config.default ~mu:(Z.Mu.known l.Common.mu)) with
+        on_sample =
+          Some
+            (fun s ->
+              let z = Rate.to_bps s.Nimbus.s_z in
+              if not (Float.is_nan z) then begin
+                z_acc := !z_acc +. z;
+                incr z_n
+              end) }
   in
   ignore
     (Flow.create engine bn

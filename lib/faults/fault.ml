@@ -222,7 +222,20 @@ let parse spec =
 
 (* --- attachment ------------------------------------------------------------ *)
 
+module Trace = Nimbus_trace.Trace
+module Tev = Nimbus_trace.Event
+
 let iter_flows flows f = Array.iter f flows
+
+(* every firing is recorded (at fire time, not attach time) through the
+   engine's collector, so a traced run shows exactly which injected event
+   preceded a detector reaction *)
+let fire engine fault ~p1 ~p2 =
+  let tr = Engine.trace engine in
+  if Trace.want tr Tev.Fault then
+    Trace.fault_fired tr
+      ~now:(Time.to_secs (Engine.now engine))
+      ~fault ~p1 ~p2
 
 let attach ~engine ~bottleneck ?(flows = [||]) ~rng plan =
   List.iter
@@ -246,6 +259,7 @@ let attach ~engine ~bottleneck ?(flows = [||]) ~rng plan =
       | Burst_loss { at; p_enter; p_exit; loss_good; loss_bad } ->
         let ge_rng = Rng.split rng in
         Engine.schedule_at engine at (fun () ->
+            fire engine Tev.F_burst ~p1:p_enter ~p2:loss_bad;
             let ge =
               Gilbert_elliott.create ~rng:ge_rng ~p_enter ~p_exit ~loss_good
                 ~loss_bad ()
@@ -254,35 +268,50 @@ let attach ~engine ~bottleneck ?(flows = [||]) ~rng plan =
               (Some (fun _pkt -> Gilbert_elliott.drop ge)))
       | Loss_off at ->
         Engine.schedule_at engine at (fun () ->
+            fire engine Tev.F_loss_off ~p1:0. ~p2:0.;
             Bottleneck.set_loss_model bottleneck None)
       | Rate_step { at; rate } ->
         Engine.schedule_at engine at (fun () ->
+            fire engine Tev.F_rate_step ~p1:(Rate.to_mbps rate) ~p2:0.;
             Bottleneck.set_rate bottleneck rate)
       | Outage { at; duration } ->
         Engine.schedule_at engine at (fun () ->
+            fire engine Tev.F_outage ~p1:(Time.to_secs duration) ~p2:0.;
             let restore = Bottleneck.rate bottleneck in
             Bottleneck.set_rate bottleneck Rate.zero;
             Engine.schedule_in engine duration (fun () ->
                 Bottleneck.set_rate bottleneck restore))
       | Delay_step { at; extra } ->
         Engine.schedule_at engine at (fun () ->
-            iter_flows flows (fun fl -> Flow.set_extra_delay fl extra))
+            fire engine Tev.F_delay_step ~p1:(Time.to_secs extra) ~p2:0.;
+            iter_flows flows (fun fl ->
+                Flow.apply fl (Flow.Control.Extra_delay extra)))
       | Delay_jitter { at; until; amp; period } ->
         let jrng = Rng.split rng in
         Engine.every engine ~dt:period ~start:at ~until (fun () ->
+            fire engine Tev.F_jitter ~p1:(Time.to_secs amp)
+              ~p2:(Time.to_secs period);
             iter_flows flows (fun fl ->
-                Flow.set_extra_delay fl
-                  (Time.secs (Rng.float jrng (Time.to_secs amp)))));
+                Flow.apply fl
+                  (Flow.Control.Extra_delay
+                     (Time.secs (Rng.float jrng (Time.to_secs amp))))));
         Engine.schedule_at engine until (fun () ->
-            iter_flows flows (fun fl -> Flow.set_extra_delay fl Time.zero))
+            iter_flows flows (fun fl ->
+                Flow.apply fl (Flow.Control.Extra_delay Time.zero)))
       | Ack_loss { at; p } ->
         let arng = Rng.split rng in
         Engine.schedule_at engine at (fun () ->
+            fire engine Tev.F_ack_loss ~p1:p ~p2:0.;
             iter_flows flows (fun fl ->
-                Flow.set_ack_loss fl (Some (fun () -> Rng.bool arng ~p))))
+                Flow.apply fl
+                  (Flow.Control.Ack_loss (Some (fun () -> Rng.bool arng ~p)))))
       | Ack_loss_off at ->
         Engine.schedule_at engine at (fun () ->
-            iter_flows flows (fun fl -> Flow.set_ack_loss fl None))
+            fire engine Tev.F_ack_off ~p1:0. ~p2:0.;
+            iter_flows flows (fun fl ->
+                Flow.apply fl (Flow.Control.Ack_loss None)))
       | Kill_flow { at; index } ->
-        Engine.schedule_at engine at (fun () -> Flow.stop flows.(index)))
+        Engine.schedule_at engine at (fun () ->
+            fire engine Tev.F_kill ~p1:(float_of_int index) ~p2:0.;
+            Flow.apply flows.(index) Flow.Control.Stop))
     plan

@@ -18,6 +18,13 @@ let rule_to_string = function
   | Mode_hysteresis -> "mode-hysteresis"
   | Custom name -> name
 
+let rule_code = function
+  | Conservation -> 0
+  | Queue_nonneg -> 1
+  | Finite_signal -> 2
+  | Mode_hysteresis -> 3
+  | Custom _ -> 4
+
 type violation = {
   v_time : Time.t;
   v_rule : rule;
@@ -46,6 +53,11 @@ type t = {
 
 let record t rule detail =
   t.total <- t.total + 1;
+  (let tr = Engine.trace t.engine in
+   if Nimbus_trace.Trace.want tr Nimbus_trace.Event.Invariant then
+     Nimbus_trace.Trace.violation tr
+       ~now:(Time.to_secs (Engine.now t.engine))
+       ~rule:(rule_code rule));
   if t.total <= max_recorded then
     t.recorded <-
       { v_time = Engine.now t.engine; v_rule = rule; v_detail = detail }

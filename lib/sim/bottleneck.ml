@@ -1,6 +1,8 @@
 module Time = Units.Time
 module Rate = Units.Rate
 module B = Units.Bytes
+module Trace = Nimbus_trace.Trace
+module Tev = Nimbus_trace.Event
 
 type policer = {
   p_rate : Rate.t;
@@ -31,39 +33,78 @@ type t = {
   mutable offered_pkts : int;
   mutable delivered_pkts : int;
   mutable queued_pkts : int;
+  trace : Trace.t;
+  pkt_sample : int;
+  mutable enq_count : int;
+  mutable del_count : int;
 }
 
-let create engine ~rate ~qdisc ?random_loss ?policer () =
-  let rate = Rate.bps_exn (Rate.to_bps rate) in
+module Config = struct
+  type t = {
+    rate : Rate.t;
+    qdisc : Qdisc.t;
+    random_loss : (float * Rng.t) option;
+    policer : (Rate.t * int) option;
+    trace : Trace.t;
+    pkt_sample : int;
+  }
+
+  let default ~rate ~qdisc =
+    { rate; qdisc; random_loss = None; policer = None;
+      trace = Trace.disabled; pkt_sample = 64 }
+end
+
+let create engine (c : Config.t) =
+  let rate = Rate.bps_exn (Rate.to_bps c.rate) in
+  if c.pkt_sample < 1 then
+    invalid_arg "Bottleneck.create: pkt_sample must be >= 1";
   let policer =
     Option.map
       (fun (prate, burst) ->
         { p_rate = prate; p_burst = burst; tokens = float_of_int burst;
           last_refill = Engine.now engine })
-      policer
+      c.policer
   in
-  { engine; rate; drain_rate_hint = rate; qdisc; random_loss;
-    loss_model = None; policer; fifo = Queue.create ();
-    sinks = Hashtbl.create 16; qlen = 0; busy = false; drops = 0;
-    drops_by_flow = Hashtbl.create 16; delivered_by_flow = Hashtbl.create 16;
-    busy_secs = 0.; offered_pkts = 0; delivered_pkts = 0; queued_pkts = 0 }
+  { engine; rate; drain_rate_hint = rate; qdisc = c.qdisc;
+    random_loss = c.random_loss; loss_model = None; policer;
+    fifo = Queue.create (); sinks = Hashtbl.create 16; qlen = 0;
+    busy = false; drops = 0; drops_by_flow = Hashtbl.create 16;
+    delivered_by_flow = Hashtbl.create 16; busy_secs = 0.; offered_pkts = 0;
+    delivered_pkts = 0; queued_pkts = 0; trace = c.trace;
+    pkt_sample = c.pkt_sample; enq_count = 0; del_count = 0 }
 
 let set_sink t ~flow f = Hashtbl.replace t.sinks flow f
 
-let set_loss_model t f = t.loss_model <- f
+let trace t = t.trace
+
+let now_s t = Time.to_secs (Engine.now t.engine)
+
+let set_loss_model t f =
+  t.loss_model <- f;
+  if Trace.want t.trace Tev.Bottleneck then
+    Trace.loss_model t.trace ~now:(now_s t) ~installed:(Option.is_some f)
 
 let bump tbl key n =
   let cur = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
   Hashtbl.replace tbl key (cur + n)
 
-let record_drop t (pkt : Packet.t) =
+let record_drop t (pkt : Packet.t) ~reason =
   t.drops <- t.drops + 1;
-  bump t.drops_by_flow pkt.flow 1
+  bump t.drops_by_flow pkt.flow 1;
+  (* drops are rare and diagnostic gold, so they are never sampled out *)
+  if Trace.want t.trace Tev.Packet then
+    Trace.pkt_drop t.trace ~now:(now_s t) ~flow:pkt.flow ~seq:pkt.seq ~reason
 
 let deliver t (pkt : Packet.t) =
   bump t.delivered_by_flow pkt.flow pkt.size;
   t.delivered_pkts <- t.delivered_pkts + 1;
   t.queued_pkts <- t.queued_pkts - 1;
+  if Trace.want t.trace Tev.Packet then begin
+    t.del_count <- t.del_count + 1;
+    if t.del_count mod t.pkt_sample = 0 then
+      Trace.pkt_deliver t.trace ~now:(now_s t) ~flow:pkt.flow ~seq:pkt.seq
+        ~qdelay:(Time.to_secs (Packet.queueing_delay pkt))
+  end;
   match Hashtbl.find_opt t.sinks pkt.flow with
   | Some f -> f pkt
   | None -> ()
@@ -91,6 +132,9 @@ let set_rate t rate =
   let r = Rate.to_bps rate in
   if not (Float.is_finite r) || r < 0. then
     invalid_arg "Bottleneck.set_rate: rate must be finite and >= 0";
+  if Trace.want t.trace Tev.Bottleneck then
+    Trace.rate_set t.trace ~now:(now_s t) ~before:(Rate.to_mbps t.rate)
+      ~after:(Rate.to_mbps rate);
   t.rate <- rate;
   if Rate.(rate > Rate.zero) then begin
     t.drain_rate_hint <- rate;
@@ -125,18 +169,26 @@ let loss_model_admits t pkt =
 let enqueue t pkt =
   let now = Engine.now t.engine in
   t.offered_pkts <- t.offered_pkts + 1;
-  if not (policer_admits t pkt) then record_drop t pkt
-  else if not (random_loss_admits t) then record_drop t pkt
-  else if not (loss_model_admits t pkt) then record_drop t pkt
+  if not (policer_admits t pkt) then record_drop t pkt ~reason:Tev.Policer
+  else if not (random_loss_admits t) then
+    record_drop t pkt ~reason:Tev.Random_loss
+  else if not (loss_model_admits t pkt) then
+    record_drop t pkt ~reason:Tev.Modeled_loss
   else if Qdisc.admit t.qdisc ~now ~qlen_bytes:t.qlen ~pkt_size:pkt.Packet.size
   then begin
     pkt.Packet.enqueued_at <- now;
     t.qlen <- t.qlen + pkt.Packet.size;
     t.queued_pkts <- t.queued_pkts + 1;
+    if Trace.want t.trace Tev.Packet then begin
+      t.enq_count <- t.enq_count + 1;
+      if t.enq_count mod t.pkt_sample = 0 then
+        Trace.pkt_enqueue t.trace ~now:(Time.to_secs now) ~flow:pkt.Packet.flow
+          ~seq:pkt.Packet.seq ~qlen:t.qlen
+    end;
     Queue.push pkt t.fifo;
     if not t.busy then start_next t
   end
-  else record_drop t pkt
+  else record_drop t pkt ~reason:Tev.Queue_full
 
 let rate t = t.rate
 

@@ -8,19 +8,38 @@
 
 type t
 
-(** [create engine ~rate ~qdisc ()] builds an idle bottleneck.
-    [random_loss] drops each admitted packet with the given probability;
-    [policer] drops packets exceeding a token bucket of the given rate and
-    [burst_bytes] instead of queueing them.
-    @raise Invalid_argument if [rate] is not finite and positive. *)
-val create :
-  Engine.t ->
-  rate:Units.Rate.t ->
-  qdisc:Qdisc.t ->
-  ?random_loss:float * Rng.t ->
-  ?policer:Units.Rate.t * int ->
-  unit ->
-  t
+(** Construction parameters.  Start from {!Config.default} and override
+    fields with record-update syntax:
+    {[
+      Bottleneck.create engine
+        { (Bottleneck.Config.default ~rate ~qdisc) with
+          policer = Some (rate, 30_000) }
+    ]} *)
+module Config : sig
+  type t = {
+    rate : Units.Rate.t;  (** drain rate µ; finite and positive *)
+    qdisc : Qdisc.t;
+    random_loss : (float * Rng.t) option;
+        (** drop each admitted packet with this probability *)
+    policer : (Units.Rate.t * int) option;
+        (** token bucket of (rate, burst bytes); violating packets are
+            dropped instead of queued *)
+    trace : Nimbus_trace.Trace.t;
+        (** collector for [packet]/[bottleneck] events (default
+            {!Nimbus_trace.Trace.disabled}) *)
+    pkt_sample : int;
+        (** trace every [pkt_sample]-th enqueue/delivery (default 64;
+            drops are always traced) *)
+  }
+
+  (** [default ~rate ~qdisc] — no loss, no policer, tracing off. *)
+  val default : rate:Units.Rate.t -> qdisc:Qdisc.t -> t
+end
+
+(** [create engine config] builds an idle bottleneck.
+    @raise Invalid_argument if [config.rate] is not finite and positive
+    or [config.pkt_sample < 1]. *)
+val create : Engine.t -> Config.t -> t
 
 (** [set_sink t ~flow f] registers the delivery callback for [flow]'s packets
     (invoked when a packet finishes serialisation at the link head). *)
@@ -45,6 +64,9 @@ val set_rate : t -> Units.Rate.t -> unit
 val set_loss_model : t -> (Packet.t -> bool) option -> unit
 
 (** Observability *)
+
+(** [trace t] is the collector this link emits to. *)
+val trace : t -> Nimbus_trace.Trace.t
 
 (** [rate t] is the current drain rate µ. *)
 val rate : t -> Units.Rate.t

@@ -1,4 +1,6 @@
 module Time = Units.Time
+module Trace = Nimbus_trace.Trace
+module Span = Nimbus_trace.Span
 
 (* The clock and heap keys stay raw float internally — the typed boundary is
    the .mli; unwrapping once on entry keeps the hot event loop allocation- and
@@ -6,9 +8,28 @@ module Time = Units.Time
 type t = {
   mutable clock : float;
   events : (unit -> unit) Heap.t;
+  mutable trace : Trace.t;
+  mutable scheds : int;
+  mutable flow_ids : int;
 }
 
-let create () = { clock = 0.; events = Heap.create () }
+(* scheduler events are high-volume and low-information individually, so only
+   every [sched_sample]-th one is traced *)
+let sched_sample = 256
+
+let create ?(trace = Trace.disabled) () =
+  { clock = 0.; events = Heap.create (); trace; scheds = 0; flow_ids = 0 }
+
+let trace t = t.trace
+let set_trace t tr = t.trace <- tr
+
+(* flow ids are engine-scoped, not process-global: every run of the same
+   scenario numbers its flows identically, which is what makes traced runs
+   byte-identical across repeats and across --jobs fan-out *)
+let fresh_flow_id t =
+  let id = t.flow_ids in
+  t.flow_ids <- id + 1;
+  id
 
 let now t = Time.secs t.clock
 
@@ -24,6 +45,12 @@ let schedule_at t time f =
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: %.9f is before now (%.9f)" time
          t.clock);
+  if Trace.want t.trace Nimbus_trace.Event.Engine then begin
+    t.scheds <- t.scheds + 1;
+    if t.scheds mod sched_sample = 0 then
+      Trace.sched t.trace ~now:t.clock ~at:time
+        ~pending:(Heap.size t.events)
+  end;
   Heap.push t.events ~key:time f
 
 let schedule_in t delay f =
@@ -54,6 +81,7 @@ let every t ~dt ?start ?until f =
 
 let run_until t horizon =
   let horizon = Time.to_secs horizon in
+  Span.enter Engine_drain;
   let continue = ref true in
   while !continue do
     match Heap.peek_key t.events with
@@ -65,6 +93,7 @@ let run_until t horizon =
       | None -> continue := false)
     | _ -> continue := false
   done;
-  if t.clock < horizon then t.clock <- horizon
+  if t.clock < horizon then t.clock <- horizon;
+  Span.leave Engine_drain
 
 let pending t = Heap.size t.events

@@ -10,8 +10,26 @@
 
 type t
 
-(** [create ()] is a fresh engine with the clock at [Time.zero]. *)
-val create : unit -> t
+(** [create ()] is a fresh engine with the clock at [Time.zero].
+    @param trace the run's trace collector (default
+           {!Nimbus_trace.Trace.disabled}); every [256]-th scheduled
+    event is recorded under the [engine] category, and
+    {!run_until} drains inside an [engine_drain] profiling span. *)
+val create : ?trace:Nimbus_trace.Trace.t -> unit -> t
+
+(** [trace t] is the run's trace collector — network elements created on
+    this engine and control hooks such as [Flow.apply] emit through it. *)
+val trace : t -> Nimbus_trace.Trace.t
+
+(** [set_trace t tr] swaps the collector mid-run (e.g. to start tracing
+    after warm-up). *)
+val set_trace : t -> Nimbus_trace.Trace.t -> unit
+
+(** [fresh_flow_id t] allocates the next engine-scoped flow id (0, 1, …).
+    Ids are per-engine rather than process-global so that repeated runs of
+    the same scenario — sequentially or on different domains — number their
+    flows, and therefore their traces, identically. *)
+val fresh_flow_id : t -> int
 
 (** [now t] is the current simulated time. *)
 val now : t -> Units.Time.t

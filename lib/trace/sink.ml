@@ -1,0 +1,198 @@
+type t = {
+  emit : time:float -> Event.t -> unit;
+  close : unit -> unit;
+}
+
+let null = { emit = (fun ~time:_ _ -> ()); close = (fun () -> ()) }
+
+let buffered_channel oc =
+  (* share one scratch buffer per sink; flushed to the channel whenever it
+     grows past a page so flush cost stays off the per-event path *)
+  let buf = Buffer.create 4096 in
+  let spill () =
+    Buffer.output_buffer oc buf;
+    Buffer.clear buf
+  in
+  let closed = ref false in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      spill ();
+      close_out oc
+    end
+  in
+  (buf, spill, close)
+
+let jsonl oc =
+  let buf, spill, close = buffered_channel oc in
+  let emit ~time ev =
+    Event.to_json buf ~time ev;
+    Buffer.add_char buf '\n';
+    if Buffer.length buf > 4096 then spill ()
+  in
+  { emit; close }
+
+let csv oc =
+  let buf, spill, close = buffered_channel oc in
+  Buffer.add_string buf Event.csv_header;
+  Buffer.add_char buf '\n';
+  let emit ~time ev =
+    Event.to_csv buf ~time ev;
+    Buffer.add_char buf '\n';
+    if Buffer.length buf > 4096 then spill ()
+  in
+  { emit; close }
+
+let binary oc =
+  let buf, spill, close = buffered_channel oc in
+  Buffer.add_string buf Event.binary_magic;
+  let emit ~time ev =
+    Event.to_binary buf ~time ev;
+    if Buffer.length buf > 4096 then spill ()
+  in
+  { emit; close }
+
+let jsonl_buffer buf =
+  let emit ~time ev =
+    Event.to_json buf ~time ev;
+    Buffer.add_char buf '\n'
+  in
+  { emit; close = (fun () -> ()) }
+
+let memory () =
+  let events = ref [] in
+  let emit ~time ev = events := (time, ev) :: !events in
+  ({ emit; close = (fun () -> ()) }, fun () -> List.rev !events)
+
+(* --- summaries ------------------------------------------------------------- *)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+
+let events_of_binary s =
+  let n = (String.length s - String.length Event.binary_magic)
+          / Event.binary_record_size
+  in
+  List.filter_map
+    (fun i ->
+      Event.of_binary s
+        ~pos:(String.length Event.binary_magic + (i * Event.binary_record_size)))
+    (List.init (max 0 n) Fun.id)
+
+(* A deliberately small JSONL reader: we only ever parse trace files we
+   wrote ourselves, so a field scanner beats a JSON dependency. *)
+let json_field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat in
+  let len = String.length line in
+  let rec find i =
+    if i + plen > len then None
+    else if String.equal (String.sub line i plen) pat then Some (i + plen)
+    else find (i + 1)
+  in
+  Option.map
+    (fun start ->
+      let stop = ref start in
+      while
+        !stop < len && (match line.[!stop] with ',' | '}' -> false | _ -> true)
+      do
+        incr stop
+      done;
+      String.sub line start (!stop - start))
+    (find 0)
+
+let strip_quotes s =
+  let n = String.length s in
+  if n >= 2 && Char.equal s.[0] '"' && Char.equal s.[n - 1] '"' then
+    String.sub s 1 (n - 2)
+  else s
+
+let summarize_lines ~total ~t0 ~t1 ~counts ~notable =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "events: %d\n" total;
+  if total > 0 then
+    Printf.bprintf b "span: %s .. %s s\n" (Event.float_str t0)
+      (Event.float_str t1);
+  List.iter
+    (fun (name, n) -> Printf.bprintf b "  %-14s %d\n" name n)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) counts);
+  if notable <> [] then begin
+    Buffer.add_string b "notable:\n";
+    List.iter (fun line -> Printf.bprintf b "  %s\n" line) (List.rev notable)
+  end;
+  Buffer.contents b
+
+let summarize_events evs =
+  let counts = Hashtbl.create 17 in
+  let notable = ref [] in
+  let total = ref 0 in
+  let t0 = ref Float.nan and t1 = ref Float.nan in
+  let line_buf = Buffer.create 256 in
+  List.iter
+    (fun (time, ev) ->
+      incr total;
+      if Float.is_nan !t0 then t0 := time;
+      t1 := time;
+      let name = Event.name ev in
+      Hashtbl.replace counts name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts name));
+      (match ev with
+       | Event.Mode_switch _ | Event.Detection _ | Event.Elected _
+       | Event.Demoted | Event.Violation _ | Event.Fault_fired _ ->
+         Buffer.clear line_buf;
+         Event.to_json line_buf ~time ev;
+         notable := Buffer.contents line_buf :: !notable
+       | _ -> ()))
+    evs;
+  summarize_lines ~total:!total ~t0:!t0 ~t1:!t1
+    ~counts:(Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+    ~notable:!notable
+
+let summarize_jsonl s =
+  let counts = Hashtbl.create 17 in
+  let notable = ref [] in
+  let total = ref 0 in
+  let t0 = ref Float.nan and t1 = ref Float.nan in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         if not (String.equal (String.trim line) "") then begin
+           incr total;
+           (match Option.bind (json_field line "t") float_of_string_opt with
+            | Some t ->
+              if Float.is_nan !t0 then t0 := t;
+              t1 := t
+            | None -> ());
+           let name =
+             match json_field line "ev" with
+             | Some v -> strip_quotes v
+             | None -> "?"
+           in
+           Hashtbl.replace counts name
+             (1 + Option.value ~default:0 (Hashtbl.find_opt counts name));
+           match name with
+           | "mode_switch" | "detection" | "elected" | "demoted" | "violation"
+           | "fault_fired" ->
+             notable := line :: !notable
+           | _ -> ()
+         end);
+  summarize_lines ~total:!total ~t0:!t0 ~t1:!t1
+    ~counts:(Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+    ~notable:!notable
+
+let summarize_file path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok s ->
+    let is_binary =
+      String.length s >= String.length Event.binary_magic
+      && String.equal
+           (String.sub s 0 (String.length Event.binary_magic))
+           Event.binary_magic
+    in
+    if is_binary then Ok (summarize_events (events_of_binary s))
+    else Ok (summarize_jsonl s)

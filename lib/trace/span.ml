@@ -1,0 +1,91 @@
+type id =
+  | Fft
+  | Spectrum
+  | Detector_tick
+  | Engine_drain
+  | Flow_tick
+
+let id_to_string = function
+  | Fft -> "fft"
+  | Spectrum -> "spectrum"
+  | Detector_tick -> "detector_tick"
+  | Engine_drain -> "engine_drain"
+  | Flow_tick -> "flow_tick"
+
+let nids = 5
+
+let index = function
+  | Fft -> 0
+  | Spectrum -> 1
+  | Detector_tick -> 2
+  | Engine_drain -> 3
+  | Flow_tick -> 4
+
+let all = [ Fft; Spectrum; Detector_tick; Engine_drain; Flow_tick ]
+let on = ref false
+let clock = ref Sys.time
+let counts = Array.make nids 0
+let totals = Array.make nids 0.
+let maxes = Array.make nids 0.
+
+(* start < 0. means "no open enter for this id" *)
+let starts = Array.make nids (-1.)
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+let set_clock f = clock := f
+
+let enter id = if !on then starts.(index id) <- !clock ()
+
+let leave id =
+  if !on then begin
+    let i = index id in
+    let t0 = starts.(i) in
+    if t0 >= 0. then begin
+      let dt = !clock () -. t0 in
+      starts.(i) <- -1.;
+      counts.(i) <- counts.(i) + 1;
+      totals.(i) <- totals.(i) +. dt;
+      if dt > maxes.(i) then maxes.(i) <- dt
+    end
+  end
+
+let reset () =
+  Array.fill counts 0 nids 0;
+  Array.fill totals 0 nids 0.;
+  Array.fill maxes 0 nids 0.;
+  Array.fill starts 0 nids (-1.)
+
+type stat = {
+  s_id : id;
+  s_count : int;
+  s_total : float;
+  s_max : float;
+}
+
+let stats () =
+  List.filter_map
+    (fun id ->
+      let i = index id in
+      if counts.(i) = 0 then None
+      else
+        Some
+          { s_id = id; s_count = counts.(i); s_total = totals.(i);
+            s_max = maxes.(i) })
+    all
+
+let report () =
+  match stats () with
+  | [] -> ""
+  | sts ->
+    let b = Buffer.create 256 in
+    Printf.bprintf b "%-14s %10s %12s %12s %12s\n" "span" "count"
+      "total_ms" "mean_us" "max_us";
+    List.iter
+      (fun s ->
+        Printf.bprintf b "%-14s %10d %12.3f %12.2f %12.2f\n"
+          (id_to_string s.s_id) s.s_count (1e3 *. s.s_total)
+          (1e6 *. s.s_total /. float_of_int s.s_count)
+          (1e6 *. s.s_max))
+      sts;
+    Buffer.contents b

@@ -1,0 +1,235 @@
+(* Event payloads live in two strided arrays rather than one array per
+   field: slot [i] owns floats[5i .. 5i+4] (time, a, b, c, d) and
+   ints[4i .. 4i+3] (kind, i1, i2, i3).  A record therefore touches two
+   cache lines instead of nine, which is what keeps full-mask tracing of
+   the 10 ms controller tick inside its overhead budget. *)
+let fstride = 5
+
+let istride = 4
+
+type t = {
+  mask : int;
+  cap : int;
+  floats : float array;
+  ints : int array;
+  mutable head : int;  (* index of oldest pending event *)
+  mutable len : int;
+  mutable dropped : int;
+  mutable total : int;
+  mutable sink : Sink.t option;
+}
+
+let create ?(capacity = 65536) ~mask () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  {
+    mask;
+    cap = capacity;
+    floats = Array.make (capacity * fstride) 0.;
+    ints = Array.make (capacity * istride) 0;
+    head = 0;
+    len = 0;
+    dropped = 0;
+    total = 0;
+    sink = None;
+  }
+
+let disabled =
+  {
+    mask = 0;
+    cap = 0;
+    floats = [||];
+    ints = [||];
+    head = 0;
+    len = 0;
+    dropped = 0;
+    total = 0;
+    sink = None;
+  }
+
+let enabled t = t.mask <> 0
+let[@inline] want t cat = t.mask land Event.cat_bit cat <> 0
+
+let mask_all =
+  List.fold_left (fun acc c -> acc lor Event.cat_bit c) 0 Event.cats
+
+let parse_filter spec =
+  let parts =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> not (String.equal s ""))
+  in
+  if parts = [] then Error "empty trace filter"
+  else
+    List.fold_left
+      (fun acc part ->
+        Result.bind acc (fun mask ->
+            if String.equal (String.lowercase_ascii part) "all" then
+              Ok mask_all
+            else
+              match Event.cat_of_string part with
+              | Some c -> Ok (mask lor Event.cat_bit c)
+              | None ->
+                Error
+                  (Printf.sprintf
+                     "unknown trace category %S (expected one of %s, or all)"
+                     part
+                     (String.concat ", "
+                        (List.map Event.cat_to_string Event.cats)))))
+      (Ok 0) parts
+
+(* --- recording ------------------------------------------------------------- *)
+
+(* One slot write per event; a full ring overwrites the oldest pending
+   event and counts it as dropped.  Only scalar stores — no allocation. *)
+let[@inline] record t bit ~kind ~now ~a ~b ~c ~d ~i1 ~i2 ~i3 =
+  if t.mask land bit <> 0 then begin
+    t.total <- t.total + 1;
+    let i =
+      if t.len < t.cap then begin
+        let i = t.head + t.len in
+        let i = if i >= t.cap then i - t.cap else i in
+        t.len <- t.len + 1;
+        i
+      end
+      else begin
+        (* full: overwrite the oldest *)
+        let i = t.head in
+        t.head <- (if t.head + 1 >= t.cap then 0 else t.head + 1);
+        t.dropped <- t.dropped + 1;
+        i
+      end
+    in
+    let fi = i * fstride and ii = i * istride in
+    Array.unsafe_set t.floats fi now;
+    Array.unsafe_set t.floats (fi + 1) a;
+    Array.unsafe_set t.floats (fi + 2) b;
+    Array.unsafe_set t.floats (fi + 3) c;
+    Array.unsafe_set t.floats (fi + 4) d;
+    Array.unsafe_set t.ints ii kind;
+    Array.unsafe_set t.ints (ii + 1) i1;
+    Array.unsafe_set t.ints (ii + 2) i2;
+    Array.unsafe_set t.ints (ii + 3) i3
+  end
+
+let bit_engine = Event.cat_bit Event.Engine
+let bit_packet = Event.cat_bit Event.Packet
+let bit_bottleneck = Event.cat_bit Event.Bottleneck
+let bit_fault = Event.cat_bit Event.Fault
+let bit_flow = Event.cat_bit Event.Flow
+let bit_detector = Event.cat_bit Event.Detector
+let bit_spectrum = Event.cat_bit Event.Spectrum
+let bit_pulse = Event.cat_bit Event.Pulse
+let bit_mode = Event.cat_bit Event.Mode
+let bit_election = Event.cat_bit Event.Election
+let bit_invariant = Event.cat_bit Event.Invariant
+
+let sched t ~now ~at ~pending =
+  record t bit_engine ~kind:0 ~now ~a:at ~b:0. ~c:0. ~d:0. ~i1:pending ~i2:0
+    ~i3:0
+
+let pkt_enqueue t ~now ~flow ~seq ~qlen =
+  record t bit_packet ~kind:1 ~now ~a:0. ~b:0. ~c:0. ~d:0. ~i1:flow ~i2:seq
+    ~i3:qlen
+
+let pkt_deliver t ~now ~flow ~seq ~qdelay =
+  record t bit_packet ~kind:2 ~now ~a:qdelay ~b:0. ~c:0. ~d:0. ~i1:flow
+    ~i2:seq ~i3:0
+
+let pkt_drop t ~now ~flow ~seq ~reason =
+  record t bit_packet ~kind:3 ~now ~a:0. ~b:0. ~c:0. ~d:0. ~i1:flow ~i2:seq
+    ~i3:(Event.drop_reason_code reason)
+
+let rate_set t ~now ~before ~after =
+  record t bit_bottleneck ~kind:4 ~now ~a:before ~b:after ~c:0. ~d:0. ~i1:0
+    ~i2:0 ~i3:0
+
+let loss_model t ~now ~installed =
+  record t bit_bottleneck ~kind:5 ~now ~a:0. ~b:0. ~c:0. ~d:0.
+    ~i1:(if installed then 1 else 0)
+    ~i2:0 ~i3:0
+
+let fault_fired t ~now ~fault ~p1 ~p2 =
+  record t bit_fault ~kind:6 ~now ~a:p1 ~b:p2 ~c:0. ~d:0.
+    ~i1:(Event.fault_kind_code fault)
+    ~i2:0 ~i3:0
+
+let flow_control t ~now ~flow ~control ~value =
+  record t bit_flow ~kind:7 ~now ~a:value ~b:0. ~c:0. ~d:0. ~i1:flow
+    ~i2:(Event.control_kind_code control)
+    ~i3:0
+
+let z_tick t ~now ~z ~send ~recv ~base =
+  record t bit_detector ~kind:8 ~now ~a:z ~b:send ~c:recv ~d:base ~i1:0 ~i2:0
+    ~i3:0
+
+let window t ~now ~eta ~zbar ~lo ~hi =
+  record t bit_spectrum ~kind:9 ~now ~a:eta ~b:zbar ~c:lo ~d:hi ~i1:0 ~i2:0
+    ~i3:0
+
+let pulse_phase t ~now ~freq ~value =
+  record t bit_pulse ~kind:10 ~now ~a:freq ~b:value ~c:0. ~d:0. ~i1:0 ~i2:0
+    ~i3:0
+
+let detection t ~now ~eta ~mode ~role ~evidence =
+  record t bit_mode ~kind:11 ~now ~a:eta ~b:0. ~c:0. ~d:0.
+    ~i1:(Event.mode_code mode) ~i2:(Event.role_code role)
+    ~i3:(Event.evidence_code evidence)
+
+let mode_switch t ~now ~from_mode ~to_mode ~role =
+  record t bit_mode ~kind:12 ~now ~a:0. ~b:0. ~c:0. ~d:0.
+    ~i1:(Event.mode_code from_mode) ~i2:(Event.mode_code to_mode)
+    ~i3:(Event.role_code role)
+
+let elected t ~now ~p =
+  record t bit_election ~kind:13 ~now ~a:p ~b:0. ~c:0. ~d:0. ~i1:0 ~i2:0 ~i3:0
+
+let demoted t ~now =
+  record t bit_election ~kind:14 ~now ~a:0. ~b:0. ~c:0. ~d:0. ~i1:0 ~i2:0
+    ~i3:0
+
+let keepalive t ~now ~tone ~alive =
+  record t bit_election ~kind:15 ~now ~a:tone ~b:0. ~c:0. ~d:0.
+    ~i1:(if alive then 1 else 0)
+    ~i2:0 ~i3:0
+
+let violation t ~now ~rule =
+  record t bit_invariant ~kind:16 ~now ~a:0. ~b:0. ~c:0. ~d:0. ~i1:rule ~i2:0
+    ~i3:0
+
+(* --- draining -------------------------------------------------------------- *)
+
+let recorded t = t.len
+let dropped t = t.dropped
+let total t = t.total
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0
+
+let iter t f =
+  for k = 0 to t.len - 1 do
+    let i = t.head + k in
+    let i = if i >= t.cap then i - t.cap else i in
+    let fi = i * fstride and ii = i * istride in
+    match
+      Event.decode ~kind:t.ints.(ii) ~a:t.floats.(fi + 1)
+        ~b:t.floats.(fi + 2) ~c:t.floats.(fi + 3) ~d:t.floats.(fi + 4)
+        ~i1:t.ints.(ii + 1) ~i2:t.ints.(ii + 2) ~i3:t.ints.(ii + 3)
+    with
+    | Some ev -> f ~time:t.floats.(fi) ev
+    | None -> ()
+  done
+
+let attach t sink = t.sink <- Some sink
+
+let flush t =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+    iter t (fun ~time ev -> sink.Sink.emit ~time ev);
+    clear t
+
+let close t =
+  flush t;
+  (match t.sink with Some sink -> sink.Sink.close () | None -> ());
+  t.sink <- None

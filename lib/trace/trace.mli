@@ -1,0 +1,125 @@
+(** Preallocated ring-buffer trace collector.
+
+    Events are buffered in parallel [int]/[float] arrays (structure of
+    arrays), so recording an event performs only scalar stores: {b
+    zero minor words} are allocated per event.  When the collector is
+    {!disabled} every emitter is a single masked branch, and call
+    sites additionally guard with {!want} so float arguments are never
+    even materialized — preserving the repo's steady-tick
+    0-minor-word guarantee.
+
+    The buffer is a true ring: once [capacity] events are pending the
+    oldest pending event is overwritten and counted in {!dropped}.
+    {!flush} drains pending events (oldest first) to the attached
+    {!Sink.t}, away from the hot path. *)
+
+type t
+
+(** [create ?capacity ~mask ()] — a collector recording only the
+    categories in [mask] (see {!Event.cat_bit}, {!parse_filter}).
+    [capacity] defaults to 65536 events (~3.5 MB). *)
+val create : ?capacity:int -> mask:int -> unit -> t
+
+(** A shared always-off collector; every emitter is a no-op.  Use this
+    as the default for [~trace] config slots. *)
+val disabled : t
+
+(** [enabled t] — does [t] record anything at all? *)
+val enabled : t -> bool
+
+(** [want t cat] — would an event in [cat] be recorded?  Guard hot
+    call sites with this so disabled tracing stays allocation-free. *)
+val want : t -> Event.cat -> bool
+
+(** Bitmask covering every category. *)
+val mask_all : int
+
+(** [parse_filter spec] — comma-separated category names (or ["all"])
+    to a mask, e.g. ["detector,mode"]. *)
+val parse_filter : string -> (int, string) result
+
+(** {1 Buffer state} *)
+
+(** [recorded t] — events currently pending in the ring. *)
+val recorded : t -> int
+
+(** [dropped t] — events overwritten before they could be flushed
+    (cumulative). *)
+val dropped : t -> int
+
+(** [total t] — events recorded since creation, including dropped
+    ones (cumulative). *)
+val total : t -> int
+
+(** [clear t] discards pending events (keeps cumulative counters). *)
+val clear : t -> unit
+
+(** [iter t f] decodes pending events oldest-first without draining. *)
+val iter : t -> (time:float -> Event.t -> unit) -> unit
+
+(** {1 Sinks} *)
+
+val attach : t -> Sink.t -> unit
+
+(** [flush t] drains pending events to the attached sink (no-op
+    without one, keeping them pending). *)
+val flush : t -> unit
+
+(** [close t] flushes, closes and detaches the sink. *)
+val close : t -> unit
+
+(** {1 Emitters}
+
+    One per {!Event.t} kind.  All are cheap masked no-ops when the
+    category is filtered out, but wrap hot-path calls in
+    [if Trace.want t cat then ...] anyway: OCaml boxes float arguments
+    at non-inlined call boundaries, and the guard keeps the disabled
+    path allocation-free without relying on the inliner.  [~now] is
+    simulation time in seconds; rates are in Mbit/s. *)
+
+val sched : t -> now:float -> at:float -> pending:int -> unit
+val pkt_enqueue : t -> now:float -> flow:int -> seq:int -> qlen:int -> unit
+val pkt_deliver : t -> now:float -> flow:int -> seq:int -> qdelay:float -> unit
+
+val pkt_drop :
+  t -> now:float -> flow:int -> seq:int -> reason:Event.drop_reason -> unit
+
+val rate_set : t -> now:float -> before:float -> after:float -> unit
+val loss_model : t -> now:float -> installed:bool -> unit
+
+val fault_fired :
+  t -> now:float -> fault:Event.fault_kind -> p1:float -> p2:float -> unit
+
+val flow_control :
+  t -> now:float -> flow:int -> control:Event.control_kind -> value:float ->
+  unit
+
+val z_tick :
+  t -> now:float -> z:float -> send:float -> recv:float -> base:float -> unit
+
+val window :
+  t -> now:float -> eta:float -> zbar:float -> lo:float -> hi:float -> unit
+
+val pulse_phase : t -> now:float -> freq:float -> value:float -> unit
+
+val detection :
+  t ->
+  now:float ->
+  eta:float ->
+  mode:Event.mode ->
+  role:Event.role ->
+  evidence:Event.evidence ->
+  unit
+
+val mode_switch :
+  t ->
+  now:float ->
+  from_mode:Event.mode ->
+  to_mode:Event.mode ->
+  role:Event.role ->
+  unit
+
+val elected : t -> now:float -> p:float -> unit
+val demoted : t -> now:float -> unit
+val keepalive : t -> now:float -> tone:float -> alive:bool -> unit
+val violation : t -> now:float -> rule:int -> unit

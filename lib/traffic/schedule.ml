@@ -46,7 +46,7 @@ let install engine bottleneck ~rng ~phases ?(inelastic = `Poisson)
           in
           t.created <- t.created @ flows;
           Engine.schedule_at engine p.p_end (fun () ->
-              List.iter Flow.stop flows)))
+              List.iter (fun fl -> Flow.apply fl Flow.Control.Stop) flows)))
     phases;
   (* silence the source after the last phase *)
   let last_end =

@@ -2,7 +2,6 @@ module Engine = Nimbus_sim.Engine
 module Bottleneck = Nimbus_sim.Bottleneck
 module Packet = Nimbus_sim.Packet
 module Rng = Nimbus_sim.Rng
-module Flow = Nimbus_cc.Flow
 module Time = Units.Time
 module Rate = Units.Rate
 
@@ -61,7 +60,7 @@ let make engine bottleneck kind ~rate ~pkt_size ~start ~stop =
   let rate = Rate.to_bps rate in
   if rate < 0. then invalid_arg "Source: negative rate";
   let t =
-    { engine; bottleneck; kind; flow_id = Flow.fresh_id (); pkt_size;
+    { engine; bottleneck; kind; flow_id = Engine.fresh_flow_id engine; pkt_size;
       stop = Option.map Time.to_secs stop; rate; seq = 0; active = true }
   in
   let start = match start with Some s -> s | None -> Engine.now engine in

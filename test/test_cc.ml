@@ -19,9 +19,9 @@ let make_link ?(rate_bps = 24e6) ?(buffer_s = 0.1) () =
   let e = Engine.create () in
   let capacity = int_of_float (rate_bps *. buffer_s /. 8.) in
   let bn =
-    Bottleneck.create e ~rate:(Rate.bps rate_bps)
-      ~qdisc:(Qdisc.droptail ~capacity_bytes:capacity)
-      ()
+    Bottleneck.create e
+      (Bottleneck.Config.default ~rate:(Rate.bps rate_bps)
+         ~qdisc:(Qdisc.droptail ~capacity_bytes:capacity))
   in
   (e, bn)
 
@@ -105,7 +105,7 @@ let test_rate_measurement_tracks_pacing () =
 let test_flow_stop () =
   let e, bn = make_link () in
   let f = Flow.create e bn ~cc:(Cubic.make ()) ~prop_rtt:rtt50 () in
-  Engine.schedule_at e (Time.secs 5.) (fun () -> Flow.stop f);
+  Engine.schedule_at e (Time.secs 5.) (fun () -> Flow.apply f Flow.Control.Stop);
   Engine.run_until e (Time.secs 6.);
   let bytes_at_6 = Flow.received_bytes f in
   Engine.run_until e (Time.secs 10.);
@@ -136,9 +136,15 @@ let test_two_flows_share () =
   Alcotest.(check bool) "link filled" true (t1 +. t2 > 0.9 *. 48e6)
 
 let test_fresh_ids_unique () =
-  let a = Flow.fresh_id () in
-  let b = Flow.fresh_id () in
-  Alcotest.(check bool) "distinct" true (a <> b)
+  let e = Engine.create () in
+  let a = Engine.fresh_flow_id e in
+  let b = Engine.fresh_flow_id e in
+  Alcotest.(check int) "distinct, dense" (a + 1) b;
+  (* engine-scoped, not process-global: a fresh engine restarts at the same
+     id, which is what keeps traced runs byte-identical across repeats *)
+  let e2 = Engine.create () in
+  Alcotest.(check int) "fresh engine restarts the namespace" a
+    (Engine.fresh_flow_id e2)
 
 (* --- individual algorithms ----------------------------------------------- *)
 

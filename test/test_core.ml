@@ -227,17 +227,19 @@ let test_detector_validation () =
 let make_link ?(rate_bps = 48e6) () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate:(Rate.bps rate_bps)
-      ~qdisc:
-        (Qdisc.droptail
-           ~capacity_bytes:(int_of_float (rate_bps *. 0.1 /. 8.)))
-      ()
+    Bottleneck.create e
+      (Bottleneck.Config.default ~rate:(Rate.bps rate_bps)
+         ~qdisc:
+           (Qdisc.droptail
+              ~capacity_bytes:(int_of_float (rate_bps *. 0.1 /. 8.))))
   in
   (e, bn)
 
 let start_nimbus ?(multi_flow = false) ?(seed = 1) e bn ~mu =
   let nim =
-    Nimbus.create ~mu:(Z_estimator.Mu.known (Rate.bps mu)) ~multi_flow ~seed ()
+    Nimbus.create
+      { (Nimbus.Config.default ~mu:(Z_estimator.Mu.known (Rate.bps mu))) with
+        multi_flow; seed }
   in
   let flow =
     Flow.create e bn

@@ -120,10 +120,11 @@ let test_parse_rejects_garbage () =
 let make_link ?(rate_bps = 48e6) () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate:(Rate.bps rate_bps)
-      ~qdisc:
-        (Qdisc.droptail ~capacity_bytes:(int_of_float (rate_bps *. 0.1 /. 8.)))
-      ()
+    Bottleneck.create e
+      (Bottleneck.Config.default ~rate:(Rate.bps rate_bps)
+         ~qdisc:
+           (Qdisc.droptail
+              ~capacity_bytes:(int_of_float (rate_bps *. 0.1 /. 8.))))
   in
   (e, bn)
 
@@ -239,8 +240,8 @@ let test_pulser_death_failover () =
   let start seed =
     let nim =
       Nimbus.create
-        ~mu:(Z_estimator.Mu.known (Rate.bps 96e6))
-        ~multi_flow:true ~seed ()
+        { (Nimbus.Config.default ~mu:(Z_estimator.Mu.known (Rate.bps 96e6)))
+          with multi_flow = true; seed }
     in
     let flow =
       Flow.create e bn
@@ -261,7 +262,7 @@ let test_pulser_death_failover () =
       | None -> Alcotest.fail "no pulser to kill at t=20"
       | Some (n, f) ->
         mode_at_kill := Nimbus.mode n;
-        Flow.stop f);
+        Flow.apply f Flow.Control.Stop);
   (* strictly after the kill: same-timestamp events run in unspecified
      order, and sampling first would see the victim still in the role *)
   Engine.every e ~dt:(Time.ms 50.) ~start:(Time.secs (kill_at +. 0.05))

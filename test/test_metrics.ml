@@ -62,8 +62,9 @@ let test_monitor_throughput_math () =
 let test_monitor_queue_delay () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate:(Rate.bps 12e6)
-      ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000) ()
+    Bottleneck.create e
+      (Bottleneck.Config.default ~rate:(Rate.bps 12e6)
+         ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000))
   in
   let series = Monitor.queue_delay e bn ~interval:(Time.ms 10.) () in
   (* enqueue 100 packets at t=0; queue drains at 1 ms/packet *)

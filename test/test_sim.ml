@@ -247,8 +247,9 @@ let drain_packets engine bn ~flow ~count ~size =
 let test_bottleneck_serialization_rate () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate:(Rate.bps 12e6)
-      ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000) ()
+    Bottleneck.create e
+      (Bottleneck.Config.default ~rate:(Rate.bps 12e6)
+         ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000))
   in
   let delivered = drain_packets e bn ~flow:0 ~count:10 ~size:1500 in
   Engine.run_until e (Time.secs 1.);
@@ -261,8 +262,9 @@ let test_bottleneck_serialization_rate () =
 let test_bottleneck_fifo_order () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate:(Rate.bps 10e6)
-      ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000) ()
+    Bottleneck.create e
+      (Bottleneck.Config.default ~rate:(Rate.bps 10e6)
+         ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000))
   in
   let delivered = drain_packets e bn ~flow:0 ~count:20 ~size:1000 in
   Engine.run_until e (Time.secs 1.);
@@ -272,8 +274,9 @@ let test_bottleneck_fifo_order () =
 let test_bottleneck_drops_at_capacity () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate:(Rate.bps 1e6)
-      ~qdisc:(Qdisc.droptail ~capacity_bytes:4500) ()
+    Bottleneck.create e
+      (Bottleneck.Config.default ~rate:(Rate.bps 1e6)
+         ~qdisc:(Qdisc.droptail ~capacity_bytes:4500))
   in
   let _ = drain_packets e bn ~flow:0 ~count:10 ~size:1500 in
   (* capacity 3 pkts: 3 admitted instantly, 7 dropped *)
@@ -284,9 +287,10 @@ let test_bottleneck_drops_at_capacity () =
 let test_bottleneck_random_loss () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate:(Rate.bps 100e6)
-      ~qdisc:(Qdisc.droptail ~capacity_bytes:10_000_000)
-      ~random_loss:(0.5, Rng.create 9) ()
+    Bottleneck.create e
+      { (Bottleneck.Config.default ~rate:(Rate.bps 100e6)
+           ~qdisc:(Qdisc.droptail ~capacity_bytes:10_000_000))
+        with random_loss = Some (0.5, Rng.create 9) }
   in
   for seq = 0 to 999 do
     Bottleneck.enqueue bn (Packet.make ~flow:0 ~seq ~size:1500 ~now:Time.zero ())
@@ -297,9 +301,10 @@ let test_bottleneck_random_loss () =
 let test_bottleneck_policer () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate:(Rate.bps 100e6)
-      ~qdisc:(Qdisc.droptail ~capacity_bytes:10_000_000)
-      ~policer:(Rate.bps 8e6, 3000) ()
+    Bottleneck.create e
+      { (Bottleneck.Config.default ~rate:(Rate.bps 100e6)
+           ~qdisc:(Qdisc.droptail ~capacity_bytes:10_000_000))
+        with policer = Some (Rate.bps 8e6, 3000) }
   in
   (* burst of 10 packets at t=0: bucket holds 2, rest dropped *)
   for seq = 0 to 9 do
@@ -310,8 +315,9 @@ let test_bottleneck_policer () =
 let test_bottleneck_delivered_accounting () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate:(Rate.bps 10e6)
-      ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000) ()
+    Bottleneck.create e
+      (Bottleneck.Config.default ~rate:(Rate.bps 10e6)
+         ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000))
   in
   let _ = drain_packets e bn ~flow:5 ~count:4 ~size:1000 in
   Engine.run_until e (Time.secs 1.);

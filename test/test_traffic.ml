@@ -12,10 +12,11 @@ module Rate = Units.Rate
 let make_link ?(rate_bps = 96e6) () =
   let e = Engine.create () in
   let bn =
-    Bottleneck.create e ~rate:(Rate.bps rate_bps)
-      ~qdisc:
-        (Qdisc.droptail ~capacity_bytes:(int_of_float (rate_bps *. 0.1 /. 8.)))
-      ()
+    Bottleneck.create e
+      (Bottleneck.Config.default ~rate:(Rate.bps rate_bps)
+         ~qdisc:
+           (Qdisc.droptail
+              ~capacity_bytes:(int_of_float (rate_bps *. 0.1 /. 8.))))
   in
   (e, bn)
 
