@@ -21,11 +21,13 @@ let get b i = (b.re.(i), b.im.(i))
 let set b i re im =
   b.re.(i) <- re;
   b.im.(i) <- im
+[@@alloc_free]
 
 let mul b i re im =
   let br = b.re.(i) and bi = b.im.(i) in
   b.re.(i) <- (br *. re) -. (bi *. im);
   b.im.(i) <- (br *. im) +. (bi *. re)
+[@@alloc_free]
 
 let magnitude b i = Float.hypot b.re.(i) b.im.(i)
 
@@ -36,6 +38,7 @@ let scale b k =
     b.re.(i) <- b.re.(i) *. k;
     b.im.(i) <- b.im.(i) *. k
   done
+[@@alloc_free]
 
 let blit ~src ~src_pos ~dst ~dst_pos ~len =
   Array.blit src.re src_pos dst.re dst_pos len;

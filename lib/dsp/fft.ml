@@ -171,6 +171,7 @@ module Plan = struct
       len := !len * 2
     done;
     if inverse then Cbuf.scale b (1.0 /. float_of_int n)
+  [@@alloc_free]
 
   let make_bluestein n =
     let m = next_power_of_two ((2 * n) - 1) in
@@ -240,6 +241,7 @@ module Plan = struct
       bim.(i) <- (ar *. ci) +. (ai *. cr)
     done;
     if inverse then Cbuf.scale b (1.0 /. float_of_int n)
+  [@@alloc_free]
 
   let execute ?(inverse = false) t (b : Cbuf.t) =
     if Cbuf.length b <> t.n then
@@ -249,6 +251,7 @@ module Plan = struct
     | Pow2 p -> exec_pow2 p ~inverse b
     | Bluestein bt -> exec_bluestein bt ~inverse t.n b);
     Nimbus_trace.Span.leave Fft
+  [@@alloc_free]
 end
 
 (* Bluestein re-expresses an N-point DFT as a convolution, evaluated with two

@@ -16,6 +16,7 @@ let power xs ~sample_rate ~freq =
   done;
   (!s_prev *. !s_prev) +. (!s_prev2 *. !s_prev2)
   -. (coeff *. !s_prev *. !s_prev2)
+[@@alloc_free]
 
 let magnitude xs ~sample_rate ~freq = sqrt (power xs ~sample_rate ~freq)
 
@@ -37,6 +38,7 @@ module Sliding = struct
     t.buf.(t.head) <- x;
     t.head <- (t.head + 1) mod Array.length t.buf;
     if t.count < Array.length t.buf then t.count <- t.count + 1
+  [@@alloc_free]
 
   let filled t = t.count = Array.length t.buf
 

@@ -88,6 +88,7 @@ let analyze_into st xs =
   done;
   Nimbus_trace.Span.leave Spectrum;
   st.result
+[@@alloc_free]
 
 let analyze ?(window = Window.Rectangular) ?(detrend = `Mean) xs ~sample_rate =
   let n = Array.length xs in

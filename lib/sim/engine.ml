@@ -79,20 +79,24 @@ let every t ~dt ?start ?until f =
   in
   schedule_at t (Time.secs first) tick
 
+(* The drain loop runs once per event, so it uses the raw heap primitives
+   (top_key/pop_top) instead of the option/tuple-returning peek/pop:
+   verified allocation-free by tool/analyze.  The handler call itself is
+   opaque to the checker ([@alloc_ok]); handlers allocate on their own
+   budget, the loop machinery must not. *)
+let rec drain t ~horizon =
+  if (not (Heap.is_empty t.events)) && Heap.top_key t.events <= horizon then begin
+    t.clock <- Heap.top_key t.events;
+    let f = Heap.pop_top t.events in
+    (f () [@alloc_ok]);
+    drain t ~horizon
+  end
+[@@alloc_free]
+
 let run_until t horizon =
   let horizon = Time.to_secs horizon in
   Span.enter Engine_drain;
-  let continue = ref true in
-  while !continue do
-    match Heap.peek_key t.events with
-    | Some key when key <= horizon -> (
-      match Heap.pop t.events with
-      | Some (time, f) ->
-        t.clock <- time;
-        f ()
-      | None -> continue := false)
-    | _ -> continue := false
-  done;
+  drain t ~horizon;
   if t.clock < horizon then t.clock <- horizon;
   Span.leave Engine_drain
 

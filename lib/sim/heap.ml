@@ -46,32 +46,43 @@ let push h ~key value =
     else continue := false
   done
 
+(* top_key/pop_top are the raw drain-loop primitives: no option or tuple
+   wrapping, so Engine.run_until stays allocation-free.  Both require a
+   non-empty heap (unchecked: callers test [is_empty] first). *)
+let top_key h = h.data.(0).key [@@alloc_free]
+
+let pop_top h =
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    let last = h.data.(h.size) in
+    h.data.(0) <- last;
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+      if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.data.(!i) in
+        h.data.(!i) <- h.data.(!smallest);
+        h.data.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  top.value
+[@@alloc_free]
+
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      let last = h.data.(h.size) in
-      h.data.(0) <- last;
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
-        if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.data.(!i) in
-          h.data.(!i) <- h.data.(!smallest);
-          h.data.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.key, top.value)
+    let key = top_key h in
+    let value = pop_top h in
+    Some (key, value)
   end
 
 let peek_key h = if h.size = 0 then None else Some h.data.(0).key

@@ -21,6 +21,15 @@ val push : 'a t -> key:float -> 'a -> unit
 (** [pop h] removes and returns the minimum-key entry, or [None] when empty. *)
 val pop : 'a t -> (float * 'a) option
 
+(** [top_key h] is the minimum key.  The heap must be non-empty (unchecked);
+    unlike {!peek_key} it allocates nothing, which is what the engine drain
+    loop needs. *)
+val top_key : 'a t -> float
+
+(** [pop_top h] removes and returns the minimum-key value.  The heap must be
+    non-empty (unchecked); the allocation-free counterpart of {!pop}. *)
+val pop_top : 'a t -> 'a
+
 (** [peek_key h] is the minimum key without removing it. *)
 val peek_key : 'a t -> float option
 

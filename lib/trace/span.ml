@@ -35,7 +35,14 @@ let disable () = on := false
 let enabled () = !on
 let set_clock f = clock := f
 
-let enter id = if !on then starts.(index id) <- !clock ()
+(* enter/leave are called from [@@alloc_free] hot paths.  The disabled path
+   is one load and a branch with zero allocation; when enabled, the indirect
+   [!clock ()] call may box its float result, which the static alloc pass
+   cannot see through — hence assumed-safe ([@@alloc_ok]) rather than
+   verified ([@@alloc_free]). *)
+let enter id =
+  if !on then starts.(index id) <- !clock ()
+[@@alloc_ok "indirect clock call; the disabled path is allocation-free"]
 
 let leave id =
   if !on then begin
@@ -49,6 +56,7 @@ let leave id =
       if dt > maxes.(i) then maxes.(i) <- dt
     end
   end
+[@@alloc_ok "indirect clock call; the disabled path is allocation-free"]
 
 let reset () =
   Array.fill counts 0 nids 0;

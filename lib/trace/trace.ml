@@ -110,6 +110,7 @@ let[@inline] record t bit ~kind ~now ~a ~b ~c ~d ~i1 ~i2 ~i3 =
     Array.unsafe_set t.ints (ii + 2) i2;
     Array.unsafe_set t.ints (ii + 3) i3
   end
+[@@alloc_free]
 
 let bit_engine = Event.cat_bit Event.Engine
 let bit_packet = Event.cat_bit Event.Packet
@@ -126,6 +127,7 @@ let bit_invariant = Event.cat_bit Event.Invariant
 let sched t ~now ~at ~pending =
   record t bit_engine ~kind:0 ~now ~a:at ~b:0. ~c:0. ~d:0. ~i1:pending ~i2:0
     ~i3:0
+[@@alloc_free]
 
 let pkt_enqueue t ~now ~flow ~seq ~qlen =
   record t bit_packet ~kind:1 ~now ~a:0. ~b:0. ~c:0. ~d:0. ~i1:flow ~i2:seq

@@ -1,0 +1,198 @@
+(* Self-tests for the typedtree passes (tool/analyze), driven against the
+   compiled fixture libraries under tool/analyze/fixtures: each pass must
+   flag its bad fixture with the expected rule ids and stay silent on the
+   clean one.  A final group runs the passes over the real lib/ cmts with
+   the shipped contract, so the suite fails the moment the repo itself
+   regresses. *)
+
+module A = Nimbus_analyze
+
+let fixtures_root = "../tool/analyze/fixtures"
+let lib_root = "../lib"
+let layers_file = "../tool/analyze/layers.sexp"
+
+let scan root =
+  let units, errors = A.Cmt_scan.scan [ root ] in
+  Alcotest.(check (list string))
+    (Printf.sprintf "no cmt read errors under %s" root)
+    []
+    (List.map (fun f -> f.A.Finding.message) errors);
+  units
+
+let rules_of findings =
+  List.sort String.compare (List.map (fun f -> f.A.Finding.rule) findings)
+
+(* --- determinism pass ------------------------------------------------------- *)
+
+let test_det_bad () =
+  let units = scan fixtures_root in
+  let aliases = A.Cmt_scan.alias_mods units in
+  let findings = A.Determinism.check ~scope:[ "af_det_bad" ] aliases units in
+  Alcotest.(check (list string))
+    "expected rule ids, in order"
+    [
+      "det-hashtbl-order"; "det-global-random"; "det-global-random";
+      "det-wall-clock";
+    ]
+    (List.map (fun f -> f.A.Finding.rule) findings);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        "finding points into the fixture" true
+        (String.length f.A.Finding.file > 0
+        && Filename.dirname f.A.Finding.file <> ""))
+    findings
+
+let test_det_clean () =
+  let units = scan fixtures_root in
+  let aliases = A.Cmt_scan.alias_mods units in
+  Alcotest.(check (list string))
+    "clean fixture passes (including the [@det_ok] suppression)" []
+    (rules_of (A.Determinism.check ~scope:[ "af_det_clean" ] aliases units))
+
+(* --- layering pass ---------------------------------------------------------- *)
+
+let layers_of_string s =
+  match A.Layering.parse_layers (A.Sexp.parse_string s) with
+  | Ok layers -> layers
+  | Error msg -> Alcotest.fail msg
+
+let all_fixture_libs_above =
+  (* af_layer_low strictly below af_layer_high: the recorded edge is legal *)
+  "((af_layer_low) (af_layer_high af_det_bad af_det_clean af_alloc))"
+
+let same_layer =
+  "((af_layer_low af_layer_high af_det_bad af_det_clean af_alloc))"
+
+let inverted =
+  "((af_layer_high af_det_bad af_det_clean af_alloc) (af_layer_low))"
+
+let test_layering () =
+  let units = scan fixtures_root in
+  let check_contract contract expected =
+    let findings, _ = A.Layering.check (layers_of_string contract) units in
+    Alcotest.(check (list string)) contract expected (rules_of findings)
+  in
+  check_contract all_fixture_libs_above [];
+  check_contract same_layer [ "layer-upward-dep" ];
+  check_contract inverted [ "layer-upward-dep" ];
+  (* a scanned library missing from the contract is itself a finding *)
+  let findings, _ =
+    A.Layering.check (layers_of_string "((af_layer_low) (af_layer_high))") units
+  in
+  Alcotest.(check (list string))
+    "undeclared fixture libs flagged"
+    [ "layer-undeclared-lib"; "layer-undeclared-lib"; "layer-undeclared-lib" ]
+    (rules_of findings)
+
+let test_layering_dot () =
+  let units = scan fixtures_root in
+  let layers = layers_of_string all_fixture_libs_above in
+  let _, edges = A.Layering.check layers units in
+  let dot = A.Layering.to_dot layers edges in
+  Alcotest.(check bool)
+    "dot contains the recorded edge" true
+    (let needle = "af_layer_high -> af_layer_low" in
+     let rec contains i =
+       i + String.length needle <= String.length dot
+       && (String.sub dot i (String.length needle) = needle || contains (i + 1))
+     in
+     contains 0)
+
+(* --- allocation pass -------------------------------------------------------- *)
+
+let test_alloc_fixtures () =
+  let units = scan fixtures_root in
+  let aliases = A.Cmt_scan.alias_mods units in
+  let { A.Alloc.findings; verified } = A.Alloc.check aliases units in
+  Alcotest.(check (list string))
+    "exactly the clean definitions verify"
+    [
+      "Af_alloc__Alloc_cases.clean_caller";
+      "Af_alloc__Alloc_cases.clean_sum";
+      "Af_alloc__Alloc_cases.clean_suppressed";
+    ]
+    (List.sort String.compare verified);
+  let rules = rules_of findings in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s reported" expected)
+        true (List.mem expected rules))
+    [
+      "alloc-tuple"; "alloc-closure"; "alloc-call"; "alloc-construct";
+      "alloc-ref-escape"; "alloc-callee";
+    ];
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        "all alloc findings point into the fixture"
+        "alloc_cases.ml"
+        (Filename.basename f.A.Finding.file))
+    findings
+
+(* --- baseline matching ------------------------------------------------------ *)
+
+let test_baseline () =
+  let f ~line rule =
+    A.Finding.v ~pass_:"alloc" ~rule ~file:"lib/x/y.ml" ~line "msg"
+  in
+  let entry rule =
+    {
+      A.Baseline.key = "alloc|" ^ rule ^ "|lib/x/y.ml";
+      raw = "{\"pass\":\"alloc\"}";
+    }
+  in
+  let { A.Baseline.fresh; accepted; stale } =
+    A.Baseline.apply
+      [ entry "alloc-tuple"; entry "alloc-record" ]
+      [ f ~line:10 "alloc-tuple"; f ~line:99 "alloc-closure" ]
+  in
+  Alcotest.(check (list string))
+    "unbaselined finding stays fresh" [ "alloc-closure" ] (rules_of fresh);
+  (* line number differs from wherever the entry was recorded: still accepted *)
+  Alcotest.(check (list string))
+    "baselined finding accepted line-insensitively" [ "alloc-tuple" ]
+    (rules_of accepted);
+  Alcotest.(check (list string))
+    "unused entry reported stale"
+    [ "alloc|alloc-record|lib/x/y.ml" ]
+    (List.map (fun (e : A.Baseline.entry) -> e.key) stale)
+
+(* --- the real repo stays clean ---------------------------------------------- *)
+
+let test_repo_clean () =
+  let units = scan lib_root in
+  let aliases = A.Cmt_scan.alias_mods units in
+  Alcotest.(check (list string))
+    "determinism: simulation-reachable libs clean" []
+    (rules_of
+       (A.Determinism.check ~scope:A.Determinism.default_scope aliases units));
+  (match A.Layering.parse_layers (A.Sexp.load layers_file) with
+  | Error msg -> Alcotest.fail msg
+  | Ok layers ->
+    let findings, _ = A.Layering.check layers units in
+    Alcotest.(check (list string))
+      "layering: real DAG matches layers.sexp" [] (rules_of findings));
+  let { A.Alloc.findings; verified } = A.Alloc.check aliases units in
+  Alcotest.(check (list string))
+    "alloc: all [@@alloc_free] bodies verify" [] (rules_of findings);
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 5 verified hot-path functions (got %d)"
+       (List.length verified))
+    true
+    (List.length verified >= 5)
+
+let suite =
+  [
+    ( "analyze",
+      [
+        Alcotest.test_case "determinism: bad fixture" `Quick test_det_bad;
+        Alcotest.test_case "determinism: clean fixture" `Quick test_det_clean;
+        Alcotest.test_case "layering: contracts" `Quick test_layering;
+        Alcotest.test_case "layering: dot output" `Quick test_layering_dot;
+        Alcotest.test_case "alloc: fixtures" `Quick test_alloc_fixtures;
+        Alcotest.test_case "baseline matching" `Quick test_baseline;
+        Alcotest.test_case "repo passes its own gates" `Quick test_repo_clean;
+      ] );
+  ]

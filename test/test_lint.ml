@@ -1,11 +1,13 @@
-(* The lint driver (tool/lint) must actually reject the patterns it
-   documents; otherwise @lint passing means nothing.  Each rule gets a
-   minimal offending fixture (checked as source strings, so nothing here
-   trips the real tree-wide lint) and a clean twin that must pass. *)
+(* The parsetree rules (tool/analyze, migrated from tool/lint) must actually
+   reject the patterns they document; otherwise @lint passing means nothing.
+   Each rule gets a minimal offending fixture (checked as source strings, so
+   nothing here trips the real tree-wide lint) and a clean twin that must
+   pass. *)
 
-module Rules = Lint_rules.Rules
+module Rules = Nimbus_analyze.Rules
+module Finding = Nimbus_analyze.Finding
 
-let rules_of violations = List.map (fun v -> v.Rules.rule) violations
+let rules_of findings = List.map (fun f -> f.Finding.rule) findings
 
 let check_rules msg expected actual =
   Alcotest.(check (list string)) msg expected (rules_of actual)
@@ -81,13 +83,32 @@ let test_missing_mli () =
   | [ v ] ->
     Alcotest.(check bool)
       "points at the uncovered module" true
-      (Filename.basename v.Rules.file = "naked.ml")
+      (Filename.basename v.Finding.file = "naked.ml")
   | _ -> Alcotest.fail "expected exactly one violation");
   List.iter
     (fun name -> Sys.remove (Filename.concat lib name))
     [ "covered.ml"; "covered.mli"; "naked.ml" ];
   Sys.rmdir lib;
   Sys.rmdir root
+
+(* --- CRLF / BOM normalization ---------------------------------------------- *)
+
+(* Windows-style sources used to shift reported line numbers (the lexer saw
+   the \r as part of the line) and a UTF-8 BOM broke parsing entirely; both
+   must now be normalized away before lexing, with positions matching the
+   on-disk file. *)
+let test_crlf_bom () =
+  let src = "\xEF\xBB\xBFlet a = 1\r\nlet b = 2\r\nlet f x = Obj.magic x\r\n" in
+  let findings = Rules.check_ml ~path:"fixture.ml" src in
+  check_rules "BOM+CRLF source still linted" [ "obj-magic" ] findings;
+  (match findings with
+  | [ f ] ->
+    Alcotest.(check int) "line number matches the on-disk file" 3 f.Finding.line
+  | _ -> Alcotest.fail "expected exactly one finding");
+  check_rules "clean BOM+CRLF source parses clean" []
+    (Rules.check_ml ~path:"fixture.ml" "\xEF\xBB\xBFlet a = 1\r\nlet b = 2\r\n");
+  check_rules "lone-CR line endings parse clean" []
+    (Rules.check_ml ~path:"fixture.ml" "let a = 1\rlet b = 2\r")
 
 let suite =
   [
@@ -98,5 +119,6 @@ let suite =
         Alcotest.test_case "raw-float-param" `Quick test_raw_float_param;
         Alcotest.test_case "parse error" `Quick test_parse_error;
         Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+        Alcotest.test_case "crlf/bom normalization" `Quick test_crlf_bom;
       ] );
   ]

@@ -1,0 +1,454 @@
+(* Allocation pass.
+
+   Functions annotated [@@alloc_free] must not heap-allocate: the checker
+   walks their typedtree bodies flagging allocating constructs — closures,
+   tuples, non-constant constructors, records, array literals, lazy values,
+   escaping refs, partial applications — and resolves statically-known
+   callees: a call to another function whose definition is in the scanned
+   cmt set is analyzed recursively (memoized, cycle-safe); a call to a
+   function annotated [@@alloc_free] or [@alloc_ok] is trusted; calls to a
+   small whitelist of non-allocating stdlib primitives are allowed; anything
+   else is flagged.  [@alloc_ok] on an expression exempts that subtree.
+
+   Two deliberate blind spots, documented in DESIGN.md §13: float/int64
+   boxing at non-inlined call boundaries is invisible in the typedtree (the
+   PR 2 dynamic minor-words slope tests remain the ground truth for that),
+   and local refs are allowed when used only through !/:=/incr/decr because
+   the compiler compiles non-escaping refs to mutable stack slots.
+
+   Calls to raising entry points (invalid_arg, failwith, raise) are treated
+   as cold: their argument expressions (typically Printf.sprintf) are not
+   checked, since they only run on the error path. *)
+
+type def = {
+  d_key : string;
+  d_expr : Typedtree.expression;
+  d_attrs : string list;
+  d_source : string;
+  d_modpath : string;
+}
+
+let has_attr name attrs =
+  List.exists
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
+    attrs
+
+let attr_names attrs =
+  List.map (fun (a : Parsetree.attribute) -> a.attr_name.txt) attrs
+
+(* --- callee classification ------------------------------------------------- *)
+
+let cold_raisers = [ "invalid_arg"; "failwith"; "raise"; "raise_notrace" ]
+
+let ref_ops = [ "!"; ":="; "incr"; "decr" ]
+
+let whitelist =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun n -> Hashtbl.replace tbl n ())
+    [
+      (* integer / boolean / polymorphic primitives *)
+      "+"; "-"; "*"; "/"; "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr";
+      "abs"; "succ"; "pred"; "min"; "max"; "="; "<"; ">"; "<="; ">="; "<>";
+      "=="; "!="; "compare"; "not"; "&&"; "||"; "&"; "or"; "ignore"; "fst";
+      "snd"; "~-"; "~+";
+      (* float primitives (results may be boxed at call boundaries; boxing
+         is out of scope here, see above) *)
+      "+."; "-."; "*."; "/."; "~-."; "~+."; "**"; "sqrt"; "exp"; "log";
+      "log10"; "log1p"; "expm1"; "cos"; "sin"; "tan"; "acos"; "asin"; "atan";
+      "atan2"; "cosh"; "sinh"; "tanh"; "ceil"; "floor"; "abs_float";
+      "mod_float"; "copysign"; "ldexp"; "classify_float"; "float_of_int";
+      "int_of_float"; "truncate"; "char_of_int"; "int_of_char";
+      "Sys.opaque_identity";
+      (* in-place array/bytes/string access *)
+      "Array.length"; "Array.get"; "Array.set"; "Array.unsafe_get";
+      "Array.unsafe_set"; "Array.fill"; "Array.blit"; "Array.unsafe_blit";
+      "Bytes.length"; "Bytes.get"; "Bytes.set"; "Bytes.unsafe_get";
+      "Bytes.unsafe_set"; "Bytes.fill"; "Bytes.blit"; "Bytes.unsafe_blit";
+      "String.length"; "String.get"; "String.unsafe_get";
+      (* scalar module functions *)
+      "Char.code"; "Char.chr"; "Char.unsafe_chr"; "Int.min"; "Int.max";
+      "Int.abs"; "Int.equal"; "Int.compare"; "Int.succ"; "Int.pred";
+      "Float.equal"; "Float.compare"; "Float.hypot"; "Float.abs";
+      "Float.min"; "Float.max"; "Float.min_num"; "Float.max_num";
+      "Float.is_finite"; "Float.is_nan"; "Float.is_integer"; "Float.of_int";
+      "Float.to_int"; "Float.round"; "Float.trunc"; "Float.rem";
+      "Float.succ"; "Float.pred"; "Float.sign_bit"; "Float.copy_sign";
+      "Float.fma"; "Option.value"; "Option.is_some"; "Option.is_none";
+      "Bool.not"; "Bool.equal"; "Bool.compare";
+    ];
+  tbl
+
+let allocating_exact =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun n -> Hashtbl.replace tbl n ())
+    [ "^"; "@"; "string_of_int"; "string_of_float"; "string_of_bool";
+      "float_of_string"; "int_of_string"; "frexp"; "modf"; "Sys.time" ];
+  tbl
+
+let allocating_prefixes =
+  [
+    "List."; "Printf."; "Format."; "Buffer."; "Int64."; "Int32.";
+    "Nativeint."; "Seq."; "Queue."; "Stack."; "Hashtbl."; "Map."; "Set.";
+    "Result."; "Either."; "Lazy."; "Array."; "String."; "Bytes.";
+    "Option."; "Digest."; "Scanf."; "Marshal.";
+  ]
+
+let is_known_allocating name =
+  Hashtbl.mem allocating_exact name
+  || List.exists
+       (fun p ->
+         String.length name > String.length p
+         && String.sub name 0 (String.length p) = p)
+       allocating_prefixes
+
+(* --- definition collection ------------------------------------------------- *)
+
+type tables = {
+  defs : (string, def) Hashtbl.t;
+  (* module-alias paths, e.g. "Nimbus_sim__Engine.Time" -> "Units__Time" *)
+  mod_aliases : (string, string) Hashtbl.t;
+  aliases : (string, unit) Hashtbl.t;  (* wrapped-library alias modules *)
+}
+
+let collect aliases (units : Cmt_scan.unit_info list) =
+  let t =
+    { defs = Hashtbl.create 512; mod_aliases = Hashtbl.create 64; aliases }
+  in
+  let rec collect_str ~modpath ~source (str : Typedtree.structure) =
+    List.iter (collect_item ~modpath ~source) str.str_items
+  and collect_item ~modpath ~source (item : Typedtree.structure_item) =
+    match item.str_desc with
+    | Tstr_value (_, vbs) ->
+      List.iter
+        (fun (vb : Typedtree.value_binding) ->
+          match vb.vb_pat.pat_desc with
+          | Tpat_var (_, { txt; _ }) ->
+            let d_key = modpath ^ "." ^ txt in
+            Hashtbl.replace t.defs d_key
+              {
+                d_key;
+                d_expr = vb.vb_expr;
+                d_attrs = attr_names vb.vb_attributes;
+                d_source = source;
+                d_modpath = modpath;
+              }
+          | _ -> ())
+        vbs
+    | Tstr_module mb -> collect_mb ~modpath ~source mb
+    | Tstr_recmodule mbs -> List.iter (collect_mb ~modpath ~source) mbs
+    | _ -> ()
+  and collect_mb ~modpath ~source (mb : Typedtree.module_binding) =
+    match mb.mb_name.txt with
+    | Some name -> collect_mod ~modpath:(modpath ^ "." ^ name) ~source mb.mb_expr
+    | None -> ()
+  and collect_mod ~modpath ~source (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_structure str -> collect_str ~modpath ~source str
+    | Tmod_constraint (me, _, _, _) -> collect_mod ~modpath ~source me
+    | Tmod_ident (p, _) ->
+      Hashtbl.replace t.mod_aliases modpath
+        (Cmt_scan.normalize_name aliases (Path.name p))
+    | _ -> ()
+  in
+  List.iter
+    (fun (u : Cmt_scan.unit_info) ->
+      match u.str with
+      | Some str -> collect_str ~modpath:u.modname ~source:u.source str
+      | None -> ())
+    units;
+  t
+
+(* --- resolution ------------------------------------------------------------ *)
+
+let scopes_of modpath =
+  let parts = String.split_on_char '.' modpath in
+  let rec prefixes acc = function
+    | [] -> acc
+    | parts ->
+      let prefix = String.concat "." parts in
+      prefixes (prefix :: acc)
+        (match List.rev parts with _ :: tl -> List.rev tl | [] -> [])
+  in
+  (* longest (innermost) scope first *)
+  List.rev (prefixes [] parts)
+
+let rec expand_aliases t fuel name =
+  if fuel = 0 then name
+  else
+    let parts = String.split_on_char '.' name in
+    let n = List.length parts in
+    let rec try_prefix k =
+      if k <= 0 then name
+      else
+        let prefix = String.concat "." (List.filteri (fun i _ -> i < k) parts) in
+        match Hashtbl.find_opt t.mod_aliases prefix with
+        | Some target ->
+          let rest = List.filteri (fun i _ -> i >= k) parts in
+          expand_aliases t (fuel - 1) (String.concat "." (target :: rest))
+        | None -> try_prefix (k - 1)
+    in
+    try_prefix (n - 1)
+
+let resolve t ~modpath name =
+  let candidates = name :: List.map (fun s -> s ^ "." ^ name) (scopes_of modpath) in
+  let rec go = function
+    | [] -> None
+    | c :: rest -> (
+      match Hashtbl.find_opt t.defs c with
+      | Some d -> Some d
+      | None -> (
+        let expanded = expand_aliases t 5 c in
+        if not (String.equal expanded c) then
+          match Hashtbl.find_opt t.defs expanded with
+          | Some d -> Some d
+          | None -> go rest
+        else go rest))
+  in
+  go candidates
+
+(* --- the checker ----------------------------------------------------------- *)
+
+type state = {
+  tables : tables;
+  verdicts : (string, Finding.t list) Hashtbl.t;
+  in_progress : (string, unit) Hashtbl.t;
+}
+
+let finding ~rule ~source (e : Typedtree.expression) message =
+  Finding.v ~pass_:"alloc" ~rule ~file:source
+    ~line:e.exp_loc.loc_start.pos_lnum message
+
+let rec verdict st (d : def) =
+  match Hashtbl.find_opt st.verdicts d.d_key with
+  | Some fs -> fs
+  | None ->
+    if Hashtbl.mem st.in_progress d.d_key then []
+    else begin
+      Hashtbl.replace st.in_progress d.d_key ();
+      let fs = check_def st d in
+      Hashtbl.remove st.in_progress d.d_key;
+      Hashtbl.replace st.verdicts d.d_key fs;
+      fs
+    end
+
+and check_def st (d : def) =
+  let findings = ref [] in
+  let local_refs = Hashtbl.create 8 in
+  let add f = findings := f :: !findings in
+  let source = d.d_source in
+  let rec visit (e : Typedtree.expression) =
+    if has_attr "alloc_ok" e.exp_attributes then ()
+    else
+      match e.exp_desc with
+      | Texp_apply (fn, args) -> visit_apply e fn args
+      | Texp_let (Nonrecursive, vbs, body) ->
+        (* [let x = ref e in ...] (also [let a = ref _ and b = ref _]):
+           allowed as long as the ref never escapes (used only through
+           ! / := / incr / decr), matching the compiler's
+           mutable-stack-slot optimization for local refs *)
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            match vb with
+            | {
+             vb_pat = { pat_desc = Tpat_var (id, _); _ };
+             vb_expr =
+               {
+                 exp_desc =
+                   Texp_apply
+                     ( { exp_desc = Texp_ident (rp, _, _); _ },
+                       [ (_, Some init) ] );
+                 _;
+               };
+             _;
+            }
+              when String.equal
+                     (Cmt_scan.normalize_path st.tables.aliases rp)
+                     "ref" ->
+              visit init;
+              Hashtbl.replace local_refs (Ident.unique_name id) ()
+            | _ -> visit vb.vb_expr)
+          vbs;
+        visit body
+      | Texp_ident (Path.Pident id, _, _)
+        when Hashtbl.mem local_refs (Ident.unique_name id) ->
+        add
+          (finding ~rule:"alloc-ref-escape" ~source e
+             (Printf.sprintf
+                "local ref %s escapes (used other than through !/:=); it \
+                 will be heap-allocated"
+                (Ident.name id)))
+      | Texp_function _ ->
+        add
+          (finding ~rule:"alloc-closure" ~source e
+             "closure allocation inside an [@@alloc_free] body; hoist the \
+              function to the top level")
+      | Texp_tuple _ ->
+        add (finding ~rule:"alloc-tuple" ~source e "tuple allocation");
+        descend e
+      | Texp_construct (_, cd, args) -> (
+        match (cd.cstr_tag, args) with
+        | _, [] -> descend e
+        | Types.Cstr_unboxed, _ -> descend e
+        | _ ->
+          add
+            (finding ~rule:"alloc-construct" ~source e
+               (Printf.sprintf "constructor %s allocates a block"
+                  cd.cstr_name));
+          descend e)
+      | Texp_variant (_, Some _) ->
+        add
+          (finding ~rule:"alloc-construct" ~source e
+             "polymorphic variant with argument allocates");
+        descend e
+      | Texp_record { representation = Types.Record_unboxed _; _ } ->
+        descend e
+      | Texp_record _ ->
+        add (finding ~rule:"alloc-record" ~source e "record allocation");
+        descend e
+      | Texp_array [] -> ()
+      | Texp_array _ ->
+        add (finding ~rule:"alloc-array" ~source e "array literal allocation");
+        descend e
+      | Texp_lazy _ ->
+        add (finding ~rule:"alloc-lazy" ~source e "lazy value allocation");
+        descend e
+      | Texp_object _ | Texp_new _ | Texp_pack _ | Texp_letop _ ->
+        add
+          (finding ~rule:"alloc-other" ~source e
+             "allocating construct (object/first-class module/letop)")
+      | _ -> descend e
+  and descend e =
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr = (fun _ e -> visit e);
+      }
+    in
+    Tast_iterator.default_iterator.expr it e
+  and visit_args args =
+    List.iter (function _, Some a -> visit a | _, None -> ()) args
+  and visit_apply e fn args =
+    if List.exists (fun (_, a) -> a = None) args then
+      add
+        (finding ~rule:"alloc-partial-app" ~source e
+           "partial application allocates a closure");
+    match fn.exp_desc with
+    | Texp_ident (p, _, _) -> (
+      let name = Cmt_scan.normalize_path st.tables.aliases p in
+      if List.mem name ref_ops then
+        match args with
+        | (_, Some { exp_desc = Texp_ident (Path.Pident id, _, _); _ }) :: rest
+          when Hashtbl.mem local_refs (Ident.unique_name id) ->
+          visit_args rest
+        | _ -> visit_args args
+      else if List.mem name cold_raisers then
+        (* cold path: the raise only runs on errors, so its message
+           construction is exempt *)
+        ()
+      else if String.equal name "ref" then begin
+        add
+          (finding ~rule:"alloc-ref" ~source e
+             "ref allocation (escaping or non-local ref)");
+        visit_args args
+      end
+      else if Hashtbl.mem whitelist name then visit_args args
+      else begin
+        (match resolve st.tables ~modpath:d.d_modpath name with
+        | Some callee ->
+          if
+            List.mem "alloc_free" callee.d_attrs
+            || List.mem "alloc_ok" callee.d_attrs
+          then ()
+          else (
+            match verdict st callee with
+            | [] -> ()
+            | f0 :: _ ->
+              add
+                (finding ~rule:"alloc-callee" ~source e
+                   (Printf.sprintf
+                      "callee %s allocates (%s:%d [%s] %s); annotate it \
+                       [@@alloc_free] once fixed"
+                      callee.d_key f0.Finding.file f0.Finding.line
+                      f0.Finding.rule f0.Finding.message)))
+        | None ->
+          if is_known_allocating name then
+            add
+              (finding ~rule:"alloc-call" ~source e
+                 (Printf.sprintf "%s allocates" name))
+          else
+            add
+              (finding ~rule:"alloc-unknown-call" ~source e
+                 (Printf.sprintf
+                    "call to %s is not known to be allocation-free; \
+                     annotate it [@@alloc_free], or wrap the call in \
+                     [@alloc_ok] if the allocation is intended"
+                    name)));
+        visit_args args
+      end)
+    | _ ->
+      add
+        (finding ~rule:"alloc-indirect-call" ~source e
+           "indirect call through a closure value; the target cannot be \
+            checked statically");
+      visit fn;
+      visit_args args
+  (* Strip the curried-parameter chain: the outermost Texp_function nodes
+     are the annotated function itself, not closure allocations.  An
+     optional argument with a default desugars to
+     [fun *opt* -> let x = match *opt* ... in fun ...]; the interposed let
+     is still part of the parameter chain (its default expression runs per
+     call, so it is visited), and stripping continues below it. *)
+  and analyze_fn ~after_opt (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_function { cases = [ c ]; _ } ->
+      Option.iter visit c.c_guard;
+      let opt_param =
+        match c.c_lhs.pat_desc with
+        | Tpat_var (id, _) ->
+          let n = Ident.name id in
+          String.length n >= 5 && String.sub n 0 5 = "*opt*"
+        | _ -> false
+      in
+      analyze_fn ~after_opt:opt_param c.c_rhs
+    | Texp_function { cases; _ } ->
+      List.iter
+        (fun (c : Typedtree.value Typedtree.case) ->
+          Option.iter visit c.c_guard;
+          visit c.c_rhs)
+        cases
+    | Texp_let (Nonrecursive, vbs, body) when after_opt ->
+      List.iter (fun (vb : Typedtree.value_binding) -> visit vb.vb_expr) vbs;
+      analyze_fn ~after_opt:false body
+    | _ -> visit e
+  in
+  analyze_fn ~after_opt:false d.d_expr;
+  List.rev !findings
+
+(* --- entry point ----------------------------------------------------------- *)
+
+type result = {
+  findings : Finding.t list;
+  verified : string list;  (* [@@alloc_free] definitions that checked clean *)
+}
+
+let check aliases units =
+  let tables = collect aliases units in
+  let st =
+    { tables; verdicts = Hashtbl.create 64; in_progress = Hashtbl.create 16 }
+  in
+  let annotated =
+    Hashtbl.fold
+      (fun _ d acc -> if List.mem "alloc_free" d.d_attrs then d :: acc else acc)
+      tables.defs []
+    |> List.sort (fun a b -> String.compare a.d_key b.d_key)
+  in
+  List.fold_left
+    (fun acc d ->
+      match verdict st d with
+      | [] -> { acc with verified = d.d_key :: acc.verified }
+      | fs -> { acc with findings = acc.findings @ fs })
+    { findings = []; verified = [] }
+    annotated
+  |> fun r -> { r with verified = List.rev r.verified }

@@ -1,0 +1,15 @@
+(** Allocation pass: verify [@@alloc_free] function bodies never heap-allocate.
+
+    Escape hatches: [@alloc_ok] on an expression exempts that subtree;
+    [@alloc_ok] on a whole binding marks it assumed-safe for callers without
+    checking the body.  Float boxing at call boundaries is out of scope
+    (dynamic minor-words slope tests cover it). *)
+
+type result = {
+  findings : Finding.t list;
+  verified : string list;  (** [@@alloc_free] definitions that checked clean *)
+}
+
+val check : (string, unit) Hashtbl.t -> Cmt_scan.unit_info list -> result
+(** [check aliases units] analyzes every [@@alloc_free] definition in the
+    scanned units, resolving statically-known callees recursively. *)

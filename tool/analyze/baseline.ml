@@ -1,0 +1,92 @@
+(* Baseline file: one JSONL object per accepted finding.  Matching is on the
+   pass|rule|file key (line-insensitive), so baselined findings survive edits
+   elsewhere in the file.  Entries that no longer match any current finding
+   are reported as stale so the baseline shrinks monotonically. *)
+
+type entry = { key : string; raw : string }
+
+(* Tolerant field extraction: the baseline is machine-written by --json, so
+   fields appear as "name":"value" with json_escape applied.  We unescape
+   only what json_escape produces. *)
+let field name raw =
+  let pat = Printf.sprintf "\"%s\":\"" name in
+  let plen = String.length pat in
+  let rec find i =
+    if i + plen > String.length raw then None
+    else if String.sub raw i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let b = Buffer.create 32 in
+    let rec scan i =
+      if i >= String.length raw then None
+      else
+        match raw.[i] with
+        | '"' -> Some (Buffer.contents b)
+        | '\\' when i + 1 < String.length raw ->
+          (match raw.[i + 1] with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | c -> Buffer.add_char b c);
+          scan (i + 2)
+        | c ->
+          Buffer.add_char b c;
+          scan (i + 1)
+    in
+    scan start
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    let lines =
+      String.split_on_char '\n' content
+      |> List.map String.trim
+      |> List.filter (fun l ->
+             String.length l > 0 && not (String.length l >= 2 && l.[0] = '/'))
+    in
+    let rec build acc lineno = function
+      | [] -> Ok (List.rev acc)
+      | l :: rest -> (
+        match (field "pass" l, field "rule" l, field "file" l) with
+        | Some p, Some r, Some f ->
+          build ({ key = p ^ "|" ^ r ^ "|" ^ f; raw = l } :: acc) (lineno + 1) rest
+        | _ ->
+          Error
+            (Printf.sprintf
+               "baseline line %d: expected a JSON object with pass/rule/file \
+                fields"
+               lineno))
+    in
+    build [] 1 lines
+  end
+
+type split = {
+  fresh : Finding.t list;  (* findings not covered by the baseline *)
+  accepted : Finding.t list;  (* findings matched by a baseline entry *)
+  stale : entry list;  (* baseline entries matching no current finding *)
+}
+
+let apply entries findings =
+  let keys = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace keys e.key ()) entries;
+  let used = Hashtbl.create 16 in
+  let fresh, accepted =
+    List.partition
+      (fun f ->
+        let k = Finding.key f in
+        if Hashtbl.mem keys k then begin
+          Hashtbl.replace used k ();
+          false
+        end
+        else true)
+      findings
+  in
+  let stale = List.filter (fun e -> not (Hashtbl.mem used e.key)) entries in
+  { fresh; accepted; stale }

@@ -1,0 +1,16 @@
+(** Checked-in JSONL baseline of accepted findings. *)
+
+type entry = { key : string; raw : string }
+
+val load : string -> (entry list, string) result
+(** Missing file = empty baseline.  Lines starting with [//] are comments. *)
+
+type split = {
+  fresh : Finding.t list;
+  accepted : Finding.t list;
+  stale : entry list;
+}
+
+val apply : entry list -> Finding.t list -> split
+(** Match findings against baseline entries on the [Finding.key]
+    (pass|rule|file, line-insensitive). *)

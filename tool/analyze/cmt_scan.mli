@@ -1,0 +1,31 @@
+(** .cmt discovery/loading and the name normalization shared by the
+    typedtree passes. *)
+
+type unit_info = {
+  cmt_path : string;
+  lib : string option;  (** owning dune library, from the [.lib.objs] path *)
+  modname : string;  (** compilation unit name, e.g. [Nimbus_dsp__Spectrum] *)
+  source : string;  (** source file as recorded by the compiler *)
+  imports : string list;  (** imported compilation unit names *)
+  str : Typedtree.structure option;  (** [None] for non-implementation cmts *)
+}
+
+val scan : string list -> unit_info list * Finding.t list
+(** Walk the roots for [*.cmt] files (sorted, deterministic order).
+    Unreadable cmts surface as [cmt-read-error] findings. *)
+
+val lib_of_modname : string -> string
+(** ["Nimbus_dsp__Spectrum"] and ["Nimbus_dsp"] -> ["nimbus_dsp"]. *)
+
+val alias_module_of_lib : string -> string
+(** ["nimbus_dsp"] -> ["Nimbus_dsp"]. *)
+
+val alias_mods : unit_info list -> (string, unit) Hashtbl.t
+(** The wrapped-library alias modules present in a scan. *)
+
+val normalize_name : (string, unit) Hashtbl.t -> string -> string
+(** Canonical spelling: strips [Stdlib.] / [Stdlib__] prefixes and fuses a
+    leading alias module with the next component
+    ([Nimbus_dsp.Fft.Plan.execute] -> [Nimbus_dsp__Fft.Plan.execute]). *)
+
+val normalize_path : (string, unit) Hashtbl.t -> Path.t -> string

@@ -1,0 +1,101 @@
+(* Determinism pass: inside the scoped libraries (everything reachable from
+   an engine run — lib/sim, lib/core, lib/dsp, lib/faults), wall-clock reads,
+   ambient process state, the global Random state, and order-dependent
+   Hashtbl iteration are banned.  Simulated time must come from Engine and
+   randomness from Rng.split, or traces stop being byte-identical across
+   repeats and --jobs fan-out.
+
+   An expression can be exempted with [@det_ok "reason"]. *)
+
+let banned : (string, string * string) Hashtbl.t = Hashtbl.create 64
+
+let () =
+  let add rule msg names =
+    List.iter (fun n -> Hashtbl.replace banned n (rule, msg)) names
+  in
+  add "det-wall-clock"
+    "wall-clock read; simulated components must take time from Engine.now"
+    [
+      "Sys.time";
+      "Unix.gettimeofday";
+      "Unix.time";
+      "Unix.gmtime";
+      "Unix.localtime";
+    ];
+  add "det-global-random"
+    "global Random state; draw from a run-scoped Rng.split stream instead"
+    [
+      "Random.self_init";
+      "Random.init";
+      "Random.full_init";
+      "Random.bits";
+      "Random.bits32";
+      "Random.bits64";
+      "Random.int";
+      "Random.int32";
+      "Random.int64";
+      "Random.nativeint";
+      "Random.float";
+      "Random.bool";
+      "Random.get_state";
+      "Random.set_state";
+      "Random.State.make_self_init";
+    ];
+  add "det-hashtbl-order"
+    "Hashtbl iteration order depends on hashing/insertion history; iterate \
+     over sorted keys (or a deterministic structure) before feeding outputs"
+    [
+      "Hashtbl.iter";
+      "Hashtbl.fold";
+      "Hashtbl.to_seq";
+      "Hashtbl.to_seq_keys";
+      "Hashtbl.to_seq_values";
+    ];
+  add "det-ambient-env"
+    "ambient process state; thread configuration in explicitly from the \
+     entry point"
+    [ "Sys.getenv"; "Sys.getenv_opt"; "Sys.argv" ]
+
+let has_attr name attrs =
+  List.exists
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
+    attrs
+
+let default_scope = [ "nimbus_sim"; "nimbus_core"; "nimbus_dsp"; "nimbus_faults" ]
+
+let check_unit aliases (u : Cmt_scan.unit_info) =
+  match u.str with
+  | None -> []
+  | Some str ->
+    let findings = ref [] in
+    let suppressed = ref 0 in
+    let expr self (e : Typedtree.expression) =
+      let here_suppressed = has_attr "det_ok" e.exp_attributes in
+      if here_suppressed then incr suppressed;
+      (if !suppressed = 0 then
+         match e.exp_desc with
+         | Texp_ident (p, _, _) -> (
+           let name = Cmt_scan.normalize_path aliases p in
+           match Hashtbl.find_opt banned name with
+           | Some (rule, msg) ->
+             findings :=
+               Finding.v ~pass_:"determinism" ~rule ~file:u.source
+                 ~line:e.exp_loc.loc_start.pos_lnum
+                 (Printf.sprintf "%s: %s" name msg)
+               :: !findings
+           | None -> ())
+         | _ -> ());
+      Tast_iterator.default_iterator.expr self e;
+      if here_suppressed then decr suppressed
+    in
+    let iter = { Tast_iterator.default_iterator with expr } in
+    iter.structure iter str;
+    List.rev !findings
+
+let check ~scope aliases units =
+  List.concat_map
+    (fun (u : Cmt_scan.unit_info) ->
+      match u.lib with
+      | Some lib when List.mem lib scope -> check_unit aliases u
+      | _ -> [])
+    units

@@ -1,0 +1,15 @@
+(** Determinism pass: bans wall-clock/entropy/ambient-state escapes and
+    order-dependent Hashtbl iteration inside the scoped libraries.
+    Exempt an expression with [@det_ok "reason"]. *)
+
+val default_scope : string list
+(** nimbus_sim, nimbus_core, nimbus_dsp, nimbus_faults — everything
+    reachable from an engine run. *)
+
+val check :
+  scope:string list ->
+  (string, unit) Hashtbl.t ->
+  Cmt_scan.unit_info list ->
+  Finding.t list
+(** [check ~scope aliases units] checks every implementation unit whose
+    owning library is in [scope]. *)

@@ -1,0 +1,49 @@
+(* Allocation-pass fixture (test-only).  clean_* must verify; bad_* must
+   each be flagged with the rule named in the comment. *)
+
+(* verifies: scalar arithmetic, array stores, local non-escaping ref *)
+let clean_sum xs =
+  let acc = ref 0. in
+  for i = 0 to Array.length xs - 1 do
+    acc := !acc +. xs.(i)
+  done;
+  !acc
+[@@alloc_free]
+
+(* verifies: calls another visible definition that is itself clean *)
+let clean_caller xs = clean_sum xs +. 1.
+[@@alloc_free]
+
+(* verifies: the allocation is acknowledged with [@alloc_ok] *)
+let clean_suppressed n = Array.length ((Array.make n 0) [@alloc_ok])
+[@@alloc_free]
+
+(* alloc-tuple *)
+let bad_tuple x = (x, x + 1)
+[@@alloc_free]
+
+(* alloc-closure: the local function captures k *)
+let bad_closure k =
+  let add x = x + k in
+  add 1
+[@@alloc_free]
+
+(* alloc-call: Array.make is known-allocating *)
+let bad_array_make n = Array.make n 0
+[@@alloc_free]
+
+(* alloc-construct *)
+let bad_some x = Some x
+[@@alloc_free]
+
+(* alloc-ref-escape: the ref itself is returned *)
+let bad_ref_escape x =
+  let r = ref x in
+  r
+[@@alloc_free]
+
+(* alloc-callee: calls a visible definition that allocates *)
+let helper_allocates x = [ x ]
+
+let bad_caller x = helper_allocates x
+[@@alloc_free]

@@ -1,0 +1,6 @@
+(* Deliberate det-hashtbl-order violation (test fixture). *)
+
+let sum_values tbl =
+  let total = ref 0 in
+  Hashtbl.iter (fun _ v -> total := !total + v) tbl;
+  !total

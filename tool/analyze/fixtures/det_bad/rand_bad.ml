@@ -1,0 +1,7 @@
+(* Deliberate det-global-random / det-wall-clock violations (test fixture). *)
+
+let seed_everything () = Random.self_init ()
+
+let draw () = Random.float 1.0
+
+let stamp () = Sys.time ()

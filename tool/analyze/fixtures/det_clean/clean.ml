@@ -1,0 +1,13 @@
+(* Deterministic by construction: explicit state threaded everywhere, and a
+   suppressed escape to prove [@det_ok] works (test fixture). *)
+
+let step state = (state * 48271) mod 0x7fffffff
+
+let sorted_sum tbl =
+  let keys =
+    (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []) [@det_ok "sorted below"]
+  in
+  List.fold_left
+    (fun acc k -> acc + Hashtbl.find tbl k)
+    0
+    (List.sort compare keys)

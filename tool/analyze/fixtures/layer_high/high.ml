@@ -1,0 +1,3 @@
+(* Layering fixture: the af_layer_high -> af_layer_low edge under test. *)
+
+let doubled = 2 * Af_layer_low.Low.base

@@ -1,0 +1,3 @@
+(* Layering fixture: af_layer_high depends on this library. *)
+
+let base = 7

@@ -1,0 +1,23 @@
+(** Layering pass: extract the inter-library dependency DAG from recorded
+    cmt imports and check it against the declared layers.sexp contract. *)
+
+type layers = string list list
+(** Ordered bottom-first; each layer lists dune library names. *)
+
+val parse_layers : Sexp.t list -> (layers, string) result
+(** Parse the contents of layers.sexp: one top-level list of layers. *)
+
+val extract_edges :
+  Cmt_scan.unit_info list -> (string * string * string) list * string list
+(** [(from, to, example source)] dependency edges between scanned libraries
+    (deduplicated, sorted), and the sorted list of scanned library names. *)
+
+val check :
+  layers ->
+  Cmt_scan.unit_info list ->
+  Finding.t list * (string * string * string) list
+(** Findings ([layer-undeclared-lib], [layer-upward-dep]) plus the extracted
+    edges for DOT rendering. *)
+
+val to_dot : layers -> (string * string * string) list -> string
+(** Graphviz digraph of the extracted DAG grouped by declared layer. *)

@@ -1,0 +1,11 @@
+; Declared layer contract for the nimbus libraries, bottom layer first.
+; A library may depend only on libraries in strictly lower layers.
+; Checked by tool/analyze's layering pass against the real cmt-imports DAG;
+; the extracted graph is promoted to docs/deps.dot for review.
+((units nimbus_trace nimbus_parallel)
+ (nimbus_dsp)
+ (nimbus_sim)
+ (nimbus_cc)
+ (nimbus_core nimbus_faults nimbus_traffic)
+ (nimbus_metrics)
+ (nimbus_experiments))

@@ -1,0 +1,130 @@
+(* Driver for the analysis suite.
+
+   Runs four passes and merges their findings:
+     - parsetree : source-text lint rules (migrated from tool/lint)
+     - determinism : banned ambient-state escapes in simulation-reachable libs
+     - layering : cmt-imports DAG checked against tool/analyze/layers.sexp
+     - alloc : [@@alloc_free] bodies verified allocation-free
+
+   Exit code is 1 iff any finding is not covered by the baseline file.
+   --json writes the machine-readable JSONL report; --dot writes the
+   dependency graph extracted by the layering pass. *)
+
+open Nimbus_analyze
+
+let usage =
+  "analyze [--src-root DIR]... [--cmt-root DIR]... [--layers FILE] \
+   [--baseline FILE] [--json FILE] [--dot FILE] [--det-libs a,b] [--quiet]"
+
+let () =
+  let src_roots = ref [] in
+  let cmt_roots = ref [] in
+  let layers_file = ref "" in
+  let baseline_file = ref "" in
+  let json_file = ref "" in
+  let dot_file = ref "" in
+  let det_libs = ref Determinism.default_scope in
+  let quiet = ref false in
+  let spec =
+    [
+      ("--src-root", Arg.String (fun d -> src_roots := d :: !src_roots),
+       "DIR source tree root for the parsetree pass (repeatable)");
+      ("--cmt-root", Arg.String (fun d -> cmt_roots := d :: !cmt_roots),
+       "DIR build tree root scanned for .cmt files (repeatable)");
+      ("--layers", Arg.Set_string layers_file,
+       "FILE declared layer contract (layers.sexp)");
+      ("--baseline", Arg.Set_string baseline_file,
+       "FILE JSONL baseline of accepted findings");
+      ("--json", Arg.Set_string json_file,
+       "FILE write the JSONL findings report here");
+      ("--dot", Arg.Set_string dot_file,
+       "FILE write the layering-pass dependency graph here");
+      ("--det-libs",
+       Arg.String
+         (fun s -> det_libs := String.split_on_char ',' s
+                               |> List.filter (fun l -> l <> "")),
+       "a,b override the determinism-pass library scope");
+      ("--quiet", Arg.Set quiet, " only print the summary line");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    usage;
+  let src_roots = List.rev !src_roots and cmt_roots = List.rev !cmt_roots in
+
+  (* parsetree pass *)
+  let parsetree_findings = Rules.check_tree src_roots in
+
+  (* cmt-backed passes *)
+  let units, scan_findings = Cmt_scan.scan cmt_roots in
+  let aliases = Cmt_scan.alias_mods units in
+  let det_findings = Determinism.check ~scope:!det_libs aliases units in
+  let layer_findings, edges, layers =
+    if !layers_file = "" then ([], [], [])
+    else
+      match Layering.parse_layers (Sexp.load !layers_file) with
+      | Ok layers ->
+        let fs, edges = Layering.check layers units in
+        (fs, edges, layers)
+      | Error msg ->
+        ( [
+            Finding.v ~pass_:"layering" ~rule:"layer-bad-contract"
+              ~file:!layers_file ~line:1 msg;
+          ],
+          [], [] )
+      | exception Sexp.Parse_error msg ->
+        ( [
+            Finding.v ~pass_:"layering" ~rule:"layer-bad-contract"
+              ~file:!layers_file ~line:1 msg;
+          ],
+          [], [] )
+  in
+  let alloc_result = Alloc.check aliases units in
+
+  let findings =
+    List.sort Finding.compare
+      (parsetree_findings @ scan_findings @ det_findings @ layer_findings
+     @ alloc_result.Alloc.findings)
+  in
+
+  (* baseline split *)
+  let entries =
+    if !baseline_file = "" then []
+    else
+      match Baseline.load !baseline_file with
+      | Ok es -> es
+      | Error msg ->
+        Printf.eprintf "analyze: %s\n" msg;
+        exit 2
+  in
+  let { Baseline.fresh; accepted; stale } = Baseline.apply entries findings in
+
+  (* reports *)
+  (if !dot_file <> "" then
+     let oc = open_out !dot_file in
+     output_string oc (Layering.to_dot layers edges);
+     close_out oc);
+  (if !json_file <> "" then begin
+     let oc = open_out !json_file in
+     List.iter
+       (fun f -> output_string oc (Finding.to_json ~baselined:false f ^ "\n"))
+       fresh;
+     List.iter
+       (fun f -> output_string oc (Finding.to_json ~baselined:true f ^ "\n"))
+       accepted;
+     close_out oc
+   end);
+  if not !quiet then begin
+    List.iter (fun f -> Format.printf "%a@." Finding.pp f) fresh;
+    List.iter
+      (fun (e : Baseline.entry) ->
+        Format.printf "analyze: stale baseline entry (no matching finding): %s@."
+          e.key)
+      stale
+  end;
+  Printf.printf
+    "analyze: %d finding(s) (%d baselined, %d alloc-free function(s) \
+     verified)\n"
+    (List.length findings) (List.length accepted)
+    (List.length alloc_result.Alloc.verified);
+  if fresh <> [] then exit 1

@@ -1,25 +1,50 @@
-(* Lint rules over the compiler's parsetree.  Kept dependency-light:
-   compiler-libs.common only, so the driver builds anywhere the compiler
-   does. *)
+(* Parsetree-level lint rules, migrated from the original tool/lint driver:
+   missing-mli, Obj.magic, float-compare, raw-float-param.  These re-lex
+   files from source (no build artifacts needed), so the input is
+   normalized first: a UTF-8 BOM would derail the parser and CRLF/CR line
+   endings would skew reported positions relative to the on-disk file. *)
 
-type violation = {
-  file : string;
-  line : int;
-  rule : string;
-  message : string;
-}
+let pass_ = "parsetree"
 
-let pp_violation ppf v =
-  Format.fprintf ppf "%s:%d: [%s] %s" v.file v.line v.rule v.message
+let finding ~loc ~path rule message =
+  Finding.v ~pass_ ~rule ~file:path
+    ~line:loc.Location.loc_start.Lexing.pos_lnum message
 
-let line_of_loc (loc : Location.t) = loc.loc_start.pos_lnum
+(* --- source normalization -------------------------------------------------- *)
 
-(* --- helpers -------------------------------------------------------------- *)
+let normalize_source src =
+  let src =
+    if
+      String.length src >= 3
+      && src.[0] = '\xEF'
+      && src.[1] = '\xBB'
+      && src.[2] = '\xBF'
+    then String.sub src 3 (String.length src - 3)
+    else src
+  in
+  if not (String.contains src '\r') then src
+  else begin
+    let n = String.length src in
+    let b = Buffer.create n in
+    let i = ref 0 in
+    while !i < n do
+      (match src.[!i] with
+      | '\r' ->
+        (* CRLF collapses to LF; a lone CR is itself a line break *)
+        Buffer.add_char b '\n';
+        if !i + 1 < n && src.[!i + 1] = '\n' then incr i
+      | c -> Buffer.add_char b c);
+      incr i
+    done;
+    Buffer.contents b
+  end
 
 let parse_with ~path parser src =
-  let lexbuf = Lexing.from_string src in
+  let lexbuf = Lexing.from_string (normalize_source src) in
   Lexing.set_filename lexbuf path;
   parser lexbuf
+
+(* --- helpers -------------------------------------------------------------- *)
 
 let suffix_matches name =
   List.exists
@@ -54,8 +79,7 @@ let is_float_literal (e : Parsetree.expression) =
 let check_structure ~path (str : Parsetree.structure) =
   let violations = ref [] in
   let add ~loc rule message =
-    violations :=
-      { file = path; line = line_of_loc loc; rule; message } :: !violations
+    violations := finding ~loc ~path rule message :: !violations
   in
   let expr_rule (e : Parsetree.expression) =
     match e.pexp_desc with
@@ -89,8 +113,7 @@ let check_signature ~path (sg : Parsetree.signature) =
   else begin
     let violations = ref [] in
     let add ~loc rule message =
-      violations :=
-        { file = path; line = line_of_loc loc; rule; message } :: !violations
+      violations := finding ~loc ~path rule message :: !violations
     in
     let typ_rule (t : Parsetree.core_type) =
       match t.ptyp_desc with
@@ -123,7 +146,7 @@ let check_signature ~path (sg : Parsetree.signature) =
 
 let parse_error ~path exn =
   let message = Printexc.to_string exn in
-  [ { file = path; line = 1; rule = "parse-error"; message } ]
+  [ Finding.v ~pass_ ~rule:"parse-error" ~file:path ~line:1 message ]
 
 let check_ml ~path src =
   match parse_with ~path Parse.implementation src with
@@ -161,14 +184,8 @@ let check_missing_mli ~lib_root =
         && not (Sys.file_exists (path ^ "i"))
       then
         violations :=
-          {
-            file = path;
-            line = 1;
-            rule = "missing-mli";
-            message =
-              "library modules need an explicit interface (add a sibling \
-               .mli)";
-          }
+          Finding.v ~pass_ ~rule:"missing-mli" ~file:path ~line:1
+            "library modules need an explicit interface (add a sibling .mli)"
           :: !violations);
   List.rev !violations
 

@@ -1,0 +1,20 @@
+(** Parsetree-level lint rules (migrated from the original tool/lint):
+    missing-mli under lib/, Obj.magic, polymorphic comparison against float
+    literals, and raw labelled-float unit parameters in interfaces. *)
+
+val normalize_source : string -> string
+(** Strip a UTF-8 BOM and convert CRLF / lone-CR line endings to LF, so
+    lexing positions match the on-disk file. *)
+
+val check_ml : path:string -> string -> Finding.t list
+(** Lint an implementation given as source text. *)
+
+val check_mli : path:string -> string -> Finding.t list
+(** Lint an interface given as source text. *)
+
+val check_missing_mli : lib_root:string -> Finding.t list
+(** Flag .ml files under [lib_root] without a sibling .mli. *)
+
+val check_tree : string list -> Finding.t list
+(** Lint every .ml/.mli under the given roots; roots containing a [lib]
+    path component additionally get the missing-mli check. *)

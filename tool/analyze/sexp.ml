@@ -1,0 +1,76 @@
+(* Minimal s-expression reader for the layers.sexp contract.  Atoms are
+   unquoted tokens; `;` starts a line comment.  Hand-rolled so the driver
+   depends on nothing outside compiler-libs. *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+exception Parse_error of string
+
+let is_atom_char = function
+  | '(' | ')' | ';' | ' ' | '\t' | '\n' | '\r' -> false
+  | _ -> true
+
+let parse_string src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let rec skip_ws () =
+    if !pos < n then
+      match src.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+        incr pos;
+        skip_ws ()
+      | ';' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          incr pos
+        done;
+        skip_ws ()
+      | _ -> ()
+  in
+  let rec parse_one () =
+    skip_ws ();
+    if !pos >= n then raise (Parse_error "unexpected end of input")
+    else if src.[!pos] = '(' then begin
+      incr pos;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        if !pos >= n then raise (Parse_error "unclosed parenthesis")
+        else if src.[!pos] = ')' then incr pos
+        else begin
+          items := parse_one () :: !items;
+          loop ()
+        end
+      in
+      loop ();
+      List (List.rev !items)
+    end
+    else if src.[!pos] = ')' then raise (Parse_error "unexpected )")
+    else begin
+      let start = !pos in
+      while !pos < n && is_atom_char src.[!pos] do
+        incr pos
+      done;
+      Atom (String.sub src start (!pos - start))
+    end
+  in
+  let sexps = ref [] in
+  let rec top () =
+    skip_ws ();
+    if !pos < n then begin
+      sexps := parse_one () :: !sexps;
+      top ()
+    end
+  in
+  top ();
+  List.rev !sexps
+
+let load path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string src

@@ -1,0 +1,14 @@
+(** Minimal s-expression reader (atoms, lists, `;` line comments) for the
+    layers.sexp contract. *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+exception Parse_error of string
+
+val parse_string : string -> t list
+(** Every top-level s-expression in the input.  @raise Parse_error *)
+
+val load : string -> t list
+(** [parse_string] over a file's contents. *)
