@@ -183,11 +183,30 @@ let map_cases ~f cases =
     let n = Array.length arr in
     if n <= 1 then List.map f cases
     else
-      Array.to_list (Nimbus_parallel.Pool.map p ~f:(fun i -> f arr.(i)) n)
+      Array.to_list
+        (Nimbus_parallel.Pool.map p
+           ~f:(fun i ->
+             (f
+             [@shared_ok
+               "the caller's case function; map_cases' contract is that it \
+                is safe to run on any domain"])
+               (arr
+               [@shared_ok
+                 "frozen before the fan-out; workers read disjoint indices \
+                  and never write"])
+                 .(i))
+           n)
   | _ -> List.map f cases
 
 let run_seeds p ~base f =
-  map_cases ~f:(fun seed -> f ~seed) (List.init p.seeds (fun k -> base + k))
+  map_cases
+    ~f:(fun seed ->
+      (f
+      [@shared_ok
+        "the caller's per-seed function; run_seeds' contract is that it is \
+         safe to run on any domain"])
+        ~seed)
+    (List.init p.seeds (fun k -> base + k))
 
 (* --- crash isolation ------------------------------------------------------- *)
 
@@ -207,8 +226,12 @@ let crash_log : crash list ref = ref []
 
 let record_crash c =
   Mutex.lock crash_mutex;
-  crash_log := c :: !crash_log;
+  (crash_log := c :: !crash_log)
+  [@shared_ok "crash_log is only ever touched under crash_mutex"];
   Mutex.unlock crash_mutex
+[@@domain_safe
+  "called from pool tasks on arbitrary domains; the only shared state it \
+   touches is crash_log, under crash_mutex"]
 
 let crashes () =
   Mutex.lock crash_mutex;
@@ -233,11 +256,17 @@ let crash_hook : (label:string -> seed:int -> bool) option Atomic.t =
 
 let set_crash_hook h = Atomic.set crash_hook h
 
-let rekey seed = seed lxor 0x9E3779B9
+let rekey seed = seed lxor 0x9E3779B9 [@@domain_safe "pure integer mixing"]
 
 let run_case ?check ~label ~seed f =
   let attempt seed =
-    (match Atomic.get crash_hook with
+    (match
+       Atomic.get
+         (crash_hook
+         [@shared_ok
+           "test-only fault hook, read atomically once per attempt; \
+            installed before the fan-out starts"])
+     with
      | Some hook when hook ~label ~seed ->
        failwith
          (Printf.sprintf "forced crash (test hook): %s seed=%d" label seed)
@@ -272,5 +301,8 @@ let run_case ?check ~label ~seed f =
        in
        record_crash c;
        Error c)
+[@@domain_safe
+  "runs inside pool tasks; shared state is limited to the atomic crash \
+   hook and the mutex-guarded crash log (via record_crash)"]
 
 let crash_cell c = Printf.sprintf "!crash(seed %d)" c.crash_seed

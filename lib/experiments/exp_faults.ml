@@ -181,7 +181,12 @@ let run_matrix ?(trace_mask = 0) (p : Common.profile) =
                 ~check:(fun o ->
                   if Float.is_finite o.o_tput then None
                   else Some "non-finite throughput")
-                (run_one p ~trace_mask case) ))
+                (run_one p ~trace_mask
+                   (case
+                   [@shared_ok
+                     "immutable fault-case spec built before the fan-out; \
+                      its spec closure installs faults into the fresh \
+                      per-run engine it is handed"])) ))
         |> List.map (fun (seed, r) -> (case, seed, r)))
   in
   let results = List.concat results in

@@ -99,7 +99,14 @@ let run (p : Common.profile) =
   let results =
     Common.map_cases
       ~f:(fun path ->
-        (path, List.map (fun sch -> run_path p path ~seed:(500 + path.p_id) sch) schemes))
+        ( path,
+          List.map
+            (fun sch -> run_path p path ~seed:(500 + path.p_id) sch)
+            (schemes
+            [@shared_ok
+              "immutable scheme list built before the fan-out; each \
+               start_flow closure builds flows inside the fresh per-run \
+               engine it is handed"]) ))
       paths
   in
   let per_path =
@@ -170,7 +177,12 @@ let run (p : Common.profile) =
   let runs = max 4 (p.Common.seeds * 4) in
   let collect sch =
     Common.map_cases
-      ~f:(fun k -> run_path p base_path ~seed:(900 + k) sch)
+      ~f:(fun k ->
+        run_path p base_path ~seed:(900 + k)
+          (sch
+          [@shared_ok
+            "immutable scheme record; its start_flow closure builds flows \
+             inside the fresh per-run engine it is handed"]))
       (List.init runs (fun k -> k))
   in
   let cubic_runs = collect Common.cubic in

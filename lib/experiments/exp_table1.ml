@@ -88,7 +88,13 @@ let run (p : Common.profile) =
            historical fixed-seed run exactly *)
         let outcomes =
           Common.run_seeds p ~base:100 (fun ~seed ->
-              Common.run_case ~label:case.label ~seed (classify p case))
+              Common.run_case ~label:case.label ~seed
+                (classify p
+                   (case
+                   [@shared_ok
+                     "immutable cross-traffic case spec built before the \
+                      fan-out; its install closure populates the fresh \
+                      per-run engine it is handed"])))
         in
         (* a crashed seed costs its own cell, not the whole table: verdicts
            average over the surviving seeds and the row is marked *)

@@ -98,7 +98,13 @@ let run (p : Common.profile) =
     Common.map_cases
       ~f:(fun (label, base, install) ->
         let per_seed =
-          Common.run_seeds p ~base (fun ~seed -> case p ~label ~seed ~install)
+          Common.run_seeds p ~base (fun ~seed ->
+              case p ~label ~seed
+                ~install:
+                  (install
+                  [@shared_ok
+                    "immutable scenario installer from the spec list; it \
+                     populates the fresh per-run engine it is handed"]))
         in
         (label, Array.concat (List.map snd per_seed)))
       specs

@@ -15,6 +15,10 @@ type t = {
   mutable workers : unit Domain.t list;
   parallelism : int;
 }
+[@@domain_safe
+  "pending/stop are only touched under m; workers is only touched by the \
+   owning domain (create before any spawn returns, shutdown after every \
+   join)"]
 
 let drain (step : step) = while step () do () done
 
@@ -116,7 +120,12 @@ let try_map t ~f n =
         true
       end
     in
-    submit t step;
+    submit t
+      (step
+      [@shared_ok
+        "closes over this job's own results/next/completed/m/c (index-\
+         disjoint slots, atomics, a lock) plus the caller's f, which is \
+         capture-checked at the caller's pool site"]);
     drain step;
     Mutex.lock m;
     while Atomic.get completed < n do
@@ -137,12 +146,25 @@ let map t ~f n =
       | Ok r -> r
       | Error { exn; backtrace } ->
         Printexc.raise_with_backtrace exn backtrace)
-    (try_map t ~f n)
+    (try_map t
+       ~f:
+         (f
+         [@shared_ok
+           "forwarded unchanged; capture-checked at the original caller's \
+            site"])
+       n)
 
 let map_reduce t ~f ~reduce ~init n =
   (* results are reduced strictly in index order, so the outcome is
      independent of how indices were scheduled across domains *)
-  Array.fold_left reduce init (map t ~f n)
+  Array.fold_left reduce init
+    (map t
+       ~f:
+         (f
+         [@shared_ok
+           "forwarded unchanged; capture-checked at the original caller's \
+            site"])
+       n)
 
 let run ?domains f =
   let pool = create ?domains () in

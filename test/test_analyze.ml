@@ -59,13 +59,16 @@ let layers_of_string s =
 
 let all_fixture_libs_above =
   (* af_layer_low strictly below af_layer_high: the recorded edge is legal *)
-  "((af_layer_low) (af_layer_high af_det_bad af_det_clean af_alloc))"
+  "((af_layer_low) (af_layer_high af_det_bad af_det_clean af_alloc \
+   af_race_bad af_race_clean))"
 
 let same_layer =
-  "((af_layer_low af_layer_high af_det_bad af_det_clean af_alloc))"
+  "((af_layer_low af_layer_high af_det_bad af_det_clean af_alloc af_race_bad \
+   af_race_clean))"
 
 let inverted =
-  "((af_layer_high af_det_bad af_det_clean af_alloc) (af_layer_low))"
+  "((af_layer_high af_det_bad af_det_clean af_alloc af_race_bad \
+   af_race_clean) (af_layer_low))"
 
 let test_layering () =
   let units = scan fixtures_root in
@@ -82,7 +85,10 @@ let test_layering () =
   in
   Alcotest.(check (list string))
     "undeclared fixture libs flagged"
-    [ "layer-undeclared-lib"; "layer-undeclared-lib"; "layer-undeclared-lib" ]
+    [
+      "layer-undeclared-lib"; "layer-undeclared-lib"; "layer-undeclared-lib";
+      "layer-undeclared-lib"; "layer-undeclared-lib";
+    ]
     (rules_of findings)
 
 let test_layering_dot () =
@@ -104,7 +110,8 @@ let test_layering_dot () =
 let test_alloc_fixtures () =
   let units = scan fixtures_root in
   let aliases = A.Cmt_scan.alias_mods units in
-  let { A.Alloc.findings; verified } = A.Alloc.check aliases units in
+  let defs = A.Defs.collect aliases units in
+  let { A.Alloc.findings; verified } = A.Alloc.check defs in
   Alcotest.(check (list string))
     "exactly the clean definitions verify"
     [
@@ -130,6 +137,64 @@ let test_alloc_fixtures () =
         "alloc_cases.ml"
         (Filename.basename f.A.Finding.file))
     findings
+
+(* --- race pass -------------------------------------------------------------- *)
+
+let race_check ~scope units =
+  let aliases = A.Cmt_scan.alias_mods units in
+  let defs = A.Defs.collect aliases units in
+  let sup = A.Suppress.create () in
+  (A.Race.check ~sup ~scope defs units, sup)
+
+let in_file base findings =
+  List.filter (fun f -> Filename.basename f.A.Finding.file = base) findings
+
+let test_race_bad () =
+  let units = scan fixtures_root in
+  let { A.Race.findings; certified = _; sites }, sup =
+    race_check ~scope:[ "af_race_bad" ] units
+  in
+  Alcotest.(check (list string))
+    "expected rule multiset from the bad fixture"
+    [
+      "race-bare-suppression"; "race-callee"; "race-global-access";
+      "race-mutable-global"; "race-opaque-task"; "race-unsafe-capture";
+      "race-unsafe-capture";
+    ]
+    (rules_of (in_file "race_cases.ml" findings));
+  Alcotest.(check (list string))
+    "no findings outside the bad fixture" []
+    (List.filter
+       (fun r -> Filename.basename r <> "race_cases.ml")
+       (List.map (fun f -> f.A.Finding.file) findings));
+  Alcotest.(check bool)
+    (Printf.sprintf "pool/spawn sites were discovered (got %d)" sites)
+    true (sites >= 7);
+  (* the deliberately pointless [@shared_ok] on an int must come back stale *)
+  Alcotest.(check (list string))
+    "stale suppression reported" [ "suppress-stale" ]
+    (rules_of (in_file "race_cases.ml" (A.Suppress.stale sup)))
+
+let test_race_clean () =
+  let units = scan fixtures_root in
+  let { A.Race.findings; certified; _ }, sup =
+    race_check ~scope:[ "af_race_clean" ] units
+  in
+  Alcotest.(check (list string))
+    "clean fixture passes (captures, wrapper type, reasoned suppression)" []
+    (rules_of (in_file "clean_cases.ml" findings));
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s certified" name)
+        true (List.mem name certified))
+    [
+      "Af_race_clean__Clean_cases.clean_pure";
+      "Af_race_clean__Clean_cases.clean_calls";
+    ];
+  Alcotest.(check (list string))
+    "the reasoned suppression is used, not stale" []
+    (rules_of (in_file "clean_cases.ml" (A.Suppress.stale sup)))
 
 (* --- baseline matching ------------------------------------------------------ *)
 
@@ -174,14 +239,33 @@ let test_repo_clean () =
     let findings, _ = A.Layering.check layers units in
     Alcotest.(check (list string))
       "layering: real DAG matches layers.sexp" [] (rules_of findings));
-  let { A.Alloc.findings; verified } = A.Alloc.check aliases units in
+  let defs = A.Defs.collect aliases units in
+  let { A.Alloc.findings; verified } = A.Alloc.check defs in
   Alcotest.(check (list string))
     "alloc: all [@@alloc_free] bodies verify" [] (rules_of findings);
   Alcotest.(check bool)
     (Printf.sprintf "at least 5 verified hot-path functions (got %d)"
        (List.length verified))
     true
-    (List.length verified >= 5)
+    (List.length verified >= 5);
+  let sup = A.Suppress.create () in
+  let { A.Race.findings = race_findings; certified; sites } =
+    A.Race.check ~sup ~scope:A.Race.default_scope defs units
+  in
+  Alcotest.(check (list string))
+    "race: every pool boundary certified clean or reasoned" []
+    (rules_of race_findings);
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 3 certified domain-safe functions (got %d)"
+       (List.length certified))
+    true
+    (List.length certified >= 3);
+  Alcotest.(check bool)
+    (Printf.sprintf "pool call sites were actually checked (got %d)" sites)
+    true (sites >= 10);
+  Alcotest.(check (list string))
+    "suppress: no stale suppressions in lib/" []
+    (rules_of (A.Suppress.stale sup))
 
 let suite =
   [
@@ -192,6 +276,8 @@ let suite =
         Alcotest.test_case "layering: contracts" `Quick test_layering;
         Alcotest.test_case "layering: dot output" `Quick test_layering_dot;
         Alcotest.test_case "alloc: fixtures" `Quick test_alloc_fixtures;
+        Alcotest.test_case "race: bad fixture" `Quick test_race_bad;
+        Alcotest.test_case "race: clean fixture" `Quick test_race_clean;
         Alcotest.test_case "baseline matching" `Quick test_baseline;
         Alcotest.test_case "repo passes its own gates" `Quick test_repo_clean;
       ] );

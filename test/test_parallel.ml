@@ -71,6 +71,60 @@ let test_shutdown_idempotent () =
   Alcotest.(check (array int)) "post-shutdown map" [| 0; 2; 4 |]
     (Pool.map p ~f:(fun i -> 2 * i) 3)
 
+let test_try_map_isolation () =
+  (* one raising job lands in its own Error slot; every other index still
+     completes and the pool stays fully usable afterwards *)
+  Pool.run ~domains:4 (fun p ->
+      let results =
+        Pool.try_map p
+          ~f:(fun i -> if i = 13 then failwith "boom13" else 2 * i)
+          32
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (2 * i) v
+          | Error { Pool.exn; _ } ->
+            Alcotest.(check int) "only index 13 fails" 13 i;
+            Alcotest.(check string) "captured exception" "boom13"
+              (match exn with Failure m -> m | _ -> "<unexpected>"))
+        results;
+      Alcotest.(check int) "exactly one failed slot" 1
+        (Array.fold_left
+           (fun n r -> match r with Error _ -> n + 1 | Ok _ -> n)
+           0 results);
+      Alcotest.(check (array int)) "pool reusable" [| 0; 1; 2; 3 |]
+        (Pool.map p ~f:(fun i -> i) 4))
+
+(* --- domain-safety property ------------------------------------------------- *)
+
+(* a mutation-heavy task whose mutable state (bytes buffer, refs, array) is
+   all created inside the task body — exactly the discipline the static race
+   pass certifies; the property pins down that it really is domain-count
+   independent at runtime *)
+let churn seed i =
+  let b = Bytes.make 64 '\000' in
+  let acc = ref (seed lxor (i * 0x9E37)) in
+  let arr = Array.make 16 0 in
+  for k = 0 to 999 do
+    let j = k land 63 in
+    Bytes.set b j (Char.chr ((!acc lxor k) land 0xff));
+    arr.(k land 15) <- arr.(k land 15) + Char.code (Bytes.get b j);
+    acc := ((!acc * 1103515245) + 12345) land 0x3FFFFFFF
+  done;
+  Array.fold_left ( + ) !acc arr
+
+let prop_mutation_determinism =
+  QCheck.Test.make ~count:15
+    ~name:"pool: mutation-heavy map identical across domains 1/2/4"
+    QCheck.(pair (int_range 1 64) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let run domains =
+        Pool.run ~domains (fun p -> Pool.map p ~f:(fun i -> churn seed i) n)
+      in
+      let r1 = run 1 in
+      r1 = run 2 && r1 = run 4)
+
 (* --- harness determinism --------------------------------------------------- *)
 
 let run_experiment_with_jobs id jobs =
@@ -105,7 +159,9 @@ let suite =
         Alcotest.test_case "exception propagation" `Quick test_map_exception;
         Alcotest.test_case "nested maps" `Quick test_nested_map;
         Alcotest.test_case "map_reduce" `Quick test_map_reduce;
-        Alcotest.test_case "shutdown" `Quick test_shutdown_idempotent ] );
+        Alcotest.test_case "shutdown" `Quick test_shutdown_idempotent;
+        Alcotest.test_case "try_map isolation" `Quick test_try_map_isolation;
+        QCheck_alcotest.to_alcotest prop_mutation_determinism ] );
     ( "parallel.harness",
       [ Alcotest.test_case "jobs 1 = jobs 4 tables" `Slow test_jobs_determinism
       ] ) ]

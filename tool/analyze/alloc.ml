@@ -20,22 +20,6 @@
    as cold: their argument expressions (typically Printf.sprintf) are not
    checked, since they only run on the error path. *)
 
-type def = {
-  d_key : string;
-  d_expr : Typedtree.expression;
-  d_attrs : string list;
-  d_source : string;
-  d_modpath : string;
-}
-
-let has_attr name attrs =
-  List.exists
-    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
-    attrs
-
-let attr_names attrs =
-  List.map (fun (a : Parsetree.attribute) -> a.attr_name.txt) attrs
-
 (* --- callee classification ------------------------------------------------- *)
 
 let cold_raisers = [ "invalid_arg"; "failwith"; "raise"; "raise_notrace" ]
@@ -103,115 +87,14 @@ let is_known_allocating name =
          && String.sub name 0 (String.length p) = p)
        allocating_prefixes
 
-(* --- definition collection ------------------------------------------------- *)
-
-type tables = {
-  defs : (string, def) Hashtbl.t;
-  (* module-alias paths, e.g. "Nimbus_sim__Engine.Time" -> "Units__Time" *)
-  mod_aliases : (string, string) Hashtbl.t;
-  aliases : (string, unit) Hashtbl.t;  (* wrapped-library alias modules *)
-}
-
-let collect aliases (units : Cmt_scan.unit_info list) =
-  let t =
-    { defs = Hashtbl.create 512; mod_aliases = Hashtbl.create 64; aliases }
-  in
-  let rec collect_str ~modpath ~source (str : Typedtree.structure) =
-    List.iter (collect_item ~modpath ~source) str.str_items
-  and collect_item ~modpath ~source (item : Typedtree.structure_item) =
-    match item.str_desc with
-    | Tstr_value (_, vbs) ->
-      List.iter
-        (fun (vb : Typedtree.value_binding) ->
-          match vb.vb_pat.pat_desc with
-          | Tpat_var (_, { txt; _ }) ->
-            let d_key = modpath ^ "." ^ txt in
-            Hashtbl.replace t.defs d_key
-              {
-                d_key;
-                d_expr = vb.vb_expr;
-                d_attrs = attr_names vb.vb_attributes;
-                d_source = source;
-                d_modpath = modpath;
-              }
-          | _ -> ())
-        vbs
-    | Tstr_module mb -> collect_mb ~modpath ~source mb
-    | Tstr_recmodule mbs -> List.iter (collect_mb ~modpath ~source) mbs
-    | _ -> ()
-  and collect_mb ~modpath ~source (mb : Typedtree.module_binding) =
-    match mb.mb_name.txt with
-    | Some name -> collect_mod ~modpath:(modpath ^ "." ^ name) ~source mb.mb_expr
-    | None -> ()
-  and collect_mod ~modpath ~source (me : Typedtree.module_expr) =
-    match me.mod_desc with
-    | Tmod_structure str -> collect_str ~modpath ~source str
-    | Tmod_constraint (me, _, _, _) -> collect_mod ~modpath ~source me
-    | Tmod_ident (p, _) ->
-      Hashtbl.replace t.mod_aliases modpath
-        (Cmt_scan.normalize_name aliases (Path.name p))
-    | _ -> ()
-  in
-  List.iter
-    (fun (u : Cmt_scan.unit_info) ->
-      match u.str with
-      | Some str -> collect_str ~modpath:u.modname ~source:u.source str
-      | None -> ())
-    units;
-  t
-
-(* --- resolution ------------------------------------------------------------ *)
-
-let scopes_of modpath =
-  let parts = String.split_on_char '.' modpath in
-  let rec prefixes acc = function
-    | [] -> acc
-    | parts ->
-      let prefix = String.concat "." parts in
-      prefixes (prefix :: acc)
-        (match List.rev parts with _ :: tl -> List.rev tl | [] -> [])
-  in
-  (* longest (innermost) scope first *)
-  List.rev (prefixes [] parts)
-
-let rec expand_aliases t fuel name =
-  if fuel = 0 then name
-  else
-    let parts = String.split_on_char '.' name in
-    let n = List.length parts in
-    let rec try_prefix k =
-      if k <= 0 then name
-      else
-        let prefix = String.concat "." (List.filteri (fun i _ -> i < k) parts) in
-        match Hashtbl.find_opt t.mod_aliases prefix with
-        | Some target ->
-          let rest = List.filteri (fun i _ -> i >= k) parts in
-          expand_aliases t (fuel - 1) (String.concat "." (target :: rest))
-        | None -> try_prefix (k - 1)
-    in
-    try_prefix (n - 1)
-
-let resolve t ~modpath name =
-  let candidates = name :: List.map (fun s -> s ^ "." ^ name) (scopes_of modpath) in
-  let rec go = function
-    | [] -> None
-    | c :: rest -> (
-      match Hashtbl.find_opt t.defs c with
-      | Some d -> Some d
-      | None -> (
-        let expanded = expand_aliases t 5 c in
-        if not (String.equal expanded c) then
-          match Hashtbl.find_opt t.defs expanded with
-          | Some d -> Some d
-          | None -> go rest
-        else go rest))
-  in
-  go candidates
-
 (* --- the checker ----------------------------------------------------------- *)
 
+(* definition collection and name resolution live in {!Defs}, shared with
+   the race pass *)
+
 type state = {
-  tables : tables;
+  tables : Defs.t;
+  sup : Suppress.tracker option;
   verdicts : (string, Finding.t list) Hashtbl.t;
   in_progress : (string, unit) Hashtbl.t;
 }
@@ -220,7 +103,7 @@ let finding ~rule ~source (e : Typedtree.expression) message =
   Finding.v ~pass_:"alloc" ~rule ~file:source
     ~line:e.exp_loc.loc_start.pos_lnum message
 
-let rec verdict st (d : def) =
+let rec verdict st (d : Defs.vdef) =
   match Hashtbl.find_opt st.verdicts d.d_key with
   | Some fs -> fs
   | None ->
@@ -233,15 +116,38 @@ let rec verdict st (d : def) =
       fs
     end
 
-and check_def st (d : def) =
+and check_def st (d : Defs.vdef) =
   let findings = ref [] in
   let local_refs = Hashtbl.create 8 in
-  let add f = findings := f :: !findings in
+  let sink = ref (fun f -> findings := f :: !findings) in
+  let add f = !sink f in
+  (* count the findings a subtree would produce, without emitting them *)
+  let trial f =
+    let saved = !sink in
+    let n = ref 0 in
+    sink := (fun _ -> incr n);
+    Fun.protect ~finally:(fun () -> sink := saved) f;
+    !n
+  in
+  let sup_visited ~fallback ~fired (a : Parsetree.attribute) =
+    Option.iter
+      (fun t ->
+        Suppress.visited t ~attr:a.attr_name.txt ~file:d.d_source
+          ~line:(Suppress.attr_line ~fallback a)
+          ~reason:(Defs.attr_reason a) ~fired)
+      st.sup
+  in
   let source = d.d_source in
   let rec visit (e : Typedtree.expression) =
-    if has_attr "alloc_ok" e.exp_attributes then ()
-    else
-      match e.exp_desc with
+    match Defs.find_attr "alloc_ok" e.exp_attributes with
+    | Some a ->
+      (* trial-visit the exempted subtree so a suppression that no longer
+         suppresses anything is reported stale *)
+      let n = trial (fun () -> visit_core e) in
+      sup_visited ~fallback:e.exp_loc.loc_start.pos_lnum ~fired:(n > 0) a
+    | None -> visit_core e
+  and visit_core (e : Typedtree.expression) =
+    match e.exp_desc with
       | Texp_apply (fn, args) -> visit_apply e fn args
       | Texp_let (Nonrecursive, vbs, body) ->
         (* [let x = ref e in ...] (also [let a = ref _ and b = ref _]):
@@ -355,12 +261,21 @@ and check_def st (d : def) =
       end
       else if Hashtbl.mem whitelist name then visit_args args
       else begin
-        (match resolve st.tables ~modpath:d.d_modpath name with
+        (match Defs.resolve st.tables ~modpath:d.d_modpath name with
         | Some callee ->
-          if
-            List.mem "alloc_free" callee.d_attrs
-            || List.mem "alloc_ok" callee.d_attrs
-          then ()
+          if Defs.has_attr "alloc_free" callee.d_attrs then ()
+          else if Defs.has_attr "alloc_ok" callee.d_attrs then
+            (* binding-level [@@alloc_ok]: trusted without checking the
+               body; the trust itself counts as a use of the suppression *)
+            Option.iter
+              (fun a ->
+                Option.iter
+                  (fun t ->
+                    Suppress.visited t ~attr:"alloc_ok" ~file:callee.d_source
+                      ~line:(Suppress.attr_line ~fallback:callee.d_line a)
+                      ~reason:(Defs.attr_reason a) ~fired:true)
+                  st.sup)
+              (Defs.find_attr "alloc_ok" callee.d_attrs)
           else (
             match verdict st callee with
             | [] -> ()
@@ -433,16 +348,21 @@ type result = {
   verified : string list;  (* [@@alloc_free] definitions that checked clean *)
 }
 
-let check aliases units =
-  let tables = collect aliases units in
+let check ?sup (tables : Defs.t) =
   let st =
-    { tables; verdicts = Hashtbl.create 64; in_progress = Hashtbl.create 16 }
+    {
+      tables;
+      sup;
+      verdicts = Hashtbl.create 64;
+      in_progress = Hashtbl.create 16;
+    }
   in
   let annotated =
     Hashtbl.fold
-      (fun _ d acc -> if List.mem "alloc_free" d.d_attrs then d :: acc else acc)
+      (fun _ (d : Defs.vdef) acc ->
+        if Defs.has_attr "alloc_free" d.d_attrs then d :: acc else acc)
       tables.defs []
-    |> List.sort (fun a b -> String.compare a.d_key b.d_key)
+    |> List.sort (fun (a : Defs.vdef) b -> String.compare a.d_key b.d_key)
   in
   List.fold_left
     (fun acc d ->

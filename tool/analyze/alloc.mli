@@ -10,6 +10,7 @@ type result = {
   verified : string list;  (** [@@alloc_free] definitions that checked clean *)
 }
 
-val check : (string, unit) Hashtbl.t -> Cmt_scan.unit_info list -> result
-(** [check aliases units] analyzes every [@@alloc_free] definition in the
-    scanned units, resolving statically-known callees recursively. *)
+val check : ?sup:Suppress.tracker -> Defs.t -> result
+(** [check ?sup defs] analyzes every [@@alloc_free] definition in the
+    collected tables, resolving statically-known callees recursively;
+    [sup] tracks [@alloc_ok] staleness. *)

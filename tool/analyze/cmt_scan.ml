@@ -82,13 +82,21 @@ let load path =
   | exception exn -> Error (Printexc.to_string exn)
 
 let scan roots =
+  (* a library built in both modes leaves the same unit's .cmt under
+     .objs/byte/ and .objs/native/; scanning both would double every
+     finding, so each module name is kept once (byte sorts first) *)
+  let seen = Hashtbl.create 256 in
   let units = ref [] and errors = ref [] in
   List.iter
     (fun root ->
       walk root (fun path ->
           if Filename.check_suffix path ".cmt" then
             match load path with
-            | Ok u -> units := u :: !units
+            | Ok u ->
+              if not (Hashtbl.mem seen u.modname) then begin
+                Hashtbl.add seen u.modname ();
+                units := u :: !units
+              end
             | Error msg ->
               errors :=
                 Finding.v ~pass_:"analyze" ~rule:"cmt-read-error" ~file:path

@@ -56,46 +56,60 @@ let () =
      entry point"
     [ "Sys.getenv"; "Sys.getenv_opt"; "Sys.argv" ]
 
-let has_attr name attrs =
-  List.exists
-    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
-    attrs
-
 let default_scope = [ "nimbus_sim"; "nimbus_core"; "nimbus_dsp"; "nimbus_faults" ]
 
-let check_unit aliases (u : Cmt_scan.unit_info) =
+let check_unit ?sup aliases (u : Cmt_scan.unit_info) =
   match u.str with
   | None -> []
   | Some str ->
     let findings = ref [] in
-    let suppressed = ref 0 in
+    (* stack of active [@det_ok] frames; a banned ident under one marks the
+       innermost frame as having suppressed something *)
+    let frames = ref [] in
     let expr self (e : Typedtree.expression) =
-      let here_suppressed = has_attr "det_ok" e.exp_attributes in
-      if here_suppressed then incr suppressed;
-      (if !suppressed = 0 then
-         match e.exp_desc with
-         | Texp_ident (p, _, _) -> (
-           let name = Cmt_scan.normalize_path aliases p in
-           match Hashtbl.find_opt banned name with
-           | Some (rule, msg) ->
-             findings :=
-               Finding.v ~pass_:"determinism" ~rule ~file:u.source
-                 ~line:e.exp_loc.loc_start.pos_lnum
-                 (Printf.sprintf "%s: %s" name msg)
-               :: !findings
-           | None -> ())
-         | _ -> ());
+      let frame =
+        match Defs.find_attr "det_ok" e.exp_attributes with
+        | Some a ->
+          let fired = ref false in
+          frames := fired :: !frames;
+          Some (a, e.exp_loc.loc_start.pos_lnum, fired)
+        | None -> None
+      in
+      (match e.exp_desc with
+      | Texp_ident (p, _, _) -> (
+        let name = Cmt_scan.normalize_path aliases p in
+        match Hashtbl.find_opt banned name with
+        | Some (rule, msg) -> (
+          match !frames with
+          | fired :: _ -> fired := true
+          | [] ->
+            findings :=
+              Finding.v ~pass_:"determinism" ~rule ~file:u.source
+                ~line:e.exp_loc.loc_start.pos_lnum
+                (Printf.sprintf "%s: %s" name msg)
+              :: !findings)
+        | None -> ())
+      | _ -> ());
       Tast_iterator.default_iterator.expr self e;
-      if here_suppressed then decr suppressed
+      match frame with
+      | Some (a, fallback, fired) ->
+        frames := List.tl !frames;
+        Option.iter
+          (fun t ->
+            Suppress.visited t ~attr:"det_ok" ~file:u.source
+              ~line:(Suppress.attr_line ~fallback a)
+              ~reason:(Defs.attr_reason a) ~fired:!fired)
+          sup
+      | None -> ()
     in
     let iter = { Tast_iterator.default_iterator with expr } in
     iter.structure iter str;
     List.rev !findings
 
-let check ~scope aliases units =
+let check ?sup ~scope aliases units =
   List.concat_map
     (fun (u : Cmt_scan.unit_info) ->
       match u.lib with
-      | Some lib when List.mem lib scope -> check_unit aliases u
+      | Some lib when List.mem lib scope -> check_unit ?sup aliases u
       | _ -> [])
     units

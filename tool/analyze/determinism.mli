@@ -7,9 +7,10 @@ val default_scope : string list
     reachable from an engine run. *)
 
 val check :
+  ?sup:Suppress.tracker ->
   scope:string list ->
   (string, unit) Hashtbl.t ->
   Cmt_scan.unit_info list ->
   Finding.t list
-(** [check ~scope aliases units] checks every implementation unit whose
-    owning library is in [scope]. *)
+(** [check ?sup ~scope aliases units] checks every implementation unit whose
+    owning library is in [scope]; [sup] tracks [@det_ok] staleness. *)

@@ -1,0 +1,49 @@
+(* Each bad_* definition must produce the race-pass finding named in its
+   comment; the test suite checks the exact rule multiset. *)
+
+module Pool = Nimbus_parallel.Pool
+
+(* race-mutable-global: module-level mutable state in a swept library *)
+let shared_table : (int, int) Hashtbl.t = Hashtbl.create 16
+
+(* race-unsafe-capture: the task closure captures a local ref *)
+let bad_capture pool =
+  let acc = ref 0 in
+  Pool.map pool
+    ~f:(fun i ->
+      acc := !acc + i;
+      !acc)
+    4
+
+(* race-unsafe-capture through Domain.spawn as well *)
+let bad_spawn () =
+  let cell = ref 0 in
+  Domain.spawn (fun () -> incr cell)
+
+let helper i = Hashtbl.length shared_table + i
+
+(* race-opaque-task: the task is not a literal closure and helper is not
+   certified [@@domain_safe] *)
+let bad_opaque pool = Pool.map pool ~f:helper 4
+
+(* race-global-access: a certified body reaches the mutable global *)
+let bad_global i =
+  Hashtbl.replace shared_table i i
+[@@domain_safe "wrongly claimed: writes shared_table without a lock"]
+
+(* race-callee: a certified body calls an uncertified, unsafe callee *)
+let bad_callee i = helper i [@@domain_safe "wrongly claimed: helper is not"]
+
+(* race-bare-suppression: [@shared_ok] without a reason string *)
+let bad_bare pool =
+  let buf = Buffer.create 8 in
+  Pool.map pool
+    ~f:(fun i ->
+      Buffer.add_char (buf [@shared_ok]) 'x';
+      i)
+    2
+
+(* suppress-stale: the suppression suppresses nothing (k is an int) *)
+let bad_stale pool =
+  let k = 5 in
+  Pool.map pool ~f:(fun i -> i * (k [@shared_ok "k is immutable"])) 2

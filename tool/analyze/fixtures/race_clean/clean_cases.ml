@@ -1,0 +1,42 @@
+(* The race pass must stay silent on everything here, and certify both
+   clean_pure and clean_calls. *)
+
+module Pool = Nimbus_parallel.Pool
+
+(* immutable toplevel constant: the mutable-global sweep must stay silent *)
+let base = 17
+
+(* a mutex-guarded wrapper, trusted via the type-level attribute *)
+type guarded = {
+  gm : Mutex.t;
+  mutable count : int;
+}
+[@@domain_safe "count is only ever touched under gm"]
+
+let bump g =
+  Mutex.lock g.gm;
+  g.count <- g.count + 1;
+  Mutex.unlock g.gm
+
+let clean_pure i = (i * 31) + base
+[@@domain_safe "pure arithmetic over its argument and an immutable constant"]
+
+let clean_calls i = clean_pure i + 1
+[@@domain_safe "only calls certified code"]
+
+(* captures: an int (safe), a guarded value (trusted type), and two
+   module-level functions (exempt here; covered by certification) *)
+let clean_capture pool (g : guarded) =
+  let scale = 3 in
+  Pool.map pool
+    ~f:(fun i ->
+      bump g;
+      clean_pure (scale * i))
+    4
+
+(* an unsafe capture carrying an auditable reason *)
+let clean_reasoned pool (xs : int array) =
+  Pool.map pool
+    ~f:(fun i ->
+      (xs [@shared_ok "read-only here; each task reads a disjoint index"]).(i))
+    (Array.length xs)

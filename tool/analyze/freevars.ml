@@ -1,0 +1,84 @@
+(* Free-variable computation over typedtree expressions.
+
+   Idents carry globally unique stamps, so "free" is exact: collect every
+   ident bound by a pattern (or a for-loop header) anywhere inside the
+   expression, collect every [Texp_ident (Pident _)] occurrence, and keep
+   the occurrences whose ident is not in the bound set.  The race pass uses
+   this to find what a task closure captures from its environment. *)
+
+type occ = {
+  o_id : Ident.t;
+  o_type : Types.type_expr;
+  o_line : int;
+  o_attrs : Parsetree.attributes;
+}
+
+let bound_idents (e : Typedtree.expression) =
+  let tbl = Hashtbl.create 32 in
+  let add id = Hashtbl.replace tbl (Ident.unique_name id) () in
+  let pat : type k. Tast_iterator.iterator -> k Typedtree.general_pattern -> unit
+      =
+   fun self p ->
+    (match p.pat_desc with
+    | Tpat_var (id, _) -> add id
+    | Tpat_alias (_, id, _) -> add id
+    | _ -> ());
+    Tast_iterator.default_iterator.pat self p
+  in
+  let expr self (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_for (id, _, _, _, _, _) -> add id
+    | Texp_letop { let_; ands; param; _ } ->
+      add param;
+      ignore let_;
+      ignore ands
+    | _ -> ());
+    Tast_iterator.default_iterator.expr self e
+  in
+  let it = { Tast_iterator.default_iterator with pat; expr } in
+  it.expr it e;
+  tbl
+
+let occurrences (e : Typedtree.expression) =
+  let occs = ref [] in
+  let expr self (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) ->
+      occs :=
+        {
+          o_id = id;
+          o_type = e.exp_type;
+          o_line = e.exp_loc.loc_start.pos_lnum;
+          o_attrs = e.exp_attributes;
+        }
+        :: !occs
+    | _ -> ());
+    Tast_iterator.default_iterator.expr self e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it e;
+  List.rev !occs
+
+(* Free occurrences, in traversal order, grouped by ident (first occurrence
+   first); each group keeps every occurrence so suppression attributes on
+   any one of them can be honoured. *)
+let free (e : Typedtree.expression) =
+  let bound = bound_idents e in
+  let free_occs =
+    List.filter
+      (fun o -> not (Hashtbl.mem bound (Ident.unique_name o.o_id)))
+      (occurrences e)
+  in
+  let seen = Hashtbl.create 16 in
+  let groups = ref [] in
+  List.iter
+    (fun o ->
+      let key = Ident.unique_name o.o_id in
+      match Hashtbl.find_opt seen key with
+      | Some cell -> cell := o :: !cell
+      | None ->
+        let cell = ref [ o ] in
+        Hashtbl.replace seen key cell;
+        groups := (key, cell) :: !groups)
+    free_occs;
+  List.rev_map (fun (_, cell) -> List.rev !cell) !groups

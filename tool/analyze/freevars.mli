@@ -1,0 +1,18 @@
+(** Free-variable computation over typedtree expressions (exact, by ident
+    stamp).  Used by the race pass to find what a task closure captures. *)
+
+(** One occurrence of a free ident. *)
+type occ = {
+  o_id : Ident.t;
+  o_type : Types.type_expr;  (** instantiated type at the occurrence *)
+  o_line : int;
+  o_attrs : Parsetree.attributes;
+}
+
+(** [bound_idents e] is the set (by [Ident.unique_name]) of every ident
+    bound by a pattern or for-loop header inside [e]. *)
+val bound_idents : Typedtree.expression -> (string, unit) Hashtbl.t
+
+(** [free e] groups the free-ident occurrences of [e] by ident, in first-
+    occurrence order; each group is non-empty and ordered by position. *)
+val free : Typedtree.expression -> occ list list

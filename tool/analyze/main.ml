@@ -1,10 +1,18 @@
 (* Driver for the analysis suite.
 
-   Runs four passes and merges their findings:
+   Runs six passes and merges their findings:
      - parsetree : source-text lint rules (migrated from tool/lint)
      - determinism : banned ambient-state escapes in simulation-reachable libs
      - layering : cmt-imports DAG checked against tool/analyze/layers.sexp
      - alloc : [@@alloc_free] bodies verified allocation-free
+     - race : pool-boundary capture checks, [@@domain_safe] certification,
+       module-level mutable-state sweep
+     - suppress : visited [@det_ok]/[@alloc_ok]/[@shared_ok] suppressions
+       that no longer suppress anything
+
+   --pass NAME (repeatable) runs a subset; the suppress pass only reports
+   on suppressions the selected passes actually visited.  --suppressions
+   lists every suppression attribute with its status and exits 0.
 
    Exit code is 1 iff any finding is not covered by the baseline file.
    --json writes the machine-readable JSONL report; --dot writes the
@@ -14,7 +22,12 @@ open Nimbus_analyze
 
 let usage =
   "analyze [--src-root DIR]... [--cmt-root DIR]... [--layers FILE] \
-   [--baseline FILE] [--json FILE] [--dot FILE] [--det-libs a,b] [--quiet]"
+   [--baseline FILE] [--json FILE] [--dot FILE] [--det-libs a,b] \
+   [--race-libs a,b] [--pass NAME]... [--suppressions] [--quiet]\n\n\
+   pass names: parsetree determinism layering alloc race suppress"
+
+let pass_names =
+  [ "parsetree"; "determinism"; "layering"; "alloc"; "race"; "suppress" ]
 
 let () =
   let src_roots = ref [] in
@@ -24,6 +37,9 @@ let () =
   let json_file = ref "" in
   let dot_file = ref "" in
   let det_libs = ref Determinism.default_scope in
+  let race_libs = ref Race.default_scope in
+  let passes = ref [] in
+  let list_suppressions = ref false in
   let quiet = ref false in
   let spec =
     [
@@ -44,47 +60,129 @@ let () =
          (fun s -> det_libs := String.split_on_char ',' s
                                |> List.filter (fun l -> l <> "")),
        "a,b override the determinism-pass library scope");
-      ("--quiet", Arg.Set quiet, " only print the summary line");
+      ("--race-libs",
+       Arg.String
+         (fun s -> race_libs := String.split_on_char ',' s
+                                |> List.filter (fun l -> l <> "")),
+       "a,b override the race-pass mutable-global sweep scope");
+      ("--pass",
+       Arg.String
+         (fun p ->
+           if not (List.mem p pass_names) then
+             raise
+               (Arg.Bad
+                  (Printf.sprintf "unknown pass %S (expected one of: %s)" p
+                     (String.concat " " pass_names)));
+           passes := p :: !passes),
+       "NAME run only the named pass (repeatable); stale-baseline \
+        reporting is disabled under a filter");
+      ("--suppressions", Arg.Set list_suppressions,
+       " list every [@det_ok]/[@alloc_ok]/[@shared_ok] with file:line, \
+        reason, and status, then exit 0");
+      ("--quiet", Arg.Set quiet, " only print the summary lines");
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     usage;
   let src_roots = List.rev !src_roots and cmt_roots = List.rev !cmt_roots in
+  let filtered = !passes <> [] in
+  let enabled p = (not filtered) || List.mem p !passes in
+
+  let pass_stats = ref [] in
+  let timed name f =
+    let t0 = Sys.time () in
+    let r, count = f () in
+    pass_stats := (name, count, Sys.time () -. t0) :: !pass_stats;
+    r
+  in
 
   (* parsetree pass *)
-  let parsetree_findings = Rules.check_tree src_roots in
+  let parsetree_findings =
+    if not (enabled "parsetree") then []
+    else
+      timed "parsetree" (fun () ->
+          let fs = Rules.check_tree src_roots in
+          (fs, List.length fs))
+  in
 
   (* cmt-backed passes *)
   let units, scan_findings = Cmt_scan.scan cmt_roots in
   let aliases = Cmt_scan.alias_mods units in
-  let det_findings = Determinism.check ~scope:!det_libs aliases units in
-  let layer_findings, edges, layers =
-    if !layers_file = "" then ([], [], [])
+  let defs = Defs.collect aliases units in
+  let sup = Suppress.create () in
+  let det_findings =
+    if not (enabled "determinism") then []
     else
-      match Layering.parse_layers (Sexp.load !layers_file) with
-      | Ok layers ->
-        let fs, edges = Layering.check layers units in
-        (fs, edges, layers)
-      | Error msg ->
-        ( [
-            Finding.v ~pass_:"layering" ~rule:"layer-bad-contract"
-              ~file:!layers_file ~line:1 msg;
-          ],
-          [], [] )
-      | exception Sexp.Parse_error msg ->
-        ( [
-            Finding.v ~pass_:"layering" ~rule:"layer-bad-contract"
-              ~file:!layers_file ~line:1 msg;
-          ],
-          [], [] )
+      timed "determinism" (fun () ->
+          let fs = Determinism.check ~sup ~scope:!det_libs aliases units in
+          (fs, List.length fs))
   in
-  let alloc_result = Alloc.check aliases units in
+  let layer_findings, edges, layers =
+    if (not (enabled "layering")) || !layers_file = "" then ([], [], [])
+    else
+      timed "layering" (fun () ->
+          let r =
+            match Layering.parse_layers (Sexp.load !layers_file) with
+            | Ok layers ->
+              let fs, edges = Layering.check layers units in
+              (fs, edges, layers)
+            | Error msg ->
+              ( [
+                  Finding.v ~pass_:"layering" ~rule:"layer-bad-contract"
+                    ~file:!layers_file ~line:1 msg;
+                ],
+                [], [] )
+            | exception Sexp.Parse_error msg ->
+              ( [
+                  Finding.v ~pass_:"layering" ~rule:"layer-bad-contract"
+                    ~file:!layers_file ~line:1 msg;
+                ],
+                [], [] )
+          in
+          let fs, _, _ = r in
+          (r, List.length fs))
+  in
+  let alloc_result =
+    if not (enabled "alloc") then { Alloc.findings = []; verified = [] }
+    else
+      timed "alloc" (fun () ->
+          let r = Alloc.check ~sup defs in
+          (r, List.length r.Alloc.findings))
+  in
+  let race_result =
+    if not (enabled "race") then
+      { Race.findings = []; certified = []; sites = 0 }
+    else
+      timed "race" (fun () ->
+          let r = Race.check ~sup ~scope:!race_libs defs units in
+          (r, List.length r.Race.findings))
+  in
+  let suppress_findings =
+    if not (enabled "suppress") then []
+    else
+      timed "suppress" (fun () ->
+          let fs = Suppress.stale sup in
+          (fs, List.length fs))
+  in
+
+  if !list_suppressions then begin
+    List.iter
+      (fun (l : Suppress.listed) ->
+        Printf.printf "%s:%d: [@%s%s] %s\n" l.l_file l.l_line l.l_attr
+          (match l.l_reason with
+          | Some r -> Printf.sprintf " %S" r
+          | None -> " <no reason>")
+          (Suppress.status_string (Suppress.status sup l)))
+      (Suppress.collect units);
+    exit 0
+  end;
 
   let findings =
     List.sort Finding.compare
       (parsetree_findings @ scan_findings @ det_findings @ layer_findings
-     @ alloc_result.Alloc.findings)
+     @ alloc_result.Alloc.findings @ race_result.Race.findings
+     @ suppress_findings)
   in
 
   (* baseline split *)
@@ -116,15 +214,24 @@ let () =
    end);
   if not !quiet then begin
     List.iter (fun f -> Format.printf "%a@." Finding.pp f) fresh;
-    List.iter
-      (fun (e : Baseline.entry) ->
-        Format.printf "analyze: stale baseline entry (no matching finding): %s@."
-          e.key)
-      stale
+    if not filtered then
+      List.iter
+        (fun (e : Baseline.entry) ->
+          Format.printf
+            "analyze: stale baseline entry (no matching finding): %s@." e.key)
+        stale
   end;
+  List.iter
+    (fun (name, count, secs) ->
+      Printf.printf "analyze: pass %-11s %3d finding(s) in %.2fs\n" name count
+        secs)
+    (List.rev !pass_stats);
   Printf.printf
     "analyze: %d finding(s) (%d baselined, %d alloc-free function(s) \
-     verified)\n"
+     verified, %d domain-safe function(s) certified, %d pool site(s) \
+     checked)\n"
     (List.length findings) (List.length accepted)
-    (List.length alloc_result.Alloc.verified);
+    (List.length alloc_result.Alloc.verified)
+    (List.length race_result.Race.certified)
+    race_result.Race.sites;
   if fresh <> [] then exit 1

@@ -1,0 +1,26 @@
+(** Race / domain-safety pass.
+
+    Capture analysis at every pool entry point ([Pool.map] / [try_map] /
+    [map_reduce] / [submit], [Common.map_cases] / [run_seeds],
+    [Domain.spawn]), transitive [@@domain_safe] function certification,
+    and a sweep for module-level mutable state in the simulation-reachable
+    libraries.  Suppressed with reasoned [@shared_ok "why"] attributes,
+    tracked by {!Suppress}. *)
+
+type result = {
+  findings : Finding.t list;
+  certified : string list;
+      (** [@@domain_safe] definitions that verified clean, sorted *)
+  sites : int;  (** pool entry-point call sites capture-checked *)
+}
+
+(** [check ?sup ~scope defs units] runs all three sub-rules; [scope] is the
+    library list swept for module-level mutable state. *)
+val check :
+  ?sup:Suppress.tracker ->
+  scope:string list ->
+  Defs.t ->
+  Cmt_scan.unit_info list ->
+  result
+
+val default_scope : string list

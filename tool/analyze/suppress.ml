@@ -1,0 +1,142 @@
+(* Suppression accounting, shared by the determinism, alloc, and race
+   passes.
+
+   Every pass that honours an escape-hatch attribute ([@det_ok] /
+   [@alloc_ok] / [@shared_ok]) reports two events here: [see] when the pass
+   *visits* a suppression (so its effect is decidable this run) and [use]
+   when the suppression actually prevented at least one finding.  A visited
+   suppression that suppressed nothing is *stale* — dead weight that would
+   hide a future regression — and is reported as a finding of its own, so
+   the escape hatches cannot rot.
+
+   Separately, [collect] scans every unit for all suppression attributes
+   (whether or not any pass visited them) to power `analyze
+   --suppressions`, the audit listing of every escape hatch with its
+   file:line and reason. *)
+
+type entry = {
+  s_attr : string;
+  s_file : string;
+  s_line : int;
+  s_reason : string option;
+  mutable s_used : bool;
+}
+
+type tracker = { seen : (string * string * int, entry) Hashtbl.t }
+
+let create () = { seen = Hashtbl.create 64 }
+
+(* the canonical line of a suppression is the attribute's own location (the
+   carrying expression may span several lines); both the passes and
+   [collect] must use this so their records line up *)
+let attr_line ~fallback (a : Parsetree.attribute) =
+  let l = a.attr_loc.loc_start.pos_lnum in
+  if l > 0 then l else fallback
+
+let see t ~attr ~file ~line ~reason =
+  let key = (attr, file, line) in
+  if not (Hashtbl.mem t.seen key) then
+    Hashtbl.replace t.seen key
+      { s_attr = attr; s_file = file; s_line = line; s_reason = reason;
+        s_used = false }
+
+let use t ~attr ~file ~line =
+  match Hashtbl.find_opt t.seen (attr, file, line) with
+  | Some e -> e.s_used <- true
+  | None ->
+    Hashtbl.replace t.seen (attr, file, line)
+      { s_attr = attr; s_file = file; s_line = line; s_reason = None;
+        s_used = true }
+
+(* convenience: record a visited suppression and mark it used iff it
+   prevented at least one finding *)
+let visited t ~attr ~file ~line ~reason ~fired =
+  see t ~attr ~file ~line ~reason;
+  if fired then use t ~attr ~file ~line
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.seen []
+  |> List.sort (fun a b ->
+         match String.compare a.s_file b.s_file with
+         | 0 -> Int.compare a.s_line b.s_line
+         | c -> c)
+
+let stale t =
+  List.filter_map
+    (fun e ->
+      if e.s_used then None
+      else
+        Some
+          (Finding.v ~pass_:"suppress" ~rule:"suppress-stale" ~file:e.s_file
+             ~line:e.s_line
+             (Printf.sprintf
+                "[@%s%s] no longer suppresses any finding; remove it"
+                e.s_attr
+                (match e.s_reason with
+                | Some r -> Printf.sprintf " %S" r
+                | None -> ""))))
+    (entries t)
+
+(* --- the audit listing ------------------------------------------------------ *)
+
+let suppression_attrs = [ "det_ok"; "alloc_ok"; "shared_ok" ]
+
+type listed = {
+  l_attr : string;
+  l_file : string;
+  l_line : int;
+  l_reason : string option;
+}
+
+let collect (units : Cmt_scan.unit_info list) =
+  let out = ref [] in
+  let add ~file ~line (a : Parsetree.attribute) =
+    if List.mem a.attr_name.txt suppression_attrs then
+      out :=
+        { l_attr = a.attr_name.txt; l_file = file;
+          l_line = attr_line ~fallback:line a;
+          l_reason = Defs.attr_reason a }
+        :: !out
+  in
+  List.iter
+    (fun (u : Cmt_scan.unit_info) ->
+      match u.str with
+      | None -> ()
+      | Some str ->
+        let file = u.source in
+        let expr self (e : Typedtree.expression) =
+          List.iter (add ~file ~line:e.exp_loc.loc_start.pos_lnum)
+            e.exp_attributes;
+          Tast_iterator.default_iterator.expr self e
+        in
+        let value_binding self (vb : Typedtree.value_binding) =
+          List.iter (add ~file ~line:vb.vb_loc.loc_start.pos_lnum)
+            vb.vb_attributes;
+          Tast_iterator.default_iterator.value_binding self vb
+        in
+        let it =
+          { Tast_iterator.default_iterator with expr; value_binding }
+        in
+        it.structure it str)
+    units;
+  List.sort_uniq
+    (fun a b ->
+      match String.compare a.l_file b.l_file with
+      | 0 -> (
+        match Int.compare a.l_line b.l_line with
+        | 0 -> String.compare a.l_attr b.l_attr
+        | c -> c)
+      | c -> c)
+    !out
+
+type status = Used | Stale | Unvisited
+
+let status t (l : listed) =
+  match Hashtbl.find_opt t.seen (l.l_attr, l.l_file, l.l_line) with
+  | Some e -> if e.s_used then Used else Stale
+  | None -> Unvisited
+
+let status_string = function
+  | Used -> "used"
+  | Stale -> "STALE"
+  | Unvisited -> "unvisited"

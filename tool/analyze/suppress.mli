@@ -1,0 +1,49 @@
+(** Suppression accounting shared by the determinism, alloc, and race
+    passes: which [@det_ok]/[@alloc_ok]/[@shared_ok] escapes were visited,
+    which actually suppressed a finding, and which are stale. *)
+
+type tracker
+
+val create : unit -> tracker
+
+(** Canonical line of a suppression attribute (its own location, falling
+    back to the carrying node's line for ghost locations).  Passes and
+    {!collect} must agree on this for staleness to line up. *)
+val attr_line : fallback:int -> Parsetree.attribute -> int
+
+(** [see t ~attr ~file ~line ~reason] records that a pass visited a
+    suppression, i.e. its effect was decidable this run. *)
+val see :
+  tracker -> attr:string -> file:string -> line:int -> reason:string option ->
+  unit
+
+(** [use t ~attr ~file ~line] records that the suppression prevented at
+    least one finding. *)
+val use : tracker -> attr:string -> file:string -> line:int -> unit
+
+(** [visited t ... ~fired] is [see] followed by [use] when [fired]. *)
+val visited :
+  tracker -> attr:string -> file:string -> line:int ->
+  reason:string option -> fired:bool -> unit
+
+(** Visited suppressions that suppressed nothing, as findings
+    (pass ["suppress"], rule ["suppress-stale"]). *)
+val stale : tracker -> Finding.t list
+
+(** One suppression attribute found in the scanned units (for the
+    [--suppressions] audit listing). *)
+type listed = {
+  l_attr : string;
+  l_file : string;
+  l_line : int;
+  l_reason : string option;
+}
+
+(** Every suppression attribute in the scanned units, sorted and deduped. *)
+val collect : Cmt_scan.unit_info list -> listed list
+
+type status = Used | Stale | Unvisited
+
+val status : tracker -> listed -> status
+
+val status_string : status -> string

@@ -1,0 +1,202 @@
+(* Domain-safety type classifier.
+
+   A value may be shared across domains only if its type is *domain-safe*:
+   built from immutables (int/float/string/immutable records and variants),
+   [Atomic.t] over a safe payload, synchronisation primitives themselves
+   (Mutex/Condition/Semaphore), or a type whose declaration is explicitly
+   certified [@@domain_safe "why"] (the escape hatch for mutex-guarded
+   wrappers the checker cannot see through).  Everything else — [ref],
+   [array], [Bytes.t], [Hashtbl.t], [Buffer.t], mutable record fields, and
+   anything transitively built from those (a [Rng.t], an [Fft.Plan.t], the
+   trace ring) — is *domain-unsafe*.
+
+   Classification is structural, not environment-based: project type
+   declarations come from the scanned cmts via {!Defs.resolve_type} (so no
+   compiler environments have to be reconstructed), and a name table covers
+   the stdlib.  Function types classify unsafe: a closure may capture
+   arbitrary mutable state, and nothing about an arrow type bounds it.
+   Abstract types whose declaration is not in the scanned set classify
+   unsafe too — opacity is not a safety argument. *)
+
+type verdict =
+  | Safe
+  | Unsafe of string  (* human-readable reason *)
+
+let stdlib_safe =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun n -> Hashtbl.replace tbl n ())
+    [
+      "int"; "float"; "bool"; "char"; "unit"; "string"; "int32"; "int64";
+      "nativeint"; "exn"; "Mutex.t"; "Condition.t"; "Semaphore.Counting.t";
+      "Semaphore.Binary.t"; "Domain.id"; "Printexc.raw_backtrace";
+      "Complex.t"; "Uchar.t"; "Format.formatter";
+    ];
+  tbl
+
+let stdlib_unsafe =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (n, why) -> Hashtbl.replace tbl n why)
+    [
+      ("ref", "mutable reference cell");
+      ("array", "mutable array");
+      ("floatarray", "mutable float array");
+      ("bytes", "mutable byte buffer");
+      ("Hashtbl.t", "unsynchronised hash table");
+      ("Buffer.t", "unsynchronised buffer");
+      ("Queue.t", "unsynchronised queue");
+      ("Stack.t", "unsynchronised stack");
+      ("Random.State.t", "mutable PRNG state");
+      ("Seq.t", "suspended computation (may capture mutable state)");
+      ("Lazy.t", "lazy cell (forcing from two domains races)");
+      ("lazy_t", "lazy cell (forcing from two domains races)");
+      ("in_channel", "shared I/O channel");
+      ("out_channel", "shared I/O channel");
+      ("Ephemeron.K1.t", "ephemeron");
+      ("Weak.t", "weak array");
+    ];
+  tbl
+
+(* containers safe iff every type argument is safe *)
+let stdlib_per_arg =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun n -> Hashtbl.replace tbl n ())
+    [ "list"; "option"; "result"; "Either.t"; "Atomic.t" ];
+  tbl
+
+let fuel_limit = 60
+
+let classify (defs : Defs.t) ~modpath (ty0 : Types.type_expr) =
+  (* [visited] breaks recursive declarations coinductively: re-entering a
+     declaration already on the stack contributes no new unsafety *)
+  let visited = Hashtbl.create 8 in
+  let rec go ~fuel subst ty =
+    if fuel <= 0 then Unsafe "type too deep to classify"
+    else
+      let fuel = fuel - 1 in
+      match Types.get_desc ty with
+      | Tvar _ | Tunivar _ -> (
+        match
+          List.assq_opt (Types.Transient_expr.repr ty) subst
+        with
+        | Some arg -> go ~fuel [] arg
+        | None -> Unsafe "polymorphic value of statically unknown type")
+      | Tarrow _ ->
+        Unsafe "function value; it may close over unsynchronised mutable state"
+      | Ttuple tys -> first ~fuel subst tys
+      | Tpoly (ty, _) -> go ~fuel subst ty
+      | Tconstr (p, args, _) -> constr ~fuel subst p args
+      | Tvariant row ->
+        first ~fuel subst
+          (List.concat_map
+             (fun (_, (f : Types.row_field)) ->
+               match Types.row_field_repr f with
+               | Types.Rpresent (Some ty) -> [ ty ]
+               | Types.Reither (_, tys, _) -> tys
+               | _ -> [])
+             (Types.row_fields row))
+      | Tobject _ | Tfield _ | Tnil -> Unsafe "object (mutable by nature)"
+      | Tpackage _ -> Unsafe "first-class module of unknown content"
+      | Tlink _ | Tsubst _ -> assert false (* collapsed by get_desc *)
+  and first ~fuel subst = function
+    | [] -> Safe
+    | ty :: rest -> (
+      match go ~fuel subst ty with
+      | Safe -> first ~fuel subst rest
+      | Unsafe _ as u -> u)
+  and constr ~fuel subst p args =
+    (* instance arguments may themselves mention outer params *)
+    let args = List.map (subst_shallow subst) args in
+    let name = Cmt_scan.normalize_name defs.Defs.aliases (Path.name p) in
+    if Hashtbl.mem stdlib_safe name then Safe
+    else
+      match Hashtbl.find_opt stdlib_unsafe name with
+      | Some why -> Unsafe (Printf.sprintf "%s is a %s" name why)
+      | None ->
+        if Hashtbl.mem stdlib_per_arg name then first ~fuel subst args
+        else (
+          match Defs.resolve_type defs ~modpath name with
+          | None ->
+            Unsafe
+              (Printf.sprintf
+                 "type %s has no declaration in the scanned set and cannot \
+                  be proven domain-safe"
+                 name)
+          | Some td -> decl ~fuel td args)
+  and subst_shallow subst ty =
+    match Types.get_desc ty with
+    | Tvar _ -> (
+      match List.assq_opt (Types.Transient_expr.repr ty) subst with
+      | Some arg -> arg
+      | None -> ty)
+    | _ -> ty
+  and decl ~fuel (td : Defs.tdecl) args =
+    if Defs.has_attr "domain_safe" td.t_attrs then Safe
+    else if Hashtbl.mem visited td.t_key then Safe
+    else begin
+      Hashtbl.replace visited td.t_key ();
+      let subst =
+        if List.length td.t_params = List.length args then
+          List.map2
+            (fun p a -> (Types.Transient_expr.repr p, a))
+            td.t_params args
+        else []
+      in
+      let v =
+        match td.t_kind with
+        | Ttype_record labels -> record ~fuel ~key:td.t_key subst labels
+        | Ttype_variant cstrs ->
+          let payloads =
+            List.concat_map
+              (fun (cd : Typedtree.constructor_declaration) ->
+                match cd.cd_args with
+                | Cstr_tuple cts ->
+                  List.map (fun ct -> `Ty ct.Typedtree.ctyp_type) cts
+                | Cstr_record labels -> [ `Labels labels ])
+              cstrs
+          in
+          List.fold_left
+            (fun acc payload ->
+              match acc with
+              | Unsafe _ -> acc
+              | Safe -> (
+                match payload with
+                | `Ty ty -> go ~fuel subst ty
+                | `Labels labels -> record ~fuel ~key:td.t_key subst labels))
+            Safe payloads
+        | Ttype_open -> Unsafe (td.t_key ^ " is an open (extensible) type")
+        | Ttype_abstract -> (
+          match td.t_manifest with
+          | Some ty -> go ~fuel subst ty
+          | None ->
+            Unsafe
+              (Printf.sprintf "abstract type %s has no visible structure"
+                 td.t_key))
+      in
+      Hashtbl.remove visited td.t_key;
+      v
+    end
+  and record ~fuel ~key subst (labels : Typedtree.label_declaration list) =
+    let rec check = function
+      | [] -> Safe
+      | (ld : Typedtree.label_declaration) :: rest -> (
+        match ld.ld_mutable with
+        | Mutable ->
+          Unsafe
+            (Printf.sprintf "%s has a mutable field %s" key ld.ld_name.txt)
+        | Immutable -> (
+          match go ~fuel subst ld.ld_type.ctyp_type with
+          | Safe -> check rest
+          | Unsafe why ->
+            Unsafe
+              (Printf.sprintf "field %s.%s: %s" key ld.ld_name.txt why)))
+    in
+    check labels
+  in
+  go ~fuel:fuel_limit [] ty0
+
+let to_string = function
+  | Safe -> "domain-safe"
+  | Unsafe why -> "domain-unsafe (" ^ why ^ ")"

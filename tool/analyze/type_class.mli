@@ -1,0 +1,19 @@
+(** Domain-safety type classifier for the race pass.
+
+    Labels a type domain-safe (sharable across pool domains) or
+    domain-unsafe, structurally: immutable records/variants over safe
+    components, [Atomic.t], and synchronisation primitives are safe;
+    [ref]/[array]/[Bytes.t]/[Hashtbl.t]/[Buffer.t], mutable record fields,
+    function types, and unresolvable abstract types are unsafe.  A type
+    declaration annotated [@@domain_safe "why"] (a mutex-guarded wrapper)
+    is trusted as safe. *)
+
+type verdict =
+  | Safe
+  | Unsafe of string  (** human-readable reason *)
+
+(** [classify defs ~modpath ty] classifies [ty] as seen from inside module
+    [modpath] (used to resolve unqualified type names). *)
+val classify : Defs.t -> modpath:string -> Types.type_expr -> verdict
+
+val to_string : verdict -> string
