@@ -10,6 +10,8 @@
      bench/main.exe --micro         only the Bechamel primitives
      bench/main.exe --micro --json BENCH_micro.json
                                     also dump machine-readable results
+     bench/main.exe --compare OLD,NEW
+                                    markdown delta table of two JSON dumps
      bench/main.exe --list          list experiment ids
 
    Tables are byte-identical whatever --jobs is: cases are seeded
@@ -33,12 +35,15 @@ let run_experiment profile (e : Registry.experiment) =
     (wall_secs () -. wall0)
     (Sys.time () -. cpu0)
 
-let main full only micro list_ids jobs json assert_trace_overhead =
+let main compare full only micro list_ids jobs json assert_trace_overhead =
   if list_ids then begin
     List.iter print_endline Registry.ids;
     0
   end
   else begin
+    match compare with
+    | Some (old_file, new_file) -> Compare.run ~old_file ~new_file
+    | None ->
     let profile = if full then Common.full else Common.quick in
     if micro then Micro.run ?json ?assert_trace_overhead ()
     else begin
@@ -78,6 +83,16 @@ let main full only micro list_ids jobs json assert_trace_overhead =
   end
 
 open Cmdliner
+
+let compare =
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' file file)) None
+    & info [ "compare" ] ~docv:"OLD,NEW"
+        ~doc:
+          "Print a markdown table of per-benchmark deltas between two \
+           $(b,--micro --json) dumps and exit (CI appends it to the step \
+           summary).")
 
 let full =
   Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale durations and seeds.")
@@ -120,14 +135,15 @@ let assert_trace_overhead =
         ~doc:
           "With $(b,--micro): exit nonzero if full-mask tracing slows the \
            Nimbus controller tick (nimbus.tick.traced vs nimbus.tick.plain) \
-           by more than $(docv) percent.")
+           by more than $(docv) percent AND by more than an absolute \
+           per-tick floor (the fixed record cost; see bench/micro.ml).")
 
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "nimbus-bench" ~doc)
     Term.(
-      const main $ full $ only $ micro $ list_ids $ jobs $ json
+      const main $ compare $ full $ only $ micro $ list_ids $ jobs $ json
       $ assert_trace_overhead)
 
 let () = exit (Cmd.eval' cmd)

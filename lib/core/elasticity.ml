@@ -1,5 +1,6 @@
 module Ring = Nimbus_dsp.Ring
 module Spectrum = Nimbus_dsp.Spectrum
+module Bank = Nimbus_dsp.Goertzel.Bank
 module Time = Units.Time
 module Freq = Units.Freq
 
@@ -17,6 +18,7 @@ type t = {
   eta_thresh : float;
   band_guard_hz : float;
   taper : Nimbus_dsp.Window.kind;
+  detrend : Spectrum.detrend;
   scratch : float array; (* chronological window copy fed to the analyzer *)
   spec_state : Spectrum.state;
   (* the spectrum is recomputed lazily, at most once per new sample;
@@ -24,6 +26,14 @@ type t = {
      cell is allocated once and reused *)
   mutable cached_spectrum : Spectrum.t option;
   mutable dirty : bool;
+  (* Streaming η: a sliding-DFT bank tuned to one pulse frequency — slot 0
+     is the peak bin, slots 1.. the comparison band — built lazily on the
+     first η evaluation at that frequency (the FFT fallback) and re-tuned
+     whenever the requested frequency changes (a mode transition).  The
+     tuned frequency lives in a one-cell float array: a mutable float field
+     in this mixed record would box on every write. *)
+  mutable bank : Bank.t option;
+  tuned : float array; (* [0] = tuned pulse frequency in Hz; nan = untuned *)
 }
 
 let create ?(sample_interval = Time.ms 10.) ?(window = Time.secs 5.0)
@@ -40,11 +50,13 @@ let create ?(sample_interval = Time.ms 10.) ?(window = Time.secs 5.0)
   let n = int_of_float (Float.round (window /. sample_interval)) in
   let sample_rate = 1. /. sample_interval in
   { ring = Ring.create n; sample_rate; eta_thresh; band_guard_hz; taper;
+    detrend;
     scratch = Array.make n 0.;
     spec_state =
       Spectrum.create_state ~window:taper ~detrend ~n
         ~sample_rate:(Freq.hz sample_rate) ();
-    cached_spectrum = None; dirty = true }
+    cached_spectrum = None; dirty = true;
+    bank = None; tuned = [| nan |] }
 
 let add_sample t z =
   let z =
@@ -53,7 +65,8 @@ let add_sample t z =
     else z
   in
   Ring.push t.ring z;
-  t.dirty <- true
+  t.dirty <- true;
+  match t.bank with Some bank -> Bank.push bank z | None -> ()
 
 let ready t = Ring.is_full t.ring
 
@@ -71,8 +84,8 @@ let spectrum t =
     t.cached_spectrum
   end
 
-let eta t ~freq =
-  let freq = Freq.to_hz freq in
+(* Reference η: the full Plan-FFT evaluation of Eq. 3 over the window. *)
+let eta_fft t freq =
   match spectrum t with
   | None -> nan
   | Some s ->
@@ -83,6 +96,77 @@ let eta t ~freq =
     in
     if neighbour <= 0. then if peak > 0. then infinity else nan
     else peak /. neighbour
+
+(* Streaming η from the tuned bank: slot 0 is the peak bin, slots 1.. the
+   comparison band in ascending bin order, so the max replicates
+   [Spectrum.band_max] over the same bin set. *)
+let eta_bank bank =
+  let peak = Bank.amplitude bank 0 in
+  let neighbour = ref 0. in
+  for i = 1 to Bank.nbins bank - 1 do
+    let a = Bank.amplitude bank i in
+    if a > !neighbour then neighbour := a
+  done;
+  if !neighbour <= 0. then if peak > 0. then infinity else nan
+  else peak /. !neighbour
+[@@alloc_free]
+
+(* (Re)tune the streaming bank to pulse frequency [freq]: select exactly the
+   bins the FFT path reads — the clamped-round peak bin of
+   [Spectrum.bin_of_freq] plus every bin whose centre lies strictly inside
+   (freq + guard, 2*freq - guard) as in [Spectrum.band_max] — and prime the
+   bank from the current ring contents.  Cold path: runs only on the first η
+   evaluation and on pulse-frequency changes (mode transitions). *)
+let tune t freq =
+  let n = Ring.capacity t.ring in
+  let w = t.sample_rate /. float_of_int n in
+  let top = n / 2 in
+  let kp =
+    let k = int_of_float (Float.round (freq /. w)) in
+    if k < 0 then 0 else if k > top then top else k
+  in
+  let lo = freq +. t.band_guard_hz and hi = (2. *. freq) -. t.band_guard_hz in
+  let in_band k =
+    let f = float_of_int k *. w in
+    f > lo && f < hi
+  in
+  let nband = ref 0 in
+  for k = 0 to top do
+    if in_band k then incr nband
+  done;
+  let bins = Array.make (1 + !nband) kp in
+  let slot = ref 1 in
+  for k = 0 to top do
+    if in_band k then begin
+      bins.(!slot) <- k;
+      incr slot
+    end
+  done;
+  let bank =
+    Bank.create ~window:n ~taper:t.taper ~detrend:t.detrend ~bins ()
+  in
+  Ring.blit_to t.ring t.scratch;
+  Bank.load bank t.scratch;
+  t.bank <- Some bank;
+  t.tuned.(0) <- freq
+
+let eta t ~freq =
+  let freq = Freq.to_hz freq in
+  if not (ready t) then nan
+  else begin
+    match t.bank with
+    | Some bank when t.tuned.(0) = freq && Bank.filled bank -> eta_bank bank
+    | _ ->
+      (* fallback: frequency change (or first call) — answer from the FFT
+         path, then tune the bank so subsequent ticks stream *)
+      let e = eta_fft t freq in
+      tune t freq;
+      e
+  end
+
+let eta_reference t ~freq =
+  let freq = Freq.to_hz freq in
+  if not (ready t) then nan else eta_fft t freq
 
 let classify t ~freq =
   if not (ready t) then None

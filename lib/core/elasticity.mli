@@ -53,8 +53,21 @@ val add_sample : t -> float -> unit
 val ready : t -> bool
 
 (** [eta t ~freq] evaluates Eq. 3 at pulse frequency [freq]; [nan] until
-    {!ready}. *)
+    {!ready}.
+
+    Steady state is O(1) in the window size: a sliding-DFT bank
+    ({!Nimbus_dsp.Goertzel.Bank}) tracks the peak bin and the comparison
+    band incrementally as samples arrive.  The first evaluation at a given
+    frequency — and any evaluation after the frequency changes, i.e. a mode
+    transition — answers from the full Plan-FFT path and re-tunes the bank.
+    The two paths agree to floating-point rounding (QCheck-gated, see
+    {!eta_reference}). *)
 val eta : t -> freq:Units.Freq.t -> float
+
+(** [eta_reference t ~freq] is Eq. 3 evaluated via the full Plan-FFT path,
+    bypassing the streaming bank — the agreement oracle for tests and
+    diagnostics. *)
+val eta_reference : t -> freq:Units.Freq.t -> float
 
 (** [classify t ~freq] applies the threshold rule; [None] until {!ready}. *)
 val classify : t -> freq:Units.Freq.t -> verdict option

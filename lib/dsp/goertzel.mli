@@ -16,6 +16,56 @@ val power : float array -> sample_rate:Units.Freq.t -> freq:float -> float
 val magnitude :
   float array -> sample_rate:Units.Freq.t -> freq:float -> float
 
+(** A bank of sliding-DFT recurrences tracking a fixed set of DFT bins of
+    the {e windowed, detrended} signal — the amplitudes agree with
+    {!Spectrum.analyze_into} over the same window, taper, and detrend mode
+    to floating-point rounding (periodic in-place resynchronisation bounds
+    recurrence drift).  A push is O(bins) and an amplitude readout is O(1)
+    in the window size: this is what makes the elasticity detector's
+    steady-state tick O(1) instead of one FFT per tick. *)
+module Bank : sig
+  type t
+
+  (** [create ~window ~taper ~detrend ~bins ()] tracks the DFT bins [bins]
+      (indices into the length-[window] DFT, each in [[0, window/2]]) of
+      the last [window] samples, tapered and detrended exactly as
+      {!Spectrum.create_state} with the same parameters.  Cost per push:
+      [2*order + 1] complex recurrences per bin (order 0 rectangular,
+      1 Hann/Hamming, 2 Blackman).
+      @raise Invalid_argument if [window <= 0] or a bin is out of range. *)
+  val create :
+    window:int ->
+    taper:Window.kind ->
+    detrend:[ `None | `Mean | `Linear ] ->
+    bins:int array ->
+    unit ->
+    t
+
+  (** [push t x] slides the window one sample forward. Allocation-free. *)
+  val push : t -> float -> unit
+
+  (** [load t xs] resets the window to [xs] (chronological, length exactly
+      [window]) and recomputes all state — used to (re)tune a detector from
+      its ring after a pulse-frequency change. *)
+  val load : t -> float array -> unit
+
+  (** [filled t] holds once [window] samples are present (pushes before
+      that analyse an implicitly zero-padded window). *)
+  val filled : t -> bool
+
+  (** [nbins t] is the number of tracked bins. *)
+  val nbins : t -> int
+
+  (** [bin t slot] is the DFT bin index tracked at [slot]
+      (position in [create]'s [bins] array). *)
+  val bin : t -> int -> int
+
+  (** [amplitude t slot] is the current [|X_k|] of the bin at [slot],
+      matching [Spectrum.analyze_into]'s amplitude for the same bin up to
+      rounding. Allocation-free. *)
+  val amplitude : t -> int -> float
+end
+
 (** Incremental evaluator over a fixed-size window: push samples one at a
     time, query the magnitude of the configured frequency at any point.
     Recomputes lazily from an internal ring, so pushes are O(1) and queries

@@ -2,12 +2,14 @@ module Time = Units.Time
 module Trace = Nimbus_trace.Trace
 module Span = Nimbus_trace.Span
 
-(* The clock and heap keys stay raw float internally — the typed boundary is
+(* The clock and queue keys stay raw float internally — the typed boundary is
    the .mli; unwrapping once on entry keeps the hot event loop allocation- and
-   indirection-free. *)
+   indirection-free.  The queue itself is the calendar-queue {!Wheel}: O(1)
+   pushes for near-future (packet-scale) events, heap spill for far timers,
+   and a pop order identical to the old pure-heap engine's. *)
 type t = {
   mutable clock : float;
-  events : (unit -> unit) Heap.t;
+  events : (unit -> unit) Wheel.t;
   mutable trace : Trace.t;
   mutable scheds : int;
   mutable flow_ids : int;
@@ -18,7 +20,7 @@ type t = {
 let sched_sample = 256
 
 let create ?(trace = Trace.disabled) () =
-  { clock = 0.; events = Heap.create (); trace; scheds = 0; flow_ids = 0 }
+  { clock = 0.; events = Wheel.create (); trace; scheds = 0; flow_ids = 0 }
 
 let trace t = t.trace
 let set_trace t tr = t.trace <- tr
@@ -49,9 +51,9 @@ let schedule_at t time f =
     t.scheds <- t.scheds + 1;
     if t.scheds mod sched_sample = 0 then
       Trace.sched t.trace ~now:t.clock ~at:time
-        ~pending:(Heap.size t.events)
+        ~pending:(Wheel.size t.events)
   end;
-  Heap.push t.events ~key:time f
+  Wheel.push t.events ~key:time f
 
 let schedule_in t delay f =
   let delay = Time.to_secs delay in
@@ -59,7 +61,7 @@ let schedule_in t delay f =
     invalid_arg
       (Printf.sprintf "Engine.schedule_in: non-finite delay (%h)" delay);
   if delay < 0. then invalid_arg "Engine.schedule_in: negative delay";
-  Heap.push t.events ~key:(t.clock +. delay) f
+  Wheel.push t.events ~key:(t.clock +. delay) f
 
 let every t ~dt ?start ?until f =
   let dt = Time.to_secs dt in
@@ -79,17 +81,22 @@ let every t ~dt ?start ?until f =
   in
   schedule_at t (Time.secs first) tick
 
-(* The drain loop runs once per event, so it uses the raw heap primitives
-   (top_key/pop_top) instead of the option/tuple-returning peek/pop:
-   verified allocation-free by tool/analyze.  The handler call itself is
-   opaque to the checker ([@alloc_ok]); handlers allocate on their own
-   budget, the loop machinery must not. *)
+(* The drain loop runs once per event, so it uses the raw queue primitives
+   (top_key/pop_top) instead of option/tuple-returning wrappers: verified
+   allocation-free by tool/analyze.  The handler call itself is opaque to
+   the checker ([@alloc_ok]); handlers allocate on their own budget, the
+   loop machinery must not. *)
 let rec drain t ~horizon =
-  if (not (Heap.is_empty t.events)) && Heap.top_key t.events <= horizon then begin
-    t.clock <- Heap.top_key t.events;
-    let f = Heap.pop_top t.events in
-    (f () [@alloc_ok]);
-    drain t ~horizon
+  if not (Wheel.is_empty t.events) then begin
+    (* bound once: each cross-module float return is a fresh box, so the
+       key is read a single time per event *)
+    let key = Wheel.top_key t.events in
+    if key <= horizon then begin
+      t.clock <- key;
+      let f = Wheel.pop_top t.events in
+      (f () [@alloc_ok]);
+      drain t ~horizon
+    end
   end
 [@@alloc_free]
 
@@ -100,4 +107,4 @@ let run_until t horizon =
   if t.clock < horizon then t.clock <- horizon;
   Span.leave Engine_drain
 
-let pending t = Heap.size t.events
+let pending t = Wheel.size t.events

@@ -1,8 +1,10 @@
 (** Discrete-event simulation engine.
 
-    A single mutable clock plus an event queue of thunks. All network
-    elements, congestion controllers, and traffic sources advance by
-    scheduling callbacks on the shared engine.
+    A single mutable clock plus an event queue of thunks — a calendar-queue
+    {!Wheel} (O(1) near-future pushes, heap spill for far timers, FIFO order
+    among equal timestamps). All network elements, congestion controllers,
+    and traffic sources advance by scheduling callbacks on the shared
+    engine.
 
     All clock readings and delays are {!Units.Time.t} — the engine is the
     root of the time dimension, so a hertz or Mbit/s value can never reach
@@ -36,7 +38,7 @@ val now : t -> Units.Time.t
 
 (** [schedule_at t time f] runs [f] when the clock reaches [time]. Scheduling
     in the past — or at a NaN/infinite time, which would silently corrupt the
-    heap order — raises [Invalid_argument]. *)
+    queue order — raises [Invalid_argument]. *)
 val schedule_at : t -> Units.Time.t -> (unit -> unit) -> unit
 
 (** [schedule_in t delay f] runs [f] after [delay] ([delay >= Time.zero] and

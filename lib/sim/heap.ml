@@ -1,80 +1,117 @@
-type 'a entry = {
-  key : float;
-  seq : int;
-  value : 'a;
-}
-
+(* Entries live in three parallel arrays instead of an array of
+   {key; seq; value} records: [keys] is a flat float array (unboxed storage),
+   so a push allocates nothing — the old representation boxed one entry
+   record plus one float per push, which at simulator packet rates dominated
+   the minor-word budget of [Engine].  [seqs] carries the FIFO tie-break:
+   (key, seq) is a total order, which is what makes event delivery — and
+   therefore traces — deterministic. *)
 type 'a t = {
-  mutable data : 'a entry array; (* slot 0 unused when empty *)
+  mutable keys : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () = { keys = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
 
 let size h = h.size
 
 let is_empty h = h.size = 0
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+(* strict (key, seq) lexicographic order between slots [i] and [j] *)
+let less h i j =
+  h.keys.(i) < h.keys.(j)
+  || (h.keys.(i) = h.keys.(j) && h.seqs.(i) < h.seqs.(j))
+[@@alloc_free]
 
-let grow h entry =
-  let cap = Array.length h.data in
-  if h.size = cap then begin
-    let ncap = max 16 (cap * 2) in
-    let data = Array.make ncap entry in
-    Array.blit h.data 0 data 0 h.size;
-    h.data <- data
-  end
+(* Doubling growth, filling the fresh arrays with the entry being pushed so
+   no dummy element is ever needed.  Cold: runs O(log n) times total. *)
+let grow h ~key ~seq v =
+  let ncap = max 16 (2 * Array.length h.keys) in
+  let keys = Array.make ncap key in
+  let seqs = Array.make ncap seq in
+  let vals = Array.make ncap v in
+  Array.blit h.keys 0 keys 0 h.size;
+  Array.blit h.seqs 0 seqs 0 h.size;
+  Array.blit h.vals 0 vals 0 h.size;
+  h.keys <- keys;
+  h.seqs <- seqs;
+  h.vals <- vals
 
-let push h ~key value =
-  let entry = { key; seq = h.next_seq; value } in
-  h.next_seq <- h.next_seq + 1;
-  grow h entry;
+let push_seq h ~key ~seq v =
+  if h.size = Array.length h.keys then
+    (grow h ~key ~seq v [@alloc_ok "amortized capacity doubling"]);
   (* sift up *)
   let i = ref h.size in
   h.size <- h.size + 1;
-  h.data.(!i) <- entry;
+  h.keys.(!i) <- key;
+  h.seqs.(!i) <- seq;
+  h.vals.(!i) <- v;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if less entry h.data.(parent) then begin
-      h.data.(!i) <- h.data.(parent);
-      h.data.(parent) <- entry;
+    if
+      key < h.keys.(parent)
+      || (key = h.keys.(parent) && seq < h.seqs.(parent))
+    then begin
+      h.keys.(!i) <- h.keys.(parent);
+      h.seqs.(!i) <- h.seqs.(parent);
+      h.vals.(!i) <- h.vals.(parent);
+      h.keys.(parent) <- key;
+      h.seqs.(parent) <- seq;
+      h.vals.(parent) <- v;
       i := parent
     end
     else continue := false
   done
+[@@alloc_free]
 
-(* top_key/pop_top are the raw drain-loop primitives: no option or tuple
-   wrapping, so Engine.run_until stays allocation-free.  Both require a
-   non-empty heap (unchecked: callers test [is_empty] first). *)
-let top_key h = h.data.(0).key [@@alloc_free]
+let push h ~key v =
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  push_seq h ~key ~seq v
+
+(* top_key/top_seq/pop_top are the raw drain-loop primitives: no option or
+   tuple wrapping, so the engine event loop stays allocation-free.  All
+   require a non-empty heap (unchecked: callers test [is_empty] first). *)
+let top_key h = h.keys.(0) [@@alloc_free]
+
+let top_seq h = h.seqs.(0) [@@alloc_free]
+
+let swap h i j =
+  let k = h.keys.(i) and s = h.seqs.(i) and v = h.vals.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.seqs.(i) <- h.seqs.(j);
+  h.vals.(i) <- h.vals.(j);
+  h.keys.(j) <- k;
+  h.seqs.(j) <- s;
+  h.vals.(j) <- v
+[@@alloc_free]
 
 let pop_top h =
-  let top = h.data.(0) in
+  let top = h.vals.(0) in
   h.size <- h.size - 1;
   if h.size > 0 then begin
-    let last = h.data.(h.size) in
-    h.data.(0) <- last;
+    h.keys.(0) <- h.keys.(h.size);
+    h.seqs.(0) <- h.seqs.(h.size);
+    h.vals.(0) <- h.vals.(h.size);
     (* sift down *)
     let i = ref 0 in
     let continue = ref true in
     while !continue do
       let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
       let smallest = ref !i in
-      if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
-      if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+      if l < h.size && less h l !smallest then smallest := l;
+      if r < h.size && less h r !smallest then smallest := r;
       if !smallest <> !i then begin
-        let tmp = h.data.(!i) in
-        h.data.(!i) <- h.data.(!smallest);
-        h.data.(!smallest) <- tmp;
+        swap h !i !smallest;
         i := !smallest
       end
       else continue := false
     done
   end;
-  top.value
+  top
 [@@alloc_free]
 
 let pop h =
@@ -85,6 +122,6 @@ let pop h =
     Some (key, value)
   end
 
-let peek_key h = if h.size = 0 then None else Some h.data.(0).key
+let peek_key h = if h.size = 0 then None else Some h.keys.(0)
 
 let clear h = h.size <- 0

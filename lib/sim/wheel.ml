@@ -1,0 +1,271 @@
+(* Calendar-queue event core: a 1024-slot timer wheel for near-future events
+   with a binary-heap overflow for far timers.
+
+   Push and pop of a near-future event (within [nslots * width] of the
+   cursor, which covers packet serialisation, pacing, and RTT-scale timers
+   at the default 64 µs slot width) cost O(slot occupancy) instead of the
+   heap's O(log n), and nothing is boxed on the way in: every slot stores
+   its entries in parallel arrays (flat float keys / int seqs / values),
+   exactly like {!Heap} after the unboxed-key rework.
+
+   Determinism: entries carry sequence numbers from one shared counter, and
+   the pop rule is the global lexicographic (key, seq) minimum across both
+   structures — slots are min-scanned, not kept sorted — so the pop order is
+   *identical* to a single FIFO-tie-breaking heap's.  The slot min-scan is
+   what keeps ties deterministic under any push pattern.
+
+   Occupancy is tracked in a two-level bitmap (32 words x 32 bits, one
+   summary word), so finding the next non-empty slot is a handful of mask
+   and count-trailing-zero steps, never a 1024-slot walk.
+
+   Keys must be finite and non-negative (the engine validates before
+   pushing).  All wheel entries lie in absolute slots [cur, cur + nslots):
+   physical slot p = abs land (nslots - 1) therefore holds entries of exactly
+   one absolute slot, and the wrapped bitmap scan from the cursor's physical
+   slot visits slots in absolute order.  The cursor only advances to the
+   slot of a popped global minimum, which every remaining entry is >= by
+   construction, so the invariant is maintained without migration sweeps. *)
+
+let nslots = 1024
+let slot_mask = nslots - 1
+let word_bits = 32
+let nwords = nslots / word_bits (* 32: level-1 summary fits one int *)
+
+type 'a t = {
+  width : float; (* slot width, seconds *)
+  slot_keys : float array array;
+  slot_seqs : int array array;
+  slot_vals : 'a array array;
+  slot_len : int array;
+  level0 : int array; (* occupancy bit per physical slot, 32 per word *)
+  mutable level1 : int; (* bit w set iff level0.(w) <> 0 *)
+  mutable cur : int; (* absolute slot index of the cursor *)
+  mutable wheel_count : int;
+  far : 'a Heap.t; (* events at or beyond the wheel horizon *)
+  mutable next_seq : int;
+  (* cached location of the global minimum, invalidated by pops: -1 = none,
+     0 = wheel (cache_slot/cache_idx), 1 = heap top.  Ints only — a mutable
+     float field in this mixed record would box on every write. *)
+  mutable cache_where : int;
+  mutable cache_slot : int;
+  mutable cache_idx : int;
+}
+
+let default_width = 64e-6
+
+let create ?(width = default_width) () =
+  if not (Float.is_finite width && width > 0.) then
+    invalid_arg "Wheel.create: width must be finite and positive";
+  {
+    width;
+    slot_keys = Array.make nslots [||];
+    slot_seqs = Array.make nslots [||];
+    slot_vals = Array.make nslots [||];
+    slot_len = Array.make nslots 0;
+    level0 = Array.make nwords 0;
+    level1 = 0;
+    cur = 0;
+    wheel_count = 0;
+    far = Heap.create ();
+    next_seq = 0;
+    cache_where = -1;
+    cache_slot = 0;
+    cache_idx = 0;
+  }
+
+let size t = t.wheel_count + Heap.size t.far
+
+let is_empty t = size t = 0
+
+(* count-trailing-zeros of a nonzero 32-bit value, by binary search *)
+let ctz32 x =
+  let n = ref 0 and x = ref x in
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+[@@alloc_free]
+
+let mark_slot t p =
+  let w = p lsr 5 and b = p land 31 in
+  t.level0.(w) <- t.level0.(w) lor (1 lsl b);
+  t.level1 <- t.level1 lor (1 lsl w)
+[@@alloc_free]
+
+let unmark_slot t p =
+  let w = p lsr 5 and b = p land 31 in
+  t.level0.(w) <- t.level0.(w) land lnot (1 lsl b);
+  if t.level0.(w) = 0 then t.level1 <- t.level1 land lnot (1 lsl w)
+[@@alloc_free]
+
+(* First occupied physical slot at or after [p0] in wrapped absolute order
+   (p0 = cursor's physical slot).  Requires wheel_count > 0. *)
+let first_occupied_from t p0 =
+  let w0 = p0 lsr 5 and b0 = p0 land 31 in
+  let high = t.level0.(w0) land lnot ((1 lsl b0) - 1) in
+  if high <> 0 then (w0 lsl 5) lor ctz32 high
+  else begin
+    let later = t.level1 land lnot ((1 lsl (w0 + 1)) - 1) in
+    if later <> 0 then begin
+      let w = ctz32 later in
+      (w lsl 5) lor ctz32 t.level0.(w)
+    end
+    else begin
+      let earlier = t.level1 land ((1 lsl w0) - 1) in
+      if earlier <> 0 then begin
+        let w = ctz32 earlier in
+        (w lsl 5) lor ctz32 t.level0.(w)
+      end
+      else
+        (* the wrapped remainder of the cursor word *)
+        (w0 lsl 5) lor ctz32 (t.level0.(w0) land ((1 lsl b0) - 1))
+    end
+  end
+[@@alloc_free]
+
+let grow_slot t p ~key ~seq v =
+  let cap = Array.length t.slot_keys.(p) in
+  let ncap = max 4 (2 * cap) in
+  let keys = Array.make ncap key in
+  let seqs = Array.make ncap seq in
+  let vals = Array.make ncap v in
+  Array.blit t.slot_keys.(p) 0 keys 0 t.slot_len.(p);
+  Array.blit t.slot_seqs.(p) 0 seqs 0 t.slot_len.(p);
+  Array.blit t.slot_vals.(p) 0 vals 0 t.slot_len.(p);
+  t.slot_keys.(p) <- keys;
+  t.slot_seqs.(p) <- seqs;
+  t.slot_vals.(p) <- vals
+
+(* Is (key, seq) strictly before the cached global minimum? *)
+let beats_cache t key seq =
+  if t.cache_where = 0 then begin
+    let ck = t.slot_keys.(t.cache_slot).(t.cache_idx) in
+    key < ck || (key = ck && seq < t.slot_seqs.(t.cache_slot).(t.cache_idx))
+  end
+  else begin
+    let ck = Heap.top_key t.far in
+    key < ck || (key = ck && seq < Heap.top_seq t.far)
+  end
+[@@alloc_free]
+
+let push t ~key v =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  if key /. t.width -. float_of_int t.cur >= float_of_int nslots then begin
+    (* far timer: spill to the heap, same shared sequence numbering *)
+    Heap.push_seq t.far ~key ~seq v;
+    (* if it became the global minimum, the cached location "heap top"
+       remains valid by re-reading the top; otherwise the cache still points
+       at the unchanged minimum *)
+    if t.cache_where >= 0 && beats_cache t key seq then t.cache_where <- 1
+  end
+  else begin
+    let p = int_of_float (key /. t.width) land slot_mask in
+    let len = t.slot_len.(p) in
+    if len = Array.length t.slot_keys.(p) then
+      (grow_slot t p ~key ~seq v
+      [@alloc_ok "amortized per-slot capacity doubling"]);
+    t.slot_keys.(p).(len) <- key;
+    t.slot_seqs.(p).(len) <- seq;
+    t.slot_vals.(p).(len) <- v;
+    t.slot_len.(p) <- len + 1;
+    if len = 0 then mark_slot t p;
+    t.wheel_count <- t.wheel_count + 1;
+    if t.cache_where >= 0 && beats_cache t key seq then begin
+      t.cache_where <- 0;
+      t.cache_slot <- p;
+      t.cache_idx <- len
+    end
+  end
+[@@alloc_free]
+
+(* Locate the global (key, seq) minimum and cache it.  Requires a non-empty
+   wheel (unchecked, like Heap.top_key). *)
+let locate t =
+  if t.cache_where < 0 then begin
+    if t.wheel_count = 0 then t.cache_where <- 1
+    else begin
+      let p = first_occupied_from t (t.cur land slot_mask) in
+      (* min-scan the slot: entries are unsorted, ties break by seq *)
+      let len = t.slot_len.(p) in
+      let keys = t.slot_keys.(p) and seqs = t.slot_seqs.(p) in
+      let best = ref 0 in
+      for i = 1 to len - 1 do
+        if
+          keys.(i) < keys.(!best)
+          || (keys.(i) = keys.(!best) && seqs.(i) < seqs.(!best))
+        then best := i
+      done;
+      (* slot minimum vs. heap top: all other slots hold larger keys, so
+         this comparison decides the global minimum *)
+      if
+        Heap.is_empty t.far
+        || keys.(!best) < Heap.top_key t.far
+        || (keys.(!best) = Heap.top_key t.far
+           && seqs.(!best) < Heap.top_seq t.far)
+      then begin
+        t.cache_where <- 0;
+        t.cache_slot <- p;
+        t.cache_idx <- !best
+      end
+      else t.cache_where <- 1
+    end
+  end
+[@@alloc_free]
+
+let top_key t =
+  locate t;
+  if t.cache_where = 0 then t.slot_keys.(t.cache_slot).(t.cache_idx)
+  else Heap.top_key t.far
+[@@alloc_free]
+
+(* Advance the cursor to the absolute slot of a popped minimum: every
+   remaining entry is >= the minimum, hence lands at or after that slot. *)
+let advance_to_key t key =
+  let s_real = key /. t.width in
+  (* int_of_float is undefined past the int range; a key that far out can
+     only come from the heap and needs no cursor movement anyway *)
+  if s_real < 4.0e18 then begin
+    let s = int_of_float s_real in
+    if s > t.cur then t.cur <- s
+  end
+[@@alloc_free]
+
+let pop_top t =
+  locate t;
+  if t.cache_where = 0 then begin
+    let p = t.cache_slot and i = t.cache_idx in
+    let v = t.slot_vals.(p).(i) in
+    advance_to_key t t.slot_keys.(p).(i);
+    let last = t.slot_len.(p) - 1 in
+    if i < last then begin
+      t.slot_keys.(p).(i) <- t.slot_keys.(p).(last);
+      t.slot_seqs.(p).(i) <- t.slot_seqs.(p).(last);
+      t.slot_vals.(p).(i) <- t.slot_vals.(p).(last)
+    end;
+    t.slot_len.(p) <- last;
+    if last = 0 then unmark_slot t p;
+    t.wheel_count <- t.wheel_count - 1;
+    t.cache_where <- -1;
+    v
+  end
+  else begin
+    advance_to_key t (Heap.top_key t.far);
+    t.cache_where <- -1;
+    Heap.pop_top t.far
+  end
+[@@alloc_free]

@@ -1,0 +1,44 @@
+(** Calendar-queue event core: a 1024-slot timer wheel for near-future
+    events with a binary-heap ({!Heap}) overflow for far timers.
+
+    Scheduling a near-future event — within [1024 x width] of the cursor,
+    which at the default 64 µs slot width is a ~65 ms horizon covering
+    packet serialisation times, pacing ticks, and RTT-scale timers — is
+    O(1), and popping costs the occupancy of one slot rather than log of
+    the whole queue.  Events beyond the horizon spill into the heap and
+    migrate implicitly: by the time they are due, the cursor has advanced
+    and they pop straight from the heap.
+
+    Pop order is the global lexicographic (key, sequence) minimum across
+    the slots and the heap, with sequence numbers drawn from one shared
+    counter at push time — exactly the order a single FIFO-tie-breaking
+    {!Heap} would produce, so switching {!Engine} between the two cannot
+    change a trace byte.
+
+    Keys must be finite and non-negative ({!Engine} validates its
+    timestamps before scheduling). *)
+
+type 'a t
+
+(** [create ?width ()] is an empty queue with the given slot width in
+    seconds (default 64 µs).  @raise Invalid_argument if [width] is not
+    finite and positive. *)
+val create : ?width:float -> unit -> 'a t
+
+(** [size t] is the number of pending events (slots + overflow heap). *)
+val size : 'a t -> int
+
+(** [is_empty t]. *)
+val is_empty : 'a t -> bool
+
+(** [push t ~key v] schedules [v] at time [key], assigning the next
+    sequence number (FIFO among equal keys, across both structures). *)
+val push : 'a t -> key:float -> 'a -> unit
+
+(** [top_key t] is the minimum key.  The queue must be non-empty
+    (unchecked, like {!Heap.top_key}); allocates nothing. *)
+val top_key : 'a t -> float
+
+(** [pop_top t] removes and returns the value with the minimum
+    (key, sequence).  The queue must be non-empty (unchecked). *)
+val pop_top : 'a t -> 'a

@@ -248,6 +248,20 @@ let test_repo_clean () =
        (List.length verified))
     true
     (List.length verified >= 5);
+  (* the tentpole hot paths of the streaming detector and the calendar-queue
+     event core must stay on the verified list by name *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s verified alloc-free" name)
+        true (List.mem name verified))
+    [
+      "Nimbus_sim__Wheel.push"; "Nimbus_sim__Wheel.top_key";
+      "Nimbus_sim__Wheel.pop_top"; "Nimbus_sim__Heap.push_seq";
+      "Nimbus_sim__Heap.pop_top"; "Nimbus_sim__Engine.drain";
+      "Nimbus_dsp__Goertzel.Bank.push"; "Nimbus_dsp__Goertzel.Bank.amplitude";
+      "Nimbus_core__Elasticity.eta_bank";
+    ];
   let sup = A.Suppress.create () in
   let { A.Race.findings = race_findings; certified; sites } =
     A.Race.check ~sup ~scope:A.Race.default_scope defs units

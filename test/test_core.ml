@@ -222,6 +222,114 @@ let test_detector_validation () =
     (try ignore (Elasticity.create ~eta_thresh:0.5 ()); false
      with Invalid_argument _ -> true)
 
+(* --- streaming eta vs the Plan-FFT reference ------------------------------ *)
+
+let eta_agrees streaming reference =
+  match Float.classify_float reference with
+  | FP_nan -> Float.is_nan streaming
+  | FP_infinite -> Float.equal streaming reference
+  | _ ->
+    Float.abs (streaming -. reference)
+    <= 1e-6 *. Float.max 1. (Float.abs reference)
+
+let prop_eta_streaming_agrees =
+  (* the tentpole's agreement contract: across random window sizes, pulse
+     frequencies, and signal contents, the sliding-bank η tracks the FFT η
+     as the window keeps sliding after the initial tune *)
+  QCheck.Test.make ~count:25
+    ~name:"elasticity: streaming eta = FFT eta over random windows/freqs"
+    QCheck.(triple (int_range 0 100_000) (int_range 2 8) (int_range 50 150))
+    (fun (seed, fi, nwin) ->
+      let rng = Rng.create seed in
+      let freq_hz = float_of_int fi /. 2. in
+      let freq = Freq.hz freq_hz in
+      let det =
+        Elasticity.create ~window:(Time.secs (float_of_int nwin *. 0.01)) ()
+      in
+      let idx = ref 0 in
+      let push () =
+        let t = float_of_int !idx *. 0.01 in
+        incr idx;
+        Elasticity.add_sample det
+          (24e6
+          +. (4e6 *. sin (2. *. pi *. freq_hz *. t))
+          +. (1e6 *. Rng.range rng ~lo:(-1.) ~hi:1.))
+      in
+      for _ = 1 to nwin do
+        push ()
+      done;
+      (* the first evaluation is the FFT fallback and tunes the bank *)
+      let ok =
+        ref (eta_agrees (Elasticity.eta det ~freq)
+               (Elasticity.eta_reference det ~freq))
+      in
+      for _ = 1 to 10 do
+        for _ = 1 to 7 do
+          push ()
+        done;
+        if
+          not
+            (eta_agrees (Elasticity.eta det ~freq)
+               (Elasticity.eta_reference det ~freq))
+        then ok := false
+      done;
+      !ok)
+
+let test_eta_retune_on_freq_change () =
+  (* a pulse-frequency change (mode transition) must answer from the FFT
+     fallback — exactly the reference — then stream at the new frequency *)
+  let det = Elasticity.create () in
+  let idx = ref 0 in
+  let push_n n =
+    for _ = 1 to n do
+      let t = float_of_int !idx *. 0.01 in
+      incr idx;
+      Elasticity.add_sample det (24e6 +. (4e6 *. sin (2. *. pi *. 5. *. t)))
+    done
+  in
+  push_n 500;
+  let r5 = Elasticity.eta_reference det ~freq:f5 in
+  let e5 = Elasticity.eta det ~freq:f5 in
+  Alcotest.(check bool) "first call equals reference" true (Float.equal e5 r5);
+  push_n 30;
+  Alcotest.(check bool) "streams at 5 Hz" true
+    (eta_agrees (Elasticity.eta det ~freq:f5)
+       (Elasticity.eta_reference det ~freq:f5));
+  let f6 = Freq.hz 6.25 in
+  let r6 = Elasticity.eta_reference det ~freq:f6 in
+  let e6 = Elasticity.eta det ~freq:f6 in
+  Alcotest.(check bool) "fallback equals reference at new freq" true
+    (Float.equal e6 r6);
+  push_n 30;
+  Alcotest.(check bool) "streams at new freq" true
+    (eta_agrees (Elasticity.eta det ~freq:f6)
+       (Elasticity.eta_reference det ~freq:f6))
+
+let test_eta_streaming_long_run () =
+  (* n = 500, so 5000 pushes cross the 8n = 4000-push resync; the streaming
+     η must stay glued to the reference throughout *)
+  let rng = Rng.create 21 in
+  let det = Elasticity.create () in
+  let idx = ref 0 in
+  let push_n n =
+    for _ = 1 to n do
+      let t = float_of_int !idx *. 0.01 in
+      incr idx;
+      Elasticity.add_sample det
+        (24e6
+        +. (4e6 *. sin (2. *. pi *. 5. *. t))
+        +. (2e6 *. Rng.range rng ~lo:(-1.) ~hi:1.))
+    done
+  in
+  push_n 500;
+  ignore (Elasticity.eta det ~freq:f5);
+  for _ = 1 to 9 do
+    push_n 500;
+    Alcotest.(check bool) "agrees" true
+      (eta_agrees (Elasticity.eta det ~freq:f5)
+         (Elasticity.eta_reference det ~freq:f5))
+  done
+
 (* --- nimbus closed loop --------------------------------------------------- *)
 
 let make_link ?(rate_bps = 48e6) () =
@@ -435,7 +543,12 @@ let suite =
         Alcotest.test_case "oscillation amplitude" `Quick
           test_detector_oscillation_amplitude;
         Alcotest.test_case "validation" `Quick test_detector_validation;
-        qtest prop_detector_sinusoid_always_elastic ] );
+        Alcotest.test_case "retune on freq change" `Quick
+          test_eta_retune_on_freq_change;
+        Alcotest.test_case "streaming long run" `Quick
+          test_eta_streaming_long_run;
+        qtest prop_detector_sinusoid_always_elastic;
+        qtest prop_eta_streaming_agrees ] );
     ( "core.nimbus",
       [ Alcotest.test_case "solo delay mode" `Quick test_nimbus_solo_delay_mode;
         Alcotest.test_case "detects cubic" `Quick test_nimbus_detects_cubic;

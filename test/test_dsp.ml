@@ -293,6 +293,112 @@ let test_goertzel_rejects_other_freq () =
   let on = Goertzel.magnitude xs ~sample_rate:(Units.Freq.hz 100.) ~freq:5. in
   if off > on /. 100. then Alcotest.fail "goertzel leaks across bins"
 
+(* --- goertzel bank -------------------------------------------------------- *)
+
+let bank_tapers =
+  [| Window.Rectangular; Window.Hann; Window.Hamming; Window.Blackman |]
+
+let bank_detrends : [ `None | `Mean | `Linear ] array =
+  [| `None; `Mean; `Linear |]
+
+(* Feed all of [xs] through a bank tracking every bin of a length-[n] DFT,
+   then compare each amplitude with the Plan-FFT analyzer over the final
+   window — the agreement contract behind the streaming η path. *)
+let bank_matches_spectrum ~n ~taper ~detrend xs =
+  let total = Array.length xs in
+  let bins = Array.init ((n / 2) + 1) (fun k -> k) in
+  let bank = Goertzel.Bank.create ~window:n ~taper ~detrend ~bins () in
+  Array.iter (fun x -> Goertzel.Bank.push bank x) xs;
+  let s =
+    Spectrum.analyze ~window:taper ~detrend
+      (Array.sub xs (total - n) n)
+      ~sample_rate:(Units.Freq.hz 100.)
+  in
+  let scale = ref 1. in
+  Array.iter (fun x -> if Float.abs x > !scale then scale := Float.abs x) xs;
+  let tol = 1e-9 *. float_of_int n *. !scale in
+  let ok = ref true in
+  for k = 0 to n / 2 do
+    let expect = Spectrum.amplitude_at s (Spectrum.freq_of_bin s k) in
+    let got = Goertzel.Bank.amplitude bank k in
+    if Float.abs (expect -. got) > tol then ok := false
+  done;
+  !ok
+
+let prop_bank_matches_spectrum =
+  QCheck.Test.make ~count:48
+    ~name:"goertzel bank: amplitudes = spectrum across tapers/detrends"
+    QCheck.(
+      quad (int_range 16 80) (int_range 0 100_000) (int_range 0 3)
+        (int_range 0 2))
+    (fun (n, seed, ti, di) ->
+      let rng = Nimbus_sim.Rng.create seed in
+      (* the longest draws push past 8n and cross the periodic resync *)
+      let total = n + Nimbus_sim.Rng.int rng (9 * n) in
+      let xs =
+        Array.init total (fun i ->
+            let t = float_of_int i in
+            (0.05 *. t) +. (3. *. sin (0.37 *. t))
+            +. Nimbus_sim.Rng.range rng ~lo:(-1.) ~hi:1.)
+      in
+      bank_matches_spectrum ~n ~taper:bank_tapers.(ti)
+        ~detrend:bank_detrends.(di) xs)
+
+let test_bank_load_matches_push () =
+  let n = 64 in
+  let xs =
+    Array.init n (fun i ->
+        sin (0.3 *. float_of_int i) +. (0.01 *. float_of_int i))
+  in
+  let bins = [| 3; 7; 8 |] in
+  let make () =
+    Goertzel.Bank.create ~window:n ~taper:Window.Hann ~detrend:`Linear ~bins ()
+  in
+  let a = make () and b = make () in
+  Goertzel.Bank.load a xs;
+  Array.iter (fun x -> Goertzel.Bank.push b x) xs;
+  Alcotest.(check bool) "both filled" true
+    (Goertzel.Bank.filled a && Goertzel.Bank.filled b);
+  for slot = 0 to 2 do
+    Alcotest.(check int) "tracked bin" bins.(slot) (Goertzel.Bank.bin a slot);
+    check_rel ~tol:1e-9 "load = push"
+      (Goertzel.Bank.amplitude a slot)
+      (Goertzel.Bank.amplitude b slot)
+  done
+
+let test_bank_resync_drift () =
+  (* 20 windows of pushes cross the 8n resync twice; the recurrences must
+     not have drifted away from the FFT path *)
+  let n = 50 in
+  let xs =
+    Array.init (20 * n) (fun i ->
+        let t = float_of_int i in
+        (2. *. sin (0.63 *. t)) +. (0.02 *. t))
+  in
+  Alcotest.(check bool) "agrees after resyncs" true
+    (bank_matches_spectrum ~n ~taper:Window.Blackman ~detrend:`Linear xs)
+
+let test_bank_validation () =
+  let raises name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  raises "bin beyond n/2" (fun () ->
+      Goertzel.Bank.create ~window:8 ~taper:Window.Hann ~detrend:`Mean
+        ~bins:[| 5 |] ());
+  raises "negative bin" (fun () ->
+      Goertzel.Bank.create ~window:8 ~taper:Window.Hann ~detrend:`Mean
+        ~bins:[| -1 |] ());
+  raises "load length" (fun () ->
+      let b =
+        Goertzel.Bank.create ~window:8 ~taper:Window.Hann ~detrend:`Mean
+          ~bins:[| 1 |] ()
+      in
+      Goertzel.Bank.load b (Array.make 7 0.))
+
 let test_goertzel_sliding () =
   let s = Goertzel.Sliding.create ~window:100 ~sample_rate:(Units.Freq.hz 100.) ~freq:5. in
   Alcotest.(check bool) "not filled" false (Goertzel.Sliding.filled s);
@@ -582,7 +688,12 @@ let suite =
       [ Alcotest.test_case "matches fft bin" `Quick test_goertzel_matches_fft;
         Alcotest.test_case "rejects other freq" `Quick
           test_goertzel_rejects_other_freq;
-        Alcotest.test_case "sliding window" `Quick test_goertzel_sliding ] );
+        Alcotest.test_case "sliding window" `Quick test_goertzel_sliding;
+        Alcotest.test_case "bank load = push" `Quick test_bank_load_matches_push;
+        Alcotest.test_case "bank survives resyncs" `Quick
+          test_bank_resync_drift;
+        Alcotest.test_case "bank validation" `Quick test_bank_validation;
+        qtest prop_bank_matches_spectrum ] );
     ( "dsp.window",
       [ Alcotest.test_case "endpoints" `Quick test_window_endpoints;
         Alcotest.test_case "symmetry" `Quick test_window_symmetry;

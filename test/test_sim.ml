@@ -53,6 +53,89 @@ let prop_heap_sorts =
       in
       drain neg_infinity)
 
+(* --- wheel --------------------------------------------------------------- *)
+
+let test_wheel_sorted_pops () =
+  let w = Wheel.create () in
+  List.iter (fun k -> Wheel.push w ~key:k k) [ 5e-3; 1e-3; 4e-3; 2e-3; 3e-3 ];
+  let rec drain acc =
+    if Wheel.is_empty w then List.rev acc
+    else begin
+      let k = Wheel.top_key w in
+      let v = Wheel.pop_top w in
+      check_close "key matches payload" v k;
+      drain (k :: acc)
+    end
+  in
+  Alcotest.(check (list (float 0.)))
+    "sorted" [ 1e-3; 2e-3; 3e-3; 4e-3; 5e-3 ] (drain [])
+
+let test_wheel_fifo_across_spill () =
+  (* a key first lands in the overflow heap (beyond the 1024-slot horizon),
+     then — after the cursor advances — the same key lands in a slot; the
+     shared sequence counter must keep the pops in push order *)
+  let w = Wheel.create ~width:1e-3 () in
+  Wheel.push w ~key:1.2 "a" (* 1200 slots ahead: spills to the heap *);
+  Wheel.push w ~key:0.5 "b" (* in a slot *);
+  Alcotest.(check string) "near event first" "b" (Wheel.pop_top w);
+  (* cursor is now at slot 500, so 1.2 is within the horizon *)
+  Wheel.push w ~key:1.2 "c";
+  Wheel.push w ~key:1.2 "d";
+  (* explicit lets: list elements would evaluate right-to-left *)
+  let first = Wheel.pop_top w in
+  let second = Wheel.pop_top w in
+  let third = Wheel.pop_top w in
+  Alcotest.(check (list string)) "FIFO across heap and slots" [ "a"; "c"; "d" ]
+    [ first; second; third ];
+  Alcotest.(check bool) "drained" true (Wheel.is_empty w)
+
+let test_wheel_wraparound () =
+  (* interleaved push/pop walking far past nslots * width: the physical
+     slots wrap around many times and order must survive *)
+  let w = Wheel.create () (* 1024 x 64 us ~ 65.5 ms horizon *) in
+  for i = 0 to 499 do
+    let base = float_of_int i *. 0.02 in
+    Wheel.push w ~key:base (2 * i);
+    Wheel.push w ~key:(base +. 0.001) ((2 * i) + 1);
+    Alcotest.(check int) "first of pair" (2 * i) (Wheel.pop_top w);
+    Alcotest.(check int) "second of pair" ((2 * i) + 1) (Wheel.pop_top w)
+  done;
+  Alcotest.(check int) "empty" 0 (Wheel.size w)
+
+let prop_wheel_matches_heap =
+  (* the equivalence contract behind switching Engine onto the wheel: under
+     random schedules (quantized keys force ties, the delay tail reaches past
+     the horizon to exercise the heap spill) the wheel pops exactly the
+     (key, value) sequence the FIFO-tie-breaking heap does *)
+  QCheck.Test.make ~count:80 ~name:"wheel: pop order identical to heap"
+    QCheck.(pair (int_range 0 100_000) (int_range 1 400))
+    (fun (seed, nops) ->
+      let rng = Rng.create seed in
+      let w = Wheel.create ~width:1e-3 () in
+      let h = Heap.create () in
+      let now = ref 0. in
+      let next = ref 0 in
+      let ok = ref true in
+      let pop_both () =
+        let wk = Wheel.top_key w and hk = Heap.top_key h in
+        let wv = Wheel.pop_top w and hv = Heap.pop_top h in
+        if not (Float.equal wk hk) || wv <> hv then ok := false;
+        now := hk
+      in
+      for _ = 1 to nops do
+        if Wheel.is_empty w || Rng.bool rng ~p:0.7 then begin
+          let key = !now +. (float_of_int (Rng.int rng 40) /. 8.) in
+          Wheel.push w ~key !next;
+          Heap.push h ~key !next;
+          incr next
+        end
+        else pop_both ()
+      done;
+      while not (Wheel.is_empty w) do
+        pop_both ()
+      done;
+      !ok && Heap.is_empty h)
+
 (* --- engine -------------------------------------------------------------- *)
 
 let test_engine_ordering () =
@@ -333,6 +416,12 @@ let suite =
         Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
         Alcotest.test_case "peek/clear" `Quick test_heap_peek_clear;
         qtest prop_heap_sorts ] );
+    ( "sim.wheel",
+      [ Alcotest.test_case "sorted pops" `Quick test_wheel_sorted_pops;
+        Alcotest.test_case "fifo across spill" `Quick
+          test_wheel_fifo_across_spill;
+        Alcotest.test_case "wraparound" `Quick test_wheel_wraparound;
+        qtest prop_wheel_matches_heap ] );
     ( "sim.engine",
       [ Alcotest.test_case "ordering" `Quick test_engine_ordering;
         Alcotest.test_case "horizon" `Quick test_engine_horizon;

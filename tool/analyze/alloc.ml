@@ -32,7 +32,8 @@ let whitelist =
     (fun n -> Hashtbl.replace tbl n ())
     [
       (* integer / boolean / polymorphic primitives *)
-      "+"; "-"; "*"; "/"; "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr";
+      "+"; "-"; "*"; "/"; "mod"; "land"; "lor"; "lxor"; "lnot"; "lsl"; "lsr";
+      "asr";
       "abs"; "succ"; "pred"; "min"; "max"; "="; "<"; ">"; "<="; ">="; "<>";
       "=="; "!="; "compare"; "not"; "&&"; "||"; "&"; "or"; "ignore"; "fst";
       "snd"; "~-"; "~+";
