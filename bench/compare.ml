@@ -65,11 +65,12 @@ type row = {
   words : float;
 }
 
-(* (benchmark rows in file order, end-to-end pkts/wall-s if present) *)
+(* (benchmark rows in file order, end-to-end rates if present) *)
 let load path =
   let ic = open_in path in
   let rows = ref [] in
   let pkts = ref nan in
+  let sweep = ref nan in
   (try
      while true do
        let line = input_line ic in
@@ -81,13 +82,16 @@ let load path =
          in
          rows := (name, row) :: !rows
        | None -> ());
-       match num_field line "sim.pkts_per_wall_sec" with
+       (match num_field line "sim.pkts_per_wall_sec" with
        | Some v -> pkts := v
+       | None -> ());
+       match num_field line "sweep.paths_per_wall_sec" with
+       | Some v -> sweep := v
        | None -> ()
      done
    with End_of_file -> ());
   close_in ic;
-  (List.rev !rows, !pkts)
+  (List.rev !rows, !pkts, !sweep)
 
 let fnum v = if Float.is_finite v then Printf.sprintf "%.1f" v else "—"
 
@@ -103,7 +107,7 @@ let run ~old_file ~new_file =
   | exception Sys_error msg ->
     Printf.eprintf "compare: %s\n" msg;
     2
-  | (old_rows, old_pkts), (new_rows, new_pkts) ->
+  | (old_rows, old_pkts, old_sweep), (new_rows, new_pkts, new_sweep) ->
     (* every name from either file: new-file order first, then old-only *)
     let names =
       List.map fst new_rows
@@ -127,12 +131,19 @@ let run ~old_file ~new_file =
           (fdelta ~old_:o.ns ~new_:n.ns)
           (fnum o.words) (fnum n.words))
       names;
-    if Float.is_finite old_pkts || Float.is_finite new_pkts then begin
+    if
+      Float.is_finite old_pkts || Float.is_finite new_pkts
+      || Float.is_finite old_sweep || Float.is_finite new_sweep
+    then begin
       print_newline ();
       print_endline "| end-to-end (higher is better) | old | new | Δ |";
       print_endline "|---|---:|---:|---:|";
       Printf.printf "| sim.pkts_per_wall_sec | %s | %s | %s |\n"
         (fnum old_pkts) (fnum new_pkts)
-        (fdelta ~old_:old_pkts ~new_:new_pkts)
+        (fdelta ~old_:old_pkts ~new_:new_pkts);
+      if Float.is_finite old_sweep || Float.is_finite new_sweep then
+        Printf.printf "| sweep.paths_per_wall_sec | %s | %s | %s |\n"
+          (fnum old_sweep) (fnum new_sweep)
+          (fdelta ~old_:old_sweep ~new_:new_sweep)
     end;
     0

@@ -229,6 +229,29 @@ let pkts_per_wall_sec () =
   done;
   !best
 
+(* the same figure of merit for `nimbus_cli sweep`: complete sweep paths per
+   wall second on a small cubic-only fleet (quick profile, no checkpoint, no
+   triage), best of two.  Run without an ambient pool, so the number tracks
+   per-case cost — the shard/aggregation machinery rides along for free and
+   a regression in either shows up here. *)
+let sweep_paths_per_wall_sec () =
+  let module Sweep = Nimbus_experiments.Sweep in
+  let once () =
+    let cfg =
+      Sweep.config ~paths:4 ~schemes:[ Nimbus_experiments.Common.cubic ]
+        ~shard_size:4 ~triage_k:0 ()
+    in
+    let t0 = Clock.now () in
+    let o = Sweep.run cfg in
+    let wall = Int64.to_float (Int64.sub (Clock.now ()) t0) /. 1e9 in
+    float_of_int o.Sweep.paths_done /. wall
+  in
+  let best = ref 0. in
+  for _ = 1 to 2 do
+    best := Float.max !best (once ())
+  done;
+  !best
+
 let estimate results name =
   match Hashtbl.find_opt results name with
   | None -> nan
@@ -299,6 +322,11 @@ let run ?json ?assert_trace_overhead () =
     "sim.pkts_per_wall_sec %33.0f   (cubic @48Mbps, 20 simulated s, best of \
      3)\n%!"
     pkts;
+  let sweep_rate = sweep_paths_per_wall_sec () in
+  Printf.printf
+    "sweep.paths_per_wall_sec %30.2f   (4-path cubic fleet, quick profile, \
+     best of 2)\n%!"
+    sweep_rate;
   (match json with
    | None -> ()
    | Some path ->
@@ -317,8 +345,10 @@ let run ?json ?assert_trace_overhead () =
            (if i = last then "" else ","))
        names;
      output_string oc "  ],\n";
-     Printf.fprintf oc "  \"end_to_end\": {\"sim.pkts_per_wall_sec\": %s}\n"
-       (num pkts);
+     Printf.fprintf oc
+       "  \"end_to_end\": {\"sim.pkts_per_wall_sec\": %s, \
+        \"sweep.paths_per_wall_sec\": %s}\n"
+       (num pkts) (num sweep_rate);
      output_string oc "}\n";
      close_out oc;
      Printf.printf "wrote %s\n%!" path);

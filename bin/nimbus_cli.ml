@@ -4,6 +4,10 @@
    Subcommands:
      run        run one experiment (or all) and print its tables
      csv        run one experiment and dump its tables as CSV
+     sweep      fleet-scale Monte-Carlo path sweep with checkpointed
+                resume, watchdog/retry, and worst-k auto-triage; exits 3
+                when interrupted by --stop-after, 2 on an incompatible
+                checkpoint
      simulate   one Nimbus flow vs configurable cross traffic, with a
                 per-second timeline of throughput / queue delay / mode
      faults     the fault matrix under the invariant monitor; exits 1 on
@@ -149,6 +153,50 @@ let faults_cmd full jobs seeds report_file trace_out trace_filter =
      close_out oc);
   if outcome.Exp_faults.violations > 0 then 1 else 0
 
+module Sweep = Nimbus_experiments.Sweep
+
+(* tables on stdout, progress on stderr: interrupted-then-resumed runs must
+   diff byte-identical against uninterrupted ones (the CI smoke job does) *)
+let sweep_cmd full jobs paths seed schemes shard_size budget retries
+    checkpoint resume stop_after triage_k triage_dir =
+  let schemes =
+    List.map
+      (fun name ->
+        match Sweep.scheme_of_name name with
+        | Some s -> s
+        | None ->
+          Printf.eprintf
+            "unknown scheme %S (nimbus, nimbus-delay, cubic, reno, vegas, \
+             copa, bbr, vivace, compound)\n"
+            name;
+          exit 2)
+      schemes
+  in
+  let cfg =
+    try
+      Sweep.config ~paths ~seed
+        ?schemes:(if schemes = [] then None else Some schemes)
+        ~profile:(profile full) ~shard_size ~budget ~retries ?checkpoint
+        ~resume ?stop_after ~triage_k ?triage_dir
+        ~log:(fun msg -> Printf.eprintf "[sweep] %s\n%!" msg)
+        ()
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  match with_pool jobs (fun () -> Sweep.run cfg) with
+  | exception Sweep.Checkpoint_incompatible msg ->
+    Printf.eprintf "%s\n" msg;
+    2
+  | outcome when outcome.Sweep.interrupted ->
+    Printf.eprintf "[sweep] interrupted at %d/%d shard(s); resume with \
+                    --resume\n%!"
+      outcome.Sweep.completed_shards outcome.Sweep.total_shards;
+    3
+  | outcome ->
+    List.iter Table.print outcome.Sweep.tables;
+    0
+
 let trace_cmd file =
   match Nimbus_trace.Sink.summarize_file file with
   | Ok summary ->
@@ -233,6 +281,110 @@ let faults_t =
       const faults_cmd $ full $ jobs $ Flags.seeds $ report $ Flags.trace_out
       $ Flags.trace_filter)
 
+let sweep_t =
+  let paths =
+    Arg.(
+      value & opt int 200
+      & info [ "paths" ] ~docv:"N"
+          ~doc:"Number of sampled path profiles (the fleet size).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1819
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Path-population seed. The default matches the 25-path figure, \
+             so its paths are the sweep's first 25.")
+  in
+  let schemes =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "schemes" ] ~docv:"A,B,.."
+          ~doc:
+            "Comma-separated protocol matrix (default \
+             nimbus,cubic,bbr,vegas). The first scheme is the subject of \
+             the paired comparison and the outlier score.")
+  in
+  let shard_size =
+    Arg.(
+      value & opt int 32
+      & info [ "shard-size" ] ~docv:"N"
+          ~doc:"Paths per shard — the checkpoint/restart granularity.")
+  in
+  let budget =
+    Arg.(
+      value & opt float 0.
+      & info [ "budget" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock budget per case attempt; over-budget cases are \
+             retried on rekeyed seeds, then recorded as timeout cells. 0 \
+             disables (and keeps the sweep fully deterministic).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retries per failed case (capped exponential backoff between \
+             attempts) before it becomes a failure cell.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Append each completed shard to $(docv) (atomic \
+             tmp-write+rename). Without --resume an existing file is \
+             truncated.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Restore completed shards from --checkpoint before running the \
+             rest; the final tables are byte-identical to an uninterrupted \
+             run. Exit 2 if the checkpoint was written with different sweep \
+             parameters.")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after" ] ~docv:"SHARDS"
+          ~doc:
+            "Stop (exit 3) once $(docv) shards are complete — interrupt \
+             injection for tests/CI.")
+  in
+  let triage_k =
+    Arg.(
+      value & opt int 3
+      & info [ "triage-k" ] ~docv:"K"
+          ~doc:
+            "Re-run the $(docv) worst outlier paths with tracing and the \
+             invariant monitor. 0 disables triage.")
+  in
+  let triage_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "triage-dir" ] ~docv:"DIR"
+          ~doc:"Archive triage traces (JSONL, one file per case) in $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Fleet-scale Monte-Carlo path sweep: the Fig 18/19 population at \
+          10^4+ paths, sharded over the pool, with checkpointed resume, \
+          per-case watchdog/retry, streaming P2 aggregation, and worst-k \
+          auto-triage.")
+    Term.(
+      const sweep_cmd $ full $ jobs $ paths $ seed $ schemes $ shard_size
+      $ budget $ retries $ checkpoint $ resume $ stop_after $ triage_k
+      $ triage_dir)
+
 let trace_t =
   let file =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -250,4 +402,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "nimbus_cli" ~doc)
-          [ run_t; csv_t; list_t; simulate_t; faults_t; trace_t ]))
+          [ run_t; csv_t; list_t; sweep_t; simulate_t; faults_t; trace_t ]))

@@ -1,24 +1,45 @@
+(* NaN is the repo-wide "not measured" sentinel, so the descriptive
+   statistics treat it as an absent sample rather than letting it poison a
+   whole aggregate: [mean]/[variance] skip NaNs (and stay [nan] when nothing
+   remains), while the order statistics raise on empty and all-NaN input —
+   there is no meaningful percentile of an empty sample. *)
+
+let count_non_nan xs =
+  Array.fold_left (fun k x -> if Float.is_nan x then k else k + 1) 0 xs
+
 let mean xs =
-  let n = Array.length xs in
-  if n = 0 then nan else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+  let n = count_non_nan xs in
+  if n = 0 then nan
+  else
+    Array.fold_left (fun a x -> if Float.is_nan x then a else a +. x) 0.0 xs
+    /. float_of_int n
 
 let variance xs =
-  let n = Array.length xs in
+  let n = count_non_nan xs in
   if n = 0 then nan
   else begin
     let m = mean xs in
-    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    let acc =
+      Array.fold_left
+        (fun a x -> if Float.is_nan x then a else a +. ((x -. m) *. (x -. m)))
+        0.0 xs
+    in
     acc /. float_of_int n
   end
 
 let stddev xs = sqrt (variance xs)
 
-let percentile xs p =
-  let n = Array.length xs in
-  if n = 0 then invalid_arg "Stats.percentile: empty input";
-  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
+(* the non-NaN samples of [xs], sorted ascending; [what] names the caller in
+   the error messages *)
+let sorted_non_nan what xs =
+  if Array.length xs = 0 then invalid_arg (what ^ ": empty input");
+  let kept = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list xs)) in
+  if Array.length kept = 0 then invalid_arg (what ^ ": all-NaN input");
+  Array.sort compare kept;
+  kept
+
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
   let hi = int_of_float (ceil rank) in
@@ -27,6 +48,10 @@ let percentile xs p =
     let frac = rank -. float_of_int lo in
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
   end
+
+let percentile xs p =
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
+  percentile_sorted (sorted_non_nan "Stats.percentile" xs) p
 
 let median xs = percentile xs 50.
 
@@ -39,11 +64,13 @@ let maximum xs =
   Array.fold_left max xs.(0) xs
 
 let cdf_points xs ~points =
-  if Array.length xs = 0 || points <= 0 then [||]
-  else
+  if Array.length xs = 0 || count_non_nan xs = 0 || points <= 0 then [||]
+  else begin
+    let sorted = sorted_non_nan "Stats.cdf_points" xs in
     Array.init points (fun i ->
         let p = float_of_int (i + 1) /. float_of_int points in
-        (percentile xs (p *. 100.), p))
+        (percentile_sorted sorted (p *. 100.), p))
+  end
 
 let correlation xs ys =
   let n = Array.length xs in
@@ -77,3 +104,141 @@ let relative_error ~actual ~expected =
   if Float.equal expected 0.0 then
     if Float.equal actual 0.0 then 0.0 else infinity
   else Float.abs (actual -. expected) /. Float.abs expected
+
+(* --- streaming accumulators ------------------------------------------------
+
+   The fleet sweep aggregates 10^4..10^5 per-path results without
+   materializing them, so its accumulators must be O(1) in sample count and
+   bit-for-bit deterministic in insertion order: feeding the same sequence
+   always leaves the same state, which is what lets a checkpointed resume
+   reproduce an uninterrupted run's table byte-for-byte. *)
+
+module Welford = struct
+  type t = {
+    mutable n : int;
+    mutable mu : float;
+    mutable m2 : float; (* sum of squared deviations from the running mean *)
+  }
+
+  let create () = { n = 0; mu = 0.; m2 = 0. }
+
+  let add t x =
+    if not (Float.is_finite x) then
+      invalid_arg "Stats.Welford.add: non-finite sample";
+    t.n <- t.n + 1;
+    let d = x -. t.mu in
+    t.mu <- t.mu +. (d /. float_of_int t.n);
+    t.m2 <- t.m2 +. (d *. (x -. t.mu))
+
+  let count t = t.n
+
+  let mean t = if t.n = 0 then nan else t.mu
+
+  let variance t = if t.n = 0 then nan else t.m2 /. float_of_int t.n
+
+  let stddev t = sqrt (variance t)
+end
+
+module P2 = struct
+  (* Jain & Chlamtac's P^2 algorithm: one quantile estimated with five
+     markers whose heights are nudged toward their ideal positions by a
+     piecewise-parabolic formula.  Exact (an order statistic) for the first
+     five samples; O(1) memory and deterministic in insertion order after
+     that. *)
+  type t = {
+    p : float; (* target quantile, in (0,1) *)
+    q : float array; (* marker heights, ascending *)
+    np : int array; (* actual marker positions, 1-based *)
+    np' : float array; (* desired marker positions *)
+    dn : float array; (* desired-position increments per sample *)
+    mutable n : int; (* samples seen *)
+  }
+
+  let create p =
+    if not (Float.is_finite p) || p <= 0. || p >= 1. then
+      invalid_arg "Stats.P2.create: quantile outside (0,1)";
+    { p;
+      q = Array.make 5 0.;
+      np = [| 1; 2; 3; 4; 5 |];
+      np' = [| 1.; 1. +. (2. *. p); 1. +. (4. *. p); 3. +. (2. *. p); 5. |];
+      dn = [| 0.; p /. 2.; p; (1. +. p) /. 2.; 1. |];
+      n = 0 }
+
+  let count t = t.n
+
+  (* parabolic prediction of marker i moved by d (+1 or -1); the linear
+     fallback is used when the parabola would leave (q.(i-1), q.(i+1)) *)
+  let adjust t i d =
+    let q = t.q and np = t.np in
+    let fi = float_of_int in
+    let qi = q.(i) in
+    let parab =
+      qi
+      +. d
+         /. fi (np.(i + 1) - np.(i - 1))
+         *. (((fi (np.(i) - np.(i - 1)) +. d)
+              *. (q.(i + 1) -. qi)
+              /. fi (np.(i + 1) - np.(i)))
+            +. ((fi (np.(i + 1) - np.(i)) -. d)
+               *. (qi -. q.(i - 1))
+               /. fi (np.(i) - np.(i - 1))))
+    in
+    let next =
+      if q.(i - 1) < parab && parab < q.(i + 1) then parab
+      else
+        (* linear toward the neighbour in the direction of the move *)
+        let j = if d > 0. then i + 1 else i - 1 in
+        qi +. (d *. (q.(j) -. qi) /. fi (np.(j) - np.(i)))
+    in
+    q.(i) <- next;
+    np.(i) <- np.(i) + int_of_float d
+
+  let add t x =
+    if not (Float.is_finite x) then
+      invalid_arg "Stats.P2.add: non-finite sample";
+    t.n <- t.n + 1;
+    if t.n <= 5 then begin
+      t.q.(t.n - 1) <- x;
+      if t.n = 5 then Array.sort compare t.q
+    end
+    else begin
+      let q = t.q and np = t.np and np' = t.np' in
+      (* cell k: the marker interval x falls into, extremes clamped *)
+      let k =
+        if x < q.(0) then begin
+          q.(0) <- x;
+          0
+        end
+        else if x >= q.(4) then begin
+          if x > q.(4) then q.(4) <- x;
+          3
+        end
+        else begin
+          let rec find i = if x < q.(i + 1) then i else find (i + 1) in
+          find 0
+        end
+      in
+      for i = k + 1 to 4 do
+        np.(i) <- np.(i) + 1
+      done;
+      for i = 0 to 4 do
+        np'.(i) <- np'.(i) +. t.dn.(i)
+      done;
+      for i = 1 to 3 do
+        let d = np'.(i) -. float_of_int np.(i) in
+        if
+          (d >= 1. && np.(i + 1) - np.(i) > 1)
+          || (d <= -1. && np.(i - 1) - np.(i) < -1)
+        then adjust t i (if d >= 1. then 1. else -1.)
+      done
+    end
+
+  let quantile t =
+    if t.n = 0 then nan
+    else if t.n <= 5 then begin
+      let sorted = Array.sub t.q 0 t.n in
+      Array.sort compare sorted;
+      percentile_sorted sorted (t.p *. 100.)
+    end
+    else t.q.(2)
+end

@@ -1,17 +1,24 @@
-(** Descriptive statistics used throughout the evaluation harness. *)
+(** Descriptive statistics used throughout the evaluation harness.
 
-(** [mean xs] — [nan] on empty input. *)
+    NaN is the repo-wide "not measured" sentinel, so every aggregate here
+    treats NaN entries as absent samples instead of silently propagating
+    them: means and variances skip them, order statistics raise when nothing
+    measurable remains. *)
+
+(** [mean xs] ignores NaN entries; [nan] on empty or all-NaN input. *)
 val mean : float array -> float
 
-(** [variance xs] is the population variance; [nan] on empty input. *)
+(** [variance xs] is the population variance of the non-NaN entries; [nan]
+    on empty or all-NaN input. *)
 val variance : float array -> float
 
 (** [stddev xs] is [sqrt (variance xs)]. *)
 val stddev : float array -> float
 
-(** [percentile xs p] for [p] in [0..100], linear interpolation between order
-    statistics. Does not modify [xs]. @raise Invalid_argument on empty input
-    or [p] outside [0, 100]. *)
+(** [percentile xs p] for [p] in [0..100], linear interpolation between the
+    order statistics of the non-NaN entries. Does not modify [xs].
+    @raise Invalid_argument on empty input, all-NaN input, or [p] outside
+    [0, 100]. *)
 val percentile : float array -> float -> float
 
 (** [median xs] = [percentile xs 50.]. *)
@@ -22,9 +29,10 @@ val minimum : float array -> float
 
 val maximum : float array -> float
 
-(** [cdf_points xs ~points] samples the empirical CDF at [points] evenly
-    spaced quantiles, returning [(value, cumulative_probability)] pairs in
-    ascending order — the series behind the paper's CDF figures. *)
+(** [cdf_points xs ~points] samples the empirical CDF of the non-NaN entries
+    at [points] evenly spaced quantiles, returning
+    [(value, cumulative_probability)] pairs in ascending order — the series
+    behind the paper's CDF figures. [[||]] on empty or all-NaN input. *)
 val cdf_points : float array -> points:int -> (float * float) array
 
 (** [correlation xs ys] is the Pearson correlation coefficient.
@@ -40,3 +48,51 @@ val cross_correlation : float array -> float array -> max_lag:int -> float array
 (** [relative_error ~actual ~expected] is [|actual − expected| / |expected|];
     [infinity] when [expected = 0.] and [actual <> 0.], else [0.]. *)
 val relative_error : actual:float -> expected:float -> float
+
+(** Streaming (online) accumulators for fleet-scale aggregation: O(1) memory
+    in sample count, bit-for-bit deterministic in insertion order — feeding
+    the same sample sequence always reproduces the same state, which is what
+    lets a checkpoint-resumed sweep emit a byte-identical table. *)
+
+(** Welford's online mean/variance. *)
+module Welford : sig
+  type t
+
+  val create : unit -> t
+
+  (** [add t x] folds one sample in.
+      @raise Invalid_argument on a non-finite sample. *)
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  (** [mean t] / [variance t] (population) / [stddev t] — [nan] while
+      empty. *)
+  val mean : t -> float
+
+  val variance : t -> float
+
+  val stddev : t -> float
+end
+
+(** The P² online quantile estimator (Jain & Chlamtac 1985): five markers
+    nudged toward their ideal positions by a piecewise-parabolic rule.
+    Exact for the first five samples, approximate (typically within a
+    percent of the sample range for unimodal data) after that. *)
+module P2 : sig
+  type t
+
+  (** [create p] targets quantile [p].
+      @raise Invalid_argument unless [0 < p < 1]. *)
+  val create : float -> t
+
+  (** [add t x] folds one sample in.
+      @raise Invalid_argument on a non-finite sample. *)
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  (** [quantile t] is the current estimate; [nan] while empty, the exact
+      order statistic while five or fewer samples have been seen. *)
+  val quantile : t -> float
+end

@@ -216,6 +216,8 @@ type crash = {
   crash_exn : string;
   crash_backtrace : string;
   crash_recovered : bool;
+  crash_attempts : int;
+  crash_raw : exn;
 }
 
 (* cases run on arbitrary pool domains, so the log needs a lock and the test
@@ -258,7 +260,8 @@ let set_crash_hook h = Atomic.set crash_hook h
 
 let rekey seed = seed lxor 0x9E3779B9 [@@domain_safe "pure integer mixing"]
 
-let run_case ?check ~label ~seed f =
+let run_case ?check ?(attempts = 2) ?backoff ~label ~seed f =
+  if attempts < 1 then invalid_arg "Common.run_case: attempts must be >= 1";
   let attempt seed =
     (match
        Atomic.get
@@ -280,27 +283,35 @@ let run_case ?check ~label ~seed f =
      | None -> ());
     r
   in
-  match attempt seed with
-  | r -> Ok r
-  | exception e1 ->
-    let bt1 = Printexc.get_backtrace () in
-    (* retry exactly once, on a fresh deterministic rng stream *)
-    (match attempt (rekey seed) with
-     | r ->
-       record_crash
-         { crash_label = label; crash_seed = seed;
-           crash_exn = Printexc.to_string e1; crash_backtrace = bt1;
-           crash_recovered = true };
-       Ok r
-     | exception e2 ->
-       let bt2 = Printexc.get_backtrace () in
-       let c =
-         { crash_label = label; crash_seed = seed;
-           crash_exn = Printexc.to_string e2; crash_backtrace = bt2;
-           crash_recovered = false }
-       in
-       record_crash c;
-       Error c)
+  (* attempt [k] (1-based) runs on seed rekeyed [k-1] times: each retry gets
+     a fresh deterministic rng stream, so results stay reproducible whatever
+     pool domain retries them *)
+  let rec go k seed_k e1 bt1 =
+    match attempt seed_k with
+    | r ->
+      if k > 1 then
+        record_crash
+          { crash_label = label; crash_seed = seed;
+            crash_exn = Printexc.to_string e1; crash_backtrace = bt1;
+            crash_recovered = true; crash_attempts = k; crash_raw = e1 };
+      Ok r
+    | exception e ->
+      let bt = Printexc.get_backtrace () in
+      if k >= attempts then begin
+        let c =
+          { crash_label = label; crash_seed = seed;
+            crash_exn = Printexc.to_string e; crash_backtrace = bt;
+            crash_recovered = false; crash_attempts = k; crash_raw = e }
+        in
+        record_crash c;
+        Error c
+      end
+      else begin
+        (match backoff with None -> () | Some wait -> wait ~attempt:(k + 1));
+        go (k + 1) (rekey seed_k) e bt
+      end
+  in
+  go 1 seed (Failure "unreached") ""
 [@@domain_safe
   "runs inside pool tasks; shared state is limited to the atomic crash \
    hook and the mutex-guarded crash log (via record_crash)"]

@@ -136,22 +136,33 @@ val run_seeds : profile -> base:int -> (seed:int -> 'a) -> 'a list
 
 type crash = {
   crash_label : string;
-  crash_seed : int;  (** the original seed, before the retry rekey *)
+  crash_seed : int;  (** the original seed, before any retry rekey *)
   crash_exn : string;
   crash_backtrace : string;
-  crash_recovered : bool;  (** the single retry on a rekeyed seed succeeded *)
+  crash_recovered : bool;  (** a retry on a rekeyed seed succeeded *)
+  crash_attempts : int;  (** attempts consumed (including the success) *)
+  crash_raw : exn;
+      (** the captured exception itself (recovered: the first failure;
+          exhausted: the last), so callers can classify typed failures —
+          e.g. the sweep's watchdog timeout vs a genuine crash *)
 }
 
 (** [run_case ~label ~seed f] runs [f ~seed], capturing any exception (with
-    its backtrace) instead of propagating it.  A failed case is retried
-    exactly once on a fresh deterministic RNG stream ([seed] rekeyed); if the
-    retry also fails the case is reported as [Error].  Both outcomes are
-    appended to the {!crashes} log.  Deterministic: identical inputs give
-    identical results whatever pool runs them.
+    its backtrace) instead of propagating it.  A failed case is retried on a
+    fresh deterministic RNG stream ([seed] rekeyed once per retry) until it
+    succeeds or [attempts] (default 2, i.e. one retry) are exhausted, at
+    which point the case is reported as [Error].  Both outcomes are appended
+    to the {!crashes} log.  Deterministic: identical inputs give identical
+    results whatever pool runs them.
     @param check result validation — [Some msg] marks the result invalid and
-           is treated exactly like a raise *)
+           is treated exactly like a raise
+    @param attempts total tries (>= 1)
+    @param backoff called before retry attempt [k] (2-based) — the sweep's
+           capped exponential sleep; must be domain-safe *)
 val run_case :
   ?check:('a -> string option) ->
+  ?attempts:int ->
+  ?backoff:(attempt:int -> unit) ->
   label:string ->
   seed:int ->
   (seed:int -> 'a) ->

@@ -2,7 +2,9 @@
    synthetic path profiles sampled over realistic ranges of rate, RTT,
    buffering, random loss, policing, and background WAN traffic (the paper's
    claim is about the *distribution* of outcomes across path diversity; see
-   DESIGN.md).
+   DESIGN.md).  The population and the per-path runner live in Path_model,
+   shared with the fleet-scale sweep (`nimbus_cli sweep`), which draws the
+   same distribution at 10^4+ paths.
 
    Fig. 18/19: per-path and aggregate throughput/delay for Nimbus, Cubic,
    BBR, Vegas — Nimbus should match Cubic-or-better throughput nearly
@@ -13,85 +15,18 @@
    delay-control scheme — the delay-mode cluster sits at far lower delay at
    similar throughput, the paper's motivation appendix. *)
 
-module Engine = Nimbus_sim.Engine
-module Rng = Nimbus_sim.Rng
-module Bottleneck = Nimbus_sim.Bottleneck
-module Qdisc = Nimbus_sim.Qdisc
-module Wan = Nimbus_traffic.Wan
 module Stats = Nimbus_dsp.Stats
-module Time = Units.Time
-module Rate = Units.Rate
 
 let id = "paths"
 
 let title = "Fig 18/19/20: synthetic Internet path profiles"
 
-type path = {
-  p_id : int;
-  mbps : float;
-  rtt_ms : float;
-  buffer_bdp : float;
-  loss : float;        (* random loss probability *)
-  policed : bool;
-  wan_load : float;    (* background traffic as a fraction of the link *)
-}
-
-let sample_paths ~count ~seed =
-  let rng = Rng.create seed in
-  List.init count (fun i ->
-      let lossy = Rng.uniform rng < 0.2 in
-      let policed = (not lossy) && Rng.uniform rng < 0.12 in
-      { p_id = i;
-        mbps = Rng.range rng ~lo:20. ~hi:100.;
-        rtt_ms = Rng.range rng ~lo:20. ~hi:120.;
-        buffer_bdp = Rng.range rng ~lo:0.5 ~hi:3.;
-        loss = (if lossy then Rng.range rng ~lo:0.001 ~hi:0.01 else 0.);
-        policed;
-        wan_load = Rng.range rng ~lo:0.1 ~hi:0.5 })
-
-let setup_path path ~seed =
-  let engine = Engine.create () in
-  let rng = Rng.create seed in
-  let mu = path.mbps *. 1e6 in
-  let prop_rtt = path.rtt_ms /. 1e3 in
-  let capacity_bytes =
-    max (4 * 1500) (int_of_float (mu *. prop_rtt *. path.buffer_bdp /. 8.))
-  in
-  let qdisc = Qdisc.droptail ~capacity_bytes in
-  let random_loss =
-    if path.loss > 0. then Some (path.loss, Rng.split rng) else None
-  in
-  let policer =
-    if path.policed then Some (Rate.bps (mu *. 0.85), 50 * 1500) else None
-  in
-  let bn =
-    Bottleneck.create engine
-      { (Bottleneck.Config.default ~rate:(Rate.bps mu) ~qdisc) with
-        random_loss; policer }
-  in
-  (engine, bn, rng, mu, prop_rtt)
-
-let run_path (p : Common.profile) path ~seed (sch : Common.scheme) =
-  let engine, bn, rng, mu, prop_rtt = setup_path path ~seed in
-  let horizon = Common.scaled p 60. in
-  if path.wan_load > 0. then
-    ignore
-      (Wan.create engine bn ~rng:(Rng.split rng) ~prop_rtt:(Time.secs prop_rtt)
-         ~load:(Rate.bps (path.wan_load *. mu)) ());
-  let l =
-    { Common.mu = Rate.bps mu;
-      prop_rtt = Time.secs prop_rtt;
-      buffer_bdp = path.buffer_bdp;
-      aqm = `Droptail }
-  in
-  let running = sch.Common.start_flow engine bn l () in
-  let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
-  Engine.run_until engine (Time.secs horizon);
-  ( Common.mean stats.Common.tput_series ~lo:8. ~hi:horizon,
-    Common.mean stats.Common.rtt_series ~lo:8. ~hi:horizon )
+let run_path p path ~seed sch =
+  let o = Path_model.run p path sch ~seed in
+  (o.Path_model.o_tput, o.Path_model.o_rtt)
 
 let run (p : Common.profile) =
-  let paths = sample_paths ~count:25 ~seed:1819 in
+  let paths = Path_model.sample ~count:25 ~seed:1819 in
   let schemes =
     [ Common.nimbus ~estimate_mu:true (); Common.cubic; Common.bbr;
       Common.vegas ]
@@ -101,7 +36,8 @@ let run (p : Common.profile) =
       ~f:(fun path ->
         ( path,
           List.map
-            (fun sch -> run_path p path ~seed:(500 + path.p_id) sch)
+            (fun sch ->
+              run_path p path ~seed:(500 + path.Path_model.p_id) sch)
             (schemes
             [@shared_ok
               "immutable scheme list built before the fan-out; each \
@@ -112,13 +48,8 @@ let run (p : Common.profile) =
   let per_path =
     List.map
       (fun (path, outs) ->
-        let kind =
-          if path.loss > 0. then "lossy"
-          else if path.policed then "policed"
-          else "buffered"
-        in
-        Printf.sprintf "%d" path.p_id
-        :: Printf.sprintf "%.0fM/%.0fms/%s" path.mbps path.rtt_ms kind
+        Printf.sprintf "%d" path.Path_model.p_id
+        :: Path_model.describe path
         :: List.concat_map
              (fun (tput, rtt) -> [ Table.fmt_mbps tput; Table.fmt_ms rtt ])
              outs)
@@ -171,8 +102,8 @@ let run (p : Common.profile) =
   in
   (* Appendix A: repeated Cubic vs pure delay-mode runs on one buffered path *)
   let base_path =
-    { p_id = 99; mbps = 48.; rtt_ms = 50.; buffer_bdp = 2.; loss = 0.;
-      policed = false; wan_load = 0.35 }
+    { Path_model.p_id = 99; mbps = 48.; rtt_ms = 50.; buffer_bdp = 2.;
+      loss = 0.; policed = false; wan_load = 0.35 }
   in
   let runs = max 4 (p.Common.seeds * 4) in
   let collect sch =

@@ -1,0 +1,756 @@
+(* Fleet-scale Monte-Carlo path sweep (DESIGN.md §16): the Fig. 18/19
+   population from Path_model run at 10^4+ paths × a protocol matrix,
+   sharded over the ambient domain pool and hardened end-to-end:
+
+   - checkpoint/resume: completed shards are appended to a versioned
+     checkpoint file via atomic tmp-write+rename, so a sweep killed at any
+     point restarts from its last completed shard and produces a
+     byte-identical final table to an uninterrupted run, at any --jobs;
+   - watchdog + retry: each case gets a wall-clock budget (polled once per
+     simulated second — cooperative, there is no safe cross-domain
+     preemption) and crashes/timeouts are retried on rekeyed seeds under
+     capped exponential backoff before being recorded as typed failure
+     cells, never aborting the sweep;
+   - streaming aggregation: P² quantile estimators and Welford accumulators
+     (lib/dsp Stats) fed in deterministic shard order, so aggregator memory
+     is O(1) in path count — no per-path row is ever materialized;
+   - auto-triage: the worst-k outlier paths are re-run with tracing and the
+     invariant monitor enabled and their traces archived.
+
+   Everything printed into the result tables is derived from checkpoint
+   cells alone; wall-clock progress goes through [sw_log] (stderr in the
+   CLI) so stdout diffs cleanly across interrupted/resumed runs. *)
+
+module Stats = Nimbus_dsp.Stats
+module Event = Nimbus_trace.Event
+module Trace = Nimbus_trace.Trace
+module Sink = Nimbus_trace.Sink
+
+exception Case_timeout
+
+exception Checkpoint_incompatible of string
+
+type failure =
+  | F_timeout of int (* attempts consumed *)
+  | F_crash of int
+
+type cell = (float * float, failure) result (* tput bps, mean rtt secs *)
+
+type config = {
+  sw_paths : int;
+  sw_seed : int;
+  sw_schemes : Common.scheme list;
+  sw_profile : Common.profile;
+  sw_shard : int;
+  sw_budget : float; (* wall secs per case attempt; <= 0 disables *)
+  sw_retries : int; (* retries after the first attempt *)
+  sw_backoff : float; (* base retry delay, secs; doubles, capped at 1 s *)
+  sw_checkpoint : string option;
+  sw_resume : bool;
+  sw_stop_after : int option; (* stop once this many shards are done *)
+  sw_triage_k : int;
+  sw_triage_dir : string option;
+  sw_clock : unit -> float; (* wall clock for the watchdog *)
+  sw_sleep : float -> unit; (* backoff sleep *)
+  sw_log : string -> unit; (* progress; never part of the tables *)
+}
+
+let default_schemes () =
+  [ Common.nimbus ~estimate_mu:true (); Common.cubic; Common.bbr;
+    Common.vegas ]
+
+let scheme_of_name name =
+  match name with
+  | "nimbus" -> Some (Common.nimbus ~estimate_mu:true ())
+  | "nimbus-delay" -> Some Common.nimbus_delay_only
+  | "cubic" -> Some Common.cubic
+  | "reno" -> Some Common.reno
+  | "vegas" -> Some Common.vegas
+  | "copa" -> Some Common.copa
+  | "bbr" -> Some Common.bbr
+  | "vivace" -> Some Common.vivace
+  | "compound" -> Some Common.compound
+  | _ -> None
+
+let config ?(paths = 100) ?(seed = 1819) ?schemes ?(profile = Common.quick)
+    ?(shard_size = 32) ?(budget = 0.) ?(retries = 2) ?(backoff = 0.05)
+    ?checkpoint ?(resume = false) ?stop_after ?(triage_k = 0) ?triage_dir
+    ?(clock = Unix.gettimeofday) ?(sleep = Unix.sleepf) ?(log = fun _ -> ())
+    () =
+  if paths < 1 then invalid_arg "Sweep.config: paths must be >= 1";
+  if shard_size < 1 then invalid_arg "Sweep.config: shard_size must be >= 1";
+  if retries < 0 then invalid_arg "Sweep.config: retries must be >= 0";
+  let schemes = match schemes with Some s -> s | None -> default_schemes () in
+  if schemes = [] then invalid_arg "Sweep.config: no schemes";
+  { sw_paths = paths; sw_seed = seed; sw_schemes = schemes;
+    sw_profile = profile; sw_shard = shard_size; sw_budget = budget;
+    sw_retries = retries; sw_backoff = backoff; sw_checkpoint = checkpoint;
+    sw_resume = resume; sw_stop_after = stop_after; sw_triage_k = triage_k;
+    sw_triage_dir = triage_dir; sw_clock = clock; sw_sleep = sleep;
+    sw_log = log }
+
+(* --- checkpoint format -----------------------------------------------------
+
+   Line-oriented text, one header plus one line per completed shard:
+
+     NIMSWP01 paths=N seed=N shard=N scale=F seeds=N budget=F retries=N schemes=a,b,c
+     S <idx> <base> <ncells> <cell>... #<fnv64-hex>
+
+   Cells are path-major ("o:<tput>:<rtt>", "t:<attempts>", "c:<attempts>"),
+   floats printed with the trace layer's shortest-round-trip formatter so a
+   resumed aggregation folds bit-identical values.  Every shard line carries
+   an FNV-1a checksum of its body; a torn or corrupted line (and everything
+   after it) is dropped on resume, and the file is rewritten to its validated
+   prefix.  Updates go through tmp-write+rename, so the file on disk is
+   always a complete prefix of the sweep. *)
+
+let magic = "NIMSWP01"
+
+let header_line cfg =
+  Printf.sprintf "%s paths=%d seed=%d shard=%d scale=%s seeds=%d budget=%s \
+                  retries=%d schemes=%s"
+    magic cfg.sw_paths cfg.sw_seed cfg.sw_shard
+    (Event.float_str cfg.sw_profile.Common.time_scale)
+    cfg.sw_profile.Common.seeds
+    (Event.float_str cfg.sw_budget)
+    cfg.sw_retries
+    (String.concat "," (List.map (fun s -> s.Common.scheme_name) cfg.sw_schemes))
+
+let fnv64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+             0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let cell_to_string = function
+  | Ok (tput, rtt) ->
+    Printf.sprintf "o:%s:%s" (Event.float_str tput) (Event.float_str rtt)
+  | Error (F_timeout k) -> Printf.sprintf "t:%d" k
+  | Error (F_crash k) -> Printf.sprintf "c:%d" k
+
+let cell_of_string s =
+  match String.split_on_char ':' s with
+  | [ "o"; t; r ] -> Ok (float_of_string t, float_of_string r)
+  | [ "t"; k ] -> Error (F_timeout (int_of_string k))
+  | [ "c"; k ] -> Error (F_crash (int_of_string k))
+  | _ -> failwith "bad cell"
+
+let shard_line ~idx ~base cells =
+  let body =
+    Printf.sprintf "S %d %d %d %s" idx base (List.length cells)
+      (String.concat " " (List.map cell_to_string cells))
+  in
+  body ^ " #" ^ fnv64 body
+
+(* [parse_shard_line line] is [Some (idx, base, cells)] iff the line is
+   complete and its checksum matches. *)
+let parse_shard_line line =
+  match String.rindex_opt line '#' with
+  | None -> None
+  | Some hash_at ->
+    if hash_at < 1 || line.[hash_at - 1] <> ' ' then None
+    else begin
+      let body = String.sub line 0 (hash_at - 1) in
+      let crc = String.sub line (hash_at + 1) (String.length line - hash_at - 1) in
+      if not (String.equal (fnv64 body) crc) then None
+      else
+        match String.split_on_char ' ' body with
+        | "S" :: idx :: base :: ncells :: cells -> (
+          match
+            let idx = int_of_string idx in
+            let base = int_of_string base in
+            let n = int_of_string ncells in
+            if n <> List.length cells then failwith "cell count mismatch";
+            (idx, base, List.map cell_of_string cells)
+          with
+          | parsed -> Some parsed
+          | exception _ -> None)
+        | _ -> None
+    end
+
+(* Atomic checkpoint update: stream-copy the current file plus the new line
+   into <file>.tmp (64 KiB chunks, O(1) memory) and rename it into place. *)
+let atomic_append path ~header line =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match open_in_bin path with
+   | ic ->
+     let buf = Bytes.create 65536 in
+     let rec copy () =
+       let k = input ic buf 0 (Bytes.length buf) in
+       if k > 0 then begin
+         output oc buf 0 k;
+         copy ()
+       end
+     in
+     copy ();
+     close_in ic
+   | exception Sys_error _ ->
+     output_string oc header;
+     output_string oc "\n");
+  output_string oc line;
+  output_string oc "\n";
+  close_out oc;
+  Sys.rename tmp path
+
+let write_fresh path ~header =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc header;
+  output_string oc "\n";
+  close_out oc;
+  Sys.rename tmp path
+
+(* [load_checkpoint path ~header ~accept] validates the header, then feeds
+   each complete, checksum-clean, in-order shard line to [accept] until one
+   is rejected (or the file ends / corrupts), rewrites the file to exactly
+   the accepted prefix (tmp-write+rename), and returns the number of shards
+   accepted.  A missing file is an empty checkpoint.
+   @raise Checkpoint_incompatible when the header does not match [header]
+   (different sweep parameters — resuming would silently mix populations) *)
+let load_checkpoint path ~header ~accept =
+  match open_in_bin path with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    (match input_line ic with
+     | exception End_of_file ->
+       raise (Checkpoint_incompatible (path ^ ": empty checkpoint file"))
+     | first ->
+       if not (String.equal first header) then
+         raise
+           (Checkpoint_incompatible
+              (Printf.sprintf
+                 "%s: checkpoint header does not match this sweep's \
+                  parameters\n  file:   %s\n  sweep:  %s"
+                 path first header)));
+    let kept = Buffer.create 4096 in
+    Buffer.add_string kept header;
+    Buffer.add_char kept '\n';
+    let shards = ref 0 in
+    (try
+       let stop = ref false in
+       while not !stop do
+         match input_line ic with
+         | exception End_of_file -> stop := true
+         | line -> (
+           match parse_shard_line line with
+           | Some (idx, base, cells) when idx = !shards && accept ~base cells ->
+             incr shards;
+             Buffer.add_string kept line;
+             Buffer.add_char kept '\n'
+           | Some _ | None ->
+             (* out-of-order, truncated, or corrupt: drop this line and
+                everything after it *)
+             stop := true)
+       done
+     with e -> raise e);
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Buffer.output_buffer oc kept;
+    close_out oc;
+    Sys.rename tmp path;
+    !shards
+
+(* --- streaming aggregation ------------------------------------------------- *)
+
+type scheme_agg = {
+  ag_name : string;
+  ag_tput : Stats.Welford.t;
+  ag_rtt : Stats.Welford.t;
+  ag_tput_p10 : Stats.P2.t;
+  ag_tput_p50 : Stats.P2.t;
+  ag_tput_p90 : Stats.P2.t;
+  ag_rtt_p50 : Stats.P2.t;
+  ag_rtt_p95 : Stats.P2.t;
+  mutable ag_timeouts : int;
+  mutable ag_crashes : int;
+}
+
+(* scheme 0 vs scheme i: the distributional claims of Fig. 19 *)
+type pair_agg = {
+  pr_name : string;
+  pr_ratio_p50 : Stats.P2.t; (* tput(scheme0) / tput(scheme_i) *)
+  pr_ddiff_p50 : Stats.P2.t; (* rtt(scheme0) - rtt(scheme_i), ms *)
+  mutable pr_n : int;
+  mutable pr_ratio_low : int; (* ratio < 0.9 *)
+  mutable pr_delay_better : int; (* delay diff < -5 ms *)
+}
+
+type worst = {
+  w_score : float;
+  w_path : Path_model.t;
+  w_cells : cell list;
+}
+
+type agg = {
+  per_scheme : scheme_agg array;
+  pairs : pair_agg array;
+  mutable paths_done : int;
+  mutable failures : int;
+  mutable worst : worst list; (* descending score, length <= sw_triage_k *)
+}
+
+let create_agg cfg =
+  let mk name =
+    { ag_name = name; ag_tput = Stats.Welford.create ();
+      ag_rtt = Stats.Welford.create (); ag_tput_p10 = Stats.P2.create 0.1;
+      ag_tput_p50 = Stats.P2.create 0.5; ag_tput_p90 = Stats.P2.create 0.9;
+      ag_rtt_p50 = Stats.P2.create 0.5; ag_rtt_p95 = Stats.P2.create 0.95;
+      ag_timeouts = 0; ag_crashes = 0 }
+  in
+  let names = List.map (fun s -> s.Common.scheme_name) cfg.sw_schemes in
+  { per_scheme = Array.of_list (List.map mk names);
+    pairs =
+      (match names with
+       | [] | [ _ ] -> [||]
+       | s0 :: rest ->
+         Array.of_list
+           (List.map
+              (fun si ->
+                { pr_name = s0 ^ "/" ^ si;
+                  pr_ratio_p50 = Stats.P2.create 0.5;
+                  pr_ddiff_p50 = Stats.P2.create 0.5; pr_n = 0;
+                  pr_ratio_low = 0; pr_delay_better = 0 })
+              rest));
+    paths_done = 0;
+    failures = 0;
+    worst = [] }
+
+(* Outlier score, higher = worse: a failed case dominates everything; with
+   two or more schemes, the paper's headline anomaly is scheme0
+   underperforming scheme1 (nimbus vs cubic by default), so the score is the
+   relative throughput deficit 1 - t0/t1; with a single scheme, the weakest
+   absolute throughput. *)
+let score_path cells =
+  if List.exists (function Error _ -> true | Ok _ -> false) cells then
+    infinity
+  else
+    match cells with
+    | Ok (t0, _) :: Ok (t1, _) :: _ ->
+      if t1 > 0. then 1. -. (t0 /. t1) else 0.
+    | [ Ok (t0, _) ] -> -.t0
+    | _ -> neg_infinity
+
+(* keep the k worst, descending score, ties broken toward the lower path id
+   (which insertion order provides: paths arrive in id order) *)
+let note_worst agg ~k w =
+  if k > 0 then begin
+    let rec insert = function
+      | [] -> [ w ]
+      | x :: rest ->
+        if w.w_score > x.w_score then w :: x :: rest else x :: insert rest
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    agg.worst <- take k (insert agg.worst)
+  end
+
+(* the one feed path shared by live shards and checkpoint resume: identical
+   call sequence => bit-identical accumulator state *)
+let feed_path cfg agg path cells =
+  List.iteri
+    (fun i cell ->
+      let sa = agg.per_scheme.(i) in
+      match cell with
+      | Ok (tput, rtt) ->
+        Stats.Welford.add sa.ag_tput tput;
+        Stats.Welford.add sa.ag_rtt rtt;
+        Stats.P2.add sa.ag_tput_p10 tput;
+        Stats.P2.add sa.ag_tput_p50 tput;
+        Stats.P2.add sa.ag_tput_p90 tput;
+        Stats.P2.add sa.ag_rtt_p50 rtt;
+        Stats.P2.add sa.ag_rtt_p95 rtt;
+        (if i > 0 then
+           match (List.nth cells 0, cell) with
+           | Ok (t0, r0), Ok (ti, ri) ->
+             let pr = agg.pairs.(i - 1) in
+             pr.pr_n <- pr.pr_n + 1;
+             if ti > 0. then begin
+               let ratio = t0 /. ti in
+               Stats.P2.add pr.pr_ratio_p50 ratio;
+               if ratio < 0.9 then pr.pr_ratio_low <- pr.pr_ratio_low + 1
+             end;
+             let ddiff_ms = (r0 -. ri) *. 1e3 in
+             Stats.P2.add pr.pr_ddiff_p50 ddiff_ms;
+             if ddiff_ms < -5. then
+               pr.pr_delay_better <- pr.pr_delay_better + 1
+           | _ -> ())
+      | Error (F_timeout _) ->
+        sa.ag_timeouts <- sa.ag_timeouts + 1;
+        agg.failures <- agg.failures + 1
+      | Error (F_crash _) ->
+        sa.ag_crashes <- sa.ag_crashes + 1;
+        agg.failures <- agg.failures + 1)
+    cells;
+  agg.paths_done <- agg.paths_done + 1;
+  note_worst agg ~k:cfg.sw_triage_k
+    { w_score = score_path cells; w_path = path; w_cells = cells }
+
+(* --- running one case ------------------------------------------------------ *)
+
+(* per-case run seeds follow the Fig. 18 convention (500 + path id), so the
+   first 25 nimbus cells of a sweep are exactly the figure's runs *)
+let case_seed path = 500 + path.Path_model.p_id
+
+let run_cell cfg path sch : cell =
+  let label =
+    Printf.sprintf "sweep/p%d/%s" path.Path_model.p_id sch.Common.scheme_name
+  in
+  let backoff ~attempt =
+    if cfg.sw_backoff > 0. then
+      cfg.sw_sleep
+        (Float.min 1. (cfg.sw_backoff *. (2. ** float_of_int (attempt - 2))))
+  in
+  let f ~seed =
+    let watchdog =
+      if cfg.sw_budget > 0. then begin
+        let deadline = cfg.sw_clock () +. cfg.sw_budget in
+        Some
+          (fun () -> if cfg.sw_clock () > deadline then raise Case_timeout)
+      end
+      else None
+    in
+    let o = Path_model.run ?watchdog cfg.sw_profile path sch ~seed in
+    (o.Path_model.o_tput, o.Path_model.o_rtt)
+  in
+  match
+    Common.run_case
+      ~check:(fun (t, r) ->
+        if Float.is_finite t && Float.is_finite r then None
+        else Some "non-finite sweep statistic")
+      ~attempts:(cfg.sw_retries + 1) ~backoff ~label ~seed:(case_seed path) f
+  with
+  | Ok cell -> Ok cell
+  | Error c -> (
+    match c.Common.crash_raw with
+    | Case_timeout -> Error (F_timeout c.Common.crash_attempts)
+    | _ -> Error (F_crash c.Common.crash_attempts))
+
+(* one shard: the (path × scheme) matrix fanned over the ambient pool,
+   results in input order *)
+let run_shard cfg paths =
+  let cases =
+    List.concat_map
+      (fun path -> List.map (fun sch -> (path, sch)) cfg.sw_schemes)
+      paths
+  in
+  Common.map_cases
+    ~f:(fun (path, sch) ->
+      run_cell
+        (cfg
+        [@shared_ok
+          "immutable sweep configuration built before the fan-out; its \
+           clock/sleep closures are stateless wall-clock primitives"])
+        path sch)
+    cases
+
+(* regroup a shard's path-major cell list into per-path rows *)
+let rec chunk n = function
+  | [] -> []
+  | cells ->
+    let rec split k acc rest =
+      if k = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> invalid_arg "Sweep: short shard"
+        | c :: tl -> split (k - 1) (c :: acc) tl
+    in
+    let row, rest = split n [] cells in
+    row :: chunk n rest
+
+(* --- tables ---------------------------------------------------------------- *)
+
+let fmt_cell = function
+  | Ok (tput, rtt) ->
+    Printf.sprintf "%s Mb/%s ms" (Table.fmt_mbps tput) (Table.fmt_ms rtt)
+  | Error (F_timeout k) -> Printf.sprintf "!timeout(%d att)" k
+  | Error (F_crash k) -> Printf.sprintf "!crash(%d att)" k
+
+let tables cfg agg ~triage_rows =
+  let q p2 = Stats.P2.quantile p2 in
+  let per_scheme =
+    Table.make ~title:"Fleet sweep: per-scheme aggregate over sampled paths"
+      ~header:
+        [ "scheme"; "ok"; "timeout"; "crash"; "mean tput"; "sd"; "p10"; "p50";
+          "p90"; "p50 rtt"; "p95 rtt" ]
+      ~notes:
+        [ Printf.sprintf
+            "population: %d paths, seed %d, schemes %s; streaming P2/Welford \
+             aggregation (O(1) memory, deterministic in shard order)"
+            cfg.sw_paths cfg.sw_seed
+            (String.concat ","
+               (List.map (fun s -> s.Common.scheme_name) cfg.sw_schemes)) ]
+      (Array.to_list
+         (Array.map
+            (fun sa ->
+              [ sa.ag_name;
+                string_of_int (Stats.Welford.count sa.ag_tput);
+                string_of_int sa.ag_timeouts;
+                string_of_int sa.ag_crashes;
+                Table.fmt_mbps (Stats.Welford.mean sa.ag_tput);
+                Table.fmt_mbps (Stats.Welford.stddev sa.ag_tput);
+                Table.fmt_mbps (q sa.ag_tput_p10);
+                Table.fmt_mbps (q sa.ag_tput_p50);
+                Table.fmt_mbps (q sa.ag_tput_p90);
+                Table.fmt_ms (q sa.ag_rtt_p50);
+                Table.fmt_ms (q sa.ag_rtt_p95) ])
+            agg.per_scheme))
+  in
+  let pair_tables =
+    if Array.length agg.pairs = 0 then []
+    else
+      [ Table.make
+          ~title:
+            (Printf.sprintf "Fleet sweep: %s vs baselines (paired per path)"
+               agg.per_scheme.(0).ag_name)
+          ~header:
+            [ "pair"; "paths"; "p50 tput ratio"; "ratio<0.9"; "p50 delay \
+               diff (ms)"; "delay<-5ms" ]
+          ~notes:
+            [ "Fig 19 at fleet scale: tput ratio ~1 and delay diff <= 0 \
+               nearly everywhere is the paper's distributional claim" ]
+          (Array.to_list
+             (Array.map
+                (fun pr ->
+                  let frac k =
+                    if pr.pr_n = 0 then "-"
+                    else Table.fmt_pct (float_of_int k /. float_of_int pr.pr_n)
+                  in
+                  [ pr.pr_name;
+                    string_of_int pr.pr_n;
+                    Table.fmt_float (q pr.pr_ratio_p50);
+                    frac pr.pr_ratio_low;
+                    Table.fmt_float (q pr.pr_ddiff_p50);
+                    frac pr.pr_delay_better ])
+                agg.pairs)) ]
+  in
+  let worst_table =
+    if cfg.sw_triage_k = 0 then []
+    else
+      [ Table.make
+          ~title:
+            (Printf.sprintf "Fleet sweep: worst-%d outlier paths"
+               cfg.sw_triage_k)
+          ~header:
+            ([ "path"; "profile"; "score" ]
+            @ List.map (fun s -> s.Common.scheme_name) cfg.sw_schemes)
+          ~notes:
+            [ "score: failed case = inf; else relative tput deficit of \
+               scheme0 vs scheme1 (1 - t0/t1); these paths are re-run by \
+               the triage pass with tracing + invariants" ]
+          (List.map
+             (fun w ->
+               [ string_of_int w.w_path.Path_model.p_id;
+                 Path_model.describe w.w_path;
+                 (if Float.is_finite w.w_score then
+                    Table.fmt_float ~digits:3 w.w_score
+                  else "inf") ]
+               @ List.map fmt_cell w.w_cells)
+             agg.worst) ]
+  in
+  ([ per_scheme ] @ pair_tables @ worst_table, triage_rows)
+
+(* --- triage ---------------------------------------------------------------- *)
+
+(* everything except per-packet lifecycle and engine sampling: small enough
+   to archive per case, detailed enough to diagnose a detector anomaly *)
+let triage_filter =
+  "bottleneck,fault,flow,detector,spectrum,pulse,mode,election,invariant"
+
+type triage_row = {
+  tr_path : Path_model.t;
+  tr_scheme : string;
+  tr_result : (float * float * int, string) result;
+      (* tput, rtt, violations | crash marker *)
+  tr_trace : string; (* JSONL *)
+}
+
+let run_triage cfg agg =
+  if cfg.sw_triage_k = 0 || agg.worst = [] then []
+  else begin
+    let mask =
+      match Trace.parse_filter triage_filter with
+      | Ok m -> m
+      | Error msg -> invalid_arg ("Sweep: triage filter: " ^ msg)
+    in
+    let cases =
+      List.concat_map
+        (fun w ->
+          List.map (fun sch -> (w.w_path, sch)) cfg.sw_schemes)
+        agg.worst
+    in
+    let rows =
+      Common.map_cases
+        ~f:(fun (path, sch) ->
+          let tbuf = Buffer.create 65536 in
+          let tr = Trace.create ~mask () in
+          Trace.attach tr (Sink.jsonl_buffer tbuf);
+          let result =
+            match
+              Common.run_case ~attempts:1
+                ~label:
+                  (Printf.sprintf "triage/p%d/%s" path.Path_model.p_id
+                     sch.Common.scheme_name)
+                ~seed:(case_seed path)
+                (fun ~seed ->
+                  Fun.protect
+                    ~finally:(fun () -> Trace.close tr)
+                    (fun () ->
+                      (Path_model.run
+                      [@shared_ok
+                        "pure case runner; the trace collector and buffer \
+                         are created inside this case and never shared"])
+                        ~trace:tr ~invariants:true
+                        (cfg
+                        [@shared_ok
+                          "immutable sweep configuration built before the \
+                           fan-out"])
+                          .sw_profile path sch ~seed))
+            with
+            | Ok o ->
+              Ok (o.Path_model.o_tput, o.Path_model.o_rtt,
+                  o.Path_model.o_violations)
+            | Error c -> Error (Common.crash_cell c)
+          in
+          { tr_path = path; tr_scheme = sch.Common.scheme_name;
+            tr_result = result; tr_trace = Buffer.contents tbuf })
+        cases
+    in
+    (* archive in input order, in the coordinator: file set and contents are
+       deterministic whatever the pool size *)
+    (match cfg.sw_triage_dir with
+     | None -> ()
+     | Some dir ->
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       List.iter
+         (fun row ->
+           let file =
+             Filename.concat dir
+               (Printf.sprintf "path%d_%s.jsonl" row.tr_path.Path_model.p_id
+                  row.tr_scheme)
+           in
+           let oc = open_out_bin file in
+           output_string oc row.tr_trace;
+           close_out oc)
+         rows);
+    rows
+  end
+
+let triage_table cfg rows =
+  if rows = [] then []
+  else
+    [ Table.make ~title:"Fleet sweep: triage re-runs (traced, invariants on)"
+        ~header:[ "path"; "profile"; "scheme"; "tput"; "rtt"; "violations";
+                  "trace" ]
+        ~notes:
+          [ "worst-k outliers re-run with the invariant monitor and a \
+             detector-focused trace; traces archived under --triage-dir" ]
+        (List.map
+           (fun row ->
+             let tput, rtt, viol =
+               match row.tr_result with
+               | Ok (t, r, v) ->
+                 (Table.fmt_mbps t, Table.fmt_ms r, string_of_int v)
+               | Error marker -> ("-", "-", marker)
+             in
+             [ string_of_int row.tr_path.Path_model.p_id;
+               Path_model.describe row.tr_path;
+               row.tr_scheme; tput; rtt; viol;
+               (match cfg.sw_triage_dir with
+                | None -> "-"
+                | Some dir ->
+                  Filename.concat dir
+                    (Printf.sprintf "path%d_%s.jsonl"
+                       row.tr_path.Path_model.p_id row.tr_scheme)) ])
+           rows) ]
+
+(* --- the sweep ------------------------------------------------------------- *)
+
+type outcome = {
+  tables : Table.t list;
+  interrupted : bool; (* sw_stop_after fired; tables are empty *)
+  completed_shards : int;
+  total_shards : int;
+  paths_done : int;
+  failures : int;
+}
+
+let run cfg =
+  let nschemes = List.length cfg.sw_schemes in
+  let total_shards = (cfg.sw_paths + cfg.sw_shard - 1) / cfg.sw_shard in
+  let shard_paths idx =
+    let base = idx * cfg.sw_shard in
+    (base, min cfg.sw_shard (cfg.sw_paths - base))
+  in
+  let agg = create_agg cfg in
+  let sampler = Path_model.sampler ~seed:cfg.sw_seed in
+  let header = header_line cfg in
+  (* resume: fold checkpointed shards through the same feed path a live
+     shard takes, regenerating each shard's paths from the sampler so the
+     stream stays aligned and triage still knows every path's profile *)
+  let resumed =
+    match cfg.sw_checkpoint with
+    | Some path when cfg.sw_resume ->
+      let loaded = ref 0 in
+      let n =
+        load_checkpoint path ~header ~accept:(fun ~base cells ->
+            let exp_base, nb = shard_paths !loaded in
+            if base <> exp_base || List.length cells <> nb * nschemes then
+              false
+            else begin
+              let paths = List.init nb (fun _ -> Path_model.next sampler) in
+              List.iter2 (feed_path cfg agg) paths (chunk nschemes cells);
+              incr loaded;
+              true
+            end)
+      in
+      cfg.sw_log
+        (Printf.sprintf "resume: %d/%d shard(s) restored from %s" n
+           total_shards path);
+      n
+    | Some path ->
+      (* fresh sweep: truncate whatever was there *)
+      write_fresh path ~header;
+      0
+    | None -> 0
+  in
+  let interrupted = ref false in
+  let shard = ref resumed in
+  while (not !interrupted) && !shard < total_shards do
+    let idx = !shard in
+    let base, nb = shard_paths idx in
+    let paths = List.init nb (fun _ -> Path_model.next sampler) in
+    let cells = run_shard cfg paths in
+    (match cfg.sw_checkpoint with
+     | Some path -> atomic_append path ~header (shard_line ~idx ~base cells)
+     | None -> ());
+    List.iter2 (feed_path cfg agg) paths (chunk nschemes cells);
+    shard := idx + 1;
+    cfg.sw_log
+      (Printf.sprintf "shard %d/%d: %d case(s), %d failure(s) so far" (idx + 1)
+         total_shards (nb * nschemes) agg.failures);
+    match cfg.sw_stop_after with
+    | Some n when !shard >= n ->
+      interrupted := !shard < total_shards;
+      if !interrupted then
+        cfg.sw_log
+          (Printf.sprintf "stopping after %d shard(s) (--stop-after)" !shard)
+    | _ -> ()
+  done;
+  if !interrupted then
+    { tables = []; interrupted = true; completed_shards = !shard;
+      total_shards; paths_done = agg.paths_done; failures = agg.failures }
+  else begin
+    let triage_rows = run_triage cfg agg in
+    let tables, triage_rows = tables cfg agg ~triage_rows in
+    { tables = tables @ triage_table cfg triage_rows;
+      interrupted = false; completed_shards = !shard; total_shards;
+      paths_done = agg.paths_done; failures = agg.failures }
+  end

@@ -1,0 +1,345 @@
+(* Tests for the fleet sweep stack: the streaming estimators (Welford, P²),
+   the Stats empty/all-NaN guards, the Path_model population, checkpoint
+   round-trips and corrupt-trailer recovery, and the headline robustness
+   property — a sweep interrupted mid-run and resumed from its checkpoint
+   produces byte-identical tables to an uninterrupted run, at any pool
+   size.  Sim-heavy cases use cheap schemes (cubic/vegas) so the suite
+   stays fast. *)
+
+module E = Nimbus_experiments
+module Sweep = E.Sweep
+module Path_model = E.Path_model
+module Stats = Nimbus_dsp.Stats
+module Rng = Nimbus_sim.Rng
+module Pool = Nimbus_parallel.Pool
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- stats guards (satellite 1) ------------------------------------------- *)
+
+let test_stats_guards () =
+  Alcotest.check_raises "percentile []" (Invalid_argument
+    "Stats.percentile: empty input") (fun () ->
+      ignore (Stats.percentile [||] 50.));
+  Alcotest.check_raises "percentile all-NaN" (Invalid_argument
+    "Stats.percentile: all-NaN input") (fun () ->
+      ignore (Stats.percentile [| nan; nan |] 50.));
+  Alcotest.(check int) "cdf_points []" 0
+    (Array.length (Stats.cdf_points [||] ~points:5));
+  Alcotest.(check int) "cdf_points all-NaN" 0
+    (Array.length (Stats.cdf_points [| nan |] ~points:5));
+  Alcotest.(check (float 1e-9)) "mean skips NaN" 2.
+    (Stats.mean [| 1.; nan; 3. |]);
+  Alcotest.(check (float 1e-9)) "percentile skips NaN" 2.
+    (Stats.percentile [| 1.; nan; 3. |] 50.)
+
+(* --- Welford --------------------------------------------------------------- *)
+
+let qcheck_welford =
+  QCheck.Test.make ~count:100 ~name:"sweep: Welford = exact mean/variance"
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let w = Stats.Welford.create () in
+      List.iter (Stats.Welford.add w) xs;
+      let a = Array.of_list xs in
+      abs_float (Stats.Welford.mean w -. Stats.mean a) < 1e-6
+      && abs_float (Stats.Welford.variance w -. Stats.variance a) < 1e-4)
+
+let test_welford_empty () =
+  let w = Stats.Welford.create () in
+  Alcotest.(check int) "count" 0 (Stats.Welford.count w);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.Welford.mean w));
+  Alcotest.check_raises "rejects nan" (Invalid_argument
+    "Stats.Welford.add: non-finite sample") (fun () -> Stats.Welford.add w nan)
+
+(* --- P² -------------------------------------------------------------------- *)
+
+let test_p2_small_exact () =
+  (* first five samples: quantile must equal the exact percentile *)
+  let p2 = Stats.P2.create 0.5 in
+  List.iter (Stats.P2.add p2) [ 9.; 1.; 5.; 3.; 7. ];
+  Alcotest.(check (float 1e-9)) "median of 5" 5. (Stats.P2.quantile p2);
+  let q = Stats.P2.create 0.9 in
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.P2.quantile q));
+  Stats.P2.add q 4.;
+  Alcotest.(check (float 1e-9)) "one sample" 4. (Stats.P2.quantile q)
+
+(* P² on a large uniform stream tracks the exact batch percentile.  Draws
+   come from the repo's splitmix RNG keyed by the qcheck-generated seed, so
+   shrinking stays meaningful. *)
+let qcheck_p2_uniform =
+  QCheck.Test.make ~count:30 ~name:"sweep: P2 ~ exact percentile (uniform)"
+    QCheck.(pair (int_range 0 10_000) (oneofl [ 0.1; 0.5; 0.9; 0.95 ]))
+    (fun (seed, p) ->
+      let rng = Rng.create seed in
+      let n = 2000 in
+      let xs = Array.init n (fun _ -> Rng.uniform rng) in
+      let p2 = Stats.P2.create p in
+      Array.iter (Stats.P2.add p2) xs;
+      abs_float (Stats.P2.quantile p2 -. Stats.percentile xs (p *. 100.))
+      < 0.03)
+
+let qcheck_p2_bimodal =
+  QCheck.Test.make ~count:20 ~name:"sweep: P2 ~ exact percentile (bimodal)"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 3000 in
+      let xs =
+        Array.init n (fun _ ->
+            if Rng.uniform rng < 0.3 then 10. +. Rng.uniform rng
+            else 100. +. (50. *. Rng.uniform rng))
+      in
+      let p2 = Stats.P2.create 0.5 in
+      Array.iter (Stats.P2.add p2) xs;
+      (* spread ~150, generous tolerance: P² is an estimate, but it must
+         land in the right mode *)
+      abs_float (Stats.P2.quantile p2 -. Stats.percentile xs 50.) < 8.)
+
+(* --- Path_model (satellite 2) ---------------------------------------------- *)
+
+let test_path_prefix_property () =
+  (* the 25-path figure population is a strict prefix of any larger sweep *)
+  let small = Path_model.sample ~count:25 ~seed:1819 in
+  let large = Path_model.sample ~count:100 ~seed:1819 in
+  let prefix = List.filteri (fun i _ -> i < 25) large in
+  Alcotest.(check bool) "first 25 of 100 = sample 25" true (small = prefix);
+  (* the sampler interface agrees with the batch one *)
+  let s = Path_model.sampler ~seed:1819 in
+  Path_model.skip s 10;
+  Alcotest.(check bool) "skip 10 then next = 11th" true
+    (Path_model.next s = List.nth large 10)
+
+let test_path_describe () =
+  let p = List.hd (Path_model.sample ~count:1 ~seed:1819) in
+  Alcotest.(check bool) "describe mentions kind" true
+    (String.length (Path_model.describe p) > 0
+    && List.mem (Path_model.kind p) [ "lossy"; "policed"; "buffered" ])
+
+(* --- checkpoint encoding --------------------------------------------------- *)
+
+let arb_cell =
+  QCheck.(
+    oneof
+      [ map
+          (fun (t, r) -> Ok (Float.abs t, Float.abs r))
+          (pair (float_bound_exclusive 1e9) (float_bound_exclusive 10.));
+        map (fun k -> Error (Sweep.F_timeout (1 + abs k mod 5))) int;
+        map (fun k -> Error (Sweep.F_crash (1 + abs k mod 5))) int ])
+
+let qcheck_cell_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"sweep: checkpoint cell round-trips"
+    arb_cell
+    (fun cell -> Sweep.cell_of_string (Sweep.cell_to_string cell) = cell)
+
+let qcheck_shard_line_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"sweep: shard line round-trips"
+    QCheck.(pair (pair small_nat small_nat) (list_of_size Gen.(int_range 1 8) arb_cell))
+    (fun ((idx, base), cells) ->
+      match Sweep.parse_shard_line (Sweep.shard_line ~idx ~base cells) with
+      | Some (i, b, cs) -> i = idx && b = base && cs = cells
+      | None -> false)
+
+let test_shard_line_corruption () =
+  let line = Sweep.shard_line ~idx:0 ~base:0 [ Ok (42e6, 0.05) ] in
+  (* truncation (a torn write) and payload corruption must both fail the
+     checksum; whitespace-only lines must not parse either *)
+  Alcotest.(check bool) "truncated rejected" true
+    (Sweep.parse_shard_line (String.sub line 0 (String.length line - 3))
+    = None);
+  let corrupt = Bytes.of_string line in
+  Bytes.set corrupt 2 '9';
+  Alcotest.(check bool) "corrupt payload rejected" true
+    (Sweep.parse_shard_line (Bytes.to_string corrupt) = None);
+  Alcotest.(check bool) "junk rejected" true
+    (Sweep.parse_shard_line "S 0 0" = None)
+
+(* --- sweep runs ------------------------------------------------------------ *)
+
+let with_pool jobs f =
+  Pool.run ~domains:jobs (fun pool ->
+      E.Common.set_pool (Some pool);
+      Fun.protect ~finally:(fun () -> E.Common.set_pool None) f)
+
+let temp_name suffix =
+  let f = Filename.temp_file "nimbus_sweep" suffix in
+  Sys.remove f;
+  f
+
+(* small matrix of cheap schemes; budget off => fully deterministic *)
+let base_cfg ?checkpoint ?resume ?stop_after () =
+  Sweep.config ~paths:4 ~seed:7 ~schemes:[ E.Common.cubic; E.Common.vegas ]
+    ~shard_size:2 ~retries:1 ?checkpoint ?resume ?stop_after ~triage_k:2
+    ~sleep:(fun _ -> ())
+    ()
+
+let rendered outcome = List.map E.Table.render outcome.Sweep.tables
+
+let test_resume_byte_identical () =
+  (* reference: uninterrupted, sequential *)
+  let reference = rendered (Sweep.run (base_cfg ())) in
+  Alcotest.(check bool) "reference has tables" true (reference <> []);
+  List.iter
+    (fun jobs ->
+      let ck = temp_name ".ck" in
+      Fun.protect ~finally:(fun () -> if Sys.file_exists ck then Sys.remove ck)
+      @@ fun () ->
+      (* run shard 0, then "crash" (stop_after), then resume the rest *)
+      let interrupted =
+        with_pool jobs (fun () ->
+            Sweep.run (base_cfg ~checkpoint:ck ~stop_after:1 ()))
+      in
+      Alcotest.(check bool) "interrupted flagged" true
+        interrupted.Sweep.interrupted;
+      Alcotest.(check int) "no tables while interrupted" 0
+        (List.length interrupted.Sweep.tables);
+      Alcotest.(check int) "one shard done" 1 interrupted.Sweep.completed_shards;
+      let resumed =
+        with_pool jobs (fun () ->
+            Sweep.run (base_cfg ~checkpoint:ck ~resume:true ()))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "all shards done (jobs=%d)" jobs)
+        resumed.Sweep.total_shards resumed.Sweep.completed_shards;
+      Alcotest.(check (list string))
+        (Printf.sprintf "resumed tables byte-identical (jobs=%d)" jobs)
+        reference (rendered resumed))
+    [ 1; 2; 4 ]
+
+let test_resume_corrupt_trailer () =
+  let ck = temp_name ".ck" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists ck then Sys.remove ck)
+  @@ fun () ->
+  let reference = rendered (Sweep.run (base_cfg ())) in
+  ignore (Sweep.run (base_cfg ~checkpoint:ck ~stop_after:2 ()));
+  (* tear the last shard line mid-cell, as a kill mid-write would *)
+  let ic = open_in_bin ck in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin ck in
+  output_string oc (String.sub contents 0 (len - 7));
+  close_out oc;
+  let resumed = rendered (Sweep.run (base_cfg ~checkpoint:ck ~resume:true ())) in
+  Alcotest.(check (list string)) "recovers from torn trailer" reference resumed
+
+let test_resume_incompatible_header () =
+  let ck = temp_name ".ck" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists ck then Sys.remove ck)
+  @@ fun () ->
+  ignore (Sweep.run (base_cfg ~checkpoint:ck ~stop_after:1 ()));
+  let other =
+    Sweep.config ~paths:4 ~seed:8 ~schemes:[ E.Common.cubic; E.Common.vegas ]
+      ~shard_size:2 ~checkpoint:ck ~resume:true ()
+  in
+  Alcotest.(check bool) "different seed rejected" true
+    (match Sweep.run other with
+     | exception Sweep.Checkpoint_incompatible _ -> true
+     | _ -> false)
+
+let test_crash_cells () =
+  (* force every attempt of one case to raise: it must cost exactly one
+     typed crash cell, not the sweep *)
+  E.Common.clear_crashes ();
+  E.Common.set_crash_hook
+    (Some (fun ~label ~seed:_ -> String.equal label "sweep/p1/vegas"));
+  Fun.protect ~finally:(fun () ->
+      E.Common.set_crash_hook None;
+      E.Common.clear_crashes ())
+  @@ fun () ->
+  let cfg =
+    Sweep.config ~paths:2 ~seed:7 ~schemes:[ E.Common.cubic; E.Common.vegas ]
+      ~shard_size:2 ~retries:1 ~triage_k:1 ~sleep:(fun _ -> ()) ()
+  in
+  let o = Sweep.run cfg in
+  Alcotest.(check bool) "not interrupted" false o.Sweep.interrupted;
+  Alcotest.(check int) "exactly one failure" 1 o.Sweep.failures;
+  (* the worst-k table surfaces the failed path with an infinite score *)
+  let worst =
+    List.find_opt
+      (fun (t : E.Table.t) ->
+        String.length t.E.Table.title >= 17
+        && String.sub t.E.Table.title 0 17 = "Fleet sweep: wors")
+      o.Sweep.tables
+  in
+  match worst with
+  | None -> Alcotest.fail "missing worst-k table"
+  | Some t ->
+    let row = List.hd t.E.Table.rows in
+    Alcotest.(check string) "failed path ranked worst" "1" (List.hd row);
+    Alcotest.(check string) "infinite score" "inf" (List.nth row 2)
+
+let test_watchdog_timeout_cells () =
+  (* a fake wall clock that leaps 1000 s per reading: every attempt blows
+     any positive budget at its first poll, deterministically, and the
+     backoff sleep is a recorded no-op *)
+  let now = ref 0. in
+  let slept = ref 0 in
+  let cfg =
+    Sweep.config ~paths:1 ~seed:7 ~schemes:[ E.Common.cubic ] ~shard_size:1
+      ~budget:5. ~retries:2 ~backoff:0.25 ~triage_k:0
+      ~clock:(fun () ->
+        now := !now +. 1000.;
+        !now)
+      ~sleep:(fun _ -> incr slept)
+      ()
+  in
+  E.Common.clear_crashes ();
+  let o = Sweep.run cfg in
+  E.Common.clear_crashes ();
+  Alcotest.(check int) "one failure" 1 o.Sweep.failures;
+  Alcotest.(check int) "backoff slept once per retry" 2 !slept;
+  let t = List.hd o.Sweep.tables in
+  let row = List.hd t.E.Table.rows in
+  (* per-scheme table: scheme ok timeout crash ... *)
+  Alcotest.(check string) "no ok cells" "0" (List.nth row 1);
+  Alcotest.(check string) "timeout cell, all attempts" "1" (List.nth row 2);
+  Alcotest.(check string) "not a crash" "0" (List.nth row 3)
+
+let test_figure_seed_alignment () =
+  (* the sweep's first paths are the 25-path figure's population *)
+  let cfg = Sweep.config ~paths:3 ~seed:1819 ~schemes:[ E.Common.cubic ] () in
+  let figure = Path_model.sample ~count:3 ~seed:1819 in
+  let o = Sweep.run cfg in
+  Alcotest.(check int) "3 paths" 3 o.Sweep.paths_done;
+  let t = List.hd o.Sweep.tables in
+  Alcotest.(check bool) "note names the population" true
+    (List.exists
+       (fun n ->
+         List.length figure = 3
+         && String.length n > 0
+         &&
+         let sub = "seed 1819" in
+         let rec has i =
+           i + String.length sub <= String.length n
+           && (String.sub n i (String.length sub) = sub || has (i + 1))
+         in
+         has 0)
+       t.E.Table.notes)
+
+let suite =
+  [ ( "sweep.stats",
+      [ Alcotest.test_case "guards" `Quick test_stats_guards;
+        Alcotest.test_case "welford empty" `Quick test_welford_empty;
+        qtest qcheck_welford;
+        Alcotest.test_case "p2 small exact" `Quick test_p2_small_exact;
+        qtest qcheck_p2_uniform; qtest qcheck_p2_bimodal ] );
+    ( "sweep.path_model",
+      [ Alcotest.test_case "prefix property" `Quick test_path_prefix_property;
+        Alcotest.test_case "describe" `Quick test_path_describe ] );
+    ( "sweep.checkpoint",
+      [ qtest qcheck_cell_roundtrip; qtest qcheck_shard_line_roundtrip;
+        Alcotest.test_case "corruption rejected" `Quick
+          test_shard_line_corruption ] );
+    ( "sweep.run",
+      [ Alcotest.test_case "kill+resume byte-identical" `Slow
+          test_resume_byte_identical;
+        Alcotest.test_case "torn-trailer recovery" `Slow
+          test_resume_corrupt_trailer;
+        Alcotest.test_case "incompatible header" `Slow
+          test_resume_incompatible_header;
+        Alcotest.test_case "crash cells" `Slow test_crash_cells;
+        Alcotest.test_case "watchdog timeout cells" `Quick
+          test_watchdog_timeout_cells;
+        Alcotest.test_case "figure seed alignment" `Slow
+          test_figure_seed_alignment ] ) ]
