@@ -71,6 +71,7 @@ let load path =
   let rows = ref [] in
   let pkts = ref nan in
   let sweep = ref nan in
+  let parking = ref nan in
   (try
      while true do
        let line = input_line ic in
@@ -85,13 +86,16 @@ let load path =
        (match num_field line "sim.pkts_per_wall_sec" with
        | Some v -> pkts := v
        | None -> ());
-       match num_field line "sweep.paths_per_wall_sec" with
+       (match num_field line "sweep.paths_per_wall_sec" with
        | Some v -> sweep := v
+       | None -> ());
+       match num_field line "sim.parking_lot.pkts_per_wall_sec" with
+       | Some v -> parking := v
        | None -> ()
      done
    with End_of_file -> ());
   close_in ic;
-  (List.rev !rows, !pkts, !sweep)
+  (List.rev !rows, !pkts, !sweep, !parking)
 
 let fnum v = if Float.is_finite v then Printf.sprintf "%.1f" v else "—"
 
@@ -107,7 +111,8 @@ let run ~old_file ~new_file =
   | exception Sys_error msg ->
     Printf.eprintf "compare: %s\n" msg;
     2
-  | (old_rows, old_pkts, old_sweep), (new_rows, new_pkts, new_sweep) ->
+  | ( (old_rows, old_pkts, old_sweep, old_parking),
+      (new_rows, new_pkts, new_sweep, new_parking) ) ->
     (* every name from either file: new-file order first, then old-only *)
     let names =
       List.map fst new_rows
@@ -134,6 +139,7 @@ let run ~old_file ~new_file =
     if
       Float.is_finite old_pkts || Float.is_finite new_pkts
       || Float.is_finite old_sweep || Float.is_finite new_sweep
+      || Float.is_finite old_parking || Float.is_finite new_parking
     then begin
       print_newline ();
       print_endline "| end-to-end (higher is better) | old | new | Δ |";
@@ -144,6 +150,10 @@ let run ~old_file ~new_file =
       if Float.is_finite old_sweep || Float.is_finite new_sweep then
         Printf.printf "| sweep.paths_per_wall_sec | %s | %s | %s |\n"
           (fnum old_sweep) (fnum new_sweep)
-          (fdelta ~old_:old_sweep ~new_:new_sweep)
+          (fdelta ~old_:old_sweep ~new_:new_sweep);
+      if Float.is_finite old_parking || Float.is_finite new_parking then
+        Printf.printf "| sim.parking_lot.pkts_per_wall_sec | %s | %s | %s |\n"
+          (fnum old_parking) (fnum new_parking)
+          (fdelta ~old_:old_parking ~new_:new_parking)
     end;
     0

@@ -12,6 +12,9 @@
                 per-second timeline of throughput / queue delay / mode
      faults     the fault matrix under the invariant monitor; exits 1 on
                 any violation (the CI smoke gate)
+     parking    the parking-lot chain (Nimbus populations on K bottlenecks)
+                under the invariant monitor; exits 1 on any violation (the
+                topology CI smoke gate)
      trace      summarize a trace file recorded with --trace
 
    Flags shared across subcommands (--full, --jobs, --seeds, --trace,
@@ -28,6 +31,7 @@ module Source = Nimbus_traffic.Source
 module Fault = Nimbus_faults.Fault
 module Invariant = Nimbus_metrics.Invariant
 module Exp_faults = Nimbus_experiments.Exp_faults
+module Exp_parking_lot = Nimbus_experiments.Exp_parking_lot
 module Time = Units.Time
 module Rate = Units.Rate
 
@@ -77,7 +81,9 @@ let simulate_cmd mbps rtt_ms duration cross_kind cross_mbps seed faults
     trace_out trace_filter =
   Flags.with_trace ?out:trace_out ~filter:trace_filter @@ fun trace flush ->
   let l = Common.link ~mbps ~rtt_ms () in
-  let engine, bn, rng = Common.setup ~trace ~seed l in
+  let net = Common.setup ~trace ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   (* drain the ring into the sink off the hot path, once a simulated second *)
   Engine.every engine ~dt:(Time.secs 1.0) (fun () -> flush ());
   (match cross_kind with
@@ -94,7 +100,7 @@ let simulate_cmd mbps rtt_ms duration cross_kind cross_mbps seed faults
    | other ->
      Printf.eprintf "unknown cross traffic %S (none|cubic|poisson|cbr)\n" other;
      exit 2);
-  let running = (Common.nimbus ()).Common.start_flow engine bn l () in
+  let running = (Common.nimbus ()).Common.start_flow net () in
   let nim = Option.get running.Common.nimbus in
   let monitor =
     Invariant.create engine ~bottleneck:bn ~nimbus:[ ("nimbus", nim) ] ()
@@ -153,12 +159,28 @@ let faults_cmd full jobs seeds report_file trace_out trace_filter =
      close_out oc);
   if outcome.Exp_faults.violations > 0 then 1 else 0
 
+(* reduced-scale CI entry point for the topology fabric: run the parking-lot
+   chain under the invariant monitor, exit 1 on any violation, and record a
+   trace artifact when asked *)
+let parking_cmd links flows mbps duration seed trace_out trace_filter =
+  Flags.with_trace ?out:trace_out ~filter:trace_filter @@ fun trace _flush ->
+  let p =
+    try Exp_parking_lot.scaled_params ~mbps ~duration ~seed ~links ~flows ()
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let o = Exp_parking_lot.run_custom ~trace p in
+  List.iter Table.print o.Exp_parking_lot.tables;
+  print_string o.Exp_parking_lot.report;
+  if o.Exp_parking_lot.violations > 0 then 1 else 0
+
 module Sweep = Nimbus_experiments.Sweep
 
 (* tables on stdout, progress on stderr: interrupted-then-resumed runs must
    diff byte-identical against uninterrupted ones (the CI smoke job does) *)
 let sweep_cmd full jobs paths seed schemes shard_size budget retries
-    checkpoint resume stop_after triage_k triage_dir =
+    checkpoint resume stop_after triage_k triage_dir triage_only =
   let schemes =
     List.map
       (fun name ->
@@ -177,7 +199,7 @@ let sweep_cmd full jobs paths seed schemes shard_size budget retries
       Sweep.config ~paths ~seed
         ?schemes:(if schemes = [] then None else Some schemes)
         ~profile:(profile full) ~shard_size ~budget ~retries ?checkpoint
-        ~resume ?stop_after ~triage_k ?triage_dir
+        ~resume ?stop_after ~triage_k ?triage_dir ~triage_only
         ~log:(fun msg -> Printf.eprintf "[sweep] %s\n%!" msg)
         ()
     with Invalid_argument msg ->
@@ -186,6 +208,9 @@ let sweep_cmd full jobs paths seed schemes shard_size budget retries
   in
   match with_pool jobs (fun () -> Sweep.run cfg) with
   | exception Sweep.Checkpoint_incompatible msg ->
+    Printf.eprintf "%s\n" msg;
+    2
+  | exception Sweep.Checkpoint_incomplete msg ->
     Printf.eprintf "%s\n" msg;
     2
   | outcome when outcome.Sweep.interrupted ->
@@ -373,6 +398,16 @@ let sweep_t =
       & info [ "triage-dir" ] ~docv:"DIR"
           ~doc:"Archive triage traces (JSONL, one file per case) in $(docv).")
   in
+  let triage_only =
+    Arg.(
+      value & flag
+      & info [ "triage-only" ]
+          ~doc:
+            "Skip the shard runs: restore every shard from --checkpoint \
+             (implies --resume) and go straight to the worst-k triage \
+             re-runs. The tables are byte-identical to the run that wrote \
+             the checkpoint. Exit 2 if the checkpoint is incomplete.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -383,7 +418,44 @@ let sweep_t =
     Term.(
       const sweep_cmd $ full $ jobs $ paths $ seed $ schemes $ shard_size
       $ budget $ retries $ checkpoint $ resume $ stop_after $ triage_k
-      $ triage_dir)
+      $ triage_dir $ triage_only)
+
+let parking_t =
+  let links =
+    Arg.(
+      value & opt int 3
+      & info [ "links" ] ~docv:"K" ~doc:"Chained bottleneck links (>= 2).")
+  in
+  let flows =
+    Arg.(
+      value & opt int 60
+      & info [ "flows" ] ~docv:"N"
+          ~doc:
+            "Total congestion-controlled flows (one Nimbus per link, the \
+             rest cubic cross traffic over adjacent link pairs).")
+  in
+  let mbps =
+    Arg.(
+      value & opt float 48.
+      & info [ "rate" ] ~docv:"MBPS" ~doc:"Per-link rate.")
+  in
+  let dur =
+    Arg.(
+      value & opt float 5.
+      & info [ "duration" ] ~docv:"S" ~doc:"Simulated duration.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Seed.")
+  in
+  Cmd.v
+    (Cmd.info "parking"
+       ~doc:
+         "Run the parking-lot chain (Nimbus populations on K bottlenecks \
+          with shared cross traffic) under the invariant monitor; exit 1 on \
+          any violation (the topology CI smoke gate).")
+    Term.(
+      const parking_cmd $ links $ flows $ mbps $ dur $ seed $ Flags.trace_out
+      $ Flags.trace_filter)
 
 let trace_t =
   let file =
@@ -402,4 +474,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "nimbus_cli" ~doc)
-          [ run_t; csv_t; list_t; sweep_t; simulate_t; faults_t; trace_t ]))
+          [ run_t; csv_t; list_t; sweep_t; simulate_t; faults_t; parking_t;
+            trace_t ]))

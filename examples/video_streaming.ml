@@ -14,7 +14,7 @@ module Time = Units.Time
 module Rate = Units.Rate
 
 let () =
-  let engine = Engine.create () in
+  let engine = Engine.create Engine.Config.default in
   let mu = Rate.mbps 48. in
   let qdisc =
     Qdisc.droptail

@@ -15,7 +15,7 @@ module Time = Units.Time
 module Rate = Units.Rate
 
 let () =
-  let engine = Engine.create () in
+  let engine = Engine.create Engine.Config.default in
   let mu = Rate.mbps 96. in
   let qdisc =
     Qdisc.droptail

@@ -1,6 +1,7 @@
 module Engine = Nimbus_sim.Engine
 module Bottleneck = Nimbus_sim.Bottleneck
 module Packet = Nimbus_sim.Packet
+module Topology = Nimbus_topology.Topology
 module Time = Units.Time
 module Rate = Units.Rate
 module B = Units.Bytes
@@ -31,7 +32,11 @@ let rate_ring_capacity = 2048
 
 type t = {
   engine : Engine.t;
-  bottleneck : Bottleneck.t;
+  (* injection point into the network: a bare [Bottleneck.enqueue] for the
+     classic dumbbell, or a topology ingress for multi-hop routes.  Mutable
+     only because wiring needs the flow's own sink closure ([t] itself) —
+     it is set once in [make] and never changes afterwards. *)
+  mutable enqueue : Packet.t -> unit;
   cc : Cc_types.t;
   flow_id : int;
   fwd_delay : float;
@@ -226,7 +231,7 @@ and send_packet t ~seq ~retransmission =
       si_retx = retransmission };
   Queue.push seq t.send_order;
   t.inflight_bytes <- t.inflight_bytes + t.pkt_size;
-  Bottleneck.enqueue t.bottleneck pkt
+  t.enqueue pkt
 
 and send_next t =
   match Queue.take_opt t.retx_queue with
@@ -394,9 +399,12 @@ let rec tick_loop t =
         tick_loop t)
   end
 
-let create engine bottleneck ~cc ~prop_rtt ?(fwd_frac = 0.5)
-    ?(pkt_size = Packet.default_data_size) ?(source = Backlogged)
-    ?start ?on_complete ?(tick_interval = Time.ms 10.) () =
+(* [wire flow_id sink] registers [sink] as the flow's delivery callback
+   wherever its packets leave the network, and returns the injection
+   function — the one seam between the sender engine and the network
+   (direct bottleneck or multi-hop topology). *)
+let make engine ~wire ~cc ~prop_rtt ~fwd_frac ~pkt_size ~source ~start
+    ~on_complete ~tick_interval =
   let prop_rtt = Time.to_secs prop_rtt in
   let tick_interval = Time.to_secs tick_interval in
   if prop_rtt < 0. then invalid_arg "Flow.create: negative prop_rtt";
@@ -407,7 +415,7 @@ let create engine bottleneck ~cc ~prop_rtt ?(fwd_frac = 0.5)
     | None -> Time.to_secs (Engine.now engine)
   in
   let t =
-    { engine; bottleneck; cc; flow_id;
+    { engine; enqueue = ignore; cc; flow_id;
       fwd_delay = prop_rtt *. fwd_frac;
       rev_delay = prop_rtt *. (1. -. fwd_frac);
       pkt_size; source; on_complete; tick_interval; start_time;
@@ -424,9 +432,27 @@ let create engine bottleneck ~cc ~prop_rtt ?(fwd_frac = 0.5)
       active = true;
       completion_time = None; extra_fwd_delay = 0.; ack_loss = None }
   in
-  Bottleneck.set_sink bottleneck ~flow:flow_id (fun pkt -> handle_delivery t pkt);
+  t.enqueue <- wire flow_id (fun pkt -> handle_delivery t pkt);
   Engine.schedule_at engine (Time.secs start_time) (fun () ->
       try_send t;
       Engine.schedule_in engine (Time.secs tick_interval) (fun () ->
           tick_loop t));
   t
+
+let create engine bottleneck ~cc ~prop_rtt ?(fwd_frac = 0.5)
+    ?(pkt_size = Packet.default_data_size) ?(source = Backlogged)
+    ?start ?on_complete ?(tick_interval = Time.ms 10.) () =
+  make engine
+    ~wire:(fun flow sink ->
+      Bottleneck.set_sink bottleneck ~flow sink;
+      fun pkt -> Bottleneck.enqueue bottleneck pkt)
+    ~cc ~prop_rtt ~fwd_frac ~pkt_size ~source ~start ~on_complete
+    ~tick_interval
+
+let create_via topo ~route ~cc ~prop_rtt ?(fwd_frac = 0.5)
+    ?(pkt_size = Packet.default_data_size) ?(source = Backlogged)
+    ?start ?on_complete ?(tick_interval = Time.ms 10.) () =
+  make (Topology.engine topo)
+    ~wire:(fun flow sink -> Topology.attach topo ~route ~flow ~sink)
+    ~cc ~prop_rtt ~fwd_frac ~pkt_size ~source ~start ~on_complete
+    ~tick_interval

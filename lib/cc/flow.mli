@@ -44,6 +44,28 @@ val create :
   unit ->
   t
 
+(** [create_via topo ~route ~cc ~prop_rtt ()] wires a flow across a
+    multi-hop {!Nimbus_topology.Topology} route instead of a single
+    bottleneck: packets are injected at the route's first link and the
+    flow's receiver sink fires after the last hop (per-link propagation
+    delays add to the [prop_rtt] end legs). Options are as for {!create};
+    the flow lives on the topology's engine. A single-link route with zero
+    propagation delay is event-for-event identical to {!create} on that
+    link's bottleneck. *)
+val create_via :
+  Nimbus_topology.Topology.t ->
+  route:Nimbus_topology.Topology.Route.t ->
+  cc:Cc_types.t ->
+  prop_rtt:Units.Time.t ->
+  ?fwd_frac:float ->
+  ?pkt_size:int ->
+  ?source:source ->
+  ?start:Units.Time.t ->
+  ?on_complete:(t -> unit) ->
+  ?tick_interval:Units.Time.t ->
+  unit ->
+  t
+
 (** [id t] is the flow identifier used at the bottleneck. *)
 val id : t -> int
 

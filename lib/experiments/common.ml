@@ -2,6 +2,7 @@ module Engine = Nimbus_sim.Engine
 module Bottleneck = Nimbus_sim.Bottleneck
 module Qdisc = Nimbus_sim.Qdisc
 module Rng = Nimbus_sim.Rng
+module Topology = Nimbus_topology.Topology
 module Flow = Nimbus_cc.Flow
 module Nimbus = Nimbus_core.Nimbus
 module Z = Nimbus_core.Z_estimator
@@ -33,26 +34,44 @@ type link = {
 let link ~mbps ~rtt_ms ?(buffer_bdp = 2.0) ?(aqm = `Droptail) () =
   { mu = Rate.mbps mbps; prop_rtt = Time.ms rtt_ms; buffer_bdp; aqm }
 
-let setup ?(trace = Nimbus_trace.Trace.disabled) ~seed l =
-  let engine = Engine.create ~trace () in
-  let rng = Rng.create seed in
+type net = {
+  engine : Engine.t;
+  topo : Topology.t;
+  route : Topology.Route.t;
+  bottleneck : Bottleneck.t;
+  rng : Rng.t;
+  net_link : link;
+}
+
+(* the qdisc rng split happens before the topology is built, exactly where
+   the pre-topology setup split it — preserving the draw order is part of
+   the byte-identical-trace contract *)
+let qdisc_of ~rng l =
   let capacity_bytes =
     max (4 * 1500)
       (int_of_float
          (Rate.to_bps l.mu *. Time.to_secs l.prop_rtt *. l.buffer_bdp /. 8.))
   in
-  let qdisc =
-    match l.aqm with
-    | `Droptail -> Qdisc.droptail ~capacity_bytes
-    | `Pie target ->
-      Qdisc.pie ~capacity_bytes ~target_delay:target ~link_rate:l.mu
-        ~rng:(Rng.split rng)
+  match l.aqm with
+  | `Droptail -> Qdisc.droptail ~capacity_bytes
+  | `Pie target ->
+    Qdisc.pie ~capacity_bytes ~target_delay:target ~link_rate:l.mu
+      ~rng:(Rng.split rng) ()
+
+let setup ?(trace = Nimbus_trace.Trace.disabled) ~seed l =
+  let engine = Engine.create { trace } in
+  let rng = Rng.create seed in
+  let qdisc = qdisc_of ~rng l in
+  let topo, route =
+    Topology.dumbbell engine
+      { bottleneck =
+          { (Bottleneck.Config.default ~rate:l.mu ~qdisc) with trace };
+        prop_delay = Time.zero }
   in
   let bottleneck =
-    Bottleneck.create engine
-      { (Bottleneck.Config.default ~rate:l.mu ~qdisc) with trace }
+    Topology.link_bottleneck (List.hd (Topology.Route.links route))
   in
-  (engine, bottleneck, rng)
+  { engine; topo; route; bottleneck; rng; net_link = l }
 
 type running = {
   flow : Flow.t;
@@ -62,17 +81,17 @@ type running = {
 
 type scheme = {
   scheme_name : string;
-  start_flow :
-    Engine.t -> Bottleneck.t -> link -> ?start:Units.Time.t -> unit -> running;
+  start_flow : net -> ?start:Units.Time.t -> unit -> running;
 }
 
 let plain name make_cc =
   { scheme_name = name;
     start_flow =
-      (fun engine bottleneck l ?start () ->
+      (fun net ?start () ->
+        let l = net.net_link in
         let flow =
-          Flow.create engine bottleneck ~cc:(make_cc l) ~prop_rtt:l.prop_rtt
-            ?start ()
+          Flow.create_via net.topo ~route:net.route ~cc:(make_cc l)
+            ~prop_rtt:l.prop_rtt ?start ()
         in
         { flow; in_competitive = None; nimbus = None }) }
 
@@ -82,7 +101,9 @@ let nimbus ?name ?(delay = `Basic_delay) ?(competitive = `Cubic)
   let scheme_name = match name with Some n -> n | None -> "nimbus" in
   { scheme_name;
     start_flow =
-      (fun engine bottleneck l ?start () ->
+      (fun net ?start () ->
+        let l = net.net_link in
+        let engine = net.engine in
         let mu =
           if estimate_mu then Z.Mu.estimator () else Z.Mu.known l.mu
         in
@@ -94,7 +115,7 @@ let nimbus ?name ?(delay = `Basic_delay) ?(competitive = `Cubic)
               trace = Engine.trace engine }
         in
         let flow =
-          Flow.create engine bottleneck
+          Flow.create_via net.topo ~route:net.route
             ~cc:(Nimbus.cc nim ~now:(fun () -> Engine.now engine))
             ~prop_rtt:l.prop_rtt ?start ()
         in
@@ -106,10 +127,12 @@ let nimbus ?name ?(delay = `Basic_delay) ?(competitive = `Cubic)
 let nimbus_delay_only =
   { scheme_name = "nimbus-delay";
     start_flow =
-      (fun engine bottleneck l ?start () ->
+      (fun net ?start () ->
+        let l = net.net_link in
         let cc = Nimbus_cc.Basic_delay.make ~mu:l.mu () in
         let flow =
-          Flow.create engine bottleneck ~cc ~prop_rtt:l.prop_rtt ?start ()
+          Flow.create_via net.topo ~route:net.route ~cc ~prop_rtt:l.prop_rtt
+            ?start ()
         in
         { flow; in_competitive = None; nimbus = None }) }
 
@@ -122,11 +145,11 @@ let vegas = plain "vegas" (fun _ -> Nimbus_cc.Vegas.make ())
 let copa =
   { scheme_name = "copa";
     start_flow =
-      (fun engine bottleneck l ?start () ->
+      (fun net ?start () ->
         let c = Nimbus_cc.Copa.create ~switching:true () in
         let flow =
-          Flow.create engine bottleneck ~cc:(Nimbus_cc.Copa.cc c)
-            ~prop_rtt:l.prop_rtt ?start ()
+          Flow.create_via net.topo ~route:net.route ~cc:(Nimbus_cc.Copa.cc c)
+            ~prop_rtt:net.net_link.prop_rtt ?start ()
         in
         { flow;
           in_competitive =

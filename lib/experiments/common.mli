@@ -3,6 +3,7 @@
 module Engine = Nimbus_sim.Engine
 module Bottleneck = Nimbus_sim.Bottleneck
 module Rng = Nimbus_sim.Rng
+module Topology = Nimbus_topology.Topology
 module Flow = Nimbus_cc.Flow
 
 (** Quick profiles shrink durations/repetitions while preserving shapes;
@@ -36,12 +37,24 @@ val link :
   unit ->
   link
 
-(** [setup ?trace ~seed l] builds the engine + bottleneck.  When [trace] is
+(** The wired-up network a dumbbell experiment runs on: a degenerate
+    two-node topology whose single link is the bottleneck, plus the route
+    primary flows take across it. Experiments that want more hops build
+    their own {!Topology.t} directly (see [Exp_parking_lot]). *)
+type net = {
+  engine : Engine.t;
+  topo : Topology.t;
+  route : Topology.Route.t;  (** the one-link forward path *)
+  bottleneck : Bottleneck.t;  (** the route's link, for stats and faults *)
+  rng : Rng.t;
+  net_link : link;  (** the description [setup] built from *)
+}
+
+(** [setup ?trace ~seed l] builds the dumbbell network.  When [trace] is
     given it becomes the run's shared collector: it is installed on the
     engine (where flows, faults, and invariant monitors find it) and on the
     bottleneck, and scheme constructors pick it up via [Engine.trace]. *)
-val setup :
-  ?trace:Nimbus_trace.Trace.t -> seed:int -> link -> Engine.t * Bottleneck.t * Rng.t
+val setup : ?trace:Nimbus_trace.Trace.t -> seed:int -> link -> net
 
 (** A scheme is a named congestion-control configuration a primary flow can
     run, paired with optional introspection for mode-switching schemes. *)
@@ -54,8 +67,7 @@ type running = {
 
 type scheme = {
   scheme_name : string;
-  start_flow :
-    Engine.t -> Bottleneck.t -> link -> ?start:Units.Time.t -> unit -> running;
+  start_flow : net -> ?start:Units.Time.t -> unit -> running;
 }
 
 val nimbus :

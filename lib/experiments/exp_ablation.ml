@@ -45,7 +45,9 @@ let observe (p : Common.profile) ?(share = 0.5) ?(pulse_shape = Nimbus_core.Puls
     ?(taper = Nimbus_dsp.Window.Hann) ~cross ~truth_elastic ~seed () =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 90. in
-  let engine, bn, rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   (match cross with
    | `Poisson rate ->
      ignore

@@ -23,9 +23,10 @@ let title = "Fig 23/24 (App D): Copa failure modes vs Nimbus"
 let cbr_case (p : Common.profile) ~rate ~seed (sch : Common.scheme) =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 60. in
-  let engine, bn, _rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
   ignore (Source.cbr engine bn ~rate:(Rate.bps rate) ());
-  let running = sch.Common.start_flow engine bn l () in
+  let running = sch.Common.start_flow net () in
   let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
   Engine.run_until engine (Time.secs horizon);
   ( Common.mean stats.Common.tput_series ~lo:10. ~hi:horizon,
@@ -34,11 +35,12 @@ let cbr_case (p : Common.profile) ~rate ~seed (sch : Common.scheme) =
 let reno_case (p : Common.profile) ~ratio ~seed (sch : Common.scheme) =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 60. in
-  let engine, bn, _rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
   ignore
     (Flow.create engine bn ~cc:(Nimbus_cc.Reno.make ())
        ~prop_rtt:(Time.scale ratio l.Common.prop_rtt) ());
-  let running = sch.Common.start_flow engine bn l () in
+  let running = sch.Common.start_flow net () in
   let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
   Engine.run_until engine (Time.secs horizon);
   Common.mean stats.Common.tput_series ~lo:10. ~hi:horizon

@@ -29,7 +29,9 @@ type mix =
    half-and-half. *)
 let case (p : Common.profile) ~link ~mix ~share ~pulse ~seed =
   let horizon = Common.scaled p 120. in
-  let engine, bn, rng = Common.setup ~seed link in
+  let net = Common.setup ~seed link in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let mu = link.Common.mu in
   let truth_elastic =
     match mix with
@@ -56,7 +58,7 @@ let case (p : Common.profile) ~link ~mix ~share ~pulse ~seed =
        (Flow.create engine bn ~cc:(Nimbus_cc.Reno.make ())
           ~prop_rtt:link.Common.prop_rtt ()));
   let running =
-    (Common.nimbus ~pulse_frac:pulse ()).Common.start_flow engine bn link ()
+    (Common.nimbus ~pulse_frac:pulse ()).Common.start_flow net ()
   in
   let accuracy = Accuracy.create () in
   (match running.Common.in_competitive with

@@ -17,7 +17,8 @@ let title = "Fig 26 (App F): detecting PCC-Vivace by lowering the pulse frequenc
 let case (p : Common.profile) ~fp ~seed =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 120. in
-  let engine, bn, _rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
   ignore
     (Flow.create engine bn ~cc:(Nimbus_cc.Vivace.make ())
        ~prop_rtt:l.Common.prop_rtt ());

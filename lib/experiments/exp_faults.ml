@@ -63,7 +63,9 @@ let run_one (p : Common.profile) ~trace_mask case ~seed =
       tr
     end
   in
-  let engine, bn, rng = Common.setup ~trace ~seed l in
+  let net = Common.setup ~trace ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let n = 3 in
   let runnings =
     List.init n (fun i ->
@@ -74,7 +76,7 @@ let run_one (p : Common.profile) ~trace_mask case ~seed =
             ~seed:(seed + (i * 7919))
             ()
         in
-        sch.Common.start_flow engine bn l
+        sch.Common.start_flow net
           ~start:(Time.secs (float_of_int i *. 1.5))
           ())
   in

@@ -22,8 +22,10 @@ let run (p : Common.profile) =
     [ Common.cubic; Common.nimbus_delay_only; Common.nimbus () ]
   in
   let run_scheme (sch : Common.scheme) =
-    let engine, bn, rng = Common.setup ~seed:11 l in
-    let running = sch.Common.start_flow engine bn l () in
+    let net = Common.setup ~seed:11 l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
+    let running = sch.Common.start_flow net () in
     let _sched =
       Schedule.install engine bn ~rng
         ~phases:

@@ -16,9 +16,10 @@ let title = "Fig 11: throughput/delay against DASH video cross traffic"
 let run_case (p : Common.profile) ~ladder ~seed (sch : Common.scheme) =
   let l = Common.link ~mbps:48. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 120. in
-  let engine, bn, _rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
   let _video = Video.create engine bn ~ladder () in
-  let running = sch.Common.start_flow engine bn l () in
+  let running = sch.Common.start_flow net () in
   let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
   Engine.run_until engine (Time.secs horizon);
   let lo = 15. and hi = horizon in

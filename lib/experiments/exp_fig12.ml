@@ -22,7 +22,9 @@ let truth_threshold = 0.3
 let run (p : Common.profile) =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 300. in
-  let engine, bn, rng = Common.setup ~seed:12 l in
+  let net = Common.setup ~seed:12 l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let wan =
     Wan.create engine bn ~rng:(Rng.split rng) ~profile:`Elephant
       ~load:(Rate.scale 0.5 l.Common.mu) ()

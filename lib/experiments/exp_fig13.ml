@@ -17,12 +17,14 @@ let title = "Fig 13: WAN load x pulse size"
 let run_one (p : Common.profile) ~load_frac ~seed (sch : Common.scheme) =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 120. in
-  let engine, bn, rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let _wan =
     Wan.create engine bn ~rng:(Rng.split rng)
       ~load:(Rate.scale load_frac l.Common.mu) ()
   in
-  let running = sch.Common.start_flow engine bn l () in
+  let running = sch.Common.start_flow net () in
   let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
   Engine.run_until engine (Time.secs horizon);
   let lo = 10. and hi = horizon in

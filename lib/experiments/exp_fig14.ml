@@ -31,13 +31,15 @@ let measure_accuracy engine running ~truth_elastic ~from_t ~until =
 let inelastic_case (p : Common.profile) ~kind ~share ~seed (sch : Common.scheme) =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 60. in
-  let engine, bn, rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let rate = Rate.scale share l.Common.mu in
   (match kind with
    | `Cbr -> ignore (Source.cbr engine bn ~rate ())
    | `Poisson ->
      ignore (Source.poisson engine bn ~rng:(Rng.split rng) ~rate ()));
-  let running = sch.Common.start_flow engine bn l () in
+  let running = sch.Common.start_flow net () in
   let accuracy =
     measure_accuracy engine running ~truth_elastic:false
       ~from_t:(Time.secs 10.) ~until:(Time.secs horizon)
@@ -48,11 +50,12 @@ let inelastic_case (p : Common.profile) ~kind ~share ~seed (sch : Common.scheme)
 let rtt_ratio_case (p : Common.profile) ~ratio ~seed (sch : Common.scheme) =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 60. in
-  let engine, bn, _rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
   ignore
     (Flow.create engine bn ~cc:(Nimbus_cc.Reno.make ())
        ~prop_rtt:(Time.scale ratio l.Common.prop_rtt) ());
-  let running = sch.Common.start_flow engine bn l () in
+  let running = sch.Common.start_flow net () in
   let accuracy =
     measure_accuracy engine running ~truth_elastic:true ~from_t:(Time.secs 10.)
       ~until:(Time.secs horizon)

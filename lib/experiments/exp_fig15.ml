@@ -24,7 +24,9 @@ type mix =
 let case (p : Common.profile) ~mix ~ratio ~seed =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 120. in
-  let engine, bn, rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let cross_rtt = Time.scale ratio l.Common.prop_rtt in
   let truth_elastic =
     match mix with
@@ -47,7 +49,7 @@ let case (p : Common.profile) ~mix ~ratio ~seed =
      ignore
        (Source.poisson engine bn ~rng:(Rng.split rng)
           ~rate:(Rate.scale 0.25 l.Common.mu) ()));
-  let running = (Common.nimbus ()).Common.start_flow engine bn l () in
+  let running = (Common.nimbus ()).Common.start_flow net () in
   let accuracy = Accuracy.create () in
   (match running.Common.in_competitive with
    | Some mode ->
@@ -61,13 +63,14 @@ let case (p : Common.profile) ~mix ~ratio ~seed =
 let heterogeneous (p : Common.profile) ~flows ~seed =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 120. in
-  let engine, bn, _rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
   for n = 1 to flows do
     ignore
       (Flow.create engine bn ~cc:(Nimbus_cc.Reno.make ())
          ~prop_rtt:(Time.secs (0.02 *. float_of_int n)) ())
   done;
-  let running = (Common.nimbus ()).Common.start_flow engine bn l () in
+  let running = (Common.nimbus ()).Common.start_flow net () in
   let accuracy = Accuracy.create () in
   (match running.Common.in_competitive with
    | Some mode ->

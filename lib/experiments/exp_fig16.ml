@@ -20,7 +20,8 @@ let run (p : Common.profile) =
   let life = 4. *. stagger in
   let n = 4 in
   let horizon = (float_of_int n *. stagger) +. life in
-  let engine, bn, _rng = Common.setup ~seed:16 l in
+  let net = Common.setup ~seed:16 l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
   (* Copa's default mode as the delay-control algorithm: its target rate
      1/(delta*d_q) is the same for every flow sharing the queue, so shares
      equalize -- BasicDelay's rate rule is satisfied by any split, and a
@@ -33,7 +34,7 @@ let run (p : Common.profile) =
     List.init n (fun i ->
         let start = float_of_int i *. stagger in
         let running =
-          (sch i).Common.start_flow engine bn l ~start:(Time.secs start) ()
+          (sch i).Common.start_flow net ~start:(Time.secs start) ()
         in
         Engine.schedule_at engine (Time.secs (start +. life)) (fun () ->
             Flow.apply running.Common.flow Flow.Control.Stop);

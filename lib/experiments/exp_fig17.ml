@@ -17,13 +17,15 @@ let run (p : Common.profile) =
   let t1 = Common.scaled p 30. in
   let te = t1 +. Common.scaled p 60. in
   let ti = te +. Common.scaled p 60. in
-  let engine, bn, rng = Common.setup ~seed:17 l in
+  let net = Common.setup ~seed:17 l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let runnings =
     List.init 3 (fun i ->
         (Common.nimbus
            ~name:(Printf.sprintf "nimbus%d" i)
            ~multi_flow:true ~seed:(300 + (13 * i)) ())
-          .Common.start_flow engine bn l ())
+          .Common.start_flow net ())
   in
   let _sched =
     Schedule.install engine bn ~rng

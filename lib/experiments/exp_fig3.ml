@@ -17,8 +17,10 @@ let run (p : Common.profile) =
   let t1 = Common.scaled p 30. in
   let te = t1 +. Common.scaled p 60. in
   let ti = te +. Common.scaled p 60. in
-  let engine, bn, rng = Common.setup ~seed:3 l in
-  let running = Common.cubic.Common.start_flow engine bn l () in
+  let net = Common.setup ~seed:3 l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
+  let running = Common.cubic.Common.start_flow net () in
   let _sched =
     Schedule.install engine bn ~rng
       ~phases:

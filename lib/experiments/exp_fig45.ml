@@ -32,7 +32,9 @@ type capture = {
 let run_case (p : Common.profile) ~elastic =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 60. in
-  let engine, bn, rng = Common.setup ~seed:45 l in
+  let net = Common.setup ~seed:45 l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let cap = { s_samples = ref []; z_samples = ref [] } in
   let collect_from = horizon -. 10. in
   let nim =

@@ -28,7 +28,9 @@ let poisson_rate_for_fraction ~mu f = Rate.scale ((1. -. f) /. (1. +. f)) mu
 let run_mix (p : Common.profile) ~target_frac ~seed =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 120. in
-  let engine, bn, rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let etas = ref [] in
   let nim =
     Nimbus.create

@@ -25,7 +25,9 @@ let phase_len = 20.
 
 let run_scheme (sch : Common.scheme) =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
-  let engine, bn, rng = Common.setup ~seed:8 l in
+  let net = Common.setup ~seed:8 l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let phases =
     List.mapi
       (fun i (m, t) ->
@@ -37,7 +39,7 @@ let run_scheme (sch : Common.scheme) =
   in
   let horizon = phase_len *. float_of_int (List.length script) in
   let sched = Schedule.install engine bn ~rng ~phases () in
-  let running = sch.Common.start_flow engine bn l () in
+  let running = sch.Common.start_flow net () in
   let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
   let accuracy = Accuracy.create () in
   (match running.Common.in_competitive with

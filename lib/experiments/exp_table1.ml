@@ -61,9 +61,11 @@ let cases =
 let classify (p : Common.profile) case ~seed =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:case.buffer_bdp () in
   let horizon = Common.scaled p 120. in
-  let engine, bn, rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   case.install engine bn l rng;
-  let running = (Common.nimbus ()).Common.start_flow engine bn l () in
+  let running = (Common.nimbus ()).Common.start_flow net () in
   let elastic_samples = ref 0 and samples = ref 0 in
   (match running.Common.in_competitive with
    | Some mode ->

@@ -28,12 +28,14 @@ type result = {
 let run_scheme (p : Common.profile) ~seed ~load_frac (sch : Common.scheme) =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 120. in
-  let engine, bn, rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let wan =
     Wan.create engine bn ~rng:(Rng.split rng)
       ~load:(Rate.scale load_frac l.Common.mu) ()
   in
-  let running = sch.Common.start_flow engine bn l () in
+  let running = sch.Common.start_flow net () in
   let stats = Common.instrument engine bn running ~until:(Time.secs horizon) in
   Engine.run_until engine (Time.secs horizon);
   { name = sch.Common.scheme_name;

@@ -21,7 +21,9 @@ let title = "§3.1: cross-traffic rate estimator accuracy"
 let case (p : Common.profile) ~label ~seed ~install =
   let l = Common.link ~mbps:96. ~rtt_ms:50. ~buffer_bdp:2.0 () in
   let horizon = Common.scaled p 60. in
-  let engine, bn, rng = Common.setup ~seed l in
+  let net = Common.setup ~seed l in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let cross_ids = install engine bn l rng in
   let z_acc = ref 0. and z_n = ref 0 in
   let nim =

@@ -12,6 +12,7 @@ module Engine = Nimbus_sim.Engine
 module Rng = Nimbus_sim.Rng
 module Bottleneck = Nimbus_sim.Bottleneck
 module Qdisc = Nimbus_sim.Qdisc
+module Topology = Nimbus_topology.Topology
 module Wan = Nimbus_traffic.Wan
 module Invariant = Nimbus_metrics.Invariant
 module Time = Units.Time
@@ -71,7 +72,7 @@ let describe path =
   Printf.sprintf "%.0fM/%.0fms/%s" path.mbps path.rtt_ms (kind path)
 
 let setup ?(trace = Nimbus_trace.Trace.disabled) path ~seed =
-  let engine = Engine.create ~trace () in
+  let engine = Engine.create { trace } in
   let rng = Rng.create seed in
   let mu = path.mbps *. 1e6 in
   let prop_rtt = path.rtt_ms /. 1e3 in
@@ -85,12 +86,24 @@ let setup ?(trace = Nimbus_trace.Trace.disabled) path ~seed =
   let policer =
     if path.policed then Some (Rate.bps (mu *. 0.85), 50 * 1500) else None
   in
-  let bn =
-    Bottleneck.create engine
-      { (Bottleneck.Config.default ~rate:(Rate.bps mu) ~qdisc) with
-        random_loss; policer; trace }
+  let topo, route =
+    Topology.dumbbell engine
+      { bottleneck =
+          { (Bottleneck.Config.default ~rate:(Rate.bps mu) ~qdisc) with
+            random_loss; policer; trace };
+        prop_delay = Time.zero }
   in
-  (engine, bn, rng, mu, prop_rtt)
+  let bn = Topology.link_bottleneck (List.hd (Topology.Route.links route)) in
+  let l =
+    { Common.mu = Rate.bps mu;
+      prop_rtt = Time.secs prop_rtt;
+      buffer_bdp = path.buffer_bdp;
+      aqm = `Droptail }
+  in
+  let net =
+    { Common.engine; topo; route; bottleneck = bn; rng; net_link = l }
+  in
+  (net, mu, prop_rtt)
 
 type outcome = {
   o_tput : float; (* mean throughput over [8 s, horizon], bps *)
@@ -100,19 +113,15 @@ type outcome = {
 
 let run ?trace ?watchdog ?(invariants = false) (p : Common.profile) path
     (sch : Common.scheme) ~seed =
-  let engine, bn, rng, mu, prop_rtt = setup ?trace path ~seed in
+  let net, mu, prop_rtt = setup ?trace path ~seed in
+  let engine = net.Common.engine and bn = net.Common.bottleneck in
+  let rng = net.Common.rng in
   let horizon = Common.scaled p 60. in
   if path.wan_load > 0. then
     ignore
       (Wan.create engine bn ~rng:(Rng.split rng) ~prop_rtt:(Time.secs prop_rtt)
          ~load:(Rate.bps (path.wan_load *. mu)) ());
-  let l =
-    { Common.mu = Rate.bps mu;
-      prop_rtt = Time.secs prop_rtt;
-      buffer_bdp = path.buffer_bdp;
-      aqm = `Droptail }
-  in
-  let running = sch.Common.start_flow engine bn l () in
+  let running = sch.Common.start_flow net () in
   let monitor =
     if invariants then
       Some

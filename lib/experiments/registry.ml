@@ -29,6 +29,7 @@ let all =
     exp Exp_table1.id Exp_table1.title Exp_table1.run;
     exp Exp_faults.id Exp_faults.title Exp_faults.run;
     exp Exp_zest.id Exp_zest.title Exp_zest.run;
+    exp Exp_parking_lot.id Exp_parking_lot.title Exp_parking_lot.run;
     exp Exp_ablation.id Exp_ablation.title Exp_ablation.run ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -30,6 +30,8 @@ exception Case_timeout
 
 exception Checkpoint_incompatible of string
 
+exception Checkpoint_incomplete of string
+
 type failure =
   | F_timeout of int (* attempts consumed *)
   | F_crash of int
@@ -50,6 +52,7 @@ type config = {
   sw_stop_after : int option; (* stop once this many shards are done *)
   sw_triage_k : int;
   sw_triage_dir : string option;
+  sw_triage_only : bool; (* skip the shards: triage from the checkpoint *)
   sw_clock : unit -> float; (* wall clock for the watchdog *)
   sw_sleep : float -> unit; (* backoff sleep *)
   sw_log : string -> unit; (* progress; never part of the tables *)
@@ -75,18 +78,24 @@ let scheme_of_name name =
 let config ?(paths = 100) ?(seed = 1819) ?schemes ?(profile = Common.quick)
     ?(shard_size = 32) ?(budget = 0.) ?(retries = 2) ?(backoff = 0.05)
     ?checkpoint ?(resume = false) ?stop_after ?(triage_k = 0) ?triage_dir
-    ?(clock = Unix.gettimeofday) ?(sleep = Unix.sleepf) ?(log = fun _ -> ())
-    () =
+    ?(triage_only = false) ?(clock = Unix.gettimeofday)
+    ?(sleep = Unix.sleepf) ?(log = fun _ -> ()) () =
   if paths < 1 then invalid_arg "Sweep.config: paths must be >= 1";
   if shard_size < 1 then invalid_arg "Sweep.config: shard_size must be >= 1";
   if retries < 0 then invalid_arg "Sweep.config: retries must be >= 0";
   let schemes = match schemes with Some s -> s | None -> default_schemes () in
   if schemes = [] then invalid_arg "Sweep.config: no schemes";
+  if triage_only && checkpoint = None then
+    invalid_arg "Sweep.config: --triage-only requires --checkpoint";
+  if triage_only && triage_k < 1 then
+    invalid_arg "Sweep.config: --triage-only requires --triage-k >= 1";
   { sw_paths = paths; sw_seed = seed; sw_schemes = schemes;
     sw_profile = profile; sw_shard = shard_size; sw_budget = budget;
     sw_retries = retries; sw_backoff = backoff; sw_checkpoint = checkpoint;
-    sw_resume = resume; sw_stop_after = stop_after; sw_triage_k = triage_k;
-    sw_triage_dir = triage_dir; sw_clock = clock; sw_sleep = sleep;
+    (* triage-only must never truncate the checkpoint it feeds on *)
+    sw_resume = resume || triage_only; sw_stop_after = stop_after;
+    sw_triage_k = triage_k; sw_triage_dir = triage_dir;
+    sw_triage_only = triage_only; sw_clock = clock; sw_sleep = sleep;
     sw_log = log }
 
 (* --- checkpoint format -----------------------------------------------------
@@ -714,6 +723,14 @@ let run cfg =
       cfg.sw_log
         (Printf.sprintf "resume: %d/%d shard(s) restored from %s" n
            total_shards path);
+      if cfg.sw_triage_only && n < total_shards then
+        raise
+          (Checkpoint_incomplete
+             (Printf.sprintf
+                "%s: --triage-only needs a complete checkpoint, but only \
+                 %d/%d shard(s) are present — run the sweep (with --resume) \
+                 to completion first"
+                path n total_shards));
       n
     | Some path ->
       (* fresh sweep: truncate whatever was there *)

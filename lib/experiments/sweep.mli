@@ -14,6 +14,10 @@ exception Case_timeout
     sweep with different parameters. *)
 exception Checkpoint_incompatible of string
 
+(** Raised when [sw_triage_only] is set but the checkpoint does not cover
+    every shard: triage can only be replayed from a complete sweep. *)
+exception Checkpoint_incomplete of string
+
 type failure =
   | F_timeout of int  (** attempts consumed *)
   | F_crash of int
@@ -38,6 +42,12 @@ type config = {
           tests/CI; the outcome is flagged [interrupted]) *)
   sw_triage_k : int;
   sw_triage_dir : string option;
+  sw_triage_only : bool;
+      (** skip the shard loop entirely: restore every shard from the
+          checkpoint (implies [sw_resume]) and go straight to the worst-k
+          triage re-runs — the final tables are byte-identical to the full
+          run that wrote the checkpoint.
+          @raise Checkpoint_incomplete if any shard is missing *)
   sw_clock : unit -> float;  (** watchdog wall clock (tests inject a fake) *)
   sw_sleep : float -> unit;  (** backoff sleep (tests inject a no-op) *)
   sw_log : string -> unit;  (** progress; never part of the tables *)
@@ -60,6 +70,7 @@ val config :
   ?stop_after:int ->
   ?triage_k:int ->
   ?triage_dir:string ->
+  ?triage_only:bool ->
   ?clock:(unit -> float) ->
   ?sleep:(float -> unit) ->
   ?log:(string -> unit) ->

@@ -43,7 +43,9 @@ let max_recorded = 1000
 
 type t = {
   engine : Engine.t;
-  bottleneck : Bottleneck.t option;
+  (* audited links as (label, bottleneck): one entry for the classic
+     dumbbell, one per link for a topology *)
+  bottlenecks : (string * Bottleneck.t) list;
   watches : watch list;
   min_dwell : float;
   mutable recorded : violation list; (* newest first, capped *)
@@ -63,18 +65,18 @@ let record t rule detail =
       { v_time = Engine.now t.engine; v_rule = rule; v_detail = detail }
       :: t.recorded
 
-let check_bottleneck t bn =
+let check_bottleneck t (label, bn) =
   let offered = Bottleneck.offered_packets bn in
   let delivered = Bottleneck.delivered_packets bn in
   let queued = Bottleneck.queued_packets bn in
   let drops = Bottleneck.drops bn in
   if offered <> delivered + drops + queued then
     record t Conservation
-      (Printf.sprintf "offered %d <> delivered %d + drops %d + queued %d"
-         offered delivered drops queued);
+      (Printf.sprintf "%s: offered %d <> delivered %d + drops %d + queued %d"
+         label offered delivered drops queued);
   if queued < 0 || Bottleneck.qlen_bytes bn < 0 then
     record t Queue_nonneg
-      (Printf.sprintf "queued %d pkts / %d bytes" queued
+      (Printf.sprintf "%s: queued %d pkts / %d bytes" label queued
          (Bottleneck.qlen_bytes bn))
 
 let finite_or_unknown x = Float.is_finite x || Float.is_nan x
@@ -101,7 +103,7 @@ let check_watch t w =
   end
 
 let tick t () =
-  (match t.bottleneck with Some bn -> check_bottleneck t bn | None -> ());
+  List.iter (check_bottleneck t) t.bottlenecks;
   List.iter (check_watch t) t.watches;
   List.iter
     (fun (name, check) ->
@@ -110,8 +112,8 @@ let tick t () =
       | None -> ())
     t.checks
 
-let create engine ?bottleneck ?(nimbus = []) ?(min_dwell = Time.ms 250.)
-    ?(interval = Time.ms 10.) ?until () =
+let create engine ?bottleneck ?(bottlenecks = []) ?(nimbus = [])
+    ?(min_dwell = Time.ms 250.) ?(interval = Time.ms 10.) ?until () =
   let watches =
     List.map
       (fun (label, nim) ->
@@ -119,8 +121,14 @@ let create engine ?bottleneck ?(nimbus = []) ?(min_dwell = Time.ms 250.)
           w_last_switch = neg_infinity })
       nimbus
   in
+  let bottlenecks =
+    (match bottleneck with
+    | Some bn -> [ ("bottleneck", bn) ]
+    | None -> [])
+    @ bottlenecks
+  in
   let t =
-    { engine; bottleneck; watches; min_dwell = Time.to_secs min_dwell;
+    { engine; bottlenecks; watches; min_dwell = Time.to_secs min_dwell;
       recorded = []; total = 0; checks = [] }
   in
   Engine.every engine ~dt:interval ?until (tick t);

@@ -38,9 +38,13 @@ type violation = {
 
 type t
 
-(** [create engine ?bottleneck ?nimbus ()] starts auditing on a periodic
-    engine event.
+(** [create engine ?bottleneck ?bottlenecks ?nimbus ()] starts auditing on
+    a periodic engine event.
     @param bottleneck link whose conservation ledger and queue to audit
+           (labelled ["bottleneck"] in violation details)
+    @param bottlenecks further labelled links to audit the same way — pass
+           one entry per topology link for per-link conservation (e.g.
+           labelled by [Topology.link_label])
     @param nimbus labelled controllers whose signals and mode switches to
            audit
     @param min_dwell minimum legal gap between mode switches (default
@@ -50,6 +54,7 @@ type t
 val create :
   Nimbus_sim.Engine.t ->
   ?bottleneck:Nimbus_sim.Bottleneck.t ->
+  ?bottlenecks:(string * Nimbus_sim.Bottleneck.t) list ->
   ?nimbus:(string * Nimbus_core.Nimbus.t) list ->
   ?min_dwell:Units.Time.t ->
   ?interval:Units.Time.t ->

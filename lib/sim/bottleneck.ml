@@ -24,6 +24,7 @@ type t = {
   mutable qlen : int;
   mutable busy : bool;
   mutable drops : int;
+  mutable marks : int;
   drops_by_flow : (int, int) Hashtbl.t;
   delivered_by_flow : (int, int) Hashtbl.t;
   mutable busy_secs : float;
@@ -68,7 +69,8 @@ let create engine (c : Config.t) =
   { engine; rate; drain_rate_hint = rate; qdisc = c.qdisc;
     random_loss = c.random_loss; loss_model = None; policer;
     fifo = Queue.create (); sinks = Hashtbl.create 16; qlen = 0;
-    busy = false; drops = 0; drops_by_flow = Hashtbl.create 16;
+    busy = false; drops = 0; marks = 0;
+    drops_by_flow = Hashtbl.create 16;
     delivered_by_flow = Hashtbl.create 16; busy_secs = 0.; offered_pkts = 0;
     delivered_pkts = 0; queued_pkts = 0; trace = c.trace;
     pkt_sample = c.pkt_sample; enq_count = 0; del_count = 0 }
@@ -174,8 +176,16 @@ let enqueue t pkt =
     record_drop t pkt ~reason:Tev.Random_loss
   else if not (loss_model_admits t pkt) then
     record_drop t pkt ~reason:Tev.Modeled_loss
-  else if Qdisc.admit t.qdisc ~now ~qlen_bytes:t.qlen ~pkt_size:pkt.Packet.size
-  then begin
+  else begin
+    match
+      Qdisc.decide t.qdisc ~now ~qlen_bytes:t.qlen ~pkt_size:pkt.Packet.size
+    with
+    | Qdisc.Drop -> record_drop t pkt ~reason:Tev.Queue_full
+    | (Qdisc.Admit | Qdisc.Mark) as d ->
+    if d = Qdisc.Mark then begin
+      pkt.Packet.ecn <- true;
+      t.marks <- t.marks + 1
+    end;
     pkt.Packet.enqueued_at <- now;
     t.qlen <- t.qlen + pkt.Packet.size;
     t.queued_pkts <- t.queued_pkts + 1;
@@ -188,7 +198,6 @@ let enqueue t pkt =
     Queue.push pkt t.fifo;
     if not t.busy then start_next t
   end
-  else record_drop t pkt ~reason:Tev.Queue_full
 
 let rate t = t.rate
 
@@ -203,6 +212,8 @@ let queue_delay t =
   Rate.tx_time r (B.of_int t.qlen)
 
 let drops t = t.drops
+
+let marks t = t.marks
 
 let drops_for t ~flow =
   Option.value ~default:0 (Hashtbl.find_opt t.drops_by_flow flow)

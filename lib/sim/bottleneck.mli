@@ -82,6 +82,12 @@ val queue_delay : t -> Units.Time.t
 (** [drops t] is the cumulative count of dropped packets. *)
 val drops : t -> int
 
+(** [marks t] is the cumulative count of packets ECN-marked by the qdisc
+    ({!Qdisc.decision} [Mark]); always [0] unless the discipline was built
+    with ECN enabled. Marked packets are admitted, so they appear in the
+    conservation ledger as delivered/queued, never as drops. *)
+val marks : t -> int
+
 (** [drops_for t ~flow] is the cumulative drops of one flow. *)
 val drops_for : t -> flow:int -> int
 

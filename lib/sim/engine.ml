@@ -10,20 +10,31 @@ module Span = Nimbus_trace.Span
 type t = {
   mutable clock : float;
   events : (unit -> unit) Wheel.t;
-  mutable trace : Trace.t;
+  trace : Trace.t;
   mutable scheds : int;
   mutable flow_ids : int;
 }
+
+module Config = struct
+  type t = { trace : Trace.t }
+
+  let default =
+    { trace = Trace.disabled }
+  [@@shared_ok
+    "Trace.disabled is the inert zero-capacity collector (empty rings, \
+     mask 0): every emit is a no-op, so sharing it across domains is \
+     write-free"]
+end
 
 (* scheduler events are high-volume and low-information individually, so only
    every [sched_sample]-th one is traced *)
 let sched_sample = 256
 
-let create ?(trace = Trace.disabled) () =
-  { clock = 0.; events = Wheel.create (); trace; scheds = 0; flow_ids = 0 }
+let create (c : Config.t) =
+  { clock = 0.; events = Wheel.create (); trace = c.Config.trace; scheds = 0;
+    flow_ids = 0 }
 
 let trace t = t.trace
-let set_trace t tr = t.trace <- tr
 
 (* flow ids are engine-scoped, not process-global: every run of the same
    scenario numbers its flows identically, which is what makes traced runs

@@ -12,20 +12,31 @@
 
 type t
 
-(** [create ()] is a fresh engine with the clock at [Time.zero].
-    @param trace the run's trace collector (default
-           {!Nimbus_trace.Trace.disabled}); every [256]-th scheduled
-    event is recorded under the [engine] category, and
-    {!run_until} drains inside an [engine_drain] profiling span. *)
-val create : ?trace:Nimbus_trace.Trace.t -> unit -> t
+(** Construction parameters, in the same Config-record style as
+    [Bottleneck.Config] and [Nimbus.Config]: start from {!Config.default}
+    and override fields with record-update syntax.  The trace collector is
+    fixed for the engine's lifetime — mid-run collector swapping (the old
+    [set_trace] escape hatch) is gone; build the engine with the collector
+    the run needs. *)
+module Config : sig
+  type t = {
+    trace : Nimbus_trace.Trace.t;
+        (** the run's trace collector (default
+            {!Nimbus_trace.Trace.disabled}); every [256]-th scheduled event
+            is recorded under the [engine] category, and {!run_until}
+            drains inside an [engine_drain] profiling span *)
+  }
+
+  (** [default] — tracing off. *)
+  val default : t
+end
+
+(** [create config] is a fresh engine with the clock at [Time.zero]. *)
+val create : Config.t -> t
 
 (** [trace t] is the run's trace collector — network elements created on
     this engine and control hooks such as [Flow.apply] emit through it. *)
 val trace : t -> Nimbus_trace.Trace.t
-
-(** [set_trace t tr] swaps the collector mid-run (e.g. to start tracing
-    after warm-up). *)
-val set_trace : t -> Nimbus_trace.Trace.t -> unit
 
 (** [fresh_flow_id t] allocates the next engine-scoped flow id (0, 1, …).
     Ids are per-engine rather than process-global so that repeated runs of

@@ -6,27 +6,50 @@
 
 type t
 
+(** The discipline's verdict on an arriving packet. [Mark] means "admit,
+    but set the packet's ECN congestion-experienced bit" — only an
+    ECN-enabled AQM ever returns it. *)
+type decision =
+  | Admit
+  | Mark
+  | Drop
+
 (** [droptail ~capacity_bytes] drops arrivals that would overflow the
     buffer. *)
 val droptail : capacity_bytes:int -> t
 
-(** [pie ~capacity_bytes ~target_delay ~link_rate ~rng] implements the PIE
-    AQM (RFC 8033, simplified): a drop probability is updated every 15 ms
-    from the estimated queueing delay [qlen·8/rate] against [target_delay],
-    and arrivals are dropped randomly with that probability (plus tail drop
-    at [capacity_bytes]). *)
+(** [pie ?ecn ~capacity_bytes ~target_delay ~link_rate ~rng] implements the
+    PIE AQM (RFC 8033, simplified): a drop probability is updated every
+    15 ms from the estimated queueing delay [qlen·8/rate] against
+    [target_delay], and arrivals are dropped randomly with that probability
+    (plus tail drop at [capacity_bytes]).
+
+    With [ecn = true] (default false), random early decisions while the
+    drop probability is ≤ 10% (RFC 8033 §5.1) become {!Mark} instead of
+    {!Drop}; tail overflow always drops. The RNG stream is identical
+    either way, so turning ECN off reproduces the exact pre-ECN
+    behaviour. *)
 val pie :
+  ?ecn:bool ->
   capacity_bytes:int ->
   target_delay:Units.Time.t ->
   link_rate:Units.Rate.t ->
   rng:Rng.t ->
+  unit ->
   t
 
 (** [capacity_bytes t]. *)
 val capacity_bytes : t -> int
 
-(** [admit t ~now ~qlen_bytes ~pkt_size] decides whether an arriving packet
-    is admitted given the current backlog. Advances internal AQM state. *)
+(** [decide t ~now ~qlen_bytes ~pkt_size] is the discipline's verdict on an
+    arriving packet given the current backlog. Advances internal AQM
+    state. *)
+val decide :
+  t -> now:Units.Time.t -> qlen_bytes:int -> pkt_size:int -> decision
+
+(** [admit t ~now ~qlen_bytes ~pkt_size] is [decide _ <> Drop] — kept for
+    callers that do not distinguish marking from plain admission. Advances
+    internal AQM state. *)
 val admit : t -> now:Units.Time.t -> qlen_bytes:int -> pkt_size:int -> bool
 
 (** [name t] is ["droptail"] or ["pie"]. *)

@@ -2,6 +2,7 @@ module Engine = Nimbus_sim.Engine
 module Bottleneck = Nimbus_sim.Bottleneck
 module Packet = Nimbus_sim.Packet
 module Rng = Nimbus_sim.Rng
+module Topology = Nimbus_topology.Topology
 module Time = Units.Time
 module Rate = Units.Rate
 
@@ -13,7 +14,7 @@ type kind =
    typed boundary is the .mli. *)
 type t = {
   engine : Engine.t;
-  bottleneck : Bottleneck.t;
+  enqueue : Packet.t -> unit;
   kind : kind;
   flow_id : int;
   pkt_size : int;
@@ -48,7 +49,7 @@ let rec step t =
         Packet.make ~flow:t.flow_id ~seq:t.seq ~size:t.pkt_size ~now ()
       in
       t.seq <- t.seq + 1;
-      Bottleneck.enqueue t.bottleneck pkt;
+      t.enqueue pkt;
       Engine.schedule_in t.engine (Time.secs (interval t)) (fun () -> step t)
     end
     else
@@ -56,19 +57,40 @@ let rec step t =
       Engine.schedule_in t.engine (Time.ms 10.) (fun () -> step t)
   end
 
-let make engine bottleneck kind ~rate ~pkt_size ~start ~stop =
+(* [wire flow_id] is the injection function — a bare [Bottleneck.enqueue]
+   or a topology ingress.  Open-loop sources never receive, so unlike
+   [Flow] no sink is registered. *)
+let make engine ~wire kind ~rate ~pkt_size ~start ~stop =
   let rate = Rate.to_bps rate in
   if rate < 0. then invalid_arg "Source: negative rate";
+  let flow_id = Engine.fresh_flow_id engine in
   let t =
-    { engine; bottleneck; kind; flow_id = Engine.fresh_flow_id engine; pkt_size;
+    { engine; enqueue = wire flow_id; kind; flow_id; pkt_size;
       stop = Option.map Time.to_secs stop; rate; seq = 0; active = true }
   in
   let start = match start with Some s -> s | None -> Engine.now engine in
   Engine.schedule_at engine start (fun () -> step t);
   t
 
+let direct bottleneck _flow pkt = Bottleneck.enqueue bottleneck pkt
+
 let poisson engine bottleneck ~rng ~rate ?(pkt_size = 1500) ?start ?stop () =
-  make engine bottleneck (Poisson rng) ~rate ~pkt_size ~start ~stop
+  make engine ~wire:(direct bottleneck) (Poisson rng) ~rate ~pkt_size ~start
+    ~stop
 
 let cbr engine bottleneck ~rate ?(pkt_size = 1500) ?start ?stop () =
-  make engine bottleneck Cbr ~rate ~pkt_size ~start ~stop
+  make engine ~wire:(direct bottleneck) Cbr ~rate ~pkt_size ~start ~stop
+
+(* Routed variants: packets traverse every hop of [route] and are dropped
+   on the floor after the last one (open-loop traffic has no receiver),
+   while still counting into the fabric conservation ledger. *)
+let via topo ~route flow =
+  Topology.attach topo ~route ~flow ~sink:ignore
+
+let poisson_via topo ~route ~rng ~rate ?(pkt_size = 1500) ?start ?stop () =
+  make (Topology.engine topo) ~wire:(via topo ~route) (Poisson rng) ~rate
+    ~pkt_size ~start ~stop
+
+let cbr_via topo ~route ~rate ?(pkt_size = 1500) ?start ?stop () =
+  make (Topology.engine topo) ~wire:(via topo ~route) Cbr ~rate ~pkt_size
+    ~start ~stop

@@ -32,6 +32,33 @@ val cbr :
   unit ->
   t
 
+(** [poisson_via topo ~route ~rng ~rate ()] is {!poisson} injected along a
+    {!Nimbus_topology.Topology} route: packets traverse every hop (loading
+    each link's queue) and evaporate after the last one — open-loop traffic
+    has no receiver — while counting into the fabric conservation
+    ledger. *)
+val poisson_via :
+  Nimbus_topology.Topology.t ->
+  route:Nimbus_topology.Topology.Route.t ->
+  rng:Nimbus_sim.Rng.t ->
+  rate:Units.Rate.t ->
+  ?pkt_size:int ->
+  ?start:Units.Time.t ->
+  ?stop:Units.Time.t ->
+  unit ->
+  t
+
+(** [cbr_via topo ~route ~rate ()] is {!cbr} injected along a route. *)
+val cbr_via :
+  Nimbus_topology.Topology.t ->
+  route:Nimbus_topology.Topology.Route.t ->
+  rate:Units.Rate.t ->
+  ?pkt_size:int ->
+  ?start:Units.Time.t ->
+  ?stop:Units.Time.t ->
+  unit ->
+  t
+
 (** [flow_id t] — for per-flow accounting at the bottleneck. *)
 val flow_id : t -> int
 

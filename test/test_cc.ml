@@ -16,7 +16,7 @@ let check_close ?(eps = 1e-9) msg expected actual =
     Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
 
 let make_link ?(rate_bps = 24e6) ?(buffer_s = 0.1) () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let capacity = int_of_float (rate_bps *. buffer_s /. 8.) in
   let bn =
     Bottleneck.create e
@@ -136,13 +136,13 @@ let test_two_flows_share () =
   Alcotest.(check bool) "link filled" true (t1 +. t2 > 0.9 *. 48e6)
 
 let test_fresh_ids_unique () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let a = Engine.fresh_flow_id e in
   let b = Engine.fresh_flow_id e in
   Alcotest.(check int) "distinct, dense" (a + 1) b;
   (* engine-scoped, not process-global: a fresh engine restarts at the same
      id, which is what keeps traced runs byte-identical across repeats *)
-  let e2 = Engine.create () in
+  let e2 = Engine.create Engine.Config.default in
   Alcotest.(check int) "fresh engine restarts the namespace" a
     (Engine.fresh_flow_id e2)
 

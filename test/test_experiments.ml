@@ -58,7 +58,7 @@ let test_common_link () =
   let l = E.Common.link ~mbps:96. ~rtt_ms:50. () in
   Alcotest.(check (float 0.001)) "mu" 96e6 (Rate.to_bps l.E.Common.mu);
   Alcotest.(check (float 1e-9)) "rtt" 0.05 (Time.to_secs l.E.Common.prop_rtt);
-  let _, bn, _ = E.Common.setup ~seed:1 l in
+  let bn = (E.Common.setup ~seed:1 l).E.Common.bottleneck in
   (* 2 BDP of buffer at 96 Mbit/s x 50 ms = 1.2 MB *)
   Alcotest.(check int) "buffer bytes" 1_200_000
     (Nimbus_sim.Bottleneck.capacity_bytes bn)
@@ -73,11 +73,12 @@ let test_common_profiles () =
 
 let test_scheme_start () =
   let l = E.Common.link ~mbps:24. ~rtt_ms:50. () in
-  let engine, bn, _ = E.Common.setup ~seed:2 l in
-  let r = (E.Common.nimbus ()).E.Common.start_flow engine bn l () in
+  let net = E.Common.setup ~seed:2 l in
+  let engine = net.E.Common.engine in
+  let r = (E.Common.nimbus ()).E.Common.start_flow net () in
   Alcotest.(check bool) "nimbus exposes mode" true
     (r.E.Common.in_competitive <> None);
-  let r2 = E.Common.cubic.E.Common.start_flow engine bn l () in
+  let r2 = E.Common.cubic.E.Common.start_flow net () in
   Alcotest.(check bool) "cubic has no mode" true
     (r2.E.Common.in_competitive = None);
   Nimbus_sim.Engine.run_until engine (Time.secs 5.);

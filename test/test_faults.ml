@@ -118,7 +118,7 @@ let test_parse_rejects_garbage () =
 (* --- attach: link faults -------------------------------------------------- *)
 
 let make_link ?(rate_bps = 48e6) () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let bn =
     Bottleneck.create e
       (Bottleneck.Config.default ~rate:(Rate.bps rate_bps)

@@ -48,7 +48,7 @@ let test_series_iter_order () =
 (* --- monitor -------------------------------------------------------------- *)
 
 let test_monitor_throughput_math () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let counter = ref 0 in
   (* grow the counter by 1250 bytes every 100 ms = 100 kbit/s *)
   Engine.every e ~dt:(Time.ms 100.) (fun () -> counter := !counter + 1250);
@@ -60,7 +60,7 @@ let test_monitor_throughput_math () =
   check_close ~eps:1e-6 "rate" 100_000. values.(5)
 
 let test_monitor_queue_delay () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let bn =
     Bottleneck.create e
       (Bottleneck.Config.default ~rate:(Rate.bps 12e6)

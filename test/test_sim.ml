@@ -139,7 +139,7 @@ let prop_wheel_matches_heap =
 (* --- engine -------------------------------------------------------------- *)
 
 let test_engine_ordering () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let log = ref [] in
   Engine.schedule_in e (Time.secs 0.3) (fun () -> log := 3 :: !log);
   Engine.schedule_in e (Time.secs 0.1) (fun () -> log := 1 :: !log);
@@ -149,7 +149,7 @@ let test_engine_ordering () =
   check_close "clock at horizon" 1. (Time.to_secs (Engine.now e))
 
 let test_engine_horizon () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let fired = ref false in
   Engine.schedule_in e (Time.secs 5.) (fun () -> fired := true);
   Engine.run_until e (Time.secs 1.);
@@ -159,7 +159,7 @@ let test_engine_horizon () =
   Alcotest.(check bool) "fires later" true !fired
 
 let test_engine_every () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let count = ref 0 in
   Engine.every e ~dt:(Time.secs 0.5) ~until:(Time.secs 2.9) (fun () -> incr count);
   Engine.run_until e (Time.secs 10.);
@@ -167,7 +167,7 @@ let test_engine_every () =
   Alcotest.(check int) "periodic fires" 5 !count
 
 let test_engine_rejects_past () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   Engine.schedule_in e (Time.secs 1.) (fun () -> ());
   Engine.run_until e (Time.secs 1.);
   Alcotest.(check bool) "past raises" true
@@ -177,7 +177,7 @@ let test_engine_rejects_past () =
      with Invalid_argument _ -> true)
 
 let test_engine_rejects_non_finite () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let raises name f =
     Alcotest.(check bool) name true
       (try
@@ -202,7 +202,7 @@ let test_engine_rejects_non_finite () =
   Alcotest.(check bool) "engine survives" true !hit
 
 let test_engine_nested_schedule () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let hits = ref [] in
   Engine.schedule_in e (Time.secs 1.) (fun () ->
       hits := Time.to_secs (Engine.now e) :: !hits;
@@ -291,7 +291,7 @@ let test_pie_drops_under_load () =
   let rng = Rng.create 3 in
   let q =
     Qdisc.pie ~capacity_bytes:1_000_000 ~target_delay:(Time.ms 15.)
-      ~link_rate:(Rate.bps 48e6) ~rng
+      ~link_rate:(Rate.bps 48e6) ~rng ()
   in
   Alcotest.(check string) "name" "pie" (Qdisc.name q);
   (* sustained deep queue (~10x target) must start dropping *)
@@ -307,7 +307,7 @@ let test_pie_spares_short_queue () =
   let rng = Rng.create 4 in
   let q =
     Qdisc.pie ~capacity_bytes:1_000_000 ~target_delay:(Time.ms 15.)
-      ~link_rate:(Rate.bps 48e6) ~rng
+      ~link_rate:(Rate.bps 48e6) ~rng ()
   in
   let drops = ref 0 in
   for i = 1 to 2000 do
@@ -328,7 +328,7 @@ let drain_packets engine bn ~flow ~count ~size =
   delivered
 
 let test_bottleneck_serialization_rate () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let bn =
     Bottleneck.create e
       (Bottleneck.Config.default ~rate:(Rate.bps 12e6)
@@ -343,7 +343,7 @@ let test_bottleneck_serialization_rate () =
   check_close ~eps:1e-9 "busy time" 0.01 (Time.to_secs (Bottleneck.busy_time bn))
 
 let test_bottleneck_fifo_order () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let bn =
     Bottleneck.create e
       (Bottleneck.Config.default ~rate:(Rate.bps 10e6)
@@ -355,7 +355,7 @@ let test_bottleneck_fifo_order () =
   Alcotest.(check (list int)) "fifo" (List.init 20 (fun i -> i)) seqs
 
 let test_bottleneck_drops_at_capacity () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let bn =
     Bottleneck.create e
       (Bottleneck.Config.default ~rate:(Rate.bps 1e6)
@@ -368,7 +368,7 @@ let test_bottleneck_drops_at_capacity () =
   check_close "queue delay" (4500. *. 8. /. 1e6) (Time.to_secs (Bottleneck.queue_delay bn))
 
 let test_bottleneck_random_loss () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let bn =
     Bottleneck.create e
       { (Bottleneck.Config.default ~rate:(Rate.bps 100e6)
@@ -382,7 +382,7 @@ let test_bottleneck_random_loss () =
   Alcotest.(check bool) "about half dropped" true (d > 400 && d < 600)
 
 let test_bottleneck_policer () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let bn =
     Bottleneck.create e
       { (Bottleneck.Config.default ~rate:(Rate.bps 100e6)
@@ -396,7 +396,7 @@ let test_bottleneck_policer () =
   Alcotest.(check int) "policed" 8 (Bottleneck.drops bn)
 
 let test_bottleneck_delivered_accounting () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let bn =
     Bottleneck.create e
       (Bottleneck.Config.default ~rate:(Rate.bps 10e6)

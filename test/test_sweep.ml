@@ -167,9 +167,10 @@ let temp_name suffix =
   f
 
 (* small matrix of cheap schemes; budget off => fully deterministic *)
-let base_cfg ?checkpoint ?resume ?stop_after () =
+let base_cfg ?checkpoint ?resume ?stop_after ?triage_only () =
   Sweep.config ~paths:4 ~seed:7 ~schemes:[ E.Common.cubic; E.Common.vegas ]
     ~shard_size:2 ~retries:1 ?checkpoint ?resume ?stop_after ~triage_k:2
+    ?triage_only
     ~sleep:(fun _ -> ())
     ()
 
@@ -235,6 +236,33 @@ let test_resume_incompatible_header () =
   Alcotest.(check bool) "different seed rejected" true
     (match Sweep.run other with
      | exception Sweep.Checkpoint_incompatible _ -> true
+     | _ -> false)
+
+let test_triage_only_byte_identical () =
+  let ck = temp_name ".ck" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists ck then Sys.remove ck)
+  @@ fun () ->
+  (* the full run writes the checkpoint; the triage-only pass skips every
+     shard, restores them all, and must print the exact same tables *)
+  let reference = rendered (Sweep.run (base_cfg ~checkpoint:ck ())) in
+  let triaged =
+    rendered (Sweep.run (base_cfg ~checkpoint:ck ~triage_only:true ()))
+  in
+  Alcotest.(check (list string)) "triage-only tables byte-identical"
+    reference triaged
+
+let test_triage_only_incomplete () =
+  let ck = temp_name ".ck" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists ck then Sys.remove ck)
+  @@ fun () ->
+  ignore (Sweep.run (base_cfg ~checkpoint:ck ~stop_after:1 ()));
+  Alcotest.(check bool) "partial checkpoint rejected" true
+    (match Sweep.run (base_cfg ~checkpoint:ck ~triage_only:true ()) with
+     | exception Sweep.Checkpoint_incomplete _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "triage-only without checkpoint rejected" true
+    (match base_cfg ~triage_only:true () with
+     | exception Invalid_argument _ -> true
      | _ -> false)
 
 let test_crash_cells () =
@@ -338,6 +366,10 @@ let suite =
           test_resume_corrupt_trailer;
         Alcotest.test_case "incompatible header" `Slow
           test_resume_incompatible_header;
+        Alcotest.test_case "triage-only byte-identical" `Slow
+          test_triage_only_byte_identical;
+        Alcotest.test_case "triage-only incomplete checkpoint" `Slow
+          test_triage_only_incomplete;
         Alcotest.test_case "crash cells" `Slow test_crash_cells;
         Alcotest.test_case "watchdog timeout cells" `Quick
           test_watchdog_timeout_cells;

@@ -1,0 +1,350 @@
+(* lib/sim/topology: the multi-bottleneck fabric.  The headline property is
+   the migration-safety oracle — a dumbbell run through the topology API
+   produces byte-identical traces to the old direct Engine+Bottleneck wiring
+   — plus multi-hop forwarding order, propagation timing, route validation,
+   per-link/fabric conservation (qcheck over random chains), ECN marking,
+   and the parking-lot experiment at the 1000-flow acceptance scale. *)
+
+module Trace = Nimbus_trace.Trace
+module Sink = Nimbus_trace.Sink
+module Engine = Nimbus_sim.Engine
+module Bottleneck = Nimbus_sim.Bottleneck
+module Qdisc = Nimbus_sim.Qdisc
+module Packet = Nimbus_sim.Packet
+module Rng = Nimbus_sim.Rng
+module Topology = Nimbus_topology.Topology
+module Flow = Nimbus_cc.Flow
+module Nimbus = Nimbus_core.Nimbus
+module Z_estimator = Nimbus_core.Z_estimator
+module Source = Nimbus_traffic.Source
+module E = Nimbus_experiments
+module Time = Units.Time
+module Rate = Units.Rate
+
+(* --- dumbbell byte-identity (the migration-safety oracle) ------------------ *)
+
+let bn_config ~trace =
+  { (Bottleneck.Config.default ~rate:(Rate.bps 48e6)
+       ~qdisc:(Qdisc.droptail ~capacity_bytes:600_000))
+    with trace }
+
+(* the Fig. 7 shape at test scale: one Nimbus flow, a Cubic flow joining
+   mid-run; [wire] is either the old direct wiring or the topology dumbbell *)
+let traced_scenario ~wire =
+  let buf = Buffer.create 65536 in
+  let tr = Trace.create ~mask:Trace.mask_all () in
+  Trace.attach tr (Sink.jsonl_buffer buf);
+  let engine = Engine.create { trace = tr } in
+  let start_flow = wire engine tr in
+  let nim =
+    Nimbus.create
+      { (Nimbus.Config.default ~mu:(Z_estimator.Mu.known (Rate.bps 48e6)))
+        with seed = 11; trace = tr }
+  in
+  ignore (start_flow ~cc:(Nimbus.cc nim ~now:(fun () -> Engine.now engine)));
+  Engine.schedule_at engine (Time.secs 8.) (fun () ->
+      ignore (start_flow ~cc:(Nimbus_cc.Cubic.make ())));
+  Engine.run_until engine (Time.secs 14.);
+  Trace.close tr;
+  Buffer.contents buf
+
+let wire_direct engine tr =
+  let bn = Bottleneck.create engine (bn_config ~trace:tr) in
+  fun ~cc -> Flow.create engine bn ~cc ~prop_rtt:(Time.ms 50.) ()
+
+let wire_topology engine tr =
+  let topo, route =
+    Topology.dumbbell engine
+      { bottleneck = bn_config ~trace:tr; prop_delay = Time.zero }
+  in
+  fun ~cc -> Flow.create_via topo ~route ~cc ~prop_rtt:(Time.ms 50.) ()
+
+let test_dumbbell_byte_identical () =
+  let direct = traced_scenario ~wire:wire_direct in
+  let via = traced_scenario ~wire:wire_topology in
+  Alcotest.(check bool) "trace is non-trivial" true
+    (String.length direct > 1000);
+  Alcotest.(check bool)
+    "topology dumbbell trace byte-identical to direct wiring" true
+    (String.equal direct via)
+
+(* --- builders -------------------------------------------------------------- *)
+
+let chain engine n ~rate ~prop =
+  let topo = Topology.create engine in
+  let nodes =
+    List.init (n + 1) (fun i ->
+        Topology.add_node topo (Printf.sprintf "n%d" i))
+  in
+  let links =
+    List.init n (fun i ->
+        Topology.add_link topo
+          ~src:(List.nth nodes i)
+          ~dst:(List.nth nodes (i + 1))
+          { bottleneck =
+              Bottleneck.Config.default ~rate
+                ~qdisc:(Qdisc.droptail ~capacity_bytes:1_000_000);
+            prop_delay = prop })
+  in
+  (topo, nodes, links)
+
+(* --- forwarding ------------------------------------------------------------ *)
+
+let test_two_hop_fifo () =
+  let engine = Engine.create Engine.Config.default in
+  (* 12 Mbit/s: 1 ms per 1500 B packet *)
+  let topo, _, links = chain engine 2 ~rate:(Rate.mbps 12.) ~prop:(Time.ms 2.) in
+  let route = Topology.Route.of_links links in
+  Alcotest.(check int) "two hops" 2 (Topology.Route.hops route);
+  let seqs = ref [] in
+  let ingress =
+    Topology.attach topo ~route ~flow:5 ~sink:(fun pkt ->
+        seqs := pkt.Packet.seq :: !seqs)
+  in
+  for seq = 0 to 19 do
+    ingress
+      (Packet.make ~flow:5 ~seq ~size:1500 ~now:(Engine.now engine) ())
+  done;
+  Engine.run_until engine (Time.secs 1.);
+  Alcotest.(check (list int)) "FIFO across both hops"
+    (List.init 20 (fun i -> i))
+    (List.rev !seqs);
+  Alcotest.(check int) "fabric counted every ingress" 20
+    (Topology.injected_packets topo);
+  Alcotest.(check int) "fabric counted every terminal delivery" 20
+    (Topology.completed_packets topo);
+  Alcotest.(check int) "nothing left in transit" 0
+    (Topology.in_transit_packets topo);
+  Alcotest.(check (option string)) "conservation holds" None
+    (Topology.conservation_check topo)
+
+let test_prop_delay_timing () =
+  let engine = Engine.create Engine.Config.default in
+  let topo, _, links =
+    chain engine 1 ~rate:(Rate.mbps 12.) ~prop:(Time.ms 10.)
+  in
+  let route = Topology.Route.of_links links in
+  let arrival = ref Time.zero in
+  let ingress =
+    Topology.attach topo ~route ~flow:0 ~sink:(fun _ ->
+        arrival := Engine.now engine)
+  in
+  ingress (Packet.make ~flow:0 ~seq:0 ~size:1500 ~now:(Engine.now engine) ());
+  Engine.run_until engine (Time.secs 1.);
+  (* 1 ms serialisation at 12 Mbit/s + 10 ms propagation *)
+  Alcotest.(check (float 1e-9)) "serialisation + propagation" 0.011
+    (Time.to_secs !arrival)
+
+(* --- construction and route validation ------------------------------------- *)
+
+let raises_invalid f =
+  match f () with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+
+let test_route_validation () =
+  let engine = Engine.create Engine.Config.default in
+  let topo = Topology.create engine in
+  let a = Topology.add_node topo "a" in
+  let b = Topology.add_node topo "b" in
+  let c = Topology.add_node topo "c" in
+  let d = Topology.add_node topo "d" in
+  let cfg =
+    { Topology.Link.Config.bottleneck =
+        Bottleneck.Config.default ~rate:(Rate.mbps 10.)
+          ~qdisc:(Qdisc.droptail ~capacity_bytes:100_000);
+      prop_delay = Time.zero }
+  in
+  let ab = Topology.add_link topo ~src:a ~dst:b cfg in
+  let cd = Topology.add_link topo ~src:c ~dst:d cfg in
+  Alcotest.(check bool) "empty route rejected" true
+    (raises_invalid (fun () -> Topology.Route.of_links []));
+  Alcotest.(check bool) "non-contiguous route rejected" true
+    (raises_invalid (fun () -> Topology.Route.of_links [ ab; cd ]));
+  Alcotest.(check bool) "self-loop link rejected" true
+    (raises_invalid (fun () -> Topology.add_link topo ~src:a ~dst:a cfg));
+  Alcotest.(check bool) "negative prop delay rejected" true
+    (raises_invalid (fun () ->
+         Topology.add_link topo ~src:b ~dst:c
+           { cfg with prop_delay = Time.secs (-1.) }));
+  (* a route made of another topology's links must not attach here *)
+  let engine2 = Engine.create Engine.Config.default in
+  let _, _, links2 = chain engine2 1 ~rate:(Rate.mbps 10.) ~prop:Time.zero in
+  let foreign = Topology.Route.of_links links2 in
+  Alcotest.(check bool) "foreign route rejected" true
+    (raises_invalid (fun () ->
+         Topology.attach topo ~route:foreign ~flow:0 ~sink:ignore));
+  Alcotest.(check string) "link label" "a->b" (Topology.link_label ab)
+
+let test_find_route () =
+  let engine = Engine.create Engine.Config.default in
+  let topo = Topology.create engine in
+  let n = Array.init 4 (fun i -> Topology.add_node topo (string_of_int i)) in
+  let cfg =
+    { Topology.Link.Config.bottleneck =
+        Bottleneck.Config.default ~rate:(Rate.mbps 10.)
+          ~qdisc:(Qdisc.droptail ~capacity_bytes:100_000);
+      prop_delay = Time.zero }
+  in
+  (* diamond 0->1->3 and 0->2->3, plus a direct shortcut 0->3 *)
+  ignore (Topology.add_link topo ~src:n.(0) ~dst:n.(1) cfg);
+  ignore (Topology.add_link topo ~src:n.(1) ~dst:n.(3) cfg);
+  ignore (Topology.add_link topo ~src:n.(0) ~dst:n.(2) cfg);
+  ignore (Topology.add_link topo ~src:n.(2) ~dst:n.(3) cfg);
+  let direct = Topology.add_link topo ~src:n.(0) ~dst:n.(3) cfg in
+  (match Topology.find_route topo ~src:n.(0) ~dst:n.(3) with
+   | None -> Alcotest.fail "route exists"
+   | Some r ->
+     Alcotest.(check int) "BFS finds the min-hop route" 1
+       (Topology.Route.hops r);
+     Alcotest.(check bool) "via the shortcut" true
+       (List.memq direct (Topology.Route.links r)));
+  Alcotest.(check bool) "unreachable is None" true
+    (Topology.find_route topo ~src:n.(3) ~dst:n.(0) = None)
+
+(* --- conservation over random chains (qcheck) ------------------------------ *)
+
+(* random small chains under mixed attached traffic: after any run, every
+   per-link ledger and the fabric identity must balance.  All traffic goes
+   through attach, so the fabric check applies. *)
+let conservation_prop (nlinks, nsrc, seed) =
+  let engine = Engine.create Engine.Config.default in
+  let topo, _, links =
+    chain engine nlinks
+      ~rate:(Rate.mbps (6. +. float_of_int (seed mod 5)))
+      ~prop:(Time.ms (float_of_int (seed mod 3)))
+  in
+  let rng = Rng.create seed in
+  let full_route = Topology.Route.of_links links in
+  (* one closed-loop flow end to end *)
+  ignore
+    (Flow.create_via topo ~route:full_route ~cc:(Nimbus_cc.Cubic.make ())
+       ~prop_rtt:(Time.ms 20.) ());
+  (* open-loop sources over random sub-routes *)
+  for s = 0 to nsrc - 1 do
+    let start = (seed + s) mod nlinks in
+    let len = 1 + ((seed + s) mod (nlinks - start)) in
+    let sub =
+      Topology.Route.of_links
+        (List.filteri (fun i _ -> i >= start && i < start + len) links)
+    in
+    if s mod 2 = 0 then
+      ignore
+        (Source.poisson_via topo ~route:sub ~rng:(Rng.split rng)
+           ~rate:(Rate.mbps 4.) ())
+    else ignore (Source.cbr_via topo ~route:sub ~rate:(Rate.mbps 4.) ())
+  done;
+  Engine.run_until engine (Time.secs 1.);
+  (match Topology.conservation_check topo with
+   | None -> ()
+   | Some detail -> QCheck.Test.fail_reportf "conservation: %s" detail);
+  List.for_all
+    (fun l ->
+      let b = Topology.link_bottleneck l in
+      Bottleneck.offered_packets b
+      = Bottleneck.delivered_packets b + Bottleneck.drops b
+        + Bottleneck.queued_packets b)
+    links
+
+let test_conservation_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25
+       ~name:"topology: per-link + fabric conservation on random chains"
+       QCheck.(
+         triple (int_range 1 5) (int_range 0 4) (int_range 0 10_000))
+       conservation_prop)
+
+(* --- ECN ------------------------------------------------------------------- *)
+
+(* overload a PIE queue and watch the decision split: with ECN on, early
+   congestion becomes marks (and the mark travels on the packet); with ECN
+   off (the default), the same pressure is drops only *)
+let pie_bottleneck ~ecn engine ~seed =
+  Bottleneck.create engine
+    (Bottleneck.Config.default ~rate:(Rate.mbps 12.)
+       ~qdisc:
+         (Qdisc.pie ~ecn ~capacity_bytes:1_000_000
+            ~target_delay:(Time.ms 5.) ~link_rate:(Rate.mbps 12.)
+            ~rng:(Rng.create seed) ()))
+
+let overload engine bn =
+  let src = Source.cbr engine bn ~rate:(Rate.mbps 24.) () in
+  let marked = ref 0 in
+  Bottleneck.set_sink bn ~flow:(Source.flow_id src) (fun pkt ->
+      if pkt.Packet.ecn then incr marked);
+  Engine.run_until engine (Time.secs 3.);
+  !marked
+
+let test_pie_ecn_marks () =
+  let engine = Engine.create Engine.Config.default in
+  let bn = pie_bottleneck ~ecn:true engine ~seed:3 in
+  let marked = overload engine bn in
+  Alcotest.(check bool) "ECN-enabled PIE marks under load" true
+    (Bottleneck.marks bn > 0);
+  Alcotest.(check bool) "marks ride the packets" true (marked > 0);
+  Alcotest.(check int) "ledger counts marked packets as admitted"
+    (Bottleneck.offered_packets bn)
+    (Bottleneck.delivered_packets bn + Bottleneck.drops bn
+    + Bottleneck.queued_packets bn)
+
+let test_pie_ecn_off_by_default () =
+  let engine = Engine.create Engine.Config.default in
+  let bn = pie_bottleneck ~ecn:false engine ~seed:3 in
+  let marked = overload engine bn in
+  Alcotest.(check int) "no marks with ECN off" 0 (Bottleneck.marks bn);
+  Alcotest.(check int) "no marked packets with ECN off" 0 marked;
+  Alcotest.(check bool) "pressure shows up as drops instead" true
+    (Bottleneck.drops bn > 0)
+
+let test_droptail_never_marks () =
+  let engine = Engine.create Engine.Config.default in
+  let bn =
+    Bottleneck.create engine
+      (Bottleneck.Config.default ~rate:(Rate.mbps 12.)
+         ~qdisc:(Qdisc.droptail ~capacity_bytes:30_000))
+  in
+  let marked = overload engine bn in
+  Alcotest.(check int) "droptail never marks" 0 (Bottleneck.marks bn);
+  Alcotest.(check int) "no marked packets" 0 marked
+
+(* --- parking lot at acceptance scale --------------------------------------- *)
+
+let test_parking_lot_scale () =
+  let p = E.Exp_parking_lot.scaled_params ~links:3 ~flows:1000 ~duration:2. () in
+  let o = E.Exp_parking_lot.run_custom p in
+  Alcotest.(check bool) "at least 1000 flows" true
+    (o.E.Exp_parking_lot.flows >= 1000);
+  Alcotest.(check int) "per-link + fabric conservation clean" 0
+    o.E.Exp_parking_lot.violations;
+  Alcotest.(check bool) "traffic actually flowed" true
+    (o.E.Exp_parking_lot.delivered > 0);
+  Alcotest.(check int) "two tables" 2
+    (List.length o.E.Exp_parking_lot.tables)
+
+let test_parking_lot_registered () =
+  Alcotest.(check bool) "parking_lot is in the registry" true
+    (E.Registry.find "parking_lot" <> None)
+
+let suite =
+  [ ( "topology.dumbbell",
+      [ Alcotest.test_case "byte-identical to direct wiring" `Quick
+          test_dumbbell_byte_identical ] );
+    ( "topology.forwarding",
+      [ Alcotest.test_case "two-hop FIFO" `Quick test_two_hop_fifo;
+        Alcotest.test_case "propagation timing" `Quick test_prop_delay_timing
+      ] );
+    ( "topology.routes",
+      [ Alcotest.test_case "validation" `Quick test_route_validation;
+        Alcotest.test_case "find_route BFS" `Quick test_find_route ] );
+    ( "topology.conservation", [ test_conservation_qcheck ] );
+    ( "topology.ecn",
+      [ Alcotest.test_case "pie marks when enabled" `Quick test_pie_ecn_marks;
+        Alcotest.test_case "pie off by default" `Quick
+          test_pie_ecn_off_by_default;
+        Alcotest.test_case "droptail never marks" `Quick
+          test_droptail_never_marks ] );
+    ( "topology.parking_lot",
+      [ Alcotest.test_case "1000 flows, conservation" `Quick
+          test_parking_lot_scale;
+        Alcotest.test_case "registered" `Quick test_parking_lot_registered ]
+    ) ]

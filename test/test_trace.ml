@@ -204,7 +204,7 @@ let test_summarize_binary_file () =
 (* --- Flow.apply ------------------------------------------------------------ *)
 
 let make_link ?(trace = Trace.disabled) () =
-  let e = Engine.create ~trace () in
+  let e = Engine.create { trace } in
   let bn =
     Bottleneck.create e
       { (Bottleneck.Config.default ~rate:(Rate.bps 48e6)

@@ -10,7 +10,7 @@ module Time = Units.Time
 module Rate = Units.Rate
 
 let make_link ?(rate_bps = 96e6) () =
-  let e = Engine.create () in
+  let e = Engine.create Engine.Config.default in
   let bn =
     Bottleneck.create e
       (Bottleneck.Config.default ~rate:(Rate.bps rate_bps)

@@ -56,7 +56,9 @@ let () =
      entry point"
     [ "Sys.getenv"; "Sys.getenv_opt"; "Sys.argv" ]
 
-let default_scope = [ "nimbus_sim"; "nimbus_core"; "nimbus_dsp"; "nimbus_faults" ]
+let default_scope =
+  [ "nimbus_sim"; "nimbus_topology"; "nimbus_core"; "nimbus_dsp";
+    "nimbus_faults" ]
 
 let check_unit ?sup aliases (u : Cmt_scan.unit_info) =
   match u.str with

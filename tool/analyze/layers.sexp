@@ -5,6 +5,7 @@
 ((units nimbus_trace nimbus_parallel)
  (nimbus_dsp)
  (nimbus_sim)
+ (nimbus_topology)
  (nimbus_cc)
  (nimbus_core nimbus_faults nimbus_traffic)
  (nimbus_metrics)

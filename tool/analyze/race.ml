@@ -38,7 +38,8 @@
    tracked by {!Suppress} so stale ones surface as findings. *)
 
 let default_scope =
-  [ "nimbus_sim"; "nimbus_core"; "nimbus_dsp"; "nimbus_faults" ]
+  [ "nimbus_sim"; "nimbus_topology"; "nimbus_core"; "nimbus_dsp";
+    "nimbus_faults" ]
 
 (* --- entry points ----------------------------------------------------------- *)
 
