@@ -79,6 +79,7 @@ type t = {
 }
 
 let now_secs t = Time.to_secs (Engine.now t.engine)
+[@@unit_ok "raw-seconds view feeding float trace sinks and hot mutable fields"]
 
 let id t = t.flow_id
 

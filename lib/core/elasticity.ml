@@ -155,7 +155,8 @@ let eta t ~freq =
   if not (ready t) then nan
   else begin
     match t.bank with
-    | Some bank when t.tuned.(0) = freq && Bank.filled bank -> eta_bank bank
+    | Some bank when Float.equal t.tuned.(0) freq && Bank.filled bank ->
+      eta_bank bank
     | _ ->
       (* fallback: frequency change (or first call) — answer from the FFT
          path, then tune the bank so subsequent ticks stream *)

@@ -301,13 +301,13 @@ let detector t = t.z_detector
 
 let comp_cwnd t =
   match t.comp with
-  | C_cubic c -> B.to_float (Cubic.cwnd_bytes c)
-  | C_reno r -> B.to_float (Reno.cwnd_bytes r)
+  | C_cubic c -> Cubic.cwnd_bytes c
+  | C_reno r -> Reno.cwnd_bytes r
 
 let comp_reset t bytes =
   match t.comp with
-  | C_cubic c -> Cubic.reset_cwnd c (B.bytes bytes)
-  | C_reno r -> Reno.reset_cwnd r (B.bytes bytes)
+  | C_cubic c -> Cubic.reset_cwnd c bytes
+  | C_reno r -> Reno.reset_cwnd r bytes
 
 let comp_cc t =
   match t.comp with
@@ -347,7 +347,7 @@ let delay_rate t =
 
 let base_rate_bps t =
   match t.mode with
-  | Competitive -> rate_of_cwnd t (comp_cwnd t)
+  | Competitive -> rate_of_cwnd t (B.to_float (comp_cwnd t))
   | Delay -> delay_rate t
 
 let base_rate t = Rate.bps (base_rate_bps t)
@@ -387,13 +387,13 @@ let switch_to t target ~now =
          if Float.is_nan t.hot.mu_cache then restore else Float.min restore t.hot.mu_cache
        in
        let cwnd = restore *. srtt_or t 0.1 /. 8. in
-       comp_reset t cwnd
+       comp_reset t (B.bytes cwnd)
      | Delay ->
-       let current = rate_of_cwnd t (comp_cwnd t) in
+       let current = rate_of_cwnd t (B.to_float (comp_cwnd t)) in
        (match t.delay with
         | D_basic b -> Basic_delay.set_rate b (Rate.bps current)
-        | D_vegas v -> Vegas.reset_cwnd v (B.bytes (comp_cwnd t))
-        | D_copa c -> Copa.reset_cwnd c (B.bytes (comp_cwnd t))));
+        | D_vegas v -> Vegas.reset_cwnd v (comp_cwnd t)
+        | D_copa c -> Copa.reset_cwnd c (comp_cwnd t)));
     t.mode <- target
   end
 
@@ -421,7 +421,7 @@ let pulse_value t ~now =
         (Pulse.value ~shape:t.pulse_shape
            ~amplitude:(Rate.bps (t.pulse_frac *. t.hot.mu_cache))
            ~freq:(Freq.hz (pulse_freq_hz t))
-           (Time.secs now))
+           now)
 
 let pulse_amplitude t =
   if Float.is_nan t.hot.mu_cache then 0. else t.pulse_frac *. t.hot.mu_cache
@@ -748,7 +748,7 @@ let on_tick t (tk : Cc_types.tick) =
     match t.role with
     | Pulser ->
       Trace.pulse_phase t.trace ~now ~freq:(pulse_freq_hz t)
-        ~value:(pulse_value t ~now *. 1e-6)
+        ~value:(pulse_value t ~now:(Time.secs now) *. 1e-6)
     | Watcher -> ()
   end;
   (match t.on_sample with
@@ -799,12 +799,12 @@ let cwnd_bytes t =
   match t.mode with
   | Competitive ->
     (match t.role with
-     | Pulser -> comp_cwnd t +. pulse_burst_bytes t
+     | Pulser -> B.to_float (comp_cwnd t) +. pulse_burst_bytes t
      | Watcher ->
        (* a window-limited watcher would be ACK-clocked -- i.e. genuinely
           elastic cross traffic to the pulser; keep it rate-paced at the
           smoothed rate with a loose anti-runaway cap instead *)
-       1.5 *. comp_cwnd t)
+       1.5 *. B.to_float (comp_cwnd t))
   | Delay ->
     let headroom =
       match t.role with Pulser -> pulse_amplitude t | Watcher -> 0.
@@ -827,4 +827,4 @@ let cc t ~now =
     cwnd = (fun () -> B.bytes (cwnd_bytes t));
     pacing_rate =
       (fun () ->
-        Some (Rate.bps (pacing_rate_bps t ~now:(Time.to_secs (now ()))))) }
+        Some (Rate.bps (pacing_rate_bps t ~now:(now ())))) }

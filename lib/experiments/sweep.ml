@@ -612,11 +612,7 @@ let run_triage cfg agg =
                   Fun.protect
                     ~finally:(fun () -> Trace.close tr)
                     (fun () ->
-                      (Path_model.run
-                      [@shared_ok
-                        "pure case runner; the trace collector and buffer \
-                         are created inside this case and never shared"])
-                        ~trace:tr ~invariants:true
+                      Path_model.run ~trace:tr ~invariants:true
                         (cfg
                         [@shared_ok
                           "immutable sweep configuration built before the \

@@ -80,6 +80,7 @@ let set_sink t ~flow f = Hashtbl.replace t.sinks flow f
 let trace t = t.trace
 
 let now_s t = Time.to_secs (Engine.now t.engine)
+[@@unit_ok "raw-seconds view feeding float trace sinks"]
 
 let set_loss_model t f =
   t.loss_model <- f;

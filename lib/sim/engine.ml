@@ -105,7 +105,8 @@ let rec drain t ~horizon =
     if key <= horizon then begin
       t.clock <- key;
       let f = Wheel.pop_top t.events in
-      (f () [@alloc_ok]);
+      (f () [@alloc_ok "opaque event callback; staying allocation-free is \
+                        part of the handler author's contract"]);
       drain t ~horizon
     end
   end

@@ -22,7 +22,7 @@ let is_empty h = h.size = 0
 (* strict (key, seq) lexicographic order between slots [i] and [j] *)
 let less h i j =
   h.keys.(i) < h.keys.(j)
-  || (h.keys.(i) = h.keys.(j) && h.seqs.(i) < h.seqs.(j))
+  || (Float.equal h.keys.(i) h.keys.(j) && h.seqs.(i) < h.seqs.(j))
 [@@alloc_free]
 
 (* Doubling growth, filling the fresh arrays with the entry being pushed so
@@ -53,7 +53,7 @@ let push_seq h ~key ~seq v =
     let parent = (!i - 1) / 2 in
     if
       key < h.keys.(parent)
-      || (key = h.keys.(parent) && seq < h.seqs.(parent))
+      || (Float.equal key h.keys.(parent) && seq < h.seqs.(parent))
     then begin
       h.keys.(!i) <- h.keys.(parent);
       h.seqs.(!i) <- h.seqs.(parent);

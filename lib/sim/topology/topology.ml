@@ -115,14 +115,14 @@ let find_route t ~src ~dst =
     (* frontier entries carry the reversed link path that reached them *)
     let frontier = ref [ (src, []) ] in
     let found = ref None in
-    while !found = None && !frontier <> [] do
+    while Option.is_none !found && not (List.is_empty !frontier) do
       let next_frontier = ref [] in
       List.iter
         (fun (n, path_rev) ->
           List.iter
             (fun l ->
               if
-                !found = None
+                Option.is_none !found
                 && l.src.node_id = n.node_id
                 && not (List.mem l.dst.node_id !visited)
               then begin

@@ -154,11 +154,12 @@ let grow_slot t p ~key ~seq v =
 let beats_cache t key seq =
   if t.cache_where = 0 then begin
     let ck = t.slot_keys.(t.cache_slot).(t.cache_idx) in
-    key < ck || (key = ck && seq < t.slot_seqs.(t.cache_slot).(t.cache_idx))
+    key < ck
+    || (Float.equal key ck && seq < t.slot_seqs.(t.cache_slot).(t.cache_idx))
   end
   else begin
     let ck = Heap.top_key t.far in
-    key < ck || (key = ck && seq < Heap.top_seq t.far)
+    key < ck || (Float.equal key ck && seq < Heap.top_seq t.far)
   end
 [@@alloc_free]
 
@@ -207,7 +208,7 @@ let locate t =
       for i = 1 to len - 1 do
         if
           keys.(i) < keys.(!best)
-          || (keys.(i) = keys.(!best) && seqs.(i) < seqs.(!best))
+          || (Float.equal keys.(i) keys.(!best) && seqs.(i) < seqs.(!best))
         then best := i
       done;
       (* slot minimum vs. heap top: all other slots hold larger keys, so
@@ -215,7 +216,7 @@ let locate t =
       if
         Heap.is_empty t.far
         || keys.(!best) < Heap.top_key t.far
-        || (keys.(!best) = Heap.top_key t.far
+        || (Float.equal keys.(!best) (Heap.top_key t.far)
            && seqs.(!best) < Heap.top_seq t.far)
       then begin
         t.cache_where <- 0;

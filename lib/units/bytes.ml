@@ -1,22 +1,31 @@
 type t = float
 
 let bytes x = x
+[@@unit_ctor "bytes"]
 
 let of_int n = float_of_int n
+[@@unit_ctor "bytes"]
 
 let of_bits b = b /. 8.
+[@@unit_ctor "bytes"]
 
 let kib x = x *. 1024.
+[@@unit_ctor "bytes"]
 
 let mib x = x *. 1048576.
+[@@unit_ctor "bytes"]
 
 let of_float x = x
+[@@unit_ctor "bytes"]
 
 let to_float x = x
+[@@unit_accessor "bytes"]
 
 let to_bits x = x *. 8.
+[@@unit_accessor "bytes"]
 
 let to_int_trunc x = int_of_float x
+[@@unit_accessor "bytes"]
 
 let zero = 0.
 

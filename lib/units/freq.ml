@@ -1,17 +1,22 @@
 type t = float
 
 let hz x = x
+[@@unit_ctor "freq"]
 
 let hz_exn x =
   if not (Float.is_finite x) || Float.compare x 0. <= 0 then
     invalid_arg "Freq.hz_exn: frequency must be finite and positive";
   x
+[@@unit_ctor "freq"]
 
 let of_float x = x
+[@@unit_ctor "freq"]
 
 let to_hz x = x
+[@@unit_accessor "freq"]
 
 let to_float x = x
+[@@unit_accessor "freq"]
 
 let unknown = Float.nan
 
@@ -26,8 +31,10 @@ let min = Float.min
 let max = Float.max
 
 let period f = Time.secs (1. /. f)
+[@@unit_conv "1/freq = time"]
 
 let of_period dt = 1. /. Time.to_secs dt
+[@@unit_conv "1/time = freq"]
 
 let compare = Float.compare
 

@@ -1,25 +1,34 @@
 type t = float
 
 let secs x = x
+[@@unit_ctor "time"]
 
 let ms x = x *. 1e-3
+[@@unit_ctor "time"]
 
 let us x = x *. 1e-6
+[@@unit_ctor "time"]
 
 let mins x = x *. 60.
+[@@unit_ctor "time"]
 
 let secs_exn x =
   if not (Float.is_finite x) then
     invalid_arg "Time.secs_exn: non-finite seconds";
   x
+[@@unit_ctor "time"]
 
 let of_float x = x
+[@@unit_ctor "time"]
 
 let to_secs x = x
+[@@unit_accessor "time"]
 
 let to_ms x = x *. 1e3
+[@@unit_accessor "time"]
 
 let to_float x = x
+[@@unit_accessor "time"]
 
 let zero = 0.
 

@@ -27,11 +27,13 @@ let rules_of findings =
 let test_det_bad () =
   let units = scan fixtures_root in
   let aliases = A.Cmt_scan.alias_mods units in
-  let findings = A.Determinism.check ~scope:[ "af_det_bad" ] aliases units in
+  let defs = A.Defs.collect aliases units in
+  let findings = A.Determinism.check ~scope:[ "af_det_bad" ] defs units in
   Alcotest.(check (list string))
     "expected rule ids, in order"
     [
-      "det-hashtbl-order"; "det-global-random"; "det-global-random";
+      "det-hashtbl-order"; "det-poly-compare"; "det-poly-compare";
+      "det-poly-compare"; "det-global-random"; "det-global-random";
       "det-wall-clock";
     ]
     (List.map (fun f -> f.A.Finding.rule) findings);
@@ -46,9 +48,10 @@ let test_det_bad () =
 let test_det_clean () =
   let units = scan fixtures_root in
   let aliases = A.Cmt_scan.alias_mods units in
+  let defs = A.Defs.collect aliases units in
   Alcotest.(check (list string))
     "clean fixture passes (including the [@det_ok] suppression)" []
-    (rules_of (A.Determinism.check ~scope:[ "af_det_clean" ] aliases units))
+    (rules_of (A.Determinism.check ~scope:[ "af_det_clean" ] defs units))
 
 (* --- layering pass ---------------------------------------------------------- *)
 
@@ -60,15 +63,15 @@ let layers_of_string s =
 let all_fixture_libs_above =
   (* af_layer_low strictly below af_layer_high: the recorded edge is legal *)
   "((af_layer_low) (af_layer_high af_det_bad af_det_clean af_alloc \
-   af_race_bad af_race_clean))"
+   af_race_bad af_race_clean af_unit_bad af_unit_clean))"
 
 let same_layer =
   "((af_layer_low af_layer_high af_det_bad af_det_clean af_alloc af_race_bad \
-   af_race_clean))"
+   af_race_clean af_unit_bad af_unit_clean))"
 
 let inverted =
   "((af_layer_high af_det_bad af_det_clean af_alloc af_race_bad \
-   af_race_clean) (af_layer_low))"
+   af_race_clean af_unit_bad af_unit_clean) (af_layer_low))"
 
 let test_layering () =
   let units = scan fixtures_root in
@@ -87,7 +90,8 @@ let test_layering () =
     "undeclared fixture libs flagged"
     [
       "layer-undeclared-lib"; "layer-undeclared-lib"; "layer-undeclared-lib";
-      "layer-undeclared-lib"; "layer-undeclared-lib";
+      "layer-undeclared-lib"; "layer-undeclared-lib"; "layer-undeclared-lib";
+      "layer-undeclared-lib";
     ]
     (rules_of findings)
 
@@ -196,6 +200,61 @@ let test_race_clean () =
     "the reasoned suppression is used, not stale" []
     (rules_of (in_file "clean_cases.ml" (A.Suppress.stale sup)))
 
+(* --- units pass ------------------------------------------------------------- *)
+
+let units_check ~scope units =
+  let aliases = A.Cmt_scan.alias_mods units in
+  let defs = A.Defs.collect aliases units in
+  let api, registry_findings = A.Unit_api.create defs in
+  Alcotest.(check (list string))
+    "registry attributes parse" [] (rules_of registry_findings);
+  let sup = A.Suppress.create () in
+  let flow = A.Units_flow.check ~sup ~scope api defs in
+  let boundary = A.Units_boundary.check ~sup ~scope api defs in
+  (flow, boundary, sup)
+
+let test_units_bad () =
+  let units = scan fixtures_root in
+  let flow, boundary, sup = units_check ~scope:[ "af_unit_bad" ] units in
+  Alcotest.(check (list string))
+    "flow rule multiset from the bad fixture"
+    [
+      "unit-bare-suppression"; "unit-mix"; "unit-mix"; "unit-mix";
+      "unit-mix"; "unit-mix"; "unit-rewrap"; "unit-rewrap"; "unit-rewrap";
+    ]
+    (rules_of flow.A.Units_flow.findings);
+  Alcotest.(check (list string))
+    "boundary rule multiset"
+    [ "unit-raw-boundary"; "unit-raw-boundary" ]
+    (rules_of boundary);
+  Alcotest.(check bool)
+    (Printf.sprintf "enough definitions unit-checked (got %d)"
+       flow.A.Units_flow.checked)
+    true
+    (flow.A.Units_flow.checked >= 15);
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        "units findings point into the fixture" "unit_cases.ml"
+        (Filename.basename f.A.Finding.file))
+    (flow.A.Units_flow.findings @ boundary);
+  (* the deliberately pointless reasoned [@unit_ok] must come back stale *)
+  Alcotest.(check (list string))
+    "stale [@unit_ok] reported" [ "suppress-stale" ]
+    (rules_of (in_file "unit_cases.ml" (A.Suppress.stale sup)))
+
+let test_units_clean () =
+  let units = scan fixtures_root in
+  let flow, boundary, sup = units_check ~scope:[ "af_unit_clean" ] units in
+  Alcotest.(check (list string))
+    "clean fixture passes the dataflow" []
+    (rules_of flow.A.Units_flow.findings);
+  Alcotest.(check (list string))
+    "clean fixture passes the boundary rule" [] (rules_of boundary);
+  Alcotest.(check (list string))
+    "the reasoned suppression is used, not stale" []
+    (rules_of (in_file "clean_cases.ml" (A.Suppress.stale sup)))
+
 (* --- baseline matching ------------------------------------------------------ *)
 
 let test_baseline () =
@@ -229,17 +288,17 @@ let test_baseline () =
 let test_repo_clean () =
   let units = scan lib_root in
   let aliases = A.Cmt_scan.alias_mods units in
+  let defs = A.Defs.collect aliases units in
   Alcotest.(check (list string))
     "determinism: simulation-reachable libs clean" []
     (rules_of
-       (A.Determinism.check ~scope:A.Determinism.default_scope aliases units));
+       (A.Determinism.check ~scope:A.Determinism.default_scope defs units));
   (match A.Layering.parse_layers (A.Sexp.load layers_file) with
   | Error msg -> Alcotest.fail msg
   | Ok layers ->
     let findings, _ = A.Layering.check layers units in
     Alcotest.(check (list string))
       "layering: real DAG matches layers.sexp" [] (rules_of findings));
-  let defs = A.Defs.collect aliases units in
   let { A.Alloc.findings; verified } = A.Alloc.check defs in
   Alcotest.(check (list string))
     "alloc: all [@@alloc_free] bodies verify" [] (rules_of findings);
@@ -277,6 +336,26 @@ let test_repo_clean () =
   Alcotest.(check bool)
     (Printf.sprintf "pool call sites were actually checked (got %d)" sites)
     true (sites >= 10);
+  let api, registry_findings = A.Unit_api.create defs in
+  Alcotest.(check (list string))
+    "units: registry attributes in lib/units parse" []
+    (rules_of registry_findings);
+  let uflow =
+    A.Units_flow.check ~sup ~scope:A.Units_flow.default_scope api defs
+  in
+  Alcotest.(check (list string))
+    "units: lib/ dataflow clean (every mix fixed or reasoned)" []
+    (rules_of uflow.A.Units_flow.findings);
+  Alcotest.(check (list string))
+    "units: no raw-float boundaries left in the exported surface" []
+    (rules_of
+       (A.Units_boundary.check ~sup ~scope:A.Units_boundary.default_scope
+          api defs));
+  Alcotest.(check bool)
+    (Printf.sprintf "units: definitions were actually checked (got %d)"
+       uflow.A.Units_flow.checked)
+    true
+    (uflow.A.Units_flow.checked >= 100);
   Alcotest.(check (list string))
     "suppress: no stale suppressions in lib/" []
     (rules_of (A.Suppress.stale sup))
@@ -292,6 +371,8 @@ let suite =
         Alcotest.test_case "alloc: fixtures" `Quick test_alloc_fixtures;
         Alcotest.test_case "race: bad fixture" `Quick test_race_bad;
         Alcotest.test_case "race: clean fixture" `Quick test_race_clean;
+        Alcotest.test_case "units: bad fixture" `Quick test_units_bad;
+        Alcotest.test_case "units: clean fixture" `Quick test_units_clean;
         Alcotest.test_case "baseline matching" `Quick test_baseline;
         Alcotest.test_case "repo passes its own gates" `Quick test_repo_clean;
       ] );

@@ -52,6 +52,37 @@ let prop_bytes_bits_roundtrip =
   QCheck.Test.make ~count:500 ~name:"units: to_bits (of_bits b) = b" finite
     (fun b -> Float.equal (B.to_bits (B.of_bits b)) b)
 
+let prop_time_us_mins_scaling =
+  QCheck.Test.make ~count:500
+    ~name:"units: secs (x*1e-6) = us x, secs (60x) = mins x" finite (fun x ->
+      Time.equal (Time.secs (x *. 1e-6)) (Time.us x)
+      && Time.equal (Time.secs (x *. 60.)) (Time.mins x))
+
+let prop_rate_kbps_gbps_scaling =
+  QCheck.Test.make ~count:500
+    ~name:"units: bps (x*1e3) = kbps x, bps (x*1e9) = gbps x" finite (fun x ->
+      Rate.equal (Rate.bps (x *. 1e3)) (Rate.kbps x)
+      && Rate.equal (Rate.bps (x *. 1e9)) (Rate.gbps x))
+
+let prop_bytes_kib_mib_scaling =
+  QCheck.Test.make ~count:500
+    ~name:"units: bytes (1024x) = kib x, bytes (2^20 x) = mib x" finite
+    (fun x ->
+      B.equal (B.bytes (x *. 1024.)) (B.kib x)
+      && B.equal (B.bytes (x *. 1048576.)) (B.mib x))
+
+(* powers of two scale exactly, so the kib/mib round trips are lossless *)
+let prop_bytes_pow2_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"units: kib/mib round-trip is exact" finite
+    (fun x ->
+      Float.equal (B.to_float (B.kib x) /. 1024.) x
+      && Float.equal (B.to_float (B.mib x) /. 1048576.) x)
+
+let prop_bytes_int_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"units: to_int_trunc (of_int n) = n"
+    (QCheck.int_range (-1_099_511_627_776) 1_099_511_627_776) (fun n ->
+      B.to_int_trunc (B.of_int n) = n)
+
 (* --- arithmetic is payload arithmetic -------------------------------------- *)
 
 let prop_time_add_is_float_add =
@@ -77,6 +108,18 @@ let prop_compare_agrees_with_float =
 (* --- cross-unit identities ------------------------------------------------- *)
 
 let close ?(tol = 1e-9) a b = Float.abs (a -. b) <= tol *. Float.max 1. (Float.abs b)
+
+(* scaled accessors: exact against their defining expression, and the
+   scaled-constructor round trips land within float rounding *)
+let prop_time_ms_accessor =
+  QCheck.Test.make ~count:500 ~name:"units: to_ms laws" finite (fun x ->
+      Float.equal (Time.to_ms (Time.secs x)) (x *. 1e3)
+      && close (Time.to_ms (Time.ms x)) x)
+
+let prop_rate_mbps_accessor =
+  QCheck.Test.make ~count:500 ~name:"units: to_mbps laws" finite (fun x ->
+      Float.equal (Rate.to_mbps (Rate.bps x)) (x /. 1e6)
+      && close (Rate.to_mbps (Rate.mbps x)) x)
 
 let prop_freq_period_involution =
   QCheck.Test.make ~count:500 ~name:"units: of_period (period f) = f" positive
@@ -134,6 +177,13 @@ let suite =
         qtest prop_time_ms_scaling;
         qtest prop_rate_mbps_scaling;
         qtest prop_bytes_bits_roundtrip;
+        qtest prop_time_us_mins_scaling;
+        qtest prop_rate_kbps_gbps_scaling;
+        qtest prop_bytes_kib_mib_scaling;
+        qtest prop_bytes_pow2_roundtrip;
+        qtest prop_bytes_int_roundtrip;
+        qtest prop_time_ms_accessor;
+        qtest prop_rate_mbps_accessor;
         qtest prop_time_add_is_float_add;
         qtest prop_scale_is_float_mul;
         qtest prop_compare_agrees_with_float;

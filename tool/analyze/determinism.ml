@@ -5,6 +5,14 @@
    randomness from Rng.split, or traces stop being byte-identical across
    repeats and --jobs fan-out.
 
+   Sub-rule det-poly-compare: the polymorphic structural operations
+   ([=]/[<>]/[compare]/[Hashtbl.hash]) applied to a float-bearing type are
+   banned in the same scope.  Structural float comparison disagrees with
+   IEEE semantics exactly where traces are most fragile ([nan = nan] is
+   false but [compare nan nan] is 0, and two boxed NaN payloads can hash
+   apart), so these must go through [Float.equal]/[Float.compare] or a
+   typed comparator.
+
    An expression can be exempted with [@det_ok "reason"]. *)
 
 let banned : (string, string * string) Hashtbl.t = Hashtbl.create 64
@@ -56,11 +64,65 @@ let () =
      entry point"
     [ "Sys.getenv"; "Sys.getenv_opt"; "Sys.argv" ]
 
+(* the polymorphic structural operations det-poly-compare polices *)
+let poly_ops = [ "="; "<>"; "compare"; "Hashtbl.hash"; "Hashtbl.seeded_hash" ]
+
 let default_scope =
   [ "nimbus_sim"; "nimbus_topology"; "nimbus_core"; "nimbus_dsp";
     "nimbus_faults" ]
 
-let check_unit ?sup aliases (u : Cmt_scan.unit_info) =
+(* --- float-bearing type test for det-poly-compare --------------------------- *)
+
+(* Whether a value of [ty] can contain a float anywhere structural
+   comparison would reach: float/floatarray directly, through tuples and
+   type arguments, and through scanned type declarations (manifest, record
+   fields, variant payloads).  Abstract types with no visible declaration
+   count as float-free: flagging them would make every opaque comparison a
+   finding. *)
+let bears_float (defs : Defs.t) ~modpath ty0 =
+  let rec go fuel (ty : Types.type_expr) =
+    if fuel <= 0 then false
+    else
+      let fuel = fuel - 1 in
+      match Types.get_desc ty with
+      | Tconstr (p, args, _) ->
+        Path.same p Predef.path_float
+        ||
+        let name = Cmt_scan.normalize_name defs.Defs.aliases (Path.name p) in
+        name = "floatarray"
+        || (match Defs.resolve_type defs ~modpath name with
+           | Some td -> decl fuel td
+           | None -> List.exists (go fuel) args)
+      | Ttuple tys -> List.exists (go fuel) tys
+      | Tpoly (ty, _) -> go fuel ty
+      | _ -> false
+  and decl fuel (td : Defs.tdecl) =
+    (match td.Defs.t_manifest with Some m -> go fuel m | None -> false)
+    ||
+    match td.Defs.t_kind with
+    | Ttype_record labels ->
+      List.exists
+        (fun (ld : Typedtree.label_declaration) ->
+          go fuel ld.ld_type.ctyp_type)
+        labels
+    | Ttype_variant cstrs ->
+      List.exists
+        (fun (cd : Typedtree.constructor_declaration) ->
+          match cd.cd_args with
+          | Cstr_tuple cts ->
+            List.exists (fun ct -> go fuel ct.Typedtree.ctyp_type) cts
+          | Cstr_record labels ->
+            List.exists
+              (fun (ld : Typedtree.label_declaration) ->
+                go fuel ld.ld_type.ctyp_type)
+              labels)
+        cstrs
+    | _ -> false
+  in
+  go 30 ty0
+
+let check_unit ?sup (defs : Defs.t) (u : Cmt_scan.unit_info) =
+  let aliases = defs.Defs.aliases in
   match u.str with
   | None -> []
   | Some str ->
@@ -68,6 +130,14 @@ let check_unit ?sup aliases (u : Cmt_scan.unit_info) =
     (* stack of active [@det_ok] frames; a banned ident under one marks the
        innermost frame as having suppressed something *)
     let frames = ref [] in
+    let report ~rule ~line msg =
+      match !frames with
+      | fired :: _ -> fired := true
+      | [] ->
+        findings :=
+          Finding.v ~pass_:"determinism" ~rule ~file:u.source ~line msg
+          :: !findings
+    in
     let expr self (e : Typedtree.expression) =
       let frame =
         match Defs.find_attr "det_ok" e.exp_attributes with
@@ -81,16 +151,34 @@ let check_unit ?sup aliases (u : Cmt_scan.unit_info) =
       | Texp_ident (p, _, _) -> (
         let name = Cmt_scan.normalize_path aliases p in
         match Hashtbl.find_opt banned name with
-        | Some (rule, msg) -> (
-          match !frames with
-          | fired :: _ -> fired := true
-          | [] ->
-            findings :=
-              Finding.v ~pass_:"determinism" ~rule ~file:u.source
-                ~line:e.exp_loc.loc_start.pos_lnum
-                (Printf.sprintf "%s: %s" name msg)
-              :: !findings)
+        | Some (rule, msg) ->
+          report ~rule ~line:e.exp_loc.loc_start.pos_lnum
+            (Printf.sprintf "%s: %s" name msg)
         | None -> ())
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+        let name = Cmt_scan.normalize_path aliases p in
+        if List.mem name poly_ops then (
+          let offending =
+            List.find_map
+              (function
+                | _, Some (a : Typedtree.expression)
+                  when bears_float defs ~modpath:u.modname a.exp_type ->
+                  Some a.exp_type
+                | _ -> None)
+              args
+          in
+          match offending with
+          | Some ty ->
+            report ~rule:"det-poly-compare"
+              ~line:e.exp_loc.loc_start.pos_lnum
+              (Printf.sprintf
+                 "polymorphic %s on float-bearing type %s; structural \
+                  compare/hash disagrees with IEEE float semantics on NaN, \
+                  so use Float.equal/Float.compare (or a typed comparator) \
+                  to keep traces byte-identical"
+                 name
+                 (Format.asprintf "%a" Printtyp.type_expr ty))
+          | None -> ())
       | _ -> ());
       Tast_iterator.default_iterator.expr self e;
       match frame with
@@ -108,10 +196,10 @@ let check_unit ?sup aliases (u : Cmt_scan.unit_info) =
     iter.structure iter str;
     List.rev !findings
 
-let check ?sup ~scope aliases units =
+let check ?sup ~scope (defs : Defs.t) units =
   List.concat_map
     (fun (u : Cmt_scan.unit_info) ->
       match u.lib with
-      | Some lib when List.mem lib scope -> check_unit ?sup aliases u
+      | Some lib when List.mem lib scope -> check_unit ?sup defs u
       | _ -> [])
     units

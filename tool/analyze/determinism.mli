@@ -1,5 +1,6 @@
-(** Determinism pass: bans wall-clock/entropy/ambient-state escapes and
-    order-dependent Hashtbl iteration inside the scoped libraries.
+(** Determinism pass: bans wall-clock/entropy/ambient-state escapes,
+    order-dependent Hashtbl iteration, and polymorphic compare/hash on
+    float-bearing types ([det-poly-compare]) inside the scoped libraries.
     Exempt an expression with [@det_ok "reason"]. *)
 
 val default_scope : string list
@@ -9,8 +10,10 @@ val default_scope : string list
 val check :
   ?sup:Suppress.tracker ->
   scope:string list ->
-  (string, unit) Hashtbl.t ->
+  Defs.t ->
   Cmt_scan.unit_info list ->
   Finding.t list
-(** [check ?sup ~scope aliases units] checks every implementation unit whose
-    owning library is in [scope]; [sup] tracks [@det_ok] staleness. *)
+(** [check ?sup ~scope defs units] checks every implementation unit whose
+    owning library is in [scope]; [defs] supplies alias normalization and
+    the type declarations det-poly-compare resolves through; [sup] tracks
+    [@det_ok] staleness. *)

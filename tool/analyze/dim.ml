@@ -1,0 +1,50 @@
+(* The dimension half-lattice of the units pass.
+
+   A tracked float is either dimensionless (a scalar: literals, counts,
+   ratios) or carries exactly one of the four physical dimensions the
+   lib/units carriers encode.  Products and quotients of distinct
+   dimensions (rate × time, bits / seconds, …) leave the lattice — the
+   pass deliberately does not model compound dimensions, so dimensioned
+   products degrade to "untracked" rather than producing findings. *)
+
+type t =
+  | Time  (* seconds *)
+  | Rate  (* bits per second *)
+  | Freq  (* hertz *)
+  | Bytes  (* bytes of volume *)
+  | Scalar  (* dimensionless *)
+
+let equal (a : t) b = a = b
+
+let is_base = function Scalar -> false | Time | Rate | Freq | Bytes -> true
+
+let of_string = function
+  | "time" -> Some Time
+  | "rate" -> Some Rate
+  | "freq" -> Some Freq
+  | "bytes" -> Some Bytes
+  | "scalar" -> Some Scalar
+  | _ -> None
+
+let to_string = function
+  | Time -> "time"
+  | Rate -> "rate"
+  | Freq -> "freq"
+  | Bytes -> "bytes"
+  | Scalar -> "scalar"
+
+(* how a finding spells the dimension: name plus carrier unit *)
+let describe = function
+  | Time -> "time (seconds)"
+  | Rate -> "rate (bits/s)"
+  | Freq -> "frequency (Hz)"
+  | Bytes -> "volume (bytes)"
+  | Scalar -> "a dimensionless scalar"
+
+(* the typed carrier a finding should steer the author towards *)
+let carrier = function
+  | Time -> "Units.Time.t"
+  | Rate -> "Units.Rate.t"
+  | Freq -> "Units.Freq.t"
+  | Bytes -> "Units.Bytes.t"
+  | Scalar -> "float"

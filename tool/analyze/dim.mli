@@ -1,0 +1,28 @@
+(** Dimensions tracked by the units pass: the four lib/units carriers plus
+    dimensionless scalars.  Compound dimensions (products/quotients of
+    distinct bases) are deliberately not modelled; they degrade to the
+    pass's untracked top element instead of producing findings. *)
+
+type t =
+  | Time
+  | Rate
+  | Freq
+  | Bytes
+  | Scalar
+
+val equal : t -> t -> bool
+
+(** [is_base d] is false only for {!Scalar}. *)
+val is_base : t -> bool
+
+(** Parse a registry-attribute payload ("time"/"rate"/"freq"/"bytes"/
+    "scalar"). *)
+val of_string : string -> t option
+
+val to_string : t -> string
+
+(** Human spelling for findings, e.g. ["rate (bits/s)"]. *)
+val describe : t -> string
+
+(** The typed carrier to recommend, e.g. ["Units.Time.t"]. *)
+val carrier : t -> string

@@ -1,0 +1,10 @@
+(* Deliberate det-poly-compare violations: polymorphic structural
+   compare/hash on float-bearing types (test fixture). *)
+
+type sample = { at : float; value : int }
+
+let bad_eq (a : sample) (b : sample) = a = b
+
+let bad_compare (x : float) (y : float) = compare x y
+
+let bad_hash (s : sample) = Hashtbl.hash s

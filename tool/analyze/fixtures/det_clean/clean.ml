@@ -3,6 +3,14 @@
 
 let step state = (state * 48271) mod 0x7fffffff
 
+(* typed float comparisons never trip det-poly-compare *)
+let same_reading a b = Float.equal a b
+
+let newer a b = Float.compare a b > 0
+
+(* polymorphic = on float-free data stays allowed *)
+let is_origin p = p = (0, 0)
+
 let sorted_sum tbl =
   let keys =
     (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []) [@det_ok "sorted below"]

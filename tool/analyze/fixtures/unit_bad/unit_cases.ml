@@ -1,0 +1,77 @@
+(* Deliberate unit-mix / unit-rewrap / unit-raw-boundary violations (test
+   fixture).  The miniature carrier below declares itself to the registry
+   with the unit_* attributes, so the pass needs no knowledge of lib/units
+   to check this file. *)
+
+module U = struct
+  type tsec = float
+  type tbps = float
+  type thz = float
+
+  let secs (x : float) : tsec = x [@@unit_ctor "time"]
+
+  let bps (x : float) : tbps = x [@@unit_ctor "rate"]
+
+  let hz (x : float) : thz = x [@@unit_ctor "freq"]
+
+  let to_secs (x : tsec) : float = x [@@unit_accessor "time"]
+
+  let to_bps (x : tbps) : float = x [@@unit_accessor "rate"]
+
+  let to_hz (x : thz) : float = x [@@unit_accessor "freq"]
+end
+
+let r0 = U.bps 1e6
+
+let t0 = U.secs 1.0
+
+let f0 = U.hz 5.0
+
+(* unit-mix: rate + time *)
+let bad_add = U.to_bps r0 +. U.to_secs t0
+
+(* unit-mix: taints survive let-bindings *)
+let bad_let =
+  let a = U.to_secs t0 in
+  let b = U.to_hz f0 in
+  a -. b
+
+(* unit-mix: min/max are meets too *)
+let bad_min = Float.min (U.to_secs t0) (U.to_bps r0)
+
+(* unit-mix: comparing across dimensions *)
+let bad_cmp = U.to_hz f0 < U.to_secs t0
+
+(* unit-mix: taints survive tuple construction and destructuring *)
+let bad_tuple =
+  let pair = (U.to_secs t0, U.to_bps r0) in
+  let s, b = pair in
+  s +. b
+
+(* unit-rewrap: a rate float wrapped as seconds *)
+let bad_rewrap = U.secs (U.to_bps r0)
+
+(* unit-rewrap: the taint flows through a let first *)
+let bad_rewrap2 =
+  let raw = U.to_hz f0 in
+  U.secs raw
+
+(* unit-rewrap: the taint flows through a local helper's summary *)
+let half x = x /. 2.
+
+let bad_call = U.hz (half (U.to_secs t0))
+
+(* unit-raw-boundary: the parameter exists only to be wrapped as time *)
+let bad_boundary_param dt = U.to_secs (U.secs dt) *. 2.
+
+(* unit-raw-boundary: returns a raw float that is just an unwrap *)
+let samples = [ U.bps 1e6; U.bps 2e6 ]
+
+let bad_boundary_ret (n : int) = U.to_bps (List.nth samples n)
+
+(* a bare [@unit_ok] (no reason) is itself a finding, though it still
+   swallows the mix underneath *)
+let bad_bare = (U.to_secs t0 +. U.to_hz f0) [@unit_ok]
+
+(* a reasoned suppression over clean arithmetic must come back stale *)
+let bad_stale = (U.to_secs t0 +. 1.0) [@unit_ok "nothing to suppress"]

@@ -1,0 +1,50 @@
+(* Everything the units pass must stay silent on (test fixture). *)
+
+module U = struct
+  type tsec = float
+  type tbps = float
+
+  let secs (x : float) : tsec = x [@@unit_ctor "time"]
+
+  let bps (x : float) : tbps = x [@@unit_ctor "rate"]
+
+  let to_secs (x : tsec) : float = x [@@unit_accessor "time"]
+
+  let to_bps (x : tbps) : float = x [@@unit_accessor "rate"]
+
+  (* a declared dimension-changing helper: its results are untracked *)
+  let bits_of (r : tbps) (t : tsec) = to_bps r *. to_secs t
+  [@@unit_conv "rate x time = bits"]
+end
+
+let t0 = U.secs 2.0
+
+let t1 = U.secs 3.0
+
+let r0 = U.bps 1e6
+
+(* same dimension: fine *)
+let good_add = U.to_secs t0 +. U.to_secs t1
+
+(* scalar scaling keeps the dimension *)
+let good_scale = (2.0 *. U.to_secs t0) +. U.to_secs t1
+
+(* a dimensioned product leaves the lattice without a finding *)
+let good_product = U.to_bps r0 *. U.to_secs t0
+
+(* a same-dimension ratio is a scalar, usable against plain numbers *)
+let good_ratio = (U.to_secs t0 /. U.to_secs t1) +. 0.5
+
+(* the declared conversion helper unlocks cross-dimension arithmetic *)
+let good_conv = U.bits_of r0 t0 +. 1.0
+
+(* a reasoned suppression over a genuine mix: used, not stale *)
+let good_suppressed =
+  (U.to_secs t0 +. U.to_bps r0)
+  [@unit_ok "fixture: deliberate mix proving suppressions are accounted"]
+
+(* re-wrapping into the same dimension is a round trip, not a rewrap *)
+let good_roundtrip = U.secs (U.to_secs t0)
+
+(* typed-carrier parameters keep the boundary rule silent *)
+let span (a : U.tsec) (b : U.tsec) = U.secs (U.to_secs b -. U.to_secs a)

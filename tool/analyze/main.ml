@@ -1,33 +1,40 @@
 (* Driver for the analysis suite.
 
-   Runs six passes and merges their findings:
+   Runs seven passes and merges their findings:
      - parsetree : source-text lint rules (migrated from tool/lint)
-     - determinism : banned ambient-state escapes in simulation-reachable libs
+     - determinism : banned ambient-state escapes in simulation-reachable
+       libs, plus det-poly-compare on float-bearing types
      - layering : cmt-imports DAG checked against tool/analyze/layers.sexp
      - alloc : [@@alloc_free] bodies verified allocation-free
      - race : pool-boundary capture checks, [@@domain_safe] certification,
        module-level mutable-state sweep
-     - suppress : visited [@det_ok]/[@alloc_ok]/[@shared_ok] suppressions
-       that no longer suppress anything
+     - units : dimension taints on raw floats after they leave the
+       lib/units carriers (unit-mix / unit-rewrap / unit-raw-boundary)
+     - suppress : visited [@det_ok]/[@alloc_ok]/[@shared_ok]/[@unit_ok]
+       suppressions that no longer suppress anything
 
-   --pass NAME (repeatable) runs a subset; the suppress pass only reports
-   on suppressions the selected passes actually visited.  --suppressions
-   lists every suppression attribute with its status and exits 0.
+   --pass NAME (repeatable, comma-separable) runs a subset; the suppress
+   pass only reports on suppressions the selected passes actually visited.
+   --suppressions lists every suppression attribute grouped by kind with
+   its status and exits 0.
 
    Exit code is 1 iff any finding is not covered by the baseline file.
    --json writes the machine-readable JSONL report; --dot writes the
-   dependency graph extracted by the layering pass. *)
+   dependency graph extracted by the layering pass; --summary-md writes a
+   per-pass markdown table (for CI step summaries). *)
 
 open Nimbus_analyze
 
 let usage =
   "analyze [--src-root DIR]... [--cmt-root DIR]... [--layers FILE] \
-   [--baseline FILE] [--json FILE] [--dot FILE] [--det-libs a,b] \
-   [--race-libs a,b] [--pass NAME]... [--suppressions] [--quiet]\n\n\
-   pass names: parsetree determinism layering alloc race suppress"
+   [--baseline FILE] [--json FILE] [--dot FILE] [--summary-md FILE] \
+   [--det-libs a,b] [--race-libs a,b] [--units-libs a,b] \
+   [--pass NAME[,NAME...]]... [--suppressions] [--quiet]\n\n\
+   pass names: parsetree determinism layering alloc race units suppress"
 
 let pass_names =
-  [ "parsetree"; "determinism"; "layering"; "alloc"; "race"; "suppress" ]
+  [ "parsetree"; "determinism"; "layering"; "alloc"; "race"; "units";
+    "suppress" ]
 
 let () =
   let src_roots = ref [] in
@@ -38,6 +45,8 @@ let () =
   let dot_file = ref "" in
   let det_libs = ref Determinism.default_scope in
   let race_libs = ref Race.default_scope in
+  let units_libs = ref None in
+  let summary_md = ref "" in
   let passes = ref [] in
   let list_suppressions = ref false in
   let quiet = ref false in
@@ -65,20 +74,36 @@ let () =
          (fun s -> race_libs := String.split_on_char ',' s
                                 |> List.filter (fun l -> l <> "")),
        "a,b override the race-pass mutable-global sweep scope");
+      ("--units-libs",
+       Arg.String
+         (fun s ->
+           units_libs :=
+             Some
+               (String.split_on_char ',' s
+               |> List.filter (fun l -> l <> ""))),
+       "a,b override the units-pass library scope (dataflow and boundary)");
+      ("--summary-md", Arg.Set_string summary_md,
+       "FILE write a per-pass findings/runtime markdown table here");
       ("--pass",
        Arg.String
-         (fun p ->
-           if not (List.mem p pass_names) then
-             raise
-               (Arg.Bad
-                  (Printf.sprintf "unknown pass %S (expected one of: %s)" p
-                     (String.concat " " pass_names)));
-           passes := p :: !passes),
-       "NAME run only the named pass (repeatable); stale-baseline \
-        reporting is disabled under a filter");
+         (fun arg ->
+           List.iter
+             (fun p ->
+               if p = "" then ()
+               else if not (List.mem p pass_names) then
+                 raise
+                   (Arg.Bad
+                      (Printf.sprintf "unknown pass %S (expected one of: %s)"
+                         p
+                         (String.concat " " pass_names)))
+               else passes := p :: !passes)
+             (String.split_on_char ',' arg)),
+       "NAME[,NAME...] run only the named passes (repeatable, \
+        comma-separable); stale-baseline reporting is disabled under a \
+        filter");
       ("--suppressions", Arg.Set list_suppressions,
-       " list every [@det_ok]/[@alloc_ok]/[@shared_ok] with file:line, \
-        reason, and status, then exit 0");
+       " list every [@det_ok]/[@alloc_ok]/[@shared_ok]/[@unit_ok] grouped \
+        by kind with file:line, reason, and status, then exit 0");
       ("--quiet", Arg.Set quiet, " only print the summary lines");
     ]
   in
@@ -115,7 +140,7 @@ let () =
     if not (enabled "determinism") then []
     else
       timed "determinism" (fun () ->
-          let fs = Determinism.check ~sup ~scope:!det_libs aliases units in
+          let fs = Determinism.check ~sup ~scope:!det_libs defs units in
           (fs, List.length fs))
   in
   let layer_findings, edges, layers =
@@ -158,6 +183,31 @@ let () =
           let r = Race.check ~sup ~scope:!race_libs defs units in
           (r, List.length r.Race.findings))
   in
+  let units_result, registry_findings =
+    if not (enabled "units") then ({ Units_flow.findings = []; checked = 0 }, [])
+    else
+      timed "units" (fun () ->
+          let api, registry_findings = Unit_api.create defs in
+          let flow_scope =
+            Option.value !units_libs ~default:Units_flow.default_scope
+          in
+          let boundary_scope =
+            Option.value !units_libs ~default:Units_boundary.default_scope
+          in
+          let flow = Units_flow.check ~sup ~scope:flow_scope api defs in
+          let boundary =
+            Units_boundary.check ~sup ~scope:boundary_scope api defs
+          in
+          let r =
+            {
+              Units_flow.findings = flow.Units_flow.findings @ boundary;
+              checked = flow.Units_flow.checked;
+            }
+          in
+          ( (r, registry_findings),
+            List.length r.Units_flow.findings + List.length registry_findings
+          ))
+  in
   let suppress_findings =
     if not (enabled "suppress") then []
     else
@@ -167,14 +217,25 @@ let () =
   in
 
   if !list_suppressions then begin
+    let listed = Suppress.collect units in
     List.iter
-      (fun (l : Suppress.listed) ->
-        Printf.printf "%s:%d: [@%s%s] %s\n" l.l_file l.l_line l.l_attr
-          (match l.l_reason with
-          | Some r -> Printf.sprintf " %S" r
-          | None -> " <no reason>")
-          (Suppress.status_string (Suppress.status sup l)))
-      (Suppress.collect units);
+      (fun attr ->
+        match
+          List.filter (fun (l : Suppress.listed) -> l.l_attr = attr) listed
+        with
+        | [] -> ()
+        | group ->
+          Printf.printf "[@%s] — %d suppression(s)\n" attr
+            (List.length group);
+          List.iter
+            (fun (l : Suppress.listed) ->
+              Printf.printf "  %s:%d:%s %s\n" l.l_file l.l_line
+                (match l.l_reason with
+                | Some r -> Printf.sprintf " %S" r
+                | None -> " <no reason>")
+                (Suppress.status_string (Suppress.status sup l)))
+            group)
+      Suppress.suppression_attrs;
     exit 0
   end;
 
@@ -182,6 +243,7 @@ let () =
     List.sort Finding.compare
       (parsetree_findings @ scan_findings @ det_findings @ layer_findings
      @ alloc_result.Alloc.findings @ race_result.Race.findings
+     @ registry_findings @ units_result.Units_flow.findings
      @ suppress_findings)
   in
 
@@ -226,12 +288,26 @@ let () =
       Printf.printf "analyze: pass %-11s %3d finding(s) in %.2fs\n" name count
         secs)
     (List.rev !pass_stats);
+  (if !summary_md <> "" then begin
+     let oc = open_out !summary_md in
+     output_string oc "### analyze per-pass summary\n\n";
+     output_string oc "| pass | findings | runtime (s) |\n";
+     output_string oc "| --- | ---: | ---: |\n";
+     List.iter
+       (fun (name, count, secs) ->
+         Printf.fprintf oc "| %s | %d | %.2f |\n" name count secs)
+       (List.rev !pass_stats);
+     Printf.fprintf oc "| **total** | **%d** | **%.2f** |\n"
+       (List.fold_left (fun n (_, c, _) -> n + c) 0 !pass_stats)
+       (List.fold_left (fun s (_, _, t) -> s +. t) 0. !pass_stats);
+     close_out oc
+   end);
   Printf.printf
     "analyze: %d finding(s) (%d baselined, %d alloc-free function(s) \
      verified, %d domain-safe function(s) certified, %d pool site(s) \
-     checked)\n"
+     checked, %d definition(s) unit-checked)\n"
     (List.length findings) (List.length accepted)
     (List.length alloc_result.Alloc.verified)
     (List.length race_result.Race.certified)
-    race_result.Race.sites;
+    race_result.Race.sites units_result.Units_flow.checked;
   if fresh <> [] then exit 1

@@ -1,8 +1,8 @@
-(* Suppression accounting, shared by the determinism, alloc, and race
-   passes.
+(* Suppression accounting, shared by the determinism, alloc, race, and
+   units passes.
 
    Every pass that honours an escape-hatch attribute ([@det_ok] /
-   [@alloc_ok] / [@shared_ok]) reports two events here: [see] when the pass
+   [@alloc_ok] / [@shared_ok] / [@unit_ok]) reports two events here: [see] when the pass
    *visits* a suppression (so its effect is decidable this run) and [use]
    when the suppression actually prevented at least one finding.  A visited
    suppression that suppressed nothing is *stale* — dead weight that would
@@ -79,7 +79,7 @@ let stale t =
 
 (* --- the audit listing ------------------------------------------------------ *)
 
-let suppression_attrs = [ "det_ok"; "alloc_ok"; "shared_ok" ]
+let suppression_attrs = [ "det_ok"; "alloc_ok"; "shared_ok"; "unit_ok" ]
 
 type listed = {
   l_attr : string;

@@ -1,6 +1,7 @@
-(** Suppression accounting shared by the determinism, alloc, and race
-    passes: which [@det_ok]/[@alloc_ok]/[@shared_ok] escapes were visited,
-    which actually suppressed a finding, and which are stale. *)
+(** Suppression accounting shared by the determinism, alloc, race, and
+    units passes: which [@det_ok]/[@alloc_ok]/[@shared_ok]/[@unit_ok]
+    escapes were visited, which actually suppressed a finding, and which
+    are stale. *)
 
 type tracker
 
@@ -29,6 +30,10 @@ val visited :
 (** Visited suppressions that suppressed nothing, as findings
     (pass ["suppress"], rule ["suppress-stale"]). *)
 val stale : tracker -> Finding.t list
+
+(** The escape-hatch attribute names the audit listing recognises, in
+    display order. *)
+val suppression_attrs : string list
 
 (** One suppression attribute found in the scanned units (for the
     [--suppressions] audit listing). *)

@@ -1,0 +1,36 @@
+(** Dimension registry for the units pass: which calls unwrap a lib/units
+    carrier to a raw float (accessors), which wrap one back up (ctors), and
+    which helpers legitimately convert between dimensions (convs).
+
+    The four in-tree carriers are built in under both their canonical
+    ([Units__Time.to_secs]) and library ([Units.Time.to_secs]) spellings;
+    scanned code extends the registry with [@@unit_accessor "dim"],
+    [@@unit_ctor "dim"] and [@@unit_conv "why"] attributes. *)
+
+type t = {
+  accessors : (string, Dim.t) Hashtbl.t;
+  ctors : (string, Dim.t) Hashtbl.t;
+  convs : (string, unit) Hashtbl.t;
+}
+
+(** Build the registry: builtins plus attribute-declared entries scanned
+    out of [defs].  Malformed registry attributes (missing or unknown
+    dimension payload) come back as [unit-bad-registry] findings. *)
+val create : Defs.t -> t * Finding.t list
+
+(** [accessor_dim t defs ~modpath name] — the dimension [name] unwraps, if
+    [name] (as written at a call site inside [modpath]) resolves to a
+    registered accessor. *)
+val accessor_dim : t -> Defs.t -> modpath:string -> string -> Dim.t option
+
+(** [ctor_dim t defs ~modpath name] — the dimension [name] wraps, if it
+    resolves to a registered constructor. *)
+val ctor_dim : t -> Defs.t -> modpath:string -> string -> Dim.t option
+
+(** Whether [name] resolves to a declared conversion helper. *)
+val is_conv : t -> Defs.t -> modpath:string -> string -> bool
+
+(** The dimension of a carrier type ([Units.Time.t] &c., through aliases),
+    used to taint values whose static type still names the carrier — e.g.
+    the operand of a [(x :> float)] coercion. *)
+val type_dim : Defs.t -> modpath:string -> Types.type_expr -> Dim.t option
